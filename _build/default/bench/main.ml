@@ -1,0 +1,102 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   from full-system runs (the numbers EXPERIMENTS.md records). Part 2
+   runs one Bechamel wall-clock microbenchmark per table/figure: a
+   representative workload slice of that experiment executed end to
+   end (translate + run) under the configuration it studies.
+
+   Environment knobs:
+     REPRO_BENCH_TARGET           guest insns per experiment run (default 120000)
+     REPRO_BENCH_SKIP_WALLCLOCK   set to skip the Bechamel section *)
+
+open Bechamel
+module H = Repro_harness.Harness
+module D = Repro_dbt
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+
+let target =
+  match Sys.getenv_opt "REPRO_BENCH_TARGET" with
+  | Some s -> int_of_string s
+  | None -> 120_000
+
+(* ---------- part 1: the paper's tables and figures ---------- *)
+
+let tables () =
+  let t = H.create ~target_insns:target () in
+  List.iter
+    (fun tb ->
+      print_string (H.render tb);
+      print_newline ())
+    (H.all t)
+
+(* ---------- part 2: wall-clock microbenches ---------- *)
+
+let ruleset = lazy (Repro_rules.Builtin.ruleset ())
+
+let run_slice mode spec_name =
+  let spec = W.find spec_name in
+  let user = W.generate spec ~iterations:2 in
+  let image = K.build ~timer_period:2_000 ~user_program:user () in
+  let sys = D.System.create ~ruleset:(Lazy.force ruleset) mode in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  ignore (D.System.run ~max_guest_insns:400_000 sys)
+
+let wallclock_tests =
+  (* one Test.make per table/figure: the configuration that experiment
+     exercises, on a small slice *)
+  [
+    Test.make ~name:"table1-qemu-profile"
+      (Staged.stage (fun () -> run_slice D.System.Qemu "gcc"));
+    Test.make ~name:"fig8-coordination-base"
+      (Staged.stage (fun () -> run_slice (D.System.Rules D.Opt.base) "perlbench"));
+    Test.make ~name:"fig14-speedup-full"
+      (Staged.stage (fun () -> run_slice (D.System.Rules D.Opt.full) "gcc"));
+    Test.make ~name:"fig15-expansion-qemu"
+      (Staged.stage (fun () -> run_slice D.System.Qemu "mcf"));
+    Test.make ~name:"fig16-cumulative-reduction"
+      (Staged.stage (fun () -> run_slice (D.System.Rules D.Opt.reduction_only) "gcc"));
+    Test.make ~name:"fig17-sync-elimination"
+      (Staged.stage (fun () -> run_slice (D.System.Rules D.Opt.with_elimination) "gcc"));
+    Test.make ~name:"fig18-native-ratio"
+      (Staged.stage (fun () -> run_slice (D.System.Rules D.Opt.full) "hmmer"));
+    Test.make ~name:"fig19-app-memcached"
+      (Staged.stage (fun () ->
+           let app = List.hd W.apps in
+           let user = W.generate_app app ~iterations:4 in
+           let image = K.build ~timer_period:2_000 ~user_program:user () in
+           let sys =
+             D.System.create ~ruleset:(Lazy.force ruleset) (D.System.Rules D.Opt.full)
+           in
+           K.load image (fun base words -> D.System.load_image sys base words);
+           ignore (D.System.run ~max_guest_insns:400_000 sys)));
+    Test.make ~name:"learning-pipeline"
+      (Staged.stage (fun () -> ignore (Repro_learn.Learn.learn ())));
+  ]
+
+let wallclock () =
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  print_endline "== wall-clock microbenches (per end-to-end slice) ==";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let m = Benchmark.run cfg instances elt in
+          let ols =
+            Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+          in
+          let results = Analyze.one ols Toolkit.Instance.monotonic_clock m in
+          match Analyze.OLS.estimates results with
+          | Some [ est ] ->
+            Printf.printf "  %-28s %12.3f ms/run\n%!" (Test.Elt.name elt) (est /. 1e6)
+          | _ -> Printf.printf "  %-28s (no estimate)\n%!" (Test.Elt.name elt))
+        (Test.elements test))
+    wallclock_tests
+
+let () =
+  tables ();
+  match Sys.getenv_opt "REPRO_BENCH_SKIP_WALLCLOCK" with
+  | Some _ -> ()
+  | None -> wallclock ()

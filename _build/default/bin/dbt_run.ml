@@ -1,0 +1,136 @@
+(* Run one benchmark workload under one engine configuration and dump
+   the dynamic statistics — the quick-look CLI around the system. *)
+
+module D = Repro_dbt
+module T = Repro_tcg
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module Stats = Repro_x86.Stats
+open Cmdliner
+
+let mode_of_string = function
+  | "qemu" -> Ok D.System.Qemu
+  | "base" -> Ok (D.System.Rules D.Opt.base)
+  | "reduction" -> Ok (D.System.Rules D.Opt.reduction_only)
+  | "elimination" -> Ok (D.System.Rules D.Opt.with_elimination)
+  | "full" -> Ok (D.System.Rules D.Opt.full)
+  | s -> Error (Printf.sprintf "unknown mode %s (qemu|base|reduction|elimination|full)" s)
+
+let run bench mode_name target timer builtin_only rules_file dump_tbs profile_top =
+  match mode_of_string mode_name with
+  | Error e ->
+    prerr_endline e;
+    exit 2
+  | Ok mode ->
+    let spec =
+      try W.find bench
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %s (one of: %s)\n" bench
+          (String.concat ", " (List.map (fun (s : W.spec) -> s.W.name) W.cint2006));
+        exit 2
+    in
+    let ruleset =
+      match rules_file with
+      | Some path -> (
+        match Repro_rules.Serialize.load_file path with
+        | Ok rs -> rs
+        | Error e ->
+          Printf.eprintf "cannot load %s: %s\n" path e;
+          exit 2)
+      | None ->
+        if builtin_only then Repro_rules.Builtin.ruleset ()
+        else
+          let learned = Repro_learn.Learn.learn () in
+          Repro_rules.Ruleset.of_list
+            (Repro_rules.Builtin.all () @ learned.Repro_learn.Learn.rules)
+    in
+    let iters = max 1 (target / W.insns_per_iteration spec) in
+    let user = W.generate spec ~iterations:iters in
+    let image = K.build ~timer_period:timer ~user_program:user () in
+    let sys = D.System.create ~ruleset mode in
+    K.load image (fun base words -> D.System.load_image sys base words);
+    let profile = if profile_top > 0 then Some (T.Profile.create ()) else None in
+    let res = D.System.run ?profile ~max_guest_insns:(60 * target) sys in
+    let s = D.System.stats sys in
+    Format.printf "benchmark  %s@.mode       %s@.outcome    %s@.@.%a@." bench
+      (D.System.mode_name mode)
+      (match res.T.Engine.reason with
+      | `Halted c -> Printf.sprintf "halted (exit code %#x)" c
+      | `Insn_limit -> "instruction limit reached")
+      Stats.pp s;
+    (match sys.D.System.rule_translator with
+    | Some tr ->
+      Format.printf "rule-covered insns (static) %d@.fallback insns (static)     %d@."
+        (D.Translator_rule.stats_rule_covered tr)
+        (D.Translator_rule.stats_fallback tr)
+    | None -> ());
+    (match profile with
+    | Some p ->
+      Format.printf "@.--- hot translation blocks ---@.%a@."
+        (T.Profile.pp_report ~top:profile_top) p;
+      (match T.Profile.top 1 p with
+      | [ hottest ] ->
+        Format.printf "@.hottest block:@.%a@." T.Profile.pp_disasm hottest
+      | _ -> ())
+    | None -> ());
+    if dump_tbs > 0 then begin
+      Format.printf "@.--- first %d translation blocks ---@." dump_tbs;
+      List.iteri
+        (fun i (tb : T.Tb.t) ->
+          if i < dump_tbs then begin
+            Format.printf "@.TB %d at guest pc %#x (%s, %d guest insns):@." tb.T.Tb.id
+              tb.T.Tb.guest_pc
+              (if tb.T.Tb.privileged then "kernel" else "user")
+              tb.T.Tb.guest_len;
+            Array.iter
+              (fun insn -> Format.printf "  %a@." Repro_arm.Insn.pp insn)
+              tb.T.Tb.guest_insns;
+            Format.printf "%a@." Repro_x86.Prog.pp tb.T.Tb.prog
+          end)
+        (T.Tb.Cache.to_list sys.D.System.cache)
+    end
+
+let bench_arg =
+  let doc = "Benchmark name (a CINT2006 row of Table I)." in
+  Arg.(value & pos 0 string "gcc" & info [] ~docv:"BENCH" ~doc)
+
+let mode_arg =
+  let doc = "Engine: qemu, base, reduction, elimination or full." in
+  Arg.(value & opt string "full" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let target_arg =
+  let doc = "Target dynamic guest instructions." in
+  Arg.(value & opt int 200_000 & info [ "n"; "target" ] ~docv:"INSNS" ~doc)
+
+let timer_arg =
+  let doc = "Timer period in guest instructions (0 = no IRQs)." in
+  Arg.(value & opt int 5_000 & info [ "timer" ] ~docv:"PERIOD" ~doc)
+
+let builtin_arg =
+  let doc = "Use only the hand-written core rule set (skip learning)." in
+  Arg.(value & flag & info [ "builtin-rules" ] ~doc)
+
+let rules_arg =
+  let doc = "Load the rule set from $(docv) (see repro-rulegen -o)." in
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE" ~doc)
+
+let dump_arg =
+  let doc = "Dump the first $(docv) translation blocks (guest + host code)." in
+  Arg.(value & opt int 0 & info [ "dump-tbs" ] ~docv:"N" ~doc)
+
+let profile_arg =
+  let doc =
+    "Profile per-TB execution and print the $(docv) hottest blocks by attributed host \
+     instructions, plus the hottest block's guest disassembly."
+  in
+  Arg.(value & opt int 0 & info [ "p"; "profile" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "run one benchmark under one DBT engine" in
+  Cmd.v
+    (Cmd.info "repro-dbt-run" ~doc)
+    Term.(
+      const run $ bench_arg $ mode_arg $ target_arg $ timer_arg $ builtin_arg $ rules_arg
+      $ dump_arg $ profile_arg)
+
+let () = exit (Cmd.eval cmd)

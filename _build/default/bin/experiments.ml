@@ -1,0 +1,70 @@
+(* Regenerate every table and figure of the paper's evaluation.
+   `repro-experiments` runs them all; `--exp fig14` selects one. *)
+
+module H = Repro_harness.Harness
+open Cmdliner
+
+let experiments =
+  [
+    ("table1", H.table1);
+    ("fig8", H.fig8);
+    ("fig14", H.fig14);
+    ("fig15", H.fig15);
+    ("fig16", H.fig16);
+    ("fig17", H.fig17);
+    ("fig18", H.fig18);
+    ("fig19", H.fig19);
+    ("coverage", H.coverage);
+    ("breakdown", H.breakdown);
+    ("ablation-chaining", H.ablation_chaining);
+    ("ablation-timer", H.ablation_timer);
+    ("ablation-ruleset", H.ablation_ruleset);
+    ("ablation-inline-mmu", H.ablation_inline_mmu);
+    ("ablation-costs", H.ablation_cost_model);
+  ]
+
+let run exp target timer builtin_only =
+  let ruleset =
+    if builtin_only then Some (Repro_rules.Builtin.ruleset ()) else None
+  in
+  let t = H.create ?ruleset ~target_insns:target ~timer_period:timer () in
+  let selected =
+    match exp with
+    | None -> experiments
+    | Some name -> (
+      match List.assoc_opt name experiments with
+      | Some f -> [ (name, f) ]
+      | None ->
+        Printf.eprintf "unknown experiment %s (choose from: %s)\n" name
+          (String.concat ", " (List.map fst experiments));
+        exit 2)
+  in
+  List.iter
+    (fun (_, f) ->
+      print_string (H.render (f t));
+      print_newline ())
+    selected
+
+let exp_arg =
+  let doc = "Run a single experiment (table1, fig8, fig14..fig19, coverage)." in
+  Arg.(value & opt (some string) None & info [ "e"; "exp" ] ~docv:"NAME" ~doc)
+
+let target_arg =
+  let doc = "Target dynamic guest instructions per benchmark run." in
+  Arg.(value & opt int 150_000 & info [ "n"; "target" ] ~docv:"INSNS" ~doc)
+
+let timer_arg =
+  let doc = "Platform timer period in guest instructions (0 disables IRQs)." in
+  Arg.(value & opt int 5_000 & info [ "timer" ] ~docv:"PERIOD" ~doc)
+
+let builtin_arg =
+  let doc = "Use only the hand-written core rule set (skip learning)." in
+  Arg.(value & flag & info [ "builtin-rules" ] ~doc)
+
+let cmd =
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "repro-experiments" ~doc)
+    Term.(const run $ exp_arg $ target_arg $ timer_arg $ builtin_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/learn_rules.ml: Format List Repro_dbt Repro_learn Repro_minic Repro_rules Repro_tcg Repro_x86

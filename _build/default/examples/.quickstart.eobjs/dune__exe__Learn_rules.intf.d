@@ -1,0 +1,1 @@
+examples/learn_rules.mli:

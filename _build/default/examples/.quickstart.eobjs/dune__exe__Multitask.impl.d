@@ -1,0 +1,1 @@
+examples/multitask.ml: Char Format Repro_arm Repro_dbt Repro_kernel Repro_tcg Repro_x86

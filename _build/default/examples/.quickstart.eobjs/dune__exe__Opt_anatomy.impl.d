@@ -1,0 +1,1 @@
+examples/opt_anatomy.ml: Array Asm Cond Format Insn List Repro_arm Repro_dbt Repro_rules Repro_x86

@@ -1,0 +1,1 @@
+examples/opt_anatomy.mli:

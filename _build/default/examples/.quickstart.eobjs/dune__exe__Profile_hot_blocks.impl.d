@@ -1,0 +1,1 @@
+examples/profile_hot_blocks.ml: Format List Repro_dbt Repro_kernel Repro_tcg Repro_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Cond Printf Repro_arm Repro_dbt Repro_machine Repro_tcg Repro_x86

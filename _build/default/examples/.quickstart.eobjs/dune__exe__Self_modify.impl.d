@@ -1,0 +1,1 @@
+examples/self_modify.ml: Asm Char Cond Encode Insn List Printf Repro_arm Repro_dbt Repro_kernel Repro_tcg

@@ -1,0 +1,1 @@
+examples/system_boot.ml: Asm Char Cond Insn Printf Repro_arm Repro_dbt Repro_kernel Repro_tcg Repro_x86 String

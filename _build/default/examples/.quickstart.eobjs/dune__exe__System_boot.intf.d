@@ -1,0 +1,1 @@
+examples/system_boot.mli:

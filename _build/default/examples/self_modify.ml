@@ -1,0 +1,61 @@
+(* Self-modifying guest code: the program patches one of its own
+   instructions and re-executes it. The DBT must invalidate the stale
+   translation (write-protected code pages + QEMU's current-TB-modified
+   protocol); an emulator that kept the old translation would print the
+   old value forever.
+
+     dune exec examples/self_modify.exe *)
+
+open Repro_arm
+module D = Repro_dbt
+module T = Repro_tcg
+module K = Repro_kernel.Kernel
+
+let patched_insn value =
+  Encode.encode
+    (Insn.make
+       (Insn.Dp { op = Insn.MOV; s = false; rd = 0; rn = 0;
+                  op2 = Insn.imm_operand_exn value }))
+
+let user_program () =
+  let a = Asm.create ~origin:K.user_code_base () in
+  Asm.mov32 a Insn.sp K.user_stack_top;
+  Asm.mov a 5 0;  (* pass counter *)
+  Asm.label a "again";
+  Asm.label a "patch";
+  Asm.mov a 0 Char.(code '0');  (* the instruction we will overwrite *)
+  (* print r0 *)
+  Asm.mov a 7 K.sys_putchar;
+  Asm.svc a 0;
+  Asm.add a 5 5 1;
+  Asm.cmp a 5 5;
+  Asm.branch_to a ~cond:Cond.EQ "done";
+  (* overwrite 'patch' with mov r0, #('0' + pass) *)
+  Asm.mov32_label a 1 "patch";
+  Asm.mov32 a 2 (patched_insn Char.(code '1'));
+  Asm.add_r a 2 2 5;
+  Asm.sub a 2 2 1;
+  Asm.str a 2 1 0;
+  Asm.branch_to a "again";
+  Asm.label a "done";
+  Asm.mov a 7 K.sys_exit;
+  Asm.svc a 0;
+  snd (Asm.assemble a)
+
+let () =
+  List.iter
+    (fun (name, mode) ->
+      let image = K.build ~user_program:(user_program ()) () in
+      let sys = D.System.create mode in
+      K.load image (fun base words -> D.System.load_image sys base words);
+      (match (D.System.run ~max_guest_insns:1_000_000 sys).T.Engine.reason with
+      | `Halted _ -> ()
+      | `Insn_limit -> print_endline "did not halt!");
+      Printf.printf "%-12s guest printed: %s\n" name (D.System.uart_output sys))
+    [
+      ("qemu", D.System.Qemu);
+      ("rules:full", D.System.Rules D.Opt.full);
+    ];
+  print_endline
+    "(each pass rewrites the printed digit in place: 01234 means every\n\
+    \ stale translation was correctly invalidated)"

@@ -1,0 +1,1 @@
+lib/arm/asm.ml: Array Cond Encode Hashtbl Insn List Repro_common Word32

@@ -1,0 +1,1 @@
+lib/arm/asm.mli: Cond Insn Repro_common Word32

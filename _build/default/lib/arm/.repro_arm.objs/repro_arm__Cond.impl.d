@@ -1,0 +1,1 @@
+lib/arm/cond.ml: Format Repro_common Word32

@@ -1,0 +1,1 @@
+lib/arm/cond.mli: Format Repro_common

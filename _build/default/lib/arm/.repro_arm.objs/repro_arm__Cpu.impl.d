@@ -1,0 +1,1 @@
+lib/arm/cpu.ml: Array Cond Format Repro_common Word32

@@ -1,0 +1,1 @@
+lib/arm/cpu.mli: Cond Format Repro_common Word32

@@ -1,0 +1,1 @@
+lib/arm/encode.ml: Cond Insn Printf Repro_common Result Word32

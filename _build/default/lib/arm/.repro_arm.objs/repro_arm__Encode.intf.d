@@ -1,0 +1,1 @@
+lib/arm/encode.mli: Insn Repro_common

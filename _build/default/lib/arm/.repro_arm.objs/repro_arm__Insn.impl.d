@@ -1,0 +1,1 @@
+lib/arm/insn.ml: Cond Format Printf Repro_common Word32

@@ -1,0 +1,1 @@
+lib/arm/insn.mli: Cond Format

@@ -1,0 +1,1 @@
+lib/arm/interp.ml: Array Cond Cpu Encode Insn Int64 Mem Repro_common Word32

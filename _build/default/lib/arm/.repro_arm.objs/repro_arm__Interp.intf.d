@@ -1,0 +1,1 @@
+lib/arm/interp.mli: Cpu Insn Mem

@@ -1,0 +1,1 @@
+lib/arm/mem.ml: Bytes Char Format Repro_common Word32

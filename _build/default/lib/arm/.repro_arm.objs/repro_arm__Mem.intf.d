@@ -1,0 +1,1 @@
+lib/arm/mem.mli: Bytes Format Repro_common Word32

@@ -1,0 +1,364 @@
+open Repro_common
+open Insn
+
+let encode_op2 = function
+  | Imm { imm8; rot } ->
+    if imm8 < 0 || imm8 > 0xFF || rot < 0 || rot > 15 then
+      invalid_arg "encode: bad modified immediate";
+    (1, (rot lsl 8) lor imm8)
+  | Reg_shift_imm { rm; kind; amount } ->
+    if amount < 0 || amount > 31 then invalid_arg "encode: shift amount";
+    (0, (amount lsl 7) lor (shift_kind_code kind lsl 5) lor rm)
+  | Reg_shift_reg { rm; kind; rs } ->
+    (0, (rs lsl 8) lor (shift_kind_code kind lsl 5) lor 0x10 lor rm)
+
+let encode_mem_bits off =
+  (* Returns (imm_form, u_bit, offset_bits). *)
+  match off with
+  | Imm_off n ->
+    let u = n >= 0 in
+    let m = abs n in
+    if m > 4095 then invalid_arg "encode: ldr/str immediate offset out of range";
+    (true, u, m)
+  | Reg_off { rm; kind; amount; subtract } ->
+    if amount < 0 || amount > 31 then invalid_arg "encode: mem shift amount";
+    (false, not subtract, (amount lsl 7) lor (shift_kind_code kind lsl 5) lor rm)
+
+let encode ({ cond; op } : Insn.t) : Word32.t =
+  let c = Cond.to_int cond lsl 28 in
+  match op with
+  | Dp { op = dpo; s; rd; rn; op2 } ->
+    let i, shifter = encode_op2 op2 in
+    let s_bit = if s || dp_op_is_test dpo then 1 else 0 in
+    let rd_field = if dp_op_is_test dpo then 0 else rd in
+    c
+    lor (i lsl 25)
+    lor (dp_op_code dpo lsl 21)
+    lor (s_bit lsl 20)
+    lor (rn lsl 16)
+    lor (rd_field lsl 12)
+    lor shifter
+  | Mul { s; rd; rn; rm; acc } ->
+    let a, ra = match acc with Some ra -> (1, ra) | None -> (0, 0) in
+    c
+    lor (a lsl 21)
+    lor ((if s then 1 else 0) lsl 20)
+    lor (rd lsl 16)
+    lor (ra lsl 12)
+    lor (rm lsl 8)
+    lor 0x90
+    lor rn
+  | Mull { signed; s; rdlo; rdhi; rn; rm } ->
+    c
+    lor (1 lsl 23)
+    lor ((if signed then 1 else 0) lsl 22)
+    lor ((if s then 1 else 0) lsl 20)
+    lor (rdhi lsl 16)
+    lor (rdlo lsl 12)
+    lor (rm lsl 8)
+    lor 0x90
+    lor rn
+  | Clz { rd; rm } -> c lor 0x016F0F10 lor (rd lsl 12) lor rm
+  | Ldrs { half; rd; rn; off; index } ->
+    (* Miscellaneous loads, SH = 10 (ldrsb) / 11 (ldrsh), L = 1. *)
+    let p, w =
+      match index with Offset -> (1, 0) | Pre_indexed -> (1, 1) | Post_indexed -> (0, 0)
+    in
+    let imm_form, u, off_bits =
+      match off with
+      | Imm_off n ->
+        let m = abs n in
+        if m > 255 then invalid_arg "encode: ldrsb/ldrsh immediate offset out of range";
+        (true, n >= 0, ((m lsr 4) lsl 8) lor (m land 0xF))
+      | Reg_off { rm; kind; amount; subtract } ->
+        if kind <> LSL || amount <> 0 then
+          invalid_arg "encode: ldrsb/ldrsh register offset cannot be shifted";
+        (false, not subtract, rm)
+    in
+    c
+    lor (p lsl 24)
+    lor ((if u then 1 else 0) lsl 23)
+    lor ((if imm_form then 1 else 0) lsl 22)
+    lor (w lsl 21)
+    lor (1 lsl 20)
+    lor (rn lsl 16)
+    lor (rd lsl 12)
+    lor (if half then 0xF0 else 0xD0)
+    lor off_bits
+  | Ldr { width = Half; rd; rn; off; index } | Str { width = Half; rd; rn; off; index }
+    ->
+    (* Miscellaneous loads/stores: bits 7:4 = 1011 (SH = 01, unsigned
+       halfword), split-immediate or plain-register offset. *)
+    let l = match op with Ldr _ -> 1 | _ -> 0 in
+    let p, w =
+      match index with Offset -> (1, 0) | Pre_indexed -> (1, 1) | Post_indexed -> (0, 0)
+    in
+    let imm_form, u, off_bits =
+      match off with
+      | Imm_off n ->
+        let m = abs n in
+        if m > 255 then invalid_arg "encode: ldrh/strh immediate offset out of range";
+        (true, n >= 0, ((m lsr 4) lsl 8) lor (m land 0xF))
+      | Reg_off { rm; kind; amount; subtract } ->
+        if kind <> LSL || amount <> 0 then
+          invalid_arg "encode: ldrh/strh register offset cannot be shifted";
+        (false, not subtract, rm)
+    in
+    c
+    lor (p lsl 24)
+    lor ((if u then 1 else 0) lsl 23)
+    lor ((if imm_form then 1 else 0) lsl 22)
+    lor (w lsl 21)
+    lor (l lsl 20)
+    lor (rn lsl 16)
+    lor (rd lsl 12)
+    lor 0xB0
+    lor off_bits
+  | Ldr { width; rd; rn; off; index } | Str { width; rd; rn; off; index } ->
+    let l = match op with Ldr _ -> 1 | _ -> 0 in
+    let b = match width with Byte -> 1 | Word | Half -> 0 in
+    let p, w =
+      match index with Offset -> (1, 0) | Pre_indexed -> (1, 1) | Post_indexed -> (0, 0)
+    in
+    let imm_form, u, off_bits = encode_mem_bits off in
+    let i = if imm_form then 0 else 1 in
+    c
+    lor (1 lsl 26)
+    lor (i lsl 25)
+    lor (p lsl 24)
+    lor ((if u then 1 else 0) lsl 23)
+    lor (b lsl 22)
+    lor (w lsl 21)
+    lor (l lsl 20)
+    lor (rn lsl 16)
+    lor (rd lsl 12)
+    lor off_bits
+  | Ldm { kind; rn; writeback; regs } | Stm { kind; rn; writeback; regs } ->
+    let l = match op with Ldm _ -> 1 | _ -> 0 in
+    let p, u = match kind with IA -> (0, 1) | DB -> (1, 0) in
+    if regs land lnot 0xFFFF <> 0 then invalid_arg "encode: ldm/stm register list";
+    c
+    lor (1 lsl 27)
+    lor (p lsl 24)
+    lor (u lsl 23)
+    lor ((if writeback then 1 else 0) lsl 21)
+    lor (l lsl 20)
+    lor (rn lsl 16)
+    lor regs
+  | B { link; offset } ->
+    if offset < -0x800000 || offset > 0x7FFFFF then invalid_arg "encode: branch range";
+    c lor (5 lsl 25) lor ((if link then 1 else 0) lsl 24) lor (offset land 0xFFFFFF)
+  | Bx rm -> c lor 0x012FFF10 lor rm
+  | Movw { rd; imm16 } ->
+    if imm16 < 0 || imm16 > 0xFFFF then invalid_arg "encode: movw immediate";
+    c lor 0x03000000 lor ((imm16 lsr 12) lsl 16) lor (rd lsl 12) lor (imm16 land 0xFFF)
+  | Movt { rd; imm16 } ->
+    if imm16 < 0 || imm16 > 0xFFFF then invalid_arg "encode: movt immediate";
+    c lor 0x03400000 lor ((imm16 lsr 12) lsl 16) lor (rd lsl 12) lor (imm16 land 0xFFF)
+  | Mrs { rd; spsr } -> c lor 0x010F0000 lor ((if spsr then 1 else 0) lsl 22) lor (rd lsl 12)
+  | Msr { spsr; write_flags; write_control; rm } ->
+    let mask = (if write_flags then 8 else 0) lor if write_control then 1 else 0 in
+    c lor 0x0120F000 lor ((if spsr then 1 else 0) lsl 22) lor (mask lsl 16) lor rm
+  | Svc imm ->
+    if imm < 0 || imm > 0xFFFFFF then invalid_arg "encode: svc immediate";
+    c lor 0x0F000000 lor imm
+  | Cps { disable } ->
+    (* Unconditional encoding; only the I bit is modelled. *)
+    if disable then 0xF10C0080 else 0xF1080080
+  | Mcr { opc1; rt; crn; crm; opc2 } ->
+    c
+    lor 0x0E000F10
+    lor (opc1 lsl 21)
+    lor (crn lsl 16)
+    lor (rt lsl 12)
+    lor (opc2 lsl 5)
+    lor crm
+  | Mrc { opc1; rt; crn; crm; opc2 } ->
+    c
+    lor 0x0E100F10
+    lor (opc1 lsl 21)
+    lor (crn lsl 16)
+    lor (rt lsl 12)
+    lor (opc2 lsl 5)
+    lor crm
+  | Vmsr { rt } -> c lor 0x0EE10A10 lor (rt lsl 12)
+  | Vmrs { rt } -> c lor 0x0EF10A10 lor (rt lsl 12)
+  | Nop -> c lor 0x0320F000
+  | Udf imm ->
+    if imm < 0 || imm > 0xFFFF then invalid_arg "encode: udf immediate";
+    c lor 0x07F000F0 lor ((imm lsr 4) lsl 8) lor (imm land 0xF)
+
+let field w lo len = Word32.extract w ~lo ~len
+
+let decode_op2 w ~imm_form =
+  if imm_form then Ok (Imm { imm8 = field w 0 8; rot = field w 8 4 })
+  else
+    let rm = field w 0 4 in
+    let kind = shift_kind_of_code (field w 5 2) in
+    if field w 4 1 = 0 then Ok (Reg_shift_imm { rm; kind; amount = field w 7 5 })
+    else if field w 7 1 = 0 then Ok (Reg_shift_reg { rm; kind; rs = field w 8 4 })
+    else Error "bad register-shift form"
+
+let decode (w : Word32.t) : (Insn.t, string) result =
+  let ( let* ) = Result.bind in
+  let cond_bits = field w 28 4 in
+  if cond_bits = 0xF then
+    (* Unconditional space: only CPS is modelled. *)
+    if w = 0xF10C0080 then Ok (make (Cps { disable = true }))
+    else if w = 0xF1080080 then Ok (make (Cps { disable = false }))
+    else Error (Printf.sprintf "unconditional space: %s" (Word32.to_hex w))
+  else
+    match Cond.of_int cond_bits with
+    | None -> Error "bad condition"
+    | Some cond -> (
+      let mk op = Ok { cond; op } in
+      let op_class = field w 25 3 in
+      match op_class with
+      | 0 | 1 -> (
+        (* Data processing & miscellaneous. *)
+        if op_class = 0 && field w 4 4 = 0x9 && field w 22 6 = 0 then
+          (* Multiply: bits 27:22 = 0, bits 7:4 = 1001. *)
+          let a = field w 21 1 = 1 in
+          let s = field w 20 1 = 1 in
+          mk
+            (Mul
+               {
+                 s;
+                 rd = field w 16 4;
+                 rn = field w 0 4;
+                 rm = field w 8 4;
+                 acc = (if a then Some (field w 12 4) else None);
+               })
+        else if op_class = 0 && field w 4 4 = 0x9 && field w 23 5 = 1 && field w 21 1 = 0
+        then
+          (* Long multiply: bits 27:23 = 00001, A = 0, bits 7:4 = 1001. *)
+          mk
+            (Mull
+               {
+                 signed = field w 22 1 = 1;
+                 s = field w 20 1 = 1;
+                 rdhi = field w 16 4;
+                 rdlo = field w 12 4;
+                 rm = field w 8 4;
+                 rn = field w 0 4;
+               })
+        else if w land 0x0FFFFFF0 = 0x012FFF10 then mk (Bx (field w 0 4))
+        else if w land 0x0FBF0FFF = 0x010F0000 then
+          mk (Mrs { rd = field w 12 4; spsr = field w 22 1 = 1 })
+        else if w land 0x0FB0FFF0 = 0x0120F000 then
+          let mask = field w 16 4 in
+          mk
+            (Msr
+               {
+                 spsr = field w 22 1 = 1;
+                 write_flags = mask land 8 <> 0;
+                 write_control = mask land 1 <> 0;
+                 rm = field w 0 4;
+               })
+        else if w land 0x0FF00000 = 0x03000000 then
+          mk (Movw { rd = field w 12 4; imm16 = (field w 16 4 lsl 12) lor field w 0 12 })
+        else if w land 0x0FF00000 = 0x03400000 then
+          mk (Movt { rd = field w 12 4; imm16 = (field w 16 4 lsl 12) lor field w 0 12 })
+        else if w land 0x0FFFFFFF = 0x0320F000 then mk Nop
+        else if w land 0x0FFF0FF0 = 0x016F0F10 then
+          mk (Clz { rd = field w 12 4; rm = field w 0 4 })
+        else if op_class = 0 && field w 4 1 = 1 && field w 7 1 = 1 && field w 5 2 <> 0
+        then
+          (* Miscellaneous loads/stores: bits 7:4 = 1SH1. *)
+          let sh = field w 5 2 in
+          let l = field w 20 1 = 1 in
+          let p = field w 24 1 = 1 in
+          let u = field w 23 1 = 1 in
+          let imm_form = field w 22 1 = 1 in
+          let wb = field w 21 1 = 1 in
+          let rn = field w 16 4 in
+          let rd = field w 12 4 in
+          let* off =
+            if imm_form then
+              let m = (field w 8 4 lsl 4) lor field w 0 4 in
+              Ok (Imm_off (if u then m else -m))
+            else if field w 8 4 <> 0 then Error "misc transfer: SBZ bits set"
+            else
+              Ok
+                (Reg_off
+                   { rm = field w 0 4; kind = LSL; amount = 0; subtract = not u })
+          in
+          let index =
+            if not p then Post_indexed else if wb then Pre_indexed else Offset
+          in
+          match (sh, l) with
+          | 1, true -> mk (Ldr { width = Half; rd; rn; off; index })
+          | 1, false -> mk (Str { width = Half; rd; rn; off; index })
+          | 2, true -> mk (Ldrs { half = false; rd; rn; off; index })
+          | 3, true -> mk (Ldrs { half = true; rd; rn; off; index })
+          | _ -> Error "ldrd/strd not modelled"
+        else
+          let code = field w 21 4 in
+          let dpo = dp_op_of_code code in
+          let s = field w 20 1 = 1 in
+          if dp_op_is_test dpo && not s then Error "test op without S bit"
+          else
+            let* op2 = decode_op2 w ~imm_form:(op_class = 1) in
+            let rd = if dp_op_is_test dpo then 0 else field w 12 4 in
+            mk (Dp { op = dpo; s = s && not (dp_op_is_test dpo); rd; rn = field w 16 4; op2 }))
+      | 2 | 3 ->
+        if op_class = 3 && field w 4 1 = 1 then
+          if w land 0x0FF000F0 = 0x07F000F0 then
+            mk (Udf ((field w 8 12 lsl 4) lor field w 0 4))
+          else Error "media instruction space"
+        else
+          let l = field w 20 1 = 1 in
+          let p = field w 24 1 = 1 in
+          let u = field w 23 1 = 1 in
+          let b = field w 22 1 = 1 in
+          let wb = field w 21 1 = 1 in
+          let rn = field w 16 4 in
+          let rd = field w 12 4 in
+          let width = if b then Byte else Word in
+          let* off =
+            if op_class = 2 then
+              let m = field w 0 12 in
+              Ok (Imm_off (if u then m else -m))
+            else
+              let rm = field w 0 4 in
+              let kind = shift_kind_of_code (field w 5 2) in
+              Ok (Reg_off { rm; kind; amount = field w 7 5; subtract = not u })
+          in
+          let index =
+            if not p then Post_indexed else if wb then Pre_indexed else Offset
+          in
+          if l then mk (Ldr { width; rd; rn; off; index })
+          else mk (Str { width; rd; rn; off; index })
+      | 4 ->
+        let p = field w 24 1 = 1 in
+        let u = field w 23 1 = 1 in
+        let* kind =
+          match (p, u) with
+          | false, true -> Ok IA
+          | true, false -> Ok DB
+          | _ -> Error "ldm/stm addressing mode not modelled"
+        in
+        let writeback = field w 21 1 = 1 in
+        let rn = field w 16 4 in
+        let regs = field w 0 16 in
+        if field w 20 1 = 1 then mk (Ldm { kind; rn; writeback; regs })
+        else mk (Stm { kind; rn; writeback; regs })
+      | 5 ->
+        let link = field w 24 1 = 1 in
+        let offset = Word32.signed (Word32.sign_extend ~width:24 (field w 0 24)) in
+        mk (B { link; offset })
+      | 7 -> (
+        if field w 24 1 = 1 then mk (Svc (field w 0 24))
+        else if w land 0x0FFF0FFF = 0x0EE10A10 then mk (Vmsr { rt = field w 12 4 })
+        else if w land 0x0FFF0FFF = 0x0EF10A10 then mk (Vmrs { rt = field w 12 4 })
+        else if field w 4 1 = 1 && field w 8 4 = 0xF then
+          let opc1 = field w 21 3
+          and rt = field w 12 4
+          and crn = field w 16 4
+          and crm = field w 0 4
+          and opc2 = field w 5 3 in
+          if field w 20 1 = 1 then mk (Mrc { opc1; rt; crn; crm; opc2 })
+          else mk (Mcr { opc1; rt; crn; crm; opc2 })
+        else Error "coprocessor space")
+      | 6 -> Error "coprocessor load/store space"
+      | _ -> Error (Printf.sprintf "unhandled class %d" op_class))

@@ -1,0 +1,13 @@
+(** A32 binary encoding of {!Insn.t}.
+
+    [decode (encode i) = Ok i] for every representable instruction —
+    checked by property tests. *)
+
+val encode : Insn.t -> Repro_common.Word32.t
+(** Raises [Invalid_argument] on unencodable operands (e.g. an
+    immediate offset out of range) — the assembler never produces
+    those. *)
+
+val decode : Repro_common.Word32.t -> (Insn.t, string) result
+(** Decode one instruction word; [Error] describes the undecodable
+    bit pattern. *)

@@ -1,0 +1,403 @@
+open Repro_common
+
+type reg = int
+
+let sp = 13
+let lr = 14
+let pc = 15
+
+let reg n =
+  if n < 0 || n > 15 then invalid_arg (Printf.sprintf "Insn.reg: %d" n);
+  n
+
+type dp_op =
+  | AND | EOR | SUB | RSB | ADD | ADC | SBC | RSC
+  | TST | TEQ | CMP | CMN | ORR | MOV | BIC | MVN
+
+let dp_op_is_test = function
+  | TST | TEQ | CMP | CMN -> true
+  | AND | EOR | SUB | RSB | ADD | ADC | SBC | RSC | ORR | MOV | BIC | MVN -> false
+
+let dp_op_to_string = function
+  | AND -> "and"
+  | EOR -> "eor"
+  | SUB -> "sub"
+  | RSB -> "rsb"
+  | ADD -> "add"
+  | ADC -> "adc"
+  | SBC -> "sbc"
+  | RSC -> "rsc"
+  | TST -> "tst"
+  | TEQ -> "teq"
+  | CMP -> "cmp"
+  | CMN -> "cmn"
+  | ORR -> "orr"
+  | MOV -> "mov"
+  | BIC -> "bic"
+  | MVN -> "mvn"
+
+let dp_op_code = function
+  | AND -> 0
+  | EOR -> 1
+  | SUB -> 2
+  | RSB -> 3
+  | ADD -> 4
+  | ADC -> 5
+  | SBC -> 6
+  | RSC -> 7
+  | TST -> 8
+  | TEQ -> 9
+  | CMP -> 10
+  | CMN -> 11
+  | ORR -> 12
+  | MOV -> 13
+  | BIC -> 14
+  | MVN -> 15
+
+let dp_op_of_code = function
+  | 0 -> AND
+  | 1 -> EOR
+  | 2 -> SUB
+  | 3 -> RSB
+  | 4 -> ADD
+  | 5 -> ADC
+  | 6 -> SBC
+  | 7 -> RSC
+  | 8 -> TST
+  | 9 -> TEQ
+  | 10 -> CMP
+  | 11 -> CMN
+  | 12 -> ORR
+  | 13 -> MOV
+  | 14 -> BIC
+  | 15 -> MVN
+  | n -> invalid_arg (Printf.sprintf "dp_op_of_code: %d" n)
+
+type shift_kind = LSL | LSR | ASR | ROR
+
+let shift_kind_code = function LSL -> 0 | LSR -> 1 | ASR -> 2 | ROR -> 3
+
+let shift_kind_of_code = function
+  | 0 -> LSL
+  | 1 -> LSR
+  | 2 -> ASR
+  | 3 -> ROR
+  | n -> invalid_arg (Printf.sprintf "shift_kind_of_code: %d" n)
+
+let shift_kind_to_string = function
+  | LSL -> "lsl"
+  | LSR -> "lsr"
+  | ASR -> "asr"
+  | ROR -> "ror"
+
+type operand2 =
+  | Imm of { imm8 : int; rot : int }
+  | Reg_shift_imm of { rm : reg; kind : shift_kind; amount : int }
+  | Reg_shift_reg of { rm : reg; kind : shift_kind; rs : reg }
+
+let imm_operand value =
+  let value = Word32.mask value in
+  let rec search rot =
+    if rot > 15 then None
+    else
+      let rotated = Word32.rotate_right value (32 - (2 * rot)) in
+      if rotated land 0xFF = rotated then Some (Imm { imm8 = rotated; rot })
+      else search (rot + 1)
+  in
+  search 0
+
+let imm_operand_exn value =
+  match imm_operand value with
+  | Some op2 -> op2
+  | None -> invalid_arg (Printf.sprintf "imm_operand_exn: 0x%x not encodable" value)
+
+(* Shift semantics shared by the interpreter and operand evaluation.
+   [amount] is the effective shift count (may exceed 31 for
+   register-specified shifts). Returns value and carry-out. *)
+let apply_shift kind value amount ~carry =
+  if amount = 0 then (value, carry)
+  else
+    match kind with
+    | LSL ->
+      if amount > 32 then (0, false)
+      else if amount = 32 then (0, Word32.bit value 0)
+      else (Word32.shift_left value amount, Word32.bit value (32 - amount))
+    | LSR ->
+      if amount > 32 then (0, false)
+      else if amount = 32 then (0, Word32.bit value 31)
+      else (Word32.shift_right_logical value amount, Word32.bit value (amount - 1))
+    | ASR ->
+      if amount >= 32 then
+        let bit31 = Word32.bit value 31 in
+        ((if bit31 then Word32.max_value else 0), bit31)
+      else (Word32.shift_right_arith value amount, Word32.bit value (amount - 1))
+    | ROR ->
+      let eff = amount land 31 in
+      if eff = 0 then (value, Word32.bit value 31)
+      else
+        let r = Word32.rotate_right value eff in
+        (r, Word32.bit r 31)
+
+let operand2_value op2 regs ~carry =
+  match op2 with
+  | Imm { imm8; rot } ->
+    let v = Word32.rotate_right imm8 (2 * rot) in
+    let c = if rot = 0 then carry else Word32.bit v 31 in
+    (v, c)
+  | Reg_shift_imm { rm; kind; amount } -> apply_shift kind (regs rm) amount ~carry
+  | Reg_shift_reg { rm; kind; rs } ->
+    (* Model simplification (see DESIGN.md): register-specified shift
+       amounts are taken mod 32, matching the host's shift semantics. *)
+    apply_shift kind (regs rm) (regs rs land 0x1F) ~carry
+
+type width = Word | Byte | Half
+type index_mode = Offset | Pre_indexed | Post_indexed
+
+type mem_offset =
+  | Imm_off of int
+  | Reg_off of { rm : reg; kind : shift_kind; amount : int; subtract : bool }
+
+type ldm_kind = IA | DB
+
+type op =
+  | Dp of { op : dp_op; s : bool; rd : reg; rn : reg; op2 : operand2 }
+  | Mul of { s : bool; rd : reg; rn : reg; rm : reg; acc : reg option }
+  | Mull of { signed : bool; s : bool; rdlo : reg; rdhi : reg; rn : reg; rm : reg }
+  | Clz of { rd : reg; rm : reg }
+  | Ldr of { width : width; rd : reg; rn : reg; off : mem_offset; index : index_mode }
+  | Ldrs of { half : bool; rd : reg; rn : reg; off : mem_offset; index : index_mode }
+  | Str of { width : width; rd : reg; rn : reg; off : mem_offset; index : index_mode }
+  | Ldm of { kind : ldm_kind; rn : reg; writeback : bool; regs : int }
+  | Stm of { kind : ldm_kind; rn : reg; writeback : bool; regs : int }
+  | B of { link : bool; offset : int }
+  | Bx of reg
+  | Movw of { rd : reg; imm16 : int }
+  | Movt of { rd : reg; imm16 : int }
+  | Mrs of { rd : reg; spsr : bool }
+  | Msr of { spsr : bool; write_flags : bool; write_control : bool; rm : reg }
+  | Svc of int
+  | Cps of { disable : bool }
+  | Mcr of { opc1 : int; rt : reg; crn : int; crm : int; opc2 : int }
+  | Mrc of { opc1 : int; rt : reg; crn : int; crm : int; opc2 : int }
+  | Vmsr of { rt : reg }
+  | Vmrs of { rt : reg }
+  | Nop
+  | Udf of int
+
+type t = { cond : Cond.t; op : op }
+
+let make ?(cond = Cond.AL) op = { cond; op }
+
+let is_system_level { op; _ } =
+  match op with
+  | Mrs _ | Msr _ | Svc _ | Cps _ | Mcr _ | Mrc _ | Vmsr _ | Vmrs _ | Udf _ -> true
+  | Dp _ | Mul _ | Mull _ | Clz _ | Ldr _ | Ldrs _ | Str _ | Ldm _ | Stm _ | B _
+  | Bx _ | Movw _ | Movt _ | Nop -> false
+
+let is_memory_access { op; _ } =
+  match op with
+  | Ldr _ | Ldrs _ | Str _ | Ldm _ | Stm _ -> true
+  | Dp _ | Mul _ | Mull _ | Clz _ | B _ | Bx _ | Movw _ | Movt _ | Mrs _ | Msr _
+  | Svc _ | Cps _ | Mcr _ | Mrc _ | Vmsr _ | Vmrs _ | Nop | Udf _ -> false
+
+let writes_flags { op; _ } =
+  match op with
+  | Dp { op; s; _ } -> s || dp_op_is_test op
+  | Mul { s; _ } | Mull { s; _ } -> s
+  | Vmrs { rt } -> rt = pc
+  | Msr { spsr = false; write_flags = true; _ } -> true
+  | Msr _ | Clz _ | Ldr _ | Ldrs _ | Str _ | Ldm _ | Stm _ | B _ | Bx _ | Movw _
+  | Movt _ | Mrs _ | Svc _ | Cps _ | Mcr _ | Mrc _ | Vmsr _ | Nop | Udf _ -> false
+
+let reads_flags { cond; op } =
+  cond <> Cond.AL
+  ||
+  match op with
+  | Dp { op = ADC | SBC | RSC; _ } -> true
+  | Mrs { spsr = false; _ } -> true
+  | Dp _ | Mul _ | Mull _ | Clz _ | Ldr _ | Ldrs _ | Str _ | Ldm _ | Stm _ | B _
+  | Bx _ | Movw _ | Movt _ | Mrs _ | Msr _ | Svc _ | Cps _ | Mcr _ | Mrc _
+  | Vmsr _ | Vmrs _ | Nop | Udf _ -> false
+
+let bitmask r = 1 lsl r
+
+let op2_uses = function
+  | Imm _ -> 0
+  | Reg_shift_imm { rm; _ } -> bitmask rm
+  | Reg_shift_reg { rm; rs; _ } -> bitmask rm lor bitmask rs
+
+let defs { op; _ } =
+  match op with
+  | Dp { op = dpo; rd; _ } -> if dp_op_is_test dpo then 0 else bitmask rd
+  | Mul { rd; _ } -> bitmask rd
+  | Mull { rdlo; rdhi; _ } -> bitmask rdlo lor bitmask rdhi
+  | Clz { rd; _ } -> bitmask rd
+  | Ldr { rd; rn; index; _ } | Ldrs { rd; rn; index; _ } ->
+    bitmask rd lor (match index with Offset -> 0 | Pre_indexed | Post_indexed -> bitmask rn)
+  | Str { rn; index; _ } ->
+    (match index with Offset -> 0 | Pre_indexed | Post_indexed -> bitmask rn)
+  | Ldm { rn; writeback; regs; _ } -> regs lor if writeback then bitmask rn else 0
+  | Stm { rn; writeback; _ } -> if writeback then bitmask rn else 0
+  | B { link; _ } -> (if link then bitmask lr else 0) lor bitmask pc
+  | Bx _ -> bitmask pc
+  | Movw { rd; _ } | Movt { rd; _ } -> bitmask rd
+  | Mrs { rd; _ } -> bitmask rd
+  | Mrc { rt; _ } -> if rt = pc then 0 else bitmask rt
+  | Vmrs { rt } -> if rt = pc then 0 else bitmask rt
+  | Msr _ | Svc _ | Cps _ | Mcr _ | Vmsr _ | Nop | Udf _ -> 0
+
+let uses { op; _ } =
+  match op with
+  | Dp { op = dpo; rn; op2; _ } ->
+    let rn_use = match dpo with MOV | MVN -> 0 | _ -> bitmask rn in
+    rn_use lor op2_uses op2
+  | Mul { rn; rm; acc; _ } ->
+    bitmask rn lor bitmask rm lor (match acc with Some ra -> bitmask ra | None -> 0)
+  | Mull { rn; rm; _ } -> bitmask rn lor bitmask rm
+  | Clz { rm; _ } -> bitmask rm
+  | Ldr { rn; off; _ } | Ldrs { rn; off; _ } ->
+    bitmask rn lor (match off with Imm_off _ -> 0 | Reg_off { rm; _ } -> bitmask rm)
+  | Str { rd; rn; off; _ } ->
+    bitmask rd lor bitmask rn
+    lor (match off with Imm_off _ -> 0 | Reg_off { rm; _ } -> bitmask rm)
+  | Ldm { rn; _ } -> bitmask rn
+  | Stm { rn; regs; _ } -> bitmask rn lor regs
+  | B _ -> 0
+  | Bx rm -> bitmask rm
+  | Movw _ -> 0
+  | Movt { rd; _ } -> bitmask rd
+  | Mrs _ -> 0
+  | Msr { rm; _ } -> bitmask rm
+  | Mcr { rt; _ } -> bitmask rt
+  | Vmsr { rt } -> bitmask rt
+  | Svc _ | Cps _ | Mrc _ | Vmrs _ | Nop | Udf _ -> 0
+
+let is_branch t =
+  match t.op with
+  | B _ | Bx _ -> true
+  | _ -> defs t land bitmask pc <> 0
+
+let pp_reg ppf r =
+  if r = 13 then Format.pp_print_string ppf "sp"
+  else if r = 14 then Format.pp_print_string ppf "lr"
+  else if r = 15 then Format.pp_print_string ppf "pc"
+  else Format.fprintf ppf "r%d" r
+
+let pp_op2 ppf = function
+  | Imm { imm8; rot } -> Format.fprintf ppf "#%d" (Word32.rotate_right imm8 (2 * rot))
+  | Reg_shift_imm { rm; kind; amount } ->
+    if amount = 0 && kind = LSL then pp_reg ppf rm
+    else Format.fprintf ppf "%a, %s #%d" pp_reg rm (shift_kind_to_string kind) amount
+  | Reg_shift_reg { rm; kind; rs } ->
+    Format.fprintf ppf "%a, %s %a" pp_reg rm (shift_kind_to_string kind) pp_reg rs
+
+let pp_mem ppf rn off index =
+  let pp_off ppf = function
+    | Imm_off 0 -> ()
+    | Imm_off n -> Format.fprintf ppf ", #%d" n
+    | Reg_off { rm; kind; amount; subtract } ->
+      let sign = if subtract then "-" else "" in
+      if amount = 0 && kind = LSL then Format.fprintf ppf ", %s%a" sign pp_reg rm
+      else
+        Format.fprintf ppf ", %s%a, %s #%d" sign pp_reg rm (shift_kind_to_string kind)
+          amount
+  in
+  match index with
+  | Offset -> Format.fprintf ppf "[%a%a]" pp_reg rn pp_off off
+  | Pre_indexed -> Format.fprintf ppf "[%a%a]!" pp_reg rn pp_off off
+  | Post_indexed -> (
+    match off with
+    | Imm_off n -> Format.fprintf ppf "[%a], #%d" pp_reg rn n
+    | Reg_off _ -> Format.fprintf ppf "[%a]%a" pp_reg rn pp_off off)
+
+let pp_reglist ppf regs =
+  let items = ref [] in
+  for r = 15 downto 0 do
+    if regs land (1 lsl r) <> 0 then items := r :: !items
+  done;
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_reg)
+    !items
+
+let pp ppf { cond; op } =
+  let c = Cond.to_string cond in
+  match op with
+  | Dp { op = dpo; s; rd; rn; op2 } ->
+    let mnem = dp_op_to_string dpo in
+    if dp_op_is_test dpo then Format.fprintf ppf "%s%s %a, %a" mnem c pp_reg rn pp_op2 op2
+    else (
+      let sfx = if s then "s" else "" in
+      match dpo with
+      | MOV | MVN -> Format.fprintf ppf "%s%s%s %a, %a" mnem c sfx pp_reg rd pp_op2 op2
+      | _ ->
+        Format.fprintf ppf "%s%s%s %a, %a, %a" mnem c sfx pp_reg rd pp_reg rn pp_op2 op2)
+  | Mul { s; rd; rn; rm; acc = None } ->
+    Format.fprintf ppf "mul%s%s %a, %a, %a" c (if s then "s" else "") pp_reg rd pp_reg rm
+      pp_reg rn
+  | Mul { s; rd; rn; rm; acc = Some ra } ->
+    Format.fprintf ppf "mla%s%s %a, %a, %a, %a" c (if s then "s" else "") pp_reg rd
+      pp_reg rm pp_reg rn pp_reg ra
+  | Mull { signed; s; rdlo; rdhi; rn; rm } ->
+    Format.fprintf ppf "%smull%s%s %a, %a, %a, %a"
+      (if signed then "s" else "u")
+      c (if s then "s" else "") pp_reg rdlo pp_reg rdhi pp_reg rm pp_reg rn
+  | Clz { rd; rm } -> Format.fprintf ppf "clz%s %a, %a" c pp_reg rd pp_reg rm
+  | Ldr { width; rd; rn; off; index } ->
+    Format.fprintf ppf "ldr%s%s %a, " c
+      (match width with Word -> "" | Byte -> "b" | Half -> "h")
+      pp_reg rd;
+    pp_mem ppf rn off index
+  | Ldrs { half; rd; rn; off; index } ->
+    Format.fprintf ppf "ldrs%s%s %a, " (if half then "h" else "b") c pp_reg rd;
+    pp_mem ppf rn off index
+  | Str { width; rd; rn; off; index } ->
+    Format.fprintf ppf "str%s%s %a, " c
+      (match width with Word -> "" | Byte -> "b" | Half -> "h")
+      pp_reg rd;
+    pp_mem ppf rn off index
+  | Ldm { kind; rn; writeback; regs } ->
+    Format.fprintf ppf "ldm%s%s %a%s, %a" c
+      (match kind with IA -> "ia" | DB -> "db")
+      pp_reg rn
+      (if writeback then "!" else "")
+      pp_reglist regs
+  | Stm { kind; rn; writeback; regs } ->
+    Format.fprintf ppf "stm%s%s %a%s, %a" c
+      (match kind with IA -> "ia" | DB -> "db")
+      pp_reg rn
+      (if writeback then "!" else "")
+      pp_reglist regs
+  | B { link; offset } ->
+    Format.fprintf ppf "b%s%s .%+d" (if link then "l" else "") c offset
+  | Bx rm -> Format.fprintf ppf "bx%s %a" c pp_reg rm
+  | Movw { rd; imm16 } -> Format.fprintf ppf "movw%s %a, #%d" c pp_reg rd imm16
+  | Movt { rd; imm16 } -> Format.fprintf ppf "movt%s %a, #%d" c pp_reg rd imm16
+  | Mrs { rd; spsr } ->
+    Format.fprintf ppf "mrs%s %a, %s" c pp_reg rd (if spsr then "spsr" else "cpsr")
+  | Msr { spsr; write_flags; write_control; rm } ->
+    let fields =
+      match (write_flags, write_control) with
+      | true, true -> "fc"
+      | true, false -> "f"
+      | false, true -> "c"
+      | false, false -> ""
+    in
+    Format.fprintf ppf "msr%s %s_%s, %a" c (if spsr then "spsr" else "cpsr") fields
+      pp_reg rm
+  | Svc imm -> Format.fprintf ppf "svc%s #%d" c imm
+  | Cps { disable } -> Format.fprintf ppf "cps%s i" (if disable then "id" else "ie")
+  | Mcr { opc1; rt; crn; crm; opc2 } ->
+    Format.fprintf ppf "mcr%s p15, %d, %a, c%d, c%d, %d" c opc1 pp_reg rt crn crm opc2
+  | Mrc { opc1; rt; crn; crm; opc2 } ->
+    Format.fprintf ppf "mrc%s p15, %d, %a, c%d, c%d, %d" c opc1 pp_reg rt crn crm opc2
+  | Vmsr { rt } -> Format.fprintf ppf "vmsr%s fpscr, %a" c pp_reg rt
+  | Vmrs { rt } ->
+    if rt = pc then Format.fprintf ppf "vmrs%s apsr_nzcv, fpscr" c
+    else Format.fprintf ppf "vmrs%s %a, fpscr" c pp_reg rt
+  | Nop -> Format.fprintf ppf "nop%s" c
+  | Udf imm -> Format.fprintf ppf "udf #%d" imm
+
+let to_string t = Format.asprintf "%a" pp t
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,31 @@
+(** The memory interface the interpreter (and, via the softMMU, both
+    DBT engines) sees, together with the guest-visible fault record. *)
+
+open Repro_common
+
+type access = Fetch | Load | Store
+
+type fault_kind =
+  | Translation  (** no valid mapping (page fault) *)
+  | Permission   (** mapped but not accessible at this privilege *)
+  | Alignment
+  | Bus          (** physical address outside RAM and devices *)
+
+type fault = { vaddr : Word32.t; access : access; kind : fault_kind }
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type width = W8 | W16 | W32
+
+type iface = {
+  load : width -> privileged:bool -> Word32.t -> (Word32.t, fault) result;
+  store : width -> privileged:bool -> Word32.t -> Word32.t -> (unit, fault) result;
+  fetch : privileged:bool -> Word32.t -> (Word32.t, fault) result;
+  flush_tlb : unit -> unit;
+      (** Invoked on cp15 c8 TLB-maintenance writes. *)
+}
+
+val flat : size:int -> Bytes.t * iface
+(** A bare flat physical memory of [size] bytes with no translation —
+    enough for user-level interpreter tests. Returns the backing store
+    and the interface. Word accesses must be 4-aligned. *)

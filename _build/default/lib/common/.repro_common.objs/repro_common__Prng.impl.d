@@ -1,0 +1,1 @@
+lib/common/prng.ml: Array Char Int64 String

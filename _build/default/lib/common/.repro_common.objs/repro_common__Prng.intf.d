@@ -1,0 +1,1 @@
+lib/common/prng.mli: Word32

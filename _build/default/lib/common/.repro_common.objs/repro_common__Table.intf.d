@@ -1,0 +1,1 @@
+lib/common/table.mli:

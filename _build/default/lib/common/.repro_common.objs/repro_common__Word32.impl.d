@@ -1,0 +1,1 @@
+lib/common/word32.ml: Format Int32 Printf

@@ -1,0 +1,1 @@
+lib/common/word32.mli: Format

@@ -1,0 +1,1 @@
+lib/dbt/emitter.ml: Array List Opt Repro_arm Repro_common Repro_mmu Repro_rules Repro_tcg Repro_x86 Word32

@@ -1,0 +1,1 @@
+lib/dbt/emitter.mli: Opt Repro_arm Repro_common Repro_rules Repro_tcg Repro_x86 Word32

@@ -1,0 +1,1 @@
+lib/dbt/opt.ml: Printf

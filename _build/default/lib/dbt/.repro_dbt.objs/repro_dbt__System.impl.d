@@ -1,0 +1,1 @@
+lib/dbt/system.ml: Opt Repro_machine Repro_rules Repro_tcg Translator_rule

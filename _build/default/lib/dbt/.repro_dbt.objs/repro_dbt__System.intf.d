@@ -1,0 +1,1 @@
+lib/dbt/system.mli: Opt Repro_arm Repro_common Repro_rules Repro_tcg Repro_x86 Translator_rule Word32

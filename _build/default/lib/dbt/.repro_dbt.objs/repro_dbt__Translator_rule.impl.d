@@ -1,0 +1,1 @@
+lib/dbt/translator_rule.ml: Array Emitter Hashtbl List Opt Printf Repro_arm Repro_common Repro_rules Repro_tcg Repro_x86 Word32

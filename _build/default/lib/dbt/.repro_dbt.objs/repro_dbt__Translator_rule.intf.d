@@ -1,0 +1,1 @@
+lib/dbt/translator_rule.mli: Opt Repro_arm Repro_common Repro_rules Repro_tcg Word32

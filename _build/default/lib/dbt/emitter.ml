@@ -1,0 +1,1321 @@
+open Repro_common
+module A = Repro_arm.Insn
+module Cond = Repro_arm.Cond
+module X = Repro_x86.Insn
+module Prog = Repro_x86.Prog
+module Tb = Repro_tcg.Tb
+module Envspec = Repro_tcg.Envspec
+module Helpers = Repro_tcg.Helpers
+module Rule = Repro_rules.Rule
+module Ruleset = Repro_rules.Ruleset
+module Flagconv = Repro_rules.Flagconv
+module Pinmap = Repro_rules.Pinmap
+
+(* Where the guest condition flags currently live. [F_env]: env is
+   authoritative, EFLAGS holds nothing. [F_both conv]: both valid.
+   [F_dirty conv]: EFLAGS authoritative, env stale — a Sync-save is
+   owed before any QEMU involvement. *)
+type fl_state = F_env | F_both of Flagconv.t | F_dirty of Flagconv.t
+
+type exit_state = { conv_at_exit : Flagconv.t option; flags_save_in_epilogue : bool }
+
+type result = {
+  prog : Prog.t;
+  exits : Tb.exit_kind array;
+  exit_states : exit_state array;
+  first_flag_is_def : bool;
+  rule_covered : int;
+  fallback : int;
+}
+
+let canonical_bit = 0x2000_0000
+
+type st = {
+  b : Prog.builder;
+  opt : Opt.t;
+  ruleset : Ruleset.t;
+  privileged : bool;
+  tb_pc : Word32.t;
+  insns : A.t array;
+  origins : int array;  (* original (pre-scheduling) index of each insn *)
+  mutable loaded : int;  (* guest-reg bitmask valid in pinned host regs *)
+  mutable dirty : int;   (* guest-reg bitmask where host is newer than env *)
+  mutable fl : fl_state;
+  (* exit bookkeeping *)
+  exits : Tb.exit_kind array;
+  exit_states : exit_state array;
+  mutable slots_used : int;
+  exit_seen : bool array;
+  elide : bool array;
+  entry_conv : Flagconv.t option;
+  (* irq check *)
+  irq_label : int;
+  mutable irq_resume_pc : Word32.t;   (* guest PC the irq stub publishes *)
+  mutable irq_emitted : bool;
+  mutable irq_sched_index : int;      (* insn index before which the check goes; -1 = head *)
+  (* stats *)
+  mutable rule_covered : int;
+  mutable fallback : int;
+}
+
+let env_op slot = X.Mem (X.env_slot slot)
+let emit st ?tag i = Prog.emit st.b ?tag i
+
+(* Guest PC of the instruction at (scheduled) index [idx]: scheduling
+   permutes emission order but every instruction keeps its original
+   address for branch targets and fault/emulation resume points. *)
+let pc_at st idx = Word32.add st.tb_pc (4 * st.origins.(idx))
+
+(* ---------- register residency ---------- *)
+
+let host_of r = match Pinmap.pin r with Some h -> h | None -> assert false
+
+let ensure_loaded st r =
+  if Pinmap.is_pinned r && st.loaded land (1 lsl r) = 0 then begin
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = X.Reg (host_of r); src = env_op (Envspec.reg r) });
+    st.loaded <- st.loaded lor (1 lsl r)
+  end
+
+let ensure_loaded_mask st mask =
+  for r = 0 to 14 do
+    if mask land (1 lsl r) <> 0 then ensure_loaded st r
+  done
+
+let mark_def st r =
+  if Pinmap.is_pinned r then begin
+    st.loaded <- st.loaded lor (1 lsl r);
+    st.dirty <- st.dirty lor (1 lsl r)
+  end
+
+let store_dirty_regs st =
+  for r = 0 to 14 do
+    if st.dirty land (1 lsl r) <> 0 then
+      emit st ~tag:X.Tag_sync
+        (X.Mov { width = X.W32; dst = env_op (Envspec.reg r); src = X.Reg (host_of r) })
+  done;
+  st.dirty <- 0
+
+(* Read a guest register into a specific host register (argument
+   setup), regardless of pinning. *)
+let read_reg_to st ~dst r =
+  if Pinmap.is_pinned r && st.loaded land (1 lsl r) <> 0 then
+    emit st (X.Mov { width = X.W32; dst = X.Reg dst; src = X.Reg (host_of r) })
+  else emit st (X.Mov { width = X.W32; dst = X.Reg dst; src = env_op (Envspec.reg r) })
+
+(* ---------- flag coordination ---------- *)
+
+(* Sync-save: spill EFLAGS to env. With III-B reduction: 3-5 host
+   instructions into the packed slot (+ tag). Without: the one-to-many
+   parse into QEMU's four per-flag slots (~10, plus it is what makes
+   the unoptimized design slower than QEMU). Flag-preserving unless a
+   polarity/mask fix is needed; returns the fl state after. *)
+let flags_save st conv =
+  if st.opt.Opt.reduction then begin
+    emit st ~tag:X.Tag_sync (X.Count X.Cnt_sync_op);
+    emit st ~tag:X.Tag_sync (X.Savef X.rax);
+    let clobbered =
+      match conv with
+      | Flagconv.Sub_like | Flagconv.Canonical -> false
+      | Flagconv.Add_like ->
+        emit st ~tag:X.Tag_sync
+          (X.Alu { op = X.Xor; dst = X.Reg X.rax; src = X.Imm canonical_bit });
+        true
+      | Flagconv.Logic_like ->
+        (* keep N/Z, force C=0 (canonical bit29 = ¬C = 1), V=0 *)
+        emit st ~tag:X.Tag_sync
+          (X.Alu { op = X.And; dst = X.Reg X.rax; src = X.Imm 0xC000_0000 });
+        emit st ~tag:X.Tag_sync
+          (X.Alu { op = X.Or; dst = X.Reg X.rax; src = X.Imm canonical_bit });
+        true
+    in
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = env_op Envspec.ccr_packed; src = X.Reg X.rax });
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = env_op Envspec.ccr_tag; src = X.Imm 1 });
+    st.fl <- (if clobbered then F_env else F_both conv)
+  end
+  else begin
+    (* Parsed (one-to-many) form: setcc per flag — flag-preserving. *)
+    emit st ~tag:X.Tag_sync (X.Count X.Cnt_sync_op);
+    let set cc slot =
+      emit st ~tag:X.Tag_sync (X.Setcc { cc; dst = X.rax });
+      emit st ~tag:X.Tag_sync
+        (X.Mov { width = X.W32; dst = env_op slot; src = X.Reg X.rax })
+    in
+    let seti v slot =
+      emit st ~tag:X.Tag_sync (X.Mov { width = X.W32; dst = env_op slot; src = X.Imm v })
+    in
+    set X.S Envspec.cc_n;
+    set X.E Envspec.cc_z;
+    (match conv with
+    | Flagconv.Add_like -> set X.B Envspec.cc_c
+    | Flagconv.Sub_like | Flagconv.Canonical -> set X.AE Envspec.cc_c
+    | Flagconv.Logic_like -> seti 0 Envspec.cc_c);
+    (match conv with
+    | Flagconv.Logic_like -> seti 0 Envspec.cc_v
+    | Flagconv.Add_like | Flagconv.Sub_like | Flagconv.Canonical -> set X.O Envspec.cc_v);
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = env_op Envspec.ccr_tag; src = X.Imm 0 });
+    st.fl <- F_both conv
+  end
+
+(* Sync-restore: install the guest flags from env into EFLAGS in the
+   Canonical convention. *)
+let flags_restore st =
+  emit st ~tag:X.Tag_sync (X.Count X.Cnt_sync_op);
+  if st.opt.Opt.reduction then begin
+    (* env invariant under reduction: the packed slot is always
+       maintained (helpers keep both forms coherent). *)
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = X.Reg X.rax; src = env_op Envspec.ccr_packed });
+    emit st ~tag:X.Tag_sync (X.Loadf X.rax)
+  end
+  else begin
+    (* Rebuild from the parsed slots (the expensive direction of the
+       one-to-many state). *)
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = X.Reg X.rax; src = env_op Envspec.cc_n });
+    emit st ~tag:X.Tag_sync (X.Shift { op = X.Shl; dst = X.Reg X.rax; amount = X.Sh_imm 1 });
+    emit st ~tag:X.Tag_sync
+      (X.Alu { op = X.Or; dst = X.Reg X.rax; src = env_op Envspec.cc_z });
+    emit st ~tag:X.Tag_sync (X.Shift { op = X.Shl; dst = X.Reg X.rax; amount = X.Sh_imm 1 });
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = X.Reg X.rdx; src = env_op Envspec.cc_c });
+    emit st ~tag:X.Tag_sync
+      (X.Alu { op = X.Xor; dst = X.Reg X.rdx; src = X.Imm 1 });
+    emit st ~tag:X.Tag_sync
+      (X.Alu { op = X.Or; dst = X.Reg X.rax; src = X.Reg X.rdx });
+    emit st ~tag:X.Tag_sync (X.Shift { op = X.Shl; dst = X.Reg X.rax; amount = X.Sh_imm 1 });
+    emit st ~tag:X.Tag_sync
+      (X.Alu { op = X.Or; dst = X.Reg X.rax; src = env_op Envspec.cc_v });
+    emit st ~tag:X.Tag_sync
+      (X.Shift { op = X.Shl; dst = X.Reg X.rax; amount = X.Sh_imm 28 });
+    emit st ~tag:X.Tag_sync (X.Loadf X.rax)
+  end;
+  st.fl <- F_both Flagconv.Canonical
+
+(* Make sure EFLAGS holds the guest flags; returns the convention.
+   Without III-C-1, a restore is emitted even when EFLAGS already has
+   them (the naive per-conditional Sync-restore of Fig. 9). *)
+let ensure_flags st =
+  match st.fl with
+  | F_env ->
+    flags_restore st;
+    Flagconv.Canonical
+  | F_both conv ->
+    if st.opt.Opt.elim_restores then conv
+    else begin
+      flags_restore st;
+      Flagconv.Canonical
+    end
+  | F_dirty conv -> conv
+
+(* Flip/install the carry polarity an adc/sbb template needs. *)
+let ensure_carry st pol =
+  let conv = ensure_flags st in
+  let inverted = Flagconv.carry_inverted conv in
+  let want_inverted = pol = `Inverted in
+  if inverted <> want_inverted then begin
+    emit st ~tag:X.Tag_sync (X.Savef X.rax);
+    emit st ~tag:X.Tag_sync
+      (X.Alu { op = X.Xor; dst = X.Reg X.rax; src = X.Imm canonical_bit });
+    emit st ~tag:X.Tag_sync (X.Loadf X.rax);
+    let conv' = if want_inverted then Flagconv.Canonical else Flagconv.Add_like in
+    (match st.fl with
+    | F_dirty _ -> st.fl <- F_dirty conv'
+    | F_both _ -> st.fl <- F_both conv'
+    | F_env -> assert false)
+  end
+
+(* Spill flags if env is stale (owed before any QEMU involvement and
+   before EFLAGS-clobbering templates). *)
+let spill_flags_if_dirty st =
+  match st.fl with
+  | F_dirty conv -> flags_save st conv
+  | F_both conv ->
+    (* Naive mode re-saves redundantly at every coordination point
+       (the consecutive-memory pairs of Fig. 10). *)
+    if not st.opt.Opt.elim_mem then flags_save st conv
+  | F_env -> ()
+
+(* Full Sync-save before a helper call or TB exit. *)
+let sync_for_qemu st =
+  spill_flags_if_dirty st;
+  store_dirty_regs st
+
+let invalidate_after_helper st =
+  st.loaded <- 0;
+  st.dirty <- 0;
+  st.fl <- F_env
+
+(* Without III-C-2 the naive design re-restores eagerly after every
+   helper return (Sync-restore of Fig. 6): flags back into EFLAGS and
+   every pinned register used later in the TB reloaded. *)
+let eager_restore_after_helper st ~from_index =
+  if not st.opt.Opt.elim_mem then begin
+    let remaining_uses = ref 0 in
+    let reads_flags_later = ref false in
+    for k = from_index to Array.length st.insns - 1 do
+      remaining_uses := !remaining_uses lor A.uses st.insns.(k);
+      if A.reads_flags st.insns.(k) then reads_flags_later := true
+    done;
+    ensure_loaded_mask st (!remaining_uses land Pinmap.pinned_mask);
+    if !reads_flags_later then flags_restore st
+  end
+
+(* ---------- interrupt check ---------- *)
+
+(* TB-head (or scheduled) interrupt poll. When the TB can be entered
+   with live flags in EFLAGS (inter-TB optimization), the check
+   preserves them around the cmp and the stub spills them (Fig. 7's
+   rare-path parse). *)
+let emit_irq_check st ~guard_flags =
+  st.irq_emitted <- true;
+  emit st ~tag:X.Tag_irq_check (X.Count X.Cnt_irq_poll);
+  if guard_flags then
+    emit st ~tag:X.Tag_irq_check (X.Savef X.rcx);
+  emit st ~tag:X.Tag_irq_check
+    (X.Alu { op = X.Cmp; dst = env_op Envspec.irq_pending; src = X.Imm 0 });
+  emit st ~tag:X.Tag_irq_check (X.Jcc { cc = X.NE; target = st.irq_label });
+  if guard_flags then
+    emit st ~tag:X.Tag_irq_check (X.Loadf X.rcx)
+
+let emit_irq_stub st =
+  emit st (X.Label st.irq_label);
+  (match st.entry_conv with
+  | Some conv ->
+    (* Flags arrived live in EFLAGS; the head check parked them in rcx.
+       Spill them (canonicalized) so delivery sees the right CPSR. *)
+    (match conv with
+    | Flagconv.Sub_like | Flagconv.Canonical -> ()
+    | Flagconv.Add_like ->
+      emit st ~tag:X.Tag_sync
+        (X.Alu { op = X.Xor; dst = X.Reg X.rcx; src = X.Imm canonical_bit })
+    | Flagconv.Logic_like ->
+      emit st ~tag:X.Tag_sync
+        (X.Alu { op = X.And; dst = X.Reg X.rcx; src = X.Imm 0xC000_0000 });
+      emit st ~tag:X.Tag_sync
+        (X.Alu { op = X.Or; dst = X.Reg X.rcx; src = X.Imm canonical_bit }));
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = env_op Envspec.ccr_packed; src = X.Reg X.rcx });
+    emit st ~tag:X.Tag_sync
+      (X.Mov { width = X.W32; dst = env_op Envspec.ccr_tag; src = X.Imm 1 })
+  | None -> ());
+  emit st ~tag:X.Tag_irq_check
+    (X.Mov { width = X.W32; dst = env_op Envspec.pc; src = X.Imm st.irq_resume_pc });
+  emit st ~tag:X.Tag_irq_check (X.Exit { slot = Tb.slot_irq })
+
+(* ---------- exits ---------- *)
+
+let alloc_slot st kind =
+  (* Dedupe direct targets; share one indirect slot. *)
+  let rec find i =
+    if i >= st.slots_used then None
+    else if st.exits.(i) = kind then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some s -> s
+  | None ->
+    let s = st.slots_used in
+    if s >= Tb.slot_irq then failwith "Emitter: out of exit slots";
+    st.exits.(s) <- kind;
+    st.slots_used <- s + 1;
+    s
+
+(* Epilogue + Exit. Record the exit-time flag situation for the
+   inter-TB optimization; honour an elision decision for this slot. *)
+let epilogue_exit st kind =
+  let slot = alloc_slot st kind in
+  let conv_now = match st.fl with F_env -> None | F_both c | F_dirty c -> Some c in
+  let saved =
+    match st.fl with
+    | F_dirty conv ->
+      if st.elide.(slot) then false
+      else begin
+        flags_save st conv;
+        true
+      end
+    | F_both conv ->
+      if (not st.opt.Opt.elim_mem) && not st.elide.(slot) then begin
+        flags_save st conv;
+        true
+      end
+      else false
+    | F_env -> false
+  in
+  store_dirty_regs st;
+  (match kind with
+  | Tb.Direct target ->
+    emit st ~tag:X.Tag_glue
+      (X.Mov { width = X.W32; dst = env_op Envspec.pc; src = X.Imm target })
+  | Tb.Indirect | Tb.Irq_deliver -> ());
+  emit st ~tag:X.Tag_glue (X.Exit { slot });
+  let conv_after = match st.fl with F_env -> None | F_both c | F_dirty c -> Some c in
+  let record =
+    { conv_at_exit = (if saved then conv_after else conv_now); flags_save_in_epilogue = saved }
+  in
+  (* Two textual exits can share one slot (deduped direct targets);
+     inter-TB elision is only sound when both agree. *)
+  if st.exit_seen.(slot) && st.exit_states.(slot) <> record then
+    st.exit_states.(slot) <- { conv_at_exit = None; flags_save_in_epilogue = false }
+  else st.exit_states.(slot) <- record;
+  st.exit_seen.(slot) <- true
+
+type snapshot = { s_loaded : int; s_dirty : int; s_fl : fl_state }
+
+let save_state st = { s_loaded = st.loaded; s_dirty = st.dirty; s_fl = st.fl }
+
+let restore_state st s =
+  st.loaded <- s.s_loaded;
+  st.dirty <- s.s_dirty;
+  st.fl <- s.s_fl
+
+(* ---------- helper-based bodies ---------- *)
+
+let emit_helper_call st id =
+  emit st ~tag:X.Tag_glue (X.Call_helper { id });
+  invalidate_after_helper st
+
+let set_env_pc st pc =
+  emit st ~tag:X.Tag_glue
+    (X.Mov { width = X.W32; dst = env_op Envspec.pc; src = X.Imm pc })
+
+(* QEMU fallback for one instruction (system-level / uncovered):
+   coordinate, call the emulation helper, lazily restore after. *)
+let emit_fallback_body st ~pc ~index =
+  st.fallback <- st.fallback + 1;
+  sync_for_qemu st;
+  set_env_pc st pc;
+  emit st ~tag:X.Tag_sync (X.Count X.Cnt_sync_op);
+  emit_helper_call st Helpers.h_interp_one;
+  eager_restore_after_helper st ~from_index:(index + 1)
+
+(* ---------- memory bodies ---------- *)
+
+let mmu_load_id (w : A.width) =
+  match w with
+  | A.Word -> Helpers.h_mmu_load_w
+  | A.Byte -> Helpers.h_mmu_load_b
+  | A.Half -> Helpers.h_mmu_load_h
+
+let mmu_store_id (w : A.width) =
+  match w with
+  | A.Word -> Helpers.h_mmu_store_w
+  | A.Byte -> Helpers.h_mmu_store_b
+  | A.Half -> Helpers.h_mmu_store_h
+
+(* Add a (possibly shifted-register) offset to [dst]. [read] fetches
+   source registers — callers pick host-or-env or env-only reads. *)
+let apply_offset st ~dst ~read (off : A.mem_offset) =
+  match off with
+  | A.Imm_off 0 -> ()
+  | A.Imm_off n ->
+    emit st ~tag:X.Tag_mmu
+      (X.Alu { op = X.Add; dst = X.Reg dst; src = X.Imm (Word32.of_signed n) })
+  | A.Reg_off { rm; kind; amount; subtract } ->
+    read ~dst:X.rax rm;
+    if amount <> 0 then begin
+      let op =
+        match kind with
+        | A.LSL -> X.Shl
+        | A.LSR -> X.Shr
+        | A.ASR -> X.Sar
+        | A.ROR -> X.Ror
+      in
+      emit st ~tag:X.Tag_mmu (X.Shift { op; dst = X.Reg X.rax; amount = X.Sh_imm amount })
+    end;
+    emit st ~tag:X.Tag_mmu
+      (X.Alu
+         { op = (if subtract then X.Sub else X.Add); dst = X.Reg dst; src = X.Reg X.rax })
+
+(* Compute a guest effective address into the first argument register:
+   base plus offset (or just the base for post-indexing). *)
+let compute_address ?(base_only = false) st rn (off : A.mem_offset) =
+  read_reg_to st ~dst:Helpers.arg0_reg rn;
+  if not base_only then apply_offset st ~dst:Helpers.arg0_reg ~read:(read_reg_to st) off
+
+(* Base-register writeback, emitted after the helper returned (so a
+   data abort leaves the base unchanged, matching the architecture).
+   Works entirely on env — host registers are post-call poison. *)
+let emit_writeback st rn (off : A.mem_offset) =
+  emit st ~tag:X.Tag_mmu
+    (X.Mov { width = X.W32; dst = X.Reg X.rax; src = env_op (Envspec.reg rn) });
+  (match off with
+  | A.Imm_off n ->
+    if n <> 0 then
+      emit st ~tag:X.Tag_mmu
+        (X.Alu { op = X.Add; dst = X.Reg X.rax; src = X.Imm (Word32.of_signed n) })
+  | A.Reg_off { rm; kind; amount; subtract } ->
+    emit st ~tag:X.Tag_mmu
+      (X.Mov { width = X.W32; dst = X.Reg X.rcx; src = env_op (Envspec.reg rm) });
+    if amount <> 0 then begin
+      let op =
+        match kind with
+        | A.LSL -> X.Shl
+        | A.LSR -> X.Shr
+        | A.ASR -> X.Sar
+        | A.ROR -> X.Ror
+      in
+      emit st ~tag:X.Tag_mmu (X.Shift { op; dst = X.Reg X.rcx; amount = X.Sh_imm amount })
+    end;
+    emit st ~tag:X.Tag_mmu
+      (X.Alu
+         { op = (if subtract then X.Sub else X.Add); dst = X.Reg X.rax; src = X.Reg X.rcx }));
+  emit st ~tag:X.Tag_mmu
+    (X.Mov { width = X.W32; dst = env_op (Envspec.reg rn); src = X.Reg X.rax })
+
+(* The address-setup instructions above run after sync, so they may
+   only read pinned-host or env state — both valid. *)
+
+let maybe_scheduled_irq_check st ~index =
+  if st.irq_sched_index = index && not st.irq_emitted then begin
+    (* State is synced (caller just ran sync_for_qemu): publish the
+       resume PC of this instruction; the cmp clobbers EFLAGS, which
+       the tracker accounts for. *)
+    st.irq_resume_pc <- pc_at st index;
+    emit_irq_check st ~guard_flags:false;
+    match st.fl with
+    | F_both _ -> st.fl <- F_env
+    | F_env -> ()
+    | F_dirty _ -> assert false (* sync ran just before *)
+  end
+
+(* Extension (Opt.inline_mmu, the paper's future work): an inline TLB
+   fast path for offset-form ldr/str in rule-translated code. The
+   probe uses only the scratch registers (rax/rcx and the address in
+   rdx), clobbers EFLAGS (flags are spilled first) and, on a miss,
+   falls into a slow path that performs the full coordination the
+   helper requires and reloads every live pinned register before
+   rejoining — so the fast path keeps all pinned state live. *)
+let emit_mem_inline st ~pc ~index (insn : A.t) =
+  let width, rd, rn, off, is_load =
+    match insn.A.op with
+    | A.Ldr { width; rd; rn; off; index = A.Offset } -> (width, rd, rn, off, true)
+    | A.Str { width; rd; rn; off; index = A.Offset } -> (width, rd, rn, off, false)
+    | _ -> assert false
+  in
+  ensure_loaded_mask st ((A.uses insn lor A.defs insn) land Pinmap.pinned_mask);
+  spill_flags_if_dirty st;
+  ignore index;
+  emit st ~tag:X.Tag_mmu (X.Count X.Cnt_mmu_access);
+  compute_address st rn off;  (* address in rdx; uses rax as scratch *)
+  let t = X.Tag_mmu in
+  let addr = Helpers.arg0_reg in
+  let bank_disp =
+    4 * Repro_mmu.Mmu.Tlb.bank_offset_words ~privileged:st.privileged
+  in
+  let slow = Prog.fresh_label st.b in
+  let done_ = Prog.fresh_label st.b in
+  (* set index in rax *)
+  emit st ~tag:t (X.Mov { width = X.W32; dst = X.Reg X.rax; src = X.Reg addr });
+  emit st ~tag:t (X.Shift { op = X.Shr; dst = X.Reg X.rax; amount = X.Sh_imm 12 });
+  emit st ~tag:t (X.Alu { op = X.And; dst = X.Reg X.rax; src = X.Imm 0xFF });
+  emit st ~tag:t (X.Shift { op = X.Shl; dst = X.Reg X.rax; amount = X.Sh_imm 4 });
+  (* tag compare *)
+  emit st ~tag:t (X.Mov { width = X.W32; dst = X.Reg X.rcx; src = X.Reg addr });
+  emit st ~tag:t
+    (X.Alu { op = X.And; dst = X.Reg X.rcx; src = X.Imm Repro_mmu.Mmu.page_mask });
+  emit st ~tag:t
+    (X.Alu
+       {
+         op = X.Cmp;
+         dst =
+           X.Mem
+             { X.seg = X.Tlb; base = Some X.rax; index = None; scale = 1;
+               disp = bank_disp + (if is_load then 0 else 4) };
+         src = X.Reg X.rcx;
+       });
+  emit st ~tag:t (X.Jcc { cc = X.NE; target = slow });
+  (* hit: paddr = tlb.paddr | (addr & 0xFFF) *)
+  emit st ~tag:t
+    (X.Mov
+       {
+         width = X.W32;
+         dst = X.Reg X.rcx;
+         src =
+           X.Mem
+             { X.seg = X.Tlb; base = Some X.rax; index = None; scale = 1;
+               disp = bank_disp + 8 };
+       });
+  emit st ~tag:t (X.Mov { width = X.W32; dst = X.Reg X.rax; src = X.Reg addr });
+  emit st ~tag:t (X.Alu { op = X.And; dst = X.Reg X.rax; src = X.Imm 0xFFF });
+  emit st ~tag:t (X.Alu { op = X.Add; dst = X.Reg X.rcx; src = X.Reg X.rax });
+  let ram = X.Mem { X.seg = X.Ram; base = Some X.rcx; index = None; scale = 1; disp = 0 } in
+  (if is_load then
+     match width with
+     | A.Word ->
+       if Pinmap.is_pinned rd then
+         emit st ~tag:t (X.Mov { width = X.W32; dst = X.Reg (host_of rd); src = ram })
+       else begin
+         emit st ~tag:t (X.Mov { width = X.W32; dst = X.Reg X.rax; src = ram });
+         emit st ~tag:t
+           (X.Mov { width = X.W32; dst = env_op (Envspec.reg rd); src = X.Reg X.rax })
+       end
+     | A.Byte ->
+       if Pinmap.is_pinned rd then emit st ~tag:t (X.Movzx8 { dst = host_of rd; src = ram })
+       else begin
+         emit st ~tag:t (X.Movzx8 { dst = X.rax; src = ram });
+         emit st ~tag:t
+           (X.Mov { width = X.W32; dst = env_op (Envspec.reg rd); src = X.Reg X.rax })
+       end
+     | A.Half ->
+       if Pinmap.is_pinned rd then
+         emit st ~tag:t (X.Movzx16 { dst = host_of rd; src = ram })
+       else begin
+         emit st ~tag:t (X.Movzx16 { dst = X.rax; src = ram });
+         emit st ~tag:t
+           (X.Mov { width = X.W32; dst = env_op (Envspec.reg rd); src = X.Reg X.rax })
+       end
+   else begin
+     (* store: value from its pinned home or env via rax *)
+     let src_op =
+       if Pinmap.is_pinned rd && st.loaded land (1 lsl rd) <> 0 then X.Reg (host_of rd)
+       else begin
+         emit st ~tag:t
+           (X.Mov { width = X.W32; dst = X.Reg X.rax; src = env_op (Envspec.reg rd) });
+         X.Reg X.rax
+       end
+     in
+     match width with
+     | A.Word -> emit st ~tag:t (X.Mov { width = X.W32; dst = ram; src = src_op })
+     | A.Byte -> emit st ~tag:t (X.Mov { width = X.W8; dst = ram; src = src_op })
+     | A.Half -> emit st ~tag:t (X.Mov { width = X.W16; dst = ram; src = src_op })
+   end);
+  emit st ~tag:t (X.Jmp done_);
+  (* slow path: full coordination, helper, reload of live state *)
+  emit st (X.Label slow);
+  let dirty_snapshot = st.dirty in
+  for r = 0 to 14 do
+    if dirty_snapshot land (1 lsl r) <> 0 then
+      emit st ~tag:X.Tag_sync
+        (X.Mov { width = X.W32; dst = env_op (Envspec.reg r); src = X.Reg (host_of r) })
+  done;
+  set_env_pc st pc;
+  (if not is_load then
+     let src_op =
+       if Pinmap.is_pinned rd then X.Reg (host_of rd)
+       else begin
+         emit st ~tag:t
+           (X.Mov
+              { width = X.W32; dst = X.Reg Helpers.arg1_reg; src = env_op (Envspec.reg rd) });
+         X.Reg Helpers.arg1_reg
+       end
+     in
+     match src_op with
+     | X.Reg r when r <> Helpers.arg1_reg ->
+       emit st ~tag:t (X.Mov { width = X.W32; dst = X.Reg Helpers.arg1_reg; src = X.Reg r })
+     | _ -> ());
+  emit st ~tag:t
+    (X.Call_helper { id = (if is_load then mmu_load_id width else mmu_store_id width) });
+  (if is_load then
+     if Pinmap.is_pinned rd then
+       emit st ~tag:t (X.Mov { width = X.W32; dst = X.Reg (host_of rd); src = X.Reg X.rax })
+     else
+       emit st ~tag:t
+         (X.Mov { width = X.W32; dst = env_op (Envspec.reg rd); src = X.Reg X.rax }));
+  (* reload everything the fast path kept live *)
+  for r = 0 to 14 do
+    if st.loaded land (1 lsl r) <> 0 && not (is_load && r = rd) then
+      emit st ~tag:X.Tag_sync
+        (X.Mov { width = X.W32; dst = X.Reg (host_of r); src = env_op (Envspec.reg r) })
+  done;
+  emit st (X.Label done_);
+  (* join: fast-path state (slow path reconstructed it) *)
+  if Pinmap.is_pinned rd && is_load then mark_def st rd;
+  (match st.fl with F_both _ | F_dirty _ -> st.fl <- F_env | F_env -> ())
+
+(* Offset-form ldr/str through the QEMU softMMU helper, with
+   coordination (the paper: the learning-based approach context
+   switches to QEMU for address translation). *)
+let rec emit_mem_body st ~pc ~index (insn : A.t) =
+  match insn.A.op with
+  | (A.Ldr { index = A.Offset; rd; _ } | A.Str { index = A.Offset; rd; _ })
+    when st.opt.Opt.inline_mmu && rd <> 15 ->
+    emit_mem_inline st ~pc ~index insn
+  | _ -> emit_mem_helper st ~pc ~index insn
+
+and emit_mem_helper st ~pc ~index (insn : A.t) =
+  match insn.A.op with
+  | A.Ldr { width; rd; rn; off; index = idx_mode }
+    when not (idx_mode <> A.Offset && rd = rn) ->
+    sync_for_qemu st;
+    maybe_scheduled_irq_check st ~index;
+    emit st ~tag:X.Tag_mmu (X.Count X.Cnt_mmu_access);
+    compute_address ~base_only:(idx_mode = A.Post_indexed) st rn off;
+    set_env_pc st pc;
+    emit st ~tag:X.Tag_mmu (X.Call_helper { id = mmu_load_id width });
+    invalidate_after_helper st;
+    (* result first (rax), then the writeback (which clobbers rax);
+       rd ≠ rn is guaranteed for indexed forms by the guard above *)
+    if Pinmap.is_pinned rd then begin
+      emit st ~tag:X.Tag_mmu
+        (X.Mov { width = X.W32; dst = X.Reg (host_of rd); src = X.Reg X.rax });
+      mark_def st rd
+    end
+    else
+      emit st ~tag:X.Tag_mmu
+        (X.Mov { width = X.W32; dst = env_op (Envspec.reg rd); src = X.Reg X.rax });
+    (match idx_mode with
+    | A.Offset -> ()
+    | A.Pre_indexed | A.Post_indexed -> emit_writeback st rn off);
+    eager_restore_after_helper st ~from_index:(index + 1)
+  | A.Ldrs { half; rd; rn; off; index = idx_mode }
+    when not (idx_mode <> A.Offset && rd = rn) ->
+    sync_for_qemu st;
+    maybe_scheduled_irq_check st ~index;
+    emit st ~tag:X.Tag_mmu (X.Count X.Cnt_mmu_access);
+    compute_address ~base_only:(idx_mode = A.Post_indexed) st rn off;
+    set_env_pc st pc;
+    emit st ~tag:X.Tag_mmu
+      (X.Call_helper
+         { id = (if half then Helpers.h_mmu_load_h else Helpers.h_mmu_load_b) });
+    invalidate_after_helper st;
+    (* the helper zero-extends; sign-extend host-side (movsx leaves
+       EFLAGS alone, so no flag bookkeeping is owed) *)
+    let sx dst =
+      emit st ~tag:X.Tag_mmu
+        (if half then X.Movsx16 { dst; src = X.Reg X.rax }
+         else X.Movsx8 { dst; src = X.Reg X.rax })
+    in
+    if Pinmap.is_pinned rd then begin
+      sx (host_of rd);
+      mark_def st rd
+    end
+    else begin
+      sx X.rax;
+      emit st ~tag:X.Tag_mmu
+        (X.Mov { width = X.W32; dst = env_op (Envspec.reg rd); src = X.Reg X.rax })
+    end;
+    (match idx_mode with
+    | A.Offset -> ()
+    | A.Pre_indexed | A.Post_indexed -> emit_writeback st rn off);
+    eager_restore_after_helper st ~from_index:(index + 1)
+  | A.Str { width; rd; rn; off; index = idx_mode } ->
+    sync_for_qemu st;
+    maybe_scheduled_irq_check st ~index;
+    emit st ~tag:X.Tag_mmu (X.Count X.Cnt_mmu_access);
+    compute_address ~base_only:(idx_mode = A.Post_indexed) st rn off;
+    read_reg_to st ~dst:Helpers.arg1_reg rd;
+    set_env_pc st pc;
+    emit st ~tag:X.Tag_mmu (X.Call_helper { id = mmu_store_id width });
+    invalidate_after_helper st;
+    (match idx_mode with
+    | A.Offset -> ()
+    | A.Pre_indexed | A.Post_indexed -> emit_writeback st rn off);
+    eager_restore_after_helper st ~from_index:(index + 1)
+  | A.Ldm { kind; rn; writeback; regs } when regs land (1 lsl rn) = 0 ->
+    sync_for_qemu st;
+    maybe_scheduled_irq_check st ~index;
+    set_env_pc st pc;
+    let count = ref 0 in
+    for r = 0 to 15 do
+      if regs land (1 lsl r) <> 0 then incr count
+    done;
+    let start = match kind with A.IA -> 0 | A.DB -> -4 * !count in
+    let k = ref 0 in
+    let first = ref true in
+    for r = 0 to 15 do
+      if regs land (1 lsl r) <> 0 then begin
+        if not !first then invalidate_after_helper st;
+        first := false;
+        emit st ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = X.Reg Helpers.arg0_reg; src = env_op (Envspec.reg rn) });
+        let off = start + (4 * !k) in
+        if off <> 0 then
+          emit st ~tag:X.Tag_mmu
+            (X.Alu
+               { op = X.Add; dst = X.Reg Helpers.arg0_reg; src = X.Imm (Word32.of_signed off) });
+        emit st ~tag:X.Tag_mmu (X.Count X.Cnt_mmu_access);
+        emit st ~tag:X.Tag_mmu (X.Call_helper { id = Helpers.h_mmu_load_w });
+        emit st ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = env_op (Envspec.reg r); src = X.Reg X.rax });
+        incr k
+      end
+    done;
+    invalidate_after_helper st;
+    if writeback then begin
+      emit st ~tag:X.Tag_mmu
+        (X.Mov { width = X.W32; dst = X.Reg X.rax; src = env_op (Envspec.reg rn) });
+      let delta = 4 * !count * (match kind with A.IA -> 1 | A.DB -> -1) in
+      emit st ~tag:X.Tag_mmu
+        (X.Alu { op = X.Add; dst = X.Reg X.rax; src = X.Imm (Word32.of_signed delta) });
+      emit st ~tag:X.Tag_mmu
+        (X.Mov { width = X.W32; dst = env_op (Envspec.reg rn); src = X.Reg X.rax })
+    end;
+    eager_restore_after_helper st ~from_index:(index + 1)
+  | A.Stm { kind; rn; writeback; regs } ->
+    sync_for_qemu st;
+    maybe_scheduled_irq_check st ~index;
+    set_env_pc st pc;
+    let count = ref 0 in
+    for r = 0 to 15 do
+      if regs land (1 lsl r) <> 0 then incr count
+    done;
+    let start = match kind with A.IA -> 0 | A.DB -> -4 * !count in
+    let k = ref 0 in
+    let first = ref true in
+    for r = 0 to 15 do
+      if regs land (1 lsl r) <> 0 then begin
+        if not !first then invalidate_after_helper st;
+        first := false;
+        emit st ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = X.Reg Helpers.arg0_reg; src = env_op (Envspec.reg rn) });
+        let off = start + (4 * !k) in
+        if off <> 0 then
+          emit st ~tag:X.Tag_mmu
+            (X.Alu
+               { op = X.Add; dst = X.Reg Helpers.arg0_reg; src = X.Imm (Word32.of_signed off) });
+        emit st ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = X.Reg Helpers.arg1_reg; src = env_op (Envspec.reg r) });
+        emit st ~tag:X.Tag_mmu (X.Count X.Cnt_mmu_access);
+        emit st ~tag:X.Tag_mmu (X.Call_helper { id = Helpers.h_mmu_store_w });
+        incr k
+      end
+    done;
+    invalidate_after_helper st;
+    if writeback then begin
+      emit st ~tag:X.Tag_mmu
+        (X.Mov { width = X.W32; dst = X.Reg X.rax; src = env_op (Envspec.reg rn) });
+      let delta = 4 * !count * (match kind with A.IA -> 1 | A.DB -> -1) in
+      emit st ~tag:X.Tag_mmu
+        (X.Alu { op = X.Add; dst = X.Reg X.rax; src = X.Imm (Word32.of_signed delta) });
+      emit st ~tag:X.Tag_mmu
+        (X.Mov { width = X.W32; dst = env_op (Envspec.reg rn); src = X.Reg X.rax })
+    end;
+    eager_restore_after_helper st ~from_index:(index + 1)
+  | _ ->
+    (* Pre/post-indexed forms and ldm-with-base-in-list fall back. *)
+    emit_fallback_body st ~pc ~index
+
+(* ---------- rule bodies ---------- *)
+
+let emit_rule_body st (rule : Rule.t) binding insns_matched =
+  st.rule_covered <- st.rule_covered + List.length insns_matched;
+  (* operand/def preloading happened at the caller (before any guard).
+     Old flags need spilling only when the template clobbers EFLAGS
+     without redefining the guest flags (otherwise they are dead). *)
+  if rule.Rule.flags.Rule.host_clobbers && not rule.Rule.flags.Rule.guest_writes then
+    spill_flags_if_dirty st;
+  (match rule.Rule.carry_in with Some pol -> ensure_carry st pol | None -> ());
+  (match
+     Rule.instantiate rule binding ~pin_of_guest_reg:Pinmap.pin ~scratch:Pinmap.scratch
+   with
+  | Some host_insns -> List.iter (fun i -> emit st ~tag:X.Tag_compute i) host_insns
+  | None -> assert false (* pinning was pre-checked *));
+  List.iter (fun (i : A.t) ->
+    let d = A.defs i in
+    for r = 0 to 14 do
+      if d land (1 lsl r) <> 0 then mark_def st r
+    done)
+    insns_matched;
+  if rule.Rule.flags.Rule.guest_writes then begin
+    (* Coordination is trigger-driven even in the basic design
+       (paper Fig. 6): the spill happens at the next QEMU crossing,
+       not here. *)
+    match Rule.convention_after rule binding with
+    | Some conv -> st.fl <- F_dirty conv
+    | None -> assert false
+  end
+  else if rule.Rule.flags.Rule.host_clobbers then begin
+    match st.fl with
+    | F_both _ | F_dirty _ -> st.fl <- F_env (* env was made valid above *)
+    | F_env -> ()
+  end
+
+(* ---------- categories ---------- *)
+
+type category =
+  | C_rule of Rule.t * Rule.binding * A.t list  (* matched insns *)
+  | C_memory
+  | C_ender
+  | C_fallback
+
+let is_ender (i : A.t) =
+  A.is_branch i
+  ||
+  match i.A.op with
+  | A.Svc _ | A.Udf _ | A.Cps _ | A.Mcr _ | A.Msr { write_control = true; _ } -> true
+  | _ -> false
+
+let categorize st idx =
+  let insn = st.insns.(idx) in
+  if is_ender insn then C_ender
+  else if A.is_memory_access insn then C_memory
+  else
+    (* Rule lookup over the unconditional tail starting here. A
+       multi-instruction rule only applies to a run of AL insns. *)
+    let try_match insns_list =
+      match Ruleset.match_at st.ruleset insns_list with
+      | Some (rule, binding) ->
+        let len = Rule.guest_pattern_length rule in
+        let matched = List.filteri (fun i _ -> i < len) insns_list in
+        let conds_ok =
+          match matched with
+          | [ _ ] -> true
+          | _ -> List.for_all (fun (i : A.t) -> i.A.cond = Cond.AL) matched
+        in
+        let all_pinned =
+          Array.for_all (fun r -> r = -1 || Pinmap.is_pinned r) binding.Rule.regs
+        in
+        if conds_ok && all_pinned then Some (C_rule (rule, binding, matched)) else None
+      | None -> None
+    in
+    let rest = Array.to_list (Array.sub st.insns idx (Array.length st.insns - idx)) in
+    match try_match rest with
+    | Some c -> c
+    | None -> (
+      (* A longer match may have failed its condition/pinning checks;
+         retry restricted to a single instruction. *)
+      match rest with
+      | first :: _ :: _ -> (
+        match try_match [ first ] with Some c -> c | None -> C_fallback)
+      | _ -> C_fallback)
+
+(* ---------- conditional guards ---------- *)
+
+type guard = G_none | G_never | G_skip of int * snapshot
+
+(* Open a guard for condition [cond]; the caller must later close it
+   with [close_guard]. Register state needed inside the body must be
+   preloaded by the caller BEFORE calling this. *)
+let open_guard st (cond : Cond.t) =
+  if cond = Cond.AL then G_none
+  else begin
+    let conv = ensure_flags st in
+    match Flagconv.eval conv cond with
+    | Flagconv.Always -> G_none
+    | Flagconv.Never -> G_never
+    | Flagconv.Needs_materialize ->
+      (* No single host cc under this convention: canonicalize. *)
+      emit st ~tag:X.Tag_sync (X.Savef X.rax);
+      emit st ~tag:X.Tag_sync
+        (X.Alu { op = X.Xor; dst = X.Reg X.rax; src = X.Imm canonical_bit });
+      emit st ~tag:X.Tag_sync (X.Loadf X.rax);
+      (match st.fl with
+      | F_dirty _ -> st.fl <- F_dirty Flagconv.Canonical
+      | F_both _ -> st.fl <- F_both Flagconv.Canonical
+      | F_env -> assert false);
+      let cc =
+        match Flagconv.eval Flagconv.Canonical cond with
+        | Flagconv.Cc cc -> cc
+        | _ -> assert false
+      in
+      let skip = Prog.fresh_label st.b in
+      let snap = save_state st in
+      emit st ~tag:X.Tag_compute (X.Jcc { cc = X.cc_negate cc; target = skip });
+      G_skip (skip, snap)
+    | Flagconv.Cc cc ->
+      let skip = Prog.fresh_label st.b in
+      let snap = save_state st in
+      emit st ~tag:X.Tag_compute (X.Jcc { cc = X.cc_negate cc; target = skip });
+      G_skip (skip, snap)
+  end
+
+(* Join after a guarded body: conservative meet of the taken state and
+   the pre-guard snapshot. *)
+let close_guard st = function
+  | G_none | G_never -> ()
+  | G_skip (skip, snap) ->
+    emit st (X.Label skip);
+    let taken_loaded = st.loaded and taken_dirty = st.dirty and taken_fl = st.fl in
+    st.loaded <- taken_loaded land snap.s_loaded;
+    st.dirty <- taken_dirty lor snap.s_dirty;
+    (* dirty regs must be loaded on both paths: enforced by the
+       caller's preloading of defs before open_guard. *)
+    assert (st.dirty land lnot st.loaded = 0);
+    st.fl <-
+      (match (taken_fl, snap.s_fl) with
+      | F_both a, F_both b when a = b -> F_both a
+      | F_dirty a, F_dirty b when a = b -> F_dirty a
+      | F_env, F_env -> F_env
+      | _ -> F_env)
+    (* The F_env fallback requires env validity on both paths; bodies
+       that leave flags dirty on the taken path must save before the
+       join (see emit_insn's conditional flag-writer handling). *)
+
+(* ---------- one guest instruction ---------- *)
+
+let pinned_defs_uses insns_matched =
+  List.fold_left
+    (fun acc (i : A.t) -> acc lor A.uses i lor A.defs i)
+    0 insns_matched
+  land Pinmap.pinned_mask
+
+(* Emit a (possibly conditional) non-ender instruction at [idx];
+   returns the number of guest insns consumed. *)
+let emit_insn st idx =
+  let insn = st.insns.(idx) in
+  let pc = pc_at st idx in
+  emit st (X.Count X.Cnt_guest_insn);
+  match categorize st idx with
+  | C_ender -> assert false
+  | C_rule (rule, binding, matched) ->
+    ensure_loaded_mask st (pinned_defs_uses matched);
+    (* Conditional bodies that touch EFLAGS must leave env valid
+       before the guard: the body's own spill would only run on the
+       taken path, leaving stale env flags on the skip path. *)
+    let writes = rule.Rule.flags.Rule.guest_writes in
+    if insn.A.cond <> Cond.AL && (writes || rule.Rule.flags.Rule.host_clobbers) then
+      spill_flags_if_dirty st;
+    let g = open_guard st insn.A.cond in
+    (match g with
+    | G_never ->
+      List.iteri
+        (fun i _ -> if i > 0 then emit st (X.Count X.Cnt_guest_insn))
+        matched
+    | G_none | G_skip _ ->
+      List.iteri
+        (fun i _ -> if i > 0 then emit st (X.Count X.Cnt_guest_insn))
+        matched;
+      emit_rule_body st rule binding matched;
+      (match g with
+      | G_skip _ when writes -> (
+        match st.fl with
+        | F_dirty conv -> flags_save st conv
+        | F_both _ | F_env -> ())
+      | _ -> ()));
+    close_guard st g;
+    List.length matched
+  | C_memory ->
+    let cond = insn.A.cond in
+    if cond <> Cond.AL then begin
+      (* env must be fully valid before the guard so the join is
+         consistent whichever path ran. *)
+      ensure_loaded_mask st ((A.uses insn lor A.defs insn) land Pinmap.pinned_mask);
+      spill_flags_if_dirty st;
+      store_dirty_regs st
+    end;
+    let g = open_guard st cond in
+    (match g with
+    | G_never -> ()
+    | G_none | G_skip _ -> emit_mem_body st ~pc ~index:idx insn);
+    (match g with
+    | G_skip (_, _) ->
+      (* Taken path ended with env authoritative; make the join state
+         reflect that conservatively. *)
+      close_guard st g
+    | G_none | G_never -> close_guard st g);
+    1
+  | C_fallback ->
+    let cond = insn.A.cond in
+    if cond <> Cond.AL then begin
+      ensure_loaded_mask st ((A.uses insn lor A.defs insn) land Pinmap.pinned_mask);
+      spill_flags_if_dirty st;
+      store_dirty_regs st
+    end;
+    let g = open_guard st cond in
+    (match g with
+    | G_never -> ()
+    | G_none | G_skip _ -> emit_fallback_body st ~pc ~index:idx);
+    close_guard st g;
+    1
+
+(* ---------- enders ---------- *)
+
+let emit_ender st idx =
+  let insn = st.insns.(idx) in
+  let pc = pc_at st idx in
+  let next_pc = Word32.add pc 4 in
+  emit st (X.Count X.Cnt_guest_insn);
+  let dual_exit ~taken_branch ~emit_taken =
+    (* cond branch shape: fallthrough exit, then the taken path. *)
+    match insn.A.cond with
+    | Cond.AL -> emit_taken ()
+    | cond -> (
+      let conv = ensure_flags st in
+      match Flagconv.eval conv cond with
+      | Flagconv.Always -> emit_taken ()
+      | Flagconv.Never -> epilogue_exit st (Tb.Direct next_pc)
+      | Flagconv.Needs_materialize ->
+        emit st ~tag:X.Tag_sync (X.Savef X.rax);
+        emit st ~tag:X.Tag_sync
+          (X.Alu { op = X.Xor; dst = X.Reg X.rax; src = X.Imm canonical_bit });
+        emit st ~tag:X.Tag_sync (X.Loadf X.rax);
+        (match st.fl with
+        | F_dirty _ -> st.fl <- F_dirty Flagconv.Canonical
+        | F_both _ -> st.fl <- F_both Flagconv.Canonical
+        | F_env -> assert false);
+        let cc =
+          match Flagconv.eval Flagconv.Canonical cond with
+          | Flagconv.Cc cc -> cc
+          | _ -> assert false
+        in
+        let taken = Prog.fresh_label st.b in
+        let snap = save_state st in
+        emit st ~tag:X.Tag_compute (X.Jcc { cc; target = taken });
+        epilogue_exit st (Tb.Direct next_pc);
+        restore_state st snap;
+        emit st (X.Label taken);
+        emit_taken ()
+      | Flagconv.Cc cc ->
+        let taken = Prog.fresh_label st.b in
+        let snap = save_state st in
+        emit st ~tag:X.Tag_compute (X.Jcc { cc; target = taken });
+        epilogue_exit st (Tb.Direct next_pc);
+        restore_state st snap;
+        emit st (X.Label taken);
+        emit_taken ());
+    ignore taken_branch
+  in
+  match insn.A.op with
+  | A.B { link; offset } ->
+    let target = Word32.add pc (Word32.of_signed ((offset * 4) + 8)) in
+    if link && insn.A.cond <> Cond.AL then ensure_loaded st 14;
+    dual_exit ~taken_branch:target ~emit_taken:(fun () ->
+        if link then begin
+          ensure_loaded st 14;
+          emit st ~tag:X.Tag_compute
+            (X.Mov
+               { width = X.W32; dst = X.Reg (host_of 14); src = X.Imm (Word32.add pc 4) });
+          mark_def st 14
+        end;
+        epilogue_exit st (Tb.Direct target))
+  | A.Bx rm ->
+    if insn.A.cond <> Cond.AL then ensure_loaded_mask st ((1 lsl rm) land Pinmap.pinned_mask);
+    dual_exit ~taken_branch:0 ~emit_taken:(fun () ->
+        (* Compute target after the epilogue's stores so rax is free:
+           sync first, then publish env.pc. *)
+        spill_flags_if_dirty st;
+        store_dirty_regs st;
+        read_reg_to st ~dst:X.rax rm;
+        emit st ~tag:X.Tag_glue
+          (X.Alu { op = X.And; dst = X.Reg X.rax; src = X.Imm 0xFFFF_FFFC });
+        emit st ~tag:X.Tag_glue
+          (X.Mov { width = X.W32; dst = env_op Envspec.pc; src = X.Reg X.rax });
+        epilogue_exit st Tb.Indirect)
+  | A.Ldr { rd = 15; _ } | A.Ldm _ ->
+    (* PC-loading memory op: memory body publishes env.pc slot 15. *)
+    dual_exit ~taken_branch:0 ~emit_taken:(fun () ->
+        emit_mem_body st ~pc ~index:idx insn;
+        epilogue_exit st Tb.Indirect)
+  | A.Dp { rd = 15; _ } ->
+    dual_exit ~taken_branch:0 ~emit_taken:(fun () ->
+        st.fallback <- st.fallback + 1;
+        sync_for_qemu st;
+        set_env_pc st pc;
+        emit st ~tag:X.Tag_sync (X.Count X.Cnt_sync_op);
+        emit_helper_call st Helpers.h_interp_one;
+        epilogue_exit st Tb.Indirect)
+  | A.Svc _ | A.Udf _ | A.Cps _ | A.Mcr _ | A.Msr _ | A.Str { rd = 15; _ } ->
+    (* Emulate; svc/udf stop inside the helper, the others resume at
+       the next instruction. Conditional forms need env fully valid
+       before the guard so the join state is consistent. *)
+    if insn.A.cond <> Cond.AL then begin
+      ensure_loaded_mask st ((A.uses insn lor A.defs insn) land Pinmap.pinned_mask);
+      spill_flags_if_dirty st;
+      store_dirty_regs st
+    end;
+    let g = open_guard st insn.A.cond in
+    (match g with
+    | G_never -> ()
+    | G_none | G_skip _ -> emit_fallback_body st ~pc ~index:idx);
+    close_guard st g;
+    epilogue_exit st (Tb.Direct next_pc)
+  | _ ->
+    (* Any other PC-writing oddity: emulate then indirect. *)
+    dual_exit ~taken_branch:0 ~emit_taken:(fun () ->
+        st.fallback <- st.fallback + 1;
+        sync_for_qemu st;
+        set_env_pc st pc;
+        emit_helper_call st Helpers.h_interp_one;
+        epilogue_exit st Tb.Indirect)
+
+(* ---------- III-C-1: same-condition run grouping ---------- *)
+
+(* A maximal run of >= 2 consecutive instructions with the same
+   non-AL condition, none of which is an ender and at most the last
+   of which writes flags, can share one Sync-restore and one guard. *)
+let run_length st idx =
+  if not st.opt.Opt.elim_restores then 1
+  else
+    let cond = st.insns.(idx).A.cond in
+    if cond = Cond.AL then 1
+    else begin
+      let n = Array.length st.insns in
+      let j = ref idx in
+      let stop = ref false in
+      while (not !stop) && !j < n do
+        let i = st.insns.(!j) in
+        if i.A.cond <> cond || is_ender i then stop := true
+        else begin
+          let writes = A.writes_flags i in
+          incr j;
+          if writes then stop := true
+        end
+      done;
+      max 1 (!j - idx)
+    end
+
+let first_flag_is_def insns =
+  let rec scan k =
+    if k >= Array.length insns then false
+    else
+      let i = insns.(k) in
+      if A.reads_flags i then false
+      else if A.is_memory_access i || A.is_system_level i || is_ender i then false
+      else if A.writes_flags i then true
+      else scan (k + 1)
+  in
+  scan 0
+
+(* ---------- entry point ---------- *)
+
+let emit_run st idx len =
+  (* Single guard over [idx, idx+len): preload everything the bodies
+     touch, evaluate the condition once, then emit bodies as if
+     unconditional. *)
+  let members = Array.to_list (Array.sub st.insns idx len) in
+  let mask = pinned_defs_uses members in
+  ensure_loaded_mask st mask;
+  spill_flags_if_dirty st;
+  store_dirty_regs st;
+  let g = open_guard st st.insns.(idx).A.cond in
+  let consumed = ref 0 in
+  (match g with
+  | G_never ->
+    List.iter (fun _ -> emit st (X.Count X.Cnt_guest_insn)) members;
+    consumed := len
+  | G_none | G_skip _ ->
+    while !consumed < len do
+      let k = idx + !consumed in
+      let insn = { (st.insns.(k)) with A.cond = Cond.AL } in
+      let saved = st.insns.(k) in
+      st.insns.(k) <- insn;
+      consumed := !consumed + emit_insn st k;
+      st.insns.(k) <- saved
+    done;
+    (* Leave env flags valid at the join if the run's last member
+       defined flags. *)
+    (match g with
+    | G_skip _ -> (
+      match st.fl with
+      | F_dirty conv -> flags_save st conv
+      | F_both _ | F_env -> ())
+    | _ -> ()));
+  close_guard st g;
+  !consumed
+
+let find_irq_sched_index st =
+  (* III-D-2: the check can move down to the first unconditional
+     memory access if no ender/conditional/exception-prone insn comes
+     before it. *)
+  if (not st.opt.Opt.sched_irq) || st.opt.Opt.inline_mmu then -1
+    (* with the inline fast path, dirty registers stay in host
+       registers across memory accesses, so a mid-TB delivery point
+       would observe stale env state: the check stays at the head *)
+  else begin
+    let n = Array.length st.insns in
+    let prefix_intact k =
+      (* resuming at insns[k]'s original PC must not re-execute or
+         skip anything: the first k scheduled insns must be exactly
+         the first k original ones. *)
+      let ok = ref true in
+      for j = 0 to k - 1 do
+        if st.origins.(j) >= st.origins.(k) then ok := false
+      done;
+      !ok && st.origins.(k) = k
+    in
+    let rec scan k =
+      if k >= n then -1
+      else
+        let i = st.insns.(k) in
+        if is_ender i then -1
+        else if A.is_memory_access i && i.A.cond = Cond.AL then
+          (if not (prefix_intact k) then -1
+           else
+             match i.A.op with
+             | A.Ldr { index = A.Offset; rd; _ } when rd <> 15 -> k
+             | A.Str { index = A.Offset; _ } -> k
+             | A.Ldm { rn; regs; _ } when regs land 0x8000 = 0 && regs land (1 lsl rn) = 0 -> k
+             | A.Stm _ -> k
+             | _ -> -1)
+        else if A.is_system_level i then -1
+        else if i.A.cond <> Cond.AL then -1
+        else scan (k + 1)
+    in
+    scan 0
+  end
+
+let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entry_conv () =
+  let origins =
+    match origins with Some o -> o | None -> Array.init (Array.length insns) (fun i -> i)
+  in
+  let b = Prog.builder () in
+  let st =
+    {
+      b;
+      opt;
+      ruleset;
+      privileged;
+      tb_pc;
+      insns;
+      origins;
+      loaded = 0;
+      dirty = 0;
+      fl = (match entry_conv with Some c -> F_dirty c | None -> F_env);
+      exits = Array.make Tb.exit_slots Tb.Indirect;
+      exit_states =
+        Array.make Tb.exit_slots { conv_at_exit = None; flags_save_in_epilogue = false };
+      slots_used = 0;
+      exit_seen = Array.make Tb.exit_slots false;
+      elide =
+        (match elide_flag_save with
+        | Some a -> a
+        | None -> Array.make Tb.exit_slots false);
+      entry_conv;
+      irq_label = -1 (* replaced below *);
+      irq_resume_pc = tb_pc;
+      irq_emitted = false;
+      irq_sched_index = -1;
+      rule_covered = 0;
+      fallback = 0;
+    }
+  in
+  let st = { st with irq_label = Prog.fresh_label b } in
+  st.exits.(Tb.slot_irq) <- Tb.Irq_deliver;
+  st.irq_sched_index <- find_irq_sched_index st;
+  (* With an entry assumption the check must be at the head (the stub
+     spills the inherited EFLAGS). *)
+  if entry_conv <> None then st.irq_sched_index <- -1;
+  if st.irq_sched_index < 0 then emit_irq_check st ~guard_flags:(entry_conv <> None);
+  (* Naive design: eager prologue Sync-restore (paper Fig. 1 Path 2) *)
+  if not opt.Opt.elim_restores then begin
+    let used = ref 0 in
+    let reads_before_def = ref false in
+    let seen_def = ref false in
+    Array.iter
+      (fun (i : A.t) ->
+        used := !used lor A.uses i;
+        if (not !seen_def) && A.reads_flags i then reads_before_def := true;
+        if A.writes_flags i then seen_def := true)
+      insns;
+    ensure_loaded_mask st (!used land Pinmap.pinned_mask);
+    if !reads_before_def && st.fl = F_env then flags_restore st
+  end;
+  let n = Array.length insns in
+  let idx = ref 0 in
+  let ended = ref false in
+  while !idx < n && not !ended do
+    if is_ender insns.(!idx) then begin
+      emit_ender st !idx;
+      ended := true
+    end
+    else begin
+      let len = run_length st !idx in
+      if len > 1 then idx := !idx + emit_run st !idx len
+      else idx := !idx + emit_insn st !idx
+    end
+  done;
+  if not !ended then epilogue_exit st (Tb.Direct (Word32.add tb_pc (4 * n)));
+  assert st.irq_emitted;
+  emit_irq_stub st;
+  {
+    prog = Prog.finalize b;
+    exits = st.exits;
+    exit_states = st.exit_states;
+    first_flag_is_def = first_flag_is_def insns;
+    rule_covered = st.rule_covered;
+    fallback = st.fallback;
+  }

@@ -1,0 +1,54 @@
+(** The rule-based TB emitter — the paper's core contribution.
+
+    Guest registers r0–r8/sp/lr live in pinned host registers and the
+    condition flags live in host EFLAGS while translated code runs;
+    every transfer of control into QEMU (memory-access helpers,
+    system-level instructions, uncovered instructions, TB exits,
+    interrupt checks) requires {e CPU-state coordination}: Sync-save
+    of dirty pinned state into env before, and (lazy) Sync-restore
+    after. The emitter is a small abstract interpreter over that
+    residency state; the {!Opt.t} switches control how eagerly it
+    coordinates, reproducing the paper's unoptimized (slower than
+    QEMU) and optimized (1.36x faster) designs from one code base. *)
+
+open Repro_common
+module A := Repro_arm.Insn
+
+type exit_state = {
+  conv_at_exit : Repro_rules.Flagconv.t option;
+      (** flags convention live in EFLAGS when this exit is reached
+          (after the epilogue; [None] when EFLAGS holds nothing) *)
+  flags_save_in_epilogue : bool;
+      (** the epilogue of this exit contains a flag Sync-save that
+          inter-TB linking may elide *)
+}
+
+type result = {
+  prog : Repro_x86.Prog.t;
+  exits : Repro_tcg.Tb.exit_kind array;
+  exit_states : exit_state array;
+  first_flag_is_def : bool;
+      (** this TB defines guest flags before any use — the successor
+          condition of the paper's inter-TB optimization *)
+  rule_covered : int;  (** guest insns translated via rules *)
+  fallback : int;      (** guest insns sent to the interp helper *)
+}
+
+val emit :
+  opt:Opt.t ->
+  ruleset:Repro_rules.Ruleset.t ->
+  privileged:bool ->
+  tb_pc:Word32.t ->
+  insns:A.t array ->
+  ?origins:int array ->
+  ?elide_flag_save:bool array ->
+  ?entry_conv:Repro_rules.Flagconv.t ->
+  unit ->
+  result
+(** [origins] gives each (scheduled) instruction's original index in
+    the fetched block, so branch targets and fault/resume PCs refer to
+    real guest addresses. [elide_flag_save] (indexed by exit slot) drops the epilogue flag
+    save on slots whose chained successor redefines flags before use;
+    [entry_conv] marks a TB that may be entered with live guest flags
+    in EFLAGS under the given convention (set on such successors; its
+    interrupt stub then spills EFLAGS before exiting, paper Fig. 7). *)

@@ -1,0 +1,46 @@
+type t = {
+  reduction : bool;
+  elim_restores : bool;
+  elim_mem : bool;
+  inter_tb : bool;
+  sched_dbu : bool;
+  sched_irq : bool;
+  inline_mmu : bool;
+}
+
+let base =
+  {
+    reduction = false;
+    elim_restores = false;
+    elim_mem = false;
+    inter_tb = false;
+    sched_dbu = false;
+    sched_irq = false;
+    inline_mmu = false;
+  }
+
+let reduction_only = { base with reduction = true }
+
+let with_elimination =
+  { reduction_only with elim_restores = true; elim_mem = true; inter_tb = true }
+
+let full = { with_elimination with sched_dbu = true; sched_irq = true }
+let future = { full with inline_mmu = true }
+
+let name t =
+  if t = base then "base"
+  else if t = reduction_only then "+reduction"
+  else if t = with_elimination then "+elimination"
+  else if t = full then "full"
+  else if t = future then "future"
+  else
+    Printf.sprintf "custom(red=%b,elim=%b/%b/%b,sched=%b/%b,immu=%b)" t.reduction
+      t.elim_restores t.elim_mem t.inter_tb t.sched_dbu t.sched_irq t.inline_mmu
+
+let levels =
+  [
+    ("base", base);
+    ("+reduction", reduction_only);
+    ("+elimination", with_elimination);
+    ("full", full);
+  ]

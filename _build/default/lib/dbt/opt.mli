@@ -1,0 +1,50 @@
+(** Optimization configuration for the rule-based engine — the paper's
+    §III-B (reduction), §III-C (elimination ×3) and §III-D
+    (scheduling ×2), individually toggleable for the cumulative
+    experiment of Fig. 16 and the ablations. *)
+
+type t = {
+  reduction : bool;
+      (** III-B: store the CCR packed in one env slot (+ lazy parse)
+          instead of parsing into QEMU's four per-flag slots. *)
+  elim_restores : bool;
+      (** III-C-1: track flag residency; skip Sync-restores when the
+          flags are already live in EFLAGS. *)
+  elim_mem : bool;
+      (** III-C-2: merge coordination across consecutive memory
+          accesses (no eager re-restore between helper calls). *)
+  inter_tb : bool;
+      (** III-C-3: on block chaining, drop the predecessor's epilogue
+          flag save when the successor redefines flags before use. *)
+  sched_dbu : bool;
+      (** III-D-1: define-before-use scheduling. *)
+  sched_irq : bool;
+      (** III-D-2: move the TB-head interrupt check next to the first
+          memory access. *)
+  inline_mmu : bool;
+      (** Extension (the paper's stated future work): give the
+          rule-based engine an inline TLB fast path instead of a
+          per-access context switch into QEMU. Not part of any paper
+          configuration. *)
+}
+
+val base : t
+(** Everything off — the paper's unoptimized rule-based port (the one
+    that loses 5% to QEMU). *)
+
+val reduction_only : t
+(** Fig. 16 "+Reduction". *)
+
+val with_elimination : t
+(** Fig. 16 "+Elimination". *)
+
+val full : t
+(** Fig. 16 "+Scheduling" = all optimizations (the 1.36x point). *)
+
+val future : t
+(** [full] plus {!field-inline_mmu} — the address-translation
+    optimization the paper leaves as future work. *)
+
+val name : t -> string
+val levels : (string * t) list
+(** The four cumulative levels, in paper order. *)

@@ -1,0 +1,57 @@
+module Runtime = Repro_tcg.Runtime
+module Engine = Repro_tcg.Engine
+module Tb = Repro_tcg.Tb
+module Helpers = Repro_tcg.Helpers
+module Devices = Repro_machine.Devices
+
+type mode = Qemu | Rules of Opt.t
+
+let mode_name = function
+  | Qemu -> "qemu"
+  | Rules o -> "rules:" ^ Opt.name o
+
+type t = {
+  mode : mode;
+  rt : Runtime.t;
+  cache : Tb.Cache.t;
+  rule_translator : Translator_rule.t option;
+}
+
+let create ?ram_kib ?ruleset ?tb_capacity mode =
+  let rt = Runtime.create ?ram_kib () in
+  Helpers.install rt;
+  let cache = Tb.Cache.create ?capacity:tb_capacity () in
+  rt.Runtime.is_code_page <- Tb.Cache.is_code_page cache;
+  let rule_translator =
+    match mode with
+    | Qemu -> None
+    | Rules opt ->
+      let ruleset =
+        match ruleset with Some r -> r | None -> Repro_rules.Builtin.ruleset ()
+      in
+      Some (Translator_rule.create ~opt ~ruleset ())
+  in
+  { mode; rt; cache; rule_translator }
+
+let load_image t origin words = Runtime.load_image t.rt origin words
+
+let run ?chaining ?profile ?max_guest_insns t =
+  match t.rule_translator with
+  | None ->
+    Engine.run t.rt t.cache ~translate:Repro_tcg.Translator_qemu.translate ?chaining
+      ?profile ?max_guest_insns ()
+  | Some tr ->
+    Engine.run t.rt t.cache
+      ~translate:(fun rt cache ~pc -> Translator_rule.translate tr rt cache ~pc)
+      ~link_hook:(fun ~pred ~slot ~succ -> Translator_rule.link_hook tr ~pred ~slot ~succ)
+      ~on_enter:(fun tb -> Translator_rule.on_enter tr t.rt tb)
+      ?chaining ?profile ?max_guest_insns ()
+
+let stats t = Runtime.stats t.rt
+let cpu t = t.rt.Runtime.cpu
+let uart_output t = Devices.Uart.output t.rt.Runtime.bus.Repro_machine.Bus.uart
+
+let set_timer t ~period =
+  let timer = t.rt.Runtime.bus.Repro_machine.Bus.timer in
+  Devices.Timer.write timer 0x4 period;
+  Devices.Timer.write timer 0x0 1

@@ -1,0 +1,46 @@
+(** Convenience façade: a complete emulated machine under either the
+    QEMU-style baseline or the rule-based engine at a chosen
+    optimization level. This is the API the examples, experiments and
+    CLI drive. *)
+
+open Repro_common
+
+type mode =
+  | Qemu  (** the unmodified QEMU 6.1 stand-in (baseline) *)
+  | Rules of Opt.t  (** the learning-based engine *)
+
+val mode_name : mode -> string
+
+type t = {
+  mode : mode;
+  rt : Repro_tcg.Runtime.t;
+  cache : Repro_tcg.Tb.Cache.t;
+  rule_translator : Translator_rule.t option;
+}
+
+val create :
+  ?ram_kib:int -> ?ruleset:Repro_rules.Ruleset.t -> ?tb_capacity:int -> mode -> t
+(** [ruleset] defaults to the builtin set; ignored in [Qemu] mode.
+    [tb_capacity] bounds the code cache (default 4096 TBs; at capacity
+    the whole cache is flushed, QEMU's buffer-full policy). *)
+
+val load_image : t -> Word32.t -> Word32.t array -> unit
+
+val run :
+  ?chaining:bool ->
+  ?profile:Repro_tcg.Profile.t ->
+  ?max_guest_insns:int ->
+  t ->
+  Repro_tcg.Engine.result
+(** Run from the current CPU state (reset state initially).
+    [chaining] (default true) toggles TB block chaining — the ablation
+    substrate for the inter-TB experiments. [profile], when given,
+    accumulates a per-TB hot-block profile (see
+    {!Repro_tcg.Profile}). *)
+
+val stats : t -> Repro_x86.Stats.t
+val cpu : t -> Repro_arm.Cpu.t
+val uart_output : t -> string
+val set_timer : t -> period:int -> unit
+(** Pre-arm the platform timer (alternative to the guest programming
+    it over MMIO). *)

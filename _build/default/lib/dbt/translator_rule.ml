@@ -1,0 +1,241 @@
+open Repro_common
+module A = Repro_arm.Insn
+module Cond = Repro_arm.Cond
+module Mem = Repro_arm.Mem
+module X = Repro_x86.Insn
+module Exec = Repro_x86.Exec
+module Stats = Repro_x86.Stats
+module Tb = Repro_tcg.Tb
+module Runtime = Repro_tcg.Runtime
+module Envspec = Repro_tcg.Envspec
+module Flagconv = Repro_rules.Flagconv
+module Pinmap = Repro_rules.Pinmap
+
+(* Per-TB metadata the emitter produces and the linker consumes. *)
+type meta = {
+  insns : A.t array;  (* post-scheduling *)
+  origins : int array;
+  mutable elide : bool array;
+  mutable entry_conv : Flagconv.t option;
+  mutable exit_states : Emitter.exit_state array;
+  mutable first_flag_is_def : bool;
+}
+
+type t = {
+  opt : Opt.t;
+  ruleset : Repro_rules.Ruleset.t;
+  metas : (int, meta) Hashtbl.t;
+  mutable rule_covered : int;
+  mutable fallback : int;
+  mutable inter_tb_elisions : int;
+}
+
+let create ~opt ~ruleset () =
+  {
+    opt;
+    ruleset;
+    metas = Hashtbl.create 256;
+    rule_covered = 0;
+    fallback = 0;
+    inter_tb_elisions = 0;
+  }
+
+(* ---------- III-D-1: define-before-use scheduling ----------
+
+   When a flag producer P and its consumer C are separated by
+   independent instructions (typically a ld/st that will force a
+   coordination pair around the helper while flags are live), hoist
+   the independent block above P so P and C become adjacent. *)
+
+let is_store (m : A.t) =
+  match m.A.op with A.Str _ | A.Stm _ -> true | _ -> false
+
+let independent_of_producer (m : A.t) (p : A.t) =
+  let defs_m = A.defs m and uses_m = A.uses m in
+  let defs_p = A.defs p and uses_p = A.uses p in
+  defs_m land (uses_p lor defs_p) = 0
+  && uses_m land defs_p = 0
+  && (not (A.reads_flags m))
+  && (not (A.writes_flags m))
+  && (not (A.is_system_level m))
+  (* Stores are never hoisted: an MMIO store may halt or trap the
+     machine, making instructions between it and its original position
+     observable. Loads in our platform are side-effect free (Fig. 12
+     hoists an ldr). *)
+  && not (is_store m)
+
+let is_ender (i : A.t) =
+  A.is_branch i
+  ||
+  match i.A.op with
+  | A.Svc _ | A.Udf _ | A.Cps _ | A.Mcr _ | A.Msr { write_control = true; _ } -> true
+  | _ -> false
+
+let schedule_indexed ~opt insns =
+  let tagged = Array.mapi (fun i x -> (x, i)) insns in
+  if not opt.Opt.sched_dbu then tagged
+  else begin
+    let lst = ref (Array.to_list tagged) in
+    let changed = ref true in
+    let guard = ref 0 in
+    while !changed && !guard < 8 do
+      changed := false;
+      incr guard;
+      let arr = Array.of_list !lst in
+      let n = Array.length arr in
+      (try
+         for i = 0 to n - 1 do
+           let p, _ = arr.(i) in
+           if A.writes_flags p && p.A.cond = Cond.AL && not (is_ender p) then begin
+             (* find the consumer *)
+             let rec find_consumer j =
+               if j >= n then None
+               else if A.reads_flags (fst arr.(j)) then Some j
+               else if A.writes_flags (fst arr.(j)) then None
+               else find_consumer (j + 1)
+             in
+             match find_consumer (i + 1) with
+             | Some j when j > i + 1 ->
+               let between = Array.to_list (Array.sub arr (i + 1) (j - i - 1)) in
+               if
+                 List.for_all
+                   (fun (m, _) -> independent_of_producer m p && not (is_ender m))
+                   between
+               then begin
+                 (* hoist [between] above P, keeping internal order *)
+                 let prefix = Array.to_list (Array.sub arr 0 i) in
+                 let suffix = Array.to_list (Array.sub arr j (n - j)) in
+                 lst := prefix @ between @ [ arr.(i) ] @ suffix;
+                 changed := true;
+                 raise Exit
+               end
+             | _ -> ()
+           end
+         done
+       with Exit -> ())
+    done;
+    Array.of_list !lst
+  end
+
+let schedule ~opt insns = Array.map fst (schedule_indexed ~opt insns)
+
+(* ---------- translation ---------- *)
+
+let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
+  let privileged = Runtime.privileged rt in
+  let r =
+    Emitter.emit ~opt:t.opt ~ruleset:t.ruleset ~privileged ~tb_pc:pc ~insns:m.insns
+      ~origins:m.origins ~elide_flag_save:m.elide ?entry_conv:m.entry_conv ()
+  in
+  t.rule_covered <- t.rule_covered + r.Emitter.rule_covered;
+  t.fallback <- t.fallback + r.Emitter.fallback;
+  m.exit_states <- r.Emitter.exit_states;
+  m.first_flag_is_def <- r.Emitter.first_flag_is_def;
+  let tb =
+    {
+      Tb.id = Tb.Cache.next_id cache;
+      guest_pc = pc;
+      privileged;
+      mmu_on = Repro_arm.Cpu.mmu_enabled rt.Runtime.cpu;
+      prog = r.Emitter.prog;
+      exits = r.Emitter.exits;
+      links = Array.make Tb.exit_slots None;
+      guest_insns = insns;
+      guest_len = Array.length insns;
+    }
+  in
+  tb
+
+let translate t (rt : Runtime.t) cache ~pc =
+  let privileged = Runtime.privileged rt in
+  match rt.Runtime.mem.Mem.fetch ~privileged pc with
+  | Error f -> Error f
+  | Ok _ ->
+    let insns = Array.of_list (Repro_tcg.Translator_qemu.fetch_block rt ~pc) in
+    if Array.length insns = 0 then
+      failwith
+        (Printf.sprintf "Translator_rule: undecodable guest word at %s"
+           (Word32.to_hex pc));
+    let tagged = schedule_indexed ~opt:t.opt insns in
+    let m =
+      {
+        insns = Array.map fst tagged;
+        origins = Array.map snd tagged;
+        elide = Array.make Tb.exit_slots false;
+        entry_conv = None;
+        exit_states =
+          Array.make Tb.exit_slots
+            { Emitter.conv_at_exit = None; flags_save_in_epilogue = false };
+        first_flag_is_def = false;
+      }
+    in
+    let tb = build_tb t rt cache ~pc ~insns ~m in
+    Hashtbl.replace t.metas tb.Tb.id m;
+    Ok tb
+
+(* Re-emit a TB in place after its meta changed (elision / entry
+   assumption). The engine holds the tb record; only [prog] changes. *)
+let re_emit t (tb : Tb.t) m =
+  let r =
+    Emitter.emit ~opt:t.opt ~ruleset:t.ruleset ~privileged:tb.Tb.privileged
+      ~tb_pc:tb.Tb.guest_pc ~insns:m.insns ~origins:m.origins ~elide_flag_save:m.elide
+      ?entry_conv:m.entry_conv ()
+  in
+  m.exit_states <- r.Emitter.exit_states;
+  tb.Tb.prog <- r.Emitter.prog
+
+(* ---------- III-C-3: inter-TB elimination at chain time ---------- *)
+
+let link_hook t ~pred ~slot ~succ =
+  if t.opt.Opt.inter_tb && pred.Tb.id <> succ.Tb.id then
+    match (Hashtbl.find_opt t.metas pred.Tb.id, Hashtbl.find_opt t.metas succ.Tb.id) with
+    | Some pm, Some sm -> (
+      let ex = pm.exit_states.(slot) in
+      if
+        ex.Emitter.flags_save_in_epilogue
+        && (not pm.elide.(slot))
+        && sm.first_flag_is_def
+      then
+        match ex.Emitter.conv_at_exit with
+        | None -> ()
+        | Some conv -> (
+          match sm.entry_conv with
+          | Some existing when existing <> conv -> () (* incompatible assumption *)
+          | Some _ ->
+            pm.elide.(slot) <- true;
+            t.inter_tb_elisions <- t.inter_tb_elisions + 1;
+            re_emit t pred pm
+          | None ->
+            (* First elided edge into succ: give it the assumption and
+               the EFLAGS-spilling interrupt stub. *)
+            sm.entry_conv <- Some conv;
+            re_emit t succ sm;
+            pm.elide.(slot) <- true;
+            t.inter_tb_elisions <- t.inter_tb_elisions + 1;
+            re_emit t pred pm))
+    | _ -> ()
+
+(* ---------- engine-dispatch entry restore ---------- *)
+
+let on_enter t (rt : Runtime.t) (tb : Tb.t) =
+  match Hashtbl.find_opt t.metas tb.Tb.id with
+  | None -> ()
+  | Some m -> (
+    match m.entry_conv with
+    | None -> ()
+    | Some conv ->
+      (* The TB assumes guest flags live in EFLAGS under [conv];
+         install them from env (engine-side Sync-restore). *)
+      let env = Runtime.env rt in
+      let arm = Envspec.flags_word env in
+      let bits =
+        if Flagconv.carry_inverted conv then Envspec.to_canonical arm else arm
+      in
+      Exec.set_flags_word rt.Runtime.ctx bits;
+      let stats = Runtime.stats rt in
+      Stats.charge_tag stats X.Tag_sync 2;
+      stats.Stats.sync_ops <- stats.Stats.sync_ops + 1)
+
+let stats_rule_covered t = t.rule_covered
+let stats_fallback t = t.fallback
+let stats_inter_tb_elisions t = t.inter_tb_elisions

@@ -1,0 +1,31 @@
+(** The rule-based system-level translator: fetch a guest block, apply
+    define-before-use scheduling (III-D-1), emit through {!Emitter},
+    and implement the inter-TB optimization (III-C-3) at block-chaining
+    time by re-emitting the predecessor without its epilogue flag save
+    and the successor with an interrupt stub that spills the inherited
+    EFLAGS. Plug the three callbacks into {!Repro_tcg.Engine.run}. *)
+
+open Repro_common
+
+type t
+
+val create : opt:Opt.t -> ruleset:Repro_rules.Ruleset.t -> unit -> t
+
+val translate :
+  t -> Repro_tcg.Runtime.t -> Repro_tcg.Tb.Cache.t -> pc:Word32.t ->
+  (Repro_tcg.Tb.t, Repro_arm.Mem.fault) result
+
+val link_hook :
+  t -> pred:Repro_tcg.Tb.t -> slot:int -> succ:Repro_tcg.Tb.t -> unit
+
+val on_enter : t -> Repro_tcg.Runtime.t -> Repro_tcg.Tb.t -> unit
+(** Engine-dispatch entry: if the TB assumes live flags in EFLAGS
+    (inter-TB), install them from env (a Sync-restore performed by the
+    engine, charged as such). *)
+
+val schedule : opt:Opt.t -> Repro_arm.Insn.t array -> Repro_arm.Insn.t array
+(** The define-before-use scheduling pass (exposed for tests). *)
+
+val stats_rule_covered : t -> int
+val stats_fallback : t -> int
+val stats_inter_tb_elisions : t -> int

@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Fun Hashtbl List Option Printf Repro_common Repro_dbt Repro_kernel Repro_learn Repro_rules Repro_tcg Repro_workloads Repro_x86 Word32

@@ -1,0 +1,1 @@
+lib/harness/harness.mli: Repro_common Repro_dbt Repro_rules Repro_workloads

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Array List Repro_arm Repro_common Repro_machine Word32

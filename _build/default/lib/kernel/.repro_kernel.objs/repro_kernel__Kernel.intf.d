@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Repro_arm Repro_common Word32

@@ -1,0 +1,341 @@
+open Repro_common
+module A = Repro_arm.Insn
+module Asm = Repro_arm.Asm
+module Cond = Repro_arm.Cond
+module Bus = Repro_machine.Bus
+
+let kernel_base = 0x0000_0000
+let user_code_base = 0x0010_0000
+let user_data_base = 0x0020_0000
+let user_stack_top = 0x002F_0000
+let page_table_base = 0x0030_0000
+let l2_main_base = page_table_base + 0x1000
+let l2_dev_base = page_table_base + 0x2000
+let svc_stack_top = 0x003F_0000
+let irq_stack_top = 0x003E_0000
+let tick_counter_addr = 0x0000_1F00 (* kernel data page, away from code *)
+let task1_code_base = 0x0018_0000
+let task1_stack_top = 0x002E_0000
+
+(* Cooperative scheduler state, all on the kernel-only data page:
+   two task control blocks (r0-r12, sp, lr, pc, cpsr = 17 words) plus
+   the current-task index and the task count. *)
+let tcb0_addr = 0x0000_1E00
+let tcb_stride_shift = 7 (* 0x80 bytes per TCB *)
+let cur_task_addr = 0x0000_1F04
+let nr_tasks_addr = 0x0000_1F08
+let tcb_off_sp = 52
+let tcb_off_lr = 56
+let tcb_off_pc = 60
+let tcb_off_cpsr = 64
+let sys_exit = 0
+let sys_putchar = 1
+let sys_ticks = 2
+let sys_yield = 3
+let sys_flags = 4
+
+type image = { segments : (Word32.t * Word32.t array) list }
+
+let mode_bits_svc = 0xD3 (* supervisor, IRQ+FIQ masked *)
+let mode_bits_irq = 0xD2
+let mode_bits_user = 0x10 (* user, IRQs enabled *)
+
+let mode_bits_sys = 0xDF (* system: user-bank registers, IRQs masked *)
+
+let build ?(timer_period = 0) ?(preempt = false) ?user_program2 ~user_program () =
+  if preempt && user_program2 = None then
+    invalid_arg "Kernel.build: preempt requires user_program2";
+  let a = Asm.create ~origin:kernel_base () in
+  (* --- vector table --- *)
+  Asm.branch_to a "boot";             (* 0x00 reset *)
+  Asm.branch_to a "panic_undef";      (* 0x04 undefined *)
+  Asm.branch_to a "svc_handler";      (* 0x08 svc *)
+  Asm.branch_to a "panic_pabt";       (* 0x0C prefetch abort *)
+  Asm.branch_to a "panic_dabt";       (* 0x10 data abort *)
+  Asm.nop a;                          (* 0x14 reserved *)
+  Asm.branch_to a "irq_handler";      (* 0x18 irq *)
+
+  (* --- boot --- *)
+  Asm.label a "boot";
+  (* per-mode stacks: hop through IRQ mode to set its banked sp *)
+  Asm.mov32 a 0 mode_bits_irq;
+  Asm.msr a ~control:true 0;
+  Asm.mov32 a A.sp irq_stack_top;
+  Asm.mov32 a 0 mode_bits_svc;
+  Asm.msr a ~control:true 0;
+  Asm.mov32 a A.sp svc_stack_top;
+  (* tick counter := 0 *)
+  Asm.mov32 a 0 tick_counter_addr;
+  Asm.mov a 1 0;
+  Asm.str a 1 0 0;
+  (* zero the L1 table *)
+  Asm.mov32 a 0 page_table_base;
+  Asm.mov a 1 0;
+  Asm.mov32 a 2 1024;
+  Asm.label a "zero_l1";
+  Asm.str a ~index:A.Post_indexed 1 0 4;
+  Asm.sub a ~s:true 2 2 1;
+  Asm.branch_to a ~cond:Cond.NE "zero_l1";
+  (* L1[0] -> main L2; L1[960] -> device L2 *)
+  Asm.mov32 a 0 page_table_base;
+  Asm.mov32 a 1 (l2_main_base lor 1);
+  Asm.str a 1 0 0;
+  Asm.mov32 a 1 (l2_dev_base lor 1);
+  Asm.str a 1 0 (4 * (Bus.timer_base lsr 22));
+  (* main L2: identity map 4 MiB; first 1 MiB kernel-only *)
+  Asm.mov32 a 0 l2_main_base;
+  Asm.mov a 2 0;
+  Asm.label a "fill_l2";
+  Asm.emit a
+    (A.make
+       (A.Dp
+          { op = A.MOV; s = false; rd = 1; rn = 0;
+            op2 = A.Reg_shift_imm { rm = 2; kind = A.LSL; amount = 12 } }));
+  Asm.cmp a 2 256;
+  Asm.orr a ~cond:Cond.CC 1 1 3;  (* kernel page: valid|writable *)
+  Asm.orr a ~cond:Cond.CS 1 1 7;  (* user page: +user *)
+  Asm.str a ~index:A.Post_indexed 1 0 4;
+  Asm.add a 2 2 1;
+  Asm.cmp a 2 1024;
+  Asm.branch_to a ~cond:Cond.NE "fill_l2";
+  (* device L2: three MMIO pages, kernel-only *)
+  Asm.mov32 a 0 l2_dev_base;
+  Asm.mov32 a 1 (Bus.timer_base lor 3);
+  Asm.str a 1 0 0;
+  Asm.mov32 a 1 (Bus.uart_base lor 3);
+  Asm.str a 1 0 4;
+  Asm.mov32 a 1 (Bus.syscon_base lor 3);
+  Asm.str a 1 0 8;
+  (* install translation table, flush stale TLB entries, MMU on *)
+  Asm.mov32 a 0 page_table_base;
+  Asm.mcr a ~crn:2 0;
+  Asm.mcr a ~crn:8 0;
+  Asm.mov a 0 1;
+  Asm.mcr a ~crn:1 0;
+  (* timer *)
+  if timer_period > 0 then begin
+    Asm.mov32 a 0 Bus.timer_base;
+    Asm.mov32 a 1 timer_period;
+    Asm.str a 1 0 4;
+    Asm.mov a 1 1;
+    Asm.str a 1 0 0
+  end;
+  (* scheduler state: task 0 runs first; task 1 (if any) starts from
+     its TCB on the first yield *)
+  Asm.mov32 a 0 cur_task_addr;
+  Asm.mov a 1 0;
+  Asm.str a 1 0 0;
+  Asm.mov32 a 0 nr_tasks_addr;
+  Asm.mov a 1 (match user_program2 with Some _ -> 2 | None -> 1);
+  Asm.str a 1 0 0;
+  (match user_program2 with
+  | None -> ()
+  | Some _ ->
+    let tcb1 = tcb0_addr + (1 lsl tcb_stride_shift) in
+    Asm.mov32 a 0 tcb1;
+    Asm.mov32 a 1 task1_code_base;
+    Asm.str a 1 0 tcb_off_pc;
+    Asm.mov a 1 mode_bits_user;
+    Asm.str a 1 0 tcb_off_cpsr;
+    Asm.mov32 a 1 task1_stack_top;
+    Asm.str a 1 0 tcb_off_sp);
+  (* enter user mode at the user program with IRQs enabled *)
+  Asm.mov a 0 mode_bits_user;
+  Asm.msr a ~spsr:true ~flags:true ~control:true 0;
+  Asm.mov32 a A.lr user_code_base;
+  Asm.emit a
+    (A.make
+       (A.Dp
+          { op = A.MOV; s = true; rd = 15; rn = 0;
+            op2 = A.Reg_shift_imm { rm = A.lr; kind = A.LSL; amount = 0 } }));
+
+  (* --- svc handler: r7 = number, r0 = arg/result --- *)
+  Asm.label a "svc_handler";
+  Asm.push a (Asm.reg_mask [ 1; 2 ]);
+  Asm.cmp a 7 sys_exit;
+  Asm.branch_to a ~cond:Cond.EQ "do_exit";
+  Asm.cmp a 7 sys_putchar;
+  Asm.branch_to a ~cond:Cond.EQ "do_putchar";
+  Asm.cmp a 7 sys_ticks;
+  Asm.branch_to a ~cond:Cond.EQ "do_ticks";
+  Asm.cmp a 7 sys_flags;
+  Asm.branch_to a ~cond:Cond.EQ "do_flags";
+  Asm.cmp a 7 sys_yield;
+  Asm.branch_to a ~cond:Cond.EQ "do_yield";
+  Asm.label a "svc_out";
+  Asm.pop a (Asm.reg_mask [ 1; 2 ]);
+  Asm.emit a
+    (A.make
+       (A.Dp
+          { op = A.MOV; s = true; rd = 15; rn = 0;
+            op2 = A.Reg_shift_imm { rm = A.lr; kind = A.LSL; amount = 0 } }));
+  Asm.label a "do_exit";
+  Asm.mov32 a 1 Bus.syscon_base;
+  Asm.str a 0 1 0;
+  Asm.branch_to a "svc_out";
+  Asm.label a "do_putchar";
+  Asm.mov32 a 1 Bus.uart_base;
+  Asm.str a 0 1 0;
+  Asm.branch_to a "svc_out";
+  Asm.label a "do_ticks";
+  Asm.mov32 a 1 tick_counter_addr;
+  Asm.ldr a 0 1 0;
+  Asm.branch_to a "svc_out";
+  (* the caller's CPSR, as banked on exception entry: returns the
+     interrupted condition flags — the state the paper's lazy
+     one-to-many parse must deliver correctly (Fig 7) *)
+  Asm.label a "do_flags";
+  Asm.mrs a ~spsr:true 0;
+  Asm.mov32 a 1 0xF0000000;
+  Asm.and_r a 0 0 1;
+  Asm.lsr_ a 0 0 28;
+  Asm.branch_to a "svc_out";
+
+  (* --- cooperative round-robin: save the caller's full user context
+     into its TCB, switch to the other task's. A no-op on single-task
+     images (the CINT workloads use sys_yield as a kernel round-trip,
+     so its cost must not depend on the scheduler). --- *)
+  let exception_return () =
+    (* movs pc, lr — mode/flags restored from SPSR *)
+    Asm.emit a
+      (A.make
+         (A.Dp
+            { op = A.MOV; s = true; rd = 15; rn = 0;
+              op2 = A.Reg_shift_imm { rm = A.lr; kind = A.LSL; amount = 0 } }))
+  in
+  let stm_ia rn regs =
+    Asm.emit a (A.make (A.Stm { kind = A.IA; rn; writeback = false; regs }))
+  in
+  let ldm_ia rn regs =
+    Asm.emit a (A.make (A.Ldm { kind = A.IA; rn; writeback = false; regs }))
+  in
+  (* The switch body is straight-line code shared by the cooperative
+     (svc) and preemptive (irq) paths; [return_mode_bits] restores the
+     caller's exception mode after the System-mode bank excursions so
+     the final [movs pc, lr] uses the right banked lr/SPSR. Assumes all
+     user registers pristine, lr = resume pc, SPSR = user CPSR. *)
+  let emit_switch ~return_mode_bits =
+    (* park the registers the switch code needs as scratch *)
+    Asm.push a (Asm.reg_mask [ 4; 5; 6; 7 ]);
+    Asm.mov32 a 4 cur_task_addr;
+    Asm.ldr a 5 4 0;
+    Asm.mov32 a 6 tcb0_addr;
+    Asm.emit a
+      (A.make
+         (A.Dp
+            { op = A.ADD; s = false; rd = 6; rn = 6;
+              op2 = A.Reg_shift_imm { rm = 5; kind = A.LSL; amount = tcb_stride_shift } }));
+    (* bulk-save r0-r12; the r4-r7 slots get kernel scratch, fixed next *)
+    stm_ia 6 0x1FFF;
+    Asm.pop a (Asm.reg_mask [ 0; 1; 2; 3 ]); (* the parked user r4-r7 *)
+    Asm.str a 0 6 16;
+    Asm.str a 1 6 20;
+    Asm.str a 2 6 24;
+    Asm.str a 3 6 28;
+    (* user-bank sp/lr, reachable from System mode *)
+    Asm.mov32 a 0 mode_bits_sys;
+    Asm.msr a ~control:true 0;
+    Asm.mov_r a 1 A.sp;
+    Asm.mov_r a 2 A.lr;
+    Asm.mov32 a 0 return_mode_bits;
+    Asm.msr a ~control:true 0;
+    Asm.str a 1 6 tcb_off_sp;
+    Asm.str a 2 6 tcb_off_lr;
+    (* resume point and flags *)
+    Asm.str a A.lr 6 tcb_off_pc;
+    Asm.mrs a ~spsr:true 0;
+    Asm.str a 0 6 tcb_off_cpsr;
+    (* flip and locate the other TCB *)
+    Asm.emit a
+      (A.make (A.Dp { op = A.EOR; s = false; rd = 5; rn = 5; op2 = A.imm_operand_exn 1 }));
+    Asm.str a 5 4 0;
+    Asm.mov32 a 6 tcb0_addr;
+    Asm.emit a
+      (A.make
+         (A.Dp
+            { op = A.ADD; s = false; rd = 6; rn = 6;
+              op2 = A.Reg_shift_imm { rm = 5; kind = A.LSL; amount = tcb_stride_shift } }));
+    (* incoming task: flags, user sp/lr, then registers *)
+    Asm.ldr a 0 6 tcb_off_cpsr;
+    Asm.msr a ~spsr:true ~flags:true ~control:true 0;
+    Asm.ldr a 1 6 tcb_off_sp;
+    Asm.ldr a 2 6 tcb_off_lr;
+    Asm.mov32 a 0 mode_bits_sys;
+    Asm.msr a ~control:true 0;
+    Asm.mov_r a A.sp 1;
+    Asm.mov_r a A.lr 2;
+    Asm.mov32 a 0 return_mode_bits;
+    Asm.msr a ~control:true 0;
+    (* bulk-restore with the base parked in lr (not in the list) *)
+    Asm.mov_r a A.lr 6;
+    ldm_ia A.lr 0x1FFF;
+    Asm.ldr a A.lr A.lr tcb_off_pc;
+    exception_return ()
+  in
+  Asm.label a "do_yield";
+  Asm.pop a (Asm.reg_mask [ 1; 2 ]); (* undo the common-entry push *)
+  (* single task: plain return *)
+  Asm.push a (Asm.reg_mask [ 4 ]);
+  Asm.mov32 a 4 nr_tasks_addr;
+  Asm.ldr a 4 4 0;
+  Asm.cmp a 4 2;
+  Asm.pop a (Asm.reg_mask [ 4 ]);
+  Asm.branch_to a ~cond:Cond.NE "yield_return";
+  emit_switch ~return_mode_bits:mode_bits_svc;
+  Asm.label a "yield_return";
+  exception_return ();
+
+  (* --- irq handler: ack the timer, bump the tick counter; under a
+     preemptive build, also round-robin to the other task --- *)
+  Asm.label a "irq_handler";
+  Asm.push a (Asm.reg_mask [ 0; 1 ]);
+  Asm.mov32 a 0 Bus.timer_base;
+  Asm.mov a 1 0;
+  Asm.str a 1 0 0xC;
+  Asm.mov32 a 0 tick_counter_addr;
+  Asm.ldr a 1 0 0;
+  Asm.add a 1 1 1;
+  Asm.str a 1 0 0;
+  Asm.pop a (Asm.reg_mask [ 0; 1 ]);
+  if preempt then begin
+    (* lr_irq points one past the interrupted instruction: adjust it so
+       the switch body's "lr = resume pc" invariant holds, then the
+       shared straight-line switch does the rest in IRQ mode. *)
+    Asm.emit a
+      (A.make
+         (A.Dp { op = A.SUB; s = false; rd = A.lr; rn = A.lr; op2 = A.imm_operand_exn 4 }));
+    emit_switch ~return_mode_bits:mode_bits_irq
+  end
+  else
+    Asm.emit a
+      (A.make
+         (A.Dp
+            { op = A.SUB; s = true; rd = 15; rn = A.lr; op2 = A.imm_operand_exn 4 }));
+
+  (* --- panics: exit code identifies the exception --- *)
+  let panic label code =
+    Asm.label a label;
+    Asm.mov32 a 0 code;
+    Asm.mov32 a 1 Bus.syscon_base;
+    Asm.str a 0 1 0;
+    Asm.branch_to a label
+  in
+  panic "panic_undef" 0xDEAD0001;
+  panic "panic_pabt" 0xDEAD0002;
+  panic "panic_dabt" 0xDEAD0003;
+
+  let origin, kernel_words = Asm.assemble a in
+  assert (origin = kernel_base);
+  assert (4 * Array.length kernel_words < 0x1000);
+  let segments =
+    [ (kernel_base, kernel_words); (user_code_base, user_program) ]
+    @ match user_program2 with Some p -> [ (task1_code_base, p) ] | None -> []
+  in
+  { segments }
+
+let load image f = List.iter (fun (base, words) -> f base words) image.segments
+
+let user_epilogue_exit a ~exit_code_reg =
+  if exit_code_reg <> 0 then Asm.mov_r a 0 exit_code_reg;
+  Asm.mov a 7 sys_exit;
+  Asm.svc a 0

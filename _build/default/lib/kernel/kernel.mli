@@ -1,0 +1,95 @@
+(** The mini guest operating system.
+
+    A small privileged kernel written against the ARM assembler that
+    exercises every system-level path the paper's evaluation depends
+    on: exception vectors, two-level page tables with user/kernel
+    permissions, the platform timer programmed over MMIO with an IRQ
+    handler, a syscall interface, and an exception-return drop into an
+    unprivileged user program. Runs identically (by construction and
+    by differential test) on the reference interpreter and both DBT
+    engines. *)
+
+open Repro_common
+
+(** {2 Memory map (virtual = physical, identity-mapped)} *)
+
+val kernel_base : Word32.t
+(** 0x0 — vectors + kernel text/data (kernel-only pages). *)
+
+val user_code_base : Word32.t
+(** 0x0010_0000 — user text. *)
+
+val user_data_base : Word32.t
+(** 0x0020_0000 — user heap. *)
+
+val user_stack_top : Word32.t
+(** 0x002F_0000. *)
+
+val page_table_base : Word32.t
+(** 0x0030_0000 — L1 + L2 tables. *)
+
+val tick_counter_addr : Word32.t
+val task1_code_base : Word32.t
+(** Entry point of the second task (multitask images only). *)
+
+val task1_stack_top : Word32.t
+(** Kernel variable incremented by the timer IRQ handler. Lives on a
+    kernel {e data} page (separate from kernel text, which is
+    write-protected by the DBT's self-modifying-code machinery); user
+    code must read it through {!sys_ticks}. *)
+
+(** {2 Syscalls (via [svc], number in r7)} *)
+
+val sys_exit : int
+(** r0 = exit code; powers off. *)
+
+val sys_putchar : int
+(** r0 = byte for the UART. *)
+
+val sys_ticks : int
+(** Returns the timer tick count in r0. *)
+
+val sys_yield : int
+(** No-op kernel round trip. *)
+
+val sys_flags : int
+(** Returns the caller's NZCV (from the banked SPSR) in r0 bits 3..0 —
+    the flags the kernel observed at the exception boundary. *)
+
+(** {2 Image construction} *)
+
+type image = { segments : (Word32.t * Word32.t array) list }
+(** Load each [(base, words)] segment into guest memory. *)
+
+val build :
+  ?timer_period:int ->
+  ?preempt:bool ->
+  ?user_program2:Word32.t array ->
+  user_program:Word32.t array ->
+  unit ->
+  image
+(** Kernel at 0, the user program at {!user_code_base}. The boot code
+    builds the page tables in guest code, enables the MMU, programs
+    the timer ([timer_period] in guest instructions; [0] = disabled,
+    the default) and exception-returns into user mode at
+    {!user_code_base}.
+
+    [user_program2], when given, is loaded at {!task1_code_base} and
+    run as a second task under the kernel's cooperative round-robin
+    scheduler: each [sys_yield] saves the caller's full user context
+    (r0-r12, banked sp/lr, pc, CPSR) into its task control block and
+    exception-returns into the other task's. On single-task images
+    [sys_yield] is a plain kernel round trip.
+
+    [preempt] (default false; requires [user_program2]) additionally
+    round-robins on every timer interrupt, i.e. tasks are switched at
+    arbitrary user instructions — asynchronous full-context switches
+    through the DBT's interrupt machinery. *)
+
+val load : image -> (Word32.t -> Word32.t array -> unit) -> unit
+(** [load image f] calls [f base words] per segment. *)
+
+(** {2 User-side helpers} *)
+
+val user_epilogue_exit : Repro_arm.Asm.t -> exit_code_reg:int -> unit
+(** Emit the [svc]-based exit sequence a user program ends with. *)

@@ -1,0 +1,1 @@
+lib/learn/corpus.ml: List Repro_minic

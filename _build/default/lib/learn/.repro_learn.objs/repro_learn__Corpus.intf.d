@@ -1,0 +1,1 @@
+lib/learn/corpus.mli: Repro_minic

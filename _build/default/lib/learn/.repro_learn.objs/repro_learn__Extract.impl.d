@@ -1,0 +1,1 @@
+lib/learn/extract.ml: Format Hashtbl List Repro_arm Repro_minic Repro_x86

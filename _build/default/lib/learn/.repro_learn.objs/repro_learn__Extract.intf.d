@@ -1,0 +1,1 @@
+lib/learn/extract.mli: Format Repro_arm Repro_minic Repro_x86

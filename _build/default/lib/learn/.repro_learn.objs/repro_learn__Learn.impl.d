@@ -1,0 +1,1 @@
+lib/learn/learn.ml: Corpus Extract Format Hashtbl List Parameterize Printf Repro_arm Repro_minic Repro_rules Verify

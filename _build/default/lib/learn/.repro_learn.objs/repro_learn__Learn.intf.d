@@ -1,0 +1,1 @@
+lib/learn/learn.mli: Extract Format Repro_minic Repro_rules

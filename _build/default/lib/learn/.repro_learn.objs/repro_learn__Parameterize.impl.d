@@ -1,0 +1,1 @@
+lib/learn/parameterize.ml: Array Extract List Option Printf Repro_arm Repro_common Repro_rules Repro_x86 Verify Word32

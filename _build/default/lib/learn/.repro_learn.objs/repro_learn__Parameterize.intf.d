@@ -1,0 +1,1 @@
+lib/learn/parameterize.mli: Extract Repro_arm Repro_rules Verify

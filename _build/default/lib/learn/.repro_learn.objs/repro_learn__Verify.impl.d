@@ -1,0 +1,1 @@
+lib/learn/verify.ml: Array List Printf Repro_arm Repro_rules Repro_symexec Repro_x86

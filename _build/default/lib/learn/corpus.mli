@@ -1,0 +1,12 @@
+(** The training corpus: mini-C programs whose twin compilations feed
+    the rule learner. Coverage-oriented — arithmetic/logical/shift
+    combinations, multiplies, negation, every comparison operator,
+    large constants, aliased destinations — mirroring the paper's use
+    of many small training sources. *)
+
+val programs : Repro_minic.Ast.program list
+
+val runnable : Repro_minic.Ast.program list
+(** The subset meaningful to execute end-to-end (used by tests: each
+    is compiled, run under every engine and compared with the
+    reference interpreter). All [programs] are runnable here. *)

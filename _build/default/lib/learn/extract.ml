@@ -1,0 +1,80 @@
+module A = Repro_arm.Insn
+module X = Repro_x86.Insn
+module Ast = Repro_minic.Ast
+module Codegen_arm = Repro_minic.Codegen_arm
+module Codegen_x86 = Repro_minic.Codegen_x86
+
+type candidate = {
+  line : int;
+  source : string;
+  guest : Repro_arm.Insn.t list;
+  host : Repro_x86.Insn.t list;
+}
+
+let guest_computational (i : A.t) =
+  i.A.cond = Repro_arm.Cond.AL
+  && (not (A.is_branch i))
+  && (not (A.is_memory_access i))
+  && not (A.is_system_level i)
+
+let host_computational (i : X.t) =
+  match i with
+  | X.Jcc _ | X.Jmp _ | X.Label _ | X.Call_helper _ | X.Exit _ | X.Count _ -> false
+  | X.Alu { op = X.Cmp; _ } -> true
+  | _ -> true
+
+let group_by_line items line_of =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      let l = line_of item in
+      if l >= 0 then begin
+        if not (Hashtbl.mem tbl l) then order := l :: !order;
+        Hashtbl.replace tbl l (item :: (try Hashtbl.find tbl l with Not_found -> []))
+      end)
+    items;
+  List.rev_map (fun l -> (l, List.rev (Hashtbl.find tbl l))) !order
+
+let of_program (prog : Ast.program) =
+  let g = Codegen_arm.compile prog in
+  let h = Codegen_x86.compile prog in
+  let g_lines =
+    group_by_line g (fun (x : Codegen_arm.line_insn) -> x.Codegen_arm.line)
+  in
+  let h_lines =
+    group_by_line h (fun (x : Codegen_x86.line_insn) -> x.Codegen_x86.line)
+  in
+  List.filter_map
+    (fun (line, g_items) ->
+      match List.assoc_opt line h_lines with
+      | None -> None
+      | Some h_items ->
+        let guest = List.map (fun (x : Codegen_arm.line_insn) -> x.Codegen_arm.insn) g_items in
+        let host = List.map (fun (x : Codegen_x86.line_insn) -> x.Codegen_x86.insn) h_items in
+        (* Control-flow lines (if/while conditions) contribute their
+           comparison prefix: truncate both sides at the first
+           non-computational instruction, keeping the prefix when it
+           is non-empty on both. *)
+        let rec take_guest acc = function
+          | [] -> List.rev acc
+          | i :: tl -> if guest_computational i then take_guest (i :: acc) tl else List.rev acc
+        in
+        let rec take_host acc = function
+          | [] -> List.rev acc
+          | i :: tl -> if host_computational i then take_host (i :: acc) tl else List.rev acc
+        in
+        let guest = take_guest [] guest in
+        let host = take_host [] host in
+        if guest = [] || host = [] then None
+        else Some { line; source = prog.Ast.name; guest; host })
+    g_lines
+
+let pp_candidate ppf c =
+  Format.fprintf ppf "@[<v>%s:%d@,guest:@,%a@,host:@,%a@]" c.source c.line
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf i ->
+         Format.fprintf ppf "  %a" A.pp i))
+    c.guest
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf i ->
+         Format.fprintf ppf "  %a" X.pp i))
+    c.host

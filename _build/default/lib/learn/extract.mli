@@ -1,0 +1,19 @@
+(** Fragment extraction — the paper's learning-phase front half.
+
+    Both compilers tag every instruction with its source line; this
+    module pairs, per line, the guest and host instruction runs. A
+    candidate fragment pair is kept only when both sides are
+    straight-line computational code (no branches/labels — those lines
+    carry the control-flow skeleton, which rules never cover). *)
+
+type candidate = {
+  line : int;
+  source : string;  (** program name, for provenance *)
+  guest : Repro_arm.Insn.t list;
+  host : Repro_x86.Insn.t list;
+}
+
+val of_program : Repro_minic.Ast.program -> candidate list
+(** Compile both ways and extract per-line candidates. *)
+
+val pp_candidate : Format.formatter -> candidate -> unit

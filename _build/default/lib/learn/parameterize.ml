@@ -1,0 +1,406 @@
+open Repro_common
+module A = Repro_arm.Insn
+module X = Repro_x86.Insn
+module Rule = Repro_rules.Rule
+module Pinmap = Repro_rules.Pinmap
+module Prng = Repro_common.Prng
+
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+type env = {
+  mutable reg_params : int list;  (* param index -> guest reg, reversed *)
+  mutable imm_params : int list;  (* param index -> sample value, reversed *)
+}
+
+let reg_param env r =
+  let rec find i = function
+    | [] -> None
+    | x :: _ when x = r -> Some i
+    | _ :: tl -> find (i + 1) tl
+  in
+  let existing = List.rev env.reg_params in
+  match find 0 existing with
+  | Some i -> i
+  | None ->
+    env.reg_params <- r :: env.reg_params;
+    List.length existing
+
+let imm_param env v =
+  let v = Word32.mask v in
+  let rec find i = function
+    | [] -> None
+    | x :: _ when x = v -> Some i
+    | _ :: tl -> find (i + 1) tl
+  in
+  let existing = List.rev env.imm_params in
+  match find 0 existing with
+  | Some i -> Rule.P_imm i
+  | None ->
+    env.imm_params <- v :: env.imm_params;
+    Rule.P_imm (List.length existing)
+
+let lookup_imm env v =
+  let v = Word32.mask v in
+  let rec find i = function
+    | [] -> None
+    | x :: _ when x = v -> Some i
+    | _ :: tl -> find (i + 1) tl
+  in
+  find 0 (List.rev env.imm_params)
+
+(* ---------- guest side ---------- *)
+
+let gen_op2 env (op2 : A.operand2) : Rule.g_op2 =
+  match op2 with
+  | A.Imm { imm8; rot } -> Rule.G_imm (imm_param env (Word32.rotate_right imm8 (2 * rot)))
+  | A.Reg_shift_imm { rm; kind = A.LSL; amount = 0 } -> Rule.G_reg (reg_param env rm)
+  | A.Reg_shift_imm { rm; kind; amount } ->
+    Rule.G_shift { rm = reg_param env rm; kind; amount = imm_param env amount }
+  | A.Reg_shift_reg { rm; kind; rs } ->
+    (* sound to pair with the host's cl-shift: both the model ISA and
+       x86 reduce the amount mod 32 (DESIGN.md §7) *)
+    Rule.G_shift_reg { rm = reg_param env rm; kind; rs = reg_param env rs }
+
+let gen_guest env (i : A.t) : Rule.g_insn =
+  match i.A.op with
+  | A.Dp { op; s; rd; rn; op2 } ->
+    let rn_p = match op with A.MOV | A.MVN -> -1 | _ -> reg_param env rn in
+    let op2_p = gen_op2 env op2 in
+    let rd_p = if A.dp_op_is_test op then max rn_p 0 else reg_param env rd in
+    let rn_p = if rn_p = -1 then rd_p else rn_p in
+    Rule.G_dp { ops = [ op ]; s; rd = rd_p; rn = rn_p; op2 = op2_p }
+  | A.Mul { s; rd; rn; rm; acc } ->
+    Rule.G_mul
+      {
+        s;
+        rd = reg_param env rd;
+        rn = reg_param env rn;
+        rm = reg_param env rm;
+        acc = Option.map (reg_param env) acc;
+      }
+  | A.Movw { rd; imm16 } -> Rule.G_movw { rd = reg_param env rd; imm = imm_param env imm16 }
+  | A.Movt { rd; imm16 } -> Rule.G_movt { rd = reg_param env rd; imm = imm_param env imm16 }
+  | _ -> reject "non-computational guest instruction"
+
+(* ---------- host side ---------- *)
+
+let guest_of_host =
+  let t = Array.make 16 (-1) in
+  List.iter
+    (fun g -> match Pinmap.pin g with Some h -> t.(h) <- g | None -> ())
+    Pinmap.pinned_guests;
+  t
+
+let scratch_index h =
+  let rec find i =
+    if i >= Array.length Pinmap.scratch then None
+    else if Pinmap.scratch.(i) = h then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let host_reg env h ~params_only =
+  let g = guest_of_host.(h) in
+  if g >= 0 then begin
+    (* must already be a parameter (host may not touch unrelated
+       pinned registers — verification guarantees this) *)
+    let existing = List.rev env.reg_params in
+    match List.find_index (fun x -> x = g) existing with
+    | Some i -> Rule.H_param i
+    | None -> reject "host touches pinned register outside the pattern"
+  end
+  else
+    match scratch_index h with
+    | Some k -> Rule.H_scratch k
+    | None ->
+      if params_only then reject "host uses non-scratch unpinned register %d" h
+      else reject "host register %d unavailable" h
+
+let host_imm env v =
+  match lookup_imm env v with Some i -> Rule.H_imm (Rule.P_imm i) | None -> Rule.H_imm (Rule.Fixed (Word32.mask v))
+
+let host_operand env (o : X.operand) =
+  match o with
+  | X.Reg r -> host_reg env r ~params_only:true
+  | X.Imm v -> host_imm env v
+  | X.Mem _ -> reject "host memory operand"
+
+let imm_of_pimm env = function
+  | (Rule.P_imm _ | Rule.P_imm_shl _) as p -> p
+  | Rule.Fixed v -> (
+    match lookup_imm env v with Some i -> Rule.P_imm i | None -> Rule.Fixed v)
+
+let gen_host env (insns : X.t list) : Rule.h_insn list =
+  (* Fuse "mov rcx, src; shift dst, cl" into H_shift_cl. *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | X.Mov { width = X.W32; dst = X.Reg c; src }
+      :: X.Shift { op; dst; amount = X.Sh_cl }
+      :: tl
+      when c = X.rcx ->
+      go
+        (Rule.H_shift_cl { op; dst = host_operand env dst; amount_src = host_operand env src }
+        :: acc)
+        tl
+    | X.Mov { width = X.W32; dst; src } :: tl ->
+      go (Rule.H_mov { dst = host_operand env dst; src = host_operand env src } :: acc) tl
+    | X.Lea { dst; addr = { base = Some b; index = Some i; scale = 1; disp = 0; _ } } :: tl ->
+      go
+        (Rule.H_lea2
+           {
+             dst = host_reg env dst ~params_only:true;
+             a = host_reg env b ~params_only:true;
+             b = host_reg env i ~params_only:true;
+           }
+        :: acc)
+        tl
+    | X.Lea { dst; addr = { base = Some b; index = None; scale = 1; disp; _ } } :: tl ->
+      go
+        (Rule.H_lea_imm
+           {
+             dst = host_reg env dst ~params_only:true;
+             a = host_reg env b ~params_only:true;
+             imm = imm_of_pimm env (Rule.Fixed (Word32.mask disp));
+           }
+        :: acc)
+        tl
+    | X.Alu { op; dst; src } :: tl ->
+      go
+        (Rule.H_alu { op = `Fixed op; dst = host_operand env dst; src = host_operand env src }
+        :: acc)
+        tl
+    | X.Shift { op; dst; amount = X.Sh_imm n } :: tl ->
+      go
+        (Rule.H_shift
+           { op; dst = host_operand env dst; amount = imm_of_pimm env (Rule.Fixed n) }
+        :: acc)
+        tl
+    | X.Neg o :: tl -> go (Rule.H_neg (host_operand env o) :: acc) tl
+    | X.Not o :: tl -> go (Rule.H_not (host_operand env o) :: acc) tl
+    | X.Imul { dst; src } :: tl ->
+      go
+        (Rule.H_imul { dst = host_reg env dst ~params_only:true; src = host_operand env src }
+        :: acc)
+        tl
+    | i :: _ -> reject "unsupported host instruction %s" (X.to_string i)
+  in
+  go [] insns
+
+(* ---------- re-validation of instantiations ---------- *)
+
+let concretize_op2 ~imms (op2 : Rule.g_op2) : A.operand2 =
+  match op2 with
+  | Rule.G_imm pi -> (
+    let v = match pi with Rule.P_imm i -> imms.(i) | Rule.Fixed v -> v | Rule.P_imm_shl _ -> assert false in
+    match A.imm_operand v with
+    | Some o -> o
+    | None -> raise (Reject "unencodable immediate instantiation"))
+  | Rule.G_reg p -> raise (Reject (Printf.sprintf "G_reg handled by caller %d" p))
+  | Rule.G_shift _ -> raise (Reject "G_shift handled by caller")
+  | Rule.G_shift_reg _ -> raise (Reject "G_shift_reg handled by caller")
+
+let concretize_guest (pattern : Rule.g_insn list) ~regs ~imms =
+  let imm v = match v with Rule.P_imm i -> imms.(i) | Rule.Fixed f -> f | Rule.P_imm_shl _ -> assert false in
+  List.map
+    (fun (g : Rule.g_insn) ->
+      match g with
+      | Rule.G_dp { ops; s; rd; rn; op2 } ->
+        let op = List.hd ops in
+        let op2 =
+          match op2 with
+          | Rule.G_imm pi -> concretize_op2 ~imms (Rule.G_imm pi)
+          | Rule.G_reg p -> A.Reg_shift_imm { rm = regs.(p); kind = A.LSL; amount = 0 }
+          | Rule.G_shift { rm; kind; amount } ->
+            A.Reg_shift_imm { rm = regs.(rm); kind; amount = imm amount land 31 }
+          | Rule.G_shift_reg { rm; kind; rs } ->
+            A.Reg_shift_reg { rm = regs.(rm); kind; rs = regs.(rs) }
+        in
+        A.make
+          (A.Dp
+             {
+               op;
+               s = (if A.dp_op_is_test op then false else s);
+               rd = (if A.dp_op_is_test op then 0 else regs.(rd));
+               rn = regs.(rn);
+               op2;
+             })
+      | Rule.G_mul { s; rd; rn; rm; acc } ->
+        A.make
+          (A.Mul
+             { s; rd = regs.(rd); rn = regs.(rn); rm = regs.(rm);
+               acc = Option.map (fun p -> regs.(p)) acc })
+      | Rule.G_movw { rd; imm = i } -> A.make (A.Movw { rd = regs.(rd); imm16 = imm i land 0xFFFF })
+      | Rule.G_movt { rd; imm = i } -> A.make (A.Movt { rd = regs.(rd); imm16 = imm i land 0xFFFF }))
+    pattern
+
+(* Validate one instantiation of the parameterized rule by re-running
+   the verifier on concrete code from both sides. *)
+let validate_instance (rule : Rule.t) ~regs ~imms =
+  let guest = concretize_guest rule.Rule.guest ~regs ~imms in
+  let binding = { Rule.regs; imms; matched = None } in
+  (* install matched op for class rules (singleton here) *)
+  (match rule.Rule.guest with
+  | Rule.G_dp { ops = [ op ]; _ } :: _ -> binding.Rule.matched <- Some op
+  | _ -> ());
+  match
+    Rule.instantiate rule binding ~pin_of_guest_reg:Pinmap.pin ~scratch:Pinmap.scratch
+  with
+  | None -> Error "unpinned instantiation"
+  | Some host -> (
+    match Verify.check ~guest ~host with
+    | Ok v ->
+      if v.Verify.carry_in = rule.Rule.carry_in then Ok ()
+      else Error "carry-in mismatch under instantiation"
+    | Error e -> Error e)
+
+let pinned_pool = Array.of_list Pinmap.pinned_guests
+
+let sample_imm prng (context : Rule.g_insn list) idx =
+  (* choose values valid for every context the parameter appears in *)
+  let shiftish = ref false in
+  let movwish = ref false in
+  List.iter
+    (fun g ->
+      match g with
+      | Rule.G_dp { op2 = Rule.G_shift { amount = Rule.P_imm i; _ }; _ } when i = idx ->
+        shiftish := true
+      | Rule.G_movw { imm = Rule.P_imm i; _ } | Rule.G_movt { imm = Rule.P_imm i; _ }
+        when i = idx -> movwish := true
+      | _ -> ())
+    context;
+  if !shiftish then 1 + Prng.int prng 31
+  else if !movwish then Prng.int prng 0x10000
+  else Prng.int prng 256 (* always ARM-encodable *)
+
+let generalize (cand : Extract.candidate) (v : Verify.verified) ~next_id =
+  try
+    let env = { reg_params = []; imm_params = [] } in
+    let guest = List.map (gen_guest env) cand.Extract.guest in
+    let host = gen_host env cand.Extract.host in
+    let n_reg = List.length env.reg_params in
+    let n_imm = List.length env.imm_params in
+    let flags =
+      match v.Verify.flags with
+      | Verify.F_none { host_clobbers } ->
+        { Rule.guest_writes = false; host_clobbers; convention = None }
+      | Verify.F_writes conv ->
+        { Rule.guest_writes = true; host_clobbers = true; convention = Some conv }
+    in
+    let base_rule =
+      {
+        Rule.id = next_id ();
+        name = Printf.sprintf "%s:%d" cand.Extract.source cand.Extract.line;
+        guest;
+        host;
+        n_reg_params = n_reg;
+        n_imm_params = n_imm;
+        flags;
+        carry_in = v.Verify.carry_in;
+        require_distinct = [];
+        source = `Learned (Printf.sprintf "%s:%d" cand.Extract.source cand.Extract.line);
+      }
+    in
+    (* Freeze every immediate parameter to its sample value (used when
+       generalized immediates fail re-validation, e.g. rsb #0 → neg). *)
+    let freeze_imms (r : Rule.t) samples =
+      let fr = function
+        | Rule.P_imm i -> Rule.Fixed samples.(i)
+        | Rule.P_imm_shl (i, k) -> Rule.Fixed (Word32.shift_left samples.(i) k)
+        | Rule.Fixed v -> Rule.Fixed v
+      in
+      let fr_gop2 = function
+        | Rule.G_imm pi -> Rule.G_imm (fr pi)
+        | Rule.G_reg p -> Rule.G_reg p
+        | Rule.G_shift { rm; kind; amount } -> Rule.G_shift { rm; kind; amount = fr amount }
+        | Rule.G_shift_reg _ as g -> g
+      in
+      let fr_g = function
+        | Rule.G_dp { ops; s; rd; rn; op2 } -> Rule.G_dp { ops; s; rd; rn; op2 = fr_gop2 op2 }
+        | Rule.G_mul _ as g -> g
+        | Rule.G_movw { rd; imm } -> Rule.G_movw { rd; imm = fr imm }
+        | Rule.G_movt { rd; imm } -> Rule.G_movt { rd; imm = fr imm }
+      in
+      let fr_hop = function
+        | Rule.H_imm pi -> Rule.H_imm (fr pi)
+        | o -> o
+      in
+      let fr_h = function
+        | Rule.H_mov { dst; src } -> Rule.H_mov { dst = fr_hop dst; src = fr_hop src }
+        | Rule.H_lea2 _ as h -> h
+        | Rule.H_lea_imm { dst; a; imm } -> Rule.H_lea_imm { dst; a; imm = fr imm }
+        | Rule.H_alu { op; dst; src } -> Rule.H_alu { op; dst = fr_hop dst; src = fr_hop src }
+        | Rule.H_shift { op; dst; amount } -> Rule.H_shift { op; dst = fr_hop dst; amount = fr amount }
+        | Rule.H_shift_cl { op; dst; amount_src } ->
+          Rule.H_shift_cl { op; dst = fr_hop dst; amount_src = fr_hop amount_src }
+        | Rule.H_not o -> Rule.H_not (fr_hop o)
+        | Rule.H_neg o -> Rule.H_neg (fr_hop o)
+        | Rule.H_imul { dst; src } -> Rule.H_imul { dst = fr_hop dst; src = fr_hop src }
+      in
+      {
+        r with
+        Rule.guest = List.map fr_g r.Rule.guest;
+        host = List.map fr_h r.Rule.host;
+        n_imm_params = 0;
+      }
+    in
+    let prng = Prng.of_string base_rule.Rule.name in
+    let fresh_regs () =
+      (* distinct register assignment *)
+      let pool = Array.copy pinned_pool in
+      let n = Array.length pool in
+      for i = n - 1 downto 1 do
+        let j = Prng.int prng (i + 1) in
+        let t = pool.(i) in
+        pool.(i) <- pool.(j);
+        pool.(j) <- t
+      done;
+      Array.init (max n_reg 1) (fun i -> pool.(i mod n))
+    in
+    let fresh_imms () = Array.init (max n_imm 1) (fun i -> sample_imm prng guest i) in
+    (* distinct-instance validation (3 samples); if generalized
+       immediates don't re-validate, fall back to a rule with the
+       immediates frozen to the training values. *)
+    let original_imms =
+      Array.of_list (List.rev env.imm_params)
+    in
+    let base_rule =
+      let ok = ref true in
+      (try
+         for _ = 1 to 3 do
+           match validate_instance base_rule ~regs:(fresh_regs ()) ~imms:(fresh_imms ()) with
+           | Ok () -> ()
+           | Error _ ->
+             ok := false;
+             raise Exit
+         done
+       with Exit -> ());
+      if !ok then base_rule
+      else begin
+        let frozen = freeze_imms base_rule original_imms in
+        (match
+           validate_instance frozen ~regs:(fresh_regs ())
+             ~imms:(Array.make 1 0)
+         with
+        | Ok () -> ()
+        | Error e -> reject "re-validation failed even with frozen immediates: %s" e);
+        frozen
+      end
+    in
+    (* alias pairs: find constraints *)
+    let imms_for_rule () =
+      if base_rule.Rule.n_imm_params = 0 then Array.make 1 0 else fresh_imms ()
+    in
+    let distinct = ref [] in
+    for p = 0 to n_reg - 1 do
+      for q = p + 1 to n_reg - 1 do
+        let regs = fresh_regs () in
+        regs.(q) <- regs.(p);
+        match validate_instance base_rule ~regs ~imms:(imms_for_rule ()) with
+        | Ok () -> ()
+        | Error _ -> distinct := (p, q) :: !distinct
+      done
+    done;
+    Ok { base_rule with Rule.require_distinct = !distinct }
+  with Reject msg -> Error msg

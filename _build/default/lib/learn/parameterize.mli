@@ -1,0 +1,16 @@
+(** Rule parameterization (the MICRO'20 "more with less" step):
+    abstract the concrete registers and immediates of a verified
+    fragment pair into indexed parameters, then re-validate the
+    parameterized rule on fresh instantiations (including aliased
+    register assignments, which discovers the anti-aliasing
+    constraints recorded in [require_distinct]). *)
+
+val generalize :
+  Extract.candidate -> Verify.verified -> next_id:(unit -> int) ->
+  (Repro_rules.Rule.t, string) result
+
+val concretize_guest :
+  Repro_rules.Rule.g_insn list -> regs:int array -> imms:int array ->
+  Repro_arm.Insn.t list
+(** Instantiate a guest pattern with concrete registers/immediates
+    (validation aid; exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/machine/bus.ml: Bytes Char Devices

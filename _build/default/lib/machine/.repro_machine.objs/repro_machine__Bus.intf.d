@@ -1,0 +1,1 @@
+lib/machine/bus.mli: Bytes Devices Repro_common Word32

@@ -1,0 +1,1 @@
+lib/machine/devices.ml: Buffer Char Repro_common Word32

@@ -1,0 +1,38 @@
+(** The guest physical address space: RAM at 0x0 plus the MMIO device
+    window at 0xF000_0000. The RAM backing store is shared with the
+    host execution context so DBT-emitted code can access guest memory
+    directly after translation, while device pages always take the
+    slow path (they are never entered into the TLB). *)
+
+open Repro_common
+
+val timer_base : Word32.t
+val uart_base : Word32.t
+val syscon_base : Word32.t
+
+type t = {
+  ram : Bytes.t;
+  timer : Devices.Timer.t;
+  uart : Devices.Uart.t;
+  syscon : Devices.Syscon.t;
+}
+
+val create : ram:Bytes.t -> t
+val ram_size : t -> int
+
+val is_ram : t -> Word32.t -> bool
+(** Physical page is ordinary RAM (safe to map in the TLB). *)
+
+val read32 : t -> Word32.t -> (Word32.t, unit) result
+(** [Error ()] is a bus error (unmapped physical address). Addresses
+    must be 4-aligned (checked by the MMU before dispatch). *)
+
+val write32 : t -> Word32.t -> Word32.t -> (unit, unit) result
+val read8 : t -> Word32.t -> (int, unit) result
+val write8 : t -> Word32.t -> int -> (unit, unit) result
+
+val tick : t -> int -> unit
+(** Advance device time by [n] retired guest instructions. *)
+
+val irq_line : t -> bool
+val halted : t -> Word32.t option

@@ -1,0 +1,60 @@
+open Repro_common
+
+module Timer = struct
+  type t = {
+    mutable enabled : bool;
+    mutable period : int;
+    mutable count : int;
+    mutable pending : bool;
+    mutable raised : int;
+  }
+
+  let create () = { enabled = false; period = 0; count = 0; pending = false; raised = 0 }
+
+  let read t = function
+    | 0x0 -> if t.enabled then 1 else 0
+    | 0x4 -> Word32.mask t.period
+    | 0x8 -> Word32.mask t.count
+    | _ -> 0
+
+  let write t off v =
+    match off with
+    | 0x0 -> t.enabled <- Word32.bit v 0
+    | 0x4 -> t.period <- v
+    | 0xC -> t.pending <- false
+    | _ -> ()
+
+  let tick t n =
+    if t.enabled && t.period > 0 then begin
+      t.count <- t.count + n;
+      while t.count >= t.period do
+        t.count <- t.count - t.period;
+        if not t.pending then t.raised <- t.raised + 1;
+        t.pending <- true
+      done
+    end
+
+  let irq_line t = t.pending
+  let irqs_raised t = t.raised
+end
+
+module Uart = struct
+  type t = { buf : Buffer.t }
+
+  let create () = { buf = Buffer.create 256 }
+  let read _t = function 0x4 -> 1 (* always ready *) | _ -> 0
+
+  let write t off v =
+    match off with 0x0 -> Buffer.add_char t.buf (Char.chr (v land 0xFF)) | _ -> ()
+
+  let output t = Buffer.contents t.buf
+end
+
+module Syscon = struct
+  type t = { mutable halted : Word32.t option }
+
+  let create () = { halted = None }
+  let read _ _ = 0
+  let write t off v = match off with 0 -> t.halted <- Some v | _ -> ()
+  let halted t = t.halted
+end

@@ -1,0 +1,60 @@
+(** Memory-mapped devices of the emulated platform.
+
+    The platform has a timer (the IRQ source driving the paper's
+    interrupt-check scenario), a UART for guest console output, and a
+    system controller the guest writes to power off. Device time
+    advances with retired guest instructions, so behaviour is
+    deterministic and identical under the interpreter and both DBT
+    engines. *)
+
+open Repro_common
+
+(** {2 Timer} *)
+
+module Timer : sig
+  type t
+
+  val create : unit -> t
+
+  val read : t -> int -> Word32.t
+  (** Register offsets: 0x0 CTRL (bit0 enable), 0x4 PERIOD (guest
+      instructions between IRQs), 0x8 COUNT (read-only), 0xC ACK
+      (write-only). *)
+
+  val write : t -> int -> Word32.t -> unit
+  val tick : t -> int -> unit
+  (** Advance device time by [n] retired guest instructions. *)
+
+  val irq_line : t -> bool
+  (** Level of the timer's interrupt output. *)
+
+  val irqs_raised : t -> int
+end
+
+(** {2 UART} *)
+
+module Uart : sig
+  type t
+
+  val create : unit -> t
+  val read : t -> int -> Word32.t
+  (** 0x0 DATA, 0x4 STATUS (always ready). *)
+
+  val write : t -> int -> Word32.t -> unit
+  val output : t -> string
+  (** Everything the guest wrote to DATA. *)
+end
+
+(** {2 System controller} *)
+
+module Syscon : sig
+  type t
+
+  val create : unit -> t
+  val read : t -> int -> Word32.t
+  val write : t -> int -> Word32.t -> unit
+  (** Writing to offset 0 powers the machine off with the written
+      exit code. *)
+
+  val halted : t -> Word32.t option
+end

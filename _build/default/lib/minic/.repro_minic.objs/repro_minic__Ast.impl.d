@@ -1,0 +1,1 @@
+lib/minic/ast.ml: Format List Result String

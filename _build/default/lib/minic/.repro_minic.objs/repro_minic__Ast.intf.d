@@ -1,0 +1,1 @@
+lib/minic/ast.mli: Format

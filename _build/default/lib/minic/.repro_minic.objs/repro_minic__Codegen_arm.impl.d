@@ -1,0 +1,1 @@
+lib/minic/codegen_arm.ml: Array Ast Hashtbl List Option Printf Regalloc Repro_arm Repro_common Repro_machine

@@ -1,0 +1,1 @@
+lib/minic/codegen_arm.mli: Ast Repro_arm Repro_common

@@ -1,0 +1,1 @@
+lib/minic/codegen_x86.ml: Ast List Option Regalloc Repro_rules Repro_x86

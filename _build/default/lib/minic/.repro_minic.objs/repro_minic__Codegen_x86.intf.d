@@ -1,0 +1,1 @@
+lib/minic/codegen_x86.mli: Ast Repro_x86

@@ -1,0 +1,1 @@
+lib/minic/regalloc.mli: Ast Repro_arm

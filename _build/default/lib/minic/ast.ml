@@ -1,0 +1,119 @@
+type var = string
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr | Asr
+type unop = Neg | Not
+
+type expr = Int of int | Var of var | Binop of binop * expr * expr | Unop of unop * expr
+
+type relop = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Uge
+type cond = Rel of relop * expr * expr
+type stmt = { line : int; body : stmt_body }
+
+and stmt_body =
+  | Assign of var * expr
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+
+type program = { name : string; locals : var list; body : stmt list }
+
+let rec expr_depth = function
+  | Int _ | Var _ -> 1
+  | Unop (_, e) -> expr_depth e
+  | Binop (_, a, b) -> 1 + max (expr_depth a) (expr_depth b)
+
+let validate p =
+  let ( let* ) = Result.bind in
+  let* () =
+    if List.length p.locals > 5 then Error "too many locals (max 5)" else Ok ()
+  in
+  let declared v = List.mem v p.locals in
+  let rec check_expr = function
+    | Int _ -> Ok ()
+    | Var v -> if declared v then Ok () else Error ("undeclared variable " ^ v)
+    | Unop (_, e) -> check_expr e
+    | Binop (_, a, b) ->
+      let* () = check_expr a in
+      check_expr b
+  in
+  let check_cond (Rel (_, a, b)) =
+    let* () = check_expr a in
+    check_expr b
+  in
+  let rec check_stmts stmts =
+    List.fold_left
+      (fun acc (s : stmt) ->
+        let* () = acc in
+        match s.body with
+        | Assign (x, e) ->
+          let* () = if declared x then Ok () else Error ("undeclared variable " ^ x) in
+          let* () = check_expr e in
+          if expr_depth e > 4 then Error "expression too deep" else Ok ()
+        | If (c, t, e) ->
+          let* () = check_cond c in
+          let* () = check_stmts t in
+          check_stmts e
+        | While (c, b) ->
+          let* () = check_cond c in
+          check_stmts b)
+      (Ok ()) stmts
+  in
+  check_stmts p.body
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Asr -> ">>a"
+
+let relop_name = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Slt -> "<"
+  | Sle -> "<="
+  | Sgt -> ">"
+  | Sge -> ">="
+  | Ult -> "<u"
+  | Uge -> ">=u"
+
+let rec pp_expr ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Var v -> Format.pp_print_string ppf v
+  | Unop (Neg, e) -> Format.fprintf ppf "-(%a)" pp_expr e
+  | Unop (Not, e) -> Format.fprintf ppf "~(%a)" pp_expr e
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+
+let pp_cond ppf (Rel (op, a, b)) =
+  Format.fprintf ppf "%a %s %a" pp_expr a (relop_name op) pp_expr b
+
+let rec pp_stmt ppf (s : stmt) =
+  match s.body with
+  | Assign (x, e) -> Format.fprintf ppf "@[<h>%2d: %s = %a;@]" s.line x pp_expr e
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v>%2d: if (%a) {@;<0 2>%a@,}" s.line pp_cond c pp_stmts t;
+    if e <> [] then Format.fprintf ppf " else {@;<0 2>%a@,}" pp_stmts e;
+    Format.fprintf ppf "@]"
+  | While (c, b) ->
+    Format.fprintf ppf "@[<v>%2d: while (%a) {@;<0 2>%a@,}@]" s.line pp_cond c pp_stmts b
+
+and pp_stmts ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>%s(%s):@,%a@]" p.name (String.concat ", " p.locals) pp_stmts
+    p.body
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( &&& ) a b = Binop (And, a, b)
+let ( ||| ) a b = Binop (Or, a, b)
+let ( ^^^ ) a b = Binop (Xor, a, b)
+let ( <<< ) a n = Binop (Shl, a, Int n)
+let ( >>> ) a n = Binop (Shr, a, Int n)
+let i n = Int n
+let v s = Var s

@@ -1,0 +1,53 @@
+(** The training source language.
+
+    The learning pipeline needs the same source compiled to both ISAs
+    with per-instruction line provenance (the "debug information" of
+    the paper's learning phase). Mini-C is a tiny imperative language
+    of register-resident integer locals — rich enough to make the two
+    code generators emit the full computational instruction vocabulary,
+    with every statement carrying a source line. *)
+
+type var = string
+
+type binop = Add | Sub | Mul | And | Or | Xor | Shl | Shr | Asr
+type unop = Neg | Not
+
+type expr =
+  | Int of int
+  | Var of var
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type relop = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Uge
+
+type cond = Rel of relop * expr * expr
+
+(** Statements; [line] is the source line used for fragment
+    extraction. *)
+type stmt = { line : int; body : stmt_body }
+
+and stmt_body =
+  | Assign of var * expr
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+
+type program = { name : string; locals : var list; body : stmt list }
+
+val validate : program -> (unit, string) result
+(** Locals must be declared, ≤ 5 of them (register allocation), and
+    expression depth bounded (temp registers). *)
+
+val pp_program : Format.formatter -> program -> unit
+
+(** {2 Construction helpers} *)
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( &&& ) : expr -> expr -> expr
+val ( ||| ) : expr -> expr -> expr
+val ( ^^^ ) : expr -> expr -> expr
+val ( <<< ) : expr -> int -> expr
+val ( >>> ) : expr -> int -> expr
+val i : int -> expr
+val v : string -> expr

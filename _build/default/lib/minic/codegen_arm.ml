@@ -1,0 +1,189 @@
+module A = Repro_arm.Insn
+module Cond = Repro_arm.Cond
+module Asm = Repro_arm.Asm
+
+type line_insn = { line : int; insn : Repro_arm.Insn.t }
+
+(* Emission context: an underlying Asm builder plus per-insn line
+   recording. Lines are attached by position at assembly time. *)
+type ctx = {
+  asm : Asm.t;
+  mutable lines : (int * int) list;  (* (word index, line), reversed *)
+  mutable index : int;
+  mutable label_id : int;
+  prog : Ast.program;
+}
+
+let emit ctx line insn =
+  Asm.emit ctx.asm insn;
+  ctx.lines <- (ctx.index, line) :: ctx.lines;
+  ctx.index <- ctx.index + 1
+
+let emit_branch ctx line ?cond target =
+  Asm.branch_to ctx.asm ?cond target;
+  ctx.lines <- (ctx.index, line) :: ctx.lines;
+  ctx.index <- ctx.index + 1
+
+let fresh_label ctx prefix =
+  let n = ctx.label_id in
+  ctx.label_id <- n + 1;
+  Printf.sprintf ".%s%d" prefix n
+
+let dp line ctx op ?(s = false) rd rn op2 =
+  emit ctx line (A.make (A.Dp { op; s; rd; rn; op2 }))
+
+let reg_op2 r = A.Reg_shift_imm { rm = r; kind = A.LSL; amount = 0 }
+
+(* Materialize a constant into [dst]. *)
+let load_const ctx line dst n =
+  let n = Repro_common.Word32.mask n in
+  match A.imm_operand n with
+  | Some op2 -> dp line ctx A.MOV dst 0 op2
+  | None -> (
+    match A.imm_operand (Repro_common.Word32.lognot n) with
+    | Some op2 -> dp line ctx A.MVN dst 0 op2
+    | None ->
+      emit ctx line (A.make (A.Movw { rd = dst; imm16 = n land 0xFFFF }));
+      if n lsr 16 <> 0 then
+        emit ctx line (A.make (A.Movt { rd = dst; imm16 = n lsr 16 })))
+
+let binop_dp : Ast.binop -> A.dp_op option = function
+  | Ast.Add -> Some A.ADD
+  | Ast.Sub -> Some A.SUB
+  | Ast.And -> Some A.AND
+  | Ast.Or -> Some A.ORR
+  | Ast.Xor -> Some A.EOR
+  | Ast.Mul | Ast.Shl | Ast.Shr | Ast.Asr -> None
+
+let shift_kind : Ast.binop -> A.shift_kind option = function
+  | Ast.Shl -> Some A.LSL
+  | Ast.Shr -> Some A.LSR
+  | Ast.Asr -> Some A.ASR
+  | _ -> None
+
+(* Evaluate [e] into register [dst]; [tmp] is the next free temp slot. *)
+let rec eval ctx line ~dst ~tmp (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> load_const ctx line dst n
+  | Ast.Var v ->
+    let r = Regalloc.local_guest ctx.prog v in
+    if r <> dst then dp line ctx A.MOV dst 0 (reg_op2 r)
+  | Ast.Unop (Ast.Neg, a) ->
+    let ra = eval_to_reg ctx line ~tmp a in
+    dp line ctx A.RSB dst ra (A.imm_operand_exn 0)
+  | Ast.Unop (Ast.Not, a) ->
+    let ra = eval_to_reg ctx line ~tmp a in
+    dp line ctx A.MVN dst 0 (reg_op2 ra)
+  | Ast.Binop (op, a, Ast.Binop (shop, b, Ast.Int k))
+    when binop_dp op <> None && shift_kind shop <> None ->
+    (* ARM's signature fused form: op rd, ra, rb LSL #k *)
+    let dpo = Option.get (binop_dp op) in
+    let kind = Option.get (shift_kind shop) in
+    let ra = eval_to_reg ctx line ~tmp a in
+    let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+    dp line ctx dpo dst ra (A.Reg_shift_imm { rm = rb; kind; amount = k land 31 })
+  | Ast.Binop (op, a, b) -> (
+    let ra = eval_to_reg ctx line ~tmp a in
+    match (binop_dp op, shift_kind op, b) with
+    | Some dpo, _, Ast.Int n when A.imm_operand n <> None ->
+      dp line ctx dpo dst ra (A.imm_operand_exn n)
+    | Some dpo, _, _ ->
+      let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+      dp line ctx dpo dst ra (reg_op2 rb)
+    | None, Some kind, Ast.Int n ->
+      dp line ctx A.MOV dst 0 (A.Reg_shift_imm { rm = ra; kind; amount = n land 31 })
+    | None, Some kind, _ ->
+      let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+      dp line ctx A.MOV dst 0 (A.Reg_shift_reg { rm = ra; kind; rs = rb })
+    | None, None, _ ->
+      (* multiply *)
+      let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+      emit ctx line (A.make (A.Mul { s = false; rd = dst; rn = rb; rm = ra; acc = None })))
+
+(* Evaluate to "wherever it already is" for variables, else into the
+   temp slot. *)
+and eval_to_reg ctx line ~tmp (e : Ast.expr) =
+  match e with
+  | Ast.Var v -> Regalloc.local_guest ctx.prog v
+  | _ ->
+    let dst = Regalloc.temp_guest tmp in
+    eval ctx line ~dst ~tmp:(tmp + 1) e;
+    dst
+
+let cond_of_relop : Ast.relop -> Cond.t = function
+  | Ast.Eq -> Cond.EQ
+  | Ast.Ne -> Cond.NE
+  | Ast.Slt -> Cond.LT
+  | Ast.Sle -> Cond.LE
+  | Ast.Sgt -> Cond.GT
+  | Ast.Sge -> Cond.GE
+  | Ast.Ult -> Cond.CC
+  | Ast.Uge -> Cond.CS
+
+(* Emit the comparison; returns the condition under which it holds. *)
+let eval_cond ctx line (Ast.Rel (op, a, b)) =
+  let ra = eval_to_reg ctx line ~tmp:0 a in
+  (match b with
+  | Ast.Int n when A.imm_operand n <> None ->
+    dp line ctx A.CMP 0 ra (A.imm_operand_exn n)
+  | _ ->
+    let rb = eval_to_reg ctx line ~tmp:1 b in
+    dp line ctx A.CMP 0 ra (reg_op2 rb));
+  cond_of_relop op
+
+let rec gen_stmts ctx stmts = List.iter (gen_stmt ctx) stmts
+
+and gen_stmt ctx (s : Ast.stmt) =
+  match s.Ast.body with
+  | Ast.Assign (x, e) ->
+    let rx = Regalloc.local_guest ctx.prog x in
+    eval ctx s.Ast.line ~dst:rx ~tmp:0 e
+  | Ast.If (c, then_s, else_s) ->
+    let l_else = fresh_label ctx "else" in
+    let l_end = fresh_label ctx "endif" in
+    let cond = eval_cond ctx s.Ast.line c in
+    emit_branch ctx s.Ast.line ~cond:(Cond.negate cond)
+      (if else_s = [] then l_end else l_else);
+    gen_stmts ctx then_s;
+    if else_s <> [] then begin
+      emit_branch ctx s.Ast.line l_end;
+      Asm.label ctx.asm l_else;
+      gen_stmts ctx else_s
+    end;
+    Asm.label ctx.asm l_end
+  | Ast.While (c, body) ->
+    let l_head = fresh_label ctx "while" in
+    let l_end = fresh_label ctx "endwhile" in
+    Asm.label ctx.asm l_head;
+    let cond = eval_cond ctx s.Ast.line c in
+    emit_branch ctx s.Ast.line ~cond:(Cond.negate cond) l_end;
+    gen_stmts ctx body;
+    emit_branch ctx s.Ast.line l_head;
+    Asm.label ctx.asm l_end
+
+let make_ctx prog = { asm = Asm.create (); lines = []; index = 0; label_id = 0; prog }
+
+let compile prog =
+  let ctx = make_ctx prog in
+  gen_stmts ctx prog.Ast.body;
+  let _, insns = Asm.assemble_insns ctx.asm in
+  let line_of = Hashtbl.create 64 in
+  List.iter (fun (i, l) -> Hashtbl.replace line_of i l) ctx.lines;
+  Array.to_list insns
+  |> List.mapi (fun i insn ->
+         { line = (match Hashtbl.find_opt line_of i with Some l -> l | None -> -1); insn })
+
+let compile_runnable prog ~halt_with =
+  let ctx = make_ctx prog in
+  gen_stmts ctx prog.Ast.body;
+  (* Halt epilogue: r0 := exit value; r1 := syscon; str *)
+  let line = -1 in
+  (match halt_with with
+  | Some v ->
+    let r = Regalloc.local_guest prog v in
+    if r <> 0 then dp line ctx A.MOV 0 0 (reg_op2 r)
+  | None -> load_const ctx line 0 0);
+  load_const ctx line 1 Repro_machine.Bus.syscon_base;
+  emit ctx line
+    (A.make (A.Str { width = A.Word; rd = 0; rn = 1; off = A.Imm_off 0; index = A.Offset }));
+  snd (Asm.assemble ctx.asm)

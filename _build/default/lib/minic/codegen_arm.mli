@@ -1,0 +1,18 @@
+(** The guest-side mini-C compiler: non-optimizing, tree-walking
+    codegen to the ARM subset, tagging every emitted instruction with
+    its source line (the learning pipeline's debug info).
+
+    Also assembles a runnable image (program + halt epilogue) so
+    compiled programs double as end-to-end workloads. *)
+
+type line_insn = { line : int; insn : Repro_arm.Insn.t }
+
+val compile : Ast.program -> line_insn list
+(** Instruction stream with provenance (includes branches; the
+    extractor filters those out). *)
+
+val compile_runnable :
+  Ast.program -> halt_with:Ast.var option -> Repro_common.Word32.t array
+(** Assembled image starting at 0 that runs the program and powers off
+    through the system controller (exit code = final value of
+    [halt_with], or 0). *)

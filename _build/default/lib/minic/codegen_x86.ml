@@ -1,0 +1,174 @@
+module X = Repro_x86.Insn
+module Pinmap = Repro_rules.Pinmap
+
+type line_insn = { line : int; insn : X.t }
+
+type ctx = {
+  mutable rev : line_insn list;
+  mutable label_id : int;
+  prog : Ast.program;
+}
+
+let emit ctx line insn = ctx.rev <- { line; insn } :: ctx.rev
+
+let fresh_label ctx =
+  let n = ctx.label_id in
+  ctx.label_id <- n + 1;
+  n
+
+let host_of_guest g =
+  match Pinmap.pin g with
+  | Some h -> h
+  | None -> failwith "Codegen_x86: unpinned register"
+
+let temp_host k = host_of_guest (Regalloc.temp_guest k)
+let local_host ctx v = host_of_guest (Regalloc.local_guest ctx.prog v)
+let mov ctx line dst src = emit ctx line (X.Mov { width = X.W32; dst; src })
+
+let alu_of_binop : Ast.binop -> X.alu_op option = function
+  | Ast.Sub -> Some X.Sub
+  | Ast.And -> Some X.And
+  | Ast.Or -> Some X.Or
+  | Ast.Xor -> Some X.Xor
+  | Ast.Add | Ast.Mul | Ast.Shl | Ast.Shr | Ast.Asr -> None
+
+let shift_of_binop : Ast.binop -> X.shift_op option = function
+  | Ast.Shl -> Some X.Shl
+  | Ast.Shr -> Some X.Shr
+  | Ast.Asr -> Some X.Sar
+  | _ -> None
+
+let rec eval ctx line ~dst ~tmp (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> mov ctx line (X.Reg dst) (X.Imm n)
+  | Ast.Var v ->
+    let r = local_host ctx v in
+    if r <> dst then mov ctx line (X.Reg dst) (X.Reg r)
+  | Ast.Unop (Ast.Neg, a) ->
+    let ra = eval_to_reg ctx line ~tmp a in
+    if ra <> dst then mov ctx line (X.Reg dst) (X.Reg ra);
+    emit ctx line (X.Neg (X.Reg dst))
+  | Ast.Unop (Ast.Not, a) ->
+    let ra = eval_to_reg ctx line ~tmp a in
+    if ra <> dst then mov ctx line (X.Reg dst) (X.Reg ra);
+    emit ctx line (X.Not (X.Reg dst))
+  | Ast.Binop (op, a, Ast.Binop (shop, b, Ast.Int k))
+    when alu_of_binop op <> None && shift_of_binop shop <> None
+         || (op = Ast.Add && shift_of_binop shop <> None) ->
+    (* mirror of the guest compiler's fused shifted operand: the
+       shifted value is computed in a scratch register (so learned
+       templates never touch unrelated pinned state) *)
+    let sh = Option.get (shift_of_binop shop) in
+    let ra = eval_to_reg ctx line ~tmp a in
+    let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+    mov ctx line (X.Reg X.rax) (X.Reg rb);
+    emit ctx line (X.Shift { op = sh; dst = X.Reg X.rax; amount = X.Sh_imm (k land 31) });
+    (match alu_of_binop op with
+    | Some alu ->
+      if ra <> dst then mov ctx line (X.Reg dst) (X.Reg ra);
+      emit ctx line (X.Alu { op = alu; dst = X.Reg dst; src = X.Reg X.rax })
+    | None ->
+      (* Add: the guest fused form sets no flags, so use mov+add-like
+         lea over the scratch *)
+      emit ctx line
+        (X.Lea
+           { dst;
+             addr = { X.seg = X.Ram; base = Some ra; index = Some X.rax; scale = 1; disp = 0 } }))
+  | Ast.Binop (Ast.Add, a, b) -> (
+    (* a compiler emits a flag-preserving lea for plain adds *)
+    let ra = eval_to_reg ctx line ~tmp a in
+    match b with
+    | Ast.Int n ->
+      emit ctx line
+        (X.Lea { dst; addr = { X.seg = X.Ram; base = Some ra; index = None; scale = 1; disp = n } })
+    | _ ->
+      let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+      emit ctx line
+        (X.Lea
+           { dst; addr = { X.seg = X.Ram; base = Some ra; index = Some rb; scale = 1; disp = 0 } }))
+  | Ast.Binop (Ast.Mul, a, b) ->
+    let ra = eval_to_reg ctx line ~tmp a in
+    let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+    if ra <> dst then mov ctx line (X.Reg dst) (X.Reg ra);
+    emit ctx line (X.Imul { dst; src = X.Reg rb })
+  | Ast.Binop (op, a, b) -> (
+    match (alu_of_binop op, shift_of_binop op) with
+    | Some alu, _ -> (
+      let ra = eval_to_reg ctx line ~tmp a in
+      if ra <> dst then mov ctx line (X.Reg dst) (X.Reg ra);
+      match b with
+      | Ast.Int n -> emit ctx line (X.Alu { op = alu; dst = X.Reg dst; src = X.Imm n })
+      | _ ->
+        let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+        emit ctx line (X.Alu { op = alu; dst = X.Reg dst; src = X.Reg rb }))
+    | None, Some sh -> (
+      let ra = eval_to_reg ctx line ~tmp a in
+      if ra <> dst then mov ctx line (X.Reg dst) (X.Reg ra);
+      match b with
+      | Ast.Int n ->
+        emit ctx line (X.Shift { op = sh; dst = X.Reg dst; amount = X.Sh_imm (n land 31) })
+      | _ ->
+        let rb = eval_to_reg ctx line ~tmp:(tmp + 1) b in
+        mov ctx line (X.Reg X.rcx) (X.Reg rb);
+        emit ctx line (X.Shift { op = sh; dst = X.Reg dst; amount = X.Sh_cl }))
+    | None, None -> assert false)
+
+and eval_to_reg ctx line ~tmp (e : Ast.expr) =
+  match e with
+  | Ast.Var v -> local_host ctx v
+  | _ ->
+    let dst = temp_host tmp in
+    eval ctx line ~dst ~tmp:(tmp + 1) e;
+    dst
+
+let cc_of_relop : Ast.relop -> X.cc = function
+  | Ast.Eq -> X.E
+  | Ast.Ne -> X.NE
+  | Ast.Slt -> X.L
+  | Ast.Sle -> X.LE
+  | Ast.Sgt -> X.G
+  | Ast.Sge -> X.GE
+  | Ast.Ult -> X.B
+  | Ast.Uge -> X.AE
+
+let eval_cond ctx line (Ast.Rel (op, a, b)) =
+  let ra = eval_to_reg ctx line ~tmp:0 a in
+  (match b with
+  | Ast.Int n -> emit ctx line (X.Alu { op = X.Cmp; dst = X.Reg ra; src = X.Imm n })
+  | _ ->
+    let rb = eval_to_reg ctx line ~tmp:1 b in
+    emit ctx line (X.Alu { op = X.Cmp; dst = X.Reg ra; src = X.Reg rb }));
+  cc_of_relop op
+
+let rec gen_stmts ctx stmts = List.iter (gen_stmt ctx) stmts
+
+and gen_stmt ctx (s : Ast.stmt) =
+  match s.Ast.body with
+  | Ast.Assign (x, e) -> eval ctx s.Ast.line ~dst:(local_host ctx x) ~tmp:0 e
+  | Ast.If (c, then_s, else_s) ->
+    let l_else = fresh_label ctx in
+    let l_end = fresh_label ctx in
+    let cc = eval_cond ctx s.Ast.line c in
+    emit ctx s.Ast.line
+      (X.Jcc { cc = X.cc_negate cc; target = (if else_s = [] then l_end else l_else) });
+    gen_stmts ctx then_s;
+    if else_s <> [] then begin
+      emit ctx s.Ast.line (X.Jmp l_end);
+      emit ctx s.Ast.line (X.Label l_else);
+      gen_stmts ctx else_s
+    end;
+    emit ctx s.Ast.line (X.Label l_end)
+  | Ast.While (c, body) ->
+    let l_head = fresh_label ctx in
+    let l_end = fresh_label ctx in
+    emit ctx s.Ast.line (X.Label l_head);
+    let cc = eval_cond ctx s.Ast.line c in
+    emit ctx s.Ast.line (X.Jcc { cc = X.cc_negate cc; target = l_end });
+    gen_stmts ctx body;
+    emit ctx s.Ast.line (X.Jmp l_head);
+    emit ctx s.Ast.line (X.Label l_end)
+
+let compile prog =
+  let ctx = { rev = []; label_id = 0; prog } in
+  gen_stmts ctx prog.Ast.body;
+  List.rev ctx.rev

@@ -1,0 +1,13 @@
+(** The host-side mini-C compiler: the same tree-walking lowering
+    decisions as {!Codegen_arm} but targeting the x86 model, with
+    variables and temporaries allocated to the pinned host registers
+    corresponding to the guest compiler's choices. This positional
+    correspondence (documented in DESIGN.md) stands in for the
+    mapping-inference step of the original learning framework. *)
+
+type line_insn = { line : int; insn : Repro_x86.Insn.t }
+
+val compile : Ast.program -> line_insn list
+(** Host instruction stream with line provenance. Control flow uses
+    label pseudo-ops; the extractor only consumes computational
+    lines. *)

@@ -1,0 +1,13 @@
+let max_temps = 4
+
+let temp_guest k =
+  if k < 0 || k >= max_temps then failwith "Regalloc: expression too deep";
+  k
+
+let local_guest (p : Ast.program) v =
+  let rec index i = function
+    | [] -> failwith ("Regalloc: undeclared local " ^ v)
+    | x :: _ when x = v -> i
+    | _ :: tl -> index (i + 1) tl
+  in
+  4 + index 0 p.Ast.locals

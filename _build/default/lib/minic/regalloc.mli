@@ -1,0 +1,11 @@
+(** The twin compilers' shared register discipline: expression
+    temporaries live in guest r0..r3 and locals in guest r4..r8; the
+    host compiler uses the corresponding pinned host registers. This
+    positional correspondence is what lets the extractor pair
+    fragments without a mapping-inference step (see DESIGN.md). *)
+
+val temp_guest : int -> Repro_arm.Insn.reg
+(** Temp slot [0..3] → guest register. *)
+
+val local_guest : Ast.program -> Ast.var -> Repro_arm.Insn.reg
+val max_temps : int

@@ -1,0 +1,1 @@
+lib/mmu/mmu.ml: Array List Repro_arm Repro_common Repro_machine Result Word32

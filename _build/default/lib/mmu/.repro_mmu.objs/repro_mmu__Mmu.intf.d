@@ -1,0 +1,1 @@
+lib/mmu/mmu.mli: Repro_arm Repro_common Repro_machine Word32

@@ -1,0 +1,1 @@
+lib/rules/builtin.ml: Flagconv Repro_arm Repro_x86 Rule Ruleset

@@ -1,0 +1,1 @@
+lib/rules/builtin.mli: Rule Ruleset

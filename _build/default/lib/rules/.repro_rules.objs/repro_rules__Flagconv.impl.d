@@ -1,0 +1,1 @@
+lib/rules/flagconv.ml: Format Repro_arm Repro_x86

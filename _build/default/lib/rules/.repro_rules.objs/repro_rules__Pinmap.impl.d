@@ -1,0 +1,1 @@
+lib/rules/pinmap.ml: Array List Repro_x86

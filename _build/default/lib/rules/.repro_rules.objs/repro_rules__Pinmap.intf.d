@@ -1,0 +1,1 @@
+lib/rules/pinmap.mli: Repro_x86

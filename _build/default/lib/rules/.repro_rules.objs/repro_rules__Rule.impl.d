@@ -1,0 +1,1 @@
+lib/rules/rule.ml: Array Flagconv Format List Printf Repro_arm Repro_common Repro_x86 String Word32

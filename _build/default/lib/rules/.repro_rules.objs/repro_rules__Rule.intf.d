@@ -1,0 +1,1 @@
+lib/rules/rule.mli: Flagconv Format Repro_arm Repro_x86

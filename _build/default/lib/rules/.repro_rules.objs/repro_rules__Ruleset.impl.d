@@ -1,0 +1,1 @@
+lib/rules/ruleset.ml: Array Hashtbl List Repro_arm Rule

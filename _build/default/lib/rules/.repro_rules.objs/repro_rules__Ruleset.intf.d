@@ -1,0 +1,1 @@
+lib/rules/ruleset.mli: Repro_arm Rule

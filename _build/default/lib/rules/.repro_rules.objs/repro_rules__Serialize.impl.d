@@ -1,0 +1,1 @@
+lib/rules/serialize.ml: Buffer Flagconv List Printf Repro_arm Repro_x86 Rule Ruleset String

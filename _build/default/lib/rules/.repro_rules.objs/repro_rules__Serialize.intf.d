@@ -1,0 +1,1 @@
+lib/rules/serialize.mli: Rule Ruleset

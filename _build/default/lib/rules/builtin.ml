@@ -1,0 +1,210 @@
+module A = Repro_arm.Insn
+module X = Repro_x86.Insn
+open Rule
+
+let next_id = ref 0
+
+let mk ?(imms = 0) ?(flags = { guest_writes = false; host_clobbers = false; convention = None })
+    ?carry_in ?(distinct = []) name ~regs guest host =
+  incr next_id;
+  {
+    id = !next_id;
+    name;
+    guest;
+    host;
+    n_reg_params = regs;
+    n_imm_params = imms;
+    flags;
+    carry_in;
+    require_distinct = distinct;
+    source = `Builtin;
+  }
+
+let _no_flags = { guest_writes = false; host_clobbers = false; convention = None }
+let clobbers = { guest_writes = false; host_clobbers = true; convention = None }
+let sets_by_op = { guest_writes = true; host_clobbers = true; convention = None }
+let sets_logic = { guest_writes = true; host_clobbers = true; convention = Some Flagconv.Logic_like }
+let sets_sub = { guest_writes = true; host_clobbers = true; convention = Some Flagconv.Sub_like }
+let sets_add = { guest_writes = true; host_clobbers = true; convention = Some Flagconv.Add_like }
+
+let p0 = H_param 0
+let p1 = H_param 1
+let p2 = H_param 2
+let s0 = H_scratch 0
+let i0 = P_imm 0
+
+(* Opcode classes that share the mov+alu shape. *)
+let alu_class = [ A.ADD; A.SUB; A.AND; A.ORR; A.EOR ]
+
+let all () =
+  next_id := 0;
+  [
+    (* --- moves --- *)
+    mk "mov_imm" ~regs:1 ~imms:1
+      [ G_dp { ops = [ A.MOV ]; s = false; rd = 0; rn = 0; op2 = G_imm i0 } ]
+      [ H_mov { dst = p0; src = H_imm i0 } ];
+    mk "mov_reg" ~regs:2
+      [ G_dp { ops = [ A.MOV ]; s = false; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_mov { dst = p0; src = p1 } ];
+    mk "movs_imm" ~regs:1 ~imms:1 ~flags:sets_logic
+      [ G_dp { ops = [ A.MOV ]; s = true; rd = 0; rn = 0; op2 = G_imm i0 } ]
+      [ H_mov { dst = p0; src = H_imm i0 };
+        H_alu { op = `Fixed X.Test; dst = p0; src = p0 } ];
+    mk "movs_reg" ~regs:2 ~flags:sets_logic
+      [ G_dp { ops = [ A.MOV ]; s = true; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_mov { dst = p0; src = p1 };
+        H_alu { op = `Fixed X.Test; dst = p0; src = p0 } ];
+    mk "mvn_reg" ~regs:2
+      [ G_dp { ops = [ A.MVN ]; s = false; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_mov { dst = p0; src = p1 }; H_not p0 ];
+    mk "mvn_imm" ~regs:1 ~imms:1
+      [ G_dp { ops = [ A.MVN ]; s = false; rd = 0; rn = 0; op2 = G_imm i0 } ]
+      [ H_mov { dst = p0; src = H_imm i0 }; H_not p0 ];
+    mk "movw" ~regs:1 ~imms:1
+      [ G_movw { rd = 0; imm = i0 } ]
+      [ H_mov { dst = p0; src = H_imm i0 } ];
+    mk "movt" ~regs:1 ~imms:1 ~flags:clobbers
+      [ G_movt { rd = 0; imm = i0 } ]
+      [ H_alu { op = `Fixed X.And; dst = p0; src = H_imm (Fixed 0xFFFF) };
+        H_alu { op = `Fixed X.Or; dst = p0; src = H_imm (P_imm_shl (0, 16)) } ];
+    (* --- flag-preserving adds (lea) --- *)
+    mk "add_imm_lea" ~regs:2 ~imms:1
+      [ G_dp { ops = [ A.ADD ]; s = false; rd = 0; rn = 1; op2 = G_imm i0 } ]
+      [ H_lea_imm { dst = p0; a = p1; imm = i0 } ];
+    mk "add_reg_lea" ~regs:3
+      [ G_dp { ops = [ A.ADD ]; s = false; rd = 0; rn = 1; op2 = G_reg 2 } ]
+      [ H_lea2 { dst = p0; a = p1; b = p2 } ];
+    (* --- two-operand ALU class, aliased (rd = rn) --- *)
+    mk "alu_alias_reg" ~regs:2 ~flags:clobbers
+      [ G_dp { ops = alu_class; s = false; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_alu { op = `Matched; dst = p0; src = p1 } ];
+    mk "alu_alias_imm" ~regs:1 ~imms:1 ~flags:clobbers
+      [ G_dp { ops = alu_class; s = false; rd = 0; rn = 0; op2 = G_imm i0 } ]
+      [ H_alu { op = `Matched; dst = p0; src = H_imm i0 } ];
+    mk "alus_alias_reg" ~regs:2 ~flags:sets_by_op
+      [ G_dp { ops = alu_class; s = true; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_alu { op = `Matched; dst = p0; src = p1 } ];
+    mk "alus_alias_imm" ~regs:1 ~imms:1 ~flags:sets_by_op
+      [ G_dp { ops = alu_class; s = true; rd = 0; rn = 0; op2 = G_imm i0 } ]
+      [ H_alu { op = `Matched; dst = p0; src = H_imm i0 } ];
+    (* --- three-operand ALU class (mov + alu) --- *)
+    mk "alu_3op_reg" ~regs:3 ~flags:clobbers ~distinct:[ (0, 2) ]
+      [ G_dp { ops = alu_class; s = false; rd = 0; rn = 1; op2 = G_reg 2 } ]
+      [ H_mov { dst = p0; src = p1 }; H_alu { op = `Matched; dst = p0; src = p2 } ];
+    mk "alu_3op_imm" ~regs:2 ~imms:1 ~flags:clobbers
+      [ G_dp { ops = alu_class; s = false; rd = 0; rn = 1; op2 = G_imm i0 } ]
+      [ H_mov { dst = p0; src = p1 };
+        H_alu { op = `Matched; dst = p0; src = H_imm i0 } ];
+    mk "alus_3op_reg" ~regs:3 ~flags:sets_by_op ~distinct:[ (0, 2) ]
+      [ G_dp { ops = alu_class; s = true; rd = 0; rn = 1; op2 = G_reg 2 } ]
+      [ H_mov { dst = p0; src = p1 }; H_alu { op = `Matched; dst = p0; src = p2 } ];
+    mk "alus_3op_imm" ~regs:2 ~imms:1 ~flags:sets_by_op
+      [ G_dp { ops = alu_class; s = true; rd = 0; rn = 1; op2 = G_imm i0 } ]
+      [ H_mov { dst = p0; src = p1 };
+        H_alu { op = `Matched; dst = p0; src = H_imm i0 } ];
+    (* --- shifted second operands (class, via scratch) --- *)
+    mk "alu_3op_shift" ~regs:3 ~imms:1 ~flags:clobbers
+      [ G_dp { ops = alu_class; s = false; rd = 0; rn = 1;
+               op2 = G_shift { rm = 2; kind = A.LSL; amount = i0 } } ]
+      [ H_mov { dst = s0; src = p2 };
+        H_shift { op = X.Shl; dst = s0; amount = i0 };
+        H_mov { dst = p0; src = p1 };
+        H_alu { op = `Matched; dst = p0; src = s0 } ];
+    mk "alus_3op_shift" ~regs:3 ~imms:1 ~flags:sets_by_op
+      [ G_dp { ops = alu_class; s = true; rd = 0; rn = 1;
+               op2 = G_shift { rm = 2; kind = A.LSL; amount = i0 } } ]
+      [ H_mov { dst = s0; src = p2 };
+        H_shift { op = X.Shl; dst = s0; amount = i0 };
+        H_mov { dst = p0; src = p1 };
+        H_alu { op = `Matched; dst = p0; src = s0 } ];
+    (* --- shifts as mov-with-shift --- *)
+    mk "lsl_imm" ~regs:2 ~imms:1 ~flags:clobbers
+      [ G_dp { ops = [ A.MOV ]; s = false; rd = 0; rn = 0;
+               op2 = G_shift { rm = 1; kind = A.LSL; amount = i0 } } ]
+      [ H_mov { dst = p0; src = p1 }; H_shift { op = X.Shl; dst = p0; amount = i0 } ];
+    mk "lsr_imm" ~regs:2 ~imms:1 ~flags:clobbers
+      [ G_dp { ops = [ A.MOV ]; s = false; rd = 0; rn = 0;
+               op2 = G_shift { rm = 1; kind = A.LSR; amount = i0 } } ]
+      [ H_mov { dst = p0; src = p1 }; H_shift { op = X.Shr; dst = p0; amount = i0 } ];
+    mk "asr_imm" ~regs:2 ~imms:1 ~flags:clobbers
+      [ G_dp { ops = [ A.MOV ]; s = false; rd = 0; rn = 0;
+               op2 = G_shift { rm = 1; kind = A.ASR; amount = i0 } } ]
+      [ H_mov { dst = p0; src = p1 }; H_shift { op = X.Sar; dst = p0; amount = i0 } ];
+    mk "ror_imm" ~regs:2 ~imms:1 ~flags:clobbers
+      [ G_dp { ops = [ A.MOV ]; s = false; rd = 0; rn = 0;
+               op2 = G_shift { rm = 1; kind = A.ROR; amount = i0 } } ]
+      [ H_mov { dst = p0; src = p1 }; H_shift { op = X.Ror; dst = p0; amount = i0 } ];
+    mk "lsls_imm" ~regs:2 ~imms:1 ~flags:sets_logic
+      [ G_dp { ops = [ A.MOV ]; s = true; rd = 0; rn = 0;
+               op2 = G_shift { rm = 1; kind = A.LSL; amount = i0 } } ]
+      [ H_mov { dst = p0; src = p1 }; H_shift { op = X.Shl; dst = p0; amount = i0 } ];
+    mk "lsrs_imm" ~regs:2 ~imms:1 ~flags:sets_logic
+      [ G_dp { ops = [ A.MOV ]; s = true; rd = 0; rn = 0;
+               op2 = G_shift { rm = 1; kind = A.LSR; amount = i0 } } ]
+      [ H_mov { dst = p0; src = p1 }; H_shift { op = X.Shr; dst = p0; amount = i0 } ];
+    (* --- compares and tests --- *)
+    mk "cmp_imm" ~regs:1 ~imms:1 ~flags:sets_sub
+      [ G_dp { ops = [ A.CMP ]; s = false; rd = 0; rn = 0; op2 = G_imm i0 } ]
+      [ H_alu { op = `Fixed X.Cmp; dst = p0; src = H_imm i0 } ];
+    mk "cmp_reg" ~regs:2 ~flags:sets_sub
+      [ G_dp { ops = [ A.CMP ]; s = false; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_alu { op = `Fixed X.Cmp; dst = p0; src = p1 } ];
+    mk "tst_imm" ~regs:1 ~imms:1 ~flags:sets_logic
+      [ G_dp { ops = [ A.TST ]; s = false; rd = 0; rn = 0; op2 = G_imm i0 } ]
+      [ H_alu { op = `Fixed X.Test; dst = p0; src = H_imm i0 } ];
+    mk "tst_reg" ~regs:2 ~flags:sets_logic
+      [ G_dp { ops = [ A.TST ]; s = false; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_alu { op = `Fixed X.Test; dst = p0; src = p1 } ];
+    mk "teq_reg" ~regs:2 ~flags:sets_logic
+      [ G_dp { ops = [ A.TEQ ]; s = false; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_mov { dst = s0; src = p0 };
+        H_alu { op = `Fixed X.Xor; dst = s0; src = p1 } ];
+    mk "cmn_reg" ~regs:2 ~flags:sets_add
+      [ G_dp { ops = [ A.CMN ]; s = false; rd = 0; rn = 0; op2 = G_reg 1 } ]
+      [ H_mov { dst = s0; src = p0 };
+        H_alu { op = `Fixed X.Add; dst = s0; src = p1 } ];
+    (* --- carry-consuming arithmetic --- *)
+    mk "adc_reg" ~regs:3 ~flags:sets_add ~carry_in:`Direct ~distinct:[ (0, 2) ]
+      [ G_dp { ops = [ A.ADC ]; s = true; rd = 0; rn = 1; op2 = G_reg 2 } ]
+      [ H_mov { dst = p0; src = p1 };
+        H_alu { op = `Fixed X.Adc; dst = p0; src = p2 } ];
+    mk "adc_imm" ~regs:2 ~imms:1 ~flags:sets_add ~carry_in:`Direct
+      [ G_dp { ops = [ A.ADC ]; s = true; rd = 0; rn = 1; op2 = G_imm i0 } ]
+      [ H_mov { dst = p0; src = p1 };
+        H_alu { op = `Fixed X.Adc; dst = p0; src = H_imm i0 } ];
+    mk "sbc_reg" ~regs:3 ~flags:sets_sub ~carry_in:`Inverted ~distinct:[ (0, 2) ]
+      [ G_dp { ops = [ A.SBC ]; s = true; rd = 0; rn = 1; op2 = G_reg 2 } ]
+      [ H_mov { dst = p0; src = p1 };
+        H_alu { op = `Fixed X.Sbb; dst = p0; src = p2 } ];
+    (* --- rsb / bic --- *)
+    mk "rsb_imm0_neg" ~regs:2 ~flags:clobbers
+      [ G_dp { ops = [ A.RSB ]; s = false; rd = 0; rn = 1; op2 = G_imm (Fixed 0) } ]
+      [ H_mov { dst = p0; src = p1 }; H_neg p0 ];
+    mk "rsb_imm" ~regs:2 ~imms:1 ~flags:clobbers
+      [ G_dp { ops = [ A.RSB ]; s = false; rd = 0; rn = 1; op2 = G_imm i0 } ]
+      [ H_mov { dst = s0; src = H_imm i0 };
+        H_alu { op = `Fixed X.Sub; dst = s0; src = p1 };
+        H_mov { dst = p0; src = s0 } ];
+    mk "bic_reg" ~regs:3 ~flags:clobbers ~distinct:[ (0, 2) ]
+      [ G_dp { ops = [ A.BIC ]; s = false; rd = 0; rn = 1; op2 = G_reg 2 } ]
+      [ H_mov { dst = s0; src = p2 };
+        H_not s0;
+        H_mov { dst = p0; src = p1 };
+        H_alu { op = `Fixed X.And; dst = p0; src = s0 } ];
+    (* --- multiply --- *)
+    mk "mul" ~regs:3 ~flags:clobbers ~distinct:[ (0, 2) ]
+      [ G_mul { s = false; rd = 0; rn = 2; rm = 1; acc = None } ]
+      [ H_mov { dst = p0; src = p1 }; H_imul { dst = p0; src = p2 } ];
+    mk "muls" ~regs:3 ~flags:sets_logic ~distinct:[ (0, 2) ]
+      [ G_mul { s = true; rd = 0; rn = 2; rm = 1; acc = None } ]
+      [ H_mov { dst = p0; src = p1 };
+        H_imul { dst = p0; src = p2 };
+        H_alu { op = `Fixed X.Test; dst = p0; src = p0 } ];
+    mk "mla" ~regs:4 ~flags:clobbers ~distinct:[]
+      [ G_mul { s = false; rd = 0; rn = 2; rm = 1; acc = Some 3 } ]
+      [ H_mov { dst = s0; src = p1 };
+        H_imul { dst = s0; src = p2 };
+        H_lea2 { dst = p0; a = s0; b = H_param 3 } ];
+  ]
+
+let ruleset () = Ruleset.of_list (all ())

@@ -1,0 +1,8 @@
+(** A hand-written core rule set.
+
+    Used by the rule-engine unit tests (controlled coverage) and as
+    the reference the learned set is compared against. Experiments use
+    the learned set; see {!Learn}. *)
+
+val all : unit -> Rule.t list
+val ruleset : unit -> Ruleset.t

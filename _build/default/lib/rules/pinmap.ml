@@ -1,0 +1,35 @@
+module X = Repro_x86.Insn
+
+let table =
+  [|
+    Some X.rbx; (* r0 *)
+    Some X.rsi; (* r1 *)
+    Some X.rdi; (* r2 *)
+    Some X.r8;  (* r3 *)
+    Some X.r9;  (* r4 *)
+    Some X.r10; (* r5 *)
+    Some X.r11; (* r6 *)
+    Some X.r12; (* r7 *)
+    Some X.r13; (* r8 *)
+    None;       (* r9 *)
+    None;       (* r10 *)
+    None;       (* r11 *)
+    None;       (* r12 *)
+    Some X.r14; (* sp *)
+    Some X.r15; (* lr *)
+    None;       (* pc *)
+  |]
+
+let pin r = if r >= 0 && r < 16 then table.(r) else None
+
+let pinned_mask =
+  let m = ref 0 in
+  Array.iteri (fun i h -> if h <> None then m := !m lor (1 lsl i)) table;
+  !m
+
+let is_pinned r = pin r <> None
+
+let pinned_guests =
+  List.filter is_pinned [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
+
+let scratch = [| X.rax; X.rdx; X.rcx |]

@@ -1,0 +1,19 @@
+(** The rule engine's fixed guest→host register map.
+
+    Guest r0–r8, sp and lr live permanently in host registers while
+    rule-translated code runs (the learned-rule discipline that avoids
+    QEMU's per-access env traffic); r9–r12 and pc stay in env, so
+    instructions touching them fall back to QEMU — one source of the
+    paper's <100% rule coverage. rax/rdx/rcx are template scratch,
+    rbp is the env base. *)
+
+val pin : int -> Repro_x86.Insn.reg option
+(** Host register of a guest register; [None] when unpinned. *)
+
+val pinned_mask : int
+(** Bitmask over guest register numbers. *)
+
+val is_pinned : int -> bool
+val pinned_guests : int list
+val scratch : Repro_x86.Insn.reg array
+(** [|rax; rdx; rcx|] — instantiation scratch registers. *)

@@ -1,0 +1,265 @@
+open Repro_common
+module A = Repro_arm.Insn
+module X = Repro_x86.Insn
+
+type preg = int
+type pimm = P_imm of int | P_imm_shl of int * int | Fixed of int
+
+type g_op2 =
+  | G_imm of pimm
+  | G_reg of preg
+  | G_shift of { rm : preg; kind : A.shift_kind; amount : pimm }
+  | G_shift_reg of { rm : preg; kind : A.shift_kind; rs : preg }
+
+type g_insn =
+  | G_dp of { ops : A.dp_op list; s : bool; rd : preg; rn : preg; op2 : g_op2 }
+  | G_mul of { s : bool; rd : preg; rn : preg; rm : preg; acc : preg option }
+  | G_movw of { rd : preg; imm : pimm }
+  | G_movt of { rd : preg; imm : pimm }
+
+let host_alu_of_dp (op : A.dp_op) : X.alu_op option =
+  match op with
+  | A.AND -> Some X.And
+  | A.EOR -> Some X.Xor
+  | A.ORR -> Some X.Or
+  | A.ADD -> Some X.Add
+  | A.SUB -> Some X.Sub
+  | A.ADC -> Some X.Adc
+  | A.SBC -> Some X.Sbb
+  | A.TST -> Some X.Test
+  | A.CMP -> Some X.Cmp
+  | A.RSB | A.RSC | A.TEQ | A.CMN | A.MOV | A.MVN | A.BIC -> None
+
+let conv_of_dp (op : A.dp_op) : Flagconv.t =
+  match op with
+  | A.ADD | A.ADC | A.CMN -> Flagconv.Add_like
+  | A.SUB | A.SBC | A.RSB | A.RSC | A.CMP -> Flagconv.Sub_like
+  | A.AND | A.EOR | A.ORR | A.BIC | A.MOV | A.MVN | A.TST | A.TEQ ->
+    Flagconv.Logic_like
+
+type h_operand = H_param of int | H_scratch of int | H_imm of pimm
+
+type h_insn =
+  | H_mov of { dst : h_operand; src : h_operand }
+  | H_lea2 of { dst : h_operand; a : h_operand; b : h_operand }
+  | H_lea_imm of { dst : h_operand; a : h_operand; imm : pimm }
+  | H_alu of { op : [ `Fixed of X.alu_op | `Matched ]; dst : h_operand; src : h_operand }
+  | H_shift of { op : X.shift_op; dst : h_operand; amount : pimm }
+  | H_shift_cl of { op : X.shift_op; dst : h_operand; amount_src : h_operand }
+  | H_not of h_operand
+  | H_neg of h_operand
+  | H_imul of { dst : h_operand; src : h_operand }
+
+type flag_effect = {
+  guest_writes : bool;
+  host_clobbers : bool;
+  convention : Flagconv.t option;
+}
+
+type t = {
+  id : int;
+  name : string;
+  guest : g_insn list;
+  host : h_insn list;
+  n_reg_params : int;
+  n_imm_params : int;
+  flags : flag_effect;
+  carry_in : [ `Direct | `Inverted ] option;
+  require_distinct : (preg * preg) list;
+  source : [ `Builtin | `Learned of string ];
+}
+
+type binding = { regs : int array; imms : int array; mutable matched : A.dp_op option }
+
+let empty_binding rule =
+  {
+    regs = Array.make (max rule.n_reg_params 1) (-1);
+    imms = Array.make (max rule.n_imm_params 1) (-1);
+    matched = None;
+  }
+
+let bind_reg b p r =
+  if b.regs.(p) = -1 then begin
+    b.regs.(p) <- r;
+    true
+  end
+  else b.regs.(p) = r
+
+let bind_imm b pi v =
+  match pi with
+  | Fixed f -> f = v
+  | P_imm_shl _ -> invalid_arg "Rule: P_imm_shl cannot appear in a guest pattern"
+  | P_imm i ->
+    if b.imms.(i) = -1 then begin
+      b.imms.(i) <- v;
+      true
+    end
+    else b.imms.(i) = v
+
+let match_op2 pattern (op2 : A.operand2) b =
+  match (pattern, op2) with
+  | G_imm pi, A.Imm { imm8; rot } -> bind_imm b pi (Word32.rotate_right imm8 (2 * rot))
+  | G_reg p, A.Reg_shift_imm { rm; kind = A.LSL; amount = 0 } -> bind_reg b p rm
+  | G_shift { rm = prm; kind; amount }, A.Reg_shift_imm { rm; kind = k'; amount = a' }
+    ->
+    (* Plain registers are matched by G_reg, not as a 0-shift. *)
+    (not (k' = A.LSL && a' = 0)) && kind = k' && bind_reg b prm rm && bind_imm b amount a'
+  | G_shift_reg { rm = prm; kind; rs = prs }, A.Reg_shift_reg { rm; kind = k'; rs } ->
+    kind = k' && bind_reg b prm rm && bind_reg b prs rs
+  | ( (G_imm _ | G_reg _ | G_shift _ | G_shift_reg _),
+      (A.Imm _ | A.Reg_shift_imm _ | A.Reg_shift_reg _) ) ->
+    false
+
+let match_insn pattern (op : A.op) b =
+  match (pattern, op) with
+  | G_dp { ops; s; rd; rn; op2 }, A.Dp { op = dop; s = s'; rd = rd'; rn = rn'; op2 = op2' }
+    ->
+    List.mem dop ops && s = s'
+    && (A.dp_op_is_test dop || bind_reg b rd rd')
+    && ((match dop with A.MOV | A.MVN -> true | _ -> bind_reg b rn rn'))
+    && match_op2 op2 op2' b
+    &&
+    (if List.length ops > 1 then b.matched <- Some dop else b.matched <- Some dop;
+     true)
+  | G_mul { s; rd; rn; rm; acc }, A.Mul { s = s'; rd = rd'; rn = rn'; rm = rm'; acc = acc' }
+    ->
+    s = s' && bind_reg b rd rd' && bind_reg b rn rn' && bind_reg b rm rm'
+    && (match (acc, acc') with
+       | None, None -> true
+       | Some p, Some r -> bind_reg b p r
+       | None, Some _ | Some _, None -> false)
+  | G_movw { rd; imm }, A.Movw { rd = rd'; imm16 } -> bind_reg b rd rd' && bind_imm b imm imm16
+  | G_movt { rd; imm }, A.Movt { rd = rd'; imm16 } -> bind_reg b rd rd' && bind_imm b imm imm16
+  | (G_dp _ | G_mul _ | G_movw _ | G_movt _), _ -> false
+
+let distinct_ok rule b =
+  List.for_all
+    (fun (p, q) -> b.regs.(p) = -1 || b.regs.(q) = -1 || b.regs.(p) <> b.regs.(q))
+    rule.require_distinct
+
+let match_sequence rule insns =
+  let b = empty_binding rule in
+  let rec go pats (insns : A.t list) =
+    match (pats, insns) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | p :: ps, i :: is -> match_insn p i.A.op b && go ps is
+  in
+  if go rule.guest insns && distinct_ok rule b then Some b else None
+
+let resolve_imm b = function
+  | Fixed v -> v
+  | P_imm i -> b.imms.(i)
+  | P_imm_shl (i, k) -> Repro_common.Word32.shift_left b.imms.(i) k
+
+let instantiate rule b ~pin_of_guest_reg ~scratch =
+  let exception Unpinned in
+  let operand = function
+    | H_param i -> (
+      match pin_of_guest_reg b.regs.(i) with
+      | Some hr -> X.Reg hr
+      | None -> raise Unpinned)
+    | H_scratch k -> X.Reg scratch.(k)
+    | H_imm pi -> X.Imm (resolve_imm b pi)
+  in
+  let reg_operand o =
+    match operand o with
+    | X.Reg r -> r
+    | X.Imm _ | X.Mem _ -> invalid_arg "Rule.instantiate: register operand expected"
+  in
+  let lower = function
+    | H_mov { dst; src } -> [ X.Mov { width = X.W32; dst = operand dst; src = operand src } ]
+    | H_lea2 { dst; a; b = bb } ->
+      [ X.Lea
+          {
+            dst = reg_operand dst;
+            addr =
+              {
+                X.seg = X.Ram;
+                base = Some (reg_operand a);
+                index = Some (reg_operand bb);
+                scale = 1;
+                disp = 0;
+              };
+          } ]
+    | H_lea_imm { dst; a; imm } ->
+      [ X.Lea
+          {
+            dst = reg_operand dst;
+            addr =
+              {
+                X.seg = X.Ram;
+                base = Some (reg_operand a);
+                index = None;
+                scale = 1;
+                disp = Word32.signed (resolve_imm b imm);
+              };
+          } ]
+    | H_alu { op; dst; src } ->
+      let op =
+        match op with
+        | `Fixed o -> o
+        | `Matched -> (
+          match b.matched with
+          | Some dop -> (
+            match host_alu_of_dp dop with
+            | Some o -> o
+            | None -> invalid_arg "Rule.instantiate: matched op has no host ALU")
+          | None -> invalid_arg "Rule.instantiate: no matched op recorded")
+      in
+      [ X.Alu { op; dst = operand dst; src = operand src } ]
+    | H_shift { op; dst; amount } ->
+      [ X.Shift { op; dst = operand dst; amount = X.Sh_imm (resolve_imm b amount) } ]
+    | H_shift_cl { op; dst; amount_src } ->
+      [
+        X.Mov { width = X.W32; dst = X.Reg X.rcx; src = operand amount_src };
+        X.Shift { op; dst = operand dst; amount = X.Sh_cl };
+      ]
+    | H_not o -> [ X.Not (operand o) ]
+    | H_neg o -> [ X.Neg (operand o) ]
+    | H_imul { dst; src } -> [ X.Imul { dst = reg_operand dst; src = operand src } ]
+  in
+  try Some (List.concat_map lower rule.host) with Unpinned -> None
+
+let convention_after rule b =
+  if not rule.flags.guest_writes then None
+  else
+    match rule.flags.convention with
+    | Some c -> Some c
+    | None -> (
+      match b.matched with Some dop -> Some (conv_of_dp dop) | None -> None)
+
+let guest_pattern_length rule = List.length rule.guest
+
+let pp_pimm ppf = function
+  | P_imm i -> Format.fprintf ppf "i%d" i
+  | P_imm_shl (i, k) -> Format.fprintf ppf "(i%d lsl %d)" i k
+  | Fixed v -> Format.fprintf ppf "#%d" v
+
+let pp_g ppf = function
+  | G_dp { ops; s; rd; rn; op2 } ->
+    Format.fprintf ppf "%s%s p%d, p%d, %s"
+      (String.concat "|" (List.map A.dp_op_to_string ops))
+      (if s then "s" else "")
+      rd rn
+      (match op2 with
+      | G_imm pi -> Format.asprintf "%a" pp_pimm pi
+      | G_reg p -> Printf.sprintf "p%d" p
+      | G_shift { rm; kind; amount } ->
+        Format.asprintf "p%d %s %a" rm (A.shift_kind_to_string kind) pp_pimm amount
+      | G_shift_reg { rm; kind; rs } ->
+        Printf.sprintf "p%d %s p%d" rm (A.shift_kind_to_string kind) rs)
+  | G_mul { s; rd; rn; rm; acc } ->
+    Format.fprintf ppf "%s%s p%d, p%d, p%d%s"
+      (match acc with Some _ -> "mla" | None -> "mul")
+      (if s then "s" else "")
+      rd rm rn
+      (match acc with Some a -> Printf.sprintf ", p%d" a | None -> "")
+  | G_movw { rd; imm } -> Format.fprintf ppf "movw p%d, %a" rd pp_pimm imm
+  | G_movt { rd; imm } -> Format.fprintf ppf "movt p%d, %a" rd pp_pimm imm
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>rule %d (%s, %s):@ guest: %a@ host: %d insns@]" t.id t.name
+    (match t.source with `Builtin -> "builtin" | `Learned s -> "learned:" ^ s)
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_g)
+    t.guest (List.length t.host)

@@ -1,0 +1,126 @@
+(** Parameterized translation rules — the learned artifact at the
+    heart of the paper's approach.
+
+    A rule pairs a {e guest pattern} (one or more parameterized ARM
+    instructions) with a {e host template} (parameterized x86
+    instructions). Parameterization (the MICRO'20 technique the paper
+    builds on) abstracts registers and immediates into indexed
+    parameters and lumps same-shape ALU opcodes into one opcode-class
+    rule, so a small training set yields high dynamic coverage.
+
+    Guest register parameters instantiate to the fixed host registers
+    of the rule engine's pin map; a rule only applies when every
+    matched guest register is pinned (unpinned registers fall back to
+    QEMU, one source of the paper's <100% coverage). Conditions are
+    {e not} part of patterns: the rule engine guards conditional
+    instructions itself using {!Flagconv}. *)
+
+module A := Repro_arm.Insn
+module X := Repro_x86.Insn
+
+type preg = int
+(** Register parameter index. *)
+
+type pimm =
+  | P_imm of int  (** immediate parameter index *)
+  | P_imm_shl of int * int
+      (** template-only: parameter [i] shifted left by [k] (e.g. the
+          movt template ORs [imm16 lsl 16]) *)
+  | Fixed of int  (** concrete immediate required by the pattern *)
+
+type g_op2 =
+  | G_imm of pimm
+  | G_reg of preg
+  | G_shift of { rm : preg; kind : A.shift_kind; amount : pimm }
+  | G_shift_reg of { rm : preg; kind : A.shift_kind; rs : preg }
+      (** register-specified shift ([mov rd, rm lsl rs]); sound because
+          both the model ISA and x86 [cl] shifts reduce the amount
+          mod 32 (DESIGN.md §7) *)
+
+(** One parameterized guest instruction. [G_dp.ops] with more than one
+    element is an opcode-class pattern; the host template refers to
+    the corresponding host opcode via [`Matched]. For test ops
+    (tst/teq/cmp/cmn) the [rd] field is ignored. *)
+type g_insn =
+  | G_dp of { ops : A.dp_op list; s : bool; rd : preg; rn : preg; op2 : g_op2 }
+  | G_mul of { s : bool; rd : preg; rn : preg; rm : preg; acc : preg option }
+  | G_movw of { rd : preg; imm : pimm }
+  | G_movt of { rd : preg; imm : pimm }
+
+val host_alu_of_dp : A.dp_op -> X.alu_op option
+(** Structurally corresponding host opcode (ADD→add, ORR→or, ADC→adc,
+    SBC→sbb, TST→test, CMP→cmp, …); [None] when there is none. *)
+
+val conv_of_dp : A.dp_op -> Flagconv.t
+(** Flag convention left in EFLAGS by the corresponding host opcode. *)
+
+(** Parameterized host operands/instructions. [H_param i] is the
+    pinned host register of guest-register parameter [i]; [H_scratch
+    k] one of the rule engine's scratch registers. *)
+type h_operand = H_param of int | H_scratch of int | H_imm of pimm
+
+type h_insn =
+  | H_mov of { dst : h_operand; src : h_operand }
+  | H_lea2 of { dst : h_operand; a : h_operand; b : h_operand }
+      (** flag-preserving [dst := a + b] *)
+  | H_lea_imm of { dst : h_operand; a : h_operand; imm : pimm }
+  | H_alu of { op : [ `Fixed of X.alu_op | `Matched ]; dst : h_operand; src : h_operand }
+  | H_shift of { op : X.shift_op; dst : h_operand; amount : pimm }
+  | H_shift_cl of { op : X.shift_op; dst : h_operand; amount_src : h_operand }
+  | H_not of h_operand
+  | H_neg of h_operand
+  | H_imul of { dst : h_operand; src : h_operand }
+
+type flag_effect = {
+  guest_writes : bool;  (** the pattern defines guest NZCV *)
+  host_clobbers : bool; (** the template destroys EFLAGS *)
+  convention : Flagconv.t option;
+      (** how guest conditions read from EFLAGS after the template;
+          [None] on opcode-class rules (derived from the matched op
+          via {!conv_of_dp}) and on rules that don't define flags *)
+}
+
+type t = {
+  id : int;
+  name : string;
+  guest : g_insn list;
+  host : h_insn list;
+  n_reg_params : int;
+  n_imm_params : int;
+  flags : flag_effect;
+  carry_in : [ `Direct | `Inverted ] option;
+      (** adc-style templates need CF = C ([`Direct]); sbb-style need
+          CF = ¬C ([`Inverted]). *)
+  require_distinct : (preg * preg) list;
+      (** register parameters that must bind to different registers
+          (anti-aliasing constraints discovered during verification) *)
+  source : [ `Builtin | `Learned of string ];
+}
+
+(** {2 Matching and instantiation} *)
+
+type binding = {
+  regs : int array;
+  imms : int array;  (** [-1] = unbound *)
+  mutable matched : A.dp_op option;  (** concrete op of an opcode-class match *)
+}
+
+val empty_binding : t -> binding
+
+val match_insn : g_insn -> A.op -> binding -> bool
+(** Extend [binding] by matching one guest operation (condition
+    excluded) against one pattern element; mutates on success. *)
+
+val match_sequence : t -> A.t list -> binding option
+(** Match the whole guest pattern against a prefix of the list;
+    enforces [require_distinct]. *)
+
+val instantiate :
+  t -> binding -> pin_of_guest_reg:(int -> X.reg option) -> scratch:X.reg array ->
+  X.t list option
+(** Concrete host instructions, or [None] if some bound register is
+    unpinned. *)
+
+val convention_after : t -> binding -> Flagconv.t option
+val guest_pattern_length : t -> int
+val pp : Format.formatter -> t -> unit

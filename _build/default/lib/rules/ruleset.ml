@@ -1,0 +1,90 @@
+module A = Repro_arm.Insn
+
+(* Index key: shape of the first pattern element. *)
+type key = K_dp of A.dp_op * bool | K_mul of bool * bool | K_movw | K_movt
+
+let keys_of_rule (r : Rule.t) =
+  match r.Rule.guest with
+  | [] -> []
+  | first :: _ -> (
+    match first with
+    | Rule.G_dp { ops; s; _ } -> List.map (fun op -> K_dp (op, s)) ops
+    | Rule.G_mul { s; acc; _ } -> [ K_mul (s, acc <> None) ]
+    | Rule.G_movw _ -> [ K_movw ]
+    | Rule.G_movt _ -> [ K_movt ])
+
+let key_of_insn (i : A.t) =
+  match i.A.op with
+  | A.Dp { op; s; _ } -> Some (K_dp (op, s))
+  | A.Mul { s; acc; _ } -> Some (K_mul (s, acc <> None))
+  | A.Movw _ -> Some K_movw
+  | A.Movt _ -> Some K_movt
+  | A.Mull _ | A.Clz _ | A.Ldr _ | A.Ldrs _ | A.Str _ | A.Ldm _ | A.Stm _ | A.B _
+  | A.Bx _ | A.Mrs _
+  | A.Msr _ | A.Svc _ | A.Cps _ | A.Mcr _ | A.Mrc _ | A.Vmsr _ | A.Vmrs _ | A.Nop
+  | A.Udf _ -> None
+
+type t = { table : (key, Rule.t list ref) Hashtbl.t; mutable all : Rule.t list }
+
+let create () = { table = Hashtbl.create 64; all = [] }
+
+let add t rule =
+  t.all <- t.all @ [ rule ];
+  List.iter
+    (fun k ->
+      let bucket =
+        match Hashtbl.find_opt t.table k with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.replace t.table k b;
+          b
+      in
+      (* Keep longest patterns first so lookup is longest-match. *)
+      bucket :=
+        List.stable_sort
+          (fun a b ->
+            compare (Rule.guest_pattern_length b) (Rule.guest_pattern_length a))
+          (!bucket @ [ rule ]))
+    (keys_of_rule rule)
+
+let of_list rules =
+  let t = create () in
+  List.iter (add t) rules;
+  t
+
+let size t = List.length t.all
+let rules t = t.all
+
+let match_at t insns =
+  match insns with
+  | [] -> None
+  | first :: _ -> (
+    match key_of_insn first with
+    | None -> None
+    | Some k -> (
+      match Hashtbl.find_opt t.table k with
+      | None -> None
+      | Some bucket ->
+        List.find_map
+          (fun rule ->
+            match Rule.match_sequence rule insns with
+            | Some b -> Some (rule, b)
+            | None -> None)
+          !bucket))
+
+let coverage t insns =
+  let arr = Array.of_list insns in
+  let n = Array.length arr in
+  let covered = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let rest = Array.to_list (Array.sub arr !i (n - !i)) in
+    match match_at t rest with
+    | Some (rule, _) ->
+      let len = Rule.guest_pattern_length rule in
+      covered := !covered + len;
+      i := !i + len
+    | None -> incr i
+  done;
+  !covered

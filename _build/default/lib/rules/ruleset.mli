@@ -1,0 +1,23 @@
+(** An indexed collection of translation rules with longest-match
+    lookup, keyed by the shape of a pattern's first instruction. *)
+
+module A := Repro_arm.Insn
+
+type t
+
+val create : unit -> t
+val add : t -> Rule.t -> unit
+val of_list : Rule.t list -> t
+val size : t -> int
+val rules : t -> Rule.t list
+
+val match_at : t -> A.t list -> (Rule.t * Rule.binding) option
+(** Find the rule whose guest pattern matches the longest prefix of
+    the (condition-stripped) instruction list; ties break toward the
+    earliest-added rule. The caller is responsible for condition
+    handling and for checking the instructions share a condition when
+    a multi-instruction rule matches. *)
+
+val coverage : t -> A.t list -> int
+(** Static count of instructions in the list matched by some rule
+    (diagnostics for the coverage experiments). *)

@@ -1,0 +1,1 @@
+lib/symexec/equiv.ml: Array Hashtbl List Prng Repro_common Term Word32

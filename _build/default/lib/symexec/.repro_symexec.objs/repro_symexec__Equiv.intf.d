@@ -1,0 +1,1 @@
+lib/symexec/equiv.mli: Term

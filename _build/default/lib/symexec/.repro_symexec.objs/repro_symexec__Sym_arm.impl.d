@@ -1,0 +1,1 @@
+lib/symexec/sym_arm.ml: Array List Printf Repro_arm Repro_common Term

@@ -1,0 +1,1 @@
+lib/symexec/sym_arm.mli: Repro_arm Term

@@ -1,0 +1,1 @@
+lib/symexec/sym_x86.ml: Array List Printf Repro_x86 Term

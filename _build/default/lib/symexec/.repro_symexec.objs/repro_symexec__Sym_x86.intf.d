@@ -1,0 +1,1 @@
+lib/symexec/sym_x86.mli: Repro_x86 Term

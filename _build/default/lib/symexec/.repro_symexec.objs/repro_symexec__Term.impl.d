@@ -1,0 +1,1 @@
+lib/symexec/term.ml: Format List Repro_common Word32

@@ -1,0 +1,1 @@
+lib/symexec/term.mli: Format Repro_common

@@ -1,0 +1,46 @@
+open Repro_common
+
+type verdict = Proved | Probable | Refuted
+
+let boundary = [| 0; 1; 2; 0x7FFFFFFF; 0x80000000; 0xFFFFFFFF; 0xFFFFFFFE; 31; 32 |]
+
+let check ?(samples = 128) a b =
+  if Term.equal a b then Proved
+  else begin
+    let vars = List.sort_uniq compare (Term.vars a @ Term.vars b) in
+    let flag_var v = List.mem v [ "n"; "z"; "c"; "v"; "cf"; "zf"; "sf"; "of" ] in
+    let prng = Prng.create ~seed:0x5EED in
+    let ok = ref true in
+    let trial k =
+      let env = Hashtbl.create 16 in
+      List.iteri
+        (fun i v ->
+          let value =
+            if flag_var v then (if Prng.bool prng then 1 else 0)
+            else if k < Array.length boundary then
+              (* rotate boundary values across variables *)
+              boundary.((k + i) mod Array.length boundary)
+            else Prng.word prng
+          in
+          Hashtbl.replace env v value)
+        vars;
+      let lookup v = match Hashtbl.find_opt env v with Some x -> x | None -> 0 in
+      Word32.mask (Term.eval lookup a) = Word32.mask (Term.eval lookup b)
+    in
+    (try
+       for k = 0 to samples - 1 do
+         if not (trial k) then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !ok then Probable else Refuted
+  end
+
+let verdict_name = function
+  | Proved -> "proved"
+  | Probable -> "probable"
+  | Refuted -> "refuted"
+
+let holds = function Proved | Probable -> true | Refuted -> false

@@ -1,0 +1,15 @@
+(** Semantic equivalence of terms: normalization first (a proof), then
+    seeded randomized evaluation over the shared variables (the
+    fallback the learning pipeline treats as verification — mirroring
+    the prior work's symbolic checker, which also falls back to
+    sampling for parameterized immediates). *)
+
+type verdict = Proved | Probable | Refuted
+
+val check : ?samples:int -> Term.t -> Term.t -> verdict
+(** [samples] defaults to 128; boundary values (0, 1, 0x7FFFFFFF,
+    0x80000000, 0xFFFFFFFF) are always included in the sample set. *)
+
+val verdict_name : verdict -> string
+val holds : verdict -> bool
+(** [Proved] or [Probable]. *)

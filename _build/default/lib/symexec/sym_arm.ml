@@ -1,0 +1,124 @@
+module A = Repro_arm.Insn
+module Cond = Repro_arm.Cond
+open Term
+
+type state = { regs : Term.t array; n : Term.t; z : Term.t; c : Term.t; v : Term.t }
+
+let initial () =
+  {
+    regs = Array.init 16 (fun i -> var (Printf.sprintf "r%d" i));
+    n = var "n";
+    z = var "z";
+    c = var "c";
+    v = var "v";
+  }
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let reg st r = if r = 15 then unsupported "pc read" else st.regs.(r)
+
+let set_reg st r t =
+  if r = 15 then unsupported "pc write";
+  let regs = Array.copy st.regs in
+  regs.(r) <- t;
+  { st with regs }
+
+(* Operand2 value; shifter carry-out is not modelled (logical S-ops
+   set C := 0 in the model ISA). *)
+let op2_value st = function
+  | A.Imm { imm8; rot } -> const (Repro_common.Word32.rotate_right imm8 (2 * rot))
+  | A.Reg_shift_imm { rm; kind; amount } ->
+    let v = reg st rm in
+    if amount = 0 then v
+    else
+      let op =
+        match kind with A.LSL -> Shl | A.LSR -> Shr | A.ASR -> Sar | A.ROR -> Ror
+      in
+      bin op v (const amount)
+  | A.Reg_shift_reg { rm; kind; rs } ->
+    let v = reg st rm in
+    let amt = bin And (reg st rs) (const 31) in
+    let op =
+      match kind with A.LSL -> Shl | A.LSR -> Shr | A.ASR -> Sar | A.ROR -> Ror
+    in
+    bin op v amt
+
+let sign_bit t = bin Shr t (const 31)
+let is_zero t = bin Eq t (const 0)
+
+let add_flags st a b r ~carry_in =
+  let c_out =
+    match carry_in with
+    | None -> bin Ltu r a
+    | Some cin ->
+      let s = add a b in
+      bin Or (bin Ltu s a) (bin Ltu r cin)
+  in
+  let v = sign_bit (bin And (lnot (bin Xor a b)) (bin Xor a r)) in
+  { st with n = sign_bit r; z = is_zero r; c = c_out; v }
+
+let sub_flags st a b r ~borrow_in =
+  let borrow =
+    match borrow_in with
+    | None -> bin Ltu a b
+    | Some bin_t -> bin Or (bin Ltu a b) (bin And (bin Eq a b) bin_t)
+  in
+  let v = sign_bit (bin And (bin Xor a b) (bin Xor a r)) in
+  { st with n = sign_bit r; z = is_zero r; c = bool_not borrow; v }
+
+let logic_flags st r =
+  { st with n = sign_bit r; z = is_zero r; c = const 0; v = const 0 }
+
+let exec_one st (insn : A.t) =
+  if insn.A.cond <> Cond.AL then unsupported "conditional instruction";
+  match insn.A.op with
+  | A.Dp { op; s; rd; rn; op2 } -> (
+    let b = op2_value st op2 in
+    let a = match op with A.MOV | A.MVN -> const 0 | _ -> reg st rn in
+    let cin = st.c in
+    let not_c = bool_not cin in
+    let result, flagger =
+      match op with
+      | A.AND -> (bin And a b, `Logic)
+      | A.EOR -> (bin Xor a b, `Logic)
+      | A.ORR -> (bin Or a b, `Logic)
+      | A.BIC -> (bin And a (lnot b), `Logic)
+      | A.MOV -> (b, `Logic)
+      | A.MVN -> (lnot b, `Logic)
+      | A.ADD -> (add a b, `Add None)
+      | A.ADC -> (add (add a b) cin, `Add (Some cin))
+      | A.SUB -> (sub a b, `Sub (a, b, None))
+      | A.RSB -> (sub b a, `Sub (b, a, None))
+      | A.SBC -> (sub (sub a b) not_c, `Sub (a, b, Some not_c))
+      | A.RSC -> (sub (sub b a) not_c, `Sub (b, a, Some not_c))
+      | A.TST -> (bin And a b, `Logic)
+      | A.TEQ -> (bin Xor a b, `Logic)
+      | A.CMP -> (sub a b, `Sub (a, b, None))
+      | A.CMN -> (add a b, `Add None)
+    in
+    let st' = if A.dp_op_is_test op then st else set_reg st rd result in
+    if s || A.dp_op_is_test op then
+      match flagger with
+      | `Logic -> logic_flags st' result
+      | `Add cin -> add_flags st' a b result ~carry_in:cin
+      | `Sub (x, y, bor) -> sub_flags st' x y result ~borrow_in:bor
+    else st')
+  | A.Mul { s; rd; rn; rm; acc } ->
+    let r = bin Mul (reg st rm) (reg st rn) in
+    let r = match acc with Some ra -> add r (reg st ra) | None -> r in
+    let st' = set_reg st rd r in
+    if s then logic_flags st' r else st'
+  | A.Movw { rd; imm16 } -> set_reg st rd (const imm16)
+  | A.Movt { rd; imm16 } ->
+    set_reg st rd (bin Or (bin And (reg st rd) (const 0xFFFF)) (const (imm16 lsl 16)))
+  | A.Mull _ -> unsupported "long multiply"
+  | A.Clz _ -> unsupported "count leading zeros"
+  | A.Ldr _ | A.Ldrs _ | A.Str _ | A.Ldm _ | A.Stm _ -> unsupported "memory access"
+  | A.B _ | A.Bx _ -> unsupported "branch"
+  | A.Mrs _ | A.Msr _ | A.Svc _ | A.Cps _ | A.Mcr _ | A.Mrc _ | A.Vmsr _ | A.Vmrs _
+  | A.Udf _ -> unsupported "system-level"
+  | A.Nop -> st
+
+let exec st insns = List.fold_left exec_one st insns

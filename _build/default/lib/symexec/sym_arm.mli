@@ -1,0 +1,27 @@
+(** Symbolic evaluation of (straight-line, computational) ARM
+    instruction sequences: registers and NZCV as {!Term.t}s over the
+    initial state.
+
+    Memory, branch, PC-relative and system-level instructions are out
+    of scope ([Unsupported]) — the rule learner only extracts
+    computational fragments, exactly like the prior work's fragment
+    selection. *)
+
+type state = {
+  regs : Term.t array;  (** 16 entries; index 15 unused (PC unsupported) *)
+  n : Term.t;
+  z : Term.t;
+  c : Term.t;
+  v : Term.t;
+}
+
+val initial : unit -> state
+(** Registers are [Var "r0"].."Var "r14""; flags [Var "n"|"z"|"c"|"v"]
+    (0/1 terms). *)
+
+exception Unsupported of string
+
+val exec : state -> Repro_arm.Insn.t list -> state
+(** Evaluate a sequence. Conditional instructions are unsupported
+    (rules match unconditional bodies; guards are the engine's job).
+    Raises {!Unsupported}. *)

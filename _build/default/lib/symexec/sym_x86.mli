@@ -1,0 +1,22 @@
+(** Symbolic evaluation of straight-line host (x86-model) instruction
+    sequences over the same term language: 16 registers plus the four
+    EFLAGS bits as 0/1 terms. Branches, memory operands and helper
+    calls are {!Unsupported} (host templates are straight-line and
+    register-only by construction). *)
+
+type state = {
+  regs : Term.t array;  (** 16 host registers *)
+  cf : Term.t;
+  zf : Term.t;
+  sf : Term.t;
+  o_f : Term.t;
+}
+
+val initial : (int -> Term.t) -> state
+(** [initial f] seeds register [i] with [f i] (the verifier maps
+    pinned hosts to the guest's [Var "rN"]s and scratch to fresh
+    vars); flags start as [Var "cf".."of"]. *)
+
+exception Unsupported of string
+
+val exec : state -> Repro_x86.Insn.t list -> state

@@ -1,0 +1,142 @@
+open Repro_common
+
+type var = string
+
+type op =
+  | Add | Sub | Mul | And | Or | Xor
+  | Shl | Shr | Sar | Ror
+  | Ltu | Lts | Eq
+
+type t =
+  | Var of var
+  | Const of Word32.t
+  | Bin of op * t * t
+  | Not of t
+  | Ite of t * t * t
+
+let var v = Var v
+let const n = Const (Word32.mask n)
+let bin op a b = Bin (op, a, b)
+let add a b = Bin (Add, a, b)
+let sub a b = Bin (Sub, a, b)
+let ite c a b = Ite (c, a, b)
+let lnot a = Not a
+let bool_not a = Bin (Eq, a, Const 0)
+
+let rec size = function
+  | Var _ | Const _ -> 1
+  | Not a -> 1 + size a
+  | Bin (_, a, b) -> 1 + size a + size b
+  | Ite (c, a, b) -> 1 + size c + size a + size b
+
+let vars t =
+  let rec go acc = function
+    | Var v -> v :: acc
+    | Const _ -> acc
+    | Not a -> go acc a
+    | Bin (_, a, b) -> go (go acc a) b
+    | Ite (c, a, b) -> go (go (go acc c) a) b
+  in
+  List.sort_uniq compare (go [] t)
+
+let apply op a b =
+  match op with
+  | Add -> Word32.add a b
+  | Sub -> Word32.sub a b
+  | Mul -> Word32.mul a b
+  | And -> Word32.logand a b
+  | Or -> Word32.logor a b
+  | Xor -> Word32.logxor a b
+  | Shl -> Word32.shift_left a (b land 31)
+  | Shr -> Word32.shift_right_logical a (b land 31)
+  | Sar -> Word32.shift_right_arith a (b land 31)
+  | Ror -> Word32.rotate_right a (b land 31)
+  | Ltu -> if Word32.compare_unsigned a b < 0 then 1 else 0
+  | Lts -> if Word32.compare_signed a b < 0 then 1 else 0
+  | Eq -> if a = b then 1 else 0
+
+let rec eval env = function
+  | Var v -> env v
+  | Const c -> c
+  | Not a -> Word32.lognot (eval env a)
+  | Bin (op, a, b) -> apply op (eval env a) (eval env b)
+  | Ite (c, a, b) -> if eval env c <> 0 then eval env a else eval env b
+
+let commutative = function
+  | Add | Mul | And | Or | Xor | Eq -> true
+  | Sub | Shl | Shr | Sar | Ror | Ltu | Lts -> false
+
+(* One rewrite pass: fold constants, apply identities, sort commutative
+   operands by structural order. *)
+let rec rewrite t =
+  match t with
+  | Var _ | Const _ -> t
+  | Not a -> (
+    let a = rewrite a in
+    match a with
+    | Const c -> Const (Word32.lognot c)
+    | Not b -> b
+    | _ -> Not a)
+  | Ite (c, a, b) -> (
+    let c = rewrite c and a = rewrite a and b = rewrite b in
+    match c with
+    | Const 0 -> b
+    | Const _ -> a
+    | _ -> if a = b then a else Ite (c, a, b))
+  | Bin (op, a, b) -> (
+    let a = rewrite a and b = rewrite b in
+    let a, b = if commutative op && compare a b > 0 then (b, a) else (a, b) in
+    match (op, a, b) with
+    | _, Const x, Const y -> Const (apply op x y)
+    | Add, Const 0, x | Add, x, Const 0 -> x
+    | Sub, x, Const 0 -> x
+    | Mul, Const 0, _ | Mul, _, Const 0 -> Const 0
+    | Mul, Const 1, x | Mul, x, Const 1 -> x
+    | And, Const 0, _ | And, _, Const 0 -> Const 0
+    | And, Const 0xFFFFFFFF, x | And, x, Const 0xFFFFFFFF -> x
+    | Or, Const 0, x | Or, x, Const 0 -> x
+    | Xor, Const 0, x | Xor, x, Const 0 -> x
+    | (Shl | Shr | Sar | Ror), x, Const 0 -> x
+    | Sub, x, y when x = y -> Const 0
+    | Xor, x, y when x = y -> Const 0
+    | And, x, y when x = y -> x
+    | Or, x, y when x = y -> x
+    (* (a + c1) + c2 -> a + (c1+c2), exploiting sorted operands *)
+    | Add, Bin (Add, x, Const c1), Const c2 | Add, Const c2, Bin (Add, x, Const c1) ->
+      rewrite (Bin (Add, x, Const (Word32.add c1 c2)))
+    | Sub, Bin (Add, x, Const c1), Const c2 ->
+      rewrite (Bin (Add, x, Const (Word32.sub c1 c2)))
+    | _ -> Bin (op, a, b))
+
+let normalize t =
+  let rec fix t n =
+    if n = 0 then t
+    else
+      let t' = rewrite t in
+      if t' = t then t else fix t' (n - 1)
+  in
+  fix t 8
+
+let equal a b = normalize a = normalize b
+
+let op_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>u"
+  | Sar -> ">>s"
+  | Ror -> "ror"
+  | Ltu -> "<u"
+  | Lts -> "<s"
+  | Eq -> "=="
+
+let rec pp ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Format.fprintf ppf "%#x" c
+  | Not a -> Format.fprintf ppf "~%a" pp a
+  | Bin (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (op_name op) pp b
+  | Ite (c, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp c pp a pp b

@@ -1,0 +1,50 @@
+(** The term language of the symbolic evaluator used to verify
+    candidate translation rules (the learning pipeline's
+    semantic-equivalence check).
+
+    Terms denote 32-bit words; comparison operators denote 0/1.
+    {!normalize} performs constant folding, algebraic identities and
+    commutative-operand sorting, giving a cheap structural-equality
+    check; {!Equiv} falls back to randomized evaluation. *)
+
+type var = string
+
+type op =
+  | Add | Sub | Mul | And | Or | Xor
+  | Shl | Shr | Sar | Ror
+  | Ltu  (** unsigned < : 0/1 *)
+  | Lts  (** signed < : 0/1 *)
+  | Eq   (** = : 0/1 *)
+
+type t =
+  | Var of var
+  | Const of Repro_common.Word32.t
+  | Bin of op * t * t
+  | Not of t
+  | Ite of t * t * t  (** if [cond ≠ 0] then [a] else [b] *)
+
+val var : var -> t
+val const : int -> t
+val bin : op -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val ite : t -> t -> t -> t
+val lnot : t -> t
+
+val bool_not : t -> t
+(** Negation of a 0/1 term. *)
+
+val size : t -> int
+val vars : t -> var list
+(** Free variables, sorted, deduplicated. *)
+
+val eval : (var -> Repro_common.Word32.t) -> t -> Repro_common.Word32.t
+(** Concrete evaluation under a valuation. *)
+
+val normalize : t -> t
+(** Fixpoint of folding/identity/sorting rewrites (bounded). *)
+
+val equal : t -> t -> bool
+(** Structural equality after normalization. *)
+
+val pp : Format.formatter -> t -> unit

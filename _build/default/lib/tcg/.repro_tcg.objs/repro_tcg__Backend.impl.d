@@ -1,0 +1,1 @@
+lib/tcg/backend.ml: Array Envspec Hashtbl Helpers Ir List Printf Repro_mmu Repro_x86 Tb

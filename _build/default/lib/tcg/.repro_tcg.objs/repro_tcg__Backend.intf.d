@@ -1,0 +1,1 @@
+lib/tcg/backend.mli: Ir Repro_common Repro_x86

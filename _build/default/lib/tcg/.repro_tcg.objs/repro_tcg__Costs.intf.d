@@ -1,0 +1,1 @@
+lib/tcg/costs.mli:

@@ -1,0 +1,1 @@
+lib/tcg/engine.ml: Array Costs Envspec Profile Repro_arm Repro_common Repro_machine Repro_mmu Repro_x86 Runtime Tb Word32

@@ -1,0 +1,1 @@
+lib/tcg/engine.mli: Profile Repro_arm Repro_common Runtime Tb Word32

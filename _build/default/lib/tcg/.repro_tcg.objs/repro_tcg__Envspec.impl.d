@@ -1,0 +1,1 @@
+lib/tcg/envspec.ml: Array Repro_arm Repro_common Word32

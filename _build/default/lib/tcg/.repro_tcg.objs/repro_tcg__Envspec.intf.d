@@ -1,0 +1,1 @@
+lib/tcg/envspec.mli: Repro_arm Repro_common Word32

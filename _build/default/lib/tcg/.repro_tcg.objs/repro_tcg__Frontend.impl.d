@@ -1,0 +1,1 @@
+lib/tcg/frontend.ml: Envspec Helpers Ir List Repro_arm Repro_common Word32

@@ -1,0 +1,1 @@
+lib/tcg/frontend.mli: Ir Repro_arm Repro_common

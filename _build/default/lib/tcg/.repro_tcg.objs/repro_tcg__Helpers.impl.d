@@ -1,0 +1,1 @@
+lib/tcg/helpers.ml: Array Costs Envspec Printf Repro_arm Repro_common Repro_machine Repro_mmu Repro_x86 Result Runtime Word32

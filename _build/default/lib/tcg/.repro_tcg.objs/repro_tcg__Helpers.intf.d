@@ -1,0 +1,1 @@
+lib/tcg/helpers.mli: Repro_x86 Runtime

@@ -1,0 +1,1 @@
+lib/tcg/ir.ml: Format List Printf Repro_x86 String

@@ -1,0 +1,1 @@
+lib/tcg/ir.mli: Format Repro_x86

@@ -1,0 +1,1 @@
+lib/tcg/profile.ml: Array Format Hashtbl List Repro_arm Repro_common Tb Word32

@@ -1,0 +1,1 @@
+lib/tcg/profile.mli: Format Repro_arm Repro_common Tb Word32

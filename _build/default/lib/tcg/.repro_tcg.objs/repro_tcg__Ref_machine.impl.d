@@ -1,0 +1,1 @@
+lib/tcg/ref_machine.ml: Array Bytes Repro_arm Repro_common Repro_machine Repro_mmu Word32

@@ -1,0 +1,1 @@
+lib/tcg/ref_machine.mli: Repro_arm Repro_common Repro_machine Word32

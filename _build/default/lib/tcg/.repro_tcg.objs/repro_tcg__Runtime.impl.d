@@ -1,0 +1,1 @@
+lib/tcg/runtime.ml: Array Envspec Repro_arm Repro_common Repro_machine Repro_mmu Repro_x86 Word32

@@ -1,0 +1,1 @@
+lib/tcg/runtime.mli: Repro_arm Repro_common Repro_machine Repro_x86 Word32

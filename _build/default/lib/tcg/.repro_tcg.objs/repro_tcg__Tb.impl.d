@@ -1,0 +1,1 @@
+lib/tcg/tb.ml: Hashtbl List Repro_arm Repro_common Repro_x86 Word32

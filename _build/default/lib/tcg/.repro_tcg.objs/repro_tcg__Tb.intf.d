@@ -1,0 +1,1 @@
+lib/tcg/tb.mli: Repro_arm Repro_common Repro_x86 Word32

@@ -1,0 +1,1 @@
+lib/tcg/translator_qemu.ml: Array Backend Frontend List Printf Repro_arm Repro_common Repro_x86 Runtime Tb Word32

@@ -1,0 +1,1 @@
+lib/tcg/translator_qemu.mli: Repro_arm Repro_common Runtime Tb Word32

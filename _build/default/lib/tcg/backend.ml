@@ -1,0 +1,277 @@
+
+module X = Repro_x86.Insn
+module Prog = Repro_x86.Prog
+module Mmu = Repro_mmu.Mmu
+
+let temp_pool =
+  [| X.rax; X.rdx; X.rbx; X.rsi; X.rdi; X.r8; X.r9; X.r10; X.r11; X.r12; X.r13 |]
+
+(* Scratch registers for the inline TLB probe; disjoint from the pool. *)
+let mmu_s1 = X.r14
+let mmu_s2 = X.r15
+
+let host_of_temp t =
+  if t < 0 || t >= Array.length temp_pool then
+    failwith (Printf.sprintf "Backend: temp %d outside pool" t)
+  else temp_pool.(t)
+
+let env_op slot = X.Mem (X.env_slot slot)
+
+let binop_to_x86 : Ir.binop -> [ `Alu of X.alu_op | `Shift of X.shift_op | `Mul ] =
+  function
+  | Ir.Add -> `Alu X.Add
+  | Ir.Sub -> `Alu X.Sub
+  | Ir.And -> `Alu X.And
+  | Ir.Or -> `Alu X.Or
+  | Ir.Xor -> `Alu X.Xor
+  | Ir.Mul -> `Mul
+  | Ir.Shl -> `Shift X.Shl
+  | Ir.Shr -> `Shift X.Shr
+  | Ir.Sar -> `Shift X.Sar
+  | Ir.Ror -> `Shift X.Ror
+
+type stub =
+  | Slow_load of { label : int; done_ : int; addr : X.reg; dst : X.reg; width : Ir.width; insn_pc : int }
+  | Slow_store of { label : int; done_ : int; addr : X.reg; src : X.reg; width : Ir.width; insn_pc : int }
+
+let lower b ~privileged ~tb_pc ops =
+  let stubs = ref [] in
+  (* IR label id → prog label id. *)
+  let lbl_map = Hashtbl.create 8 in
+  let prog_label ir_l =
+    match Hashtbl.find_opt lbl_map ir_l with
+    | Some l -> l
+    | None ->
+      let l = Prog.fresh_label b in
+      Hashtbl.replace lbl_map ir_l l;
+      l
+  in
+  let bank_disp = 4 * Mmu.Tlb.bank_offset_words ~privileged in
+
+  (* TB head: poll the interrupt line (paper Fig. 4). *)
+  let irq_label = Prog.fresh_label b in
+  Prog.emit b ~tag:X.Tag_irq_check (X.Count X.Cnt_irq_poll);
+  Prog.emit b ~tag:X.Tag_irq_check
+    (X.Alu { op = X.Cmp; dst = env_op Envspec.irq_pending; src = X.Imm 0 });
+  Prog.emit b ~tag:X.Tag_irq_check (X.Jcc { cc = X.NE; target = irq_label });
+
+  let emit_alu op dst a b_op =
+    (* dst := a <op> b; allow dst = a in place, else move first. *)
+    if dst = a then Prog.emit b (X.Alu { op; dst = X.Reg dst; src = b_op })
+    else begin
+      (match b_op with
+      | X.Reg r when r = dst ->
+        failwith "Backend: binop dst aliases second source"
+      | _ -> ());
+      Prog.emit b (X.Mov { width = X.W32; dst = X.Reg dst; src = X.Reg a });
+      Prog.emit b (X.Alu { op; dst = X.Reg dst; src = b_op })
+    end
+  in
+  let emit_shift op dst a amount =
+    if dst <> a then begin
+      (match amount with
+      | X.Sh_cl -> ()
+      | X.Sh_imm _ -> ());
+      Prog.emit b (X.Mov { width = X.W32; dst = X.Reg dst; src = X.Reg a })
+    end;
+    Prog.emit b (X.Shift { op; dst = X.Reg dst; amount })
+  in
+
+  let emit_qemu_ld ~dst ~addr ~width ~insn_pc =
+    Prog.emit b ~tag:X.Tag_mmu (X.Count X.Cnt_mmu_access);
+    let slow = Prog.fresh_label b in
+    let done_ = Prog.fresh_label b in
+    let t = X.Tag_mmu in
+    (* Set index: s1 = ((addr >> 12) & 0xFF) * 16 bytes *)
+    Prog.emit b ~tag:t (X.Mov { width = X.W32; dst = X.Reg mmu_s1; src = X.Reg addr });
+    Prog.emit b ~tag:t (X.Shift { op = X.Shr; dst = X.Reg mmu_s1; amount = X.Sh_imm 12 });
+    Prog.emit b ~tag:t (X.Alu { op = X.And; dst = X.Reg mmu_s1; src = X.Imm 0xFF });
+    Prog.emit b ~tag:t (X.Shift { op = X.Shl; dst = X.Reg mmu_s1; amount = X.Sh_imm 4 });
+    (* Tag compare *)
+    Prog.emit b ~tag:t (X.Mov { width = X.W32; dst = X.Reg mmu_s2; src = X.Reg addr });
+    Prog.emit b ~tag:t (X.Alu { op = X.And; dst = X.Reg mmu_s2; src = X.Imm Mmu.page_mask });
+    Prog.emit b ~tag:t
+      (X.Alu
+         {
+           op = X.Cmp;
+           dst = X.Mem { seg = X.Tlb; base = Some mmu_s1; index = None; scale = 1; disp = bank_disp };
+           src = X.Reg mmu_s2;
+         });
+    Prog.emit b ~tag:t (X.Jcc { cc = X.NE; target = slow });
+    (* Hit: paddr = tlb.paddr_page | (addr & 0xFFF) *)
+    Prog.emit b ~tag:t
+      (X.Mov
+         {
+           width = X.W32;
+           dst = X.Reg mmu_s2;
+           src = X.Mem { seg = X.Tlb; base = Some mmu_s1; index = None; scale = 1; disp = bank_disp + 8 };
+         });
+    Prog.emit b ~tag:t (X.Mov { width = X.W32; dst = X.Reg X.rcx; src = X.Reg addr });
+    Prog.emit b ~tag:t (X.Alu { op = X.And; dst = X.Reg X.rcx; src = X.Imm 0xFFF });
+    Prog.emit b ~tag:t (X.Alu { op = X.Add; dst = X.Reg mmu_s2; src = X.Reg X.rcx });
+    let ram = X.Mem { seg = X.Ram; base = Some mmu_s2; index = None; scale = 1; disp = 0 } in
+    (match width with
+    | Ir.W32 -> Prog.emit b ~tag:t (X.Mov { width = X.W32; dst = X.Reg dst; src = ram })
+    | Ir.W16 -> Prog.emit b ~tag:t (X.Movzx16 { dst; src = ram })
+    | Ir.W8 -> Prog.emit b ~tag:t (X.Movzx8 { dst; src = ram }));
+    Prog.emit b (X.Label done_);
+    stubs := Slow_load { label = slow; done_; addr; dst; width; insn_pc } :: !stubs
+  in
+  let emit_qemu_st ~src ~addr ~width ~insn_pc =
+    Prog.emit b ~tag:X.Tag_mmu (X.Count X.Cnt_mmu_access);
+    let slow = Prog.fresh_label b in
+    let done_ = Prog.fresh_label b in
+    let t = X.Tag_mmu in
+    Prog.emit b ~tag:t (X.Mov { width = X.W32; dst = X.Reg mmu_s1; src = X.Reg addr });
+    Prog.emit b ~tag:t (X.Shift { op = X.Shr; dst = X.Reg mmu_s1; amount = X.Sh_imm 12 });
+    Prog.emit b ~tag:t (X.Alu { op = X.And; dst = X.Reg mmu_s1; src = X.Imm 0xFF });
+    Prog.emit b ~tag:t (X.Shift { op = X.Shl; dst = X.Reg mmu_s1; amount = X.Sh_imm 4 });
+    Prog.emit b ~tag:t (X.Mov { width = X.W32; dst = X.Reg mmu_s2; src = X.Reg addr });
+    Prog.emit b ~tag:t (X.Alu { op = X.And; dst = X.Reg mmu_s2; src = X.Imm Mmu.page_mask });
+    Prog.emit b ~tag:t
+      (X.Alu
+         {
+           op = X.Cmp;
+           (* write tag is the second word of the set *)
+           dst = X.Mem { seg = X.Tlb; base = Some mmu_s1; index = None; scale = 1; disp = bank_disp + 4 };
+           src = X.Reg mmu_s2;
+         });
+    Prog.emit b ~tag:t (X.Jcc { cc = X.NE; target = slow });
+    Prog.emit b ~tag:t
+      (X.Mov
+         {
+           width = X.W32;
+           dst = X.Reg mmu_s2;
+           src = X.Mem { seg = X.Tlb; base = Some mmu_s1; index = None; scale = 1; disp = bank_disp + 8 };
+         });
+    Prog.emit b ~tag:t (X.Mov { width = X.W32; dst = X.Reg X.rcx; src = X.Reg addr });
+    Prog.emit b ~tag:t (X.Alu { op = X.And; dst = X.Reg X.rcx; src = X.Imm 0xFFF });
+    Prog.emit b ~tag:t (X.Alu { op = X.Add; dst = X.Reg mmu_s2; src = X.Reg X.rcx });
+    let ram = X.Mem { seg = X.Ram; base = Some mmu_s2; index = None; scale = 1; disp = 0 } in
+    (match width with
+    | Ir.W32 -> Prog.emit b ~tag:t (X.Mov { width = X.W32; dst = ram; src = X.Reg src })
+    | Ir.W16 -> Prog.emit b ~tag:t (X.Mov { width = X.W16; dst = ram; src = X.Reg src })
+    | Ir.W8 -> Prog.emit b ~tag:t (X.Mov { width = X.W8; dst = ram; src = X.Reg src }));
+    Prog.emit b (X.Label done_);
+    stubs := Slow_store { label = slow; done_; addr; src; width; insn_pc } :: !stubs
+  in
+
+  let lower_op op =
+    match op with
+    | Ir.Insn_start -> Prog.emit b (X.Count X.Cnt_guest_insn)
+    | Ir.Movi (d, v) ->
+      Prog.emit b (X.Mov { width = X.W32; dst = X.Reg (host_of_temp d); src = X.Imm v })
+    | Ir.Mov (d, s) ->
+      Prog.emit b
+        (X.Mov { width = X.W32; dst = X.Reg (host_of_temp d); src = X.Reg (host_of_temp s) })
+    | Ir.Ld_env (d, slot) ->
+      Prog.emit b (X.Mov { width = X.W32; dst = X.Reg (host_of_temp d); src = env_op slot })
+    | Ir.St_env (slot, s) ->
+      Prog.emit b (X.Mov { width = X.W32; dst = env_op slot; src = X.Reg (host_of_temp s) })
+    | Ir.Sti_env (slot, v) ->
+      Prog.emit b (X.Mov { width = X.W32; dst = env_op slot; src = X.Imm v })
+    | Ir.Binop (bop, d, a, bb) -> (
+      let d = host_of_temp d and a = host_of_temp a and bb = host_of_temp bb in
+      match binop_to_x86 bop with
+      | `Alu op -> emit_alu op d a (X.Reg bb)
+      | `Mul ->
+        if d <> a then Prog.emit b (X.Mov { width = X.W32; dst = X.Reg d; src = X.Reg a });
+        Prog.emit b (X.Imul { dst = d; src = X.Reg bb })
+      | `Shift op ->
+        Prog.emit b (X.Mov { width = X.W32; dst = X.Reg X.rcx; src = X.Reg bb });
+        emit_shift op d a X.Sh_cl)
+    | Ir.Binopi (bop, d, a, v) -> (
+      let d = host_of_temp d and a = host_of_temp a in
+      match binop_to_x86 bop with
+      | `Alu op -> emit_alu op d a (X.Imm v)
+      | `Mul ->
+        if d <> a then Prog.emit b (X.Mov { width = X.W32; dst = X.Reg d; src = X.Reg a });
+        Prog.emit b (X.Imul { dst = d; src = X.Imm v })
+      | `Shift op -> emit_shift op d a (X.Sh_imm (v land 31)))
+    | Ir.Not (d, s) ->
+      let d = host_of_temp d and s = host_of_temp s in
+      if d <> s then Prog.emit b (X.Mov { width = X.W32; dst = X.Reg d; src = X.Reg s });
+      Prog.emit b (X.Not (X.Reg d))
+    | Ir.Setcond (c, d, a, bb) ->
+      Prog.emit b
+        (X.Alu { op = X.Cmp; dst = X.Reg (host_of_temp a); src = X.Reg (host_of_temp bb) });
+      Prog.emit b (X.Setcc { cc = Ir.cmp_to_cc c; dst = host_of_temp d })
+    | Ir.Setcondi (c, d, a, v) ->
+      Prog.emit b (X.Alu { op = X.Cmp; dst = X.Reg (host_of_temp a); src = X.Imm v });
+      Prog.emit b (X.Setcc { cc = Ir.cmp_to_cc c; dst = host_of_temp d })
+    | Ir.Brcondi (c, a, v, l) ->
+      Prog.emit b (X.Alu { op = X.Cmp; dst = X.Reg (host_of_temp a); src = X.Imm v });
+      Prog.emit b (X.Jcc { cc = Ir.cmp_to_cc c; target = prog_label l })
+    | Ir.Br l -> Prog.emit b (X.Jmp (prog_label l))
+    | Ir.Set_label l -> Prog.emit b (X.Label (prog_label l))
+    | Ir.Qemu_ld { dst; addr; width; insn_pc } ->
+      emit_qemu_ld ~dst:(host_of_temp dst) ~addr:(host_of_temp addr) ~width ~insn_pc
+    | Ir.Qemu_st { src; addr; width; insn_pc } ->
+      emit_qemu_st ~src:(host_of_temp src) ~addr:(host_of_temp addr) ~width ~insn_pc
+    | Ir.Call { helper; args; ret } ->
+      let arg_regs = [| Helpers.arg0_reg; Helpers.arg1_reg |] in
+      List.iteri
+        (fun i a ->
+          Prog.emit b ~tag:X.Tag_glue
+            (X.Mov { width = X.W32; dst = X.Reg arg_regs.(i); src = X.Reg (host_of_temp a) }))
+        args;
+      Prog.emit b ~tag:X.Tag_glue (X.Call_helper { id = helper });
+      (match ret with
+      | Some d ->
+        Prog.emit b ~tag:X.Tag_glue
+          (X.Mov { width = X.W32; dst = X.Reg (host_of_temp d); src = X.Reg X.rax })
+      | None -> ())
+    | Ir.Goto_tb { slot; target_pc } ->
+      Prog.emit b ~tag:X.Tag_glue
+        (X.Mov { width = X.W32; dst = env_op Envspec.pc; src = X.Imm target_pc });
+      Prog.emit b ~tag:X.Tag_glue (X.Exit { slot })
+    | Ir.Exit_indirect slot -> Prog.emit b ~tag:X.Tag_glue (X.Exit { slot })
+  in
+  (* Pseudo guest-insn boundary markers are interleaved by the
+     translator via Count ops in the IR? No — the translator emits them
+     directly; here we only lower the ops. *)
+  List.iter lower_op ops;
+
+  (* Stubs: softMMU slow paths, then the interrupt-exit stub. *)
+  List.iter
+    (fun stub ->
+      match stub with
+      | Slow_load { label; done_; addr; dst; width; insn_pc } ->
+        Prog.emit b (X.Label label);
+        Prog.emit b ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = env_op Envspec.pc; src = X.Imm insn_pc });
+        Prog.emit b ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = X.Reg Helpers.arg0_reg; src = X.Reg addr });
+        Prog.emit b ~tag:X.Tag_mmu
+          (X.Call_helper
+             { id = (match width with
+              | Ir.W32 -> Helpers.h_mmu_load_w
+              | Ir.W16 -> Helpers.h_mmu_load_h
+              | Ir.W8 -> Helpers.h_mmu_load_b) });
+        Prog.emit b ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = X.Reg dst; src = X.Reg X.rax });
+        Prog.emit b ~tag:X.Tag_mmu (X.Jmp done_)
+      | Slow_store { label; done_; addr; src; width; insn_pc } ->
+        Prog.emit b (X.Label label);
+        Prog.emit b ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = env_op Envspec.pc; src = X.Imm insn_pc });
+        (* value first: src may alias the address register rdx *)
+        Prog.emit b ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = X.Reg Helpers.arg1_reg; src = X.Reg src });
+        Prog.emit b ~tag:X.Tag_mmu
+          (X.Mov { width = X.W32; dst = X.Reg Helpers.arg0_reg; src = X.Reg addr });
+        Prog.emit b ~tag:X.Tag_mmu
+          (X.Call_helper
+             { id = (match width with
+              | Ir.W32 -> Helpers.h_mmu_store_w
+              | Ir.W16 -> Helpers.h_mmu_store_h
+              | Ir.W8 -> Helpers.h_mmu_store_b) });
+        Prog.emit b ~tag:X.Tag_mmu (X.Jmp done_))
+    (List.rev !stubs);
+
+  (* Interrupt exit stub: record the TB's own PC so delivery computes
+     the right return address, then leave through the reserved slot. *)
+  Prog.emit b (X.Label irq_label);
+  Prog.emit b ~tag:X.Tag_irq_check
+    (X.Mov { width = X.W32; dst = env_op Envspec.pc; src = X.Imm tb_pc });
+  Prog.emit b ~tag:X.Tag_irq_check (X.Exit { slot = Tb.slot_irq })

@@ -1,0 +1,21 @@
+(** IR → host lowering (QEMU's TCG backend).
+
+    Temps map onto a fixed pool of host registers (per-guest-insn
+    lifetimes keep the pool small); rcx is reserved for variable shift
+    counts and r14/r15 for the inline softMMU fast path. [Qemu_ld]/
+    [Qemu_st] lower to the TLB probe + slow-path helper sequence, the
+    cost signature the paper attributes ≈20 host instructions per
+    system-mode memory access to. *)
+
+val temp_pool : Repro_x86.Insn.reg array
+(** Host registers available to IR temps, in temp-index order. *)
+
+val lower :
+  Repro_x86.Prog.builder ->
+  privileged:bool ->
+  tb_pc:Repro_common.Word32.t ->
+  Ir.t list ->
+  unit
+(** Append the lowered code for a TB body. Emits the TB-head interrupt
+    check (exit slot {!Tb.slot_irq}) and, at the end, the pending
+    slow-path and interrupt stubs. *)

@@ -1,0 +1,23 @@
+(* Nominal host-instruction costs of the engine's OCaml-side ("C
+   side") work, calibrated in DESIGN.md Â§5. A global percentage scale
+   supports the cost-model sensitivity ablation: emitted host code is
+   counted operationally and never scaled, so the scale perturbs
+   exactly the modelled (non-operational) half of the cost model. *)
+
+let scale_pct = ref 100
+
+let set_scale_pct p =
+  if p <= 0 then invalid_arg "Costs.set_scale_pct" else scale_pct := p
+
+let get_scale_pct () = !scale_pct
+let apply base = base * !scale_pct / 100
+let engine_dispatch () = apply 22
+let chain_jump () = apply 2
+let helper_call_overhead () = apply 4
+let interp_one () = apply 30
+let mmu_slow_path () = apply 38
+let mmu_helper_hit () = apply 9
+let io_access () = apply 20
+let irq_deliver () = apply 46
+let exception_entry () = apply 40
+let translation_per_guest_insn () = apply 60

@@ -1,0 +1,48 @@
+(** Modelled host-instruction costs for operations whose bodies are
+    OCaml (QEMU's C side). Everything emitted as host code is counted
+    operationally by the interpreter; only these engine/helper-side
+    constants are modelled, and they are the single calibration point
+    of the reproduction (see DESIGN.md §5). *)
+
+val set_scale_pct : int -> unit
+(** Set the global cost scale as a percentage of nominal (100 =
+    calibrated values) — the knob of the cost-model sensitivity
+    ablation. Emitted host code is counted operationally and is {e not}
+    scaled, so this perturbs exactly the modelled half of the cost
+    model. Raises [Invalid_argument] when non-positive. *)
+
+val get_scale_pct : unit -> int
+
+val engine_dispatch : unit -> int
+(** cpu_exec loop iteration: TB lookup (tb_jmp_cache hit path),
+    chaining bookkeeping — paid on every unchained TB transition. *)
+
+val chain_jump : unit -> int
+(** A patched direct jump between chained TBs. *)
+
+val helper_call_overhead : unit -> int
+(** Call/return linkage and C prologue of any helper. *)
+
+val interp_one : unit -> int
+(** Emulating one guest instruction inside QEMU (the rule-based
+    engine's fallback for uncovered and system-level instructions). *)
+
+val mmu_slow_path : unit -> int
+(** Page-table walk + TLB fill on a softMMU miss. *)
+
+val mmu_helper_hit : unit -> int
+(** C-side TLB-hit lookup in the full MMU helper — what a rule-mode
+    memory access pays per access (the paper's ≈20-host-insn address
+    translation, together with the call overhead). *)
+
+val io_access : unit -> int
+(** Device dispatch for an MMIO access. *)
+
+val irq_deliver : unit -> int
+(** Exception entry performed by QEMU (mode switch, banking, vector). *)
+
+val exception_entry : unit -> int
+(** Same work triggered by svc/udf/aborts. *)
+
+val translation_per_guest_insn : unit -> int
+(** Amortized translation cost charged per translated guest insn. *)

@@ -1,0 +1,152 @@
+open Repro_common
+module Exec = Repro_x86.Exec
+module X = Repro_x86.Insn
+module Stats = Repro_x86.Stats
+module Bus = Repro_machine.Bus
+module Cpu = Repro_arm.Cpu
+
+type translator = Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
+
+type result = { reason : [ `Halted of Word32.t | `Insn_limit ]; executed_guest_insns : int }
+
+let tb_fuel = 20_000
+
+let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~succ:_ -> ())
+    ?(on_enter = fun _ -> ()) ?(chaining = true) ?profile ?(max_guest_insns = max_int) () =
+  let stats = Runtime.stats rt in
+  let env = Runtime.env rt in
+  let start_insns = stats.Stats.guest_insns in
+  Runtime.sync_cpu_to_env rt;
+  Runtime.refresh_irq_pending rt;
+  let last_ticked = ref stats.Stats.guest_insns in
+  let tick () =
+    let d = stats.Stats.guest_insns - !last_ticked in
+    if d > 0 then begin
+      Bus.tick rt.Runtime.bus d;
+      last_ticked := stats.Stats.guest_insns
+    end;
+    Runtime.refresh_irq_pending rt
+  in
+  let charge_glue n = Stats.charge_tag stats X.Tag_glue n in
+  let rec lookup_or_translate pc =
+    let privileged = Runtime.privileged rt in
+    let mmu_on = Cpu.mmu_enabled rt.Runtime.cpu in
+    match Tb.Cache.find cache ~pc ~privileged ~mmu_on with
+    | Some tb -> tb
+    | None -> (
+      match translate rt cache ~pc with
+      | Ok tb ->
+        stats.Stats.tb_translations <- stats.Stats.tb_translations + 1;
+        charge_glue (Costs.translation_per_guest_insn () * tb.Tb.guest_len);
+        Tb.Cache.add cache tb;
+        (* write-protect the TB's pages: stores to them must take the
+           slow path so self-modifying code is detected *)
+        Repro_mmu.Mmu.Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb tb.Tb.guest_pc;
+        Repro_mmu.Mmu.Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb
+          (tb.Tb.guest_pc + (4 * tb.Tb.guest_len) - 4);
+        tb
+      | Error fault ->
+        (* Prefetch abort: enter the guest's handler and translate
+           there instead. *)
+        charge_glue (Costs.exception_entry ());
+        Runtime.take_guest_exception rt Cpu.Prefetch_abort
+          ~pc_of_faulting_insn:fault.Repro_arm.Mem.vaddr;
+        lookup_or_translate env.(Envspec.pc))
+  in
+  let finish reason =
+    Runtime.sync_env_to_cpu rt;
+    { reason; executed_guest_insns = stats.Stats.guest_insns - start_insns }
+  in
+  let enter tb =
+    on_enter tb;
+    tb
+  in
+  let current = ref (enter (lookup_or_translate env.(Envspec.pc))) in
+  let result = ref None in
+  while !result = None do
+    if stats.Stats.guest_insns - start_insns >= max_guest_insns then
+      result := Some (finish `Insn_limit)
+    else begin
+      let tb = !current in
+      let guest0 = stats.Stats.guest_insns and host0 = stats.Stats.host_insns in
+      let outcome = Exec.run rt.Runtime.ctx tb.Tb.prog ~fuel:tb_fuel in
+      (match profile with
+      | Some p ->
+        Profile.record p tb
+          ~guest:(stats.Stats.guest_insns - guest0)
+          ~host:(stats.Stats.host_insns - host0)
+      | None -> ());
+      (* the one-shot code-write suppression never outlives the TB it
+         was armed for *)
+      rt.Runtime.suppress_code_write <- false;
+      tick ();
+      match Bus.halted rt.Runtime.bus with
+      | Some code -> result := Some (finish (`Halted code))
+      | None -> (
+        match outcome with
+        | Exec.Exited slot -> (
+          match tb.Tb.exits.(slot) with
+          | Tb.Direct target -> (
+            match tb.Tb.links.(slot) with
+            | Some next ->
+              stats.Stats.chained_jumps <- stats.Stats.chained_jumps + 1;
+              charge_glue (Costs.chain_jump ());
+              current := next
+            | None ->
+              Exec.poison_caller_saved rt.Runtime.ctx;
+              stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
+              charge_glue (Costs.engine_dispatch ());
+              let next = lookup_or_translate target in
+              if chaining then begin
+                tb.Tb.links.(slot) <- Some next;
+                link_hook ~pred:tb ~slot ~succ:next
+              end;
+              current := enter next)
+          | Tb.Indirect ->
+            Exec.poison_caller_saved rt.Runtime.ctx;
+            stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
+            charge_glue (Costs.engine_dispatch ());
+            current := enter (lookup_or_translate env.(Envspec.pc))
+          | Tb.Irq_deliver ->
+            Exec.poison_caller_saved rt.Runtime.ctx;
+            stats.Stats.irqs_delivered <- stats.Stats.irqs_delivered + 1;
+            charge_glue (Costs.irq_deliver ());
+            (* The lazy one-to-many parse happens here, when QEMU
+               actually needs the condition codes (paper Fig. 7). *)
+            Stats.charge_tag stats X.Tag_sync (Envspec.parse_packed env);
+            Runtime.take_guest_exception rt Cpu.Irq
+              ~pc_of_faulting_insn:env.(Envspec.pc);
+            current := enter (lookup_or_translate env.(Envspec.pc)))
+        | Exec.Stopped { code; _ } ->
+          if code = Runtime.stop_code_write then begin
+            (* Self-modifying code: drop every translation (QEMU
+               invalidates per page; the whole-cache flush is the
+               simple sound variant) and resume at env.pc. The
+               resumed instruction is retranslated as a singleton TB
+               whose (idempotent, re-executed) store is allowed to
+               complete — QEMU's current-TB-modified protocol. *)
+            Exec.poison_caller_saved rt.Runtime.ctx;
+            Tb.Cache.flush cache;
+            charge_glue (Costs.engine_dispatch () + Costs.exception_entry ());
+            rt.Runtime.tb_override <- Some 1;
+            rt.Runtime.suppress_code_write <- true;
+            let tb = lookup_or_translate env.(Envspec.pc) in
+            rt.Runtime.tb_override <- None;
+            current := enter tb
+          end
+          else if code = Runtime.stop_halt then
+            result :=
+              Some
+                (finish
+                   (`Halted (match Bus.halted rt.Runtime.bus with Some c -> c | None -> 0)))
+          else begin
+            (* A guest exception was taken inside a helper; continue at
+               the vector. *)
+            Exec.poison_caller_saved rt.Runtime.ctx;
+            stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
+            charge_glue (Costs.engine_dispatch ());
+            current := enter (lookup_or_translate env.(Envspec.pc))
+          end)
+    end
+  done;
+  match !result with Some r -> r | None -> assert false

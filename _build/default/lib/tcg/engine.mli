@@ -1,0 +1,42 @@
+(** The shared execution engine (QEMU's cpu_exec loop): code-cache
+    lookup, translation, block chaining, interrupt delivery, device
+    time, and the modelled cost of every transition that leaves the
+    code cache.
+
+    The engine is parameterized over a translator, so the baseline and
+    the rule-based system run under identical system-level conditions
+    — the comparison the paper's evaluation makes. *)
+
+open Repro_common
+
+type translator = Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
+
+type result = { reason : [ `Halted of Word32.t | `Insn_limit ]; executed_guest_insns : int }
+
+val run :
+  Runtime.t ->
+  Tb.Cache.t ->
+  translate:translator ->
+  ?link_hook:(pred:Tb.t -> slot:int -> succ:Tb.t -> unit) ->
+  ?on_enter:(Tb.t -> unit) ->
+  ?chaining:bool ->
+  ?profile:Profile.t ->
+  ?max_guest_insns:int ->
+  unit ->
+  result
+(** Run from the mirror CPU's current state until the guest powers off
+    or [max_guest_insns] (default [max_int]) guest instructions have
+    retired. On return the mirror CPU and [env] are consistent.
+
+    [chaining] (default true) enables TB→TB block chaining; disabling
+    it forces an engine dispatch on every TB transition (the ablation
+    of the common optimization the paper's §III-C-3 builds on).
+
+    [profile], when given, receives one {!Profile.record} per TB
+    execution with exact guest/host instruction attribution.
+
+    [on_enter tb] fires on every entry to [tb] that goes through the
+    engine (initial dispatch, unlinked/indirect transitions, exception
+    and interrupt re-entry) — {e not} on chained TB→TB jumps. The
+    rule-based engine uses it to restore host-resident state that the
+    inter-TB optimization assumes live. *)

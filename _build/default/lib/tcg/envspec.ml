@@ -1,0 +1,63 @@
+open Repro_common
+module Cpu = Repro_arm.Cpu
+module Cond = Repro_arm.Cond
+
+let reg i =
+  assert (i >= 0 && i < 16);
+  i
+
+let pc = 15
+let cc_n = 16
+let cc_z = 17
+let cc_c = 18
+let cc_v = 19
+let ccr_packed = 20
+let ccr_tag = 21
+let irq_pending = 22
+let n_slots = 24
+
+let flag_slot = function `N -> cc_n | `Z -> cc_z | `C -> cc_c | `V -> cc_v
+
+let pack_parsed env =
+  (env.(cc_n) lsl 31) lor (env.(cc_z) lsl 30) lor (env.(cc_c) lsl 29)
+  lor (env.(cc_v) lsl 28)
+
+(* The packed slot stores the x86-canonical encoding (bit 29 = CF =
+   NOT C), which is what a 2-instruction emitted restore can Loadf
+   directly; ARM-facing readers flip bit 29. *)
+let of_canonical w = (w lxor 0x2000_0000) land 0xF000_0000
+let to_canonical w = (w lxor 0x2000_0000) land 0xF000_0000
+
+let flags_word env =
+  if env.(ccr_tag) = 1 then of_canonical env.(ccr_packed) else pack_parsed env
+
+let set_flags_both env w =
+  env.(cc_n) <- (w lsr 31) land 1;
+  env.(cc_z) <- (w lsr 30) land 1;
+  env.(cc_c) <- (w lsr 29) land 1;
+  env.(cc_v) <- (w lsr 28) land 1;
+  env.(ccr_packed) <- to_canonical (w land 0xF000_0000);
+  env.(ccr_tag) <- 0
+
+(* Lazy parse: ~6 host instructions (load, 4 shift/mask+store pairs
+   collapsed — QEMU's cpsr_read-style bit fiddling). *)
+let parse_packed_cost = 6
+
+let parse_packed env =
+  if env.(ccr_tag) = 1 then begin
+    set_flags_both env (of_canonical env.(ccr_packed));
+    parse_packed_cost
+  end
+  else 0
+
+let env_to_cpu env cpu =
+  for r = 0 to 15 do
+    Cpu.set_reg cpu r env.(r)
+  done;
+  Cpu.set_flags cpu (Cond.flags_of_word (flags_word env))
+
+let cpu_to_env cpu env =
+  for r = 0 to 15 do
+    env.(r) <- Cpu.get_reg cpu r
+  done;
+  set_flags_both env (Word32.logand (Cpu.get_cpsr cpu) 0xF000_0000)

@@ -1,0 +1,65 @@
+(** Layout of the guest-state structure ([env], QEMU's CPUARMState)
+    that DBT-emitted host code addresses through the [Env] segment,
+    plus the conversions between [env] and the architectural
+    {!Repro_arm.Cpu.t} mirror used by helpers.
+
+    Condition flags live in [env] in two interchangeable forms:
+    - {e parsed}: four 0/1 slots (CC_N/CC_Z/CC_C/CC_V) — QEMU's view;
+    - {e packed}: one word in x86-canonical layout (bits 31..28 =
+      SF,ZF,CF,OF, i.e. bit 29 holds ¬C) — what the rule-based
+      engine's 3-instruction coordination stores (paper §III-B).
+    [ccr_tag] says which form is authoritative (0 = parsed,
+    1 = packed). Helpers parse lazily — the paper's "delay the parsing
+    of the guest CPU state". *)
+
+open Repro_common
+
+(** {2 Slot indices} *)
+
+val reg : int -> int
+(** Slots 0..15 are the current-view general registers; slot 15 is the
+    guest PC. *)
+
+val pc : int
+val cc_n : int
+val cc_z : int
+val cc_c : int
+val cc_v : int
+val ccr_packed : int
+val ccr_tag : int
+val irq_pending : int
+(** Level of the (unmasked) external interrupt line; maintained by the
+    execution engine and read by emitted TB-head interrupt checks. *)
+
+val flag_slot : [ `N | `Z | `C | `V ] -> int
+val n_slots : int
+(** Size the [env] array must have. *)
+
+(** {2 Flag form conversions (helper-side)} *)
+
+val flags_word : int array -> Word32.t
+(** ARM NZCV-packed word (bits 31..28), honouring [ccr_tag]. *)
+
+val to_canonical : Word32.t -> Word32.t
+(** ARM NZCV word → x86-canonical packed form (flip bit 29). *)
+
+val of_canonical : Word32.t -> Word32.t
+
+val set_flags_both : int array -> Word32.t -> unit
+(** Write both forms and clear the tag (used when QEMU itself updates
+    flags). *)
+
+val parse_packed : int array -> int
+(** If the tag says "packed", expand into the parsed slots and clear
+    the tag; returns the modelled host-instruction cost of the parse
+    (0 when already parsed). This is the lazy parse of paper Fig. 7. *)
+
+(** {2 env ⇄ CPU mirror} *)
+
+val env_to_cpu : int array -> Repro_arm.Cpu.t -> unit
+(** Copy the register file, PC and flags into the mirror (system state
+    — modes, banks, cp15, FPSCR — lives only in the mirror). *)
+
+val cpu_to_env : Repro_arm.Cpu.t -> int array -> unit
+(** Copy back after a helper ran; writes both flag forms. Also
+    refreshes [irq_pending] masking is {e not} applied here. *)

@@ -1,0 +1,29 @@
+(** ARM → IR lifting (QEMU's guest frontend).
+
+    Every guest instruction becomes a self-contained IR sequence that
+    reads operands from env, computes, and writes results (and, for
+    S-bit ops, the four parsed flag slots) back to env — the
+    memory-resident guest-state discipline whose cost the paper's
+    learned rules avoid. *)
+
+type ctx
+
+val create :
+  alloc_direct:(Repro_common.Word32.t -> int) ->
+  alloc_indirect:(unit -> int) ->
+  unit -> ctx
+(** Exit-slot allocators provided by the translator: [alloc_direct
+    target_pc] returns a chainable slot, [alloc_indirect] the shared
+    indirect slot. *)
+
+val ops : ctx -> Ir.t list
+(** Ops emitted so far, in order. *)
+
+val translate_insn : ctx -> pc:Repro_common.Word32.t -> Repro_arm.Insn.t -> bool
+(** Lift one instruction located at [pc]. Returns [true] when the
+    instruction ends the translation block (branch, PC write,
+    system-level instruction, softMMU-visible control change). *)
+
+val emit_goto : ctx -> Repro_common.Word32.t -> unit
+(** Close an open-ended block with a direct jump to [pc] (used at the
+    TB length/page limit). *)

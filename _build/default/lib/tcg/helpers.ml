@@ -1,0 +1,227 @@
+open Repro_common
+module Exec = Repro_x86.Exec
+module X = Repro_x86.Insn
+module Stats = Repro_x86.Stats
+module Cpu = Repro_arm.Cpu
+module Mem = Repro_arm.Mem
+module Interp = Repro_arm.Interp
+module Bus = Repro_machine.Bus
+module Mmu = Repro_mmu.Mmu
+
+(* Helper argument registers. rdx/rcx rather than SysV's rdi/rsi:
+   the rule engine pins guest r1/r2 into rsi/rdi, and argument setup
+   must not clobber pinned state. *)
+let arg0_reg = X.rdx
+let arg1_reg = X.rcx
+
+let h_interp_one = 0
+let h_mmu_load_w = 1
+let h_mmu_load_b = 2
+let h_mmu_store_w = 3
+let h_mmu_store_b = 4
+let h_mmu_load_h = 5
+let h_mmu_store_h = 6
+
+let charge (rt : Runtime.t) tag n =
+  Stats.charge_tag (Runtime.stats rt) tag n;
+  (Runtime.stats rt).Stats.helper_insns <- (Runtime.stats rt).Stats.helper_insns + n
+
+let stop_exception () = raise (Exec.Helper_stop { code = Runtime.stop_exception; arg = 0 })
+let stop_halt () = raise (Exec.Helper_stop { code = Runtime.stop_halt; arg = 0 })
+
+let stop_code_write () =
+  raise (Exec.Helper_stop { code = Runtime.stop_code_write; arg = 0 })
+
+let check_halt (rt : Runtime.t) =
+  match Bus.halted rt.Runtime.bus with Some _ -> stop_halt () | None -> ()
+
+(* Emulate one guest instruction on the architectural mirror. env is
+   synced in (registers/PC/flags; lazy flag parse is part of the env
+   read), the reference interpreter steps once, and the result is
+   synced back. A taken guest exception ends the TB. *)
+let interp_one (rt : Runtime.t) =
+  let env = Runtime.env rt in
+  charge rt X.Tag_glue (Envspec.parse_packed env);
+  Runtime.sync_env_to_cpu rt;
+  charge rt X.Tag_glue (Costs.interp_one ());
+  (* classify for the Table I profile: emulated system-level vs merely
+     uncovered computational instructions *)
+  (match rt.Runtime.mem.Mem.fetch ~privileged:(Runtime.privileged rt) env.(Envspec.pc) with
+  | Ok word -> (
+    match Repro_arm.Encode.decode word with
+    | Ok insn ->
+      if Repro_arm.Insn.is_system_level insn then
+        (Runtime.stats rt).Stats.sys_insns <- (Runtime.stats rt).Stats.sys_insns + 1
+    | Error _ -> ())
+  | Error _ -> ());
+  (match Interp.step rt.Runtime.cpu rt.Runtime.mem ~irq:false with
+  | Interp.Stepped ->
+    Runtime.sync_cpu_to_env rt;
+    Runtime.refresh_irq_pending rt;
+    check_halt rt;
+    if rt.Runtime.pending_code_write then begin
+      rt.Runtime.pending_code_write <- false;
+      if rt.Runtime.suppress_code_write then rt.Runtime.suppress_code_write <- false
+      else
+        (* the instruction completed and env.pc points past it, so the
+           engine resumes cleanly after the flush *)
+        stop_code_write ()
+    end
+  | Interp.Took_exception _ ->
+    charge rt X.Tag_glue (Costs.exception_entry ());
+    Runtime.sync_cpu_to_env rt;
+    Runtime.refresh_irq_pending rt;
+    stop_exception ()
+  | Interp.Decode_error e -> failwith ("Helpers.interp_one: decode error: " ^ e));
+  0
+
+let data_abort (rt : Runtime.t) (f : Mem.fault) =
+  let status =
+    match f.Mem.kind with
+    | Mem.Translation -> 5
+    | Mem.Permission -> 13
+    | Mem.Alignment -> 1
+    | Mem.Bus -> 8
+  in
+  Cpu.set_dfar rt.Runtime.cpu f.Mem.vaddr;
+  Cpu.set_dfsr rt.Runtime.cpu status;
+  charge rt X.Tag_glue (Costs.exception_entry ());
+  (* env registers are up to date (coordination happened before the
+     call); sync them into the mirror so exception entry banks the
+     right values, then resync. *)
+  Runtime.sync_env_to_cpu rt;
+  let pc = (Runtime.env rt).(Envspec.pc) in
+  Cpu.take_exception rt.Runtime.cpu Cpu.Data_abort ~pc_of_faulting_insn:pc;
+  Runtime.sync_cpu_to_env rt;
+  Runtime.refresh_irq_pending rt;
+  stop_exception ()
+
+(* Full softMMU translation in "C": TLB probe, walk + fill on miss,
+   MMIO dispatch. Returns the physical address for RAM pages, or
+   performs the device access directly. *)
+type resolved = Ram_at of int | Device_done of int
+
+let mmu_resolve (rt : Runtime.t) ~(access : Mem.access) ~width vaddr value =
+  let privileged = Runtime.privileged rt in
+  let cpu = rt.Runtime.cpu in
+  let bus = rt.Runtime.bus in
+  let tlb = rt.Runtime.ctx.Exec.tlb in
+  let write = access = Mem.Store in
+  let aligned =
+    match width with
+    | Mem.W8 -> true
+    | Mem.W16 -> vaddr land 1 = 0
+    | Mem.W32 -> vaddr land 3 = 0
+  in
+  if not aligned then data_abort rt { Mem.vaddr; access; kind = Mem.Alignment }
+  else begin
+    charge rt X.Tag_mmu (Costs.mmu_helper_hit ());
+    match Mmu.Tlb.lookup tlb ~privileged ~write vaddr with
+    | Some paddr -> Ram_at paddr
+    | None ->
+      (* Miss path: translate (or identity when the MMU is off). *)
+      (Runtime.stats rt).Stats.tlb_misses <- (Runtime.stats rt).Stats.tlb_misses + 1;
+      charge rt X.Tag_mmu (Costs.mmu_slow_path ());
+      let entry_result =
+        if Cpu.mmu_enabled cpu then
+          match Mmu.walk bus ~ttbr:(Cpu.get_ttbr cpu) vaddr with
+          | Error kind -> Error kind
+          | Ok entry -> (
+            match Mmu.check_perms entry ~access ~privileged with
+            | Error kind -> Error kind
+            | Ok () -> Ok entry)
+        else
+          Ok { Mmu.page_pa = vaddr land Mmu.page_mask; writable = true; user = true }
+      in
+      (match entry_result with
+      | Error kind -> data_abort rt { Mem.vaddr; access; kind }
+      | Ok entry ->
+        let paddr = entry.Mmu.page_pa lor (vaddr land (Mmu.page_size - 1)) in
+        if Bus.is_ram bus entry.Mmu.page_pa then begin
+          (* translated-code pages stay write-protected in the TLB so
+             every store to them takes this slow path and triggers
+             invalidation *)
+          let fill_entry =
+            if rt.Runtime.is_code_page (vaddr lsr 12) then
+              { entry with Mmu.writable = false }
+            else entry
+          in
+          Mmu.Tlb.fill tlb ~privileged ~vaddr fill_entry;
+          Ram_at paddr
+        end
+        else begin
+          (* MMIO: never cached in the TLB; dispatch through the bus. *)
+          charge rt X.Tag_mmu (Costs.io_access ());
+          let r =
+            match (access, width) with
+            | Mem.Store, Mem.W32 -> Result.map (fun () -> 0) (Bus.write32 bus paddr value)
+            | Mem.Store, Mem.W8 -> Result.map (fun () -> 0) (Bus.write8 bus paddr value)
+            | Mem.Store, Mem.W16 -> (
+              match Bus.write8 bus paddr (value land 0xFF) with
+              | Ok () ->
+                Result.map
+                  (fun () -> 0)
+                  (Bus.write8 bus (paddr + 1) ((value lsr 8) land 0xFF))
+              | Error () -> Error ())
+            | (Mem.Load | Mem.Fetch), Mem.W32 -> Bus.read32 bus paddr
+            | (Mem.Load | Mem.Fetch), Mem.W8 -> Bus.read8 bus paddr
+            | (Mem.Load | Mem.Fetch), Mem.W16 -> (
+              match (Bus.read8 bus paddr, Bus.read8 bus (paddr + 1)) with
+              | Ok lo, Ok hi -> Ok (lo lor (hi lsl 8))
+              | Error (), _ | _, Error () -> Error ())
+          in
+          match r with
+          | Ok v ->
+            check_halt rt;
+            Device_done v
+          | Error () -> data_abort rt { Mem.vaddr; access; kind = Mem.Bus }
+        end)
+  end
+
+let mmu_load (rt : Runtime.t) ~width vaddr =
+  match mmu_resolve rt ~access:Mem.Load ~width vaddr 0 with
+  | Ram_at paddr -> (
+    match width with
+    | Mem.W8 -> Exec.read_ram8 rt.Runtime.ctx paddr
+    | Mem.W16 -> Exec.read_ram16 rt.Runtime.ctx paddr
+    | Mem.W32 -> Exec.read_ram32 rt.Runtime.ctx paddr)
+  | Device_done v -> v
+
+let mmu_store (rt : Runtime.t) ~width vaddr value =
+  (match mmu_resolve rt ~access:Mem.Store ~width vaddr value with
+  | Ram_at paddr -> (
+    (match width with
+    | Mem.W8 -> Exec.write_ram8 rt.Runtime.ctx paddr value
+    | Mem.W16 -> Exec.write_ram16 rt.Runtime.ctx paddr (value land 0xFFFF)
+    | Mem.W32 -> Exec.write_ram32 rt.Runtime.ctx paddr (Word32.mask value));
+    (* self-modifying code: the store completed; make the engine drop
+       the (now stale) translations and resume at this very store,
+       whose re-execution is idempotent *)
+    if rt.Runtime.is_code_page (vaddr lsr 12) then
+      if rt.Runtime.suppress_code_write then
+        (* this store belongs to the singleton TB just retranslated
+           after an invalidation — let it complete *)
+        rt.Runtime.suppress_code_write <- false
+      else begin
+        charge rt X.Tag_glue (Costs.exception_entry ());
+        stop_code_write ()
+      end)
+  | Device_done _ -> ());
+  0
+
+let install (rt : Runtime.t) =
+  let dispatch (ctx : Exec.t) id =
+    charge rt X.Tag_glue (Costs.helper_call_overhead ());
+    let arg0 = ctx.Exec.regs.(arg0_reg) and arg1 = ctx.Exec.regs.(arg1_reg) in
+    if id = h_interp_one then interp_one rt
+    else if id = h_mmu_load_w then mmu_load rt ~width:Mem.W32 arg0
+    else if id = h_mmu_load_b then mmu_load rt ~width:Mem.W8 arg0
+    else if id = h_mmu_store_w then mmu_store rt ~width:Mem.W32 arg0 arg1
+    else if id = h_mmu_store_b then mmu_store rt ~width:Mem.W8 arg0 arg1
+    else if id = h_mmu_load_h then mmu_load rt ~width:Mem.W16 arg0
+    else if id = h_mmu_store_h then mmu_store rt ~width:Mem.W16 arg0 arg1
+    else failwith (Printf.sprintf "Helpers.dispatch: unknown helper %d" id)
+  in
+  rt.Runtime.ctx.Exec.helper <- dispatch
+
+let mmu_access_cost_estimate () = Costs.helper_call_overhead () + Costs.mmu_helper_hit ()

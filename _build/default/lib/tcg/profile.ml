@@ -1,0 +1,92 @@
+open Repro_common
+
+type entry = {
+  guest_pc : Word32.t;
+  privileged : bool;
+  guest_len : int;
+  insns : Repro_arm.Insn.t array;
+  mutable execs : int;
+  mutable guest_retired : int;
+  mutable host_spent : int;
+}
+
+type t = { table : (Word32.t * bool, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 256 }
+
+let record t (tb : Tb.t) ~guest ~host =
+  let key = (tb.Tb.guest_pc, tb.Tb.privileged) in
+  let e =
+    match Hashtbl.find_opt t.table key with
+    | Some e -> e
+    | None ->
+      let e =
+        {
+          guest_pc = tb.Tb.guest_pc;
+          privileged = tb.Tb.privileged;
+          guest_len = tb.Tb.guest_len;
+          insns = Array.sub tb.Tb.guest_insns 0 tb.Tb.guest_len;
+          execs = 0;
+          guest_retired = 0;
+          host_spent = 0;
+        }
+      in
+      Hashtbl.add t.table key e;
+      e
+  in
+  e.execs <- e.execs + 1;
+  e.guest_retired <- e.guest_retired + guest;
+  e.host_spent <- e.host_spent + host
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+
+let top ?(by = `Host) n t =
+  let weight e = match by with `Host -> e.host_spent | `Execs -> e.execs in
+  let sorted =
+    List.sort (fun a b -> compare (weight b, a.guest_pc) (weight a, b.guest_pc)) (entries t)
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let total_host t = List.fold_left (fun acc e -> acc + e.host_spent) 0 (entries t)
+let total_guest t = List.fold_left (fun acc e -> acc + e.guest_retired) 0 (entries t)
+
+let expansion e =
+  if e.guest_retired = 0 then 0. else float_of_int e.host_spent /. float_of_int e.guest_retired
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%08x %s len=%-2d execs=%-8d host/guest=%.2f" e.guest_pc
+    (if e.privileged then "krnl" else "user")
+    e.guest_len e.execs (expansion e)
+
+let pp_report ?(top = 10) ppf t =
+  let total = total_host t in
+  let rows = top in
+  let hot =
+    let weight e = e.host_spent in
+    let sorted =
+      List.sort
+        (fun a b -> compare (weight b, a.guest_pc) (weight a, b.guest_pc))
+        (entries t)
+    in
+    List.filteri (fun i _ -> i < rows) sorted
+  in
+  Format.fprintf ppf "@[<v>%-8s  %-4s  %3s  %9s  %11s  %11s  %10s  %6s@ " "guest pc"
+    "mode" "len" "execs" "guest insns" "host insns" "host/guest" "%total";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%08x  %-4s  %3d  %9d  %11d  %11d  %10.2f  %5.1f%%@ " e.guest_pc
+        (if e.privileged then "krnl" else "user")
+        e.guest_len e.execs e.guest_retired e.host_spent (expansion e)
+        (if total = 0 then 0. else 100. *. float_of_int e.host_spent /. float_of_int total);
+      ())
+    hot;
+  Format.fprintf ppf "(%d TBs profiled, %d host insns attributed)@]"
+    (Hashtbl.length t.table) total
+
+let pp_disasm ppf e =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i insn ->
+      Format.fprintf ppf "%08x:  %a@ " (e.guest_pc + (4 * i)) Repro_arm.Insn.pp insn)
+    e.insns;
+  Format.fprintf ppf "@]"

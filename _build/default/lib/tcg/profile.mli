@@ -1,0 +1,55 @@
+(** Per-TB execution profiling — the moral equivalent of QEMU's
+    [-d exec] plus a perf-style hot-block report, measured in the same
+    operational host-instruction units as every experiment.
+
+    A profile attributes each engine loop iteration (exactly one TB
+    execution) to the TB's guest PC: executions, guest instructions
+    retired, and host instructions spent (including modelled helper
+    costs). Engine-side glue (dispatch, chaining, interrupt delivery)
+    is deliberately not attributed to any TB, so the per-TB total is a
+    lower bound on {!Repro_x86.Stats.t.host_insns}. *)
+
+open Repro_common
+
+type entry = {
+  guest_pc : Word32.t;
+  privileged : bool;  (** kernel- vs user-mode translation *)
+  guest_len : int;    (** static guest instructions in the TB *)
+  insns : Repro_arm.Insn.t array;  (** the TB's guest code (for dumps) *)
+  mutable execs : int;            (** completed executions *)
+  mutable guest_retired : int;    (** dynamic guest instructions *)
+  mutable host_spent : int;       (** dynamic host instructions *)
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> Tb.t -> guest:int -> host:int -> unit
+(** Attribute one execution of [tb] that retired [guest] guest
+    instructions and spent [host] host instructions. Entries aggregate
+    over cache flushes: retranslations of the same (pc, privilege)
+    accumulate into one entry. *)
+
+val entries : t -> entry list
+(** All entries, unordered. *)
+
+val top : ?by:[ `Host | `Execs ] -> int -> t -> entry list
+(** The [n] hottest entries, by attributed host instructions (default)
+    or by execution count. *)
+
+val total_host : t -> int
+(** Sum of attributed host instructions over all entries. *)
+
+val total_guest : t -> int
+(** Sum of attributed retired guest instructions over all entries. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+(** One-line summary: pc, mode, executions, expansion. *)
+
+val pp_report : ?top:int -> Format.formatter -> t -> unit
+(** A hot-block table (default: 10 rows) with per-TB host/guest
+    expansion and each TB's share of total attributed host cost. *)
+
+val pp_disasm : Format.formatter -> entry -> unit
+(** The entry's guest code, one instruction per line with PCs. *)

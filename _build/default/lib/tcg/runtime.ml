@@ -1,0 +1,81 @@
+open Repro_common
+module Exec = Repro_x86.Exec
+module Bus = Repro_machine.Bus
+module Cpu = Repro_arm.Cpu
+module Mem = Repro_arm.Mem
+module Mmu = Repro_mmu.Mmu
+
+type t = {
+  ctx : Exec.t;
+  bus : Bus.t;
+  cpu : Cpu.t;
+  mutable mem : Mem.iface;
+  mutable is_code_page : Word32.t -> bool;
+  mutable pending_code_write : bool;
+  mutable tb_override : int option;
+  mutable suppress_code_write : bool;
+}
+
+let stop_exception = 1
+let stop_halt = 2
+let stop_code_write = 3
+
+let create ?(ram_kib = 4096) () =
+  let ctx =
+    Exec.create ~env_slots:Envspec.n_slots ~ram_size:(ram_kib * 1024)
+      ~tlb_words:Mmu.Tlb.words ()
+  in
+  Mmu.Tlb.flush ctx.Exec.tlb;
+  let bus = Bus.create ~ram:ctx.Exec.ram in
+  let cpu = Cpu.create () in
+  let mem = Mmu.iface bus cpu in
+  (* cp15 c8 writes must drop stale softMMU entries. *)
+  let mem = { mem with Mem.flush_tlb = (fun () -> Mmu.Tlb.flush ctx.Exec.tlb) } in
+  let rt =
+    {
+      ctx;
+      bus;
+      cpu;
+      mem;
+      is_code_page = (fun _ -> false);
+      pending_code_write = false;
+      tb_override = None;
+      suppress_code_write = false;
+    }
+  in
+  (* Interpreter-path stores (helpers emulating whole instructions)
+     must also notice writes into translated code. *)
+  let store width ~privileged vaddr v =
+    let r = mem.Mem.store width ~privileged vaddr v in
+    (match r with
+    | Ok () -> if rt.is_code_page (vaddr lsr 12) then rt.pending_code_write <- true
+    | Error _ -> ());
+    r
+  in
+  rt.mem <- { mem with Mem.store };
+  rt
+
+let env t = t.ctx.Exec.env
+let stats t = t.ctx.Exec.stats
+let privileged t = Cpu.mode_is_privileged (Cpu.mode t.cpu)
+
+let load_image t origin words =
+  Array.iteri
+    (fun i w ->
+      match Bus.write32 t.bus (Word32.add origin (4 * i)) w with
+      | Ok () -> ()
+      | Error () -> failwith "Runtime.load_image: image outside RAM")
+    words
+
+let sync_env_to_cpu t = Envspec.env_to_cpu (env t) t.cpu
+let sync_cpu_to_env t = Envspec.cpu_to_env t.cpu (env t)
+
+let refresh_irq_pending t =
+  (env t).(Envspec.irq_pending) <-
+    (if Bus.irq_line t.bus && not (Cpu.irq_masked t.cpu) then 1 else 0)
+
+let take_guest_exception t kind ~pc_of_faulting_insn =
+  sync_env_to_cpu t;
+  Cpu.take_exception t.cpu kind ~pc_of_faulting_insn;
+  sync_cpu_to_env t;
+  refresh_irq_pending t

@@ -1,0 +1,61 @@
+(** The assembled virtual machine: host execution context, guest
+    physical bus, the architectural CPU mirror that helpers operate
+    on, and the softMMU view — shared by the QEMU-style baseline and
+    the rule-based engine. *)
+
+open Repro_common
+module Exec = Repro_x86.Exec
+module Bus = Repro_machine.Bus
+module Cpu = Repro_arm.Cpu
+module Mem = Repro_arm.Mem
+
+type t = {
+  ctx : Exec.t;
+  bus : Bus.t;
+  cpu : Cpu.t;  (** system-state mirror (modes, banks, cp15, FPSCR) *)
+  mutable mem : Mem.iface;  (** reference-style translated view over bus+cpu *)
+  mutable is_code_page : Word32.t -> bool;
+      (** installed by the execution engine: virtual pages containing
+          translated code; guest stores into them must invalidate *)
+  mutable pending_code_write : bool;
+      (** set when a store hit a code page via the interpreter path *)
+  mutable tb_override : int option;
+      (** translation-length override for the next block (the engine's
+          singleton-TB protocol for same-page self-modification) *)
+  mutable suppress_code_write : bool;
+      (** one-shot: the next code-page store does not stop (it belongs
+          to the freshly retranslated singleton TB) *)
+}
+
+(** Helper stop codes (the payload of {!Exec.Helper_stop}). *)
+
+val stop_exception : int
+(** A guest exception was taken; [env] is already at the vector. *)
+
+val stop_halt : int
+(** The guest wrote the system controller's power-off register. *)
+
+val stop_code_write : int
+(** The guest wrote into a page holding translated code: the engine
+    must flush the code cache and retranslate (self-modifying code). *)
+
+val create : ?ram_kib:int -> unit -> t
+(** Fresh machine with RAM zeroed, CPU at reset, TLB invalid. The
+    helper dispatcher is installed by {!Helpers.install}. *)
+
+val env : t -> int array
+val stats : t -> Repro_x86.Stats.t
+
+val privileged : t -> bool
+(** Current privilege of the mirror CPU. *)
+
+val load_image : t -> Word32.t -> Word32.t array -> unit
+(** Copy an assembled image into guest physical memory. *)
+
+val sync_env_to_cpu : t -> unit
+val sync_cpu_to_env : t -> unit
+val refresh_irq_pending : t -> unit
+(** [env.irq_pending := bus line && not CPSR.I] — engine-maintained. *)
+
+val take_guest_exception : t -> Cpu.exn_kind -> pc_of_faulting_insn:Word32.t -> unit
+(** Full exception entry on the mirror, then resync to [env]. *)

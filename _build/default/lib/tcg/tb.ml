@@ -1,0 +1,81 @@
+open Repro_common
+module Prog = Repro_x86.Prog
+
+type exit_kind = Direct of Word32.t | Indirect | Irq_deliver
+
+type t = {
+  id : int;
+  guest_pc : Word32.t;
+  privileged : bool;
+  mmu_on : bool;
+  mutable prog : Prog.t;
+  exits : exit_kind array;
+  links : t option array;
+  guest_insns : Repro_arm.Insn.t array;
+  guest_len : int;
+}
+
+let exit_slots = 4
+let slot_irq = 3
+
+module Cache = struct
+  type tb = t
+
+  type nonrec t = {
+    table : (int * bool * bool, tb) Hashtbl.t;
+    pages : (int, int) Hashtbl.t;  (* virtual page -> overlapping TB count *)
+    capacity : int;
+    mutable full_flushes : int;
+    mutable ids : int;
+  }
+
+  let create ?(capacity = 4096) () =
+    if capacity <= 0 then invalid_arg "Tb.Cache.create";
+    {
+      table = Hashtbl.create 1024;
+      pages = Hashtbl.create 64;
+      capacity;
+      full_flushes = 0;
+      ids = 0;
+    }
+
+  let find t ~pc ~privileged ~mmu_on = Hashtbl.find_opt t.table (pc, privileged, mmu_on)
+
+  let tb_pages tb =
+    let first = tb.guest_pc lsr 12 in
+    let last = (tb.guest_pc + (4 * tb.guest_len) - 1) lsr 12 in
+    if first = last then [ first ] else [ first; last ]
+
+  let flush t =
+    Hashtbl.reset t.table;
+    Hashtbl.reset t.pages
+
+  let add t tb =
+    (* QEMU's policy when the code-generation buffer fills: drop every
+       translation and start over. Safe mid-run because eviction only
+       happens between TB executions; flushed TBs become unreachable
+       (fresh TBs start unlinked, and lookups go through the table). *)
+    if Hashtbl.length t.table >= t.capacity then begin
+      flush t;
+      t.full_flushes <- t.full_flushes + 1
+    end;
+    Hashtbl.replace t.table (tb.guest_pc, tb.privileged, tb.mmu_on) tb;
+    List.iter
+      (fun p ->
+        let n = try Hashtbl.find t.pages p with Not_found -> 0 in
+        Hashtbl.replace t.pages p (n + 1))
+      (tb_pages tb)
+
+  let size t = Hashtbl.length t.table
+  let full_flushes t = t.full_flushes
+  let is_code_page t page = Hashtbl.mem t.pages page
+  let code_pages t = Hashtbl.fold (fun p _ acc -> p :: acc) t.pages []
+
+  let next_id t =
+    t.ids <- t.ids + 1;
+    t.ids
+
+  let to_list t =
+    Hashtbl.fold (fun _ tb acc -> tb :: acc) t.table []
+    |> List.sort (fun a b -> compare a.guest_pc b.guest_pc)
+end

@@ -1,0 +1,61 @@
+(** Translation blocks and the code cache. *)
+
+open Repro_common
+module Prog = Repro_x86.Prog
+
+type exit_kind =
+  | Direct of Word32.t  (** chainable direct branch to a guest PC *)
+  | Indirect            (** guest PC is in env *)
+  | Irq_deliver         (** TB-head interrupt check fired *)
+
+type t = {
+  id : int;
+  guest_pc : Word32.t;
+  privileged : bool;
+  mmu_on : bool;
+  mutable prog : Prog.t;          (** re-emitted by inter-TB optimization *)
+  exits : exit_kind array;        (** indexed by exit slot *)
+  links : t option array;         (** chained successors, same indexing *)
+  guest_insns : Repro_arm.Insn.t array;
+  guest_len : int;
+}
+
+val exit_slots : int
+(** Maximum exit slots per TB (4). *)
+
+val slot_irq : int
+(** The reserved TB-head interrupt-check exit slot (3). *)
+
+module Cache : sig
+  type tb := t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] (default 4096) bounds the number of cached TBs — the
+      stand-in for QEMU's fixed code-generation buffer. Raises
+      [Invalid_argument] when non-positive. *)
+
+  val find : t -> pc:Word32.t -> privileged:bool -> mmu_on:bool -> tb option
+
+  val add : t -> tb -> unit
+  (** Insert a TB. When the cache is at capacity this first drops every
+      translation (QEMU's whole-buffer flush policy) — safe between TB
+      executions because flushed TBs become unreachable. *)
+
+  val flush : t -> unit
+  val size : t -> int
+
+  val full_flushes : t -> int
+  (** Number of capacity-triggered whole-cache flushes so far. *)
+
+  val next_id : t -> int
+
+  val to_list : t -> tb list
+  (** All cached TBs, ordered by guest PC (diagnostics). *)
+
+  val is_code_page : t -> int -> bool
+  (** Does any cached TB overlap the given virtual page? Guest stores
+      into such pages must invalidate (self-modifying code). *)
+
+  val code_pages : t -> int list
+end

@@ -1,0 +1,98 @@
+open Repro_common
+module A = Repro_arm.Insn
+module Mem = Repro_arm.Mem
+module Prog = Repro_x86.Prog
+
+let max_tb_insns = 48
+
+(* Shared by both translators: fetch and decode up to a TB's worth of
+   guest instructions starting at [pc]. Stops at TB enders, the length
+   limit, a page boundary, or an undecodable word. *)
+let fetch_block (rt : Runtime.t) ~pc =
+  let privileged = Runtime.privileged rt in
+  let cap =
+    match rt.Runtime.tb_override with Some n -> n | None -> max_tb_insns
+  in
+  let rec grab acc pc_cur n =
+    if n >= cap then List.rev acc
+    else
+      match rt.Runtime.mem.Mem.fetch ~privileged pc_cur with
+      | Error _ -> List.rev acc
+      | Ok word -> (
+        match Repro_arm.Encode.decode word with
+        | Error _ -> List.rev acc
+        | Ok insn ->
+          let acc = insn :: acc in
+          let ends =
+            A.is_branch insn
+            || (match insn.A.op with
+               | A.Svc _ | A.Udf _ | A.Cps _ | A.Mcr _
+               | A.Msr { write_control = true; _ } -> true
+               | A.Ldm { regs; _ } -> regs land 0x8000 <> 0
+               | _ -> false)
+            || (Word32.add pc_cur 4) land 0xFFF = 0
+          in
+          if ends then List.rev acc else grab acc (Word32.add pc_cur 4) (n + 1))
+  in
+  grab [] pc 0
+
+let translate (rt : Runtime.t) cache ~pc =
+  let privileged = Runtime.privileged rt in
+  match rt.Runtime.mem.Mem.fetch ~privileged pc with
+  | Error f -> Error f
+  | Ok _first_word ->
+    let insns = fetch_block rt ~pc in
+    (match insns with
+    | [] ->
+      failwith
+        (Printf.sprintf "Translator_qemu: undecodable guest word at %s"
+           (Word32.to_hex pc))
+    | _ -> ());
+    let exits = Array.make Tb.exit_slots Tb.Indirect in
+    exits.(Tb.slot_irq) <- Tb.Irq_deliver;
+    let used = ref [] in
+    let alloc_direct target =
+      match List.find_opt (fun (_, t) -> t = Some target) !used with
+      | Some (slot, _) -> slot
+      | None ->
+        let slot = List.length !used in
+        if slot >= Tb.slot_irq then failwith "Translator_qemu: out of exit slots";
+        exits.(slot) <- Tb.Direct target;
+        used := !used @ [ (slot, Some target) ];
+        slot
+    in
+    let alloc_indirect () =
+      match List.find_opt (fun (_, t) -> t = None) !used with
+      | Some (slot, _) -> slot
+      | None ->
+        let slot = List.length !used in
+        if slot >= Tb.slot_irq then failwith "Translator_qemu: out of exit slots";
+        exits.(slot) <- Tb.Indirect;
+        used := !used @ [ (slot, None) ];
+        slot
+    in
+    let fctx = Frontend.create ~alloc_direct ~alloc_indirect () in
+    let rec go pc_cur = function
+      | [] -> Frontend.emit_goto fctx pc_cur
+      | insn :: rest ->
+        let ended = Frontend.translate_insn fctx ~pc:pc_cur insn in
+        if ended then assert (rest = []) else go (Word32.add pc_cur 4) rest
+    in
+    go pc insns;
+    let builder = Prog.builder () in
+    Backend.lower builder ~privileged ~tb_pc:pc (Frontend.ops fctx);
+    let prog = Prog.finalize builder in
+    let tb =
+      {
+        Tb.id = Tb.Cache.next_id cache;
+        guest_pc = pc;
+        privileged;
+        mmu_on = Repro_arm.Cpu.mmu_enabled rt.Runtime.cpu;
+        prog;
+        exits;
+        links = Array.make Tb.exit_slots None;
+        guest_insns = Array.of_list insns;
+        guest_len = List.length insns;
+      }
+    in
+    Ok tb

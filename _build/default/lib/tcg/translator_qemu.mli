@@ -1,0 +1,18 @@
+(** The QEMU-style baseline translator: decode a guest basic block at
+    a PC, lift it through {!Frontend}, lower through {!Backend}. This
+    is the system the paper's speedups are measured against. *)
+
+open Repro_common
+
+val max_tb_insns : int
+
+val fetch_block : Runtime.t -> pc:Word32.t -> Repro_arm.Insn.t list
+(** Decode one guest basic block at [pc] under the current privilege:
+    stops at branches, system-level TB enders, the length limit, page
+    boundaries or undecodable words. Shared with the rule-based
+    translator. *)
+
+val translate :
+  Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
+(** Build a TB for the current privilege/MMU configuration. [Error]
+    is a fetch fault on the first instruction (prefetch abort). *)

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Array Float List Printf Prng Repro_arm Repro_common Repro_kernel Word32

@@ -1,0 +1,311 @@
+open Repro_common
+module A = Repro_arm.Insn
+module Asm = Repro_arm.Asm
+module Cond = Repro_arm.Cond
+module Kernel = Repro_kernel.Kernel
+
+type spec = { name : string; sys_rate : float; mem_rate : float; check_rate : float }
+
+(* Paper Table I. *)
+let cint2006 =
+  [
+    { name = "perlbench"; sys_rate = 0.0028; mem_rate = 0.3694; check_rate = 0.1964 };
+    { name = "bzip2"; sys_rate = 0.0028; mem_rate = 0.4003; check_rate = 0.1424 };
+    { name = "gcc"; sys_rate = 0.0248; mem_rate = 0.2990; check_rate = 0.2011 };
+    { name = "mcf"; sys_rate = 0.0045; mem_rate = 0.4119; check_rate = 0.2053 };
+    { name = "gobmk"; sys_rate = 0.0025; mem_rate = 0.3058; check_rate = 0.1753 };
+    { name = "hmmer"; sys_rate = 0.0009; mem_rate = 0.4798; check_rate = 0.0518 };
+    { name = "sjeng"; sys_rate = 0.0017; mem_rate = 0.3386; check_rate = 0.1784 };
+    { name = "libquantum"; sys_rate = 0.0009; mem_rate = 0.2336; check_rate = 0.0919 };
+    { name = "h264ref"; sys_rate = 0.0013; mem_rate = 0.5521; check_rate = 0.0915 };
+    { name = "omnetpp"; sys_rate = 0.0024; mem_rate = 0.2254; check_rate = 0.2202 };
+    { name = "astar"; sys_rate = 0.0024; mem_rate = 0.3142; check_rate = 0.1592 };
+    { name = "xalancbmk"; sys_rate = 0.0034; mem_rate = 0.2381; check_rate = 0.2594 };
+  ]
+
+let find name = List.find (fun s -> s.name = name) cint2006
+
+(* Register conventions inside generated user code:
+   r4  outer-loop counter (never clobbered by the mix)
+   r6  data base #0, r8 data base #1
+   sp  user stack
+   mix targets: r0-r3, r5, r7, and rarely r9-r12 (unpinned → fallback) *)
+
+let alu_targets = [| 0; 1; 2; 3; 5; 7 |]
+let blocks_per_program = 24
+
+let block_len spec = max 3 (int_of_float (Float.round (1.0 /. spec.check_rate)))
+let insns_per_iteration spec = (blocks_per_program * block_len spec) + 3
+
+let emit_alu a prng =
+  (* one computational instruction (sometimes a cmp+conditional pair,
+     counted by the caller via return value) *)
+  let rt () = Prng.pick prng alu_targets in
+  let rare_unpinned () = if Prng.chance prng 0.02 then 9 + Prng.int prng 4 else rt () in
+  let rd = rare_unpinned () and rn = rt () and rm = rt () in
+  let s = Prng.chance prng 0.18 in
+  let choice = Prng.int prng 100 in
+  if choice < 42 then begin
+    (* three-operand ALU, register or immediate *)
+    let op = Prng.pick prng [| A.ADD; A.SUB; A.AND; A.ORR; A.EOR |] in
+    let op2 =
+      if Prng.bool prng then A.imm_operand_exn (Prng.int prng 256)
+      else A.Reg_shift_imm { rm; kind = A.LSL; amount = 0 }
+    in
+    Asm.emit a (A.make (A.Dp { op; s; rd; rn; op2 }));
+    1
+  end
+  else if choice < 52 then begin
+    (* shifted operand *)
+    let op = Prng.pick prng [| A.ADD; A.SUB; A.EOR |] in
+    let kind = Prng.pick prng [| A.LSL; A.LSR; A.ASR |] in
+    Asm.emit a
+      (A.make
+         (A.Dp { op; s; rd; rn; op2 = A.Reg_shift_imm { rm; kind; amount = 1 + Prng.int prng 15 } }));
+    1
+  end
+  else if choice < 62 then begin
+    Asm.mov a rd (Prng.int prng 256);
+    1
+  end
+  else if choice < 70 then begin
+    Asm.emit a (A.make (A.Movw { rd; imm16 = Prng.int prng 0x10000 }));
+    1
+  end
+  else if choice < 76 then begin
+    let rm' = rt () in
+    let rd = if rd = rm' then (rd + 1) mod 6 |> Array.get alu_targets else rd in
+    Asm.mul a rd rm' rn;
+    1
+  end
+  else if choice < 88 then begin
+    (* compare + conditional ALU; sometimes with an independent load
+       in between — the define-before-use scheduling scenario of the
+       paper's Fig. 12 *)
+    Asm.cmp a rn (Prng.int prng 64);
+    let extra =
+      if Prng.chance prng 0.45 then begin
+        let base = if Prng.bool prng then 6 else 8 in
+        let dst = Prng.pick prng alu_targets in
+        let dst = if dst = rn then (dst + 1) mod 8 else dst in
+        let dst = if dst = rn || dst = 4 || dst = 6 then 5 else dst in
+        Asm.ldr a dst base (4 * Prng.int prng 1024);
+        1
+      end
+      else 0
+    in
+    let cond = Prng.pick prng [| Cond.EQ; Cond.NE; Cond.GE; Cond.LT; Cond.HI; Cond.LS |] in
+    let rd = if rd = rn then 7 else rd in
+    Asm.add a ~cond rd rd (Prng.int prng 16);
+    2 + extra
+  end
+  else if choice < 94 then begin
+    Asm.emit a
+      (A.make
+         (A.Dp { op = A.MVN; s = false; rd; rn = 0;
+                 op2 = A.Reg_shift_imm { rm; kind = A.LSL; amount = 0 } }));
+    1
+  end
+  else if choice < 98 then begin
+    (* adc after adds: carry-chain idiom *)
+    Asm.add a ~s:true rd rn (Prng.int prng 128);
+    Asm.emit a
+      (A.make
+         (A.Dp { op = A.ADC; s = true; rd = rt (); rn = rd; op2 = A.imm_operand_exn 0 }));
+    2
+  end
+  else begin
+    (* 64-bit product (fallback path in the rule engine) *)
+    let lo = rt () in
+    let hi = if lo = 7 then 5 else 7 in
+    if Prng.bool prng then Asm.umull a lo hi rn rm else Asm.smull a lo hi rn rm;
+    1
+  end
+
+let emit_mem a prng =
+  let base = if Prng.bool prng then 6 else 8 in
+  let rt = Prng.pick prng alu_targets in
+  let c = Prng.int prng 100 in
+  (if c < 70 then begin
+     (* word accesses dominate compiled code *)
+     let off = 4 * Prng.int prng 1024 in
+     if Prng.bool prng then Asm.ldr a rt base off else Asm.str a rt base off
+   end
+   else if c < 82 then begin
+     let off = 2 * Prng.int prng 127 in
+     if Prng.bool prng then Asm.ldr a ~width:A.Half rt base off
+     else Asm.str a ~width:A.Half rt base off
+   end
+   else if c < 92 then begin
+     let off = Prng.int prng 256 in
+     if Prng.bool prng then Asm.ldr a ~width:A.Byte rt base off
+     else Asm.str a ~width:A.Byte rt base off
+   end
+   else begin
+     (* sign-extending loads (string/array code) *)
+     let half = Prng.bool prng in
+     let off = if half then 2 * Prng.int prng 127 else Prng.int prng 255 in
+     Asm.ldrs a ~half rt base off
+   end);
+  1
+
+(* A system-level instruction; with [gate_mask] > 0 it is executed
+   only when the outer-loop counter r4 has the masked bits zero, so a
+   single static instruction can model the sub-percent dynamic rates
+   of Table I. *)
+let emit_sys ?(gate_mask = 0) a prng =
+  let cond = if gate_mask > 0 then Cond.EQ else Cond.AL in
+  if gate_mask > 0 then Asm.tst a 4 gate_mask;
+  let gate_insns = if gate_mask > 0 then 1 else 0 in
+  gate_insns
+  +
+  let c = Prng.int prng 100 in
+  if c < 35 then begin
+    Asm.emit a (A.make ~cond (A.Vmrs { rt = 0 }));
+    1
+  end
+  else if c < 65 then begin
+    Asm.emit a (A.make ~cond (A.Vmsr { rt = 1 }));
+    1
+  end
+  else if c < 85 then begin
+    Asm.emit a (A.make ~cond (A.Mrs { rd = 3; spsr = false }));
+    1
+  end
+  else begin
+    (* kernel round trip *)
+    Asm.mov a 7 Kernel.sys_yield;
+    Asm.emit a { A.cond; op = A.Svc 0 };
+    2
+  end
+
+(* Deterministic quota allocation: the static programs are small, so
+   per-slot sampling would under-represent rare categories (the
+   0.1-2.5% system-instruction rates). Each block gets an exact memory
+   quota; system instructions are spread across blocks from a
+   program-wide quota carried in [sys_budget]. Rates are compensated
+   for the 2-instruction block epilogue, which is never drawn from. *)
+let emit_block a prng spec ~sys_budget ~next_label =
+  let len = block_len spec in
+  (* last two slots: cmp + conditional branch to the next block *)
+  let body = len - 2 in
+  let comp r = r *. float_of_int len /. float_of_int body in
+  let mem_quota =
+    let exact = comp spec.mem_rate *. float_of_int body in
+    int_of_float exact + (if Prng.chance prng (Float.rem exact 1.0) then 1 else 0)
+  in
+  (* integral part of the budget: ungated placements; a fractional
+     remainder becomes one gated placement (executed every 2^k-th
+     iteration) in the block that wins the draw *)
+  let sys_here, sys_gate =
+    if !sys_budget >= 1. then begin
+      sys_budget := !sys_budget -. 1.;
+      (1, 0)
+    end
+    else if !sys_budget > 0. && Prng.chance prng 0.15 then begin
+      let frac = !sys_budget in
+      sys_budget := 0.;
+      let mask = max 1 (min 255 (int_of_float (Float.round (1. /. frac)) - 1)) in
+      (* round the gate to (2^k - 1) so tst tests contiguous bits *)
+      let rec pow2m1 m = if m >= mask then m else pow2m1 ((2 * m) + 1) in
+      (1, pow2m1 1)
+    end
+    else (0, 0)
+  in
+  let emitted = ref 0 in
+  let mem_left = ref mem_quota and sys_left = ref sys_here in
+  while !emitted < body do
+    let slots_left = body - !emitted in
+    let n =
+      if !sys_left > 0 && slots_left <= !sys_left + !mem_left + sys_gate then begin
+        decr sys_left;
+        emit_sys ~gate_mask:sys_gate a prng
+      end
+      else if !mem_left > 0 && (slots_left <= !mem_left || Prng.chance prng 0.5) then begin
+        decr mem_left;
+        emit_mem a prng
+      end
+      else emit_alu a prng
+    in
+    emitted := !emitted + n
+  done;
+  (* Block ending: compare, sometimes an independent load (hoistable
+     by define-before-use scheduling), then the conditional branch. *)
+  let cmp_reg = Prng.pick prng alu_targets in
+  Asm.cmp a cmp_reg (Prng.int prng 32);
+  if Prng.chance prng 0.4 then begin
+    let base = if Prng.bool prng then 6 else 8 in
+    let dst = if cmp_reg = 5 then 7 else 5 in
+    Asm.ldr a dst base (4 * Prng.int prng 1024)
+  end;
+  let cond = Prng.pick prng [| Cond.EQ; Cond.NE; Cond.GE; Cond.LT |] in
+  Asm.branch_to a ~cond next_label;
+  (* fallthrough also reaches the next block *)
+  ()
+
+let program_prologue a =
+  Asm.mov32 a A.sp Kernel.user_stack_top;
+  Asm.mov32 a 6 Kernel.user_data_base;
+  Asm.mov32 a 8 (Word32.add Kernel.user_data_base 0x4000)
+
+let generate spec ~iterations =
+  let prng = Prng.of_string spec.name in
+  let a = Asm.create ~origin:Kernel.user_code_base () in
+  program_prologue a;
+  Asm.mov32 a 4 iterations;
+  Asm.label a "outer";
+  let sys_budget =
+    ref (spec.sys_rate *. float_of_int (blocks_per_program * block_len spec))
+  in
+  for b = 0 to blocks_per_program - 1 do
+    Asm.label a (Printf.sprintf "block%d" b);
+    emit_block a prng spec ~sys_budget ~next_label:(Printf.sprintf "block%d" (b + 1))
+  done;
+  Asm.label a (Printf.sprintf "block%d" blocks_per_program);
+  Asm.sub a ~s:true 4 4 1;
+  Asm.branch_to a ~cond:Cond.NE "outer";
+  Kernel.user_epilogue_exit a ~exit_code_reg:0;
+  snd (Asm.assemble a)
+
+(* ---------- real-world applications ---------- *)
+
+type app = { app_name : string; io_calls : int; cpu_blocks : int }
+
+let apps =
+  [
+    { app_name = "memcached"; io_calls = 34; cpu_blocks = 4 };
+    { app_name = "sqlite"; io_calls = 10; cpu_blocks = 8 };
+    { app_name = "fileio"; io_calls = 70; cpu_blocks = 2 };
+    { app_name = "untar"; io_calls = 58; cpu_blocks = 2 };
+    { app_name = "cpu-prime"; io_calls = 1; cpu_blocks = 10 };
+  ]
+
+(* CPU work shared by the app models: a memory-light computational
+   mix (apps are less memory-bound than CINT in our model). *)
+let app_cpu_spec name =
+  { name; sys_rate = 0.001; mem_rate = 0.22; check_rate = 0.16 }
+
+let generate_app app ~iterations =
+  let prng = Prng.of_string app.app_name in
+  let spec = app_cpu_spec app.app_name in
+  let a = Asm.create ~origin:Kernel.user_code_base () in
+  program_prologue a;
+  Asm.mov32 a 4 iterations;
+  Asm.label a "outer";
+  (* I/O phase: UART syscalls *)
+  for k = 0 to app.io_calls - 1 do
+    Asm.mov a 0 (65 + (k mod 26));
+    Asm.mov a 7 Kernel.sys_putchar;
+    Asm.svc a 0
+  done;
+  (* CPU phase *)
+  let sys_budget = ref (spec.sys_rate *. float_of_int (app.cpu_blocks * block_len spec)) in
+  for b = 0 to app.cpu_blocks - 1 do
+    Asm.label a (Printf.sprintf "cpu%d" b);
+    emit_block a prng spec ~sys_budget ~next_label:(Printf.sprintf "cpu%d" (b + 1))
+  done;
+  Asm.label a (Printf.sprintf "cpu%d" app.cpu_blocks);
+  Asm.sub a ~s:true 4 4 1;
+  Asm.branch_to a ~cond:Cond.NE "outer";
+  Kernel.user_epilogue_exit a ~exit_code_reg:0;
+  snd (Asm.assemble a)

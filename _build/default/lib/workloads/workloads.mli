@@ -1,0 +1,48 @@
+(** Workload generators.
+
+    SPEC CINT2006 and the paper's real-world applications cannot run
+    inside this reproduction, so each benchmark is replaced by a
+    synthetic user program whose {e dynamic instruction mix} is
+    calibrated to the paper's Table I — the per-benchmark frequencies
+    of system-level instructions, memory accesses and interrupt checks
+    that drive every figure (see DESIGN.md §2). Generation is
+    deterministic per benchmark name. *)
+
+open Repro_common
+
+type spec = {
+  name : string;
+  sys_rate : float;   (** system-level instructions per guest instruction *)
+  mem_rate : float;   (** memory-access instructions per guest instruction *)
+  check_rate : float; (** interrupt checks (TB entries) per guest instruction *)
+}
+
+val cint2006 : spec list
+(** The twelve CINT2006 rows of Table I. *)
+
+val find : string -> spec
+(** Lookup by name; raises [Not_found]. *)
+
+val generate : spec -> iterations:int -> Word32.t array
+(** A user program (assembled at {!Repro_kernel.Kernel.user_code_base})
+    that executes roughly [iterations × insns_per_iteration] guest
+    instructions with the spec's mix, then exits via [sys_exit]. *)
+
+val insns_per_iteration : spec -> int
+(** Approximate dynamic guest instructions per outer iteration, for
+    sizing [iterations] to a target run length. *)
+
+(** {2 Real-world applications (paper Fig. 19)} *)
+
+type app = {
+  app_name : string;
+  io_calls : int;  (** UART syscalls per iteration (I/O-boundness) *)
+  cpu_blocks : int;  (** computational blocks per iteration *)
+}
+
+val apps : app list
+(** memcached, sqlite, fileio, untar, cpu-prime — I/O-call weights
+    chosen so the I/O-bound ones spend most of their time in the
+    kernel/devices, reproducing Fig. 19's shape. *)
+
+val generate_app : app -> iterations:int -> Word32.t array

@@ -1,0 +1,1 @@
+lib/x86/exec.ml: Array Bytes Char Hashtbl Insn Printf Prog Repro_common Stats Word32

@@ -1,0 +1,1 @@
+lib/x86/exec.mli: Bytes Insn Prog Repro_common Stats Word32

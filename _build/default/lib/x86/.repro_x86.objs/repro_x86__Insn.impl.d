@@ -1,0 +1,1 @@
+lib/x86/insn.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/x86/prog.ml: Array Format Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/x86/prog.mli: Format Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/x86/stats.ml: Array Format Insn List

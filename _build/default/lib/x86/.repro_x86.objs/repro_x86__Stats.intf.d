@@ -1,0 +1,1 @@
+lib/x86/stats.mli: Format Insn

@@ -1,0 +1,59 @@
+type builder = {
+  mutable rev_code : (Insn.t * Insn.tag) list;
+  mutable next_label : int;
+  mutable count : int;
+}
+
+let builder () = { rev_code = []; next_label = 0; count = 0 }
+
+let is_pseudo = function
+  | Insn.Label _ | Insn.Count _ -> true
+  | Insn.Mov _ | Insn.Movzx8 _ | Insn.Movzx16 _ | Insn.Movsx8 _ | Insn.Movsx16 _
+  | Insn.Lea _ | Insn.Alu _ | Insn.Neg _
+  | Insn.Not _
+  | Insn.Imul _ | Insn.Shift _ | Insn.Setcc _ | Insn.Cmovcc _ | Insn.Jcc _ | Insn.Jmp _
+  | Insn.Savef _ | Insn.Loadf _ | Insn.Call_helper _ | Insn.Exit _ -> false
+
+let emit b ?(tag = Insn.Tag_compute) insn =
+  b.rev_code <- (insn, tag) :: b.rev_code;
+  if not (is_pseudo insn) then b.count <- b.count + 1
+
+let emit_all b ?tag insns = List.iter (fun i -> emit b ?tag i) insns
+
+let fresh_label b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+let bind_label b l = emit b (Insn.Label l)
+let length b = b.count
+
+type t = {
+  code : Insn.t array;
+  tags : Insn.tag array;
+  label_index : (int, int) Hashtbl.t;
+}
+
+let finalize b =
+  let items = Array.of_list (List.rev b.rev_code) in
+  let code = Array.map fst items in
+  let tags = Array.map snd items in
+  let label_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i insn ->
+      match insn with Insn.Label l -> Hashtbl.replace label_index l i | _ -> ())
+    code;
+  { code; tags; label_index }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Label _ -> Format.fprintf ppf "%a@ " Insn.pp insn
+      | _ -> Format.fprintf ppf "  %3d: %a@ " i Insn.pp insn)
+    t.code;
+  Format.fprintf ppf "@]"
+
+let static_count t =
+  Array.fold_left (fun acc i -> if is_pseudo i then acc else acc + 1) 0 t.code

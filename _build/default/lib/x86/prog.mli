@@ -1,0 +1,37 @@
+(** Host-code builder and finalized translation-block programs.
+
+    Emission is append-only with fresh local labels; {!finalize}
+    produces an immutable program with a label→index table that the
+    {!Exec} interpreter runs directly. *)
+
+type builder
+
+val builder : unit -> builder
+
+val emit : builder -> ?tag:Insn.tag -> Insn.t -> unit
+(** Append one instruction ([tag] defaults to [Tag_compute]). *)
+
+val emit_all : builder -> ?tag:Insn.tag -> Insn.t list -> unit
+
+val fresh_label : builder -> int
+(** Allocate a label id (place it with [emit (Label id)]). *)
+
+val bind_label : builder -> int -> unit
+(** Shorthand for [emit (Label id)]. *)
+
+val length : builder -> int
+(** Number of countable (non-pseudo) instructions emitted so far. *)
+
+type t = private {
+  code : Insn.t array;
+  tags : Insn.tag array;
+  label_index : (int, int) Hashtbl.t;  (** label id → code index *)
+}
+
+val finalize : builder -> t
+val pp : Format.formatter -> t -> unit
+val static_count : t -> int
+(** Countable (non-pseudo) instructions in the program. *)
+
+val is_pseudo : Insn.t -> bool
+(** Labels and counters execute at zero cost. *)

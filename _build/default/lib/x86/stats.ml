@@ -1,0 +1,87 @@
+type t = {
+  mutable host_insns : int;
+  by_tag : int array;
+  mutable helper_insns : int;
+  mutable helper_calls : int;
+  mutable sys_insns : int;
+  mutable guest_insns : int;
+  mutable sync_ops : int;
+  mutable mmu_accesses : int;
+  mutable irq_polls : int;
+  mutable tlb_misses : int;
+  mutable engine_returns : int;
+  mutable chained_jumps : int;
+  mutable tb_translations : int;
+  mutable irqs_delivered : int;
+}
+
+let n_tags = List.length Insn.all_tags
+
+let create () =
+  {
+    host_insns = 0;
+    by_tag = Array.make n_tags 0;
+    helper_insns = 0;
+    helper_calls = 0;
+    sys_insns = 0;
+    guest_insns = 0;
+    sync_ops = 0;
+    mmu_accesses = 0;
+    irq_polls = 0;
+    tlb_misses = 0;
+    engine_returns = 0;
+    chained_jumps = 0;
+    tb_translations = 0;
+    irqs_delivered = 0;
+  }
+
+let reset t =
+  t.host_insns <- 0;
+  Array.fill t.by_tag 0 n_tags 0;
+  t.helper_insns <- 0;
+  t.helper_calls <- 0;
+  t.sys_insns <- 0;
+  t.guest_insns <- 0;
+  t.sync_ops <- 0;
+  t.mmu_accesses <- 0;
+  t.irq_polls <- 0;
+  t.tlb_misses <- 0;
+  t.engine_returns <- 0;
+  t.chained_jumps <- 0;
+  t.tb_translations <- 0;
+  t.irqs_delivered <- 0
+
+let tag_index tag =
+  let rec find i = function
+    | [] -> assert false
+    | hd :: tl -> if hd = tag then i else find (i + 1) tl
+  in
+  find 0 Insn.all_tags
+
+let charge_tag t tag n =
+  t.host_insns <- t.host_insns + n;
+  t.by_tag.(tag_index tag) <- t.by_tag.(tag_index tag) + n
+
+let tag_count t tag = t.by_tag.(tag_index tag)
+
+let host_per_guest t =
+  if t.guest_insns = 0 then 0. else float_of_int t.host_insns /. float_of_int t.guest_insns
+
+let sync_per_guest t =
+  if t.guest_insns = 0 then 0.
+  else float_of_int (tag_count t Insn.Tag_sync) /. float_of_int t.guest_insns
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>host insns      %d@ guest insns     %d@ host/guest      %.2f@ " t.host_insns
+    t.guest_insns (host_per_guest t);
+  List.iter
+    (fun tag ->
+      Format.fprintf ppf "  %-10s    %d@ " (Insn.tag_name tag) (tag_count t tag))
+    Insn.all_tags;
+  Format.fprintf ppf
+    "helper calls    %d (cost %d)@ sync ops        %d@ mmu accesses    %d (misses %d)@ \
+     irq polls       %d (delivered %d)@ engine returns  %d@ chained jumps   %d@ \
+     tb translations %d@]"
+    t.helper_calls t.helper_insns t.sync_ops t.mmu_accesses t.tlb_misses t.irq_polls
+    t.irqs_delivered t.engine_returns t.chained_jumps t.tb_translations

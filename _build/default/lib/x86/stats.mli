@@ -1,0 +1,39 @@
+(** Dynamic execution counters — the measurement substrate for every
+    figure in the paper's evaluation. *)
+
+type t = {
+  mutable host_insns : int;
+      (** Dynamically executed host instructions, including modelled
+          helper costs. *)
+  by_tag : int array;  (** indexed by {!Insn.tag} order of {!Insn.all_tags} *)
+  mutable helper_insns : int;
+      (** Portion of [host_insns] contributed by helper bodies. *)
+  mutable helper_calls : int;
+  mutable sys_insns : int;
+      (** executed guest system-level instructions (helper-emulated) *)
+  mutable guest_insns : int;  (** retired guest instructions *)
+  mutable sync_ops : int;     (** coordination operations executed *)
+  mutable mmu_accesses : int; (** memory accesses through the softMMU *)
+  mutable irq_polls : int;    (** interrupt checks executed *)
+  mutable tlb_misses : int;
+  mutable engine_returns : int;
+      (** TB exits that went back to the execution engine (context
+          switches to QEMU, in the paper's terms), excluding helper
+          calls. *)
+  mutable chained_jumps : int; (** TB-to-TB transfers via block chaining *)
+  mutable tb_translations : int;
+  mutable irqs_delivered : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val charge_tag : t -> Insn.tag -> int -> unit
+(** Add [n] host instructions under a tag (and to the total). *)
+
+val tag_count : t -> Insn.tag -> int
+val host_per_guest : t -> float
+val sync_per_guest : t -> float
+(** Sync-tagged host instructions per retired guest instruction —
+    the paper's Fig. 17 metric. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/gen.ml: Cond Insn List QCheck Repro_arm String

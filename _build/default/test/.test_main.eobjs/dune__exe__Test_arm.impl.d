@@ -1,0 +1,1 @@
+test/test_arm.ml: Alcotest Array Asm Cond Cpu Encode Format Gen Insn Interp List Mem QCheck QCheck_alcotest Repro_arm Repro_common Word32

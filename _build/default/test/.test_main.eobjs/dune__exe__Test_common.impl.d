@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest List Prng QCheck QCheck_alcotest Repro_common String Table Word32

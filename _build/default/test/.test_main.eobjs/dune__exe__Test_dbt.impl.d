@@ -1,0 +1,1 @@
+test/test_dbt.ml: Alcotest Array Asm Cond Cpu Format Gen Insn List Printf QCheck QCheck_alcotest Repro_arm Repro_dbt Repro_machine Repro_tcg Repro_x86 String

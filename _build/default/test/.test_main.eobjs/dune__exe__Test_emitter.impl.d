@@ -1,0 +1,1 @@
+test/test_emitter.ml: Alcotest Array Asm Cond Lazy Printf Repro_arm Repro_dbt Repro_rules Repro_tcg Repro_x86

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Asm Char Cond Float Gen Insn List Printf QCheck QCheck_alcotest Repro_arm Repro_dbt Repro_kernel Repro_machine Repro_tcg Repro_workloads Repro_x86 String

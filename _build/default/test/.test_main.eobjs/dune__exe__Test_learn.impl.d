@@ -1,0 +1,1 @@
+test/test_learn.ml: Alcotest Cpu Insn Lazy List Option Printf Repro_arm Repro_dbt Repro_learn Repro_minic Repro_rules Repro_tcg Repro_x86

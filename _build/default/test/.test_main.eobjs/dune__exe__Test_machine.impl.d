@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bytes Char Repro_machine String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_arm Test_common Test_dbt Test_emitter Test_kernel Test_learn Test_machine Test_mmu Test_rules Test_symexec Test_tcg Test_x86

@@ -1,0 +1,1 @@
+test/test_mmu.ml: Alcotest Array Bytes Repro_arm Repro_machine Repro_mmu

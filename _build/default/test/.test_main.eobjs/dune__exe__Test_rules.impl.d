@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array Lazy List Printf Repro_arm Repro_rules Repro_x86 String

@@ -1,0 +1,1 @@
+test/test_symexec.ml: Alcotest Array Cond Cpu Format Gen Insn Interp List Mem Printf Prng QCheck QCheck_alcotest Repro_arm Repro_common Repro_symexec String Word32

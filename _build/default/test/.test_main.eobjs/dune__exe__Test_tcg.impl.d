@@ -1,0 +1,1 @@
+test/test_tcg.ml: Alcotest Array Asm Cond Cpu Format Fun Gen Insn List Printf QCheck QCheck_alcotest Repro_arm Repro_machine Repro_tcg Repro_x86

@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array List Repro_x86

@@ -1,0 +1,318 @@
+(* QCheck generators for ARM instructions, in the canonical form the
+   encoder emits (test ops carry [s=false], [rd=0]). *)
+
+open Repro_arm
+
+let gen_reg = QCheck.Gen.int_range 0 15
+let gen_low_reg = QCheck.Gen.int_range 0 12
+let gen_cond = QCheck.Gen.oneofl Cond.all
+let gen_shift_kind = QCheck.Gen.oneofl Insn.[ LSL; LSR; ASR; ROR ]
+
+let gen_dp_op =
+  QCheck.Gen.oneofl
+    Insn.[ AND; EOR; SUB; RSB; ADD; ADC; SBC; RSC; TST; TEQ; CMP; CMN; ORR; MOV; BIC; MVN ]
+
+let gen_operand2 =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* imm8 = int_range 0 255 in
+       let* rot = int_range 0 15 in
+       return (Insn.Imm { imm8; rot }));
+      (let* rm = gen_reg in
+       let* kind = gen_shift_kind in
+       let* amount = int_range 0 31 in
+       return (Insn.Reg_shift_imm { rm; kind; amount }));
+      (let* rm = gen_reg in
+       let* kind = gen_shift_kind in
+       let* rs = gen_reg in
+       return (Insn.Reg_shift_reg { rm; kind; rs }));
+    ]
+
+let gen_mem_offset =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* n = int_range (-4095) 4095 in
+       return (Insn.Imm_off n));
+      (let* rm = gen_reg in
+       let* kind = gen_shift_kind in
+       let* amount = int_range 0 31 in
+       let* subtract = bool in
+       return (Insn.Reg_off { rm; kind; amount; subtract }));
+    ]
+
+let gen_index = QCheck.Gen.oneofl Insn.[ Offset; Pre_indexed; Post_indexed ]
+let gen_width = QCheck.Gen.oneofl Insn.[ Word; Byte ]
+let gen_ldm_kind = QCheck.Gen.oneofl Insn.[ IA; DB ]
+
+let gen_op =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* op = gen_dp_op in
+       let* s = bool in
+       let* rd = gen_reg in
+       let* rn = gen_reg in
+       let* op2 = gen_operand2 in
+       let canonical_s = if Insn.dp_op_is_test op then false else s in
+       let canonical_rd = if Insn.dp_op_is_test op then 0 else rd in
+       return (Insn.Dp { op; s = canonical_s; rd = canonical_rd; rn; op2 }));
+      (let* s = bool in
+       let* rd = gen_reg in
+       let* rn = gen_reg in
+       let* rm = gen_reg in
+       let* acc = opt gen_reg in
+       return (Insn.Mul { s; rd; rn; rm; acc }));
+      (let* rd = gen_reg in
+       let* rm = gen_reg in
+       return (Insn.Clz { rd; rm }));
+      (let* width = gen_width in
+       let* rd = gen_reg in
+       let* rn = gen_reg in
+       let* off = gen_mem_offset in
+       let* index = gen_index in
+       return (Insn.Ldr { width; rd; rn; off; index }));
+      (let* width = gen_width in
+       let* rd = gen_reg in
+       let* rn = gen_reg in
+       let* off = gen_mem_offset in
+       let* index = gen_index in
+       return (Insn.Str { width; rd; rn; off; index }));
+      (* halfword transfers: split-imm offset <= 255, or a plain
+         (unshifted) register offset *)
+      (let* load = bool in
+       let* rd = gen_reg in
+       let* rn = gen_reg in
+       let* off =
+         oneof
+           [
+             (let* n = int_range (-255) 255 in
+              return (Insn.Imm_off n));
+             (let* rm = gen_reg in
+              let* subtract = bool in
+              return (Insn.Reg_off { rm; kind = Insn.LSL; amount = 0; subtract }));
+           ]
+       in
+       let* index = gen_index in
+       if load then return (Insn.Ldr { width = Insn.Half; rd; rn; off; index })
+       else return (Insn.Str { width = Insn.Half; rd; rn; off; index }));
+      (let* half = bool in
+       let* rd = gen_reg in
+       let* rn = gen_reg in
+       let* off =
+         oneof
+           [
+             (let* n = int_range (-255) 255 in
+              return (Insn.Imm_off n));
+             (let* rm = gen_reg in
+              let* subtract = bool in
+              return (Insn.Reg_off { rm; kind = Insn.LSL; amount = 0; subtract }));
+           ]
+       in
+       let* index = gen_index in
+       return (Insn.Ldrs { half; rd; rn; off; index }));
+      (let* kind = gen_ldm_kind in
+       let* rn = gen_reg in
+       let* writeback = bool in
+       let* regs = int_range 1 0xFFFF in
+       return (Insn.Ldm { kind; rn; writeback; regs }));
+      (let* kind = gen_ldm_kind in
+       let* rn = gen_reg in
+       let* writeback = bool in
+       let* regs = int_range 1 0xFFFF in
+       return (Insn.Stm { kind; rn; writeback; regs }));
+      (let* link = bool in
+       let* offset = int_range (-0x800000) 0x7FFFFF in
+       return (Insn.B { link; offset }));
+      (let* rm = gen_reg in
+       return (Insn.Bx rm));
+      (let* rd = gen_reg in
+       let* imm16 = int_range 0 0xFFFF in
+       return (Insn.Movw { rd; imm16 }));
+      (let* rd = gen_reg in
+       let* imm16 = int_range 0 0xFFFF in
+       return (Insn.Movt { rd; imm16 }));
+      (let* rd = gen_reg in
+       let* spsr = bool in
+       return (Insn.Mrs { rd; spsr }));
+      (let* spsr = bool in
+       let* write_flags = bool in
+       let* write_control = bool in
+       let* rm = gen_reg in
+       return (Insn.Msr { spsr; write_flags; write_control; rm }));
+      (let* imm = int_range 0 0xFFFFFF in
+       return (Insn.Svc imm));
+      (let* opc1 = int_range 0 7 in
+       let* rt = gen_reg in
+       let* crn = int_range 0 15 in
+       let* crm = int_range 0 15 in
+       let* opc2 = int_range 0 7 in
+       return (Insn.Mcr { opc1; rt; crn; crm; opc2 }));
+      (let* opc1 = int_range 0 7 in
+       let* rt = gen_reg in
+       let* crn = int_range 0 15 in
+       let* crm = int_range 0 15 in
+       let* opc2 = int_range 0 7 in
+       return (Insn.Mrc { opc1; rt; crn; crm; opc2 }));
+      (let* rt = gen_reg in
+       return (Insn.Vmsr { rt }));
+      (let* rt = gen_reg in
+       return (Insn.Vmrs { rt }));
+      return Insn.Nop;
+      (let* imm = int_range 0 0xFFFF in
+       return (Insn.Udf imm));
+    ]
+
+let gen_insn =
+  let open QCheck.Gen in
+  let* cond = gen_cond in
+  let* op = gen_op in
+  return { Insn.cond; op }
+
+(* Cps is unconditional; generate it separately. *)
+let gen_insn_with_cps =
+  QCheck.Gen.(
+    frequency
+      [
+        (19, gen_insn);
+        (1, map (fun disable -> Insn.make (Insn.Cps { disable })) bool);
+      ])
+
+let arbitrary_insn =
+  QCheck.make ~print:(fun i -> Insn.to_string i) gen_insn_with_cps
+
+(* A generator for "plain" computational instructions: no PC access, no
+   system-level ops, no memory — suitable for randomized differential
+   testing of straight-line translated code. *)
+let gen_plain_op =
+  let open QCheck.Gen in
+  oneof
+    [
+      (let* op = gen_dp_op in
+       let* s = bool in
+       let* rd = gen_low_reg in
+       let* rn = gen_low_reg in
+       let* op2 =
+         oneof
+           [
+             (let* imm8 = int_range 0 255 in
+              let* rot = int_range 0 15 in
+              return (Insn.Imm { imm8; rot }));
+             (let* rm = gen_low_reg in
+              let* kind = gen_shift_kind in
+              let* amount = int_range 0 31 in
+              return (Insn.Reg_shift_imm { rm; kind; amount }));
+           ]
+       in
+       let canonical_s = if Insn.dp_op_is_test op then false else s in
+       let canonical_rd = if Insn.dp_op_is_test op then 0 else rd in
+       return (Insn.Dp { op; s = canonical_s; rd = canonical_rd; rn; op2 }));
+      (let* s = bool in
+       let* rd = gen_low_reg in
+       let* rn = gen_low_reg in
+       let* rm = gen_low_reg in
+       let* acc = opt gen_low_reg in
+       return (Insn.Mul { s; rd; rn; rm; acc }));
+      (let* rd = gen_low_reg in
+       let* imm16 = int_range 0 0xFFFF in
+       return (Insn.Movw { rd; imm16 }));
+      (let* rd = gen_low_reg in
+       let* imm16 = int_range 0 0xFFFF in
+       return (Insn.Movt { rd; imm16 }));
+      (let* rd = gen_low_reg in
+       let* rm = gen_low_reg in
+       return (Insn.Clz { rd; rm }));
+    ]
+
+let gen_plain_insn =
+  let open QCheck.Gen in
+  let* cond = frequency [ (3, return Cond.AL); (2, gen_cond) ] in
+  let* op = gen_plain_op in
+  return { Insn.cond; op }
+
+let arbitrary_plain_insn = QCheck.make ~print:Insn.to_string gen_plain_insn
+
+let arbitrary_plain_block n =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map Insn.to_string l))
+    QCheck.Gen.(list_size (int_range 1 n) gen_plain_insn)
+
+(* Memory-including blocks for differential testing: all accesses are
+   anchored to a dedicated base register (r6) which the test harness
+   points at a scratch RAM window. Offsets are small enough that even
+   with pre/post-indexed writeback the addresses stay in RAM, and the
+   base is never a destination, so the window cannot escape. *)
+let mem_base_reg = 6
+
+let gen_mem_plain_op =
+  let open QCheck.Gen in
+  let gen_data_reg =
+    (* registers that can be loaded without clobbering the anchor *)
+    oneofl [ 0; 1; 2; 3; 4; 5; 7; 8 ]
+  in
+  let gen_small_off =
+    let* n = int_range (-16) 16 in
+    return (Insn.Imm_off (n * 4))
+  in
+  let gen_safe_index = frequency [ (4, return Insn.Offset); (1, gen_index) ] in
+  oneof
+    [
+      (let* width = gen_width in
+       let* rd = gen_data_reg in
+       let* off = gen_small_off in
+       let* index = gen_safe_index in
+       return (Insn.Ldr { width; rd; rn = mem_base_reg; off; index }));
+      (let* width = gen_width in
+       let* rd = gen_data_reg in
+       let* off = gen_small_off in
+       let* index = gen_safe_index in
+       return (Insn.Str { width; rd; rn = mem_base_reg; off; index }));
+      (* halfwords: offset addressing only, 4-aligned offsets, so the
+         anchor's word alignment is never disturbed *)
+      (let* load = bool in
+       let* rd = gen_data_reg in
+       let* off = gen_small_off in
+       if load then
+         return (Insn.Ldr { width = Insn.Half; rd; rn = mem_base_reg; off; index = Insn.Offset })
+       else
+         return (Insn.Str { width = Insn.Half; rd; rn = mem_base_reg; off; index = Insn.Offset }));
+      (let* half = bool in
+       let* rd = gen_data_reg in
+       let* off = gen_small_off in
+       return (Insn.Ldrs { half; rd; rn = mem_base_reg; off; index = Insn.Offset }));
+      (let* kind = gen_ldm_kind in
+       let* writeback = bool in
+       (* bits 0-5,7,8 only: never pc/sp/lr, never the anchor *)
+       let* regs = map (fun m -> m land 0x1BF) (int_range 1 0x1BF) in
+       if regs = 0 then return Insn.Nop
+       else return (Insn.Ldm { kind; rn = mem_base_reg; writeback; regs }));
+      (let* kind = gen_ldm_kind in
+       let* writeback = bool in
+       let* regs = map (fun m -> m land 0x1BF) (int_range 1 0x1BF) in
+       if regs = 0 then return Insn.Nop
+       else return (Insn.Stm { kind; rn = mem_base_reg; writeback; regs }));
+    ]
+
+let gen_mem_plain_insn =
+  let open QCheck.Gen in
+  let* cond = frequency [ (3, return Cond.AL); (2, gen_cond) ] in
+  let* op = frequency [ (2, gen_plain_op); (1, gen_mem_plain_op) ] in
+  (* plain ops must not clobber the anchor either *)
+  let op =
+    match op with
+    | Insn.Dp { op; s; rd; rn; op2 } when rd = mem_base_reg ->
+      Insn.Dp { op; s; rd = 5; rn; op2 }
+    | Insn.Mul { s; rd; rn; rm; acc } when rd = mem_base_reg ->
+      Insn.Mul { s; rd = 5; rn; rm; acc }
+    | Insn.Movw { rd; imm16 } when rd = mem_base_reg -> Insn.Movw { rd = 5; imm16 }
+    | Insn.Movt { rd; imm16 } when rd = mem_base_reg -> Insn.Movt { rd = 5; imm16 }
+    | Insn.Clz { rd; rm } when rd = mem_base_reg -> Insn.Clz { rd = 5; rm }
+    | op -> op
+  in
+  return { Insn.cond; op }
+
+let arbitrary_mem_block n =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map Insn.to_string l))
+    QCheck.Gen.(list_size (int_range 1 n) gen_mem_plain_insn)

@@ -1,0 +1,211 @@
+open Repro_arm
+module D = Repro_dbt
+module X = Repro_x86.Insn
+module Prog = Repro_x86.Prog
+
+(* White-box tests of the rule-based emitter: the optimization levels
+   must change the *static shape* of the emitted coordination code in
+   exactly the ways the paper's figures describe. *)
+
+let ruleset = lazy (Repro_rules.Builtin.ruleset ())
+
+let emit ?(opt = D.Opt.full) ?elide ?entry_conv insns =
+  D.Emitter.emit ~opt ~ruleset:(Lazy.force ruleset) ~privileged:false ~tb_pc:0
+    ~insns:(Array.of_list insns) ?elide_flag_save:elide ?entry_conv ()
+
+let count_in prog p = Array.fold_left (fun n i -> if p i then n + 1 else n) 0 prog.Prog.code
+
+let count_sync_markers prog =
+  count_in prog (function X.Count X.Cnt_sync_op -> true | _ -> false)
+
+let assemble body =
+  let a = Asm.create () in
+  body a;
+  snd (Asm.assemble_insns a) |> Array.to_list
+
+(* Fig. 9: consecutive same-condition instructions share one
+   Sync-restore and one guard under III-C-1. *)
+let test_fig9_run_grouping () =
+  let block =
+    assemble (fun a ->
+        Asm.cmp a 0 5;
+        Asm.add a ~cond:Cond.EQ 1 1 1;
+        Asm.add a ~cond:Cond.EQ 2 2 2;
+        Asm.add a ~cond:Cond.EQ 3 3 3;
+        Asm.branch_to a ~cond:Cond.NE "n";
+        Asm.label a "n")
+  in
+  let base = emit ~opt:D.Opt.base block in
+  let full = emit ~opt:D.Opt.full block in
+  let jcc prog = count_in prog (function X.Jcc _ -> true | _ -> false) in
+  (* base: one guard per conditional insn (+ branch + irq check);
+     full: a single guard for the run *)
+  Alcotest.(check bool)
+    (Printf.sprintf "guards shrink (%d -> %d)" (jcc base.D.Emitter.prog)
+       (jcc full.D.Emitter.prog))
+    true
+    (jcc full.D.Emitter.prog < jcc base.D.Emitter.prog);
+  Alcotest.(check bool)
+    (Printf.sprintf "sync ops shrink (%d -> %d)"
+       (count_sync_markers base.D.Emitter.prog)
+       (count_sync_markers full.D.Emitter.prog))
+    true
+    (count_sync_markers full.D.Emitter.prog < count_sync_markers base.D.Emitter.prog)
+
+(* Fig. 10: consecutive memory accesses share coordination under
+   III-C-2. *)
+let test_fig10_consecutive_memory () =
+  let block =
+    assemble (fun a ->
+        Asm.cmp a 0 5;
+        Asm.str a 1 6 0;
+        Asm.str a 2 6 4;
+        Asm.ldr a 3 6 8;
+        Asm.branch_to a ~cond:Cond.NE "n";
+        Asm.label a "n")
+  in
+  let base = emit ~opt:D.Opt.base block in
+  let elim = emit ~opt:D.Opt.with_elimination block in
+  Alcotest.(check bool) "coordination shrinks" true
+    (Prog.static_count elim.D.Emitter.prog < Prog.static_count base.D.Emitter.prog)
+
+(* Fig. 8: the packed save is a handful of instructions, the parsed
+   save is ~3x that. *)
+let test_fig8_static_shape () =
+  let block = assemble (fun a -> Asm.cmp a 0 5; Asm.svc a 0) in
+  let parsed = emit ~opt:D.Opt.base block in
+  let packed = emit ~opt:D.Opt.reduction_only block in
+  Alcotest.(check bool)
+    (Printf.sprintf "packed (%d) well below parsed (%d)"
+       (Prog.static_count packed.D.Emitter.prog)
+       (Prog.static_count parsed.D.Emitter.prog))
+    true
+    (Prog.static_count packed.D.Emitter.prog + 6
+    <= Prog.static_count parsed.D.Emitter.prog)
+
+(* Exit-state metadata drives the inter-TB optimization. *)
+let test_exit_states_recorded () =
+  let block =
+    assemble (fun a ->
+        Asm.cmp a 0 5;
+        Asm.branch_to a ~cond:Cond.NE "n";
+        Asm.label a "n")
+  in
+  let r = emit ~opt:D.Opt.full block in
+  let some_save =
+    Array.exists (fun (e : D.Emitter.exit_state) -> e.D.Emitter.flags_save_in_epilogue)
+      r.D.Emitter.exit_states
+  in
+  Alcotest.(check bool) "an exit carries a flag save" true some_save
+
+let test_elide_removes_save () =
+  let block =
+    assemble (fun a ->
+        Asm.cmp a 0 5;
+        Asm.branch_to a "n";
+        Asm.label a "n")
+  in
+  let normal = emit ~opt:D.Opt.full block in
+  let elide = Array.make Repro_tcg.Tb.exit_slots true in
+  let elided = emit ~opt:D.Opt.full ~elide block in
+  Alcotest.(check bool) "elided epilogue is shorter" true
+    (Prog.static_count elided.D.Emitter.prog < Prog.static_count normal.D.Emitter.prog);
+  Alcotest.(check bool) "records no save" true
+    (Array.for_all
+       (fun (e : D.Emitter.exit_state) -> not e.D.Emitter.flags_save_in_epilogue)
+       elided.D.Emitter.exit_states)
+
+let test_entry_conv_guards_irq_check () =
+  let block = assemble (fun a -> Asm.add a 0 0 1; Asm.branch_to a "n"; Asm.label a "n") in
+  let plain = emit ~opt:D.Opt.full block in
+  let assumed = emit ~opt:D.Opt.full ~entry_conv:Repro_rules.Flagconv.Sub_like block in
+  let savef prog = count_in prog (function X.Savef _ -> true | _ -> false) in
+  Alcotest.(check bool) "assumed entry parks EFLAGS around the check" true
+    (savef assumed.D.Emitter.prog > savef plain.D.Emitter.prog)
+
+let test_first_flag_is_def () =
+  let def_first =
+    assemble (fun a ->
+        Asm.cmp a 0 5;
+        Asm.add a 1 1 1;
+        Asm.branch_to a "n";
+        Asm.label a "n")
+  in
+  let use_first =
+    assemble (fun a ->
+        Asm.add a ~cond:Cond.EQ 1 1 1;
+        Asm.branch_to a "n";
+        Asm.label a "n")
+  in
+  let mem_first =
+    assemble (fun a ->
+        Asm.ldr a 1 6 0;
+        Asm.cmp a 0 5;
+        Asm.branch_to a "n";
+        Asm.label a "n")
+  in
+  Alcotest.(check bool) "cmp first" true (emit def_first).D.Emitter.first_flag_is_def;
+  Alcotest.(check bool) "conditional first" false
+    (emit use_first).D.Emitter.first_flag_is_def;
+  Alcotest.(check bool) "memory first (conservative)" false
+    (emit mem_first).D.Emitter.first_flag_is_def
+
+let test_sched_irq_moves_check () =
+  let block =
+    assemble (fun a ->
+        Asm.ldr a 1 6 0;
+        Asm.add a 2 2 1;
+        Asm.branch_to a "n";
+        Asm.label a "n")
+  in
+  let find prog p =
+    let idx = ref (-1) in
+    Array.iteri (fun i insn -> if !idx < 0 && p insn then idx := i) prog.Prog.code;
+    !idx
+  in
+  let without = emit ~opt:D.Opt.with_elimination block in
+  let with_sched = emit ~opt:D.Opt.full block in
+  let poll p = find p (function X.Count X.Cnt_irq_poll -> true | _ -> false) in
+  let first_insn p = find p (function X.Count X.Cnt_guest_insn -> true | _ -> false) in
+  Alcotest.(check bool) "check at head without scheduling" true
+    (poll without.D.Emitter.prog < first_insn without.D.Emitter.prog);
+  Alcotest.(check bool) "check moved into the block with scheduling" true
+    (poll with_sched.D.Emitter.prog > first_insn with_sched.D.Emitter.prog)
+
+let test_inline_mmu_has_no_helper_on_fast_path () =
+  let block =
+    assemble (fun a ->
+        Asm.ldr a 1 6 0;
+        Asm.branch_to a "n";
+        Asm.label a "n")
+  in
+  let helper = emit ~opt:D.Opt.full block in
+  let inline = emit ~opt:D.Opt.future block in
+  let tlb_ops prog =
+    count_in prog (function
+      | X.Alu { dst = X.Mem { X.seg = X.Tlb; _ }; _ }
+      | X.Mov { src = X.Mem { X.seg = X.Tlb; _ }; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "helper path has no inline TLB probe" true
+    (tlb_ops helper.D.Emitter.prog = 0);
+  Alcotest.(check bool) "inline path probes the TLB" true
+    (tlb_ops inline.D.Emitter.prog >= 2)
+
+let suite =
+  [
+    ( "emitter",
+      [
+        Alcotest.test_case "Fig 9: run grouping" `Quick test_fig9_run_grouping;
+        Alcotest.test_case "Fig 10: consecutive memory" `Quick test_fig10_consecutive_memory;
+        Alcotest.test_case "Fig 8: parsed vs packed shape" `Quick test_fig8_static_shape;
+        Alcotest.test_case "exit states recorded" `Quick test_exit_states_recorded;
+        Alcotest.test_case "elision removes the save" `Quick test_elide_removes_save;
+        Alcotest.test_case "entry assumption guards irq check" `Quick
+          test_entry_conv_guards_irq_check;
+        Alcotest.test_case "defines-flags-before-use analysis" `Quick test_first_flag_is_def;
+        Alcotest.test_case "III-D-2 moves the check" `Quick test_sched_irq_moves_check;
+        Alcotest.test_case "inline mmu probes inline" `Quick
+          test_inline_mmu_has_no_helper_on_fast_path;
+      ] );
+  ]

@@ -1,0 +1,456 @@
+open Repro_arm
+module D = Repro_dbt
+module T = Repro_tcg
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module Stats = Repro_x86.Stats
+
+(* Full-system tests: the mini OS booted under the reference
+   interpreter, the QEMU baseline and every rule-engine level must
+   agree on guest-visible behaviour (exit code, UART output, syscall
+   results) — with paging and timer interrupts live. *)
+
+let all_modes =
+  ("qemu", D.System.Qemu)
+  :: List.map (fun (n, o) -> (n, D.System.Rules o))
+       (D.Opt.levels @ [ ("future", D.Opt.future) ])
+
+let run_image mode image =
+  let sys = D.System.create mode in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  let res = D.System.run ~max_guest_insns:3_000_000 sys in
+  let code =
+    match res.T.Engine.reason with
+    | `Halted c -> c
+    | `Insn_limit -> Alcotest.fail "engine hit insn limit"
+  in
+  (code, D.System.uart_output sys, D.System.stats sys)
+
+let run_ref image =
+  let m = T.Ref_machine.create () in
+  K.load image (fun base words -> T.Ref_machine.load_image m base words);
+  match T.Ref_machine.run m ~max_steps:3_000_000 with
+  | T.Ref_machine.Halted c, steps ->
+    (c, Repro_machine.Devices.Uart.output m.T.Ref_machine.bus.Repro_machine.Bus.uart, steps)
+  | _ -> Alcotest.fail "reference did not halt"
+
+let user_asm body =
+  let a = Asm.create ~origin:K.user_code_base () in
+  Asm.mov32 a Insn.sp K.user_stack_top;
+  body a;
+  snd (Asm.assemble a)
+
+let agree ?(timer = 0) user =
+  let image = K.build ~timer_period:timer ~user_program:user () in
+  let code_ref, uart_ref, _ = run_ref image in
+  List.iter
+    (fun (name, mode) ->
+      let code, uart, _ = run_image mode image in
+      Alcotest.(check int) (name ^ " exit code") code_ref code;
+      Alcotest.(check string) (name ^ " uart") uart_ref uart)
+    all_modes;
+  code_ref
+
+let test_boot_and_exit () =
+  let user =
+    user_asm (fun a ->
+        Asm.mov a 0 42;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  Alcotest.(check int) "exit code" 42 (agree user)
+
+let test_uart_hello () =
+  let user =
+    user_asm (fun a ->
+        String.iter
+          (fun ch ->
+            Asm.mov a 0 (Char.code ch);
+            Asm.mov a 7 K.sys_putchar;
+            Asm.svc a 0)
+          "hi!";
+        Asm.mov a 0 0;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  let image = K.build ~user_program:user () in
+  let _, uart, _ = run_ref image in
+  Alcotest.(check string) "uart content" "hi!" uart;
+  ignore (agree user)
+
+let test_halfwords_under_paging () =
+  (* LDRH/STRH through the softMMU (user mode, MMU on, timer IRQs):
+     pack two halves, read them back, exit with a checksum derived from
+     both. Exercises the halfword helper path on every engine. *)
+  let user =
+    user_asm (fun a ->
+        Asm.mov32 a 4 (K.user_data_base + 0x40);
+        Asm.mov32 a 0 0xBEEF;
+        Asm.str a ~width:Insn.Half 0 4 0;
+        Asm.mov32 a 1 0xDEAD;
+        Asm.str a ~width:Insn.Half 1 4 2;
+        Asm.ldr a 2 4 0;            (* word view: 0xDEADBEEF *)
+        Asm.ldr a ~width:Insn.Half 3 4 2;  (* 0xDEAD *)
+        (* checksum: (word >>> 24) + (half & 0xFF) = 0xDE + 0xAD *)
+        Asm.emit a
+          (Insn.make
+             (Insn.Dp
+                { op = Insn.MOV; s = false; rd = 0; rn = 0;
+                  op2 = Insn.Reg_shift_imm { rm = 2; kind = Insn.LSR; amount = 24 } }));
+        Asm.and_ a 3 3 0xFF;
+        Asm.add_r a 0 0 3;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  Alcotest.(check int) "checksum" (0xDE + 0xAD) (agree ~timer:700 user)
+
+let test_two_tasks_round_robin () =
+  (* Cooperative multitasking: every yield is a full user-context
+     switch through the kernel — the heaviest CPU-state-coordination
+     traffic a guest can generate. Runs with timer IRQs live. *)
+  let putchar a ch =
+    Asm.mov a 0 (Char.code ch);
+    Asm.mov a 7 K.sys_putchar;
+    Asm.svc a 0
+  in
+  let yield a =
+    Asm.mov a 7 K.sys_yield;
+    Asm.svc a 0
+  in
+  let t0 =
+    user_asm (fun a ->
+        (* seed distinctive register state to catch context-switch
+           corruption: r4..r8 must survive the other task's running *)
+        List.iter (fun r -> Asm.mov32 a r (0x4000 + r)) [ 4; 5; 6; 8 ];
+        putchar a 'A';
+        yield a;
+        putchar a 'B';
+        yield a;
+        (* verify callee state survived both switches *)
+        Asm.mov32 a 1 0x4004;
+        Asm.cmp_r a 4 1;
+        Asm.branch_to a ~cond:Cond.NE "corrupt";
+        putchar a 'C';
+        Asm.mov a 0 7;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0;
+        Asm.label a "corrupt";
+        Asm.mov32 a 0 0xBAD;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  let t1 =
+    let a = Asm.create ~origin:K.task1_code_base () in
+    List.iter (fun r -> Asm.mov32 a r (0x9000 + r)) [ 4; 5; 6; 8 ];
+    putchar a '1';
+    yield a;
+    Asm.mov32 a 1 0x9004;
+    Asm.cmp_r a 4 1;
+    Asm.branch_to a ~cond:Cond.NE "corrupt1";
+    putchar a '2';
+    Asm.label a "spin";
+    yield a;
+    Asm.branch_to a "spin";
+    Asm.label a "corrupt1";
+    Asm.mov32 a 0 0xBAD1;
+    Asm.mov a 7 K.sys_exit;
+    Asm.svc a 0;
+    snd (Asm.assemble a)
+  in
+  let image = K.build ~timer_period:900 ~user_program2:t1 ~user_program:t0 () in
+  let code_ref, uart_ref, _ = run_ref image in
+  Alcotest.(check int) "exit code" 7 code_ref;
+  Alcotest.(check string) "interleaving" "A1B2C" uart_ref;
+  List.iter
+    (fun (name, mode) ->
+      let code, uart, _ = run_image mode image in
+      Alcotest.(check int) (name ^ " exit code") code_ref code;
+      Alcotest.(check string) (name ^ " uart") uart_ref uart)
+    all_modes
+
+let test_preemptive_scheduling () =
+  (* Timer-driven round robin: tasks are switched at arbitrary user
+     instructions. Task 0 keeps live flags across almost every
+     instruction (subs/bne loop), so a context switch that loses NZCV
+     — e.g. a broken lazy CCR parse on IRQ entry — corrupts the sum.
+     The interleaving may legitimately differ between engines (they
+     check interrupts at block heads, the interpreter per instruction),
+     so only the interleaving-independent checksum is asserted. *)
+  let t0 =
+    user_asm (fun a ->
+        Asm.mov a 4 0;
+        Asm.mov32 a 5 2_000;
+        Asm.label a "loop";
+        Asm.add_r a 4 4 5;
+        Asm.sub a ~s:true 5 5 1;
+        Asm.branch_to a ~cond:Cond.NE "loop";
+        Asm.mov_r a 0 4;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  let t1 =
+    let a = Asm.create ~origin:K.task1_code_base () in
+    Asm.mov a 6 0;
+    Asm.label a "spin";
+    Asm.add a 6 6 1;
+    Asm.branch_to a "spin";
+    snd (Asm.assemble a)
+  in
+  let image = K.build ~timer_period:300 ~preempt:true ~user_program2:t1 ~user_program:t0 () in
+  let expected = 2_000 * 2_001 / 2 in
+  let code_ref, _, _ = run_ref image in
+  Alcotest.(check int) "ref checksum" expected code_ref;
+  List.iter
+    (fun (name, mode) ->
+      let code, _, stats = run_image mode image in
+      Alcotest.(check int) (name ^ " checksum") expected code;
+      (* guard against a vacuous pass: the timer must actually have
+         preempted the tasks many times *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s preempted (%d irqs)" name
+           stats.Repro_x86.Stats.irqs_delivered)
+        true
+        (stats.Repro_x86.Stats.irqs_delivered > 10))
+    all_modes
+
+let test_timer_ticks_observed () =
+  (* spin long enough for several timer periods, then exit with the
+     kernel's tick count *)
+  let user =
+    user_asm (fun a ->
+        Asm.mov32 a 1 30_000;
+        Asm.label a "spin";
+        Asm.add a 2 2 1;
+        Asm.sub a ~s:true 1 1 1;
+        Asm.branch_to a ~cond:Cond.NE "spin";
+        Asm.mov a 7 K.sys_ticks;
+        Asm.svc a 0;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  let ticks = agree ~timer:4_000 user in
+  Alcotest.(check bool)
+    (Printf.sprintf "several ticks observed (%d)" ticks)
+    true
+    (ticks >= 10 && ticks < 60)
+
+let test_user_cannot_touch_kernel_memory () =
+  (* write to a kernel page → data abort → panic 0xDEAD0003 *)
+  let user =
+    user_asm (fun a ->
+        Asm.mov32 a 1 K.tick_counter_addr;
+        Asm.mov a 0 7;
+        Asm.str a 0 1 0;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  Alcotest.(check int) "dabt panic" 0xDEAD0003 (agree user)
+
+let test_user_cannot_touch_devices () =
+  let user =
+    user_asm (fun a ->
+        Asm.mov32 a 1 Repro_machine.Bus.syscon_base;
+        Asm.mov a 0 1;
+        Asm.str a 0 1 0;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  Alcotest.(check int) "device access from user panics" 0xDEAD0003 (agree user)
+
+let test_user_cannot_jump_to_kernel () =
+  (* jumping into a kernel page: fetch permission fault → pabt panic *)
+  let user =
+    user_asm (fun a ->
+        Asm.mov32 a 0 0x100;
+        Asm.bx a 0)
+  in
+  Alcotest.(check int) "pabt panic" 0xDEAD0002 (agree user)
+
+let test_undefined_instruction_panics () =
+  let user = user_asm (fun a -> Asm.udf a 7) in
+  Alcotest.(check int) "undef panic" 0xDEAD0001 (agree user)
+
+let test_flags_cross_exception_boundary () =
+  (* The Fig. 7 correctness property: condition flags produced by
+     rule-translated code (live in host EFLAGS, saved packed) must be
+     the flags the kernel observes in the SPSR at the syscall
+     boundary, for several producer conventions. *)
+  let user =
+    user_asm (fun a ->
+        (* sub-like producer: 3 < 5 → N=1,Z=0,C=0,V=0 → 0b1000 *)
+        Asm.mov a 1 3;
+        Asm.cmp a 1 5;
+        Asm.mov a 7 K.sys_flags;
+        Asm.svc a 0;
+        Asm.mov_r a 5 0;
+        (* add-like producer with carry: FFFFFFFF+1 → Z=1,C=1 → 0b0110 *)
+        Asm.mov32 a 1 0xFFFFFFFF;
+        Asm.add a ~s:true 1 1 1;
+        Asm.mov a 7 K.sys_flags;
+        Asm.svc a 0;
+        Asm.lsl_ a 0 0 4;
+        Asm.orr_r a 5 5 0;
+        (* logic producer: ands → N=1 (C,V modelled as 0) → 0b1000 *)
+        Asm.mov32 a 1 0x80000000;
+        Asm.emit a
+          (Insn.make
+             (Insn.Dp
+                { op = Insn.AND; s = true; rd = 1; rn = 1;
+                  op2 = Insn.Reg_shift_imm { rm = 1; kind = Insn.LSL; amount = 0 } }));
+        Asm.mov a 7 K.sys_flags;
+        Asm.svc a 0;
+        Asm.lsl_ a 0 0 8;
+        Asm.orr_r a 5 5 0;
+        Asm.mov_r a 0 5;
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  let expected = 0b1000 lor (0b0110 lsl 4) lor (0b1000 lsl 8) in
+  Alcotest.(check int) "NZCV across syscalls" expected (agree user)
+
+(* --- workload generator calibration --- *)
+
+let test_workload_rates_close_to_spec () =
+  (* measured Table I rates should be near the calibration targets *)
+  List.iter
+    (fun name ->
+      let spec = W.find name in
+      let iters = max 1 (60_000 / W.insns_per_iteration spec) in
+      let user = W.generate spec ~iterations:iters in
+      let image = K.build ~timer_period:5_000 ~user_program:user () in
+      let _, _, stats = run_image D.System.Qemu image in
+      let g = float_of_int stats.Stats.guest_insns in
+      let mem = float_of_int stats.Stats.mmu_accesses /. g in
+      let chk = float_of_int stats.Stats.irq_polls /. g in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mem rate %.3f ~ %.3f" name mem spec.W.mem_rate)
+        true
+        (Float.abs (mem -. spec.W.mem_rate) < 0.10);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s check rate %.3f ~ %.3f" name chk spec.W.check_rate)
+        true
+        (Float.abs (chk -. spec.W.check_rate) < 0.10))
+    [ "gcc"; "hmmer"; "xalancbmk" ]
+
+let test_all_specs_halt_under_full () =
+  List.iter
+    (fun (spec : W.spec) ->
+      let iters = max 1 (30_000 / W.insns_per_iteration spec) in
+      let user = W.generate spec ~iterations:iters in
+      let image = K.build ~timer_period:5_000 ~user_program:user () in
+      let code_q, _, _ = run_image D.System.Qemu image in
+      let code_f, _, _ = run_image (D.System.Rules D.Opt.full) image in
+      Alcotest.(check int) (spec.W.name ^ " exit codes agree") code_q code_f)
+    W.cint2006
+
+let test_apps_halt_and_agree () =
+  List.iter
+    (fun (app : W.app) ->
+      let user = W.generate_app app ~iterations:20 in
+      let image = K.build ~timer_period:5_000 ~user_program:user () in
+      let code_q, uart_q, _ = run_image D.System.Qemu image in
+      let code_f, uart_f, _ = run_image (D.System.Rules D.Opt.full) image in
+      Alcotest.(check int) (app.W.app_name ^ " exit") code_q code_f;
+      Alcotest.(check string) (app.W.app_name ^ " uart") uart_q uart_f)
+    W.apps
+
+let test_self_modifying_code () =
+  (* The guest patches one of its own instructions and re-executes it:
+     stale translations must be invalidated (write-protected code
+     pages force the store onto the slow path). The reference
+     interpreter defines the correct answer. *)
+  let patched = Repro_arm.Encode.encode (Insn.make (Insn.Dp
+      { op = Insn.MOV; s = false; rd = 0; rn = 0; op2 = Insn.imm_operand_exn 2 })) in
+  let user =
+    user_asm (fun a ->
+        Asm.mov a 5 0;
+        Asm.label a "again";
+        Asm.label a "patch";
+        Asm.mov a 0 1;                       (* will become mov r0, #2 *)
+        Asm.add a 5 5 1;
+        Asm.cmp a 5 2;
+        Asm.branch_to a ~cond:Cond.EQ "done";
+        Asm.mov32_label a 1 "patch";
+        Asm.mov32 a 2 patched;
+        Asm.str a 2 1 0;
+        Asm.branch_to a "again";
+        Asm.label a "done";
+        Asm.mov a 7 K.sys_exit;
+        Asm.svc a 0)
+  in
+  Alcotest.(check int) "patched instruction executed" 2 (agree user)
+
+(* Randomized full-system differential: a random computational block
+   looped under live timer interrupts must produce identical register
+   checksums on every engine and the reference interpreter (interrupt
+   *timing* differs between engines; the guest-visible result must
+   not). *)
+let prop_random_blocks_with_interrupts =
+  QCheck.Test.make ~count:12 ~name:"random user programs under timer IRQs"
+    (Gen.arbitrary_plain_block 12)
+    (fun insns ->
+      let user =
+        user_asm (fun a ->
+            List.iteri (fun i v -> Asm.mov32 a i v)
+              [ 3; 0x80000000; 17; 0xFFFFFFFF; 42; 5; 0x7FFFFFFF; 9; 2 ];
+            Asm.mov32 a 9 60;
+            Asm.label a "loop";
+            List.iter
+              (fun (i : Insn.t) ->
+                (* keep the loop counter and sp out of the block *)
+                let d = Insn.defs i in
+                if d land (1 lsl 9) = 0 && d land (1 lsl 13) = 0 then Asm.emit a i)
+              insns;
+            Asm.sub a ~s:true 9 9 1;
+            Asm.branch_to a ~cond:Cond.NE "loop";
+            (* checksum r0-r8 *)
+            Asm.mov a 10 0;
+            for r = 0 to 8 do
+              Asm.eor_r a 10 10 r
+            done;
+            Asm.mov_r a 0 10;
+            Asm.mov a 7 K.sys_exit;
+            Asm.svc a 0)
+      in
+      let image = K.build ~timer_period:700 ~user_program:user () in
+      let code_ref, _, _ = run_ref image in
+      List.for_all
+        (fun (name, mode) ->
+          let code, _, _ = run_image mode image in
+          if code <> code_ref then
+            QCheck.Test.fail_reportf "[%s] checksum %#x != ref %#x" name code code_ref
+          else true)
+        all_modes)
+
+let suite =
+  [
+    ( "kernel.system",
+      [
+        Alcotest.test_case "boot and exit" `Quick test_boot_and_exit;
+        Alcotest.test_case "uart via syscall" `Quick test_uart_hello;
+        Alcotest.test_case "timer ticks observed" `Quick test_timer_ticks_observed;
+        Alcotest.test_case "halfwords under paging" `Quick test_halfwords_under_paging;
+        Alcotest.test_case "two-task round robin" `Quick test_two_tasks_round_robin;
+        Alcotest.test_case "preemptive scheduling" `Quick test_preemptive_scheduling;
+        Alcotest.test_case "kernel memory protected" `Quick
+          test_user_cannot_touch_kernel_memory;
+        Alcotest.test_case "devices protected" `Quick test_user_cannot_touch_devices;
+        Alcotest.test_case "kernel text not executable from user" `Quick
+          test_user_cannot_jump_to_kernel;
+        Alcotest.test_case "undefined instruction panics" `Quick
+          test_undefined_instruction_panics;
+        Alcotest.test_case "flags cross the exception boundary (Fig 7)" `Quick
+          test_flags_cross_exception_boundary;
+        Alcotest.test_case "self-modifying code invalidates TBs" `Quick
+          test_self_modifying_code;
+      ] );
+    ( "kernel.workloads",
+      [
+        Alcotest.test_case "generator rates calibrated" `Quick
+          test_workload_rates_close_to_spec;
+        Alcotest.test_case "all CINT specs agree qemu vs full" `Quick
+          test_all_specs_halt_under_full;
+        Alcotest.test_case "apps agree qemu vs full" `Quick test_apps_halt_and_agree;
+        QCheck_alcotest.to_alcotest prop_random_blocks_with_interrupts;
+      ] );
+  ]

@@ -1,0 +1,302 @@
+module R = Repro_rules
+module Rule = R.Rule
+module Ruleset = R.Ruleset
+module Flagconv = R.Flagconv
+module A = Repro_arm.Insn
+module X = Repro_x86.Insn
+module Cond = Repro_arm.Cond
+
+let rules = lazy (R.Builtin.all ())
+let ruleset = lazy (R.Builtin.ruleset ())
+
+let find_rule name = List.find (fun r -> r.Rule.name = name) (Lazy.force rules)
+
+let dp ?(s = false) ?(cond = Cond.AL) op rd rn op2 =
+  { A.cond; op = A.Dp { op; s; rd; rn; op2 } }
+
+let reg r = A.Reg_shift_imm { rm = r; kind = A.LSL; amount = 0 }
+
+let test_match_alias_vs_3op () =
+  (* add r0, r0, r1 should prefer the 1-insn alias rule *)
+  let insn = dp A.ADD 0 0 (reg 1) in
+  match Ruleset.match_at (Lazy.force ruleset) [ insn ] with
+  | Some (r, b) ->
+    Alcotest.(check bool)
+      ("rule " ^ r.Rule.name)
+      true
+      (r.Rule.name = "alu_alias_reg" || r.Rule.name = "add_reg_lea");
+    Alcotest.(check int) "p0 bound" 0 b.Rule.regs.(0)
+  | None -> Alcotest.fail "no match"
+
+let test_param_consistency () =
+  (* add r0, r1, r1: distinct params may bind the same register *)
+  let insn = dp A.ADD 0 1 (reg 1) in
+  (match Ruleset.match_at (Lazy.force ruleset) [ insn ] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "same-reg operands must match");
+  (* the alias rule (rd = rn shared param) must NOT match add r0, r1, r2 *)
+  let alias = find_rule "alus_alias_reg" in
+  let insn' = dp ~s:true A.ADD 0 1 (reg 2) in
+  match Rule.match_sequence alias [ insn' ] with
+  | Some _ -> Alcotest.fail "alias rule must not match distinct rd/rn"
+  | None -> ()
+
+let test_distinct_constraint_blocks_alias () =
+  (* alus_3op_reg requires rd <> rm *)
+  let r = find_rule "alus_3op_reg" in
+  let ok = dp ~s:true A.SUB 0 1 (reg 2) in
+  let bad = dp ~s:true A.SUB 0 1 (reg 0) in
+  Alcotest.(check bool) "rd<>rm matches" true (Rule.match_sequence r [ ok ] <> None);
+  Alcotest.(check bool) "rd=rm rejected" true (Rule.match_sequence r [ bad ] = None)
+
+let test_opcode_class_matched_op () =
+  let r = find_rule "alus_alias_imm" in
+  let insn = dp ~s:true A.EOR 3 3 (A.imm_operand_exn 12) in
+  match Rule.match_sequence r [ insn ] with
+  | Some b ->
+    Alcotest.(check bool) "matched EOR" true (b.Rule.matched = Some A.EOR);
+    (match
+       Rule.instantiate r b ~pin_of_guest_reg:R.Pinmap.pin ~scratch:R.Pinmap.scratch
+     with
+    | Some [ X.Alu { op = X.Xor; dst = X.Reg hr; src = X.Imm 12 } ] ->
+      Alcotest.(check (option int)) "host reg is pin(r3)" (R.Pinmap.pin 3) (Some hr)
+    | Some other ->
+      Alcotest.failf "unexpected template: %s"
+        (String.concat "; " (List.map X.to_string other))
+    | None -> Alcotest.fail "instantiation failed");
+    (match Rule.convention_after r b with
+    | Some Flagconv.Logic_like -> ()
+    | _ -> Alcotest.fail "EOR should leave logic convention")
+  | None -> Alcotest.fail "no match"
+
+let test_unpinned_instantiation_fails () =
+  let r = find_rule "mov_reg" in
+  let insn = dp A.MOV 9 0 (reg 1) in
+  match Rule.match_sequence r [ insn ] with
+  | Some b ->
+    Alcotest.(check bool) "unpinned blocks instantiation" true
+      (Rule.instantiate r b ~pin_of_guest_reg:R.Pinmap.pin ~scratch:R.Pinmap.scratch
+      = None)
+  | None -> Alcotest.fail "pattern should match structurally"
+
+let test_imm_linking () =
+  (* movt's template uses the matched imm16 shifted left 16 *)
+  let r = find_rule "movt" in
+  let insn = { A.cond = Cond.AL; op = A.Movt { rd = 2; imm16 = 0xBEEF } } in
+  match Rule.match_sequence r [ insn ] with
+  | Some b -> (
+    match
+      Rule.instantiate r b ~pin_of_guest_reg:R.Pinmap.pin ~scratch:R.Pinmap.scratch
+    with
+    | Some [ _; X.Alu { op = X.Or; src = X.Imm v; _ } ] ->
+      Alcotest.(check int) "shifted immediate" (0xBEEF lsl 16) v
+    | _ -> Alcotest.fail "unexpected movt template")
+  | None -> Alcotest.fail "movt must match"
+
+let test_longest_match_wins () =
+  (* a synthetic 2-insn rule must win over 1-insn rules *)
+  let two =
+    {
+      Rule.id = 9999;
+      name = "two";
+      guest =
+        [
+          Rule.G_dp { ops = [ A.MOV ]; s = false; rd = 0; rn = 0; op2 = Rule.G_imm (Rule.P_imm 0) };
+          Rule.G_dp { ops = [ A.ADD ]; s = false; rd = 1; rn = 1; op2 = Rule.G_reg 0 };
+        ];
+      host = [ Rule.H_mov { dst = Rule.H_param 0; src = Rule.H_imm (Rule.P_imm 0) } ];
+      n_reg_params = 2;
+      n_imm_params = 1;
+      flags = { Rule.guest_writes = false; host_clobbers = false; convention = None };
+      carry_in = None;
+      require_distinct = [];
+      source = `Builtin;
+    }
+  in
+  let rs = Ruleset.of_list (two :: Lazy.force rules) in
+  let insns = [ dp A.MOV 0 0 (A.imm_operand_exn 1); dp A.ADD 1 1 (reg 0) ] in
+  match Ruleset.match_at rs insns with
+  | Some (r, _) -> Alcotest.(check string) "longest first" "two" r.Rule.name
+  | None -> Alcotest.fail "no match"
+
+let test_coverage_metric () =
+  let insns =
+    [
+      dp A.MOV 0 0 (A.imm_operand_exn 1);
+      dp A.ADD 1 0 (reg 0);
+      { A.cond = Cond.AL; op = A.Svc 0 };  (* uncovered *)
+      dp A.SUB 2 1 (A.imm_operand_exn 3);
+    ]
+  in
+  Alcotest.(check int) "3 of 4 covered" 3 (Ruleset.coverage (Lazy.force ruleset) insns)
+
+(* --- flag conventions --- *)
+
+let test_flagconv_all_conditions_canonical () =
+  List.iter
+    (fun c ->
+      match Flagconv.eval Flagconv.Canonical c with
+      | Flagconv.Cc _ | Flagconv.Always -> ()
+      | _ ->
+        Alcotest.failf "canonical must express %s" (Cond.to_string c))
+    Cond.all
+
+let test_flagconv_add_needs_materialize () =
+  (match Flagconv.eval Flagconv.Add_like Cond.HI with
+  | Flagconv.Needs_materialize -> ()
+  | _ -> Alcotest.fail "HI after add has no single cc");
+  match Flagconv.eval Flagconv.Logic_like Cond.CS with
+  | Flagconv.Never -> ()
+  | _ -> Alcotest.fail "CS after logic is constant false"
+
+let test_flagconv_sub_mappings () =
+  let check c cc =
+    match Flagconv.eval Flagconv.Sub_like c with
+    | Flagconv.Cc got when got = cc -> ()
+    | _ -> Alcotest.failf "wrong mapping for %s" (Cond.to_string c)
+  in
+  check Cond.CS X.AE;
+  check Cond.CC X.B;
+  check Cond.HI X.A;
+  check Cond.LS X.BE;
+  check Cond.EQ X.E;
+  check Cond.GT X.G
+
+(* --- flag conventions: exhaustive soundness on the real host --- *)
+
+let test_flagconv_sound () =
+  (* For every convention, ARM condition and NZCV value: encode the
+     guest flags into host EFLAGS exactly as the convention promises,
+     run a real [setcc] on the host model, and compare against the
+     architectural {!Cond.holds}. This is the semantic contract every
+     emitted conditional guard relies on. *)
+  let module Exec = Repro_x86.Exec in
+  let module FC = Flagconv in
+  let run_setcc cc host_flags_word =
+    let b = Repro_x86.Prog.builder () in
+    Repro_x86.Prog.emit b
+      (X.Mov { width = X.W32; dst = X.Reg X.rax; src = X.Imm host_flags_word });
+    Repro_x86.Prog.emit b (X.Loadf X.rax);
+    Repro_x86.Prog.emit b (X.Setcc { cc; dst = X.rbx });
+    Repro_x86.Prog.emit b (X.Exit { slot = 0 });
+    let ctx = Exec.create () in
+    (match Exec.run ctx (Repro_x86.Prog.finalize b) ~fuel:100 with
+    | Exec.Exited 0 -> ()
+    | _ -> Alcotest.fail "setcc probe did not exit");
+    ctx.Exec.regs.(X.rbx) = 1
+  in
+  List.iter
+    (fun conv ->
+      List.iter
+        (fun cond ->
+          for nzcv = 0 to 15 do
+            let flags =
+              {
+                Cond.n = nzcv land 8 <> 0;
+                z = nzcv land 4 <> 0;
+                c = nzcv land 2 <> 0;
+                v = nzcv land 1 <> 0;
+              }
+            in
+            (* Logic_like only ever describes states with C = V = 0 *)
+            if not (conv = FC.Logic_like && (flags.Cond.c || flags.Cond.v)) then begin
+              let bit cond_ b = if cond_ then 1 lsl b else 0 in
+              let host_cf =
+                if FC.carry_inverted conv then not flags.Cond.c else flags.Cond.c
+              in
+              let w =
+                bit flags.Cond.n 31 lor bit flags.Cond.z 30 lor bit host_cf 29
+                lor bit flags.Cond.v 28
+              in
+              let expected = Cond.holds cond flags in
+              match FC.eval conv cond with
+              | FC.Cc cc ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s/nzcv=%x" (FC.name conv)
+                     (Cond.to_string cond) nzcv)
+                  expected (run_setcc cc w)
+              | FC.Always ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s always" (FC.name conv) (Cond.to_string cond))
+                  true expected
+              | FC.Never ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s/%s never" (FC.name conv) (Cond.to_string cond))
+                  false expected
+              | FC.Needs_materialize ->
+                (* legal: the emitter re-installs Canonical first, whose
+                   own entries are checked in this same sweep *)
+                ()
+            end
+          done)
+        Cond.all)
+    [ FC.Add_like; FC.Sub_like; FC.Logic_like; FC.Canonical ];
+  (* Canonical must express every condition without materialization *)
+  List.iter
+    (fun cond ->
+      match FC.eval FC.Canonical cond with
+      | FC.Needs_materialize ->
+        Alcotest.failf "Canonical cannot express %s" (Cond.to_string cond)
+      | FC.Cc _ | FC.Always | FC.Never -> ())
+    Cond.all
+
+
+let suite =
+  [
+    ( "rules.match",
+      [
+        Alcotest.test_case "alias preferred" `Quick test_match_alias_vs_3op;
+        Alcotest.test_case "param consistency" `Quick test_param_consistency;
+        Alcotest.test_case "distinct constraints" `Quick test_distinct_constraint_blocks_alias;
+        Alcotest.test_case "opcode class + instantiation" `Quick test_opcode_class_matched_op;
+        Alcotest.test_case "unpinned instantiation fails" `Quick
+          test_unpinned_instantiation_fails;
+        Alcotest.test_case "movt immediate shifting" `Quick test_imm_linking;
+        Alcotest.test_case "longest match wins" `Quick test_longest_match_wins;
+        Alcotest.test_case "static coverage metric" `Quick test_coverage_metric;
+      ] );
+    ( "rules.flagconv",
+      [
+        Alcotest.test_case "canonical covers all conditions" `Quick
+          test_flagconv_all_conditions_canonical;
+        Alcotest.test_case "add/logic corner cases" `Quick test_flagconv_add_needs_materialize;
+        Alcotest.test_case "sub-convention mappings" `Quick test_flagconv_sub_mappings;
+        Alcotest.test_case "convention soundness (exhaustive)" `Quick
+          test_flagconv_sound;
+      ] );
+  ]
+
+(* --- serialization --- *)
+
+let test_serialize_roundtrip_builtin () =
+  List.iter
+    (fun r ->
+      match R.Serialize.rule_of_string (R.Serialize.rule_to_string r) with
+      | Ok r' ->
+        if r' <> r then Alcotest.failf "roundtrip mismatch for %s" r.Rule.name
+      | Error e -> Alcotest.failf "parse failed for %s: %s" r.Rule.name e)
+    (Lazy.force rules)
+
+let test_serialize_ruleset_file () =
+  let rs = Lazy.force ruleset in
+  let text = R.Serialize.save rs in
+  match R.Serialize.load text with
+  | Ok rs' ->
+    Alcotest.(check int) "same size" (Ruleset.size rs) (Ruleset.size rs');
+    Alcotest.(check bool) "same rules" true (Ruleset.rules rs = Ruleset.rules rs')
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let test_serialize_rejects_garbage () =
+  match R.Serialize.load "(rule (id banana))" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+
+let serialize_suite =
+  ( "rules.serialize",
+    [
+      Alcotest.test_case "rule roundtrip" `Quick test_serialize_roundtrip_builtin;
+      Alcotest.test_case "ruleset save/load" `Quick test_serialize_ruleset_file;
+      Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+    ] )
+
+let suite = suite @ [ serialize_suite ]

@@ -1,0 +1,186 @@
+module X = Repro_x86.Insn
+module Prog = Repro_x86.Prog
+module Exec = Repro_x86.Exec
+
+(* Direct tests of the host model: flag semantics, memory segments,
+   control flow, helper poisoning and the measurement counters. *)
+
+let run ?(setup = fun _ -> ()) insns =
+  let ctx = Exec.create () in
+  setup ctx;
+  let b = Prog.builder () in
+  List.iter (fun i -> Prog.emit b i) insns;
+  Prog.emit b (X.Exit { slot = 0 });
+  let prog = Prog.finalize b in
+  match Exec.run ctx prog ~fuel:10_000 with
+  | Exec.Exited 0 -> ctx
+  | _ -> Alcotest.fail "program did not exit normally"
+
+let mov r v = X.Mov { width = X.W32; dst = X.Reg r; src = X.Imm v }
+
+let test_add_flags () =
+  let ctx =
+    run [ mov X.rax 0xFFFFFFFF; X.Alu { op = X.Add; dst = X.Reg X.rax; src = X.Imm 1 } ]
+  in
+  Alcotest.(check int) "wrapped" 0 ctx.Exec.regs.(X.rax);
+  Alcotest.(check bool) "cf" true ctx.Exec.cf;
+  Alcotest.(check bool) "zf" true ctx.Exec.zf;
+  Alcotest.(check bool) "of" false ctx.Exec.o_f
+
+let test_sub_borrow () =
+  let ctx = run [ mov X.rax 3; X.Alu { op = X.Sub; dst = X.Reg X.rax; src = X.Imm 5 } ] in
+  Alcotest.(check int) "result" 0xFFFFFFFE ctx.Exec.regs.(X.rax);
+  Alcotest.(check bool) "cf = borrow" true ctx.Exec.cf;
+  Alcotest.(check bool) "sf" true ctx.Exec.sf
+
+let test_signed_overflow () =
+  let ctx =
+    run [ mov X.rax 0x7FFFFFFF; X.Alu { op = X.Add; dst = X.Reg X.rax; src = X.Imm 1 } ]
+  in
+  Alcotest.(check bool) "of" true ctx.Exec.o_f;
+  Alcotest.(check bool) "cf" false ctx.Exec.cf
+
+let test_adc_sbb () =
+  let ctx =
+    run
+      [
+        mov X.rax 0xFFFFFFFF;
+        X.Alu { op = X.Add; dst = X.Reg X.rax; src = X.Imm 1 };  (* cf := 1 *)
+        mov X.rbx 10;
+        X.Alu { op = X.Adc; dst = X.Reg X.rbx; src = X.Imm 0 };  (* 10 + 0 + 1 *)
+      ]
+  in
+  Alcotest.(check int) "adc" 11 ctx.Exec.regs.(X.rbx)
+
+let test_lea_preserves_flags () =
+  let ctx =
+    run
+      [
+        mov X.rax 1;
+        X.Alu { op = X.Cmp; dst = X.Reg X.rax; src = X.Imm 1 };  (* zf := 1 *)
+        mov X.rbx 5;
+        mov X.rcx 7;
+        X.Lea
+          { dst = X.rdx;
+            addr = { X.seg = X.Ram; base = Some X.rbx; index = Some X.rcx; scale = 1; disp = 0 } };
+      ]
+  in
+  Alcotest.(check int) "lea sum" 12 ctx.Exec.regs.(X.rdx);
+  Alcotest.(check bool) "zf preserved" true ctx.Exec.zf
+
+let test_savef_loadf_roundtrip () =
+  let ctx =
+    run
+      [
+        mov X.rax 0;
+        X.Alu { op = X.Cmp; dst = X.Reg X.rax; src = X.Imm 1 };  (* sf, cf set *)
+        X.Savef X.rbx;
+        mov X.rax 1;
+        X.Alu { op = X.Test; dst = X.Reg X.rax; src = X.Reg X.rax };  (* clobber *)
+        X.Loadf X.rbx;
+      ]
+  in
+  Alcotest.(check bool) "cf restored" true ctx.Exec.cf;
+  Alcotest.(check bool) "sf restored" true ctx.Exec.sf;
+  Alcotest.(check bool) "zf restored" false ctx.Exec.zf
+
+let test_env_segment () =
+  let ctx =
+    run
+      [
+        mov X.rax 0xABCD;
+        X.Mov { width = X.W32; dst = X.Mem (X.env_slot 5); src = X.Reg X.rax };
+        X.Mov { width = X.W32; dst = X.Reg X.rbx; src = X.Mem (X.env_slot 5) };
+      ]
+  in
+  Alcotest.(check int) "env roundtrip" 0xABCD ctx.Exec.regs.(X.rbx);
+  Alcotest.(check int) "env slot" 0xABCD ctx.Exec.env.(5)
+
+let test_ram_segment_byte () =
+  let ctx =
+    run
+      [
+        mov X.rax 0x11223344;
+        mov X.rbx 0x100;
+        X.Mov
+          { width = X.W32;
+            dst = X.Mem { X.seg = X.Ram; base = Some X.rbx; index = None; scale = 1; disp = 0 };
+            src = X.Reg X.rax };
+        X.Movzx8
+          { dst = X.rcx;
+            src = X.Mem { X.seg = X.Ram; base = Some X.rbx; index = None; scale = 1; disp = 1 } };
+      ]
+  in
+  Alcotest.(check int) "little-endian byte" 0x33 ctx.Exec.regs.(X.rcx)
+
+let test_helper_poisons_registers () =
+  let witnessed = ref 0 in
+  let setup (ctx : Exec.t) =
+    ctx.Exec.helper <-
+      (fun c _id ->
+        witnessed := c.Exec.regs.(X.rdx);
+        77)
+  in
+  let ctx =
+    run ~setup
+      [ mov X.rdx 123; mov X.rbx 0x5555; X.Call_helper { id = 0 } ]
+  in
+  Alcotest.(check int) "helper saw its argument" 123 !witnessed;
+  Alcotest.(check int) "return value in rax" 77 ctx.Exec.regs.(X.rax);
+  Alcotest.(check bool) "rbx poisoned" true (ctx.Exec.regs.(X.rbx) <> 0x5555)
+
+let test_counters () =
+  let ctx =
+    run
+      [
+        X.Count X.Cnt_guest_insn;
+        X.Count X.Cnt_guest_insn;
+        X.Count X.Cnt_sync_op;
+        mov X.rax 1;
+      ]
+  in
+  Alcotest.(check int) "guest counter" 2 ctx.Exec.stats.Repro_x86.Stats.guest_insns;
+  Alcotest.(check int) "sync counter" 1 ctx.Exec.stats.Repro_x86.Stats.sync_ops;
+  (* pseudo-ops are free; only mov and exit retire *)
+  Alcotest.(check int) "host insns" 2 ctx.Exec.stats.Repro_x86.Stats.host_insns
+
+let test_fuel_guard () =
+  let ctx = Exec.create () in
+  let b = Prog.builder () in
+  let l = Prog.fresh_label b in
+  Prog.emit b (X.Label l);
+  Prog.emit b (X.Jmp l);
+  let prog = Prog.finalize b in
+  match Exec.run ctx prog ~fuel:100 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "runaway loop must exhaust fuel"
+
+let test_shift_by_cl () =
+  let ctx =
+    run
+      [
+        mov X.rax 1;
+        mov X.rcx 35;  (* & 31 = 3 *)
+        X.Shift { op = X.Shl; dst = X.Reg X.rax; amount = X.Sh_cl };
+      ]
+  in
+  Alcotest.(check int) "cl shift mod 32" 8 ctx.Exec.regs.(X.rax)
+
+let suite =
+  [
+    ( "x86.exec",
+      [
+        Alcotest.test_case "add flags" `Quick test_add_flags;
+        Alcotest.test_case "sub borrow convention" `Quick test_sub_borrow;
+        Alcotest.test_case "signed overflow" `Quick test_signed_overflow;
+        Alcotest.test_case "adc reads carry" `Quick test_adc_sbb;
+        Alcotest.test_case "lea preserves flags" `Quick test_lea_preserves_flags;
+        Alcotest.test_case "savef/loadf roundtrip" `Quick test_savef_loadf_roundtrip;
+        Alcotest.test_case "env segment" `Quick test_env_segment;
+        Alcotest.test_case "ram byte access" `Quick test_ram_segment_byte;
+        Alcotest.test_case "helper args/poison/return" `Quick test_helper_poisons_registers;
+        Alcotest.test_case "measurement counters" `Quick test_counters;
+        Alcotest.test_case "fuel guard" `Quick test_fuel_guard;
+        Alcotest.test_case "variable shift uses cl mod 32" `Quick test_shift_by_cl;
+      ] );
+  ]
