@@ -16,7 +16,8 @@ let mode_of_string = function
   | "full" -> Ok (D.System.Rules D.Opt.full)
   | s -> Error (Printf.sprintf "unknown mode %s (qemu|base|reduction|elimination|full)" s)
 
-let run bench mode_name target timer builtin_only rules_file dump_tbs profile_top =
+let run bench mode_name target timer builtin_only rules_file dump_tbs profile_top
+    inject_seed inject_rate surface_faults shadow_depth quarantine_threshold =
   match mode_of_string mode_name with
   | Error e ->
     prerr_endline e;
@@ -47,7 +48,20 @@ let run bench mode_name target timer builtin_only rules_file dump_tbs profile_to
     let iters = max 1 (target / W.insns_per_iteration spec) in
     let user = W.generate spec ~iterations:iters in
     let image = K.build ~timer_period:timer ~user_program:user () in
-    let sys = D.System.create ~ruleset mode in
+    let inject =
+      match inject_seed with
+      | None -> None
+      | Some seed ->
+        Some
+          (Repro_faultinject.Faultinject.create ~seed ~rate:inject_rate
+             ~behavior:
+               (if surface_faults then Repro_faultinject.Faultinject.Surface
+                else Repro_faultinject.Faultinject.Transient)
+             ())
+    in
+    let sys =
+      D.System.create ~ruleset ?inject ~shadow_depth ~quarantine_threshold mode
+    in
     K.load image (fun base words -> D.System.load_image sys base words);
     let profile = if profile_top > 0 then Some (T.Profile.create ()) else None in
     let res = D.System.run ?profile ~max_guest_insns:(60 * target) sys in
@@ -58,11 +72,19 @@ let run bench mode_name target timer builtin_only rules_file dump_tbs profile_to
       | `Halted c -> Printf.sprintf "halted (exit code %#x)" c
       | `Insn_limit -> "instruction limit reached")
       Stats.pp s;
+    (match inject with
+    | Some inj -> Format.printf "@.%a@." Repro_faultinject.Faultinject.pp inj
+    | None -> ());
     (match sys.D.System.rule_translator with
     | Some tr ->
       Format.printf "rule-covered insns (static) %d@.fallback insns (static)     %d@."
         (D.Translator_rule.stats_rule_covered tr)
-        (D.Translator_rule.stats_fallback tr)
+        (D.Translator_rule.stats_fallback tr);
+      if shadow_depth > 0 then
+        Format.printf
+          "blacklisted PCs             %d@.quarantined rules           %d@."
+          (D.Translator_rule.blacklist_size tr)
+          (Repro_rules.Ruleset.quarantined_count ruleset)
     | None -> ());
     (match profile with
     | Some p ->
@@ -125,12 +147,43 @@ let profile_arg =
   in
   Arg.(value & opt int 0 & info [ "p"; "profile" ] ~docv:"N" ~doc)
 
+let inject_arg =
+  let doc =
+    "Arm deterministic fault injection with PRNG seed $(docv) (bus errors, spurious TLB \
+     and TB-cache invalidations, corrupted page walks, spurious interrupts, corrupted \
+     rule output)."
+  in
+  Arg.(value & opt (some int) None & info [ "inject" ] ~docv:"SEED" ~doc)
+
+let inject_rate_arg =
+  let doc = "Per-site fault probability (with --inject)." in
+  Arg.(value & opt float 0.001 & info [ "inject-rate" ] ~docv:"RATE" ~doc)
+
+let surface_arg =
+  let doc =
+    "Let injected bus faults surface as guest-visible bus errors instead of being \
+     absorbed (with --inject)."
+  in
+  Arg.(value & flag & info [ "surface-faults" ] ~doc)
+
+let shadow_arg =
+  let doc =
+    "Shadow-verify the first $(docv) executions of each rule-translated block against \
+     the reference interpreter (rules modes only; 0 disables)."
+  in
+  Arg.(value & opt int 0 & info [ "shadow" ] ~docv:"N" ~doc)
+
+let quarantine_arg =
+  let doc = "Divergence strikes that quarantine a rule (with --shadow)." in
+  Arg.(value & opt int 2 & info [ "quarantine-threshold" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "run one benchmark under one DBT engine" in
   Cmd.v
     (Cmd.info "repro-dbt-run" ~doc)
     Term.(
       const run $ bench_arg $ mode_arg $ target_arg $ timer_arg $ builtin_arg $ rules_arg
-      $ dump_arg $ profile_arg)
+      $ dump_arg $ profile_arg $ inject_arg $ inject_rate_arg $ surface_arg
+      $ shadow_arg $ quarantine_arg)
 
 let () = exit (Cmd.eval cmd)

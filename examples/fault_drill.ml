@@ -1,0 +1,177 @@
+(* Fault-injection drill: the robustness story end to end.
+
+   1. Absorbable faults — spurious TLB/TB-cache invalidations,
+      detected walk corruption, spurious interrupt assertions and
+      transient bus faults at a 1/1000 rate must never change any
+      benchmark's exit code, only its cost.
+   2. Surfaced bus faults — the same injector with bus errors allowed
+      to surface exercises the guest's abort handling; every run ends
+      in a typed outcome (a halt code or the instruction limit), never
+      an engine exception.
+   3. A deliberately wrong translation rule — shadow verification
+      catches the divergence, repairs guest state from the reference
+      replay, quarantines the rule and falls back to the baseline
+      translator for the affected blocks; the final exit code matches
+      the reference interpreter.
+
+     dune exec examples/fault_drill.exe *)
+
+open Repro_arm
+module D = Repro_dbt
+module T = Repro_tcg
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module R = Repro_rules
+module Fi = Repro_faultinject.Faultinject
+module Stats = Repro_x86.Stats
+
+let target = 20_000
+let budget = 60 * target
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Format.printf "  FAIL: %s@." name
+  end
+
+let run_sys ?ruleset ?inject ?shadow_depth ?quarantine_threshold mode image =
+  let sys = D.System.create ?ruleset ?inject ?shadow_depth ?quarantine_threshold mode in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  let res = D.System.run ~max_guest_insns:budget sys in
+  (sys, res.T.Engine.reason)
+
+let outcome_name = function
+  | `Halted c -> Printf.sprintf "halted %#x" c
+  | `Insn_limit -> "insn limit"
+
+(* ---- 1. absorbable faults across every benchmark spec ---- *)
+
+let transient_sweep () =
+  Format.printf "== transient 1/1000 fault injection, all benchmarks ==@.";
+  let seeds = [ 1; 2; 3 ] in
+  List.iter
+    (fun (spec : W.spec) ->
+      let iters = max 1 (target / W.insns_per_iteration spec) in
+      let user = W.generate spec ~iterations:iters in
+      let image = K.build ~timer_period:5_000 ~user_program:user () in
+      let _, clean = run_sys (D.System.Rules D.Opt.full) image in
+      let fired =
+        List.map
+          (fun seed ->
+            let inject = Fi.create ~seed ~rate:0.001 () in
+            (* Rule corruption is exercised separately (part 3): it is
+               a surfaceable fault by design, not an absorbable one. *)
+            Fi.set_rate inject Fi.Rule_corrupt 0.0;
+            let _, injected = run_sys ~inject (D.System.Rules D.Opt.full) image in
+            check
+              (Printf.sprintf "%s seed %d: %s vs clean %s" spec.W.name seed
+                 (outcome_name injected) (outcome_name clean))
+              (injected = clean);
+            Fi.total_fired inject)
+          seeds
+      in
+      Format.printf "  %-10s %s  faults fired: %s@." spec.W.name
+        (outcome_name clean)
+        (String.concat " " (List.map string_of_int fired)))
+    W.cint2006
+
+(* ---- 2. surfaced bus faults ---- *)
+
+let surface_drill () =
+  Format.printf "@.== surfaced bus faults (guest abort paths) ==@.";
+  let spec = W.find "gcc" in
+  let iters = max 1 (target / W.insns_per_iteration spec) in
+  let user = W.generate spec ~iterations:iters in
+  let image = K.build ~timer_period:5_000 ~user_program:user () in
+  List.iter
+    (fun seed ->
+      let inject = Fi.create ~seed ~rate:0. ~behavior:Fi.Surface () in
+      Fi.set_rate inject Fi.Bus_read 0.0002;
+      Fi.set_rate inject Fi.Bus_write 0.0002;
+      let _, outcome = run_sys ~inject (D.System.Rules D.Opt.full) image in
+      Format.printf "  seed %d: %s (bus faults surfaced: %d)@." seed
+        (outcome_name outcome)
+        (Fi.fired inject Fi.Bus_read + Fi.fired inject Fi.Bus_write))
+    [ 1; 2; 3; 4; 5 ]
+
+(* ---- 3. corrupted rule -> shadow verification -> quarantine ---- *)
+
+(* A wrong rule for [add rd, rn, #imm]: computes rn + imm + 1. It is
+   inserted ahead of the builtin set so it wins matching until shadow
+   verification quarantines it. *)
+let corrupt_rule =
+  {
+    R.Rule.id = 9999;
+    name = "corrupt_add_imm";
+    guest =
+      [ R.Rule.G_dp { ops = [ Insn.ADD ]; s = false; rd = 0; rn = 1; op2 = R.Rule.G_imm (R.Rule.P_imm 0) } ];
+    host =
+      [
+        R.Rule.H_mov { dst = R.Rule.H_param 0; src = R.Rule.H_param 1 };
+        R.Rule.H_alu { op = `Fixed Repro_x86.Insn.Add; dst = R.Rule.H_param 0; src = R.Rule.H_imm (R.Rule.P_imm 0) };
+        R.Rule.H_alu { op = `Fixed Repro_x86.Insn.Add; dst = R.Rule.H_param 0; src = R.Rule.H_imm (R.Rule.Fixed 1) };
+      ];
+    n_reg_params = 2;
+    n_imm_params = 1;
+    flags = { guest_writes = false; host_clobbers = true; convention = None };
+    carry_in = None;
+    require_distinct = [];
+    source = `Builtin;
+  }
+
+let quarantine_drill () =
+  Format.printf "@.== corrupted rule: shadow verification and quarantine ==@.";
+  let user =
+    let a = Asm.create ~origin:K.user_code_base () in
+    Asm.mov32 a Insn.sp K.user_stack_top;
+    Asm.mov a 0 5;
+    Asm.mov a 6 3;
+    Asm.label a "loop";
+    Asm.add a 1 0 7;
+    Asm.branch_to a "b1";
+    Asm.label a "b1";
+    Asm.add a 2 0 9;
+    Asm.branch_to a "b2";
+    Asm.label a "b2";
+    Asm.sub ~s:true a 6 6 1;
+    Asm.branch_to ~cond:Cond.NE a "loop";
+    Asm.add_r a 0 1 2;
+    Asm.mov a 7 K.sys_exit;
+    Asm.svc a 0;
+    snd (Asm.assemble a)
+  in
+  let image = K.build ~user_program:user () in
+  (* ground truth from the reference interpreter *)
+  let m = T.Ref_machine.create () in
+  K.load image (fun base words -> T.Ref_machine.load_image m base words);
+  let expected =
+    match T.Ref_machine.run m ~max_steps:1_000_000 with
+    | T.Ref_machine.Halted c, _ -> c
+    | _ -> failwith "reference did not halt"
+  in
+  let ruleset = R.Ruleset.of_list (corrupt_rule :: R.Builtin.all ()) in
+  let sys, outcome =
+    run_sys ~ruleset ~shadow_depth:2 ~quarantine_threshold:2
+      (D.System.Rules D.Opt.full) image
+  in
+  let s = D.System.stats sys in
+  Format.printf
+    "  reference exit %#x, system %s@.  shadow replays %d, divergences %d, \
+     rules quarantined %d, baseline fallbacks %d@."
+    expected (outcome_name outcome) s.Stats.shadow_replays
+    s.Stats.shadow_divergences s.Stats.rules_quarantined
+    s.Stats.quarantine_fallbacks;
+  check "corrupted rule is quarantined" (R.Ruleset.quarantined_count ruleset = 1);
+  check "exit code matches the reference" (outcome = `Halted expected);
+  check "divergences were detected" (s.Stats.shadow_divergences > 0)
+
+let () =
+  transient_sweep ();
+  surface_drill ();
+  quarantine_drill ();
+  if !failures = 0 then Format.printf "@.all drills passed@."
+  else begin
+    Format.printf "@.%d drill checks FAILED@." !failures;
+    exit 1
+  end

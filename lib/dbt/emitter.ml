@@ -26,6 +26,7 @@ type result = {
   first_flag_is_def : bool;
   rule_covered : int;
   fallback : int;
+  rules_used : (Rule.t * int) list;
 }
 
 let canonical_bit = 0x2000_0000
@@ -56,6 +57,10 @@ type st = {
   (* stats *)
   mutable rule_covered : int;
   mutable fallback : int;
+  mutable rules_used : (Rule.t * int) list;
+      (* distinct rules with the OR of their matched insns' guest
+         def-masks — shadow verification attributes divergences by
+         destination register *)
 }
 
 let env_op slot = X.Mem (X.env_slot slot)
@@ -319,7 +324,7 @@ let alloc_slot st kind =
   | Some s -> s
   | None ->
     let s = st.slots_used in
-    if s >= Tb.slot_irq then failwith "Emitter: out of exit slots";
+    if s >= Tb.slot_irq then raise Tb.Tb_too_complex;
     st.exits.(s) <- kind;
     st.slots_used <- s + 1;
     s
@@ -793,6 +798,11 @@ and emit_mem_helper st ~pc ~index (insn : A.t) =
 
 let emit_rule_body st (rule : Rule.t) binding insns_matched =
   st.rule_covered <- st.rule_covered + List.length insns_matched;
+  (let dmask = List.fold_left (fun m i -> m lor A.defs i) 0 insns_matched in
+   st.rules_used <-
+     (match List.assq_opt rule st.rules_used with
+     | Some m0 -> (rule, m0 lor dmask) :: List.remove_assq rule st.rules_used
+     | None -> (rule, dmask) :: st.rules_used));
   (* operand/def preloading happened at the caller (before any guard).
      Old flags need spilling only when the template clobbers EFLAGS
      without redefining the guest flags (otherwise they are dead). *)
@@ -1271,6 +1281,7 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
       irq_sched_index = -1;
       rule_covered = 0;
       fallback = 0;
+      rules_used = [];
     }
   in
   let st = { st with irq_label = Prog.fresh_label b } in
@@ -1318,4 +1329,5 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
     first_flag_is_def = first_flag_is_def insns;
     rule_covered = st.rule_covered;
     fallback = st.fallback;
+    rules_used = List.rev st.rules_used;
   }

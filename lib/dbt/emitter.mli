@@ -32,6 +32,11 @@ type result = {
           condition of the paper's inter-TB optimization *)
   rule_covered : int;  (** guest insns translated via rules *)
   fallback : int;      (** guest insns sent to the interp helper *)
+  rules_used : (Repro_rules.Rule.t * int) list;
+      (** distinct rules whose host templates were emitted, each with
+          the OR of its matched instructions' guest register def-masks
+          — shadow verification attributes divergences to rules by the
+          registers they wrote *)
 }
 
 val emit :

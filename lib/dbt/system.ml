@@ -17,8 +17,9 @@ type t = {
   rule_translator : Translator_rule.t option;
 }
 
-let create ?ram_kib ?ruleset ?tb_capacity mode =
-  let rt = Runtime.create ?ram_kib () in
+let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
+    ?quarantine_threshold mode =
+  let rt = Runtime.create ?ram_kib ?inject () in
   Helpers.install rt;
   let cache = Tb.Cache.create ?capacity:tb_capacity () in
   rt.Runtime.is_code_page <- Tb.Cache.is_code_page cache;
@@ -29,13 +30,18 @@ let create ?ram_kib ?ruleset ?tb_capacity mode =
       let ruleset =
         match ruleset with Some r -> r | None -> Repro_rules.Builtin.ruleset ()
       in
-      Some (Translator_rule.create ~opt ~ruleset ())
+      Some
+        (Translator_rule.create ~opt ~ruleset ?shadow_depth
+           ?quarantine_threshold ())
   in
   { mode; rt; cache; rule_translator }
 
 let load_image t origin words = Runtime.load_image t.rt origin words
 
 let run ?chaining ?profile ?max_guest_insns t =
+  (* Arm the bus injection point only now, so image loading and other
+     pre-run setup are never perturbed. *)
+  t.rt.Runtime.bus.Repro_machine.Bus.inject <- t.rt.Runtime.inject;
   match t.rule_translator with
   | None ->
     Engine.run t.rt t.cache ~translate:Repro_tcg.Translator_qemu.translate ?chaining
@@ -45,6 +51,8 @@ let run ?chaining ?profile ?max_guest_insns t =
       ~translate:(fun rt cache ~pc -> Translator_rule.translate tr rt cache ~pc)
       ~link_hook:(fun ~pred ~slot ~succ -> Translator_rule.link_hook tr ~pred ~slot ~succ)
       ~on_enter:(fun tb -> Translator_rule.on_enter tr t.rt tb)
+      ~on_executed:(fun tb ~outcome ~guest ->
+        Translator_rule.on_executed tr t.rt tb ~outcome ~guest)
       ?chaining ?profile ?max_guest_insns ()
 
 let stats t = Runtime.stats t.rt

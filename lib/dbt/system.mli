@@ -19,10 +19,24 @@ type t = {
 }
 
 val create :
-  ?ram_kib:int -> ?ruleset:Repro_rules.Ruleset.t -> ?tb_capacity:int -> mode -> t
+  ?ram_kib:int ->
+  ?ruleset:Repro_rules.Ruleset.t ->
+  ?tb_capacity:int ->
+  ?inject:Repro_faultinject.Faultinject.t ->
+  ?shadow_depth:int ->
+  ?quarantine_threshold:int ->
+  mode ->
+  t
 (** [ruleset] defaults to the builtin set; ignored in [Qemu] mode.
     [tb_capacity] bounds the code cache (default 4096 TBs; at capacity
-    the whole cache is flushed, QEMU's buffer-full policy). *)
+    the whole cache is flushed, QEMU's buffer-full policy).
+
+    [inject] arms every fault-injection point (MMU, engine,
+    translators; the bus point is armed when {!run} starts so image
+    loading is never perturbed). [shadow_depth] and
+    [quarantine_threshold] configure shadow verification of
+    rule-translated TBs (see {!Translator_rule}); ignored in [Qemu]
+    mode. *)
 
 val load_image : t -> Word32.t -> Word32.t array -> unit
 

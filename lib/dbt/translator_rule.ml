@@ -1,15 +1,23 @@
 open Repro_common
 module A = Repro_arm.Insn
 module Cond = Repro_arm.Cond
+module Cpu = Repro_arm.Cpu
+module Interp = Repro_arm.Interp
 module Mem = Repro_arm.Mem
+module Bus = Repro_machine.Bus
 module X = Repro_x86.Insn
 module Exec = Repro_x86.Exec
 module Stats = Repro_x86.Stats
 module Tb = Repro_tcg.Tb
 module Runtime = Repro_tcg.Runtime
 module Envspec = Repro_tcg.Envspec
+module Costs = Repro_tcg.Costs
+module Translator_qemu = Repro_tcg.Translator_qemu
 module Flagconv = Repro_rules.Flagconv
 module Pinmap = Repro_rules.Pinmap
+module Rule = Repro_rules.Rule
+module Ruleset = Repro_rules.Ruleset
+module Fi = Repro_faultinject.Faultinject
 
 (* Per-TB metadata the emitter produces and the linker consumes. *)
 type meta = {
@@ -19,22 +27,49 @@ type meta = {
   mutable entry_conv : Flagconv.t option;
   mutable exit_states : Emitter.exit_state array;
   mutable first_flag_is_def : bool;
+  mutable rules_used : (Rule.t * int) list;
+      (* distinct rules in the current emission, each with the guest
+         register def-mask of its matched instructions *)
+  shadowable : bool;  (* replayable on the reference interpreter *)
+}
+
+(* The reference-replay result shadow verification compares against:
+   architectural state after the TB plus the byte-level memory effect
+   (an overlay — replay stores never touch the real machine). *)
+type expectation = {
+  exp_tb : int;
+  exp_regs : int array;  (* r0..r14 *)
+  exp_pc : Word32.t;
+  exp_flags : Word32.t;  (* NZCV in bits 31..28 *)
+  writes : (int, int) Hashtbl.t;  (* physical byte address -> value *)
 }
 
 type t = {
   opt : Opt.t;
-  ruleset : Repro_rules.Ruleset.t;
+  ruleset : Ruleset.t;
   metas : (int, meta) Hashtbl.t;
+  shadow_depth : int;
+  quarantine_threshold : int;
+  blacklist : (Word32.t, unit) Hashtbl.t;  (* guest PCs sent to baseline *)
+  shadow_done : (Word32.t, int) Hashtbl.t;  (* completed comparisons per PC *)
+  shadow_tries : (Word32.t, int) Hashtbl.t;  (* armed replays per PC *)
+  mutable pending : expectation option;
   mutable rule_covered : int;
   mutable fallback : int;
   mutable inter_tb_elisions : int;
 }
 
-let create ~opt ~ruleset () =
+let create ~opt ~ruleset ?(shadow_depth = 0) ?(quarantine_threshold = 2) () =
   {
     opt;
     ruleset;
     metas = Hashtbl.create 256;
+    shadow_depth;
+    quarantine_threshold;
+    blacklist = Hashtbl.create 16;
+    shadow_done = Hashtbl.create 64;
+    shadow_tries = Hashtbl.create 64;
+    pending = None;
     rule_covered = 0;
     fallback = 0;
     inter_tb_elisions = 0;
@@ -119,7 +154,255 @@ let schedule_indexed ~opt insns =
 
 let schedule ~opt insns = Array.map fst (schedule_indexed ~opt insns)
 
+(* ---------- shadow verification (replay on the reference) ----------
+
+   A TB is replayable when every instruction's effect is confined to
+   the current-view registers, NZCV and ordinary RAM: no system-level
+   instructions (mode/cp15/PSR effects need helper semantics), no PC
+   destinations outside branches (an exception-return [movs pc] or an
+   [ldm {..pc}] would need banked state the replay CPU copy lacks). *)
+
+let shadowable_insn (i : A.t) =
+  (not (A.is_system_level i))
+  &&
+  match i.A.op with
+  | A.Udf _ -> false
+  | A.Dp { op; rd; _ } -> A.dp_op_is_test op || rd <> 15
+  | A.Mul { rd; _ } -> rd <> 15
+  | A.Mull { rdlo; rdhi; _ } -> rdlo <> 15 && rdhi <> 15
+  | A.Clz { rd; _ } -> rd <> 15
+  | A.Movw { rd; _ } | A.Movt { rd; _ } -> rd <> 15
+  | A.Ldr { rd; _ } | A.Ldrs { rd; _ } -> rd <> 15
+  | A.Str _ | A.Stm _ -> true
+  | A.Ldm { regs; _ } -> regs land 0x8000 = 0
+  | A.B _ | A.Bx _ | A.Nop -> true
+  | A.Mrs _ | A.Msr _ | A.Svc _ | A.Cps _ | A.Mcr _ | A.Mrc _ | A.Vmsr _
+  | A.Vmrs _ -> false
+
+exception Shadow_abort
+(* Replay crossed a boundary it cannot model purely (MMIO, bus error,
+   guest exception): discard the comparison. *)
+
+let count tbl key = match Hashtbl.find_opt tbl key with Some n -> n | None -> 0
+let bump tbl key = Hashtbl.replace tbl key (count tbl key + 1)
+
+(* Run the reference interpreter over the TB's guest instructions from
+   the current entry state, against an overlay memory view: loads see
+   the machine plus earlier replay stores, stores only the overlay. *)
+let replay (rt : Runtime.t) (tb : Tb.t) =
+  let env = Runtime.env rt in
+  let bus = rt.Runtime.bus in
+  let scpu = Cpu.of_snapshot (Cpu.to_snapshot rt.Runtime.cpu) in
+  for i = 0 to 14 do
+    Cpu.set_reg scpu i env.(Envspec.reg i)
+  done;
+  Cpu.set_pc scpu tb.Tb.guest_pc;
+  Cpu.set_flags scpu (Cond.flags_of_word (Envspec.flags_word env));
+  let writes : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let read_byte paddr =
+    match Hashtbl.find_opt writes paddr with
+    | Some b -> b
+    | None -> (
+      match Bus.read8 bus paddr with Ok b -> b | Error () -> raise Shadow_abort)
+  in
+  let xlate vaddr ~access ~privileged =
+    match Repro_mmu.Mmu.translate bus scpu vaddr ~access ~privileged with
+    | Error f -> Error f
+    | Ok paddr ->
+      if Bus.is_ram bus paddr then Ok paddr else raise Shadow_abort
+  in
+  let aligned width vaddr =
+    match width with
+    | Mem.W8 -> true
+    | Mem.W16 -> vaddr land 1 = 0
+    | Mem.W32 -> vaddr land 3 = 0
+  in
+  let nbytes = function Mem.W8 -> 1 | Mem.W16 -> 2 | Mem.W32 -> 4 in
+  let read_bytes paddr n =
+    let v = ref 0 in
+    for k = n - 1 downto 0 do
+      v := (!v lsl 8) lor read_byte (paddr + k)
+    done;
+    !v
+  in
+  let load width ~privileged vaddr =
+    if not (aligned width vaddr) then
+      Error { Mem.vaddr; access = Mem.Load; kind = Mem.Alignment }
+    else
+      match xlate vaddr ~access:Mem.Load ~privileged with
+      | Error f -> Error f
+      | Ok paddr -> Ok (read_bytes paddr (nbytes width))
+  in
+  let store width ~privileged vaddr value =
+    if not (aligned width vaddr) then
+      Error { Mem.vaddr; access = Mem.Store; kind = Mem.Alignment }
+    else
+      match xlate vaddr ~access:Mem.Store ~privileged with
+      | Error f -> Error f
+      | Ok paddr ->
+        for k = 0 to nbytes width - 1 do
+          Hashtbl.replace writes (paddr + k) ((value lsr (8 * k)) land 0xFF)
+        done;
+        Ok ()
+  in
+  let fetch ~privileged vaddr =
+    if vaddr land 3 <> 0 then
+      Error { Mem.vaddr; access = Mem.Fetch; kind = Mem.Alignment }
+    else
+      match xlate vaddr ~access:Mem.Fetch ~privileged with
+      | Error f -> Error f
+      | Ok paddr -> Ok (read_bytes paddr 4)
+  in
+  let smem = { Mem.load; store; fetch; flush_tlb = (fun () -> ()) } in
+  match
+    for _ = 1 to tb.Tb.guest_len do
+      match Interp.step scpu smem ~irq:false with
+      | Interp.Stepped -> ()
+      | Interp.Took_exception _ | Interp.Decode_error _ -> raise Shadow_abort
+    done
+  with
+  | () ->
+    Some
+      {
+        exp_tb = tb.Tb.id;
+        exp_regs = Array.init 15 (Cpu.get_reg scpu);
+        exp_pc = Cpu.get_pc scpu;
+        exp_flags = Cond.flags_to_word (Cpu.get_flags scpu);
+        writes;
+      }
+  | exception Shadow_abort -> None
+
+(* Sampling policy: the first [shadow_depth] engine-dispatched
+   executions of each rule-carrying, replayable TB address are
+   verified (chained executions are not interrupted; a bounded number
+   of armed-but-discarded replays per address stops MMIO-adjacent
+   blocks from being replayed forever). *)
+let arm_shadow t (rt : Runtime.t) (tb : Tb.t) =
+  t.pending <- None;
+  if t.shadow_depth > 0 && not (Hashtbl.mem t.blacklist tb.Tb.guest_pc) then
+    match Hashtbl.find_opt t.metas tb.Tb.id with
+    | Some m when m.rules_used <> [] && m.shadowable ->
+      if
+        count t.shadow_done tb.Tb.guest_pc < t.shadow_depth
+        && count t.shadow_tries tb.Tb.guest_pc < 4 * t.shadow_depth
+      then begin
+        bump t.shadow_tries tb.Tb.guest_pc;
+        let stats = Runtime.stats rt in
+        Stats.charge_tag stats X.Tag_glue (Costs.interp_one () * tb.Tb.guest_len);
+        t.pending <- replay rt tb
+      end
+    | _ -> ()
+
+let on_executed t (rt : Runtime.t) (tb : Tb.t) ~outcome ~guest =
+  match t.pending with
+  | None -> `Continue
+  | Some exp -> (
+    t.pending <- None;
+    ignore guest;
+    (* [Exited] through a non-irq slot means the block ran to its end:
+       mid-block departures are the irq slot or a helper stop
+       (exceptions, halts), both excluded below. The guest count is NOT
+       compared to [guest_len]: condition-failed instructions retire
+       without ticking the counter. *)
+    match outcome with
+    | Exec.Exited slot
+      when exp.exp_tb = tb.Tb.id && tb.Tb.exits.(slot) <> Tb.Irq_deliver -> (
+      let stats = Runtime.stats rt in
+      let env = Runtime.env rt in
+      stats.Stats.shadow_replays <- stats.Stats.shadow_replays + 1;
+      bump t.shadow_done tb.Tb.guest_pc;
+      (* With the flag save elided from this exit (inter-TB), env's
+         flag word is architecturally stale — skip the comparison but
+         keep the replay's flags for repair. *)
+      let flags_comparable =
+        match Hashtbl.find_opt t.metas tb.Tb.id with
+        | Some m -> not m.elide.(slot)
+        | None -> false
+      in
+      let reg_divergence = ref 0 in
+      for i = 0 to 14 do
+        if env.(Envspec.reg i) <> exp.exp_regs.(i) then
+          reg_divergence := !reg_divergence lor (1 lsl i)
+      done;
+      if env.(Envspec.pc) <> exp.exp_pc then
+        reg_divergence := !reg_divergence lor (1 lsl 15);
+      let flags_diverged =
+        flags_comparable
+        && Envspec.flags_word env land 0xF0000000
+           <> exp.exp_flags land 0xF0000000
+      in
+      let mem_diverged = ref false in
+      Hashtbl.iter
+        (fun paddr b ->
+          match Bus.read8 rt.Runtime.bus paddr with
+          | Ok b' when b' = b -> ()
+          | Ok _ | Error () -> mem_diverged := true)
+        exp.writes;
+      if !reg_divergence = 0 && (not flags_diverged) && not !mem_diverged then
+        `Continue
+      else begin
+        stats.Stats.shadow_divergences <- stats.Stats.shadow_divergences + 1;
+        (* Repair guest state from the reference replay... *)
+        for i = 0 to 14 do
+          env.(Envspec.reg i) <- exp.exp_regs.(i)
+        done;
+        env.(Envspec.pc) <- exp.exp_pc;
+        Envspec.set_flags_both env (exp.exp_flags land 0xF0000000);
+        Hashtbl.iter
+          (fun paddr b -> Exec.write_ram8 rt.Runtime.ctx paddr b)
+          exp.writes;
+        Runtime.sync_env_to_cpu rt;
+        (* ...blacklist the address (it retranslates via the baseline)
+           and strike the implicated rules: those that wrote a diverged
+           register, any flag-writing rule when the flags diverged, and
+           every rule when only memory diverged (stores cannot be
+           attributed). If attribution comes up empty, strike all. *)
+        Hashtbl.replace t.blacklist tb.Tb.guest_pc ();
+        (match Hashtbl.find_opt t.metas tb.Tb.id with
+        | Some m ->
+          let implicated (rule : Rule.t) defs =
+            defs land !reg_divergence <> 0
+            || (flags_diverged && rule.Rule.flags.Rule.guest_writes)
+            || !mem_diverged
+          in
+          let targets =
+            match List.filter (fun (r, d) -> implicated r d) m.rules_used with
+            | [] -> m.rules_used
+            | hits -> hits
+          in
+          List.iter
+            (fun (rule, _) ->
+              if Ruleset.strike t.ruleset rule ~threshold:t.quarantine_threshold
+              then
+                stats.Stats.rules_quarantined <- stats.Stats.rules_quarantined + 1)
+            targets
+        | None -> ());
+        `Invalidate
+      end)
+    | _ ->
+      (* IRQ preemption, a mid-TB guest exception or a helper stop:
+         the TB did not run to a clean architectural exit, so the
+         replay is not comparable. Discarded, not counted. *)
+      `Continue)
+
 (* ---------- translation ---------- *)
+
+(* Fault point: a misdirected register spill in rule-generated code —
+   the first env register write lands one slot over. Confined to
+   r0..r13 so shadow verification can both detect and repair it. *)
+let corrupt_prog (prog : Repro_x86.Prog.t) =
+  let code = prog.Repro_x86.Prog.code in
+  let n = Array.length code in
+  let rec scan i =
+    if i >= n then ()
+    else
+      match code.(i) with
+      | X.Mov { width = X.W32; dst = X.Mem ({ seg = X.Env; disp; _ } as m); src }
+        when disp land 3 = 0 && disp / 4 <= 12 ->
+        code.(i) <- X.Mov { width = X.W32; dst = X.Mem { m with disp = disp + 4 }; src }
+      | _ -> scan (i + 1)
+  in
+  scan 0
 
 let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
   let privileged = Runtime.privileged rt in
@@ -131,6 +414,33 @@ let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
   t.fallback <- t.fallback + r.Emitter.fallback;
   m.exit_states <- r.Emitter.exit_states;
   m.first_flag_is_def <- r.Emitter.first_flag_is_def;
+  m.rules_used <- r.Emitter.rules_used;
+  (* Memory accesses hoisted above architecturally-earlier
+     instructions (define-before-use scheduling): if such an access
+     faults, the skipped instructions have not run in host order yet,
+     so the runtime must replay them before exception entry. *)
+  let fault_producers =
+    let acc = ref [] in
+    Array.iteri
+      (fun k insn ->
+        if A.is_memory_access insn then begin
+          let q = m.origins.(k) in
+          let skipped = ref [] in
+          for j = k + 1 to Array.length m.origins - 1 do
+            if m.origins.(j) < q then skipped := m.origins.(j) :: !skipped
+          done;
+          if !skipped <> [] then begin
+            let pcs =
+              List.sort compare !skipped
+              |> List.map (fun o -> Word32.add pc (4 * o))
+              |> Array.of_list
+            in
+            acc := (Word32.add pc (4 * q), pcs) :: !acc
+          end
+        end)
+      m.insns;
+    Array.of_list (List.rev !acc)
+  in
   let tb =
     {
       Tb.id = Tb.Cache.next_id cache;
@@ -142,36 +452,59 @@ let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
       links = Array.make Tb.exit_slots None;
       guest_insns = insns;
       guest_len = Array.length insns;
+      fault_producers;
     }
   in
+  (match rt.Runtime.inject with
+  | Some inj when r.Emitter.rule_covered > 0 && Fi.fire inj Fi.Rule_corrupt ->
+    corrupt_prog tb.Tb.prog
+  | _ -> ());
   tb
 
 let translate t (rt : Runtime.t) cache ~pc =
-  let privileged = Runtime.privileged rt in
-  match rt.Runtime.mem.Mem.fetch ~privileged pc with
-  | Error f -> Error f
-  | Ok _ ->
-    let insns = Array.of_list (Repro_tcg.Translator_qemu.fetch_block rt ~pc) in
-    if Array.length insns = 0 then
-      failwith
-        (Printf.sprintf "Translator_rule: undecodable guest word at %s"
-           (Word32.to_hex pc));
-    let tagged = schedule_indexed ~opt:t.opt insns in
-    let m =
-      {
-        insns = Array.map fst tagged;
-        origins = Array.map snd tagged;
-        elide = Array.make Tb.exit_slots false;
-        entry_conv = None;
-        exit_states =
-          Array.make Tb.exit_slots
-            { Emitter.conv_at_exit = None; flags_save_in_epilogue = false };
-        first_flag_is_def = false;
-      }
-    in
-    let tb = build_tb t rt cache ~pc ~insns ~m in
-    Hashtbl.replace t.metas tb.Tb.id m;
-    Ok tb
+  if Hashtbl.mem t.blacklist pc then begin
+    let stats = Runtime.stats rt in
+    stats.Stats.quarantine_fallbacks <- stats.Stats.quarantine_fallbacks + 1;
+    Translator_qemu.translate rt cache ~pc
+  end
+  else
+    let privileged = Runtime.privileged rt in
+    match rt.Runtime.mem.Mem.fetch ~privileged pc with
+    | Error f -> Error f
+    | Ok _ ->
+      (* Bailout ladder: emitter resource overflow retries with half
+         the block, bottoming out at the single-instruction
+         interpreter TB (shared with the baseline). *)
+      let rec attempt cap =
+        match Translator_qemu.fetch_block ?cap rt ~pc with
+        | [] -> Ok (Translator_qemu.emulate_one_tb rt cache ~pc)
+        | insns_list -> (
+          let insns = Array.of_list insns_list in
+          let tagged = schedule_indexed ~opt:t.opt insns in
+          let m =
+            {
+              insns = Array.map fst tagged;
+              origins = Array.map snd tagged;
+              elide = Array.make Tb.exit_slots false;
+              entry_conv = None;
+              exit_states =
+                Array.make Tb.exit_slots
+                  { Emitter.conv_at_exit = None; flags_save_in_epilogue = false };
+              first_flag_is_def = false;
+              rules_used = [];
+              shadowable = Array.for_all shadowable_insn (Array.map fst tagged);
+            }
+          in
+          try
+            let tb = build_tb t rt cache ~pc ~insns ~m in
+            Hashtbl.replace t.metas tb.Tb.id m;
+            Ok tb
+          with Tb.Tb_too_complex ->
+            let n = Array.length insns in
+            if n <= 1 then Ok (Translator_qemu.emulate_one_tb rt cache ~pc)
+            else attempt (Some (max 1 (n / 2))))
+      in
+      attempt None
 
 (* Re-emit a TB in place after its meta changed (elision / entry
    assumption). The engine holds the tb record; only [prog] changes. *)
@@ -182,6 +515,7 @@ let re_emit t (tb : Tb.t) m =
       ?entry_conv:m.entry_conv ()
   in
   m.exit_states <- r.Emitter.exit_states;
+  m.rules_used <- r.Emitter.rules_used;
   tb.Tb.prog <- r.Emitter.prog
 
 (* ---------- III-C-3: inter-TB elimination at chain time ---------- *)
@@ -218,7 +552,7 @@ let link_hook t ~pred ~slot ~succ =
 (* ---------- engine-dispatch entry restore ---------- *)
 
 let on_enter t (rt : Runtime.t) (tb : Tb.t) =
-  match Hashtbl.find_opt t.metas tb.Tb.id with
+  (match Hashtbl.find_opt t.metas tb.Tb.id with
   | None -> ()
   | Some m -> (
     match m.entry_conv with
@@ -234,8 +568,10 @@ let on_enter t (rt : Runtime.t) (tb : Tb.t) =
       Exec.set_flags_word rt.Runtime.ctx bits;
       let stats = Runtime.stats rt in
       Stats.charge_tag stats X.Tag_sync 2;
-      stats.Stats.sync_ops <- stats.Stats.sync_ops + 1)
+      stats.Stats.sync_ops <- stats.Stats.sync_ops + 1));
+  arm_shadow t rt tb
 
 let stats_rule_covered t = t.rule_covered
 let stats_fallback t = t.fallback
 let stats_inter_tb_elisions t = t.inter_tb_elisions
+let blacklist_size t = Hashtbl.length t.blacklist

@@ -3,17 +3,39 @@
     and implement the inter-TB optimization (III-C-3) at block-chaining
     time by re-emitting the predecessor without its epilogue flag save
     and the successor with an interrupt stub that spills the inherited
-    EFLAGS. Plug the three callbacks into {!Repro_tcg.Engine.run}. *)
+    EFLAGS. Plug the four callbacks into {!Repro_tcg.Engine.run}.
+
+    Robustness layer: shadow verification replays the first
+    [shadow_depth] engine-dispatched executions of each rule-carrying
+    TB on the reference interpreter and compares registers, NZCV and
+    the byte-level memory effect. A divergence repairs guest state
+    from the replay, blacklists the TB's address (subsequent
+    translations fall back to the baseline translator) and strikes
+    every rule used in the TB; rules reaching
+    [quarantine_threshold] strikes are quarantined in the ruleset. *)
 
 open Repro_common
 
 type t
 
-val create : opt:Opt.t -> ruleset:Repro_rules.Ruleset.t -> unit -> t
+val create :
+  opt:Opt.t ->
+  ruleset:Repro_rules.Ruleset.t ->
+  ?shadow_depth:int ->
+  ?quarantine_threshold:int ->
+  unit ->
+  t
+(** [shadow_depth] (default 0 = disabled) is the number of verified
+    executions per TB address; [quarantine_threshold] (default 2) the
+    strikes that quarantine a rule. *)
 
 val translate :
   t -> Repro_tcg.Runtime.t -> Repro_tcg.Tb.Cache.t -> pc:Word32.t ->
   (Repro_tcg.Tb.t, Repro_arm.Mem.fault) result
+(** Never raises on guest-controlled input: emitter resource
+    overflows retry with shorter blocks and bottom out at the
+    baseline's single-instruction interpreter TB; blacklisted
+    addresses translate through {!Repro_tcg.Translator_qemu}. *)
 
 val link_hook :
   t -> pred:Repro_tcg.Tb.t -> slot:int -> succ:Repro_tcg.Tb.t -> unit
@@ -21,7 +43,19 @@ val link_hook :
 val on_enter : t -> Repro_tcg.Runtime.t -> Repro_tcg.Tb.t -> unit
 (** Engine-dispatch entry: if the TB assumes live flags in EFLAGS
     (inter-TB), install them from env (a Sync-restore performed by the
-    engine, charged as such). *)
+    engine, charged as such). Also arms shadow verification for this
+    execution when the sampling policy selects it. *)
+
+val on_executed :
+  t ->
+  Repro_tcg.Runtime.t ->
+  Repro_tcg.Tb.t ->
+  outcome:Repro_x86.Exec.outcome ->
+  guest:int ->
+  [ `Continue | `Invalidate ]
+(** Post-execution check against the armed replay; [`Invalidate]
+    signals the engine that guest state was repaired after a
+    divergence. *)
 
 val schedule : opt:Opt.t -> Repro_arm.Insn.t array -> Repro_arm.Insn.t array
 (** The define-before-use scheduling pass (exposed for tests). *)
@@ -29,3 +63,6 @@ val schedule : opt:Opt.t -> Repro_arm.Insn.t array -> Repro_arm.Insn.t array
 val stats_rule_covered : t -> int
 val stats_fallback : t -> int
 val stats_inter_tb_elisions : t -> int
+
+val blacklist_size : t -> int
+(** Guest PCs permanently routed to the baseline translator. *)

@@ -1,0 +1,83 @@
+open Repro_common
+
+type site =
+  | Bus_read
+  | Bus_write
+  | Tlb_flush
+  | Walk_corrupt
+  | Spurious_irq
+  | Tb_flush
+  | Rule_corrupt
+
+type behavior = Transient | Surface
+
+let all_sites =
+  [ Bus_read; Bus_write; Tlb_flush; Walk_corrupt; Spurious_irq; Tb_flush; Rule_corrupt ]
+
+let n_sites = List.length all_sites
+
+let index = function
+  | Bus_read -> 0
+  | Bus_write -> 1
+  | Tlb_flush -> 2
+  | Walk_corrupt -> 3
+  | Spurious_irq -> 4
+  | Tb_flush -> 5
+  | Rule_corrupt -> 6
+
+let site_name = function
+  | Bus_read -> "bus-read"
+  | Bus_write -> "bus-write"
+  | Tlb_flush -> "tlb-flush"
+  | Walk_corrupt -> "walk-corrupt"
+  | Spurious_irq -> "spurious-irq"
+  | Tb_flush -> "tb-flush"
+  | Rule_corrupt -> "rule-corrupt"
+
+type t = {
+  prng : Prng.t;
+  rates : float array;
+  events : int array;
+  fired : int array;
+  behavior : behavior;
+}
+
+let create ?(seed = 1) ?(rate = 0.001) ?(behavior = Transient) () =
+  {
+    prng = Prng.create ~seed;
+    rates = Array.make n_sites rate;
+    events = Array.make n_sites 0;
+    fired = Array.make n_sites 0;
+    behavior;
+  }
+
+let set_rate t site r = t.rates.(index site) <- r
+
+let fire t site =
+  let i = index site in
+  t.events.(i) <- t.events.(i) + 1;
+  let r = t.rates.(i) in
+  if r <= 0. then false
+  else begin
+    let hit = Prng.chance t.prng r in
+    if hit then t.fired.(i) <- t.fired.(i) + 1;
+    hit
+  end
+
+let surfaces t = t.behavior = Surface
+let events t site = t.events.(index site)
+let fired t site = t.fired.(index site)
+let total_events t = Array.fold_left ( + ) 0 t.events
+let total_fired t = Array.fold_left ( + ) 0 t.fired
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>fault injection (%s bus faults): %d fired / %d events"
+    (match t.behavior with Transient -> "transient" | Surface -> "surfaced")
+    (total_fired t) (total_events t);
+  List.iter
+    (fun s ->
+      let i = index s in
+      if t.events.(i) > 0 && t.rates.(i) > 0. then
+        Format.fprintf ppf "@   %-12s %6d / %d" (site_name s) t.fired.(i) t.events.(i))
+    all_sites;
+  Format.fprintf ppf "@]"

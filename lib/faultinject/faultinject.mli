@@ -1,0 +1,53 @@
+(** Deterministic fault injection.
+
+    A single injector is threaded through the machine model (bus
+    errors), the softMMU (spurious TLB invalidations, corrupted page
+    walks), the execution engine (spurious interrupts, forced
+    TB-cache flushes) and the rule-based translator (corrupted rule
+    output). Every potential injection point calls {!fire}, which
+    counts the event and draws from a seeded {!Repro_common.Prng} —
+    runs are bit-reproducible for a given seed and set of rates.
+
+    Faults split into two classes. {e Absorbable} faults (TLB or
+    TB-cache invalidations, detected-and-retried walk corruption,
+    spurious interrupts) must never change the guest-visible outcome,
+    only its cost. {e Surfaceable} faults (bus errors under the
+    {!Surface} behavior, rule corruption) are allowed to become
+    architecturally visible and exercise the guest's abort paths and
+    the translator's shadow-verification/quarantine defenses. *)
+
+type site =
+  | Bus_read      (** physical bus read error *)
+  | Bus_write     (** physical bus write error *)
+  | Tlb_flush     (** spurious software-TLB invalidation *)
+  | Walk_corrupt  (** corrupted page-walk result (detected, re-walked) *)
+  | Spurious_irq  (** interrupt asserted with no device source *)
+  | Tb_flush      (** forced translation-cache flush *)
+  | Rule_corrupt  (** corrupted rule-generated host code *)
+
+type behavior =
+  | Transient  (** bus faults are counted but the access proceeds *)
+  | Surface    (** bus faults surface as bus errors (guest aborts) *)
+
+type t
+
+val create : ?seed:int -> ?rate:float -> ?behavior:behavior -> unit -> t
+(** Defaults: seed 1, every site at [rate] (default 0.001 = one fault
+    per thousand events), [Transient] bus behavior. *)
+
+val set_rate : t -> site -> float -> unit
+(** Override the firing probability of one site (0.0 disables it). *)
+
+val fire : t -> site -> bool
+(** Record one event at [site] and decide whether a fault fires. *)
+
+val surfaces : t -> bool
+(** Whether bus faults should surface as bus errors. *)
+
+val events : t -> site -> int
+val fired : t -> site -> int
+val total_events : t -> int
+val total_fired : t -> int
+val all_sites : site list
+val site_name : site -> string
+val pp : Format.formatter -> t -> unit

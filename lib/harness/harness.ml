@@ -25,7 +25,14 @@ and run = {
   irqs_delivered : int;
   sys_helper_calls : int;
   exit_code : Word32.t;
+  shadow_replays : int;
+  shadow_divergences : int;
+  rules_quarantined : int;
+  quarantine_fallbacks : int;
+  faults_injected : int;
 }
+
+exception Did_not_halt of string
 
 let create ?ruleset ?(target_insns = 200_000) ?(timer_period = 5_000) () =
   let ruleset =
@@ -50,22 +57,27 @@ let modes =
   ("qemu", D.System.Qemu)
   :: List.map (fun (n, o) -> ("rules:" ^ n, D.System.Rules o)) D.Opt.levels
 
-let execute ?(chaining = true) ?timer_period ?ruleset t ~bench ~mode_name mode
-    user_program =
+let execute ?(chaining = true) ?timer_period ?ruleset ?inject ?shadow_depth
+    ?quarantine_threshold t ~bench ~mode_name mode user_program =
   let timer_period = Option.value timer_period ~default:t.timer_period in
   let key =
     ( bench,
-      Printf.sprintf "%s%s/t%d%s" mode_name
+      Printf.sprintf "%s%s/t%d%s%s%s%s" mode_name
         (if chaining then "" else "/nochain")
         timer_period
-        (if ruleset = None then "" else "/trunc") )
+        (if ruleset = None then "" else "/trunc")
+        (if inject = None then "" else "/inj")
+        (match shadow_depth with None -> "" | Some d -> Printf.sprintf "/sh%d" d)
+        (match quarantine_threshold with
+        | None -> ""
+        | Some q -> Printf.sprintf "/q%d" q) )
   in
   match Hashtbl.find_opt t.memo key with
   | Some r -> r
   | None ->
     let image = K.build ~timer_period ~user_program () in
     let ruleset = Option.value ruleset ~default:t.ruleset in
-    let sys = D.System.create ~ruleset mode in
+    let sys = D.System.create ~ruleset ?inject ?shadow_depth ?quarantine_threshold mode in
     K.load image (fun base words -> D.System.load_image sys base words);
     let budget = 40 * t.target_insns in
     let res = D.System.run ~chaining ~max_guest_insns:budget sys in
@@ -73,7 +85,9 @@ let execute ?(chaining = true) ?timer_period ?ruleset t ~bench ~mode_name mode
       match res.T.Engine.reason with
       | `Halted c -> c
       | `Insn_limit ->
-        failwith (Printf.sprintf "Harness: %s under %s did not halt" bench mode_name)
+        raise
+          (Did_not_halt
+             (Printf.sprintf "Harness: %s under %s did not halt" bench mode_name))
     in
     let s = D.System.stats sys in
     let r =
@@ -89,6 +103,14 @@ let execute ?(chaining = true) ?timer_period ?ruleset t ~bench ~mode_name mode
         irqs_delivered = s.Stats.irqs_delivered;
         sys_helper_calls = s.Stats.sys_insns;
         exit_code;
+        shadow_replays = s.Stats.shadow_replays;
+        shadow_divergences = s.Stats.shadow_divergences;
+        rules_quarantined = s.Stats.rules_quarantined;
+        quarantine_fallbacks = s.Stats.quarantine_fallbacks;
+        faults_injected =
+          (match inject with
+          | None -> 0
+          | Some inj -> Repro_faultinject.Faultinject.total_fired inj);
       }
     in
     Hashtbl.replace t.memo key r;
@@ -98,9 +120,10 @@ let spec_program t spec =
   let iters = max 1 (t.target_insns / W.insns_per_iteration spec) in
   W.generate spec ~iterations:iters
 
-let run_spec t spec mode =
+let run_spec ?inject ?shadow_depth ?quarantine_threshold t spec mode =
   let mode_name = D.System.mode_name mode in
-  execute t ~bench:spec.W.name ~mode_name mode (spec_program t spec)
+  execute ?inject ?shadow_depth ?quarantine_threshold t ~bench:spec.W.name
+    ~mode_name mode (spec_program t spec)
 
 let run_app t app mode =
   let mode_name = D.System.mode_name mode in

@@ -33,7 +33,18 @@ type run = {
   irqs_delivered : int;
   sys_helper_calls : int;
   exit_code : Repro_common.Word32.t;
+  shadow_replays : int;
+  shadow_divergences : int;
+  rules_quarantined : int;
+  quarantine_fallbacks : int;
+  faults_injected : int;
+      (** faults actually fired by the injector across the whole run
+          (0 when no injector was armed) *)
 }
+
+exception Did_not_halt of string
+(** A benchmark exhausted its instruction budget without reaching the
+    power-off register — the typed replacement for a harness abort. *)
 
 val host_per_guest : run -> float
 val sync_per_guest : run -> float
@@ -41,7 +52,18 @@ val sync_per_guest : run -> float
 val modes : (string * Repro_dbt.System.mode) list
 (** qemu, rules:base, rules:+reduction, rules:+elimination, rules:full. *)
 
-val run_spec : t -> Repro_workloads.Workloads.spec -> Repro_dbt.System.mode -> run
+val run_spec :
+  ?inject:Repro_faultinject.Faultinject.t ->
+  ?shadow_depth:int ->
+  ?quarantine_threshold:int ->
+  t ->
+  Repro_workloads.Workloads.spec ->
+  Repro_dbt.System.mode ->
+  run
+(** Run one benchmark spec. [inject]/[shadow_depth]/
+    [quarantine_threshold] are forwarded to
+    {!Repro_dbt.System.create} (and folded into the memo key). *)
+
 val run_app : t -> Repro_workloads.Workloads.app -> Repro_dbt.System.mode -> run
 
 (** {2 Experiments} *)

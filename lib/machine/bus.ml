@@ -11,6 +11,7 @@ type t = {
   timer : Devices.Timer.t;
   uart : Devices.Uart.t;
   syscon : Devices.Syscon.t;
+  mutable inject : Repro_faultinject.Faultinject.t option;
 }
 
 let create ~ram =
@@ -19,7 +20,18 @@ let create ~ram =
     timer = Devices.Timer.create ();
     uart = Devices.Uart.create ();
     syscon = Devices.Syscon.create ();
+    inject = None;
   }
+
+(* A fired bus fault surfaces as a bus error only under the Surface
+   behavior; transient faults are counted and the access proceeds
+   (modelling an ECC-corrected or retried transfer). *)
+let bus_fault t site =
+  match t.inject with
+  | Some inj ->
+    Repro_faultinject.Faultinject.fire inj site
+    && Repro_faultinject.Faultinject.surfaces inj
+  | None -> false
 
 let ram_size t = Bytes.length t.ram
 let in_ram t paddr n = paddr >= 0 && paddr + n <= Bytes.length t.ram
@@ -34,7 +46,8 @@ let device_of () paddr =
   else None
 
 let read32 t paddr =
-  if in_ram t paddr 4 then
+  if bus_fault t Repro_faultinject.Faultinject.Bus_read then Error ()
+  else if in_ram t paddr 4 then
     Ok
       (Char.code (Bytes.get t.ram paddr)
       lor (Char.code (Bytes.get t.ram (paddr + 1)) lsl 8)
@@ -48,7 +61,8 @@ let read32 t paddr =
     | None -> Error ()
 
 let write32 t paddr v =
-  if in_ram t paddr 4 then begin
+  if bus_fault t Repro_faultinject.Faultinject.Bus_write then Error ()
+  else if in_ram t paddr 4 then begin
     Bytes.set t.ram paddr (Char.chr (v land 0xFF));
     Bytes.set t.ram (paddr + 1) (Char.chr ((v lsr 8) land 0xFF));
     Bytes.set t.ram (paddr + 2) (Char.chr ((v lsr 16) land 0xFF));
@@ -63,14 +77,18 @@ let write32 t paddr v =
     | None -> Error ()
 
 let read8 t paddr =
-  if in_ram t paddr 1 then Ok (Char.code (Bytes.get t.ram paddr))
+  if in_ram t paddr 1 then
+    if bus_fault t Repro_faultinject.Faultinject.Bus_read then Error ()
+    else Ok (Char.code (Bytes.get t.ram paddr))
   else
     match read32 t (paddr land lnot 3 land 0xFFFFFFFF) with
     | Ok w -> Ok ((w lsr (8 * (paddr land 3))) land 0xFF)
     | Error () -> Error ()
 
 let write8 t paddr v =
-  if in_ram t paddr 1 then Ok (Bytes.set t.ram paddr (Char.chr (v land 0xFF)))
+  if in_ram t paddr 1 then
+    if bus_fault t Repro_faultinject.Faultinject.Bus_write then Error ()
+    else Ok (Bytes.set t.ram paddr (Char.chr (v land 0xFF)))
   else if paddr >= device_window && paddr < device_window_end then
     write32 t (paddr land lnot 3 land 0xFFFFFFFF) (v land 0xFF)
   else Error ()

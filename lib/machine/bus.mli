@@ -15,6 +15,11 @@ type t = {
   timer : Devices.Timer.t;
   uart : Devices.Uart.t;
   syscon : Devices.Syscon.t;
+  mutable inject : Repro_faultinject.Faultinject.t option;
+      (** When armed, bus accesses pass through the fault injector:
+          transient faults are counted and proceed, surfaced faults
+          become bus errors. Armed by [Repro_dbt.System.run] so image
+          loading is never perturbed. *)
 }
 
 val create : ram:Bytes.t -> t

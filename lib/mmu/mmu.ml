@@ -93,7 +93,20 @@ let translate bus cpu vaddr ~access ~privileged =
       | Error kind -> Error { Mem.vaddr; access; kind }
       | Ok () -> Ok (entry.page_pa lor (vaddr land (page_size - 1))))
 
-let iface bus cpu : Mem.iface =
+let iface ?inject bus cpu : Mem.iface =
+  (* With an injector armed, a walk result can come back corrupted; the
+     corruption is detected (modelled table-entry parity) and the walk
+     is simply redone — guest-invisible, cost-only. *)
+  let xlate vaddr ~access ~privileged =
+    let r = translate bus cpu vaddr ~access ~privileged in
+    match inject with
+    | Some inj
+      when Cpu.mmu_enabled cpu
+           && Repro_faultinject.Faultinject.fire inj
+                Repro_faultinject.Faultinject.Walk_corrupt ->
+      translate bus cpu vaddr ~access ~privileged
+    | _ -> r
+  in
   let load width ~privileged vaddr =
     let aligned =
       match width with
@@ -103,7 +116,7 @@ let iface bus cpu : Mem.iface =
     in
     if not aligned then Error { Mem.vaddr; access = Mem.Load; kind = Mem.Alignment }
     else
-      match translate bus cpu vaddr ~access:Mem.Load ~privileged with
+      match xlate vaddr ~access:Mem.Load ~privileged with
       | Error f -> Error f
       | Ok paddr -> (
         let r =
@@ -130,7 +143,7 @@ let iface bus cpu : Mem.iface =
     in
     if not aligned then Error { Mem.vaddr; access = Mem.Store; kind = Mem.Alignment }
     else
-      match translate bus cpu vaddr ~access:Mem.Store ~privileged with
+      match xlate vaddr ~access:Mem.Store ~privileged with
       | Error f -> Error f
       | Ok paddr -> (
         let r =
@@ -150,7 +163,7 @@ let iface bus cpu : Mem.iface =
     if vaddr land 3 <> 0 then
       Error { Mem.vaddr; access = Mem.Fetch; kind = Mem.Alignment }
     else
-      match translate bus cpu vaddr ~access:Mem.Fetch ~privileged with
+      match xlate vaddr ~access:Mem.Fetch ~privileged with
       | Error f -> Error f
       | Ok paddr -> (
         match Bus.read32 bus paddr with

@@ -79,9 +79,24 @@ end
 
 (** {2 Reference-machine memory interface} *)
 
-val iface : Repro_machine.Bus.t -> Repro_arm.Cpu.t -> Repro_arm.Mem.iface
+val translate :
+  Repro_machine.Bus.t -> Repro_arm.Cpu.t -> Word32.t ->
+  access:Repro_arm.Mem.access -> privileged:bool ->
+  (Word32.t, Repro_arm.Mem.fault) result
+(** Pure virtual→physical translation under the CPU's current MMU
+    configuration (identity when the MMU is off); performs no access.
+    Used by shadow verification to resolve guest addresses without
+    touching devices. *)
+
+val iface :
+  ?inject:Repro_faultinject.Faultinject.t ->
+  Repro_machine.Bus.t -> Repro_arm.Cpu.t -> Repro_arm.Mem.iface
 (** The {!Repro_arm.Mem.iface} of the full system as the reference
     interpreter sees it: translation when the CPU's MMU is enabled,
     permission checks by current privilege, device dispatch through
     the bus. Performs a fresh page walk per access (no TLB), which
-    keeps it trivially correct for differential testing. *)
+    keeps it trivially correct for differential testing.
+
+    [inject], when given, exercises the [Walk_corrupt] fault point:
+    a fired fault models a corrupted walk result that is detected and
+    re-walked — guest-invisible by construction. *)

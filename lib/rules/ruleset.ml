@@ -24,9 +24,20 @@ let key_of_insn (i : A.t) =
   | A.Msr _ | A.Svc _ | A.Cps _ | A.Mcr _ | A.Mrc _ | A.Vmsr _ | A.Vmrs _ | A.Nop
   | A.Udf _ -> None
 
-type t = { table : (key, Rule.t list ref) Hashtbl.t; mutable all : Rule.t list }
+type t = {
+  table : (key, Rule.t list ref) Hashtbl.t;
+  mutable all : Rule.t list;
+  strikes : (int, int) Hashtbl.t;  (* rule id → divergence strikes *)
+  quarantined : (int, unit) Hashtbl.t;
+}
 
-let create () = { table = Hashtbl.create 64; all = [] }
+let create () =
+  {
+    table = Hashtbl.create 64;
+    all = [];
+    strikes = Hashtbl.create 8;
+    quarantined = Hashtbl.create 8;
+  }
 
 let add t rule =
   t.all <- t.all @ [ rule ];
@@ -56,6 +67,24 @@ let of_list rules =
 let size t = List.length t.all
 let rules t = t.all
 
+let is_quarantined t (rule : Rule.t) = Hashtbl.mem t.quarantined rule.Rule.id
+let quarantined_count t = Hashtbl.length t.quarantined
+
+let strike t (rule : Rule.t) ~threshold =
+  if is_quarantined t rule then false
+  else begin
+    let n = (match Hashtbl.find_opt t.strikes rule.Rule.id with Some n -> n | None -> 0) + 1 in
+    Hashtbl.replace t.strikes rule.Rule.id n;
+    if n >= threshold then begin
+      Hashtbl.replace t.quarantined rule.Rule.id ();
+      true
+    end
+    else false
+  end
+
+let strikes t (rule : Rule.t) =
+  match Hashtbl.find_opt t.strikes rule.Rule.id with Some n -> n | None -> 0
+
 let match_at t insns =
   match insns with
   | [] -> None
@@ -68,9 +97,11 @@ let match_at t insns =
       | Some bucket ->
         List.find_map
           (fun rule ->
-            match Rule.match_sequence rule insns with
-            | Some b -> Some (rule, b)
-            | None -> None)
+            if is_quarantined t rule then None
+            else
+              match Rule.match_sequence rule insns with
+              | Some b -> Some (rule, b)
+              | None -> None)
           !bucket))
 
 let coverage t insns =

@@ -14,9 +14,25 @@ val rules : t -> Rule.t list
 val match_at : t -> A.t list -> (Rule.t * Rule.binding) option
 (** Find the rule whose guest pattern matches the longest prefix of
     the (condition-stripped) instruction list; ties break toward the
-    earliest-added rule. The caller is responsible for condition
-    handling and for checking the instructions share a condition when
-    a multi-instruction rule matches. *)
+    earliest-added rule. Quarantined rules never match. The caller is
+    responsible for condition handling and for checking the
+    instructions share a condition when a multi-instruction rule
+    matches. *)
+
+(** {2 Quarantine}
+
+    Runtime defense against wrong rules: shadow verification (see
+    {!Repro_dbt.Translator_rule}) strikes every rule involved in a
+    divergent translation; at [threshold] strikes the rule is
+    permanently excluded from matching. *)
+
+val strike : t -> Rule.t -> threshold:int -> bool
+(** Record one divergence strike; [true] iff this strike newly
+    quarantined the rule. No-op on already-quarantined rules. *)
+
+val is_quarantined : t -> Rule.t -> bool
+val strikes : t -> Rule.t -> int
+val quarantined_count : t -> int
 
 val coverage : t -> A.t list -> int
 (** Static count of instructions in the list matched by some rule

@@ -12,7 +12,9 @@ type result = { reason : [ `Halted of Word32.t | `Insn_limit ]; executed_guest_i
 let tb_fuel = 20_000
 
 let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~succ:_ -> ())
-    ?(on_enter = fun _ -> ()) ?(chaining = true) ?profile ?(max_guest_insns = max_int) () =
+    ?(on_enter = fun _ -> ())
+    ?(on_executed = fun _ ~outcome:_ ~guest:_ -> `Continue)
+    ?(chaining = true) ?profile ?(max_guest_insns = max_int) () =
   let stats = Runtime.stats rt in
   let env = Runtime.env rt in
   let start_insns = stats.Stats.guest_insns in
@@ -25,10 +27,27 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
       Bus.tick rt.Runtime.bus d;
       last_ticked := stats.Stats.guest_insns
     end;
-    Runtime.refresh_irq_pending rt
+    Runtime.refresh_irq_pending rt;
+    (* Fault point: an interrupt asserted with no device source. Only
+       deliverable when the guest has IRQs unmasked, in which case its
+       handler runs like any hardware interrupt's. *)
+    match rt.Runtime.inject with
+    | Some inj
+      when Repro_faultinject.Faultinject.fire inj
+             Repro_faultinject.Faultinject.Spurious_irq ->
+      if not (Cpu.irq_masked rt.Runtime.cpu) then env.(Envspec.irq_pending) <- 1
+    | _ -> ()
   in
   let charge_glue n = Stats.charge_tag stats X.Tag_glue n in
   let rec lookup_or_translate pc =
+    (* Fault point: a forced whole-cache flush before the lookup —
+       every resident translation is dropped and rebuilt on demand. *)
+    (match rt.Runtime.inject with
+    | Some inj
+      when Repro_faultinject.Faultinject.fire inj Repro_faultinject.Faultinject.Tb_flush
+      ->
+      Tb.Cache.flush cache
+    | _ -> ());
     let privileged = Runtime.privileged rt in
     let mmu_on = Cpu.mmu_enabled rt.Runtime.cpu in
     match Tb.Cache.find cache ~pc ~privileged ~mmu_on with
@@ -69,6 +88,7 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
     else begin
       let tb = !current in
       let guest0 = stats.Stats.guest_insns and host0 = stats.Stats.host_insns in
+      rt.Runtime.fault_producers <- tb.Tb.fault_producers;
       let outcome = Exec.run rt.Runtime.ctx tb.Tb.prog ~fuel:tb_fuel in
       (match profile with
       | Some p ->
@@ -80,9 +100,22 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
          was armed for *)
       rt.Runtime.suppress_code_write <- false;
       tick ();
+      let verdict = on_executed tb ~outcome ~guest:(stats.Stats.guest_insns - guest0) in
       match Bus.halted rt.Runtime.bus with
       | Some code -> result := Some (finish (`Halted code))
       | None -> (
+        match verdict with
+        | `Invalidate ->
+          (* Shadow verification diverged: guest state has already been
+             repaired from the reference replay. Drop every translation
+             (the divergent TB's PC re-translates through the fallback
+             ladder) and re-dispatch at the repaired PC. *)
+          Exec.poison_caller_saved rt.Runtime.ctx;
+          Tb.Cache.flush cache;
+          stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
+          charge_glue (Costs.engine_dispatch ());
+          current := enter (lookup_or_translate env.(Envspec.pc))
+        | `Continue -> (
         match outcome with
         | Exec.Exited slot -> (
           match tb.Tb.exits.(slot) with
@@ -146,7 +179,7 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
             stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
             charge_glue (Costs.engine_dispatch ());
             current := enter (lookup_or_translate env.(Envspec.pc))
-          end)
+          end))
     end
   done;
   match !result with Some r -> r | None -> assert false

@@ -19,6 +19,8 @@ val run :
   translate:translator ->
   ?link_hook:(pred:Tb.t -> slot:int -> succ:Tb.t -> unit) ->
   ?on_enter:(Tb.t -> unit) ->
+  ?on_executed:
+    (Tb.t -> outcome:Repro_x86.Exec.outcome -> guest:int -> [ `Continue | `Invalidate ]) ->
   ?chaining:bool ->
   ?profile:Profile.t ->
   ?max_guest_insns:int ->
@@ -39,4 +41,12 @@ val run :
     engine (initial dispatch, unlinked/indirect transitions, exception
     and interrupt re-entry) — {e not} on chained TB→TB jumps. The
     rule-based engine uses it to restore host-resident state that the
-    inter-TB optimization assumes live. *)
+    inter-TB optimization assumes live.
+
+    [on_executed tb ~outcome ~guest] fires after every TB execution
+    (chained or not) with the raw {!Repro_x86.Exec.outcome} and the
+    number of guest instructions the execution retired. Returning
+    [`Invalidate] tells the engine the caller repaired guest state
+    (shadow-verification divergence): the whole code cache is flushed
+    and execution re-dispatches at the repaired [env] PC. A halted
+    machine takes precedence over the verdict. *)

@@ -19,8 +19,9 @@ let emit ctx op = ctx.rev_ops <- op :: ctx.rev_ops
 let temp ctx =
   let t = ctx.n_temp in
   ctx.n_temp <- t + 1;
-  (* The backend maps temps directly onto a pool of host registers. *)
-  if t >= 11 then failwith "Frontend: per-insn temp budget exceeded";
+  (* The backend maps temps directly onto a pool of host registers; a
+     block that would overflow the pool is retried shorter. *)
+  if t >= 11 then raise Tb.Tb_too_complex;
   t
 
 let label ctx =

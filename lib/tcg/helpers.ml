@@ -72,7 +72,14 @@ let interp_one (rt : Runtime.t) =
     Runtime.sync_cpu_to_env rt;
     Runtime.refresh_irq_pending rt;
     stop_exception ()
-  | Interp.Decode_error e -> failwith ("Helpers.interp_one: decode error: " ^ e));
+  | Interp.Decode_error _ ->
+    (* Undecodable word (e.g. a jump into data): architecturally an
+       UNDEF. Enter the guest's undefined-instruction vector instead of
+       killing the process. *)
+    charge rt X.Tag_glue (Costs.exception_entry ());
+    Runtime.take_guest_exception rt Cpu.Undefined_insn
+      ~pc_of_faulting_insn:env.(Envspec.pc);
+    stop_exception ());
   0
 
 let data_abort (rt : Runtime.t) (f : Mem.fault) =
@@ -91,6 +98,23 @@ let data_abort (rt : Runtime.t) (f : Mem.fault) =
      right values, then resync. *)
   Runtime.sync_env_to_cpu rt;
   let pc = (Runtime.env rt).(Envspec.pc) in
+  (* If the translator scheduled this access ahead of
+     architecturally-earlier instructions (define-before-use
+     hoisting), those have not executed in host order yet. Replay them
+     through the interpreter so exception entry banks program-order
+     state; independence of the hoisted block guarantees their inputs
+     are still intact. *)
+  (match
+     Array.find_opt (fun (fpc, _) -> fpc = pc) rt.Runtime.fault_producers
+   with
+  | Some (_, producers) ->
+    Array.iter
+      (fun ppc ->
+        Cpu.set_reg rt.Runtime.cpu 15 ppc;
+        charge rt X.Tag_glue (Costs.interp_one ());
+        ignore (Interp.step rt.Runtime.cpu rt.Runtime.mem ~irq:false))
+      producers
+  | None -> ());
   Cpu.take_exception rt.Runtime.cpu Cpu.Data_abort ~pc_of_faulting_insn:pc;
   Runtime.sync_cpu_to_env rt;
   Runtime.refresh_irq_pending rt;
@@ -116,13 +140,21 @@ let mmu_resolve (rt : Runtime.t) ~(access : Mem.access) ~width vaddr value =
   if not aligned then data_abort rt { Mem.vaddr; access; kind = Mem.Alignment }
   else begin
     charge rt X.Tag_mmu (Costs.mmu_helper_hit ());
+    (* Fault point: a spurious TLB invalidation right before the probe
+       forces the miss path — guest-invisible, cost-only. *)
+    (match rt.Runtime.inject with
+    | Some inj
+      when Repro_faultinject.Faultinject.fire inj Repro_faultinject.Faultinject.Tlb_flush
+      ->
+      Mmu.Tlb.flush tlb
+    | _ -> ());
     match Mmu.Tlb.lookup tlb ~privileged ~write vaddr with
     | Some paddr -> Ram_at paddr
     | None ->
       (* Miss path: translate (or identity when the MMU is off). *)
       (Runtime.stats rt).Stats.tlb_misses <- (Runtime.stats rt).Stats.tlb_misses + 1;
       charge rt X.Tag_mmu (Costs.mmu_slow_path ());
-      let entry_result =
+      let compute_entry () =
         if Cpu.mmu_enabled cpu then
           match Mmu.walk bus ~ttbr:(Cpu.get_ttbr cpu) vaddr with
           | Error kind -> Error kind
@@ -132,6 +164,18 @@ let mmu_resolve (rt : Runtime.t) ~(access : Mem.access) ~width vaddr value =
             | Ok () -> Ok entry)
         else
           Ok { Mmu.page_pa = vaddr land Mmu.page_mask; writable = true; user = true }
+      in
+      let entry_result = compute_entry () in
+      (* Fault point: the walk result comes back corrupted; detection
+         (modelled table-entry parity) discards it and re-walks. *)
+      let entry_result =
+        match rt.Runtime.inject with
+        | Some inj
+          when Repro_faultinject.Faultinject.fire inj
+                 Repro_faultinject.Faultinject.Walk_corrupt ->
+          charge rt X.Tag_mmu (Costs.mmu_slow_path ());
+          compute_entry ()
+        | _ -> entry_result
       in
       (match entry_result with
       | Error kind -> data_abort rt { Mem.vaddr; access; kind }

@@ -14,13 +14,15 @@ type t = {
   mutable pending_code_write : bool;
   mutable tb_override : int option;
   mutable suppress_code_write : bool;
+  inject : Repro_faultinject.Faultinject.t option;
+  mutable fault_producers : (Word32.t * Word32.t array) array;
 }
 
 let stop_exception = 1
 let stop_halt = 2
 let stop_code_write = 3
 
-let create ?(ram_kib = 4096) () =
+let create ?(ram_kib = 4096) ?inject () =
   let ctx =
     Exec.create ~env_slots:Envspec.n_slots ~ram_size:(ram_kib * 1024)
       ~tlb_words:Mmu.Tlb.words ()
@@ -28,7 +30,7 @@ let create ?(ram_kib = 4096) () =
   Mmu.Tlb.flush ctx.Exec.tlb;
   let bus = Bus.create ~ram:ctx.Exec.ram in
   let cpu = Cpu.create () in
-  let mem = Mmu.iface bus cpu in
+  let mem = Mmu.iface ?inject bus cpu in
   (* cp15 c8 writes must drop stale softMMU entries. *)
   let mem = { mem with Mem.flush_tlb = (fun () -> Mmu.Tlb.flush ctx.Exec.tlb) } in
   let rt =
@@ -41,6 +43,8 @@ let create ?(ram_kib = 4096) () =
       pending_code_write = false;
       tb_override = None;
       suppress_code_write = false;
+      inject;
+      fault_producers = [||];
     }
   in
   (* Interpreter-path stores (helpers emulating whole instructions)

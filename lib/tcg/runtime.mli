@@ -25,6 +25,14 @@ type t = {
   mutable suppress_code_write : bool;
       (** one-shot: the next code-page store does not stop (it belongs
           to the freshly retranslated singleton TB) *)
+  inject : Repro_faultinject.Faultinject.t option;
+      (** fault injector shared by the engine, the helpers and the
+          translators; [None] disables every injection point *)
+  mutable fault_producers : (Word32.t * Word32.t array) array;
+      (** the executing TB's {!Tb.t.fault_producers} table, published
+          by the engine before each TB run: consulted on a guest data
+          abort to replay instructions the translator scheduled after
+          the faulting access but that architecturally precede it *)
 }
 
 (** Helper stop codes (the payload of {!Exec.Helper_stop}). *)
@@ -39,9 +47,12 @@ val stop_code_write : int
 (** The guest wrote into a page holding translated code: the engine
     must flush the code cache and retranslate (self-modifying code). *)
 
-val create : ?ram_kib:int -> unit -> t
+val create : ?ram_kib:int -> ?inject:Repro_faultinject.Faultinject.t -> unit -> t
 (** Fresh machine with RAM zeroed, CPU at reset, TLB invalid. The
-    helper dispatcher is installed by {!Helpers.install}. *)
+    helper dispatcher is installed by {!Helpers.install}. [inject]
+    arms the MMU/engine/translator fault points; the bus's own
+    injection point is armed separately at run time (see
+    {!Repro_machine.Bus.t}) so image loading is never perturbed. *)
 
 val env : t -> int array
 val stats : t -> Repro_x86.Stats.t

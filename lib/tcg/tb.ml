@@ -3,6 +3,8 @@ module Prog = Repro_x86.Prog
 
 type exit_kind = Direct of Word32.t | Indirect | Irq_deliver
 
+exception Tb_too_complex
+
 type t = {
   id : int;
   guest_pc : Word32.t;
@@ -13,6 +15,7 @@ type t = {
   links : t option array;
   guest_insns : Repro_arm.Insn.t array;
   guest_len : int;
+  fault_producers : (Word32.t * Word32.t array) array;
 }
 
 let exit_slots = 4

@@ -8,6 +8,11 @@ type exit_kind =
   | Indirect            (** guest PC is in env *)
   | Irq_deliver         (** TB-head interrupt check fired *)
 
+exception Tb_too_complex
+(** Raised mid-translation when a block exceeds a per-TB resource
+    budget (exit slots, per-insn temporaries). Translators catch it
+    and retry with a shorter block — never guest-visible. *)
+
 type t = {
   id : int;
   guest_pc : Word32.t;
@@ -18,6 +23,15 @@ type t = {
   links : t option array;         (** chained successors, same indexing *)
   guest_insns : Repro_arm.Insn.t array;
   guest_len : int;
+  fault_producers : (Word32.t * Word32.t array) array;
+      (** Memory accesses the translator scheduled {e ahead} of
+          architecturally-earlier instructions: the access's guest PC
+          paired with the skipped instructions' PCs in program order.
+          If such an access takes a guest fault, the runtime replays
+          the skipped instructions through the interpreter before
+          delivering the exception, so the guest observes
+          program-order state ([[||]] for translators that do not
+          reorder). *)
 }
 
 val exit_slots : int

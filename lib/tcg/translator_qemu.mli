@@ -6,13 +6,24 @@ open Repro_common
 
 val max_tb_insns : int
 
-val fetch_block : Runtime.t -> pc:Word32.t -> Repro_arm.Insn.t list
+val fetch_block : ?cap:int -> Runtime.t -> pc:Word32.t -> Repro_arm.Insn.t list
 (** Decode one guest basic block at [pc] under the current privilege:
     stops at branches, system-level TB enders, the length limit, page
-    boundaries or undecodable words. Shared with the rule-based
+    boundaries or undecodable words. [cap] overrides the length limit
+    (used by the bailout ladder); it defaults to the runtime's
+    [tb_override] or {!max_tb_insns}. Shared with the rule-based
     translator. *)
+
+val emulate_one_tb : Runtime.t -> Tb.Cache.t -> pc:Word32.t -> Tb.t
+(** A TB that executes the single guest instruction at [pc] through
+    the interpreter helper — the last rung of the bailout ladder, also
+    covering undecodable words (which take their Undefined_insn
+    exception inside the helper). *)
 
 val translate :
   Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
 (** Build a TB for the current privilege/MMU configuration. [Error]
-    is a fetch fault on the first instruction (prefetch abort). *)
+    is a fetch fault on the first instruction (prefetch abort).
+    Resource overflows ({!Tb.Tb_too_complex}) are retried internally
+    with shorter blocks, bottoming out at {!emulate_one_tb} — the
+    function never raises on guest-controlled input. *)

@@ -13,6 +13,10 @@ type t = {
   mutable chained_jumps : int;
   mutable tb_translations : int;
   mutable irqs_delivered : int;
+  mutable shadow_replays : int;
+  mutable shadow_divergences : int;
+  mutable rules_quarantined : int;
+  mutable quarantine_fallbacks : int;
 }
 
 let n_tags = List.length Insn.all_tags
@@ -33,6 +37,10 @@ let create () =
     chained_jumps = 0;
     tb_translations = 0;
     irqs_delivered = 0;
+    shadow_replays = 0;
+    shadow_divergences = 0;
+    rules_quarantined = 0;
+    quarantine_fallbacks = 0;
   }
 
 let reset t =
@@ -49,7 +57,11 @@ let reset t =
   t.engine_returns <- 0;
   t.chained_jumps <- 0;
   t.tb_translations <- 0;
-  t.irqs_delivered <- 0
+  t.irqs_delivered <- 0;
+  t.shadow_replays <- 0;
+  t.shadow_divergences <- 0;
+  t.rules_quarantined <- 0;
+  t.quarantine_fallbacks <- 0
 
 let tag_index tag =
   let rec find i = function
@@ -84,4 +96,9 @@ let pp ppf t =
      irq polls       %d (delivered %d)@ engine returns  %d@ chained jumps   %d@ \
      tb translations %d@]"
     t.helper_calls t.helper_insns t.sync_ops t.mmu_accesses t.tlb_misses t.irq_polls
-    t.irqs_delivered t.engine_returns t.chained_jumps t.tb_translations
+    t.irqs_delivered t.engine_returns t.chained_jumps t.tb_translations;
+  if t.shadow_replays > 0 || t.rules_quarantined > 0 || t.quarantine_fallbacks > 0 then
+    Format.fprintf ppf
+      "@ @[<v>shadow replays  %d (divergences %d)@ rules quarantined %d@ \
+       quarantine fallbacks %d@]"
+      t.shadow_replays t.shadow_divergences t.rules_quarantined t.quarantine_fallbacks

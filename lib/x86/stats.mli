@@ -23,6 +23,16 @@ type t = {
   mutable chained_jumps : int; (** TB-to-TB transfers via block chaining *)
   mutable tb_translations : int;
   mutable irqs_delivered : int;
+  mutable shadow_replays : int;
+      (** completed shadow-verification comparisons of rule TBs *)
+  mutable shadow_divergences : int;
+      (** comparisons where translated execution differed from the
+          reference replay (state was repaired from the replay) *)
+  mutable rules_quarantined : int;
+      (** rules newly quarantined by accumulated divergence strikes *)
+  mutable quarantine_fallbacks : int;
+      (** translations of blacklisted PCs routed to the baseline
+          translator *)
 }
 
 val create : unit -> t

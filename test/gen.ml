@@ -316,3 +316,69 @@ let arbitrary_mem_block n =
   QCheck.make
     ~print:(fun l -> String.concat "; " (List.map Insn.to_string l))
     QCheck.Gen.(list_size (int_range 1 n) gen_mem_plain_insn)
+
+(* Robustness blocks: the mem-block mix interleaved with deliberately
+   faulting accesses (through r9, which the harness points at an
+   unmapped physical window), decodable-but-undefined [udf] encodings
+   and [svc] calls. The differential harness installs handlers that
+   absorb each resulting exception, so the block runs to completion on
+   every engine. *)
+let fault_base_reg = 9
+
+let gen_faulting_op =
+  let open QCheck.Gen in
+  let gen_data_reg = oneofl [ 0; 1; 2; 3; 4; 5; 7; 8 ] in
+  let gen_small_off =
+    let* n = int_range (-8) 8 in
+    return (Insn.Imm_off (n * 4))
+  in
+  oneof
+    [
+      (let* width = gen_width in
+       let* rd = gen_data_reg in
+       let* off = gen_small_off in
+       return (Insn.Ldr { width; rd; rn = fault_base_reg; off; index = Insn.Offset }));
+      (let* width = gen_width in
+       let* rd = gen_data_reg in
+       let* off = gen_small_off in
+       return (Insn.Str { width; rd; rn = fault_base_reg; off; index = Insn.Offset }));
+      (let* imm = int_range 0 0xFFFF in
+       return (Insn.Udf imm));
+      (let* imm = int_range 0 0xFF in
+       return (Insn.Svc imm));
+    ]
+
+let gen_robust_insn =
+  let open QCheck.Gen in
+  let* insn =
+    frequency
+      [
+        (4, gen_mem_plain_insn);
+        ( 1,
+          let* op = gen_faulting_op in
+          let* cond =
+            match op with
+            | Insn.Udf _ -> return Cond.AL
+            | _ -> frequency [ (3, return Cond.AL); (1, gen_cond) ]
+          in
+          return { Insn.cond; op } );
+      ]
+  in
+  (* the fault window stays anchored: r9 is never a destination *)
+  let op =
+    match insn.Insn.op with
+    | Insn.Dp { op; s; rd; rn; op2 } when rd = fault_base_reg ->
+      Insn.Dp { op; s; rd = 8; rn; op2 }
+    | Insn.Mul { s; rd; rn; rm; acc } when rd = fault_base_reg ->
+      Insn.Mul { s; rd = 8; rn; rm; acc }
+    | Insn.Movw { rd; imm16 } when rd = fault_base_reg -> Insn.Movw { rd = 8; imm16 }
+    | Insn.Movt { rd; imm16 } when rd = fault_base_reg -> Insn.Movt { rd = 8; imm16 }
+    | Insn.Clz { rd; rm } when rd = fault_base_reg -> Insn.Clz { rd = 8; rm }
+    | op -> op
+  in
+  return { insn with Insn.op }
+
+let arbitrary_robust_block n =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map Insn.to_string l))
+    QCheck.Gen.(list_size (int_range 1 n) gen_robust_insn)

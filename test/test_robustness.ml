@@ -1,0 +1,262 @@
+open Repro_arm
+module D = Repro_dbt
+module T = Repro_tcg
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module R = Repro_rules
+module Fi = Repro_faultinject.Faultinject
+module Stats = Repro_x86.Stats
+
+(* Robustness tests: differential fuzzing through the exception paths
+   (bus faults, undefined instructions, svc), fault-injection
+   absorption, and the shadow-verification / quarantine machinery. *)
+
+(* ---- a flat bare-metal harness -------------------------------------
+
+   Vector table at 0 with absorbing handlers (undef/svc return past
+   the instruction, data aborts skip the faulting access), then a
+   random body with r6 anchored at a scratch RAM window and r9 at an
+   unmapped physical window. The epilogue folds r1-r12 (and optionally
+   NZCV) plus a rolling hash of the scratch window into r0 and writes
+   it to the system controller: the exit code is a checksum of all
+   guest-visible state, so a single halt-code comparison covers
+   registers, flags and the memory effect. *)
+
+let scratch_base = 0x0001_0000
+let fault_window = 0xF100_0000
+
+let flat_image ?(flags_checksum = true) body =
+  let a = Asm.create ~origin:0 () in
+  Asm.branch_to a "start" (* 0x00 reset *);
+  Asm.branch_to a "undef_h" (* 0x04 undefined instruction *);
+  Asm.branch_to a "svc_h" (* 0x08 supervisor call *);
+  Asm.branch_to a "pabt_h" (* 0x0C prefetch abort *);
+  Asm.branch_to a "dabt_h" (* 0x10 data abort *);
+  Asm.nop a (* 0x14 reserved *);
+  Asm.branch_to a "irq_h" (* 0x18 irq *);
+  Asm.label a "undef_h";
+  Asm.mov_r a ~s:true 15 14;
+  Asm.label a "svc_h";
+  Asm.mov_r a ~s:true 15 14;
+  Asm.label a "dabt_h";
+  Asm.sub a ~s:true 15 14 4 (* skip the faulting access *);
+  Asm.label a "irq_h";
+  Asm.sub a ~s:true 15 14 4;
+  Asm.label a "pabt_h";
+  Asm.mov32 a 0 0xDEAD0BAD (* distinctive: must never happen *);
+  Asm.branch_to a "halt";
+  Asm.label a "start";
+  Asm.mov32 a Insn.sp (scratch_base + 0xE000);
+  Asm.mov32 a 6 scratch_base;
+  Asm.mov32 a 9 fault_window;
+  List.iteri (fun i r -> Asm.mov32 a r (0x01010101 * (i + 1))) [ 0; 1; 2; 3; 4; 5; 7; 8 ];
+  List.iter (Asm.emit a) body;
+  (* fold every data register into r0 *)
+  List.iter (fun r -> Asm.eor_r a 0 0 r) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ];
+  if flags_checksum then begin
+    Asm.mrs a 1;
+    Asm.and_ a 1 1 0xF0000000;
+    Asm.eor_r a 0 0 1
+  end;
+  (* rolling hash of the scratch window (covers stray stores) *)
+  Asm.mov32 a 2 (scratch_base - 512);
+  Asm.mov32 a 3 (scratch_base + 1024);
+  Asm.label a "sum";
+  Asm.ldr a ~index:Insn.Post_indexed 4 2 4;
+  Asm.emit a
+    (Insn.make
+       (Insn.Dp
+          {
+            op = Insn.EOR;
+            s = false;
+            rd = 0;
+            rn = 4;
+            op2 = Insn.Reg_shift_imm { rm = 0; kind = Insn.ROR; amount = 27 };
+          }));
+  Asm.cmp_r a 2 3;
+  Asm.branch_to a ~cond:Cond.NE "sum";
+  Asm.label a "halt";
+  Asm.mov32 a 1 Repro_machine.Bus.syscon_base;
+  (* isolate the MMIO store in its own (spill-free) block *)
+  Asm.branch_to a "halt2";
+  Asm.label a "halt2";
+  Asm.str a 0 1 0;
+  Asm.label a "spin";
+  Asm.branch_to a "spin";
+  Asm.assemble a
+
+let budget = 400_000
+
+let run_flat_ref (origin, words) =
+  let m = T.Ref_machine.create () in
+  T.Ref_machine.load_image m origin words;
+  match T.Ref_machine.run m ~max_steps:budget with
+  | T.Ref_machine.Halted c, _ -> c
+  | T.Ref_machine.Step_limit, _ -> Alcotest.fail "reference hit the step limit"
+  | T.Ref_machine.Decode_error e, _ -> Alcotest.fail ("reference decode error: " ^ e)
+
+let run_flat_sys ?inject ?ruleset ?shadow_depth ?quarantine_threshold mode
+    (origin, words) =
+  let sys = D.System.create ?inject ?ruleset ?shadow_depth ?quarantine_threshold mode in
+  D.System.load_image sys origin words;
+  let res = D.System.run ~max_guest_insns:budget sys in
+  (res.T.Engine.reason, sys)
+
+let all_modes =
+  ("qemu", D.System.Qemu)
+  :: List.map (fun (n, o) -> (n, D.System.Rules o)) D.Opt.levels
+
+(* ---- 1. differential fuzz through the exception paths ---- *)
+
+let prop_faulting_blocks_agree =
+  QCheck.Test.make ~count:40 ~name:"faulting blocks agree on all engines"
+    (Gen.arbitrary_robust_block 12)
+    (fun block ->
+      let image = flat_image block in
+      let expected = run_flat_ref image in
+      List.for_all
+        (fun (name, mode) ->
+          match fst (run_flat_sys mode image) with
+          | `Halted c ->
+            if c <> expected then
+              QCheck.Test.fail_reportf "%s halted %#x, reference %#x" name c expected
+            else true
+          | `Insn_limit -> QCheck.Test.fail_reportf "%s hit the insn limit" name)
+        all_modes)
+
+(* ---- 2. transient fault injection is absorbed ---- *)
+
+let test_transient_identity () =
+  let spec = W.find "gcc" in
+  let iters = max 1 (8_000 / W.insns_per_iteration spec) in
+  let user = W.generate spec ~iterations:iters in
+  let image = K.build ~timer_period:5_000 ~user_program:user () in
+  let run ?inject () =
+    let sys = D.System.create ?inject (D.System.Rules D.Opt.full) in
+    K.load image (fun base words -> D.System.load_image sys base words);
+    let res = D.System.run ~max_guest_insns:2_000_000 sys in
+    (res.T.Engine.reason, D.System.uart_output sys)
+  in
+  let clean = run () in
+  List.iter
+    (fun seed ->
+      let inject = Fi.create ~seed ~rate:0.001 () in
+      (* rule corruption is a surfaceable fault by design; it is
+         exercised by the shadow-verification tests below *)
+      Fi.set_rate inject Fi.Rule_corrupt 0.0;
+      let injected = run ~inject () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d outcome matches clean run" seed)
+        true (injected = clean);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d fired faults" seed)
+        true
+        (Fi.total_fired inject > 0))
+    [ 7; 11 ]
+
+(* ---- 3. a corrupted rule is quarantined by shadow verification ---- *)
+
+(* A wrong rule for [add rd, rn, #imm]: computes rn + imm + 1.
+   Inserted ahead of the builtins so it wins matching until shadow
+   verification quarantines it. *)
+let corrupt_rule =
+  {
+    R.Rule.id = 9999;
+    name = "corrupt_add_imm";
+    guest =
+      [
+        R.Rule.G_dp
+          { ops = [ Insn.ADD ]; s = false; rd = 0; rn = 1; op2 = R.Rule.G_imm (R.Rule.P_imm 0) };
+      ];
+    host =
+      [
+        R.Rule.H_mov { dst = R.Rule.H_param 0; src = R.Rule.H_param 1 };
+        R.Rule.H_alu
+          { op = `Fixed Repro_x86.Insn.Add; dst = R.Rule.H_param 0; src = R.Rule.H_imm (R.Rule.P_imm 0) };
+        R.Rule.H_alu
+          { op = `Fixed Repro_x86.Insn.Add; dst = R.Rule.H_param 0; src = R.Rule.H_imm (R.Rule.Fixed 1) };
+      ];
+    n_reg_params = 2;
+    n_imm_params = 1;
+    flags = { guest_writes = false; host_clobbers = true; convention = None };
+    carry_in = None;
+    require_distinct = [];
+    source = `Builtin;
+  }
+
+let test_corrupt_rule_quarantined () =
+  let user =
+    let a = Asm.create ~origin:K.user_code_base () in
+    Asm.mov32 a Insn.sp K.user_stack_top;
+    Asm.mov a 0 5;
+    Asm.mov a 6 3;
+    Asm.label a "loop";
+    Asm.add a 1 0 7;
+    Asm.branch_to a "b1";
+    Asm.label a "b1";
+    Asm.add a 2 0 9;
+    Asm.branch_to a "b2";
+    Asm.label a "b2";
+    Asm.sub ~s:true a 6 6 1;
+    Asm.branch_to a ~cond:Cond.NE "loop";
+    Asm.add_r a 0 1 2;
+    Asm.mov a 7 K.sys_exit;
+    Asm.svc a 0;
+    snd (Asm.assemble a)
+  in
+  let image = K.build ~user_program:user () in
+  let m = T.Ref_machine.create () in
+  K.load image (fun base words -> T.Ref_machine.load_image m base words);
+  let expected =
+    match T.Ref_machine.run m ~max_steps:1_000_000 with
+    | T.Ref_machine.Halted c, _ -> c
+    | _ -> Alcotest.fail "reference did not halt"
+  in
+  let ruleset = R.Ruleset.of_list (corrupt_rule :: R.Builtin.all ()) in
+  let sys = D.System.create ~ruleset ~shadow_depth:2 ~quarantine_threshold:2 (D.System.Rules D.Opt.full) in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  let res = D.System.run ~max_guest_insns:1_000_000 sys in
+  let s = D.System.stats sys in
+  Alcotest.(check bool) "exit code matches reference" true (res.T.Engine.reason = `Halted expected);
+  Alcotest.(check int) "exactly the corrupt rule is quarantined" 1 (R.Ruleset.quarantined_count ruleset);
+  Alcotest.(check bool) "divergences were detected" true (s.Stats.shadow_divergences > 0);
+  Alcotest.(check bool) "affected blocks fell back to the baseline" true
+    (s.Stats.quarantine_fallbacks > 0)
+
+(* ---- 4. constant rule-output corruption: shadow repairs to the
+   reference result ---- *)
+
+let prop_rule_corruption_repaired =
+  QCheck.Test.make ~count:15 ~name:"rule-output corruption repaired by shadow verification"
+    (Gen.arbitrary_plain_block 10)
+    (fun block ->
+      (* no flags checksum: the epilogue's [mrs] makes its block
+         unshadowable, so a corruption there could go undetected *)
+      let image = flat_image ~flags_checksum:false block in
+      let expected = run_flat_ref image in
+      let inject = Fi.create ~seed:42 ~rate:0.0 () in
+      Fi.set_rate inject Fi.Rule_corrupt 1.0;
+      let reason, sys =
+        run_flat_sys ~inject ~shadow_depth:8 ~quarantine_threshold:2
+          (D.System.Rules D.Opt.full) image
+      in
+      let s = D.System.stats sys in
+      match reason with
+      | `Halted c ->
+        if c <> expected then
+          QCheck.Test.fail_reportf
+            "halted %#x, reference %#x (replays %d, divergences %d)" c expected
+            s.Stats.shadow_replays s.Stats.shadow_divergences
+        else true
+      | `Insn_limit -> QCheck.Test.fail_reportf "hit the insn limit")
+
+let suite =
+  [
+    ( "robustness",
+      [
+        QCheck_alcotest.to_alcotest prop_faulting_blocks_agree;
+        Alcotest.test_case "transient injection is absorbed" `Slow test_transient_identity;
+        Alcotest.test_case "corrupted rule is quarantined" `Quick test_corrupt_rule_quarantined;
+        QCheck_alcotest.to_alcotest prop_rule_corruption_repaired;
+      ] );
+  ]
