@@ -1,11 +1,16 @@
 (* Run one benchmark workload under one engine configuration and dump
-   the dynamic statistics — the quick-look CLI around the system. *)
+   the dynamic statistics — the quick-look CLI around the system.
+
+   Exit codes: 0 success, 2 usage error, 3 corrupt snapshot, 4 image
+   load error, 5 unrecovered livelock, 6 replay mismatch. *)
 
 module D = Repro_dbt
 module T = Repro_tcg
 module K = Repro_kernel.Kernel
 module W = Repro_workloads.Workloads
 module Stats = Repro_x86.Stats
+module Snapshot = Repro_snapshot.Snapshot
+module Journal = Repro_snapshot.Journal
 open Cmdliner
 
 let mode_of_string = function
@@ -16,101 +21,219 @@ let mode_of_string = function
   | "full" -> Ok (D.System.Rules D.Opt.full)
   | s -> Error (Printf.sprintf "unknown mode %s (qemu|base|reduction|elimination|full)" s)
 
-let run bench mode_name target timer builtin_only rules_file dump_tbs profile_top
-    inject_seed inject_rate surface_faults shadow_depth quarantine_threshold =
+let exit_corrupt = 3
+let exit_load = 4
+let exit_livelock = 5
+let exit_replay_mismatch = 6
+
+let build_ruleset builtin_only rules_file =
+  match rules_file with
+  | Some path -> (
+    match Repro_rules.Serialize.load_file path with
+    | Ok rs -> rs
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" path e;
+      exit 2)
+  | None ->
+    if builtin_only then Repro_rules.Builtin.ruleset ()
+    else
+      let learned = Repro_learn.Learn.learn () in
+      Repro_rules.Ruleset.of_list
+        (Repro_rules.Builtin.all () @ learned.Repro_learn.Learn.rules)
+
+(* --replay: reconstruct a machine matching the dump (mode, RAM,
+   injector) and check the recorded failure reproduces. *)
+let do_replay ruleset shadow_depth quarantine_threshold path =
+  let snap = Snapshot.load_file path in
+  let mode = D.System.snapshot_mode snap in
+  let inject = D.System.snapshot_injector snap in
+  let sys =
+    D.System.create
+      ~ram_kib:(D.System.snapshot_ram_kib snap)
+      ~ruleset ?inject ~shadow_depth ~quarantine_threshold mode
+  in
+  let report = D.System.replay sys snap in
+  Format.printf "replaying %s under %s@." path (D.System.mode_name mode);
+  (match report.D.System.rep_reason with
+  | Some r -> Format.printf "recorded failure: %s@." r
+  | None -> ());
+  Format.printf "expected events (%d):@."
+    (List.length report.D.System.rep_expected);
+  List.iter
+    (fun e -> Format.printf "  %s@." (Journal.string_of_event e))
+    report.D.System.rep_expected;
+  Format.printf "replayed events (%d):@." (List.length report.D.System.rep_actual);
+  List.iter
+    (fun e -> Format.printf "  %s@." (Journal.string_of_event e))
+    report.D.System.rep_actual;
+  let reason_name =
+    match report.D.System.rep_result.T.Engine.reason with
+    | `Halted c -> Printf.sprintf "halted (exit code %#x)" c
+    | `Insn_limit -> "instruction limit reached"
+    | `Livelock pc -> Printf.sprintf "livelocked at guest pc %#x" pc
+  in
+  Format.printf "replay outcome: %s@." reason_name;
+  if report.D.System.rep_ok then begin
+    Format.printf "deterministic replay: the recorded events reproduced@.";
+    0
+  end
+  else begin
+    Format.printf "REPLAY MISMATCH: the recorded events did not reproduce@.";
+    exit_replay_mismatch
+  end
+
+let run bench mode_name target budget timer builtin_only rules_file dump_tbs
+    profile_top inject_seed inject_rate surface_faults shadow_depth
+    quarantine_threshold checkpoint_every save_file restore_file replay_file
+    watchdog postmortem_dir =
   match mode_of_string mode_name with
   | Error e ->
     prerr_endline e;
     exit 2
-  | Ok mode ->
-    let spec =
-      try W.find bench
-      with Not_found ->
-        Printf.eprintf "unknown benchmark %s (one of: %s)\n" bench
-          (String.concat ", " (List.map (fun (s : W.spec) -> s.W.name) W.cint2006));
-        exit 2
-    in
-    let ruleset =
-      match rules_file with
-      | Some path -> (
-        match Repro_rules.Serialize.load_file path with
-        | Ok rs -> rs
-        | Error e ->
-          Printf.eprintf "cannot load %s: %s\n" path e;
-          exit 2)
-      | None ->
-        if builtin_only then Repro_rules.Builtin.ruleset ()
-        else
-          let learned = Repro_learn.Learn.learn () in
-          Repro_rules.Ruleset.of_list
-            (Repro_rules.Builtin.all () @ learned.Repro_learn.Learn.rules)
-    in
-    let iters = max 1 (target / W.insns_per_iteration spec) in
-    let user = W.generate spec ~iterations:iters in
-    let image = K.build ~timer_period:timer ~user_program:user () in
-    let inject =
-      match inject_seed with
-      | None -> None
-      | Some seed ->
-        Some
-          (Repro_faultinject.Faultinject.create ~seed ~rate:inject_rate
-             ~behavior:
-               (if surface_faults then Repro_faultinject.Faultinject.Surface
-                else Repro_faultinject.Faultinject.Transient)
-             ())
-    in
-    let sys =
-      D.System.create ~ruleset ?inject ~shadow_depth ~quarantine_threshold mode
-    in
-    K.load image (fun base words -> D.System.load_image sys base words);
-    let profile = if profile_top > 0 then Some (T.Profile.create ()) else None in
-    let res = D.System.run ?profile ~max_guest_insns:(60 * target) sys in
-    let s = D.System.stats sys in
-    Format.printf "benchmark  %s@.mode       %s@.outcome    %s@.@.%a@." bench
-      (D.System.mode_name mode)
+  | Ok mode -> (
+    let ruleset = build_ruleset builtin_only rules_file in
+    match replay_file with
+    | Some path -> exit (do_replay ruleset shadow_depth quarantine_threshold path)
+    | None ->
+      let spec =
+        try W.find bench
+        with Not_found ->
+          Printf.eprintf "unknown benchmark %s (one of: %s)\n" bench
+            (String.concat ", " (List.map (fun (s : W.spec) -> s.W.name) W.cint2006));
+          exit 2
+      in
+      let sys =
+        match restore_file with
+        | Some path ->
+          (* The snapshot dictates machine shape; the CLI must supply
+             the same ruleset the original run used. *)
+          let snap = Snapshot.load_file path in
+          let mode = D.System.snapshot_mode snap in
+          let inject = D.System.snapshot_injector snap in
+          let sys =
+            D.System.create
+              ~ram_kib:(D.System.snapshot_ram_kib snap)
+              ~ruleset ?inject ~shadow_depth ~quarantine_threshold mode
+          in
+          D.System.restore sys snap;
+          sys
+        | None ->
+          let iters = max 1 (target / W.insns_per_iteration spec) in
+          let user = W.generate spec ~iterations:iters in
+          let image = K.build ~timer_period:timer ~user_program:user () in
+          let inject =
+            match inject_seed with
+            | None -> None
+            | Some seed ->
+              Some
+                (Repro_faultinject.Faultinject.create ~seed ~rate:inject_rate
+                   ~behavior:
+                     (if surface_faults then Repro_faultinject.Faultinject.Surface
+                      else Repro_faultinject.Faultinject.Transient)
+                   ())
+          in
+          let sys =
+            D.System.create ~ruleset ?inject ~shadow_depth ~quarantine_threshold
+              mode
+          in
+          K.load image (fun base words -> D.System.load_image sys base words);
+          sys
+      in
+      let profile = if profile_top > 0 then Some (T.Profile.create ()) else None in
+      let postmortems = ref 0 in
+      let on_postmortem =
+        match postmortem_dir with
+        | None -> None
+        | Some dir ->
+          Some
+            (fun ~reason dump ->
+              incr postmortems;
+              let path =
+                Filename.concat dir (Printf.sprintf "postmortem-%d.snap" !postmortems)
+              in
+              Snapshot.save_file path dump;
+              Format.printf "post-mortem (%s) dumped to %s@." reason path)
+      in
+      let max_guest_insns =
+        match budget with Some b -> b | None -> 60 * target
+      in
+      let res =
+        D.System.run ?profile ~max_guest_insns ~checkpoint_every ~watchdog
+          ?on_postmortem sys
+      in
+      let s = D.System.stats sys in
+      Format.printf "benchmark  %s@.mode       %s@.outcome    %s@.@.%a@." bench
+        (D.System.mode_name mode)
+        (match res.T.Engine.reason with
+        | `Halted c -> Printf.sprintf "halted (exit code %#x)" c
+        | `Insn_limit -> "instruction limit reached"
+        | `Livelock pc -> Printf.sprintf "livelocked at guest pc %#x" pc)
+        Stats.pp s;
+      (match sys.D.System.rt.T.Runtime.inject with
+      | Some inj -> Format.printf "@.%a@." Repro_faultinject.Faultinject.pp inj
+      | None -> ());
+      (match sys.D.System.rule_translator with
+      | Some tr ->
+        Format.printf "rule-covered insns (static) %d@.fallback insns (static)     %d@."
+          (D.Translator_rule.stats_rule_covered tr)
+          (D.Translator_rule.stats_fallback tr);
+        if shadow_depth > 0 then
+          Format.printf
+            "blacklisted PCs             %d@.quarantined rules           %d@."
+            (D.Translator_rule.blacklist_size tr)
+            (Repro_rules.Ruleset.quarantined_count ruleset)
+      | None -> ());
+      (match profile with
+      | Some p ->
+        Format.printf "@.--- hot translation blocks ---@.%a@."
+          (T.Profile.pp_report ~top:profile_top) p;
+        (match T.Profile.top 1 p with
+        | [ hottest ] ->
+          Format.printf "@.hottest block:@.%a@." T.Profile.pp_disasm hottest
+        | _ -> ())
+      | None -> ());
+      if dump_tbs > 0 then begin
+        Format.printf "@.--- first %d translation blocks ---@." dump_tbs;
+        List.iteri
+          (fun i (tb : T.Tb.t) ->
+            if i < dump_tbs then begin
+              Format.printf "@.TB %d at guest pc %#x (%s, %d guest insns):@." tb.T.Tb.id
+                tb.T.Tb.guest_pc
+                (if tb.T.Tb.privileged then "kernel" else "user")
+                tb.T.Tb.guest_len;
+              Array.iter
+                (fun insn -> Format.printf "  %a@." Repro_arm.Insn.pp insn)
+                tb.T.Tb.guest_insns;
+              Format.printf "%a@." Repro_x86.Prog.pp tb.T.Tb.prog
+            end)
+          (T.Tb.Cache.to_list sys.D.System.cache)
+      end;
+      (match save_file with
+      | Some path ->
+        Snapshot.save_file path (D.System.snapshot sys);
+        Format.printf "@.machine snapshot saved to %s@." path
+      | None -> ());
       (match res.T.Engine.reason with
-      | `Halted c -> Printf.sprintf "halted (exit code %#x)" c
-      | `Insn_limit -> "instruction limit reached")
-      Stats.pp s;
-    (match inject with
-    | Some inj -> Format.printf "@.%a@." Repro_faultinject.Faultinject.pp inj
-    | None -> ());
-    (match sys.D.System.rule_translator with
-    | Some tr ->
-      Format.printf "rule-covered insns (static) %d@.fallback insns (static)     %d@."
-        (D.Translator_rule.stats_rule_covered tr)
-        (D.Translator_rule.stats_fallback tr);
-      if shadow_depth > 0 then
-        Format.printf
-          "blacklisted PCs             %d@.quarantined rules           %d@."
-          (D.Translator_rule.blacklist_size tr)
-          (Repro_rules.Ruleset.quarantined_count ruleset)
-    | None -> ());
-    (match profile with
-    | Some p ->
-      Format.printf "@.--- hot translation blocks ---@.%a@."
-        (T.Profile.pp_report ~top:profile_top) p;
-      (match T.Profile.top 1 p with
-      | [ hottest ] ->
-        Format.printf "@.hottest block:@.%a@." T.Profile.pp_disasm hottest
-      | _ -> ())
-    | None -> ());
-    if dump_tbs > 0 then begin
-      Format.printf "@.--- first %d translation blocks ---@." dump_tbs;
-      List.iteri
-        (fun i (tb : T.Tb.t) ->
-          if i < dump_tbs then begin
-            Format.printf "@.TB %d at guest pc %#x (%s, %d guest insns):@." tb.T.Tb.id
-              tb.T.Tb.guest_pc
-              (if tb.T.Tb.privileged then "kernel" else "user")
-              tb.T.Tb.guest_len;
-            Array.iter
-              (fun insn -> Format.printf "  %a@." Repro_arm.Insn.pp insn)
-              tb.T.Tb.guest_insns;
-            Format.printf "%a@." Repro_x86.Prog.pp tb.T.Tb.prog
-          end)
-        (T.Tb.Cache.to_list sys.D.System.cache)
-    end
+      | `Livelock _ -> exit exit_livelock
+      | `Halted _ | `Insn_limit -> ()))
+
+let run_protected bench mode target budget timer builtin_only rules_file
+    dump_tbs profile_top inject_seed inject_rate surface_faults shadow_depth
+    quarantine_threshold checkpoint_every save_file restore_file replay_file
+    watchdog postmortem_dir =
+  try
+    run bench mode target budget timer builtin_only rules_file dump_tbs
+      profile_top inject_seed inject_rate surface_faults shadow_depth
+      quarantine_threshold checkpoint_every save_file restore_file replay_file
+      watchdog postmortem_dir
+  with
+  | T.Runtime.Load_error addr ->
+    Printf.eprintf "image load error: physical address %#x is outside guest RAM\n"
+      addr;
+    exit exit_load
+  | Snapshot.Corrupt msg ->
+    Printf.eprintf "corrupt snapshot: %s\n" msg;
+    exit exit_corrupt
 
 let bench_arg =
   let doc = "Benchmark name (a CINT2006 row of Table I)." in
@@ -123,6 +246,15 @@ let mode_arg =
 let target_arg =
   let doc = "Target dynamic guest instructions." in
   Arg.(value & opt int 200_000 & info [ "n"; "target" ] ~docv:"INSNS" ~doc)
+
+let budget_arg =
+  let doc =
+    "Stop after retiring $(docv) guest instructions this run (default 60 times the \
+     target: effectively until the guest halts). With --restore the budget counts \
+     from the resume point, so an interrupted run plus its continuation retire the \
+     same total as an uninterrupted one."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"INSNS" ~doc)
 
 let timer_arg =
   let doc = "Timer period in guest instructions (0 = no IRQs)." in
@@ -177,13 +309,59 @@ let quarantine_arg =
   let doc = "Divergence strikes that quarantine a rule (with --shadow)." in
   Arg.(value & opt int 2 & info [ "quarantine-threshold" ] ~docv:"N" ~doc)
 
+let checkpoint_arg =
+  let doc =
+    "Take a crash-consistent machine checkpoint every $(docv) retired guest \
+     instructions (0 disables periodic checkpoints; one is still taken when the run \
+     stops at the instruction limit)."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"INSNS" ~doc)
+
+let save_arg =
+  let doc =
+    "After the run, save the machine snapshot (with its resume cursor when the run \
+     stopped at the instruction limit) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+
+let restore_arg =
+  let doc =
+    "Restore the machine from snapshot $(docv) and continue executing (supply the \
+     same rule-set flags the saved run used)."
+  in
+  Arg.(value & opt (some string) None & info [ "restore" ] ~docv:"FILE" ~doc)
+
+let replay_arg =
+  let doc =
+    "Replay post-mortem dump $(docv): restore its checkpoint, re-execute with the \
+     watchdog off, and check the recorded events reproduce. Exits 6 on mismatch."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+
+let watchdog_arg =
+  let doc =
+    "Livelock watchdog: on host-code fuel exhaustion, roll back to the last \
+     checkpoint and re-execute under a degraded engine (rules, then baseline, then \
+     single-instruction TBs) instead of failing."
+  in
+  Arg.(value & opt bool true & info [ "watchdog" ] ~docv:"BOOL" ~doc)
+
+let postmortem_arg =
+  let doc =
+    "Dump a replayable snapshot + event journal into $(docv) whenever shadow \
+     verification repairs a divergence or the watchdog catches a livelock."
+  in
+  Arg.(value & opt (some string) None & info [ "postmortem-dir" ] ~docv:"DIR" ~doc)
+
 let cmd =
   let doc = "run one benchmark under one DBT engine" in
   Cmd.v
     (Cmd.info "repro-dbt-run" ~doc)
     Term.(
-      const run $ bench_arg $ mode_arg $ target_arg $ timer_arg $ builtin_arg $ rules_arg
-      $ dump_arg $ profile_arg $ inject_arg $ inject_rate_arg $ surface_arg
-      $ shadow_arg $ quarantine_arg)
+      const run_protected $ bench_arg $ mode_arg $ target_arg $ budget_arg
+      $ timer_arg $ builtin_arg $ rules_arg $ dump_arg $ profile_arg $ inject_arg
+      $ inject_rate_arg $ surface_arg $ shadow_arg $ quarantine_arg
+      $ checkpoint_arg $ save_arg $ restore_arg $ replay_arg $ watchdog_arg
+      $ postmortem_arg)
 
 let () = exit (Cmd.eval cmd)

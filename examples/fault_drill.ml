@@ -13,6 +13,12 @@
       replay, quarantines the rule and falls back to the baseline
       translator for the affected blocks; the final exit code matches
       the reference interpreter.
+   4. Sabotaged host code that spins forever — the livelock watchdog
+      rolls back to the last checkpoint and re-executes under a
+      degraded engine; the guest still finishes with the clean answer.
+   5. Post-mortem record/replay — every watchdog recovery dumps a
+      checkpoint plus the expected event journal; replaying the dump
+      reproduces the recorded events deterministically.
 
      dune exec examples/fault_drill.exe *)
 
@@ -44,6 +50,7 @@ let run_sys ?ruleset ?inject ?shadow_depth ?quarantine_threshold mode image =
 let outcome_name = function
   | `Halted c -> Printf.sprintf "halted %#x" c
   | `Insn_limit -> "insn limit"
+  | `Livelock pc -> Printf.sprintf "livelock at %#x" pc
 
 (* ---- 1. absorbable faults across every benchmark spec ---- *)
 
@@ -166,10 +173,59 @@ let quarantine_drill () =
   check "exit code matches the reference" (outcome = `Halted expected);
   check "divergences were detected" (s.Stats.shadow_divergences > 0)
 
+(* ---- 4 & 5. livelock watchdog and post-mortem replay ---- *)
+
+let watchdog_drill () =
+  Format.printf "@.== livelock watchdog and post-mortem replay ==@.";
+  let spec = W.find "gcc" in
+  let iters = max 1 (target / W.insns_per_iteration spec) in
+  let user = W.generate spec ~iterations:iters in
+  let image = K.build ~timer_period:5_000 ~user_program:user () in
+  let _, clean = run_sys (D.System.Rules D.Opt.full) image in
+  let inject = Fi.create ~seed:11 ~rate:0. () in
+  Fi.set_rate inject Fi.Host_livelock 0.05;
+  let dumps = ref [] in
+  let sys = D.System.create ~inject (D.System.Rules D.Opt.full) in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  let res =
+    D.System.run ~max_guest_insns:budget ~checkpoint_every:4_000
+      ~on_postmortem:(fun ~reason dump -> dumps := (reason, dump) :: !dumps)
+      sys
+  in
+  let s = D.System.stats sys in
+  (* The rollback restores the injector's PRNG and counters along with
+     everything else, so the fired count reads as of the checkpoint —
+     the recovery count is the engine's own tally. *)
+  Format.printf "  clean %s, sabotaged %s@.  livelocks recovered %d@."
+    (outcome_name clean)
+    (outcome_name res.T.Engine.reason)
+    s.Stats.livelocks_recovered;
+  check "sabotaged run still reaches the clean answer"
+    (res.T.Engine.reason = clean);
+  check "watchdog recovered at least one livelock"
+    (s.Stats.livelocks_recovered > 0);
+  List.iteri
+    (fun i (reason, dump) ->
+      let rep_sys =
+        D.System.create
+          ~ram_kib:(D.System.snapshot_ram_kib dump)
+          ?inject:(D.System.snapshot_injector dump)
+          (D.System.snapshot_mode dump)
+      in
+      let report = D.System.replay rep_sys dump in
+      Format.printf "  replaying dump %d (%s): %d expected events -> %s@." i
+        reason
+        (List.length report.D.System.rep_expected)
+        (if report.D.System.rep_ok then "reproduced" else "MISMATCH");
+      check (Printf.sprintf "dump %d replays deterministically" i)
+        report.D.System.rep_ok)
+    !dumps
+
 let () =
   transient_sweep ();
   surface_drill ();
   quarantine_drill ();
+  watchdog_drill ();
   if !failures = 0 then Format.printf "@.all drills passed@."
   else begin
     Format.printf "@.%d drill checks FAILED@." !failures;

@@ -192,6 +192,38 @@ let take_exception t kind ~pc_of_faulting_insn =
   set_irq_masked t true;
   t.regs.(15) <- vector_of kind
 
+(* Full architectural dump for machine snapshots — unlike [snapshot]
+   below (a current-mode view used by shadow verification), this
+   covers every bank raw, so restore is bit-exact regardless of the
+   mode at capture time. Layout:
+   regs[0..15], cpsr, 5 banks x (sp, lr, spsr), ttbr, sctlr, dfar,
+   dfsr, fpscr, tlb_flushes = 38 words. *)
+let save_words_len = 38
+
+let save_words t =
+  let banks = [ t.usr_bank; t.svc_bank; t.irq_bank; t.abt_bank; t.und_bank ] in
+  Array.concat
+    ([ Array.copy t.regs; [| t.cpsr |] ]
+    @ List.map (fun b -> [| b.sp; b.lr; b.spsr |]) banks
+    @ [ [| t.ttbr; t.sctlr; t.dfar; t.dfsr; t.fpscr; t.tlb_flushes |] ])
+
+let load_words t w =
+  if Array.length w <> save_words_len then invalid_arg "Cpu.load_words: bad length";
+  Array.blit w 0 t.regs 0 16;
+  t.cpsr <- w.(16);
+  List.iteri
+    (fun i b ->
+      b.sp <- w.(17 + (3 * i));
+      b.lr <- w.(18 + (3 * i));
+      b.spsr <- w.(19 + (3 * i)))
+    [ t.usr_bank; t.svc_bank; t.irq_bank; t.abt_bank; t.und_bank ];
+  t.ttbr <- w.(32);
+  t.sctlr <- w.(33);
+  t.dfar <- w.(34);
+  t.dfsr <- w.(35);
+  t.fpscr <- w.(36);
+  t.tlb_flushes <- w.(37)
+
 type snapshot = {
   regs : Word32.t array;
   cpsr : Word32.t;

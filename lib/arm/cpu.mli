@@ -80,6 +80,22 @@ val take_exception : t -> exn_kind -> pc_of_faulting_insn:Word32.t -> unit
     per-kind preferred return address, switch mode, mask IRQs, PC :=
     vector. *)
 
+(** {2 Full-machine serialization} *)
+
+val save_words_len : int
+(** Length of the {!save_words} dump (currently 38 words). *)
+
+val save_words : t -> Word32.t array
+(** Raw dump of the complete architectural state — current register
+    view, CPSR, every sp/lr/SPSR bank, cp15 registers, FPSCR and the
+    TLB-maintenance counter. Restoring with {!load_words} is bit-exact
+    in any mode (unlike {!snapshot}, which only captures the current
+    banked view for differential testing). *)
+
+val load_words : t -> Word32.t array -> unit
+(** Restore a {!save_words} dump in place. Raises [Invalid_argument]
+    on length mismatch. *)
+
 (** {2 Snapshots (for differential testing)} *)
 
 type snapshot = {

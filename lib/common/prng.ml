@@ -37,3 +37,6 @@ let chance t p =
   if p <= 0. then false
   else if p >= 1. then true
   else float_of_int (int t 1_000_000) < p *. 1_000_000.
+
+let state t = t.state
+let set_state t s = t.state <- s

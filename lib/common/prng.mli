@@ -28,3 +28,11 @@ val pick : t -> 'a array -> 'a
 
 val chance : t -> float -> bool
 (** [chance t p] is true with probability [p] (clamped to [0,1]). *)
+
+val state : t -> int64
+(** The full generator state (the splitmix64 cursor). Saving the state
+    and later {!set_state}-ing it resumes the exact same stream —
+    machine snapshots depend on this to keep restored runs
+    bit-identical to uninterrupted ones. *)
+
+val set_state : t -> int64 -> unit

@@ -3,6 +3,15 @@ module Engine = Repro_tcg.Engine
 module Tb = Repro_tcg.Tb
 module Helpers = Repro_tcg.Helpers
 module Devices = Repro_machine.Devices
+module Bus = Repro_machine.Bus
+module Cpu = Repro_arm.Cpu
+module Stats = Repro_x86.Stats
+module Tlb = Repro_mmu.Mmu.Tlb
+module Fi = Repro_faultinject.Faultinject
+module Ruleset = Repro_rules.Ruleset
+module Flagconv = Repro_rules.Flagconv
+module Snapshot = Repro_snapshot.Snapshot
+module Journal = Repro_snapshot.Journal
 
 type mode = Qemu | Rules of Opt.t
 
@@ -10,11 +19,26 @@ let mode_name = function
   | Qemu -> "qemu"
   | Rules o -> "rules:" ^ Opt.name o
 
+let mode_of_name s =
+  if s = "qemu" then Some Qemu
+  else if String.length s > 6 && String.sub s 0 6 = "rules:" then begin
+    let n = String.sub s 6 (String.length s - 6) in
+    match List.find_opt (fun (_, o) -> Opt.name o = n) Opt.levels with
+    | Some (_, o) -> Some (Rules o)
+    | None -> if Opt.name Opt.future = n then Some (Rules Opt.future) else None
+  end
+  else None
+
 type t = {
   mode : mode;
   rt : Runtime.t;
   cache : Tb.Cache.t;
   rule_translator : Translator_rule.t option;
+  ruleset : Repro_rules.Ruleset.t option;
+  mutable journal : Journal.t;
+  mutable pending_resume : Engine.resume option;
+  mutable last_checkpoint : Snapshot.t option;
+  mutable stop_checkpoint : Snapshot.t option;
 }
 
 let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
@@ -23,43 +47,634 @@ let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
   Helpers.install rt;
   let cache = Tb.Cache.create ?capacity:tb_capacity () in
   rt.Runtime.is_code_page <- Tb.Cache.is_code_page cache;
-  let rule_translator =
+  let ruleset, rule_translator =
     match mode with
-    | Qemu -> None
+    | Qemu -> (None, None)
     | Rules opt ->
       let ruleset =
         match ruleset with Some r -> r | None -> Repro_rules.Builtin.ruleset ()
       in
-      Some
-        (Translator_rule.create ~opt ~ruleset ?shadow_depth
-           ?quarantine_threshold ())
+      ( Some ruleset,
+        Some
+          (Translator_rule.create ~opt ~ruleset ?shadow_depth
+             ?quarantine_threshold ()) )
   in
-  { mode; rt; cache; rule_translator }
+  {
+    mode;
+    rt;
+    cache;
+    rule_translator;
+    ruleset;
+    journal = Journal.create ();
+    pending_resume = None;
+    last_checkpoint = None;
+    stop_checkpoint = None;
+  }
 
 let load_image t origin words = Runtime.load_image t.rt origin words
-
-let run ?chaining ?profile ?max_guest_insns t =
-  (* Arm the bus injection point only now, so image loading and other
-     pre-run setup are never perturbed. *)
-  t.rt.Runtime.bus.Repro_machine.Bus.inject <- t.rt.Runtime.inject;
-  match t.rule_translator with
-  | None ->
-    Engine.run t.rt t.cache ~translate:Repro_tcg.Translator_qemu.translate ?chaining
-      ?profile ?max_guest_insns ()
-  | Some tr ->
-    Engine.run t.rt t.cache
-      ~translate:(fun rt cache ~pc -> Translator_rule.translate tr rt cache ~pc)
-      ~link_hook:(fun ~pred ~slot ~succ -> Translator_rule.link_hook tr ~pred ~slot ~succ)
-      ~on_enter:(fun tb -> Translator_rule.on_enter tr t.rt tb)
-      ~on_executed:(fun tb ~outcome ~guest ->
-        Translator_rule.on_executed tr t.rt tb ~outcome ~guest)
-      ?chaining ?profile ?max_guest_insns ()
-
 let stats t = Runtime.stats t.rt
 let cpu t = t.rt.Runtime.cpu
+let journal t = t.journal
 let uart_output t = Devices.Uart.output t.rt.Runtime.bus.Repro_machine.Bus.uart
 
 let set_timer t ~period =
   let timer = t.rt.Runtime.bus.Repro_machine.Bus.timer in
   Devices.Timer.write timer 0x4 period;
   Devices.Timer.write timer 0x0 1
+
+(* ---- snapshot encoding ---- *)
+
+let int_of_injected = function `None -> 0 | `Rule_corrupt -> 1 | `Livelock -> 2
+
+let injected_of_int = function
+  | 0 -> `None
+  | 1 -> `Rule_corrupt
+  | 2 -> `Livelock
+  | n -> raise (Snapshot.Corrupt (Printf.sprintf "cache: bad injection kind %d" n))
+
+let int_of_conv = function
+  | None -> 0
+  | Some Flagconv.Add_like -> 1
+  | Some Flagconv.Sub_like -> 2
+  | Some Flagconv.Logic_like -> 3
+  | Some Flagconv.Canonical -> 4
+
+let conv_of_int = function
+  | 0 -> None
+  | 1 -> Some Flagconv.Add_like
+  | 2 -> Some Flagconv.Sub_like
+  | 3 -> Some Flagconv.Logic_like
+  | 4 -> Some Flagconv.Canonical
+  | n -> raise (Snapshot.Corrupt (Printf.sprintf "cache: bad flag convention %d" n))
+
+(* One record per live TB, in translation (id) order, followed by the
+   chain graph as record-index triples. The host code itself is not
+   serialized: every translator input it depends on — guest memory,
+   the SMC length override, the injected corruption, the accumulated
+   link-time meta — is recorded, so restore re-translates to
+   bit-identical programs (live TBs always postdate the last
+   quarantine/blacklist change because every health change flushes the
+   cache). *)
+let encode_cache t =
+  let tbs =
+    Tb.Cache.to_list t.cache
+    |> List.sort (fun (a : Tb.t) (b : Tb.t) -> compare a.Tb.id b.Tb.id)
+    |> Array.of_list
+  in
+  let index_of_id = Hashtbl.create 64 in
+  Array.iteri (fun i (tb : Tb.t) -> Hashtbl.replace index_of_id tb.Tb.id i) tbs;
+  let b = Snapshot.Enc.create () in
+  Snapshot.Enc.int b (Array.length tbs);
+  Array.iter
+    (fun (tb : Tb.t) ->
+      Snapshot.Enc.int b tb.Tb.id;
+      Snapshot.Enc.int b tb.Tb.guest_pc;
+      Snapshot.Enc.bool b tb.Tb.privileged;
+      Snapshot.Enc.bool b tb.Tb.mmu_on;
+      Snapshot.Enc.int b
+        (match tb.Tb.translated_override with None -> -1 | Some n -> n);
+      Snapshot.Enc.int b (int_of_injected tb.Tb.injected);
+      (match t.rule_translator with
+      | None -> Snapshot.Enc.bool b false
+      | Some tr -> (
+        match Translator_rule.cache_meta tr tb with
+        | None -> Snapshot.Enc.bool b false
+        | Some (elide, conv) ->
+          Snapshot.Enc.bool b true;
+          Snapshot.Enc.int b (Array.length elide);
+          Array.iter (Snapshot.Enc.bool b) elide;
+          Snapshot.Enc.int b (int_of_conv conv))))
+    tbs;
+  Array.iter
+    (fun (tb : Tb.t) ->
+      Snapshot.Enc.int b (Array.length tb.Tb.links);
+      Array.iter
+        (fun succ ->
+          Snapshot.Enc.int b
+            (match succ with
+            | None -> -1
+            | Some (s : Tb.t) -> Hashtbl.find index_of_id s.Tb.id))
+        tb.Tb.links)
+    tbs;
+  Snapshot.Enc.contents b
+
+type tb_record = {
+  r_id : int;
+  r_pc : int;
+  r_priv : bool;
+  r_mmu : bool;
+  r_override : int option;
+  r_injected : [ `None | `Rule_corrupt | `Livelock ];
+  r_meta : (bool array * Flagconv.t option) option;
+}
+
+let decode_cache payload =
+  let d = Snapshot.Dec.of_string ~name:"cache" payload in
+  let n = Snapshot.Dec.int d in
+  if n < 0 then raise (Snapshot.Corrupt "cache: negative record count");
+  let records =
+    Array.init n (fun _ ->
+        let r_id = Snapshot.Dec.int d in
+        let r_pc = Snapshot.Dec.int d in
+        let r_priv = Snapshot.Dec.bool d in
+        let r_mmu = Snapshot.Dec.bool d in
+        let ov = Snapshot.Dec.int d in
+        let r_override = if ov < 0 then None else Some ov in
+        let r_injected = injected_of_int (Snapshot.Dec.int d) in
+        let r_meta =
+          if Snapshot.Dec.bool d then begin
+            let len = Snapshot.Dec.int d in
+            let elide = Array.init len (fun _ -> Snapshot.Dec.bool d) in
+            let conv = conv_of_int (Snapshot.Dec.int d) in
+            Some (elide, conv)
+          end
+          else None
+        in
+        { r_id; r_pc; r_priv; r_mmu; r_override; r_injected; r_meta })
+  in
+  let links =
+    Array.init n (fun _ ->
+        let slots = Snapshot.Dec.int d in
+        Array.init slots (fun _ -> Snapshot.Dec.int d))
+  in
+  if not (Snapshot.Dec.finished d) then
+    raise (Snapshot.Corrupt "cache: trailing bytes");
+  (records, links)
+
+let encode_translator tr rs =
+  let saved = Translator_rule.save_state tr in
+  let strikes, quarantined = Ruleset.export_health rs in
+  let b = Snapshot.Enc.create () in
+  let ints l =
+    Snapshot.Enc.int b (List.length l);
+    List.iter (Snapshot.Enc.int b) l
+  in
+  let pairs l =
+    Snapshot.Enc.int b (List.length l);
+    List.iter
+      (fun (x, y) ->
+        Snapshot.Enc.int b x;
+        Snapshot.Enc.int b y)
+      l
+  in
+  ints saved.Translator_rule.s_blacklist;
+  pairs saved.Translator_rule.s_shadow_done;
+  pairs saved.Translator_rule.s_shadow_tries;
+  Snapshot.Enc.int b saved.Translator_rule.s_rule_covered;
+  Snapshot.Enc.int b saved.Translator_rule.s_fallback;
+  Snapshot.Enc.int b saved.Translator_rule.s_inter_tb_elisions;
+  pairs strikes;
+  ints quarantined;
+  Snapshot.Enc.contents b
+
+let decode_translator payload =
+  let d = Snapshot.Dec.of_string ~name:"translator" payload in
+  let ints () = Array.to_list (Snapshot.Dec.int_array d) in
+  let pairs () =
+    let n = Snapshot.Dec.int d in
+    List.init n (fun _ ->
+        let x = Snapshot.Dec.int d in
+        let y = Snapshot.Dec.int d in
+        (x, y))
+  in
+  let s_blacklist = ints () in
+  let s_shadow_done = pairs () in
+  let s_shadow_tries = pairs () in
+  let s_rule_covered = Snapshot.Dec.int d in
+  let s_fallback = Snapshot.Dec.int d in
+  let s_inter_tb_elisions = Snapshot.Dec.int d in
+  let strikes = pairs () in
+  let quarantined = ints () in
+  if not (Snapshot.Dec.finished d) then
+    raise (Snapshot.Corrupt "translator: trailing bytes");
+  ( {
+      Translator_rule.s_blacklist;
+      s_shadow_done;
+      s_shadow_tries;
+      s_rule_covered;
+      s_fallback;
+      s_inter_tb_elisions;
+    },
+    strikes,
+    quarantined )
+
+let encode_resume (r : Engine.resume) =
+  let b = Snapshot.Enc.create () in
+  Snapshot.Enc.int b r.Engine.rpc;
+  Snapshot.Enc.bool b r.Engine.rprivileged;
+  Snapshot.Enc.bool b r.Engine.rmmu_on;
+  Snapshot.Enc.bool b r.Engine.rneeds_enter;
+  Snapshot.Enc.contents b
+
+let decode_resume payload =
+  let d = Snapshot.Dec.of_string ~name:"resume" payload in
+  let rpc = Snapshot.Dec.int d in
+  let rprivileged = Snapshot.Dec.bool d in
+  let rmmu_on = Snapshot.Dec.bool d in
+  let rneeds_enter = Snapshot.Dec.bool d in
+  if not (Snapshot.Dec.finished d) then
+    raise (Snapshot.Corrupt "resume: trailing bytes");
+  { Engine.rpc; rprivileged; rmmu_on; rneeds_enter }
+
+let capture ?resume t =
+  let snap = Snapshot.create () in
+  Snapshot.add snap "mode" (mode_name t.mode);
+  Snapshot.capture_machine t.rt snap;
+  Snapshot.add snap "cache" (encode_cache t);
+  let ctl = Snapshot.Enc.create () in
+  Snapshot.Enc.int ctl (Tb.Cache.full_flushes t.cache);
+  Snapshot.Enc.int ctl (Tb.Cache.ids t.cache);
+  Snapshot.add snap "cachectl" (Snapshot.Enc.contents ctl);
+  (match (t.rule_translator, t.ruleset) with
+  | Some tr, Some rs -> Snapshot.add snap "translator" (encode_translator tr rs)
+  | _ -> ());
+  (match resume with
+  | Some r -> Snapshot.add snap "resume" (encode_resume r)
+  | None -> ());
+  Snapshot.add snap "journal" (Journal.to_string t.journal);
+  snap
+
+let snapshot t =
+  match t.stop_checkpoint with Some s -> s | None -> capture t
+
+(* ---- restore ---- *)
+
+(* Re-translate the captured live set in id order under each record's
+   recorded context (privilege, MMU, SMC length override, injected
+   corruption), then re-apply the captured link-time meta and chain
+   graph. The mirror CPU is temporarily forced to each record's
+   translation regime and put back afterwards. *)
+let rebuild_cache t records links =
+  let rt = t.rt in
+  let saved_cpu = Cpu.save_words rt.Runtime.cpu in
+  let translate =
+    match t.rule_translator with
+    | Some tr -> fun rt cache ~pc -> Translator_rule.translate tr rt cache ~pc
+    | None -> Repro_tcg.Translator_qemu.translate
+  in
+  Tb.Cache.flush t.cache;
+  let tbs =
+    Array.map
+      (fun r ->
+        Cpu.set_mode rt.Runtime.cpu (if r.r_priv then Cpu.Supervisor else Cpu.User);
+        Cpu.set_mmu_enabled rt.Runtime.cpu r.r_mmu;
+        rt.Runtime.tb_override <- r.r_override;
+        rt.Runtime.corrupt_override <- Some r.r_injected;
+        Tb.Cache.set_ids t.cache (r.r_id - 1);
+        match translate rt t.cache ~pc:r.r_pc with
+        | Ok tb ->
+          Tb.Cache.add_exact t.cache tb;
+          Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb tb.Tb.guest_pc;
+          Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb
+            (tb.Tb.guest_pc + (4 * tb.Tb.guest_len) - 4);
+          tb
+        | Error _ ->
+          raise
+            (Snapshot.Corrupt
+               (Printf.sprintf "cache rebuild: TB at %#x is no longer translatable"
+                  r.r_pc)))
+      records
+  in
+  rt.Runtime.tb_override <- None;
+  rt.Runtime.corrupt_override <- None;
+  Cpu.load_words rt.Runtime.cpu saved_cpu;
+  (match t.rule_translator with
+  | Some tr ->
+    Array.iteri
+      (fun i r ->
+        match r.r_meta with
+        | Some (elide, entry_conv) ->
+          Translator_rule.restore_cache_meta tr tbs.(i) ~elide ~entry_conv
+        | None -> ())
+      records
+  | None -> ());
+  Array.iteri
+    (fun i slots ->
+      Array.iteri
+        (fun slot succ ->
+          if succ >= 0 then begin
+            if succ >= Array.length tbs then
+              raise (Snapshot.Corrupt "cache: link to a nonexistent record");
+            tbs.(i).Tb.links.(slot) <- Some tbs.(succ)
+          end)
+        slots)
+    links
+
+let restore ?(rebuild = true) t snap =
+  (match Snapshot.find_opt snap "mode" with
+  | Some m when m = mode_name t.mode -> ()
+  | Some m ->
+    raise
+      (Snapshot.Corrupt
+         (Printf.sprintf "snapshot was taken under mode %s, this machine is %s" m
+            (mode_name t.mode)))
+  | None -> raise (Snapshot.Corrupt "missing section mode"));
+  Snapshot.restore_machine t.rt snap;
+  (* Translator tables and rule health install before the cache
+     rebuild: translation consults the blacklist and the quarantine
+     set, and every health change flushed the captured cache, so the
+     restored final health state is the one every live TB was
+     translated under. *)
+  let tr_saved =
+    match (t.rule_translator, t.ruleset, Snapshot.find_opt snap "translator") with
+    | Some tr, Some rs, Some payload ->
+      let saved, strikes, quarantined = decode_translator payload in
+      Translator_rule.restore_state tr saved;
+      Ruleset.restore_health rs ~strikes ~quarantined;
+      Some saved
+    | None, _, None -> None
+    | Some _, _, None -> raise (Snapshot.Corrupt "missing section translator")
+    | _ -> raise (Snapshot.Corrupt "translator section in a qemu-mode snapshot")
+  in
+  if rebuild then begin
+    let records, links = decode_cache (Snapshot.find snap "cache") in
+    rebuild_cache t records links
+  end
+  else Tb.Cache.flush t.cache;
+  (* Counters go in verbatim last: the rebuild itself translates (and
+     may walk page tables), which perturbs stats, translator counters
+     and potentially TLB/injector state. *)
+  (match (t.rule_translator, tr_saved) with
+  | Some tr, Some saved -> Translator_rule.restore_counters tr saved
+  | _ -> ());
+  let ctl = Snapshot.Dec.of_string ~name:"cachectl" (Snapshot.find snap "cachectl") in
+  Tb.Cache.set_full_flushes t.cache (Snapshot.Dec.int ctl);
+  Tb.Cache.set_ids t.cache (Snapshot.Dec.int ctl);
+  let redo name f =
+    let d = Snapshot.Dec.of_string ~name (Snapshot.find snap name) in
+    f d
+  in
+  redo "stats" (fun d ->
+      Stats.load_array (Runtime.stats t.rt) (Snapshot.Dec.int_array d));
+  redo "tlb" (fun d ->
+      Tlb.restore t.rt.Runtime.ctx.Runtime.Exec.tlb (Snapshot.Dec.int_array d));
+  (match t.rt.Runtime.inject with
+  | Some inj ->
+    redo "inject" (fun d -> Fi.import inj (Snapshot.Dec.i64_array d))
+  | None -> ());
+  t.pending_resume <-
+    (match Snapshot.find_opt snap "resume" with
+    | Some p -> Some (decode_resume p)
+    | None -> None);
+  t.journal <-
+    (match Snapshot.find_opt snap "journal" with
+    | Some j -> Journal.of_string j
+    | None -> Journal.create ());
+  t.last_checkpoint <- None;
+  t.stop_checkpoint <- None
+
+(* ---- snapshot readers for front ends ---- *)
+
+let snapshot_mode snap =
+  let m = Snapshot.find snap "mode" in
+  match mode_of_name m with
+  | Some mode -> mode
+  | None -> raise (Snapshot.Corrupt (Printf.sprintf "unknown mode %s" m))
+
+let snapshot_injector snap =
+  match Snapshot.find_opt snap "inject" with
+  | None -> None
+  | Some payload ->
+    let d = Snapshot.Dec.of_string ~name:"inject" payload in
+    Some (Fi.of_export (Snapshot.Dec.i64_array d))
+
+let snapshot_ram_kib snap = String.length (Snapshot.find snap "ram") / 1024
+
+(* ---- the run loop: journal hooks, checkpoints, watchdog ---- *)
+
+let postmortem_dump t ~reason =
+  match t.last_checkpoint with
+  | None -> None
+  | Some cp ->
+    (* fresh copy: the stored checkpoint stays reusable *)
+    let dump = Snapshot.of_string (Snapshot.to_string cp) in
+    Snapshot.add dump "expected" (Journal.to_string t.journal);
+    Snapshot.add dump "reason" reason;
+    Some dump
+
+type rung = Rung_rules | Rung_baseline | Rung_interp
+
+let rung_name = function
+  | Rung_rules -> "rules"
+  | Rung_baseline -> "baseline"
+  | Rung_interp -> "interpreter"
+
+let degrade = function
+  | Rung_rules -> Some Rung_baseline
+  | Rung_baseline -> Some Rung_interp
+  | Rung_interp -> None
+
+let interp_translate rt cache ~pc =
+  rt.Runtime.tb_override <- Some 1;
+  let r = Repro_tcg.Translator_qemu.translate rt cache ~pc in
+  rt.Runtime.tb_override <- None;
+  r
+
+let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
+    ?on_checkpoint ?(watchdog = true) ?on_postmortem t =
+  (* Arm the bus injection point only now, so image loading and other
+     pre-run setup are never perturbed. *)
+  t.rt.Runtime.bus.Repro_machine.Bus.inject <- t.rt.Runtime.inject;
+  (* Entropy-capture invariant: every stochastic decision this run can
+     make (bus, MMU, engine, translator sites) must draw from the one
+     injector whose PRNG cursor the snapshot captures — a second
+     entropy source would make restored runs diverge silently. *)
+  (match t.rt.Runtime.inject with
+  | Some inj ->
+    assert (
+      match t.rt.Runtime.bus.Repro_machine.Bus.inject with
+      | Some b -> b == inj
+      | None -> false)
+  | None -> ());
+  let stats = Runtime.stats t.rt in
+  let start = stats.Stats.guest_insns in
+  t.stop_checkpoint <- None;
+  (* journal hooks: MMIO reads, fired faults, delivered IRQs *)
+  t.rt.Runtime.bus.Repro_machine.Bus.device_read_hook <-
+    Some
+      (fun paddr value ->
+        Journal.record t.journal
+          (Journal.Dev_read { at = stats.Stats.guest_insns; paddr; value }));
+  (match t.rt.Runtime.inject with
+  | Some inj ->
+    Fi.set_fire_hook inj
+      (Some
+         (fun site ->
+           Journal.record t.journal
+             (Journal.Fault
+                { at = stats.Stats.guest_insns; site = Fi.site_name site })))
+  | None -> ());
+  let on_irq pc =
+    Journal.record t.journal (Journal.Irq { at = stats.Stats.guest_insns; pc })
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      t.rt.Runtime.bus.Repro_machine.Bus.device_read_hook <- None;
+      match t.rt.Runtime.inject with
+      | Some inj -> Fi.set_fire_hook inj None
+      | None -> ())
+  @@ fun () ->
+  let checkpointing =
+    watchdog || checkpoint_every > 0 || on_checkpoint <> None
+  in
+  let engine_cp resume =
+    (* The journal window restarts at clean checkpoints; clearing
+       before the capture makes the serialized journal the
+       post-checkpoint state, so a restored run and the uninterrupted
+       one keep identical journals from here on. *)
+    if resume.Engine.rneeds_enter then Journal.clear t.journal;
+    let snap = capture ~resume t in
+    t.stop_checkpoint <- Some snap;
+    (* Only clean engine-dispatch points serve as watchdog rollback
+       targets: a mid-chain checkpoint can carry guest flags live in
+       host EFLAGS under an inter-TB convention a degraded engine
+       would not re-establish. *)
+    if resume.Engine.rneeds_enter then t.last_checkpoint <- Some snap;
+    match on_checkpoint with Some f -> f snap | None -> ()
+  in
+  (* The watchdog needs a rollback target before anything can livelock:
+     take checkpoint zero at the starting state. *)
+  if watchdog && t.last_checkpoint = None then begin
+    let resume =
+      match t.pending_resume with
+      | Some r -> r
+      | None ->
+        Runtime.sync_cpu_to_env t.rt;
+        Runtime.refresh_irq_pending t.rt;
+        Journal.clear t.journal;
+        {
+          Engine.rpc = Cpu.get_pc t.rt.Runtime.cpu;
+          rprivileged = Runtime.privileged t.rt;
+          rmmu_on = Cpu.mmu_enabled t.rt.Runtime.cpu;
+          rneeds_enter = true;
+        }
+    in
+    t.last_checkpoint <- Some (capture ~resume t)
+  end;
+  let engine rung resume =
+    let remaining = max_guest_insns - (stats.Stats.guest_insns - start) in
+    let common translate ?link_hook ?on_enter ?on_executed () =
+      Engine.run t.rt t.cache ~translate ?link_hook ?on_enter ?on_executed
+        ?chaining ?profile ~max_guest_insns:remaining ~checkpoint_every
+        ?on_checkpoint:(if checkpointing then Some engine_cp else None)
+        ?resume ~on_irq ()
+    in
+    match rung with
+    | Rung_rules ->
+      let tr =
+        match t.rule_translator with Some tr -> tr | None -> assert false
+      in
+      common
+        (fun rt cache ~pc -> Translator_rule.translate tr rt cache ~pc)
+        ~link_hook:(fun ~pred ~slot ~succ ->
+          Translator_rule.link_hook tr ~pred ~slot ~succ)
+        ~on_enter:(fun tb -> Translator_rule.on_enter tr t.rt tb)
+        ~on_executed:(fun tb ~outcome ~guest ->
+          match Translator_rule.on_executed tr t.rt tb ~outcome ~guest with
+          | `Continue -> `Continue
+          | `Invalidate ->
+            Journal.record t.journal
+              (Journal.Diverge
+                 {
+                   at = stats.Stats.guest_insns;
+                   pc = tb.Tb.guest_pc;
+                   detail = "shadow-repair";
+                 });
+            (match on_postmortem with
+            | Some f -> (
+              let reason =
+                Printf.sprintf "shadow-divergence at %#x" tb.Tb.guest_pc
+              in
+              match postmortem_dump t ~reason with
+              | Some dump -> f ~reason dump
+              | None -> ())
+            | None -> ());
+            `Invalidate)
+        ()
+    | Rung_baseline -> common Repro_tcg.Translator_qemu.translate ()
+    | Rung_interp -> common interp_translate ()
+  in
+  let rec attempt rung resume =
+    let res = engine rung resume in
+    match res.Engine.reason with
+    | `Livelock pc when watchdog -> (
+      match (degrade rung, t.last_checkpoint) with
+      | Some next, Some cp ->
+        let reason =
+          Printf.sprintf "livelock at %#x under the %s engine" pc
+            (rung_name rung)
+        in
+        (match on_postmortem with
+        | Some f -> (
+          match postmortem_dump t ~reason with
+          | Some dump -> f ~reason dump
+          | None -> ())
+        | None -> ());
+        (* Roll back to the last clean checkpoint and re-execute under
+           the next rung down. The corrupted translation is dropped
+           with the rest of the cache (no rebuild); the degraded
+           translator regenerates code on demand. *)
+        restore ~rebuild:false t cp;
+        t.last_checkpoint <- Some cp;
+        stats.Stats.livelocks_recovered <- stats.Stats.livelocks_recovered + 1;
+        let resume = t.pending_resume in
+        t.pending_resume <- None;
+        attempt next resume
+      | _ -> res)
+    | _ -> res
+  in
+  let first_rung =
+    match t.mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules
+  in
+  let resume = t.pending_resume in
+  t.pending_resume <- None;
+  let res = attempt first_rung resume in
+  (match res.Engine.reason with
+  | `Halted code ->
+    Journal.record t.journal
+      (Journal.Halt { at = stats.Stats.guest_insns; code });
+    t.stop_checkpoint <- None
+  | `Livelock _ -> t.stop_checkpoint <- None
+  | `Insn_limit -> ());
+  res
+
+(* ---- deterministic replay ---- *)
+
+type replay_report = {
+  rep_reason : string option;
+  rep_expected : Journal.event list;
+  rep_actual : Journal.event list;
+  rep_result : Engine.result;
+  rep_ok : bool;
+}
+
+let replay ?(slack = 10_000) t dump =
+  restore t dump;
+  let expected =
+    match Snapshot.find_opt dump "expected" with
+    | Some s -> Journal.events (Journal.of_string s)
+    | None -> []
+  in
+  let reason = Snapshot.find_opt dump "reason" in
+  t.journal <- Journal.create ();
+  let stats = Runtime.stats t.rt in
+  let budget =
+    match List.rev expected with
+    | last :: _ -> max 1 (Journal.at last - stats.Stats.guest_insns + slack)
+    | [] -> slack
+  in
+  let res = run ~watchdog:false ~max_guest_insns:budget t in
+  let actual = Journal.events t.journal in
+  let rec is_prefix exp act =
+    match (exp, act) with
+    | [], _ -> true
+    | e :: es, a :: rest when e = a -> is_prefix es rest
+    | _ -> false
+  in
+  {
+    rep_reason = reason;
+    rep_expected = expected;
+    rep_actual = actual;
+    rep_result = res;
+    rep_ok = is_prefix expected actual;
+  }

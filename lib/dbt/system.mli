@@ -1,9 +1,20 @@
 (** Convenience façade: a complete emulated machine under either the
     QEMU-style baseline or the rule-based engine at a chosen
     optimization level. This is the API the examples, experiments and
-    CLI drive. *)
+    CLI drive.
+
+    Robustness layer: the machine can be checkpointed into
+    crash-consistent {!Repro_snapshot.Snapshot} containers and
+    restored bit-identically (CPU, RAM, TLB, devices, injector PRNG,
+    statistics, translation cache and its chain graph, resume cursor);
+    a {!Repro_snapshot.Journal} records externally-visible events at
+    retired-instruction timestamps; and a livelock watchdog rolls a
+    runaway host loop back to the last checkpoint and re-executes
+    under a degraded engine instead of killing the process. *)
 
 open Repro_common
+module Snapshot := Repro_snapshot.Snapshot
+module Journal := Repro_snapshot.Journal
 
 type mode =
   | Qemu  (** the unmodified QEMU 6.1 stand-in (baseline) *)
@@ -11,11 +22,29 @@ type mode =
 
 val mode_name : mode -> string
 
+val mode_of_name : string -> mode option
+(** Inverse of {!mode_name} over the named optimization levels
+    (snapshots record the mode as a string). *)
+
 type t = {
   mode : mode;
   rt : Repro_tcg.Runtime.t;
   cache : Repro_tcg.Tb.Cache.t;
   rule_translator : Translator_rule.t option;
+  ruleset : Repro_rules.Ruleset.t option;
+      (** the ruleset driving [rule_translator] (health state is part
+          of every snapshot); [None] in [Qemu] mode *)
+  mutable journal : Journal.t;
+      (** events recorded since the last clean checkpoint *)
+  mutable pending_resume : Repro_tcg.Engine.resume option;
+      (** set by {!restore}; consumed by the next {!run} to re-enter
+          the engine loop exactly where the snapshot was taken *)
+  mutable last_checkpoint : Snapshot.t option;
+      (** watchdog rollback target (last clean-dispatch checkpoint) *)
+  mutable stop_checkpoint : Snapshot.t option;
+      (** checkpoint taken when the previous run hit its instruction
+          limit — what {!snapshot} returns so a saved run resumes
+          bit-identically *)
 }
 
 val create :
@@ -44,17 +73,86 @@ val run :
   ?chaining:bool ->
   ?profile:Repro_tcg.Profile.t ->
   ?max_guest_insns:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(Snapshot.t -> unit) ->
+  ?watchdog:bool ->
+  ?on_postmortem:(reason:string -> Snapshot.t -> unit) ->
   t ->
   Repro_tcg.Engine.result
-(** Run from the current CPU state (reset state initially).
+(** Run from the current CPU state (reset state initially), or from a
+    {!restore}d resume cursor when one is pending.
+
     [chaining] (default true) toggles TB block chaining — the ablation
     substrate for the inter-TB experiments. [profile], when given,
-    accumulates a per-TB hot-block profile (see
-    {!Repro_tcg.Profile}). *)
+    accumulates a per-TB hot-block profile (see {!Repro_tcg.Profile}).
+
+    [checkpoint_every] (default 0 = off) arms periodic snapshots at
+    TB boundaries, handed to [on_checkpoint]; one also fires when the
+    run stops at [max_guest_insns] (retrievable via {!snapshot}).
+
+    [watchdog] (default true): on a host-code livelock (fuel
+    exhaustion in a runaway TB), roll back to the last clean
+    checkpoint — one is taken at run start — bump
+    [stats.livelocks_recovered], and re-execute under a degraded
+    engine: rules -> baseline -> single-instruction interpreter TBs.
+    A livelock on the last rung (or with the watchdog off) surfaces as
+    [`Livelock].
+
+    [on_postmortem ~reason dump] fires when shadow verification
+    repairs a divergence or the watchdog catches a livelock: [dump] is
+    the last clean checkpoint plus the expected event journal and
+    [reason], ready for {!replay} (or [Snapshot.save_file] and
+    [repro-dbt-run --replay]). *)
 
 val stats : t -> Repro_x86.Stats.t
 val cpu : t -> Repro_arm.Cpu.t
+val journal : t -> Journal.t
 val uart_output : t -> string
+
 val set_timer : t -> period:int -> unit
 (** Pre-arm the platform timer (alternative to the guest programming
     it over MMIO). *)
+
+(** {2 Snapshots} *)
+
+val snapshot : t -> Snapshot.t
+(** The checkpoint captured when the previous run stopped at its
+    instruction limit (carrying the engine resume cursor, so the
+    restored run continues bit-identically), or a fresh capture of the
+    current state when there is none. *)
+
+val restore : ?rebuild:bool -> t -> Snapshot.t -> unit
+(** Restore a snapshot into a machine created with the same shape
+    (mode, RAM size, injector presence/behavior, ruleset). [rebuild]
+    (default true) re-translates the captured live TB set to
+    bit-identical host code and restores the chain graph; [false]
+    just flushes the cache (the watchdog's rollback path). Raises
+    [Snapshot.Corrupt] on any mismatch. *)
+
+val snapshot_mode : Snapshot.t -> mode
+(** The mode a snapshot was taken under (to construct a matching
+    machine). Raises [Snapshot.Corrupt]. *)
+
+val snapshot_injector : Snapshot.t -> Repro_faultinject.Faultinject.t option
+(** A fresh injector matching the snapshot's captured injector state,
+    or [None] if the capture ran without one. *)
+
+val snapshot_ram_kib : Snapshot.t -> int
+
+(** {2 Deterministic replay} *)
+
+type replay_report = {
+  rep_reason : string option;  (** the dump's recorded failure reason *)
+  rep_expected : Journal.event list;
+      (** events the original run produced after the checkpoint *)
+  rep_actual : Journal.event list;  (** events the replay produced *)
+  rep_result : Repro_tcg.Engine.result;
+  rep_ok : bool;
+      (** the expected events are a prefix of the replayed ones —
+          the failure reproduced deterministically *)
+}
+
+val replay : ?slack:int -> t -> Snapshot.t -> replay_report
+(** Restore a post-mortem dump and re-execute (watchdog off) until
+    [slack] guest instructions past the last expected event,
+    comparing the event journals. *)

@@ -404,6 +404,26 @@ let corrupt_prog (prog : Repro_x86.Prog.t) =
   in
   scan 0
 
+(* Fault point: rule-generated code sabotaged into a tight host loop —
+   the first real instruction becomes a jump to itself. The TB never
+   reaches an exit, burning its host fuel; only the engine's typed
+   {!Repro_x86.Exec.Fuel_exhausted} watchdog path can recover. *)
+let livelock_prog (prog : Repro_x86.Prog.t) =
+  let code = prog.Repro_x86.Prog.code in
+  let n = Array.length code in
+  let fresh =
+    1 + Hashtbl.fold (fun l _ acc -> max l acc) prog.Repro_x86.Prog.label_index 0
+  in
+  let rec scan i =
+    if i >= n then ()
+    else if Repro_x86.Prog.is_pseudo code.(i) then scan (i + 1)
+    else begin
+      Hashtbl.replace prog.Repro_x86.Prog.label_index fresh i;
+      code.(i) <- X.Jmp fresh
+    end
+  in
+  scan 0
+
 let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
   let privileged = Runtime.privileged rt in
   let r =
@@ -453,12 +473,32 @@ let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
       guest_insns = insns;
       guest_len = Array.length insns;
       fault_producers;
+      translated_override = rt.Runtime.tb_override;
+      injected = `None;
     }
   in
-  (match rt.Runtime.inject with
-  | Some inj when r.Emitter.rule_covered > 0 && Fi.fire inj Fi.Rule_corrupt ->
-    corrupt_prog tb.Tb.prog
-  | _ -> ());
+  (match rt.Runtime.corrupt_override with
+  | Some `Rule_corrupt ->
+    (* Snapshot cache rebuild: re-apply the recorded corruption without
+       touching the injector's PRNG stream. *)
+    corrupt_prog tb.Tb.prog;
+    tb.Tb.injected <- `Rule_corrupt
+  | Some `Livelock ->
+    livelock_prog tb.Tb.prog;
+    tb.Tb.injected <- `Livelock
+  | Some `None -> ()
+  | None -> (
+    match rt.Runtime.inject with
+    | Some inj when r.Emitter.rule_covered > 0 ->
+      if Fi.fire inj Fi.Rule_corrupt then begin
+        corrupt_prog tb.Tb.prog;
+        tb.Tb.injected <- `Rule_corrupt
+      end
+      else if Fi.fire inj Fi.Host_livelock then begin
+        livelock_prog tb.Tb.prog;
+        tb.Tb.injected <- `Livelock
+      end
+    | _ -> ()));
   tb
 
 let translate t (rt : Runtime.t) cache ~pc =
@@ -516,7 +556,9 @@ let re_emit t (tb : Tb.t) m =
   in
   m.exit_states <- r.Emitter.exit_states;
   m.rules_used <- r.Emitter.rules_used;
-  tb.Tb.prog <- r.Emitter.prog
+  tb.Tb.prog <- r.Emitter.prog;
+  (* a fresh emission discards any injected code corruption *)
+  tb.Tb.injected <- `None
 
 (* ---------- III-C-3: inter-TB elimination at chain time ---------- *)
 
@@ -575,3 +617,76 @@ let stats_rule_covered t = t.rule_covered
 let stats_fallback t = t.fallback
 let stats_inter_tb_elisions t = t.inter_tb_elisions
 let blacklist_size t = Hashtbl.length t.blacklist
+
+(* ---------- snapshot support ----------
+
+   The translator's durable state is small: the PC blacklist, the
+   per-PC shadow-sampling counters and three statistics. Per-TB metas
+   are NOT serialized — the code cache is rebuilt on restore by
+   re-translation (deterministic given the restored RAM, ruleset
+   health and blacklist: every quarantine/blacklist change flushes the
+   whole cache, so live TBs always postdate the last such change), and
+   [restore_cache_meta] re-applies the link-time elision state the
+   linker had accumulated. [pending] is always [None] at a checkpoint
+   (checkpoints fire at TB boundaries before [on_enter] arms it). *)
+
+type saved = {
+  s_blacklist : Word32.t list;
+  s_shadow_done : (Word32.t * int) list;
+  s_shadow_tries : (Word32.t * int) list;
+  s_rule_covered : int;
+  s_fallback : int;
+  s_inter_tb_elisions : int;
+}
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let save_state t =
+  {
+    s_blacklist = List.map fst (sorted_bindings t.blacklist);
+    s_shadow_done = sorted_bindings t.shadow_done;
+    s_shadow_tries = sorted_bindings t.shadow_tries;
+    s_rule_covered = t.rule_covered;
+    s_fallback = t.fallback;
+    s_inter_tb_elisions = t.inter_tb_elisions;
+  }
+
+(* The counters live apart from the tables because the cache rebuild
+   itself goes through [build_tb]/[re_emit], which bump them: restore
+   the tables first, rebuild, then pin the counters back. *)
+let restore_counters t s =
+  t.rule_covered <- s.s_rule_covered;
+  t.fallback <- s.s_fallback;
+  t.inter_tb_elisions <- s.s_inter_tb_elisions
+
+let restore_state t s =
+  Hashtbl.reset t.blacklist;
+  List.iter (fun pc -> Hashtbl.replace t.blacklist pc ()) s.s_blacklist;
+  Hashtbl.reset t.shadow_done;
+  List.iter (fun (pc, n) -> Hashtbl.replace t.shadow_done pc n) s.s_shadow_done;
+  Hashtbl.reset t.shadow_tries;
+  List.iter (fun (pc, n) -> Hashtbl.replace t.shadow_tries pc n) s.s_shadow_tries;
+  t.pending <- None;
+  Hashtbl.reset t.metas;
+  restore_counters t s
+
+let cache_meta t (tb : Tb.t) =
+  match Hashtbl.find_opt t.metas tb.Tb.id with
+  | None -> None
+  | Some m -> Some (Array.copy m.elide, m.entry_conv)
+
+let restore_cache_meta t (tb : Tb.t) ~elide ~entry_conv =
+  match Hashtbl.find_opt t.metas tb.Tb.id with
+  | None -> ()
+  | Some m ->
+    let dirty = entry_conv <> m.entry_conv || elide <> m.elide in
+    if dirty then begin
+      m.elide <- Array.copy elide;
+      m.entry_conv <- entry_conv;
+      (* Final prog = a pure function of the meta: one re-emission
+         reproduces whatever sequence of link-time re-emissions the
+         original run performed, in any order. The counters the
+         re-emission would perturb are restored afterwards. *)
+      re_emit t tb m
+    end

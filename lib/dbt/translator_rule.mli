@@ -66,3 +66,44 @@ val stats_inter_tb_elisions : t -> int
 
 val blacklist_size : t -> int
 (** Guest PCs permanently routed to the baseline translator. *)
+
+(** {2 Snapshot support} *)
+
+type saved = {
+  s_blacklist : Word32.t list;
+  s_shadow_done : (Word32.t * int) list;
+  s_shadow_tries : (Word32.t * int) list;
+  s_rule_covered : int;
+  s_fallback : int;
+  s_inter_tb_elisions : int;
+}
+(** The translator's durable state (sorted for stable encodings).
+    Per-TB metadata is not part of it: the code cache is rebuilt by
+    deterministic re-translation on restore, and {!restore_cache_meta}
+    re-applies the accumulated link-time state. *)
+
+val save_state : t -> saved
+
+val restore_state : t -> saved -> unit
+(** Install [saved]'s tables, clear per-TB metadata and any pending
+    shadow expectation. Call {e before} rebuilding the code cache
+    (translation consults the blacklist), then {!restore_counters}
+    after it (the rebuild itself bumps the counters). *)
+
+val restore_counters : t -> saved -> unit
+
+val cache_meta : t -> Repro_tcg.Tb.t -> (bool array * Repro_rules.Flagconv.t option) option
+(** The link-time meta state of a live TB — per-slot flag-save
+    elisions and the entry flag-convention assumption — or [None] for
+    TBs the rule emitter did not produce (baseline fallbacks). *)
+
+val restore_cache_meta :
+  t ->
+  Repro_tcg.Tb.t ->
+  elide:bool array ->
+  entry_conv:Repro_rules.Flagconv.t option ->
+  unit
+(** Re-apply captured link-time meta to a freshly rebuilt TB,
+    re-emitting its code if it differs from the just-translated
+    default — the rebuilt prog becomes bit-identical to the captured
+    one. *)

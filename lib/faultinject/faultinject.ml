@@ -8,11 +8,13 @@ type site =
   | Spurious_irq
   | Tb_flush
   | Rule_corrupt
+  | Host_livelock
 
 type behavior = Transient | Surface
 
 let all_sites =
-  [ Bus_read; Bus_write; Tlb_flush; Walk_corrupt; Spurious_irq; Tb_flush; Rule_corrupt ]
+  [ Bus_read; Bus_write; Tlb_flush; Walk_corrupt; Spurious_irq; Tb_flush; Rule_corrupt;
+    Host_livelock ]
 
 let n_sites = List.length all_sites
 
@@ -24,6 +26,7 @@ let index = function
   | Spurious_irq -> 4
   | Tb_flush -> 5
   | Rule_corrupt -> 6
+  | Host_livelock -> 7
 
 let site_name = function
   | Bus_read -> "bus-read"
@@ -33,6 +36,9 @@ let site_name = function
   | Spurious_irq -> "spurious-irq"
   | Tb_flush -> "tb-flush"
   | Rule_corrupt -> "rule-corrupt"
+  | Host_livelock -> "host-livelock"
+
+let site_of_name n = List.find_opt (fun s -> site_name s = n) all_sites
 
 type t = {
   prng : Prng.t;
@@ -40,15 +46,22 @@ type t = {
   events : int array;
   fired : int array;
   behavior : behavior;
+  mutable fire_hook : (site -> unit) option;
 }
 
 let create ?(seed = 1) ?(rate = 0.001) ?(behavior = Transient) () =
+  let rates = Array.make n_sites rate in
+  (* Host_livelock sabotages emitted code into a host infinite loop —
+     strictly opt-in (watchdog drills), never part of the blanket
+     background rate. *)
+  rates.(index Host_livelock) <- 0.;
   {
     prng = Prng.create ~seed;
-    rates = Array.make n_sites rate;
+    rates;
     events = Array.make n_sites 0;
     fired = Array.make n_sites 0;
     behavior;
+    fire_hook = None;
   }
 
 let set_rate t site r = t.rates.(index site) <- r
@@ -60,9 +73,55 @@ let fire t site =
   if r <= 0. then false
   else begin
     let hit = Prng.chance t.prng r in
-    if hit then t.fired.(i) <- t.fired.(i) + 1;
+    if hit then begin
+      t.fired.(i) <- t.fired.(i) + 1;
+      match t.fire_hook with Some h -> h site | None -> ()
+    end;
     hit
   end
+
+let set_fire_hook t h = t.fire_hook <- h
+
+(* Snapshot support: the injector is the machine's only runtime entropy
+   source, so its complete state rides in every snapshot. Layout:
+   [prng state; behavior; n_sites; rates (float bits); events; fired]. *)
+let export t =
+  Array.concat
+    [
+      [| Prng.state t.prng;
+         (match t.behavior with Transient -> 0L | Surface -> 1L);
+         Int64.of_int n_sites |];
+      Array.map Int64.bits_of_float t.rates;
+      Array.map Int64.of_int t.events;
+      Array.map Int64.of_int t.fired;
+    ]
+
+let import t words =
+  if Array.length words < 3 then invalid_arg "Faultinject.import: truncated state";
+  let n = Int64.to_int words.(2) in
+  if n <> n_sites || Array.length words <> 3 + (3 * n) then
+    invalid_arg "Faultinject.import: site count mismatch";
+  Prng.set_state t.prng words.(0);
+  (* behavior is immutable per injector; a snapshot restored into an
+     injector with the other behavior would not replay faithfully *)
+  let b = match words.(1) with 0L -> Transient | _ -> Surface in
+  if b <> t.behavior then invalid_arg "Faultinject.import: behavior mismatch";
+  for i = 0 to n - 1 do
+    t.rates.(i) <- Int64.float_of_bits words.(3 + i);
+    t.events.(i) <- Int64.to_int words.(3 + n + i);
+    t.fired.(i) <- Int64.to_int words.(3 + (2 * n) + i)
+  done
+
+let of_export words =
+  if Array.length words < 2 then
+    invalid_arg "Faultinject.of_export: truncated state";
+  let behavior = match words.(1) with 0L -> Transient | _ -> Surface in
+  let t = create ~behavior () in
+  import t words;
+  t
+
+let behavior t = t.behavior
+let rate t site = t.rates.(index site)
 
 let surfaces t = t.behavior = Surface
 let events t site = t.events.(index site)

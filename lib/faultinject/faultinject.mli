@@ -24,6 +24,11 @@ type site =
   | Spurious_irq  (** interrupt asserted with no device source *)
   | Tb_flush      (** forced translation-cache flush *)
   | Rule_corrupt  (** corrupted rule-generated host code *)
+  | Host_livelock
+      (** rule-generated host code sabotaged into an infinite host
+          loop — exercises the engine's fuel watchdog. Defaults to
+          rate 0 (opt-in) even when [create ~rate] arms every other
+          site, because it hangs the TB rather than perturbing it. *)
 
 type behavior =
   | Transient  (** bus faults are counted but the access proceeds *)
@@ -50,4 +55,28 @@ val total_events : t -> int
 val total_fired : t -> int
 val all_sites : site list
 val site_name : site -> string
+val site_of_name : string -> site option
 val pp : Format.formatter -> t -> unit
+
+val set_fire_hook : t -> (site -> unit) option -> unit
+(** Observer called on every {e fired} fault (after the counters are
+    bumped). Used by the event journal; the hook itself is transient
+    run state and is never serialized. *)
+
+val export : t -> int64 array
+(** Complete injector state — PRNG cursor, behavior, per-site rates
+    and counters — for embedding in a machine snapshot. *)
+
+val import : t -> int64 array -> unit
+(** Restore state captured by {!export} into an injector created with
+    the same behavior. Raises [Invalid_argument] on layout or behavior
+    mismatch. *)
+
+val of_export : int64 array -> t
+(** Build a fresh injector from an {!export}ed state — the replay
+    driver's way to reconstruct an injector whose behavior it does not
+    know ahead of time. Raises [Invalid_argument] on a malformed
+    capture. *)
+
+val behavior : t -> behavior
+val rate : t -> site -> float

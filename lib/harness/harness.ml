@@ -88,6 +88,11 @@ let execute ?(chaining = true) ?timer_period ?ruleset ?inject ?shadow_depth
         raise
           (Did_not_halt
              (Printf.sprintf "Harness: %s under %s did not halt" bench mode_name))
+      | `Livelock pc ->
+        raise
+          (Did_not_halt
+             (Printf.sprintf "Harness: %s under %s livelocked at %#x" bench mode_name
+                pc))
     in
     let s = D.System.stats sys in
     let r =

@@ -12,6 +12,7 @@ type t = {
   uart : Devices.Uart.t;
   syscon : Devices.Syscon.t;
   mutable inject : Repro_faultinject.Faultinject.t option;
+  mutable device_read_hook : (int -> int -> unit) option;
 }
 
 let create ~ram =
@@ -21,6 +22,7 @@ let create ~ram =
     uart = Devices.Uart.create ();
     syscon = Devices.Syscon.create ();
     inject = None;
+    device_read_hook = None;
   }
 
 (* A fired bus fault surfaces as a bus error only under the Surface
@@ -54,10 +56,14 @@ let read32 t paddr =
       lor (Char.code (Bytes.get t.ram (paddr + 2)) lsl 16)
       lor (Char.code (Bytes.get t.ram (paddr + 3)) lsl 24))
   else
+    let observed v =
+      (match t.device_read_hook with Some h -> h paddr v | None -> ());
+      Ok v
+    in
     match device_of () paddr with
-    | Some (`Timer, off) -> Ok (Devices.Timer.read t.timer off)
-    | Some (`Uart, off) -> Ok (Devices.Uart.read t.uart off)
-    | Some (`Syscon, off) -> Ok (Devices.Syscon.read t.syscon off)
+    | Some (`Timer, off) -> observed (Devices.Timer.read t.timer off)
+    | Some (`Uart, off) -> observed (Devices.Uart.read t.uart off)
+    | Some (`Syscon, off) -> observed (Devices.Syscon.read t.syscon off)
     | None -> Error ()
 
 let write32 t paddr v =

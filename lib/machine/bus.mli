@@ -20,6 +20,10 @@ type t = {
           transient faults are counted and proceed, surfaced faults
           become bus errors. Armed by [Repro_dbt.System.run] so image
           loading is never perturbed. *)
+  mutable device_read_hook : (Word32.t -> Word32.t -> unit) option;
+      (** Observer of successful MMIO reads [(paddr, value)] — the
+          event journal records them at their retired-instruction
+          timestamps. Transient run state, never serialized. *)
 }
 
 val create : ram:Bytes.t -> t

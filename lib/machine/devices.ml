@@ -36,6 +36,18 @@ module Timer = struct
 
   let irq_line t = t.pending
   let irqs_raised t = t.raised
+
+  let export t =
+    [| (if t.enabled then 1 else 0); t.period; t.count; (if t.pending then 1 else 0);
+       t.raised |]
+
+  let import t a =
+    if Array.length a <> 5 then invalid_arg "Timer.import: bad state";
+    t.enabled <- a.(0) <> 0;
+    t.period <- a.(1);
+    t.count <- a.(2);
+    t.pending <- a.(3) <> 0;
+    t.raised <- a.(4)
 end
 
 module Uart = struct
@@ -48,6 +60,10 @@ module Uart = struct
     match off with 0x0 -> Buffer.add_char t.buf (Char.chr (v land 0xFF)) | _ -> ()
 
   let output t = Buffer.contents t.buf
+
+  let import t s =
+    Buffer.clear t.buf;
+    Buffer.add_string t.buf s
 end
 
 module Syscon = struct
@@ -57,4 +73,5 @@ module Syscon = struct
   let read _ _ = 0
   let write t off v = match off with 0 -> t.halted <- Some v | _ -> ()
   let halted t = t.halted
+  let import t h = t.halted <- h
 end

@@ -29,6 +29,11 @@ module Timer : sig
   (** Level of the timer's interrupt output. *)
 
   val irqs_raised : t -> int
+
+  val export : t -> int array
+  (** Complete register state for machine snapshots. *)
+
+  val import : t -> int array -> unit
 end
 
 (** {2 UART} *)
@@ -43,6 +48,9 @@ module Uart : sig
   val write : t -> int -> Word32.t -> unit
   val output : t -> string
   (** Everything the guest wrote to DATA. *)
+
+  val import : t -> string -> unit
+  (** Replace the accumulated output (snapshot restore). *)
 end
 
 (** {2 System controller} *)
@@ -57,4 +65,5 @@ module Syscon : sig
       exit code. *)
 
   val halted : t -> Word32.t option
+  val import : t -> Word32.t option -> unit
 end

@@ -67,6 +67,16 @@ module Tlb = struct
       tlb.(base + 2) <- entry.page_pa
     end
 
+  (* Snapshot support: the softMMU array is plain data, so a copy is a
+     complete, bit-exact capture of every cached translation and
+     write-protection tag. *)
+  let save tlb = Array.copy tlb
+
+  let restore tlb saved =
+    if Array.length saved <> Array.length tlb then
+      invalid_arg "Tlb.restore: size mismatch";
+    Array.blit saved 0 tlb 0 (Array.length tlb)
+
   let clear_write_tag tlb vaddr =
     List.iter
       (fun privileged ->

@@ -75,6 +75,13 @@ module Tlb : sig
   (** Drop the write entry for the page of a virtual address in both
       banks (write-protecting translated code so self-modifying stores
       always take the slow path). *)
+
+  val save : int array -> int array
+  (** Bit-exact copy of the softMMU state (machine snapshots). *)
+
+  val restore : int array -> int array -> unit
+  (** [restore tlb saved] writes a {!save}d capture back in place.
+      Raises [Invalid_argument] on size mismatch. *)
 end
 
 (** {2 Reference-machine memory interface} *)

@@ -85,6 +85,24 @@ let strike t (rule : Rule.t) ~threshold =
 let strikes t (rule : Rule.t) =
   match Hashtbl.find_opt t.strikes rule.Rule.id with Some n -> n | None -> 0
 
+(* Snapshot support: the ruleset's mutable health state (strikes and
+   quarantined ids), sorted for stable encodings. The rules themselves
+   ride in snapshots as {!Serialize} text. *)
+let export_health t =
+  let strikes =
+    Hashtbl.fold (fun id n acc -> (id, n) :: acc) t.strikes [] |> List.sort compare
+  in
+  let quarantined =
+    Hashtbl.fold (fun id () acc -> id :: acc) t.quarantined [] |> List.sort compare
+  in
+  (strikes, quarantined)
+
+let restore_health t ~strikes ~quarantined =
+  Hashtbl.reset t.strikes;
+  List.iter (fun (id, n) -> Hashtbl.replace t.strikes id n) strikes;
+  Hashtbl.reset t.quarantined;
+  List.iter (fun id -> Hashtbl.replace t.quarantined id ()) quarantined
+
 let match_at t insns =
   match insns with
   | [] -> None

@@ -34,6 +34,14 @@ val is_quarantined : t -> Rule.t -> bool
 val strikes : t -> Rule.t -> int
 val quarantined_count : t -> int
 
+val export_health : t -> (int * int) list * int list
+(** [(strikes, quarantined)] — per-rule strike counts and quarantined
+    rule ids, sorted (snapshot payload). *)
+
+val restore_health : t -> strikes:(int * int) list -> quarantined:int list -> unit
+(** Replace the health state with a captured one (snapshot restore —
+    also the rollback path of the livelock watchdog). *)
+
 val coverage : t -> A.t list -> int
 (** Static count of instructions in the list matched by some rule
     (diagnostics for the coverage experiments). *)

@@ -1,0 +1,109 @@
+(** Crash-consistent machine snapshots.
+
+    A snapshot is an ordered list of named binary sections inside a
+    versioned, checksummed container:
+
+    {v
+      bytes 0..7    magic "DBTSNAP\x01"
+      bytes 8..15   u64 LE format version (currently 1)
+      bytes 16..23  u64 LE FNV-1a-32 checksum of the body (low 32 bits)
+      bytes 24..    body: u64 section count, then per section a
+                    length-prefixed name and length-prefixed payload
+    v}
+
+    All integers are little-endian u64 ({!Enc}/{!Dec}); section order
+    is preserved so save -> load -> save is byte-identical. The
+    machine-core sections (CPU, env, RAM, TLB, devices, injector,
+    stats) are produced and consumed here; engine-level sections
+    (translation-cache records, ruleset health, resume cursor,
+    journal) are layered on by [Repro_dbt.System]. *)
+
+exception Corrupt of string
+(** Any structural problem: bad magic, version or checksum mismatch,
+    truncated payload, missing or malformed section. *)
+
+val format_version : int
+
+(** {2 Primitive little-endian encoders} *)
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+  val u64 : t -> int64 -> unit
+  val int : t -> int -> unit
+  val bool : t -> bool -> unit
+  val string : t -> string -> unit
+  val int_array : t -> int array -> unit
+  val i64_array : t -> int64 array -> unit
+  val contents : t -> string
+end
+
+module Dec : sig
+  type t
+
+  val of_string : ?name:string -> string -> t
+  (** [name] labels {!Corrupt} messages. *)
+
+  val u64 : t -> int64
+  val int : t -> int
+  val bool : t -> bool
+  val string : t -> string
+  val int_array : t -> int array
+  val i64_array : t -> int64 array
+
+  val finished : t -> bool
+  (** All input consumed — decoders should end on [true]. *)
+end
+
+(** {2 The section container} *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> string -> unit
+(** Append section [name] with the given payload. Raises
+    [Invalid_argument] on a duplicate name. *)
+
+val find : t -> string -> string
+(** Raises {!Corrupt} when the section is absent. *)
+
+val find_opt : t -> string -> string option
+val mem : t -> string -> bool
+val names : t -> string list
+
+val to_string : t -> string
+(** Serialize to the checksummed container format. *)
+
+val of_string : string -> t
+(** Parse and validate magic, version and checksum. Raises
+    {!Corrupt}. *)
+
+val save_file : string -> t -> unit
+val load_file : string -> t
+(** Raises {!Corrupt} also when the file cannot be read. *)
+
+(** {2 Machine-core capture}
+
+    These cover everything below the translation cache: architectural
+    CPU (current view, banked registers, CP15, FPSCR), the lazy-flag
+    env array, host register file and EFLAGS, guest RAM, softMMU TLB,
+    the three devices, the fault injector's PRNG cursor and counters,
+    and the statistics block. *)
+
+val capture_machine : Repro_tcg.Runtime.t -> t -> unit
+(** Append the machine-core sections to [t]. *)
+
+val restore_machine : Repro_tcg.Runtime.t -> t -> unit
+(** Write a capture back into a machine created with the same shape
+    (RAM size, injector presence). Engine-transient runtime fields
+    (pending code write, TB override, fault producers) are reset to
+    their between-TB defaults. Raises {!Corrupt} on shape mismatch —
+    including a snapshot that carries injector state restored into a
+    machine without an injector, or vice versa. *)
+
+(** {2 Checksum} *)
+
+val fnv1a32 : string -> int
+(** The body checksum (FNV-1a, 32-bit). *)

@@ -7,19 +7,37 @@ module Cpu = Repro_arm.Cpu
 
 type translator = Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
 
-type result = { reason : [ `Halted of Word32.t | `Insn_limit ]; executed_guest_insns : int }
+type result = {
+  reason : [ `Halted of Word32.t | `Insn_limit | `Livelock of Word32.t ];
+  executed_guest_insns : int;
+}
+
+type resume = {
+  rpc : Word32.t;
+  rprivileged : bool;
+  rmmu_on : bool;
+  rneeds_enter : bool;
+}
 
 let tb_fuel = 20_000
 
 let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~succ:_ -> ())
     ?(on_enter = fun _ -> ())
     ?(on_executed = fun _ ~outcome:_ ~guest:_ -> `Continue)
-    ?(chaining = true) ?profile ?(max_guest_insns = max_int) () =
+    ?(chaining = true) ?profile ?(max_guest_insns = max_int)
+    ?(checkpoint_every = 0) ?on_checkpoint ?resume ?(on_irq = fun _ -> ()) () =
   let stats = Runtime.stats rt in
   let env = Runtime.env rt in
   let start_insns = stats.Stats.guest_insns in
-  Runtime.sync_cpu_to_env rt;
-  Runtime.refresh_irq_pending rt;
+  (match resume with
+  | None ->
+    Runtime.sync_cpu_to_env rt;
+    Runtime.refresh_irq_pending rt
+  | Some _ ->
+    (* Snapshot restore: env, the mirror CPU and the host flag state
+       were restored verbatim (including the lazy packed-CCR tag that
+       a cpu->env sync would clobber); resuming must not resync. *)
+    ());
   let last_ticked = ref stats.Stats.guest_insns in
   let tick () =
     let d = stats.Stats.guest_insns - !last_ticked in
@@ -76,110 +94,172 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
     Runtime.sync_env_to_cpu rt;
     { reason; executed_guest_insns = stats.Stats.guest_insns - start_insns }
   in
-  let enter tb =
-    on_enter tb;
-    tb
+  (* The dispatch state is (current TB, does it still need its engine
+     entry callback). Chained TB->TB transfers keep host state live
+     and skip [on_enter]; every transition that goes back through the
+     engine re-arms it. Checkpoints capture exactly this pair so a
+     restored run re-enters the loop in the same phase. *)
+  let current, needs_enter =
+    match resume with
+    | Some r -> (
+      match
+        Tb.Cache.find cache ~pc:r.rpc ~privileged:r.rprivileged ~mmu_on:r.rmmu_on
+      with
+      | Some tb -> (ref tb, ref r.rneeds_enter)
+      | None ->
+        (* The captured TB was not reconstructible; fall back to a
+           fresh dispatch at the recorded PC. *)
+        (ref (lookup_or_translate r.rpc), ref true))
+    | None -> (ref (lookup_or_translate env.(Envspec.pc)), ref true)
   in
-  let current = ref (enter (lookup_or_translate env.(Envspec.pc))) in
+  let checkpoint () =
+    match on_checkpoint with
+    | Some f ->
+      let tb = !current in
+      f
+        {
+          rpc = tb.Tb.guest_pc;
+          rprivileged = tb.Tb.privileged;
+          rmmu_on = tb.Tb.mmu_on;
+          rneeds_enter = !needs_enter;
+        }
+    | None -> ()
+  in
+  let next_checkpoint =
+    ref
+      (if checkpoint_every > 0 then stats.Stats.guest_insns + checkpoint_every
+       else max_int)
+  in
   let result = ref None in
   while !result = None do
-    if stats.Stats.guest_insns - start_insns >= max_guest_insns then
+    if stats.Stats.guest_insns - start_insns >= max_guest_insns then begin
+      (* Capture the stopping point too, so a saved snapshot resumes
+         exactly here (including mid-chain dispatch state). *)
+      checkpoint ();
       result := Some (finish `Insn_limit)
+    end
     else begin
+      (* Periodic checkpoints happen at a TB boundary, before the
+         entry callback fires, so translator shadow state (pending
+         verifications) is quiescent. *)
+      if stats.Stats.guest_insns >= !next_checkpoint then begin
+        checkpoint ();
+        next_checkpoint := stats.Stats.guest_insns + checkpoint_every
+      end;
       let tb = !current in
+      if !needs_enter then begin
+        on_enter tb;
+        needs_enter := false
+      end;
       let guest0 = stats.Stats.guest_insns and host0 = stats.Stats.host_insns in
       rt.Runtime.fault_producers <- tb.Tb.fault_producers;
-      let outcome = Exec.run rt.Runtime.ctx tb.Tb.prog ~fuel:tb_fuel in
-      (match profile with
-      | Some p ->
-        Profile.record p tb
-          ~guest:(stats.Stats.guest_insns - guest0)
-          ~host:(stats.Stats.host_insns - host0)
-      | None -> ());
-      (* the one-shot code-write suppression never outlives the TB it
-         was armed for *)
-      rt.Runtime.suppress_code_write <- false;
-      tick ();
-      let verdict = on_executed tb ~outcome ~guest:(stats.Stats.guest_insns - guest0) in
-      match Bus.halted rt.Runtime.bus with
-      | Some code -> result := Some (finish (`Halted code))
-      | None -> (
-        match verdict with
-        | `Invalidate ->
-          (* Shadow verification diverged: guest state has already been
-             repaired from the reference replay. Drop every translation
-             (the divergent TB's PC re-translates through the fallback
-             ladder) and re-dispatch at the repaired PC. *)
-          Exec.poison_caller_saved rt.Runtime.ctx;
-          Tb.Cache.flush cache;
-          stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
-          charge_glue (Costs.engine_dispatch ());
-          current := enter (lookup_or_translate env.(Envspec.pc))
-        | `Continue -> (
-        match outcome with
-        | Exec.Exited slot -> (
-          match tb.Tb.exits.(slot) with
-          | Tb.Direct target -> (
-            match tb.Tb.links.(slot) with
-            | Some next ->
-              stats.Stats.chained_jumps <- stats.Stats.chained_jumps + 1;
-              charge_glue (Costs.chain_jump ());
-              current := next
-            | None ->
-              Exec.poison_caller_saved rt.Runtime.ctx;
-              stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
-              charge_glue (Costs.engine_dispatch ());
-              let next = lookup_or_translate target in
-              if chaining then begin
-                tb.Tb.links.(slot) <- Some next;
-                link_hook ~pred:tb ~slot ~succ:next
-              end;
-              current := enter next)
-          | Tb.Indirect ->
-            Exec.poison_caller_saved rt.Runtime.ctx;
-            stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
-            charge_glue (Costs.engine_dispatch ());
-            current := enter (lookup_or_translate env.(Envspec.pc))
-          | Tb.Irq_deliver ->
-            Exec.poison_caller_saved rt.Runtime.ctx;
-            stats.Stats.irqs_delivered <- stats.Stats.irqs_delivered + 1;
-            charge_glue (Costs.irq_deliver ());
-            (* The lazy one-to-many parse happens here, when QEMU
-               actually needs the condition codes (paper Fig. 7). *)
-            Stats.charge_tag stats X.Tag_sync (Envspec.parse_packed env);
-            Runtime.take_guest_exception rt Cpu.Irq
-              ~pc_of_faulting_insn:env.(Envspec.pc);
-            current := enter (lookup_or_translate env.(Envspec.pc)))
-        | Exec.Stopped { code; _ } ->
-          if code = Runtime.stop_code_write then begin
-            (* Self-modifying code: drop every translation (QEMU
-               invalidates per page; the whole-cache flush is the
-               simple sound variant) and resume at env.pc. The
-               resumed instruction is retranslated as a singleton TB
-               whose (idempotent, re-executed) store is allowed to
-               complete — QEMU's current-TB-modified protocol. *)
+      match Exec.run rt.Runtime.ctx tb.Tb.prog ~fuel:tb_fuel with
+      | exception Exec.Fuel_exhausted _ ->
+        (* Runaway host loop (corrupted emitted code): abandon the TB.
+           Guest state is mid-block garbage — the caller must roll
+           back to a checkpoint (System's livelock watchdog) or give
+           up on the run. *)
+        rt.Runtime.suppress_code_write <- false;
+        result := Some (finish (`Livelock tb.Tb.guest_pc))
+      | outcome ->
+        (match profile with
+        | Some p ->
+          Profile.record p tb
+            ~guest:(stats.Stats.guest_insns - guest0)
+            ~host:(stats.Stats.host_insns - host0)
+        | None -> ());
+        (* the one-shot code-write suppression never outlives the TB it
+           was armed for *)
+        rt.Runtime.suppress_code_write <- false;
+        tick ();
+        let verdict = on_executed tb ~outcome ~guest:(stats.Stats.guest_insns - guest0) in
+        (match Bus.halted rt.Runtime.bus with
+        | Some code -> result := Some (finish (`Halted code))
+        | None -> (
+          match verdict with
+          | `Invalidate ->
+            (* Shadow verification diverged: guest state has already been
+               repaired from the reference replay. Drop every translation
+               (the divergent TB's PC re-translates through the fallback
+               ladder) and re-dispatch at the repaired PC. *)
             Exec.poison_caller_saved rt.Runtime.ctx;
             Tb.Cache.flush cache;
-            charge_glue (Costs.engine_dispatch () + Costs.exception_entry ());
-            rt.Runtime.tb_override <- Some 1;
-            rt.Runtime.suppress_code_write <- true;
-            let tb = lookup_or_translate env.(Envspec.pc) in
-            rt.Runtime.tb_override <- None;
-            current := enter tb
-          end
-          else if code = Runtime.stop_halt then
-            result :=
-              Some
-                (finish
-                   (`Halted (match Bus.halted rt.Runtime.bus with Some c -> c | None -> 0)))
-          else begin
-            (* A guest exception was taken inside a helper; continue at
-               the vector. *)
-            Exec.poison_caller_saved rt.Runtime.ctx;
             stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
             charge_glue (Costs.engine_dispatch ());
-            current := enter (lookup_or_translate env.(Envspec.pc))
-          end))
+            current := lookup_or_translate env.(Envspec.pc);
+            needs_enter := true
+          | `Continue -> (
+            match outcome with
+            | Exec.Exited slot -> (
+              match tb.Tb.exits.(slot) with
+              | Tb.Direct target -> (
+                match tb.Tb.links.(slot) with
+                | Some next ->
+                  stats.Stats.chained_jumps <- stats.Stats.chained_jumps + 1;
+                  charge_glue (Costs.chain_jump ());
+                  current := next
+                | None ->
+                  Exec.poison_caller_saved rt.Runtime.ctx;
+                  stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
+                  charge_glue (Costs.engine_dispatch ());
+                  let next = lookup_or_translate target in
+                  if chaining then begin
+                    tb.Tb.links.(slot) <- Some next;
+                    link_hook ~pred:tb ~slot ~succ:next
+                  end;
+                  current := next;
+                  needs_enter := true)
+              | Tb.Indirect ->
+                Exec.poison_caller_saved rt.Runtime.ctx;
+                stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
+                charge_glue (Costs.engine_dispatch ());
+                current := lookup_or_translate env.(Envspec.pc);
+                needs_enter := true
+              | Tb.Irq_deliver ->
+                Exec.poison_caller_saved rt.Runtime.ctx;
+                stats.Stats.irqs_delivered <- stats.Stats.irqs_delivered + 1;
+                charge_glue (Costs.irq_deliver ());
+                (* The lazy one-to-many parse happens here, when QEMU
+                   actually needs the condition codes (paper Fig. 7). *)
+                Stats.charge_tag stats X.Tag_sync (Envspec.parse_packed env);
+                on_irq env.(Envspec.pc);
+                Runtime.take_guest_exception rt Cpu.Irq
+                  ~pc_of_faulting_insn:env.(Envspec.pc);
+                current := lookup_or_translate env.(Envspec.pc);
+                needs_enter := true)
+            | Exec.Stopped { code; _ } ->
+              if code = Runtime.stop_code_write then begin
+                (* Self-modifying code: drop every translation (QEMU
+                   invalidates per page; the whole-cache flush is the
+                   simple sound variant) and resume at env.pc. The
+                   resumed instruction is retranslated as a singleton TB
+                   whose (idempotent, re-executed) store is allowed to
+                   complete — QEMU's current-TB-modified protocol. *)
+                Exec.poison_caller_saved rt.Runtime.ctx;
+                Tb.Cache.flush cache;
+                charge_glue (Costs.engine_dispatch () + Costs.exception_entry ());
+                rt.Runtime.tb_override <- Some 1;
+                rt.Runtime.suppress_code_write <- true;
+                let tb = lookup_or_translate env.(Envspec.pc) in
+                rt.Runtime.tb_override <- None;
+                current := tb;
+                needs_enter := true
+              end
+              else if code = Runtime.stop_halt then
+                result :=
+                  Some
+                    (finish
+                       (`Halted
+                         (match Bus.halted rt.Runtime.bus with Some c -> c | None -> 0)))
+              else begin
+                (* A guest exception was taken inside a helper; continue at
+                   the vector. *)
+                Exec.poison_caller_saved rt.Runtime.ctx;
+                stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
+                charge_glue (Costs.engine_dispatch ());
+                current := lookup_or_translate env.(Envspec.pc);
+                needs_enter := true
+              end)))
     end
   done;
   match !result with Some r -> r | None -> assert false

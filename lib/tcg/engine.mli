@@ -11,7 +11,27 @@ open Repro_common
 
 type translator = Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
 
-type result = { reason : [ `Halted of Word32.t | `Insn_limit ]; executed_guest_insns : int }
+type result = {
+  reason : [ `Halted of Word32.t | `Insn_limit | `Livelock of Word32.t ];
+      (** [`Livelock pc]: the TB at [pc] exhausted its host fuel (a
+          runaway loop in corrupted emitted code). Guest state is
+          mid-block and unusable — roll back to a checkpoint. *)
+  executed_guest_insns : int;
+}
+
+type resume = {
+  rpc : Word32.t;  (** guest PC of the TB about to execute *)
+  rprivileged : bool;
+  rmmu_on : bool;
+  rneeds_enter : bool;
+      (** whether the engine still owes the TB its [on_enter]
+          callback — false when the checkpoint was taken mid-chain
+          (the TB was reached by a chained jump, with host state
+          live) *)
+}
+(** The engine-loop phase captured by a checkpoint: enough, together
+    with the machine state proper, to re-enter {!run} exactly where
+    the checkpointed run stood. *)
 
 val run :
   Runtime.t ->
@@ -24,6 +44,10 @@ val run :
   ?chaining:bool ->
   ?profile:Profile.t ->
   ?max_guest_insns:int ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(resume -> unit) ->
+  ?resume:resume ->
+  ?on_irq:(Word32.t -> unit) ->
   unit ->
   result
 (** Run from the mirror CPU's current state until the guest powers off
@@ -49,4 +73,22 @@ val run :
     [`Invalidate] tells the engine the caller repaired guest state
     (shadow-verification divergence): the whole code cache is flushed
     and execution re-dispatches at the repaired [env] PC. A halted
-    machine takes precedence over the verdict. *)
+    machine takes precedence over the verdict.
+
+    [checkpoint_every] (default 0 = off) arms periodic checkpoints:
+    every time at least that many guest instructions have retired
+    since the last one, [on_checkpoint] fires at the next TB boundary
+    — before the pending [on_enter], so translator shadow state is
+    quiescent — with the {!resume} record describing the loop phase.
+    [on_checkpoint] also fires once when the run stops at
+    [max_guest_insns], so a saved snapshot captures the exact
+    stopping point.
+
+    [resume] (from a restored snapshot) starts the loop at the
+    recorded TB in the recorded phase instead of dispatching at the
+    mirror CPU's PC; the initial cpu->env sync is skipped because the
+    restored [env] (including lazy-flag state no sync can recreate)
+    is already authoritative.
+
+    [on_irq pc] fires on each delivered interrupt with the guest PC
+    it preempted (the event journal's IRQ record). *)

@@ -16,9 +16,10 @@ let create ?(ram_kib = 4096) () =
 let load_image t origin words =
   Array.iteri
     (fun i w ->
-      match Bus.write32 t.bus (Word32.add origin (4 * i)) w with
+      let addr = Word32.add origin (4 * i) in
+      match Bus.write32 t.bus addr w with
       | Ok () -> ()
-      | Error () -> failwith "Ref_machine.load_image: image outside RAM")
+      | Error () -> raise (Runtime.Load_error addr))
     words
 
 type outcome = Halted of Word32.t | Step_limit | Decode_error of string

@@ -11,7 +11,9 @@ module Bus = Repro_machine.Bus
 type t = { cpu : Cpu.t; bus : Bus.t; mem : Repro_arm.Mem.iface }
 
 val create : ?ram_kib:int -> unit -> t
+
 val load_image : t -> Word32.t -> Word32.t array -> unit
+(** Raises {!Runtime.Load_error} when the image falls outside RAM. *)
 
 type outcome = Halted of Word32.t | Step_limit | Decode_error of string
 

@@ -16,7 +16,10 @@ type t = {
   mutable suppress_code_write : bool;
   inject : Repro_faultinject.Faultinject.t option;
   mutable fault_producers : (Word32.t * Word32.t array) array;
+  mutable corrupt_override : [ `None | `Rule_corrupt | `Livelock ] option;
 }
+
+exception Load_error of Word32.t
 
 let stop_exception = 1
 let stop_halt = 2
@@ -45,6 +48,7 @@ let create ?(ram_kib = 4096) ?inject () =
       suppress_code_write = false;
       inject;
       fault_producers = [||];
+      corrupt_override = None;
     }
   in
   (* Interpreter-path stores (helpers emulating whole instructions)
@@ -66,9 +70,10 @@ let privileged t = Cpu.mode_is_privileged (Cpu.mode t.cpu)
 let load_image t origin words =
   Array.iteri
     (fun i w ->
-      match Bus.write32 t.bus (Word32.add origin (4 * i)) w with
+      let addr = Word32.add origin (4 * i) in
+      match Bus.write32 t.bus addr w with
       | Ok () -> ()
-      | Error () -> failwith "Runtime.load_image: image outside RAM")
+      | Error () -> raise (Load_error addr))
     words
 
 let sync_env_to_cpu t = Envspec.env_to_cpu (env t) t.cpu

@@ -33,7 +33,18 @@ type t = {
           by the engine before each TB run: consulted on a guest data
           abort to replay instructions the translator scheduled after
           the faulting access but that architecturally precede it *)
+  mutable corrupt_override : [ `None | `Rule_corrupt | `Livelock ] option;
+      (** snapshot cache rebuild: [Some k] forces the rule translator
+          to apply (or skip, for [`None]) exactly the recorded code
+          corruption instead of drawing from the injector, so the
+          reconstructed TB is bit-identical to the captured one *)
 }
+
+exception Load_error of Word32.t
+(** Raised by {!load_image} (and [Ref_machine.load_image]) when part
+    of the image falls outside guest RAM — the offending physical
+    address. Typed so front ends can report it with a distinct exit
+    code instead of dying on [Failure]. *)
 
 (** Helper stop codes (the payload of {!Exec.Helper_stop}). *)
 

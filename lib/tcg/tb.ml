@@ -16,6 +16,8 @@ type t = {
   guest_insns : Repro_arm.Insn.t array;
   guest_len : int;
   fault_producers : (Word32.t * Word32.t array) array;
+  translated_override : int option;
+  mutable injected : [ `None | `Rule_corrupt | `Livelock ];
 }
 
 let exit_slots = 4
@@ -69,8 +71,22 @@ module Cache = struct
         Hashtbl.replace t.pages p (n + 1))
       (tb_pages tb)
 
+  (* Snapshot rebuild inserts a live set that fit the cache when it
+     was captured; the capacity check in [add] would spuriously flush
+     when that set is exactly at capacity. *)
+  let add_exact t tb =
+    Hashtbl.replace t.table (tb.guest_pc, tb.privileged, tb.mmu_on) tb;
+    List.iter
+      (fun p ->
+        let n = try Hashtbl.find t.pages p with Not_found -> 0 in
+        Hashtbl.replace t.pages p (n + 1))
+      (tb_pages tb)
+
   let size t = Hashtbl.length t.table
   let full_flushes t = t.full_flushes
+  let set_full_flushes t n = t.full_flushes <- n
+  let ids t = t.ids
+  let set_ids t n = t.ids <- n
   let is_code_page t page = Hashtbl.mem t.pages page
   let code_pages t = Hashtbl.fold (fun p _ acc -> p :: acc) t.pages []
 

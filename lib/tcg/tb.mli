@@ -32,6 +32,15 @@ type t = {
           delivering the exception, so the guest observes
           program-order state ([[||]] for translators that do not
           reorder). *)
+  translated_override : int option;
+      (** The {!Runtime.t.tb_override} in effect when this TB was
+          translated (the SMC singleton protocol). Recorded so a
+          snapshot restore can re-translate the live set under the
+          same length cap and obtain bit-identical host code. *)
+  mutable injected : [ `None | `Rule_corrupt | `Livelock ];
+      (** Which fault-injection corruption (if any) was applied to
+          this TB's emitted code — replayed verbatim on snapshot
+          restore so the rebuilt cache matches the captured one. *)
 }
 
 val exit_slots : int
@@ -56,13 +65,23 @@ module Cache : sig
       translation (QEMU's whole-buffer flush policy) — safe between TB
       executions because flushed TBs become unreachable. *)
 
+  val add_exact : t -> tb -> unit
+  (** Insert without the capacity check — snapshot rebuild only, where
+      the inserted set is known to have fit the captured cache. *)
+
   val flush : t -> unit
   val size : t -> int
 
   val full_flushes : t -> int
   (** Number of capacity-triggered whole-cache flushes so far. *)
 
+  val set_full_flushes : t -> int -> unit
   val next_id : t -> int
+
+  val ids : t -> int
+  (** Current value of the TB id counter (snapshot state). *)
+
+  val set_ids : t -> int -> unit
 
   val to_list : t -> tb list
   (** All cached TBs, ordered by guest PC (diagnostics). *)

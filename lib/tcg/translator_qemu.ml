@@ -75,6 +75,8 @@ let emulate_one_tb (rt : Runtime.t) cache ~pc =
     guest_insns = [||];
     guest_len = 1;
     fault_producers = [||];
+    translated_override = rt.Runtime.tb_override;
+    injected = `None;
   }
 
 let build (rt : Runtime.t) cache ~pc ~insns =
@@ -124,6 +126,8 @@ let build (rt : Runtime.t) cache ~pc ~insns =
     guest_insns = Array.of_list insns;
     guest_len = List.length insns;
     fault_producers = [||];
+    translated_override = rt.Runtime.tb_override;
+    injected = `None;
   }
 
 let translate (rt : Runtime.t) cache ~pc =

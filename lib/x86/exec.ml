@@ -15,6 +15,7 @@ type t = {
 }
 
 exception Helper_stop of { code : int; arg : int }
+exception Fuel_exhausted of { spent : int }
 
 let create ?(env_slots = 64) ?(ram_size = 1 lsl 20) ?(tlb_words = 768) () =
   {
@@ -271,7 +272,7 @@ let run t (prog : Prog.t) ~fuel =
       if not (Prog.is_pseudo insn) then begin
         Stats.charge_tag t.stats tags.(i) 1;
         incr spent;
-        if !spent > fuel then failwith "Exec: fuel exhausted (runaway host loop?)"
+        if !spent > fuel then raise (Fuel_exhausted { spent = !spent })
       end;
       match insn with
       | Insn.Label _ -> step (i + 1)

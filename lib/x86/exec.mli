@@ -31,6 +31,13 @@ exception Helper_stop of { code : int; arg : int }
 (** Raised by helpers to abort TB execution (guest exception entry,
     interrupt delivery, machine halt). The engine interprets [code]. *)
 
+exception Fuel_exhausted of { spent : int }
+(** Raised by {!run} when a TB executes more than [fuel] countable
+    host instructions — a runaway host loop (only reachable through
+    corrupted emitted code; well-formed TBs are finite). Typed so the
+    engine's livelock watchdog can catch it and roll back to a
+    checkpoint instead of killing the process. *)
+
 val create : ?env_slots:int -> ?ram_size:int -> ?tlb_words:int -> unit -> t
 (** Defaults: 64 env slots, 1 MiB RAM, 3×256 TLB words. The [helper]
     field starts as a function that fails. *)
@@ -54,7 +61,7 @@ type outcome =
 
 val run : t -> Prog.t -> fuel:int -> outcome
 (** Execute a finalized program from index 0, charging [stats] per
-    retired instruction. Raises [Failure] if [fuel] countable
+    retired instruction. Raises {!Fuel_exhausted} if [fuel] countable
     instructions are exceeded (runaway-loop guard). *)
 
 val poison_caller_saved : t -> unit

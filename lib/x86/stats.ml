@@ -17,6 +17,7 @@ type t = {
   mutable shadow_divergences : int;
   mutable rules_quarantined : int;
   mutable quarantine_fallbacks : int;
+  mutable livelocks_recovered : int;
 }
 
 let n_tags = List.length Insn.all_tags
@@ -41,6 +42,7 @@ let create () =
     shadow_divergences = 0;
     rules_quarantined = 0;
     quarantine_fallbacks = 0;
+    livelocks_recovered = 0;
   }
 
 let reset t =
@@ -61,7 +63,8 @@ let reset t =
   t.shadow_replays <- 0;
   t.shadow_divergences <- 0;
   t.rules_quarantined <- 0;
-  t.quarantine_fallbacks <- 0
+  t.quarantine_fallbacks <- 0;
+  t.livelocks_recovered <- 0
 
 let tag_index tag =
   let rec find i = function
@@ -101,4 +104,44 @@ let pp ppf t =
     Format.fprintf ppf
       "@ @[<v>shadow replays  %d (divergences %d)@ rules quarantined %d@ \
        quarantine fallbacks %d@]"
-      t.shadow_replays t.shadow_divergences t.rules_quarantined t.quarantine_fallbacks
+      t.shadow_replays t.shadow_divergences t.rules_quarantined t.quarantine_fallbacks;
+  if t.livelocks_recovered > 0 then
+    Format.fprintf ppf "@ livelocks recovered %d" t.livelocks_recovered
+
+(* Snapshot support: every counter flattened in a fixed order (scalars
+   first, then the by-tag array). Comparing two [to_array] dumps is
+   the bit-identity check used by the restore tests. *)
+let to_array t =
+  Array.append
+    [|
+      t.host_insns; t.helper_insns; t.helper_calls; t.sys_insns; t.guest_insns;
+      t.sync_ops; t.mmu_accesses; t.irq_polls; t.tlb_misses; t.engine_returns;
+      t.chained_jumps; t.tb_translations; t.irqs_delivered; t.shadow_replays;
+      t.shadow_divergences; t.rules_quarantined; t.quarantine_fallbacks;
+      t.livelocks_recovered;
+    |]
+    (Array.copy t.by_tag)
+
+let n_scalars = 18
+
+let load_array t a =
+  if Array.length a <> n_scalars + n_tags then invalid_arg "Stats.load_array: bad length";
+  t.host_insns <- a.(0);
+  t.helper_insns <- a.(1);
+  t.helper_calls <- a.(2);
+  t.sys_insns <- a.(3);
+  t.guest_insns <- a.(4);
+  t.sync_ops <- a.(5);
+  t.mmu_accesses <- a.(6);
+  t.irq_polls <- a.(7);
+  t.tlb_misses <- a.(8);
+  t.engine_returns <- a.(9);
+  t.chained_jumps <- a.(10);
+  t.tb_translations <- a.(11);
+  t.irqs_delivered <- a.(12);
+  t.shadow_replays <- a.(13);
+  t.shadow_divergences <- a.(14);
+  t.rules_quarantined <- a.(15);
+  t.quarantine_fallbacks <- a.(16);
+  t.livelocks_recovered <- a.(17);
+  Array.blit a n_scalars t.by_tag 0 n_tags

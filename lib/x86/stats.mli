@@ -33,6 +33,9 @@ type t = {
   mutable quarantine_fallbacks : int;
       (** translations of blacklisted PCs routed to the baseline
           translator *)
+  mutable livelocks_recovered : int;
+      (** host-loop livelocks recovered by the watchdog (checkpoint
+          rollback + degraded re-execution) *)
 }
 
 val create : unit -> t
@@ -47,3 +50,11 @@ val sync_per_guest : t -> float
     the paper's Fig. 17 metric. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_array : t -> int array
+(** Every counter flattened in a fixed, documented order (snapshot
+    payload; also the equality witness in restore bit-identity tests). *)
+
+val load_array : t -> int array -> unit
+(** Restore counters captured by {!to_array}. Raises
+    [Invalid_argument] on length mismatch. *)

@@ -1,0 +1,299 @@
+module T = Repro_tcg
+module D = Repro_dbt
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module R = Repro_rules
+module Stats = Repro_x86.Stats
+module Exec = Repro_x86.Exec
+module Fi = Repro_faultinject.Faultinject
+module Snapshot = Repro_snapshot.Snapshot
+module Journal = Repro_snapshot.Journal
+module Cpu = Repro_arm.Cpu
+
+(* Snapshot / record-replay / watchdog tests: the robustness layer.
+   Everything runs the full kernel image (MMU on, timer IRQs, user and
+   supervisor mode) so checkpoints cover the interesting machine
+   state, not just a flat register file. *)
+
+let kernel_image ?(target = 30_000) ?(timer = 5_000) () =
+  let spec = W.find "gcc" in
+  let iters = max 1 (target / W.insns_per_iteration spec) in
+  let user = W.generate spec ~iterations:iters in
+  K.build ~timer_period:timer ~user_program:user ()
+
+let make_sys ?inject ?(shadow_depth = 0) mode image =
+  let sys = D.System.create ?inject ~shadow_depth mode in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  sys
+
+(* Everything guest-visible plus the engine counters, as one value. *)
+let fingerprint sys =
+  let rt = sys.D.System.rt in
+  ( Cpu.save_words rt.T.Runtime.cpu,
+    Digest.to_hex (Digest.bytes rt.T.Runtime.ctx.Exec.ram),
+    Stats.to_array (D.System.stats sys),
+    D.System.uart_output sys )
+
+let check_fingerprint msg (ra, ma, sa, ua) (rb, mb, sb, ub) =
+  Alcotest.(check (array int)) (msg ^ ": cpu words") ra rb;
+  Alcotest.(check string) (msg ^ ": ram digest") ma mb;
+  Alcotest.(check (array int)) (msg ^ ": stats") sa sb;
+  Alcotest.(check string) (msg ^ ": uart") ua ub
+
+let halt_code res =
+  match res.T.Engine.reason with
+  | `Halted c -> c
+  | `Insn_limit -> Alcotest.fail "run hit its instruction limit"
+  | `Livelock pc -> Alcotest.failf "unrecovered livelock at %#x" pc
+
+(* ---- rule-set serialization round-trip ----------------------------- *)
+
+let test_serialize_roundtrip () =
+  let rs = R.Builtin.ruleset () in
+  let s1 = R.Serialize.save rs in
+  let rs2 =
+    match R.Serialize.load s1 with
+    | Ok rs -> rs
+    | Error e -> Alcotest.failf "reload failed: %s" e
+  in
+  let s2 = R.Serialize.save rs2 in
+  Alcotest.(check string) "save -> load -> save is byte-identical" s1 s2
+
+(* ---- same-seed determinism ----------------------------------------- *)
+
+(* Two machines built identically must retire the same instructions,
+   print the same UART bytes and count the same statistics — the
+   property record/replay stands on. Checked across all three engine
+   tiers, with the fault injector armed so its PRNG is in the loop. *)
+let test_determinism () =
+  let image = kernel_image () in
+  List.iter
+    (fun mode ->
+      let once () =
+        let inject = Fi.create ~seed:5 ~rate:0.005 () in
+        let sys = make_sys ~inject ~shadow_depth:4 mode image in
+        let res = D.System.run ~max_guest_insns:2_000_000 sys in
+        (halt_code res, fingerprint sys)
+      in
+      let c1, f1 = once () and c2, f2 = once () in
+      let name = D.System.mode_name mode in
+      Alcotest.(check int) (name ^ ": halt code") c1 c2;
+      check_fingerprint name f1 f2)
+    [ D.System.Qemu; D.System.Rules D.Opt.full ];
+  (* interpreter tier *)
+  let ref_once () =
+    let m = T.Ref_machine.create () in
+    K.load image (fun base words -> T.Ref_machine.load_image m base words);
+    let outcome, steps = T.Ref_machine.run m ~max_steps:2_000_000 in
+    let code =
+      match outcome with
+      | T.Ref_machine.Halted c -> c
+      | _ -> Alcotest.fail "reference did not halt"
+    in
+    (code, steps, Repro_machine.Devices.Uart.output m.T.Ref_machine.bus.Repro_machine.Bus.uart)
+  in
+  let a = ref_once () and b = ref_once () in
+  Alcotest.(check (triple int int string)) "interpreter" a b
+
+(* ---- save -> restore bit-identity ---------------------------------- *)
+
+(* Interrupt a run mid-flight, serialize the snapshot to bytes, thaw
+   it into a brand-new machine and finish; the final machine must be
+   bit-identical to one that ran uninterrupted. *)
+let restore_roundtrip ?inject_seed ?(shadow_depth = 0) mode =
+  let image = kernel_image () in
+  let inject () =
+    Option.map (fun seed -> Fi.create ~seed ~rate:0.005 ()) inject_seed
+  in
+  let full = make_sys ?inject:(inject ()) ~shadow_depth mode image in
+  let full_res = D.System.run ~max_guest_insns:2_000_000 full in
+  let part = make_sys ?inject:(inject ()) ~shadow_depth mode image in
+  let part_res = D.System.run ~max_guest_insns:15_000 ~checkpoint_every:4_000 part in
+  (match part_res.T.Engine.reason with
+  | `Insn_limit -> ()
+  | _ -> Alcotest.fail "interrupted run should hit its budget");
+  (* through the wire format, as a file would *)
+  let frozen = Snapshot.to_string (D.System.snapshot part) in
+  let snap = Snapshot.of_string frozen in
+  let thawed =
+    D.System.create
+      ~ram_kib:(D.System.snapshot_ram_kib snap)
+      ?inject:(D.System.snapshot_injector snap)
+      ~shadow_depth
+      (D.System.snapshot_mode snap)
+  in
+  D.System.restore thawed snap;
+  let rest_res = D.System.run ~max_guest_insns:1_985_000 thawed in
+  Alcotest.(check int) "same halt code" (halt_code full_res) (halt_code rest_res);
+  check_fingerprint (D.System.mode_name mode) (fingerprint full) (fingerprint thawed)
+
+let test_restore_qemu () = restore_roundtrip D.System.Qemu
+let test_restore_rules () = restore_roundtrip (D.System.Rules D.Opt.full)
+
+let test_restore_inject () =
+  restore_roundtrip ~inject_seed:9 ~shadow_depth:4 (D.System.Rules D.Opt.full)
+
+(* ---- livelock watchdog --------------------------------------------- *)
+
+(* Sabotaged rule output spins a TB forever; the watchdog must roll
+   back to the last checkpoint, re-execute under a degraded engine and
+   let the guest finish with the same answer an unperturbed machine
+   produces. *)
+let test_watchdog_recovery () =
+  let image = kernel_image () in
+  let clean = make_sys (D.System.Rules D.Opt.full) image in
+  let clean_code = halt_code (D.System.run ~max_guest_insns:2_000_000 clean) in
+  let inject = Fi.create ~seed:11 ~rate:0.0 () in
+  Fi.set_rate inject Fi.Host_livelock 0.05;
+  let dumps = ref [] in
+  let sys = make_sys ~inject (D.System.Rules D.Opt.full) image in
+  let res =
+    D.System.run ~max_guest_insns:2_000_000 ~checkpoint_every:4_000
+      ~on_postmortem:(fun ~reason dump -> dumps := (reason, dump) :: !dumps)
+      sys
+  in
+  Alcotest.(check int) "guest finished with the clean answer" clean_code
+    (halt_code res);
+  let recovered = (D.System.stats sys).Stats.livelocks_recovered in
+  Alcotest.(check bool) "watchdog fired" true (recovered > 0);
+  Alcotest.(check int) "one post-mortem per recovery" recovered
+    (List.length !dumps);
+  (* the livelock dump replays deterministically: same faults, then the
+     same livelock (replay runs with the watchdog off) *)
+  let _, dump = List.hd !dumps in
+  let rep_sys =
+    D.System.create
+      ~ram_kib:(D.System.snapshot_ram_kib dump)
+      ?inject:(D.System.snapshot_injector dump)
+      (D.System.snapshot_mode dump)
+  in
+  let report = D.System.replay rep_sys dump in
+  Alcotest.(check bool) "livelock replay reproduced" true
+    report.D.System.rep_ok;
+  match report.D.System.rep_result.T.Engine.reason with
+  | `Livelock _ -> ()
+  | _ -> Alcotest.fail "replay should livelock again"
+
+(* ---- divergence post-mortem replay --------------------------------- *)
+
+let test_divergence_replay () =
+  let image = kernel_image ~target:60_000 () in
+  let inject = Fi.create ~seed:3 ~rate:0.05 () in
+  let dumps = ref [] in
+  let sys = make_sys ~inject ~shadow_depth:6 (D.System.Rules D.Opt.full) image in
+  ignore
+    (D.System.run ~max_guest_insns:4_000_000 ~checkpoint_every:5_000
+       ~on_postmortem:(fun ~reason dump -> dumps := (reason, dump) :: !dumps)
+       sys);
+  let divergences =
+    List.filter (fun (r, _) -> String.length r >= 6 && String.sub r 0 6 = "shadow")
+      !dumps
+  in
+  Alcotest.(check bool) "a shadow divergence was dumped" true
+    (divergences <> []);
+  List.iter
+    (fun (_, dump) ->
+      (* through the wire format, as --replay would see it *)
+      let dump = Snapshot.of_string (Snapshot.to_string dump) in
+      let rep_sys =
+        D.System.create
+          ~ram_kib:(D.System.snapshot_ram_kib dump)
+          ?inject:(D.System.snapshot_injector dump)
+          ~shadow_depth:6
+          (D.System.snapshot_mode dump)
+      in
+      let report = D.System.replay rep_sys dump in
+      Alcotest.(check bool) "expected events reproduced" true
+        report.D.System.rep_ok)
+    divergences
+
+(* ---- typed load errors --------------------------------------------- *)
+
+let test_load_error () =
+  let sys = D.System.create D.System.Qemu in
+  (match D.System.load_image sys 0xFFFF_0000 [| 1; 2; 3 |] with
+  | () -> Alcotest.fail "out-of-RAM load must raise"
+  | exception T.Runtime.Load_error addr ->
+    Alcotest.(check int) "faulting address" 0xFFFF_0000 addr);
+  let m = T.Ref_machine.create () in
+  match T.Ref_machine.load_image m 0xFFFF_0000 [| 1 |] with
+  | () -> Alcotest.fail "out-of-RAM reference load must raise"
+  | exception T.Runtime.Load_error _ -> ()
+
+(* ---- container integrity ------------------------------------------- *)
+
+let test_corruption_detected () =
+  let image = kernel_image () in
+  let sys = make_sys D.System.Qemu image in
+  ignore (D.System.run ~max_guest_insns:10_000 sys);
+  let good = Snapshot.to_string (D.System.snapshot sys) in
+  (* unmolested bytes parse *)
+  ignore (Snapshot.of_string good);
+  let flip pos =
+    let b = Bytes.of_string good in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+    Bytes.to_string b
+  in
+  let expect_corrupt what s =
+    match Snapshot.of_string s with
+    | _ -> Alcotest.failf "%s: corruption not detected" what
+    | exception Snapshot.Corrupt _ -> ()
+  in
+  expect_corrupt "bad magic" (flip 0);
+  expect_corrupt "bad body byte" (flip (String.length good - 10));
+  expect_corrupt "truncation" (String.sub good 0 (String.length good - 1));
+  (* a shape mismatch is caught at restore time *)
+  let snap = Snapshot.of_string good in
+  let small = D.System.create ~ram_kib:64 D.System.Qemu in
+  match D.System.restore small snap with
+  | () -> Alcotest.fail "RAM-size mismatch must raise"
+  | exception Snapshot.Corrupt _ -> ()
+
+(* ---- journal text format ------------------------------------------- *)
+
+let test_journal_roundtrip () =
+  let events =
+    [
+      Journal.Irq { at = 7; pc = 0x100018 };
+      Journal.Fault { at = 42; site = "bus-read" };
+      Journal.Dev_read { at = 99; paddr = 0xF000_1000; value = 0xDEAD_BEEF };
+      Journal.Diverge { at = 100; pc = 0x1234; detail = "shadow-repair r3" };
+      Journal.Halt { at = 101; code = 0xE2 };
+    ]
+  in
+  let j = Journal.create () in
+  List.iter (Journal.record j) events;
+  let text = Journal.to_string j in
+  Alcotest.(check (list string))
+    "text round-trip"
+    (List.map Journal.string_of_event events)
+    (List.map Journal.string_of_event (Journal.events (Journal.of_string text)));
+  match Journal.event_of_string "gibberish 1 2 3" with
+  | _ -> Alcotest.fail "malformed journal line must raise"
+  | exception Failure _ -> ()
+
+let suite =
+  [
+    ( "snapshot",
+      [
+        Alcotest.test_case "ruleset serialize round-trip" `Quick
+          test_serialize_roundtrip;
+        Alcotest.test_case "same-seed determinism (3 engines)" `Quick
+          test_determinism;
+        Alcotest.test_case "save/restore bit-identity (qemu)" `Quick
+          test_restore_qemu;
+        Alcotest.test_case "save/restore bit-identity (rules)" `Quick
+          test_restore_rules;
+        Alcotest.test_case "save/restore bit-identity (inject+shadow)" `Quick
+          test_restore_inject;
+        Alcotest.test_case "livelock watchdog recovery" `Quick
+          test_watchdog_recovery;
+        Alcotest.test_case "divergence post-mortem replay" `Quick
+          test_divergence_replay;
+        Alcotest.test_case "typed load errors" `Quick test_load_error;
+        Alcotest.test_case "container corruption detected" `Quick
+          test_corruption_detected;
+        Alcotest.test_case "journal text round-trip" `Quick
+          test_journal_roundtrip;
+      ] );
+  ]

@@ -152,7 +152,8 @@ let test_fuel_guard () =
   Prog.emit b (X.Jmp l);
   let prog = Prog.finalize b in
   match Exec.run ctx prog ~fuel:100 with
-  | exception Failure _ -> ()
+  | exception Exec.Fuel_exhausted { spent } ->
+    Alcotest.(check bool) "spent near budget" true (spent >= 100)
   | _ -> Alcotest.fail "runaway loop must exhaust fuel"
 
 let test_shift_by_cl () =
