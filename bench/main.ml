@@ -8,7 +8,9 @@
 
    Environment knobs:
      REPRO_BENCH_TARGET           guest insns per experiment run (default 120000)
-     REPRO_BENCH_SKIP_WALLCLOCK   set to skip the Bechamel section *)
+     REPRO_BENCH_SKIP_WALLCLOCK   set to skip the Bechamel section
+     REPRO_BENCH_METRICS_DIR      write per-slice machine-readable metrics
+                                  (stats + coordination ledger JSON) here *)
 
 open Bechamel
 module H = Repro_harness.Harness
@@ -34,14 +36,32 @@ let tables () =
 (* ---------- part 2: wall-clock microbenches ---------- *)
 
 let ruleset = lazy (Repro_rules.Builtin.ruleset ())
+let metrics_dir = Sys.getenv_opt "REPRO_BENCH_METRICS_DIR"
+
+let write_metrics name sys ledger =
+  match metrics_dir with
+  | None -> ()
+  | Some dir ->
+    let name = String.map (fun c -> if c = ':' then '-' else c) name in
+    let oc = open_out (Filename.concat dir (name ^ ".json")) in
+    output_string oc
+      (Repro_observe.Jsonx.obj
+         [
+           ("stats", Repro_x86.Stats.to_json (D.System.stats sys));
+           ("ledger", Repro_observe.Ledger.to_json ledger);
+         ]);
+    output_char oc '\n';
+    close_out oc
 
 let run_slice mode spec_name =
   let spec = W.find spec_name in
   let user = W.generate spec ~iterations:2 in
   let image = K.build ~timer_period:2_000 ~user_program:user () in
-  let sys = D.System.create ~ruleset:(Lazy.force ruleset) mode in
+  let ledger = Repro_observe.Ledger.create () in
+  let sys = D.System.create ~ruleset:(Lazy.force ruleset) ~ledger mode in
   K.load image (fun base words -> D.System.load_image sys base words);
-  ignore (D.System.run ~max_guest_insns:400_000 sys)
+  ignore (D.System.run ~max_guest_insns:400_000 sys);
+  write_metrics (D.System.mode_name mode ^ "-" ^ spec_name) sys ledger
 
 let wallclock_tests =
   (* one Test.make per table/figure: the configuration that experiment
@@ -66,11 +86,14 @@ let wallclock_tests =
            let app = List.hd W.apps in
            let user = W.generate_app app ~iterations:4 in
            let image = K.build ~timer_period:2_000 ~user_program:user () in
+           let ledger = Repro_observe.Ledger.create () in
            let sys =
-             D.System.create ~ruleset:(Lazy.force ruleset) (D.System.Rules D.Opt.full)
+             D.System.create ~ruleset:(Lazy.force ruleset) ~ledger
+               (D.System.Rules D.Opt.full)
            in
            K.load image (fun base words -> D.System.load_image sys base words);
-           ignore (D.System.run ~max_guest_insns:400_000 sys)));
+           ignore (D.System.run ~max_guest_insns:400_000 sys);
+           write_metrics "rules-full-memcached" sys ledger));
     Test.make ~name:"learning-pipeline"
       (Staged.stage (fun () -> ignore (Repro_learn.Learn.learn ())));
   ]

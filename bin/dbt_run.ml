@@ -11,6 +11,7 @@ module W = Repro_workloads.Workloads
 module Stats = Repro_x86.Stats
 module Snapshot = Repro_snapshot.Snapshot
 module Journal = Repro_snapshot.Journal
+module Obs = Repro_observe
 open Cmdliner
 
 let mode_of_string = function
@@ -85,13 +86,28 @@ let do_replay ruleset shadow_depth quarantine_threshold path =
 let run bench mode_name target budget timer builtin_only rules_file dump_tbs
     profile_top inject_seed inject_rate surface_faults shadow_depth
     quarantine_threshold checkpoint_every save_file restore_file replay_file
-    watchdog postmortem_dir =
+    watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
+    ledger_on log_level stats_json =
+  (match Obs.Log.level_of_string log_level with
+  | Some lv -> Obs.Log.set_level lv
+  | None ->
+    Printf.eprintf "unknown log level %s (error|warn|info|debug|trace)\n"
+      log_level;
+    exit 2);
+  if trace_format <> "jsonl" && trace_format <> "chrome" then begin
+    Printf.eprintf "unknown trace format %s (jsonl|chrome)\n" trace_format;
+    exit 2
+  end;
   match mode_of_string mode_name with
   | Error e ->
     prerr_endline e;
     exit 2
   | Ok mode -> (
     let ruleset = build_ruleset builtin_only rules_file in
+    let trace =
+      match trace_file with Some _ -> Some (Obs.Trace.create ()) | None -> None
+    in
+    let ledger = if ledger_on then Some (Obs.Ledger.create ()) else None in
     match replay_file with
     | Some path -> exit (do_replay ruleset shadow_depth quarantine_threshold path)
     | None ->
@@ -113,7 +129,8 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
           let sys =
             D.System.create
               ~ram_kib:(D.System.snapshot_ram_kib snap)
-              ~ruleset ?inject ~shadow_depth ~quarantine_threshold mode
+              ~ruleset ?inject ~shadow_depth ~quarantine_threshold ?trace
+              ?ledger mode
           in
           D.System.restore sys snap;
           sys
@@ -134,7 +151,7 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
           in
           let sys =
             D.System.create ~ruleset ?inject ~shadow_depth ~quarantine_threshold
-              mode
+              ?trace ?ledger mode
           in
           K.load image (fun base words -> D.System.load_image sys base words);
           sys
@@ -157,10 +174,50 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
       let max_guest_insns =
         match budget with Some b -> b | None -> 60 * target
       in
+      (* Periodic metrics ride the checkpoint mechanism: when only
+         --metrics-every is given it sets the checkpoint cadence; an
+         explicit --checkpoint-every wins and metrics follow it. *)
+      let metrics_oc =
+        match metrics_out with Some p -> Some (open_out p) | None -> None
+      in
+      let last_metrics = ref (0, 0, 0) in
+      let write_metrics () =
+        match metrics_oc with
+        | None -> ()
+        | Some oc ->
+          let s = D.System.stats sys in
+          let pg, ph, ps = !last_metrics in
+          last_metrics := (s.Stats.guest_insns, s.Stats.host_insns, s.Stats.sync_ops);
+          output_string oc
+            (Obs.Jsonx.obj
+               [
+                 ("at", Obs.Jsonx.int s.Stats.guest_insns);
+                 ( "delta",
+                   Obs.Jsonx.obj
+                     [
+                       ("guest_insns", Obs.Jsonx.int (s.Stats.guest_insns - pg));
+                       ("host_insns", Obs.Jsonx.int (s.Stats.host_insns - ph));
+                       ("sync_ops", Obs.Jsonx.int (s.Stats.sync_ops - ps));
+                     ] );
+                 ("stats", Stats.to_json s);
+               ]);
+          output_char oc '\n'
+      in
+      let effective_checkpoint_every =
+        if checkpoint_every > 0 then checkpoint_every else metrics_every
+      in
+      let on_checkpoint =
+        if metrics_oc <> None && effective_checkpoint_every > 0 then
+          Some (fun _snap -> write_metrics ())
+        else None
+      in
       let res =
-        D.System.run ?profile ~max_guest_insns ~checkpoint_every ~watchdog
+        D.System.run ?profile ~max_guest_insns
+          ~checkpoint_every:effective_checkpoint_every ?on_checkpoint ~watchdog
           ?on_postmortem sys
       in
+      write_metrics ();
+      (match metrics_oc with Some oc -> close_out oc | None -> ());
       let s = D.System.stats sys in
       Format.printf "benchmark  %s@.mode       %s@.outcome    %s@.@.%a@." bench
         (D.System.mode_name mode)
@@ -208,6 +265,44 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
             end)
           (T.Tb.Cache.to_list sys.D.System.cache)
       end;
+      (match ledger with
+      | Some l ->
+        Format.printf "@.--- coordination ledger (paper Fig. 17) ---@.@[<v>%a@]@."
+          Obs.Ledger.pp_report l
+      | None -> ());
+      (match (trace, trace_file) with
+      | Some tr, Some path ->
+        let oc = open_out path in
+        (match trace_format with
+        | "chrome" -> Obs.Trace.write_chrome oc tr
+        | _ -> Obs.Trace.write_jsonl oc tr);
+        close_out oc;
+        Format.printf "@.trace: %d events captured (%d dropped), %s written to %s@."
+          (Obs.Trace.total tr) (Obs.Trace.dropped tr) trace_format path
+      | _ -> ());
+      (match stats_json with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Obs.Jsonx.obj
+             ([ ("stats", Stats.to_json s) ]
+             @ (match ledger with
+               | Some l -> [ ("ledger", Obs.Ledger.to_json l) ]
+               | None -> [])
+             @
+             match trace with
+             | Some tr ->
+               [ ( "trace",
+                   Obs.Jsonx.obj
+                     [
+                       ("total", Obs.Jsonx.int (Obs.Trace.total tr));
+                       ("dropped", Obs.Jsonx.int (Obs.Trace.dropped tr));
+                     ] );
+               ]
+             | None -> []));
+        output_char oc '\n';
+        close_out oc
+      | None -> ());
       (match save_file with
       | Some path ->
         Snapshot.save_file path (D.System.snapshot sys);
@@ -220,12 +315,14 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
 let run_protected bench mode target budget timer builtin_only rules_file
     dump_tbs profile_top inject_seed inject_rate surface_faults shadow_depth
     quarantine_threshold checkpoint_every save_file restore_file replay_file
-    watchdog postmortem_dir =
+    watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
+    ledger_on log_level stats_json =
   try
     run bench mode target budget timer builtin_only rules_file dump_tbs
       profile_top inject_seed inject_rate surface_faults shadow_depth
       quarantine_threshold checkpoint_every save_file restore_file replay_file
-      watchdog postmortem_dir
+      watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
+      ledger_on log_level stats_json
   with
   | T.Runtime.Load_error addr ->
     Printf.eprintf "image load error: physical address %#x is outside guest RAM\n"
@@ -353,6 +450,57 @@ let postmortem_arg =
   in
   Arg.(value & opt (some string) None & info [ "postmortem-dir" ] ~docv:"DIR" ~doc)
 
+let trace_arg =
+  let doc =
+    "Capture a structured event trace (translations, chains, IRQs, TLB \
+     misses, sync restores, shadow replays, watchdog and snapshot activity; \
+     timestamps are retired guest instructions) and write it to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace output format: jsonl (one event object per line) or chrome \
+     (Chrome trace-event JSON, loadable in Perfetto / chrome://tracing)."
+  in
+  Arg.(value & opt string "jsonl" & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Append a machine-readable metrics snapshot (full statistics plus \
+     interval deltas, JSONL) to $(docv) at every checkpoint and at the end \
+     of the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_every_arg =
+  let doc =
+    "Emit periodic metrics every $(docv) retired guest instructions (sets \
+     the checkpoint cadence when --checkpoint-every is not given; with it, \
+     metrics follow the checkpoint cadence)."
+  in
+  Arg.(value & opt int 0 & info [ "metrics-every" ] ~docv:"INSNS" ~doc)
+
+let ledger_arg =
+  let doc =
+    "Attribute coordination savings (sync ops and Sync-tagged host \
+     instructions removed) to each optimization pass, statically per \
+     translation and dynamically per TB execution, and print the per-pass \
+     table (the paper's Fig. 17 breakdown)."
+  in
+  Arg.(value & flag & info [ "ledger" ] ~doc)
+
+let log_level_arg =
+  let doc = "Diagnostic log level: error, warn, info, debug or trace." in
+  Arg.(value & opt string "warn" & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+
+let stats_json_arg =
+  let doc =
+    "Write the final statistics (plus the ledger and trace summaries when \
+     enabled) as one JSON object to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run one benchmark under one DBT engine" in
   Cmd.v
@@ -362,6 +510,7 @@ let cmd =
       $ timer_arg $ builtin_arg $ rules_arg $ dump_arg $ profile_arg $ inject_arg
       $ inject_rate_arg $ surface_arg $ shadow_arg $ quarantine_arg
       $ checkpoint_arg $ save_arg $ restore_arg $ replay_arg $ watchdog_arg
-      $ postmortem_arg)
+      $ postmortem_arg $ trace_arg $ trace_format_arg $ metrics_out_arg
+      $ metrics_every_arg $ ledger_arg $ log_level_arg $ stats_json_arg)
 
 let () = exit (Cmd.eval cmd)

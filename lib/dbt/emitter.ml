@@ -10,6 +10,7 @@ module Rule = Repro_rules.Rule
 module Ruleset = Repro_rules.Ruleset
 module Flagconv = Repro_rules.Flagconv
 module Pinmap = Repro_rules.Pinmap
+module Ledger = Repro_observe.Ledger
 
 (* Where the guest condition flags currently live. [F_env]: env is
    authoritative, EFLAGS holds nothing. [F_both conv]: both valid.
@@ -27,9 +28,30 @@ type result = {
   rule_covered : int;
   fallback : int;
   rules_used : (Rule.t * int) list;
+  prov : int array;
 }
 
 let canonical_bit = 0x2000_0000
+
+(* ---------- coordination-savings provenance ----------
+
+   Counterfactual cost table for the ledger: how many real host
+   instructions each coordination primitive emits under each design.
+   [Count] pseudos execute free ({!Repro_x86.Prog.is_pseudo}), so they
+   are not counted; every save/restore carries exactly one sync op
+   (its [Cnt_sync_op]) in both designs.  The numbers mirror
+   [flags_save]/[flags_restore] below — the assertion-backed ledger
+   tests catch drift. *)
+
+let save_cost ~reduction conv =
+  if reduction then
+    match conv with
+    | Flagconv.Sub_like | Flagconv.Canonical -> 3
+    | Flagconv.Add_like -> 4
+    | Flagconv.Logic_like -> 5
+  else match conv with Flagconv.Logic_like -> 7 | _ -> 9
+
+let restore_cost ~reduction = if reduction then 2 else 11
 
 type st = {
   b : Prog.builder;
@@ -61,10 +83,19 @@ type st = {
       (* distinct rules with the OR of their matched insns' guest
          def-masks — shadow verification attributes divergences by
          destination register *)
+  prov : int array;  (* Ledger provenance accumulated during emission *)
 }
 
 let env_op slot = X.Mem (X.env_slot slot)
 let emit st ?tag i = Prog.emit st.b ?tag i
+let credit st pass ~ops ~insns = Ledger.prov_add st.prov pass ~ops ~insns
+
+let popcount mask =
+  let n = ref 0 in
+  for r = 0 to 14 do
+    if mask land (1 lsl r) <> 0 then incr n
+  done;
+  !n
 
 (* Guest PC of the instruction at (scheduled) index [idx]: scheduling
    permutes emission order but every instruction keeps its original
@@ -138,6 +169,9 @@ let flags_save st conv =
       (X.Mov { width = X.W32; dst = env_op Envspec.ccr_packed; src = X.Reg X.rax });
     emit st ~tag:X.Tag_sync
       (X.Mov { width = X.W32; dst = env_op Envspec.ccr_tag; src = X.Imm 1 });
+    (* III-B: packed save vs the one-to-many parse (same 1 sync op) *)
+    credit st Ledger.Reduction ~ops:0
+      ~insns:(save_cost ~reduction:false conv - save_cost ~reduction:true conv);
     st.fl <- (if clobbered then F_env else F_both conv)
   end
   else begin
@@ -174,7 +208,10 @@ let flags_restore st =
        maintained (helpers keep both forms coherent). *)
     emit st ~tag:X.Tag_sync
       (X.Mov { width = X.W32; dst = X.Reg X.rax; src = env_op Envspec.ccr_packed });
-    emit st ~tag:X.Tag_sync (X.Loadf X.rax)
+    emit st ~tag:X.Tag_sync (X.Loadf X.rax);
+    (* III-B: packed reload vs rebuilding from four parsed slots *)
+    credit st Ledger.Reduction ~ops:0
+      ~insns:(restore_cost ~reduction:false - restore_cost ~reduction:true)
   end
   else begin
     (* Rebuild from the parsed slots (the expensive direction of the
@@ -209,7 +246,13 @@ let ensure_flags st =
     flags_restore st;
     Flagconv.Canonical
   | F_both conv ->
-    if st.opt.Opt.elim_restores then conv
+    if st.opt.Opt.elim_restores then begin
+      (* III-C.1: EFLAGS already holds the guest flags — the naive
+         design would re-restore here anyway *)
+      credit st Ledger.Elim_restores ~ops:1
+        ~insns:(restore_cost ~reduction:st.opt.Opt.reduction);
+      conv
+    end
     else begin
       flags_restore st;
       Flagconv.Canonical
@@ -242,6 +285,9 @@ let spill_flags_if_dirty st =
     (* Naive mode re-saves redundantly at every coordination point
        (the consecutive-memory pairs of Fig. 10). *)
     if not st.opt.Opt.elim_mem then flags_save st conv
+    else
+      credit st Ledger.Elim_mem ~ops:1
+        ~insns:(save_cost ~reduction:st.opt.Opt.reduction conv)
   | F_env -> ()
 
 (* Full Sync-save before a helper call or TB exit. *)
@@ -258,15 +304,30 @@ let invalidate_after_helper st =
    helper return (Sync-restore of Fig. 6): flags back into EFLAGS and
    every pinned register used later in the TB reloaded. *)
 let eager_restore_after_helper st ~from_index =
+  let remaining_uses = ref 0 in
+  let reads_flags_later = ref false in
+  for k = from_index to Array.length st.insns - 1 do
+    remaining_uses := !remaining_uses lor A.uses st.insns.(k);
+    if A.reads_flags st.insns.(k) then reads_flags_later := true
+  done;
   if not st.opt.Opt.elim_mem then begin
-    let remaining_uses = ref 0 in
-    let reads_flags_later = ref false in
-    for k = from_index to Array.length st.insns - 1 do
-      remaining_uses := !remaining_uses lor A.uses st.insns.(k);
-      if A.reads_flags st.insns.(k) then reads_flags_later := true
-    done;
     ensure_loaded_mask st (!remaining_uses land Pinmap.pinned_mask);
     if !reads_flags_later then flags_restore st
+  end
+  else begin
+    (* III-C.2: the eager post-helper restore the naive design would
+       emit — register reloads for every later use plus the flag
+       rebuild — stays lazy instead. *)
+    let reloads =
+      popcount (!remaining_uses land Pinmap.pinned_mask land lnot st.loaded)
+    in
+    credit st Ledger.Elim_mem
+      ~ops:(if !reads_flags_later then 1 else 0)
+      ~insns:
+        (reloads
+        +
+        if !reads_flags_later then restore_cost ~reduction:st.opt.Opt.reduction
+        else 0)
   end
 
 (* ---------- interrupt check ---------- *)
@@ -337,7 +398,12 @@ let epilogue_exit st kind =
   let saved =
     match st.fl with
     | F_dirty conv ->
-      if st.elide.(slot) then false
+      if st.elide.(slot) then begin
+        (* III-C.3: the chained successor redefines flags before use *)
+        credit st Ledger.Inter_tb ~ops:1
+          ~insns:(save_cost ~reduction:st.opt.Opt.reduction conv);
+        false
+      end
       else begin
         flags_save st conv;
         true
@@ -347,7 +413,17 @@ let epilogue_exit st kind =
         flags_save st conv;
         true
       end
-      else false
+      else begin
+        (* skipped: III-C.2 if that pass is on (the save would be
+           redundant regardless of linking), III-C.3 otherwise *)
+        (if st.opt.Opt.elim_mem then
+           credit st Ledger.Elim_mem ~ops:1
+             ~insns:(save_cost ~reduction:st.opt.Opt.reduction conv)
+         else
+           credit st Ledger.Inter_tb ~ops:1
+             ~insns:(save_cost ~reduction:st.opt.Opt.reduction conv));
+        false
+      end
     | F_env -> false
   in
   store_dirty_regs st;
@@ -1181,6 +1257,11 @@ let emit_run st idx len =
   ensure_loaded_mask st mask;
   spill_flags_if_dirty st;
   store_dirty_regs st;
+  (* III-C.1 run grouping: [len] same-condition insns share one guard
+     and one Sync-restore; the naive design evaluates each on its own
+     (a restore + Jcc per extra member). *)
+  credit st Ledger.Elim_restores ~ops:(len - 1)
+    ~insns:((len - 1) * (restore_cost ~reduction:st.opt.Opt.reduction + 1));
   let g = open_guard st st.insns.(idx).A.cond in
   let consumed = ref 0 in
   (match g with
@@ -1248,7 +1329,8 @@ let find_irq_sched_index st =
     scan 0
   end
 
-let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entry_conv () =
+let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entry_conv
+    ?(sched_hoists = 0) () =
   let origins =
     match origins with Some o -> o | None -> Array.init (Array.length insns) (fun i -> i)
   in
@@ -1282,6 +1364,7 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
       rule_covered = 0;
       fallback = 0;
       rules_used = [];
+      prov = Ledger.zero_prov ();
     }
   in
   let st = { st with irq_label = Prog.fresh_label b } in
@@ -1290,6 +1373,22 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
   (* With an entry assumption the check must be at the head (the stub
      spills the inherited EFLAGS). *)
   if entry_conv <> None then st.irq_sched_index <- -1;
+  (* III-C.3 costs at every entry: the head check must guard EFLAGS
+     (Savef/Loadf pair) when flags can arrive live.  The engine-side
+     install cost is charged dynamically by the translator. *)
+  if entry_conv <> None then credit st Ledger.Inter_tb ~ops:0 ~insns:(-2);
+  (* III-D.2 (modelled): a mid-TB check runs with state already
+     synced, where a head check under live flags would need the same
+     Savef/Loadf guard pair. *)
+  if st.irq_sched_index >= 0 then credit st Ledger.Sched_irq ~ops:0 ~insns:2;
+  (* III-D.1 (modelled): each hoist the scheduler applied turns a
+     save/restore coordination pair around a helper into none. *)
+  if sched_hoists > 0 then
+    credit st Ledger.Sched_dbu ~ops:(2 * sched_hoists)
+      ~insns:
+        (sched_hoists
+        * (save_cost ~reduction:opt.Opt.reduction Flagconv.Canonical
+          + restore_cost ~reduction:opt.Opt.reduction));
   if st.irq_sched_index < 0 then emit_irq_check st ~guard_flags:(entry_conv <> None);
   (* Naive design: eager prologue Sync-restore (paper Fig. 1 Path 2) *)
   if not opt.Opt.elim_restores then begin
@@ -1330,4 +1429,5 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
     rule_covered = st.rule_covered;
     fallback = st.fallback;
     rules_used = List.rev st.rules_used;
+    prov = st.prov;
   }

@@ -37,7 +37,21 @@ type result = {
           the OR of its matched instructions' guest register def-masks
           — shadow verification attributes divergences to rules by the
           registers they wrote *)
+  prov : int array;
+      (** coordination-savings provenance
+          ({!Repro_observe.Ledger.prov_len} slots): per optimization
+          pass, the sync ops and host instructions this emission saves
+          over the counterfactual with that pass disabled.  Observational
+          only — accumulating it never changes the emitted program. *)
 }
+
+val save_cost : reduction:bool -> Repro_rules.Flagconv.t -> int
+(** Real host instructions of a flag Sync-save under the given design
+    (III-B packed vs one-to-many parsed); the counterfactual cost
+    table the provenance uses.  Exposed for the ledger tests. *)
+
+val restore_cost : reduction:bool -> int
+(** Likewise for a flag Sync-restore. *)
 
 val emit :
   opt:Opt.t ->
@@ -48,6 +62,7 @@ val emit :
   ?origins:int array ->
   ?elide_flag_save:bool array ->
   ?entry_conv:Repro_rules.Flagconv.t ->
+  ?sched_hoists:int ->
   unit ->
   result
 (** [origins] gives each (scheduled) instruction's original index in
@@ -56,4 +71,7 @@ val emit :
     save on slots whose chained successor redefines flags before use;
     [entry_conv] marks a TB that may be entered with live guest flags
     in EFLAGS under the given convention (set on such successors; its
-    interrupt stub then spills EFLAGS before exiting, paper Fig. 7). *)
+    interrupt stub then spills EFLAGS before exiting, paper Fig. 7).
+    [sched_hoists] is the number of define-before-use hoists the
+    scheduler applied to [insns] — credited to III-D.1 in the
+    provenance (it does not affect emission). *)

@@ -12,6 +12,7 @@ module Ruleset = Repro_rules.Ruleset
 module Flagconv = Repro_rules.Flagconv
 module Snapshot = Repro_snapshot.Snapshot
 module Journal = Repro_snapshot.Journal
+module Trace = Repro_observe.Trace
 
 type mode = Qemu | Rules of Opt.t
 
@@ -42,9 +43,13 @@ type t = {
 }
 
 let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
-    ?quarantine_threshold mode =
-  let rt = Runtime.create ?ram_kib ?inject () in
+    ?quarantine_threshold ?trace ?ledger mode =
+  let rt = Runtime.create ?ram_kib ?inject ?trace ?ledger () in
   Helpers.install rt;
+  (* Observational wiring: devices and the injector share the
+     runtime's event ring. *)
+  Devices.Timer.set_trace rt.Runtime.bus.Repro_machine.Bus.timer trace;
+  (match inject with Some inj -> Fi.set_trace inj trace | None -> ());
   let cache = Tb.Cache.create ?capacity:tb_capacity () in
   rt.Runtime.is_code_page <- Tb.Cache.is_code_page cache;
   let ruleset, rule_translator =
@@ -57,7 +62,7 @@ let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
       ( Some ruleset,
         Some
           (Translator_rule.create ~opt ~ruleset ?shadow_depth
-             ?quarantine_threshold ()) )
+             ?quarantine_threshold ?ledger ()) )
   in
   {
     mode;
@@ -277,6 +282,13 @@ let decode_resume payload =
   { Engine.rpc; rprivileged; rmmu_on; rneeds_enter }
 
 let capture ?resume t =
+  (* The trace ring and the coordination ledger are deliberately NOT
+     snapshot sections: they are observational accumulators over the
+     whole process lifetime, and guest-visible state must round-trip
+     bit-identically whether or not they are attached. *)
+  (match t.rt.Runtime.trace with
+  | Some tr -> Trace.emit tr Trace.Snapshot "capture"
+  | None -> ());
   let snap = Snapshot.create () in
   Snapshot.add snap "mode" (mode_name t.mode);
   Snapshot.capture_machine t.rt snap;
@@ -306,6 +318,23 @@ let snapshot t =
    translation regime and put back afterwards. *)
 let rebuild_cache t records links =
   let rt = t.rt in
+  (* The rebuild re-runs every captured translation; letting those
+     re-translations record static provenance again would double-count
+     in the coordination ledger, so it is detached for the duration. *)
+  let saved_ledger =
+    match t.rule_translator with
+    | Some tr ->
+      let l = Translator_rule.ledger tr in
+      Translator_rule.set_ledger tr None;
+      l
+    | None -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match t.rule_translator with
+      | Some tr -> Translator_rule.set_ledger tr saved_ledger
+      | None -> ())
+  @@ fun () ->
   let saved_cpu = Cpu.save_words rt.Runtime.cpu in
   let translate =
     match t.rule_translator with
@@ -361,6 +390,10 @@ let rebuild_cache t records links =
     links
 
 let restore ?(rebuild = true) t snap =
+  (match t.rt.Runtime.trace with
+  | Some tr ->
+    Trace.emit tr ~a:(if rebuild then 1 else 0) Trace.Snapshot "restore"
+  | None -> ());
   (match Snapshot.find_opt snap "mode" with
   | Some m when m = mode_name t.mode -> ()
   | Some m ->
@@ -442,7 +475,7 @@ let snapshot_ram_kib snap = String.length (Snapshot.find snap "ram") / 1024
 
 (* ---- the run loop: journal hooks, checkpoints, watchdog ---- *)
 
-let postmortem_dump t ~reason =
+let postmortem_dump ?profile t ~reason =
   match t.last_checkpoint with
   | None -> None
   | Some cp ->
@@ -450,6 +483,13 @@ let postmortem_dump t ~reason =
     let dump = Snapshot.of_string (Snapshot.to_string cp) in
     Snapshot.add dump "expected" (Journal.to_string t.journal);
     Snapshot.add dump "reason" reason;
+    (* Where was the time going when it died? The hot-block table is
+       the first thing a post-mortem reader wants. *)
+    (match profile with
+    | Some p ->
+      Snapshot.add dump "profile"
+        (Format.asprintf "%a" (Repro_tcg.Profile.pp_report ~top:10) p)
+    | None -> ());
     Some dump
 
 type rung = Rung_rules | Rung_baseline | Rung_interp
@@ -585,7 +625,7 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
               let reason =
                 Printf.sprintf "shadow-divergence at %#x" tb.Tb.guest_pc
               in
-              match postmortem_dump t ~reason with
+              match postmortem_dump ?profile t ~reason with
               | Some dump -> f ~reason dump
               | None -> ())
             | None -> ());
@@ -604,9 +644,12 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
           Printf.sprintf "livelock at %#x under the %s engine" pc
             (rung_name rung)
         in
+        (match t.rt.Runtime.trace with
+        | Some tr -> Trace.emit tr ~a:pc Trace.Watchdog "livelock"
+        | None -> ());
         (match on_postmortem with
         | Some f -> (
-          match postmortem_dump t ~reason with
+          match postmortem_dump ?profile t ~reason with
           | Some dump -> f ~reason dump
           | None -> ())
         | None -> ());
@@ -617,6 +660,15 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
         restore ~rebuild:false t cp;
         t.last_checkpoint <- Some cp;
         stats.Stats.livelocks_recovered <- stats.Stats.livelocks_recovered + 1;
+        (match t.rt.Runtime.trace with
+        | Some tr ->
+          Trace.emit tr
+            ~a:(match next with
+                | Rung_rules -> 0
+                | Rung_baseline -> 1
+                | Rung_interp -> 2)
+            Trace.Watchdog "degrade"
+        | None -> ());
         let resume = t.pending_resume in
         t.pending_resume <- None;
         attempt next resume

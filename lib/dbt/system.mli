@@ -54,6 +54,8 @@ val create :
   ?inject:Repro_faultinject.Faultinject.t ->
   ?shadow_depth:int ->
   ?quarantine_threshold:int ->
+  ?trace:Repro_observe.Trace.t ->
+  ?ledger:Repro_observe.Ledger.t ->
   mode ->
   t
 (** [ruleset] defaults to the builtin set; ignored in [Qemu] mode.
@@ -65,7 +67,17 @@ val create :
     loading is never perturbed). [shadow_depth] and
     [quarantine_threshold] configure shadow verification of
     rule-translated TBs (see {!Translator_rule}); ignored in [Qemu]
-    mode. *)
+    mode.
+
+    [trace] installs a structured event ring shared by the engine,
+    the timer, the softMMU helpers, the injector, the watchdog and
+    the snapshot layer; its clock is retired guest instructions.
+    [ledger] enables the per-pass coordination-savings attribution
+    (see {!Repro_observe.Ledger}). Both are purely observational:
+    guest-visible behaviour and every modelled cost counter are
+    bit-identical with or without them, and neither rides in
+    snapshots — a restored machine continues accumulating into
+    whatever trace/ledger it was created with. *)
 
 val load_image : t -> Word32.t -> Word32.t array -> unit
 
@@ -101,8 +113,9 @@ val run :
     [on_postmortem ~reason dump] fires when shadow verification
     repairs a divergence or the watchdog catches a livelock: [dump] is
     the last clean checkpoint plus the expected event journal and
-    [reason], ready for {!replay} (or [Snapshot.save_file] and
-    [repro-dbt-run --replay]). *)
+    [reason] — and, when [profile] is given, a rendered hot-block
+    table in the ["profile"] section — ready for {!replay} (or
+    [Snapshot.save_file] and [repro-dbt-run --replay]). *)
 
 val stats : t -> Repro_x86.Stats.t
 val cpu : t -> Repro_arm.Cpu.t

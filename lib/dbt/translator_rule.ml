@@ -18,6 +18,8 @@ module Pinmap = Repro_rules.Pinmap
 module Rule = Repro_rules.Rule
 module Ruleset = Repro_rules.Ruleset
 module Fi = Repro_faultinject.Faultinject
+module Trace = Repro_observe.Trace
+module Ledger = Repro_observe.Ledger
 
 (* Per-TB metadata the emitter produces and the linker consumes. *)
 type meta = {
@@ -31,6 +33,7 @@ type meta = {
       (* distinct rules in the current emission, each with the guest
          register def-mask of its matched instructions *)
   shadowable : bool;  (* replayable on the reference interpreter *)
+  hoists : int;  (* III-D.1 hoists the scheduler applied to [insns] *)
 }
 
 (* The reference-replay result shadow verification compares against:
@@ -57,9 +60,12 @@ type t = {
   mutable rule_covered : int;
   mutable fallback : int;
   mutable inter_tb_elisions : int;
+  mutable ledger : Ledger.t option;
+      (* coordination-savings sink; detachable (snapshot cache rebuild
+         re-runs build_tb/re_emit and must not re-record statics) *)
 }
 
-let create ~opt ~ruleset ?(shadow_depth = 0) ?(quarantine_threshold = 2) () =
+let create ~opt ~ruleset ?(shadow_depth = 0) ?(quarantine_threshold = 2) ?ledger () =
   {
     opt;
     ruleset;
@@ -73,7 +79,11 @@ let create ~opt ~ruleset ?(shadow_depth = 0) ?(quarantine_threshold = 2) () =
     rule_covered = 0;
     fallback = 0;
     inter_tb_elisions = 0;
+    ledger;
   }
+
+let set_ledger t l = t.ledger <- l
+let ledger t = t.ledger
 
 (* ---------- III-D-1: define-before-use scheduling ----------
 
@@ -106,7 +116,7 @@ let is_ender (i : A.t) =
   | A.Svc _ | A.Udf _ | A.Cps _ | A.Mcr _ | A.Msr { write_control = true; _ } -> true
   | _ -> false
 
-let schedule_indexed ~opt insns =
+let schedule_indexed ?hoists ~opt insns =
   let tagged = Array.mapi (fun i x -> (x, i)) insns in
   if not opt.Opt.sched_dbu then tagged
   else begin
@@ -141,6 +151,7 @@ let schedule_indexed ~opt insns =
                  let prefix = Array.to_list (Array.sub arr 0 i) in
                  let suffix = Array.to_list (Array.sub arr j (n - j)) in
                  lst := prefix @ between @ [ arr.(i) ] @ suffix;
+                 (match hoists with Some h -> incr h | None -> ());
                  changed := true;
                  raise Exit
                end
@@ -310,6 +321,9 @@ let on_executed t (rt : Runtime.t) (tb : Tb.t) ~outcome ~guest =
       let stats = Runtime.stats rt in
       let env = Runtime.env rt in
       stats.Stats.shadow_replays <- stats.Stats.shadow_replays + 1;
+      (match rt.Runtime.trace with
+      | Some tr -> Trace.emit tr ~a:tb.Tb.guest_pc Shadow "replay"
+      | None -> ());
       bump t.shadow_done tb.Tb.guest_pc;
       (* With the flag save elided from this exit (inter-TB), env's
          flag word is architecturally stale — skip the comparison but
@@ -342,6 +356,10 @@ let on_executed t (rt : Runtime.t) (tb : Tb.t) ~outcome ~guest =
         `Continue
       else begin
         stats.Stats.shadow_divergences <- stats.Stats.shadow_divergences + 1;
+        (match rt.Runtime.trace with
+        | Some tr ->
+          Trace.emit tr ~a:tb.Tb.guest_pc ~b:!reg_divergence Shadow "divergence"
+        | None -> ());
         (* Repair guest state from the reference replay... *)
         for i = 0 to 14 do
           env.(Envspec.reg i) <- exp.exp_regs.(i)
@@ -428,7 +446,8 @@ let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
   let privileged = Runtime.privileged rt in
   let r =
     Emitter.emit ~opt:t.opt ~ruleset:t.ruleset ~privileged ~tb_pc:pc ~insns:m.insns
-      ~origins:m.origins ~elide_flag_save:m.elide ?entry_conv:m.entry_conv ()
+      ~origins:m.origins ~elide_flag_save:m.elide ?entry_conv:m.entry_conv
+      ~sched_hoists:m.hoists ()
   in
   t.rule_covered <- t.rule_covered + r.Emitter.rule_covered;
   t.fallback <- t.fallback + r.Emitter.fallback;
@@ -475,8 +494,12 @@ let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
       fault_producers;
       translated_override = rt.Runtime.tb_override;
       injected = `None;
+      prov = r.Emitter.prov;
     }
   in
+  (match t.ledger with
+  | Some l -> Ledger.record_static l r.Emitter.prov
+  | None -> ());
   (match rt.Runtime.corrupt_override with
   | Some `Rule_corrupt ->
     (* Snapshot cache rebuild: re-apply the recorded corruption without
@@ -520,7 +543,8 @@ let translate t (rt : Runtime.t) cache ~pc =
         | [] -> Ok (Translator_qemu.emulate_one_tb rt cache ~pc)
         | insns_list -> (
           let insns = Array.of_list insns_list in
-          let tagged = schedule_indexed ~opt:t.opt insns in
+          let hoists = ref 0 in
+          let tagged = schedule_indexed ~hoists ~opt:t.opt insns in
           let m =
             {
               insns = Array.map fst tagged;
@@ -533,6 +557,7 @@ let translate t (rt : Runtime.t) cache ~pc =
               first_flag_is_def = false;
               rules_used = [];
               shadowable = Array.for_all shadowable_insn (Array.map fst tagged);
+              hoists = !hoists;
             }
           in
           try
@@ -552,11 +577,18 @@ let re_emit t (tb : Tb.t) m =
   let r =
     Emitter.emit ~opt:t.opt ~ruleset:t.ruleset ~privileged:tb.Tb.privileged
       ~tb_pc:tb.Tb.guest_pc ~insns:m.insns ~origins:m.origins ~elide_flag_save:m.elide
-      ?entry_conv:m.entry_conv ()
+      ?entry_conv:m.entry_conv ~sched_hoists:m.hoists ()
   in
   m.exit_states <- r.Emitter.exit_states;
   m.rules_used <- r.Emitter.rules_used;
   tb.Tb.prog <- r.Emitter.prog;
+  (* the static view tracks the live code: replace this TB's old
+     contribution with the new emission's (a delta, so the translation
+     count is not re-bumped) *)
+  (match t.ledger with
+  | Some l -> Ledger.record_static_delta l (Ledger.prov_diff ~old_:tb.Tb.prov r.Emitter.prov)
+  | None -> ());
+  tb.Tb.prov <- r.Emitter.prov;
   (* a fresh emission discards any injected code corruption *)
   tb.Tb.injected <- `None
 
@@ -610,7 +642,15 @@ let on_enter t (rt : Runtime.t) (tb : Tb.t) =
       Exec.set_flags_word rt.Runtime.ctx bits;
       let stats = Runtime.stats rt in
       Stats.charge_tag stats X.Tag_sync 2;
-      stats.Stats.sync_ops <- stats.Stats.sync_ops + 1));
+      stats.Stats.sync_ops <- stats.Stats.sync_ops + 1;
+      (* III-C.3 pays an engine-side restore on every engine entry of
+         an assuming TB: a negative dynamic saving *)
+      (match t.ledger with
+      | Some l -> Ledger.add_dynamic l Ledger.Inter_tb ~ops:(-1) ~insns:(-2)
+      | None -> ());
+      (match rt.Runtime.trace with
+      | Some tr -> Trace.emit tr ~a:tb.Tb.guest_pc Sync "entry_restore"
+      | None -> ())));
   arm_shadow t rt tb
 
 let stats_rule_covered t = t.rule_covered

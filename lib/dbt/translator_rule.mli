@@ -23,11 +23,21 @@ val create :
   ruleset:Repro_rules.Ruleset.t ->
   ?shadow_depth:int ->
   ?quarantine_threshold:int ->
+  ?ledger:Repro_observe.Ledger.t ->
   unit ->
   t
 (** [shadow_depth] (default 0 = disabled) is the number of verified
     executions per TB address; [quarantine_threshold] (default 2) the
-    strikes that quarantine a rule. *)
+    strikes that quarantine a rule.  [ledger] receives per-pass
+    static coordination savings at every (re-)emission and the
+    engine-entry restore costs of III-C.3. *)
+
+val set_ledger : t -> Repro_observe.Ledger.t option -> unit
+(** Attach/detach the coordination ledger.  Detached during snapshot
+    cache rebuild: the rebuild re-runs every translation, and
+    re-recording their statics would double-count. *)
+
+val ledger : t -> Repro_observe.Ledger.t option
 
 val translate :
   t -> Repro_tcg.Runtime.t -> Repro_tcg.Tb.Cache.t -> pc:Word32.t ->

@@ -47,6 +47,9 @@ type t = {
   fired : int array;
   behavior : behavior;
   mutable fire_hook : (site -> unit) option;
+  mutable trace : Repro_observe.Trace.t option;
+      (* observational only: not part of [export] — the PRNG stream is
+         identical with or without it *)
 }
 
 let create ?(seed = 1) ?(rate = 0.001) ?(behavior = Transient) () =
@@ -62,6 +65,7 @@ let create ?(seed = 1) ?(rate = 0.001) ?(behavior = Transient) () =
     fired = Array.make n_sites 0;
     behavior;
     fire_hook = None;
+    trace = None;
   }
 
 let set_rate t site r = t.rates.(index site) <- r
@@ -75,12 +79,18 @@ let fire t site =
     let hit = Prng.chance t.prng r in
     if hit then begin
       t.fired.(i) <- t.fired.(i) + 1;
-      match t.fire_hook with Some h -> h site | None -> ()
+      (match t.fire_hook with Some h -> h site | None -> ());
+      match t.trace with
+      | Some tr ->
+        Repro_observe.Trace.emit tr ~a:t.fired.(i) Repro_observe.Trace.Fault
+          (site_name site)
+      | None -> ()
     end;
     hit
   end
 
 let set_fire_hook t h = t.fire_hook <- h
+let set_trace t tr = t.trace <- tr
 
 (* Snapshot support: the injector is the machine's only runtime entropy
    source, so its complete state rides in every snapshot. Layout:

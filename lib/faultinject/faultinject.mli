@@ -63,6 +63,11 @@ val set_fire_hook : t -> (site -> unit) option -> unit
     bumped). Used by the event journal; the hook itself is transient
     run state and is never serialized. *)
 
+val set_trace : t -> Repro_observe.Trace.t option -> unit
+(** Attach the event ring: every fired fault emits a [Fault] event
+    named after its site. Does not perturb the PRNG stream and is
+    never serialized. *)
+
 val export : t -> int64 array
 (** Complete injector state — PRNG cursor, behavior, per-site rates
     and counters — for embedding in a machine snapshot. *)

@@ -7,9 +7,15 @@ module Timer = struct
     mutable count : int;
     mutable pending : bool;
     mutable raised : int;
+    mutable trace : Repro_observe.Trace.t option;
+        (* observational only: never exported/imported *)
   }
 
-  let create () = { enabled = false; period = 0; count = 0; pending = false; raised = 0 }
+  let create () =
+    { enabled = false; period = 0; count = 0; pending = false; raised = 0;
+      trace = None }
+
+  let set_trace t tr = t.trace <- tr
 
   let read t = function
     | 0x0 -> if t.enabled then 1 else 0
@@ -29,7 +35,14 @@ module Timer = struct
       t.count <- t.count + n;
       while t.count >= t.period do
         t.count <- t.count - t.period;
-        if not t.pending then t.raised <- t.raised + 1;
+        if not t.pending then begin
+          t.raised <- t.raised + 1;
+          match t.trace with
+          | Some tr ->
+            Repro_observe.Trace.emit tr ~a:t.raised Repro_observe.Trace.Irq
+              "timer_raise"
+          | None -> ()
+        end;
         t.pending <- true
       done
     end

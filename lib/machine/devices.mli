@@ -28,6 +28,10 @@ module Timer : sig
   val irq_line : t -> bool
   (** Level of the timer's interrupt output. *)
 
+  val set_trace : t -> Repro_observe.Trace.t option -> unit
+  (** Attach the event ring: every 0->1 transition of the IRQ line
+      emits an [Irq]/"timer_raise" event. Not part of {!export}. *)
+
   val irqs_raised : t -> int
 
   val export : t -> int array

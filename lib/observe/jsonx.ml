@@ -1,0 +1,61 @@
+(* Tiny JSON construction helpers.
+
+   The observability layer emits a lot of small JSON values (trace
+   events, metrics snapshots, ledger reports) on hot-ish export paths;
+   a full JSON library is overkill and none is vendored, so we
+   hand-roll the writer.  Values are rendered to strings; [obj]/[arr]
+   take already-rendered members. *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  add_escaped buf s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let int = string_of_int
+let bool b = if b then "true" else "false"
+
+let float f =
+  (* NaN/infinity are not valid JSON *)
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let obj fields =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (str k);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf v)
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let arr members =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf v)
+    members;
+  Buffer.add_char buf ']';
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Minimal JSON rendering helpers for the observability exports.
+
+    Every function returns a complete JSON value as a string; [obj]
+    and [arr] compose already-rendered members.  No parsing — the
+    repo only ever writes JSON. *)
+
+val str : string -> string
+(** Quoted, escaped JSON string. *)
+
+val int : int -> string
+val bool : bool -> string
+
+val float : float -> string
+(** Finite floats render with 6 significant digits; NaN and infinity
+    render as [null] (neither is valid JSON). *)
+
+val obj : (string * string) list -> string
+(** [obj fields] renders [{"k":v,...}]; values must already be JSON. *)
+
+val arr : string list -> string
+(** [arr members] renders [[v,...]]; members must already be JSON. *)
+
+val add_escaped : Buffer.t -> string -> unit
+(** Append the escaped (unquoted) form of a string to a buffer —
+    for callers streaming JSON through their own buffer. *)

@@ -1,0 +1,48 @@
+(* Leveled logger for the DBT stack.
+
+   A deliberately tiny replacement for the ad-hoc Format.eprintf
+   sites: one global level, output on stderr, no timestamps (the
+   machine clock is retired guest instructions, which the call sites
+   don't all have access to — events that need timestamps belong in
+   Trace, not the log). *)
+
+type level = Error | Warn | Info | Debug | Trace
+
+let severity = function
+  | Error -> 0
+  | Warn -> 1
+  | Info -> 2
+  | Debug -> 3
+  | Trace -> 4
+
+let level_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+  | Trace -> "trace"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | "trace" -> Some Trace
+  | _ -> None
+
+let current = ref Warn
+let set_level l = current := l
+let level () = !current
+let enabled l = severity l <= severity !current
+
+let logf l fmt =
+  if enabled l then
+    Format.eprintf ("[%s] " ^^ fmt ^^ "@.") (level_name l)
+  else Format.ifprintf Format.err_formatter fmt
+
+let err fmt = logf Error fmt
+let warn fmt = logf Warn fmt
+let info fmt = logf Info fmt
+let debug fmt = logf Debug fmt
+let trace fmt = logf Trace fmt

@@ -1,0 +1,24 @@
+(** Leveled logging to stderr.
+
+    One global level (default [Warn]); call sites pay only a level
+    comparison when suppressed.  Timestamped, machine-readable events
+    belong in {!Trace} — this module is for human-facing diagnostics
+    that previously went through ad-hoc [Format.eprintf]. *)
+
+type level = Error | Warn | Info | Debug | Trace
+
+val level_name : level -> string
+val level_of_string : string -> level option
+(** Accepts ["error"|"warn"|"warning"|"info"|"debug"|"trace"],
+    case-insensitively. *)
+
+val set_level : level -> unit
+val level : unit -> level
+val enabled : level -> bool
+
+val logf : level -> ('a, Format.formatter, unit) format -> 'a
+val err : ('a, Format.formatter, unit) format -> 'a
+val warn : ('a, Format.formatter, unit) format -> 'a
+val info : ('a, Format.formatter, unit) format -> 'a
+val debug : ('a, Format.formatter, unit) format -> 'a
+val trace : ('a, Format.formatter, unit) format -> 'a

@@ -4,6 +4,8 @@ module X = Repro_x86.Insn
 module Stats = Repro_x86.Stats
 module Bus = Repro_machine.Bus
 module Cpu = Repro_arm.Cpu
+module Trace = Repro_observe.Trace
+module Ledger = Repro_observe.Ledger
 
 type translator = Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
 
@@ -57,6 +59,13 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
     | _ -> ()
   in
   let charge_glue n = Stats.charge_tag stats X.Tag_glue n in
+  (* Purely observational: emits nothing and costs nothing when the
+     runtime carries no trace. *)
+  let trace_emit ?a ?b cat name =
+    match rt.Runtime.trace with
+    | Some tr -> Trace.emit tr ?a ?b cat name
+    | None -> ()
+  in
   let rec lookup_or_translate pc =
     (* Fault point: a forced whole-cache flush before the lookup —
        every resident translation is dropped and rebuilt on demand. *)
@@ -74,6 +83,7 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
       match translate rt cache ~pc with
       | Ok tb ->
         stats.Stats.tb_translations <- stats.Stats.tb_translations + 1;
+        trace_emit ~a:pc ~b:tb.Tb.guest_len Trace.Exec "translate";
         charge_glue (Costs.translation_per_guest_insn () * tb.Tb.guest_len);
         Tb.Cache.add cache tb;
         (* write-protect the TB's pages: stores to them must take the
@@ -85,6 +95,7 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
       | Error fault ->
         (* Prefetch abort: enter the guest's handler and translate
            there instead. *)
+        trace_emit ~a:fault.Repro_arm.Mem.vaddr Trace.Exec "prefetch_abort";
         charge_glue (Costs.exception_entry ());
         Runtime.take_guest_exception rt Cpu.Prefetch_abort
           ~pc_of_faulting_insn:fault.Repro_arm.Mem.vaddr;
@@ -160,6 +171,7 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
            back to a checkpoint (System's livelock watchdog) or give
            up on the run. *)
         rt.Runtime.suppress_code_write <- false;
+        trace_emit ~a:tb.Tb.guest_pc Trace.Watchdog "fuel_exhausted";
         result := Some (finish (`Livelock tb.Tb.guest_pc))
       | outcome ->
         (match profile with
@@ -168,13 +180,18 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
             ~guest:(stats.Stats.guest_insns - guest0)
             ~host:(stats.Stats.host_insns - host0)
         | None -> ());
+        (match rt.Runtime.ledger with
+        | Some l -> Ledger.record_exec l tb.Tb.prov
+        | None -> ());
         (* the one-shot code-write suppression never outlives the TB it
            was armed for *)
         rt.Runtime.suppress_code_write <- false;
         tick ();
         let verdict = on_executed tb ~outcome ~guest:(stats.Stats.guest_insns - guest0) in
         (match Bus.halted rt.Runtime.bus with
-        | Some code -> result := Some (finish (`Halted code))
+        | Some code ->
+          trace_emit ~a:code Trace.Exec "halt";
+          result := Some (finish (`Halted code))
         | None -> (
           match verdict with
           | `Invalidate ->
@@ -196,6 +213,8 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                 match tb.Tb.links.(slot) with
                 | Some next ->
                   stats.Stats.chained_jumps <- stats.Stats.chained_jumps + 1;
+                  trace_emit ~a:tb.Tb.guest_pc ~b:next.Tb.guest_pc Trace.Chain
+                    "jump";
                   charge_glue (Costs.chain_jump ());
                   current := next
                 | None ->
@@ -205,6 +224,8 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                   let next = lookup_or_translate target in
                   if chaining then begin
                     tb.Tb.links.(slot) <- Some next;
+                    trace_emit ~a:tb.Tb.guest_pc ~b:next.Tb.guest_pc Trace.Chain
+                      "link";
                     link_hook ~pred:tb ~slot ~succ:next
                   end;
                   current := next;
@@ -218,10 +239,22 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
               | Tb.Irq_deliver ->
                 Exec.poison_caller_saved rt.Runtime.ctx;
                 stats.Stats.irqs_delivered <- stats.Stats.irqs_delivered + 1;
+                trace_emit ~a:env.(Envspec.pc) Trace.Irq "deliver";
                 charge_glue (Costs.irq_deliver ());
                 (* The lazy one-to-many parse happens here, when QEMU
                    actually needs the condition codes (paper Fig. 7). *)
-                Stats.charge_tag stats X.Tag_sync (Envspec.parse_packed env);
+                let parse_cost = Envspec.parse_packed env in
+                Stats.charge_tag stats X.Tag_sync parse_cost;
+                if parse_cost > 0 then begin
+                  trace_emit ~b:parse_cost Trace.Sync "lazy_parse";
+                  (* The deferred parse is the runtime price of III-B's
+                     packed flag format — a negative dynamic saving. *)
+                  match rt.Runtime.ledger with
+                  | Some l ->
+                    Ledger.add_dynamic l Ledger.Reduction ~ops:0
+                      ~insns:(-parse_cost)
+                  | None -> ()
+                end;
                 on_irq env.(Envspec.pc);
                 Runtime.take_guest_exception rt Cpu.Irq
                   ~pc_of_faulting_insn:env.(Envspec.pc);
@@ -237,6 +270,7 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                    complete — QEMU's current-TB-modified protocol. *)
                 Exec.poison_caller_saved rt.Runtime.ctx;
                 Tb.Cache.flush cache;
+                trace_emit ~a:env.(Envspec.pc) Trace.Exec "smc_flush";
                 charge_glue (Costs.engine_dispatch () + Costs.exception_entry ());
                 rt.Runtime.tb_override <- Some 1;
                 rt.Runtime.suppress_code_write <- true;
@@ -245,12 +279,14 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                 current := tb;
                 needs_enter := true
               end
-              else if code = Runtime.stop_halt then
+              else if code = Runtime.stop_halt then begin
+                trace_emit Trace.Exec "halt";
                 result :=
                   Some
                     (finish
                        (`Halted
                          (match Bus.halted rt.Runtime.bus with Some c -> c | None -> 0)))
+              end
               else begin
                 (* A guest exception was taken inside a helper; continue at
                    the vector. *)

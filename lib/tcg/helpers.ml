@@ -153,6 +153,12 @@ let mmu_resolve (rt : Runtime.t) ~(access : Mem.access) ~width vaddr value =
     | None ->
       (* Miss path: translate (or identity when the MMU is off). *)
       (Runtime.stats rt).Stats.tlb_misses <- (Runtime.stats rt).Stats.tlb_misses + 1;
+      (match rt.Runtime.trace with
+      | Some tr ->
+        Repro_observe.Trace.emit tr ~a:vaddr
+          ~b:(if write then 1 else 0)
+          Repro_observe.Trace.Tlb "miss"
+      | None -> ());
       charge rt X.Tag_mmu (Costs.mmu_slow_path ());
       let compute_entry () =
         if Cpu.mmu_enabled cpu then

@@ -5,9 +5,14 @@
     A profile attributes each engine loop iteration (exactly one TB
     execution) to the TB's guest PC: executions, guest instructions
     retired, and host instructions spent (including modelled helper
-    costs). Engine-side glue (dispatch, chaining, interrupt delivery)
-    is deliberately not attributed to any TB, so the per-TB total is a
-    lower bound on {!Repro_x86.Stats.t.host_insns}. *)
+    costs incurred {e during} the TB's run). Everything charged
+    outside that window is deliberately not attributed to any TB:
+    engine dispatch, chain jumps, interrupt delivery and its lazy flag
+    parse, translation cost, exception entries, shadow-replay modelled
+    cost, and TB runs abandoned by the fuel watchdog (their host
+    instructions are spent but never recorded). {!total_host} is
+    therefore a lower bound on {!Repro_x86.Stats.t.host_insns} —
+    asserted by the profile tests. *)
 
 open Repro_common
 

@@ -4,6 +4,8 @@ module Bus = Repro_machine.Bus
 module Cpu = Repro_arm.Cpu
 module Mem = Repro_arm.Mem
 module Mmu = Repro_mmu.Mmu
+module Trace = Repro_observe.Trace
+module Ledger = Repro_observe.Ledger
 
 type t = {
   ctx : Exec.t;
@@ -17,6 +19,8 @@ type t = {
   inject : Repro_faultinject.Faultinject.t option;
   mutable fault_producers : (Word32.t * Word32.t array) array;
   mutable corrupt_override : [ `None | `Rule_corrupt | `Livelock ] option;
+  mutable trace : Trace.t option;
+  mutable ledger : Ledger.t option;
 }
 
 exception Load_error of Word32.t
@@ -25,17 +29,34 @@ let stop_exception = 1
 let stop_halt = 2
 let stop_code_write = 3
 
-let create ?(ram_kib = 4096) ?inject () =
+let create ?(ram_kib = 4096) ?inject ?trace ?ledger () =
   let ctx =
     Exec.create ~env_slots:Envspec.n_slots ~ram_size:(ram_kib * 1024)
       ~tlb_words:Mmu.Tlb.words ()
   in
+  (* Trace timestamps are retired guest instructions — deterministic,
+     comparable across runs, and free when tracing is off. *)
+  (match trace with
+  | Some tr ->
+      Trace.set_clock tr (fun () ->
+          ctx.Exec.stats.Repro_x86.Stats.guest_insns)
+  | None -> ());
   Mmu.Tlb.flush ctx.Exec.tlb;
   let bus = Bus.create ~ram:ctx.Exec.ram in
   let cpu = Cpu.create () in
   let mem = Mmu.iface ?inject bus cpu in
   (* cp15 c8 writes must drop stale softMMU entries. *)
-  let mem = { mem with Mem.flush_tlb = (fun () -> Mmu.Tlb.flush ctx.Exec.tlb) } in
+  let mem =
+    {
+      mem with
+      Mem.flush_tlb =
+        (fun () ->
+          (match trace with
+          | Some tr -> Trace.emit tr Trace.Tlb "flush"
+          | None -> ());
+          Mmu.Tlb.flush ctx.Exec.tlb);
+    }
+  in
   let rt =
     {
       ctx;
@@ -49,6 +70,8 @@ let create ?(ram_kib = 4096) ?inject () =
       inject;
       fault_producers = [||];
       corrupt_override = None;
+      trace;
+      ledger;
     }
   in
   (* Interpreter-path stores (helpers emulating whole instructions)

@@ -38,6 +38,14 @@ type t = {
           to apply (or skip, for [`None]) exactly the recorded code
           corruption instead of drawing from the injector, so the
           reconstructed TB is bit-identical to the captured one *)
+  mutable trace : Repro_observe.Trace.t option;
+      (** structured event ring shared by the engine, devices, MMU
+          helpers and the rule translator; [None] disables emission
+          everywhere (the purely observational path — host-instruction
+          counts are bit-identical with tracing on or off) *)
+  mutable ledger : Repro_observe.Ledger.t option;
+      (** coordination ledger the engine feeds per-TB provenance into
+          at dispatch time; [None] disables dynamic attribution *)
 }
 
 exception Load_error of Word32.t
@@ -58,12 +66,21 @@ val stop_code_write : int
 (** The guest wrote into a page holding translated code: the engine
     must flush the code cache and retranslate (self-modifying code). *)
 
-val create : ?ram_kib:int -> ?inject:Repro_faultinject.Faultinject.t -> unit -> t
+val create :
+  ?ram_kib:int ->
+  ?inject:Repro_faultinject.Faultinject.t ->
+  ?trace:Repro_observe.Trace.t ->
+  ?ledger:Repro_observe.Ledger.t ->
+  unit ->
+  t
 (** Fresh machine with RAM zeroed, CPU at reset, TLB invalid. The
     helper dispatcher is installed by {!Helpers.install}. [inject]
     arms the MMU/engine/translator fault points; the bus's own
     injection point is armed separately at run time (see
-    {!Repro_machine.Bus.t}) so image loading is never perturbed. *)
+    {!Repro_machine.Bus.t}) so image loading is never perturbed.
+    [trace] installs the event ring (its clock becomes retired guest
+    instructions); [ledger] enables dynamic coordination
+    attribution. *)
 
 val env : t -> int array
 val stats : t -> Repro_x86.Stats.t

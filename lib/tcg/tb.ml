@@ -18,6 +18,7 @@ type t = {
   fault_producers : (Word32.t * Word32.t array) array;
   translated_override : int option;
   mutable injected : [ `None | `Rule_corrupt | `Livelock ];
+  mutable prov : int array;
 }
 
 let exit_slots = 4

@@ -41,6 +41,12 @@ type t = {
       (** Which fault-injection corruption (if any) was applied to
           this TB's emitted code — replayed verbatim on snapshot
           restore so the rebuilt cache matches the captured one. *)
+  mutable prov : int array;
+      (** Coordination-savings provenance
+          ({!Repro_observe.Ledger.prov_len} slots) recorded by the
+          rule emitter; [[||]] for baseline translations. Purely
+          observational: never serialized, never affects emitted code
+          or modelled cost. *)
 }
 
 val exit_slots : int

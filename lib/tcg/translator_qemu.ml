@@ -77,6 +77,7 @@ let emulate_one_tb (rt : Runtime.t) cache ~pc =
     fault_producers = [||];
     translated_override = rt.Runtime.tb_override;
     injected = `None;
+    prov = [||];
   }
 
 let build (rt : Runtime.t) cache ~pc ~insns =
@@ -128,6 +129,7 @@ let build (rt : Runtime.t) cache ~pc ~insns =
     fault_producers = [||];
     translated_override = rt.Runtime.tb_override;
     injected = `None;
+    prov = [||];
   }
 
 let translate (rt : Runtime.t) cache ~pc =

@@ -108,6 +108,42 @@ let pp ppf t =
   if t.livelocks_recovered > 0 then
     Format.fprintf ppf "@ livelocks recovered %d" t.livelocks_recovered
 
+(* JSON exposition, hand-rolled over a Buffer so repro_x86 does not
+   grow an observability dependency. Field names match the record. *)
+let to_json t =
+  let buf = Buffer.create 512 in
+  let first = ref true in
+  let field k v =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf (Printf.sprintf "%S:%d" k v)
+  in
+  Buffer.add_char buf '{';
+  field "host_insns" t.host_insns;
+  List.iter
+    (fun tag -> field ("host_" ^ Insn.tag_name tag) (tag_count t tag))
+    Insn.all_tags;
+  field "helper_insns" t.helper_insns;
+  field "helper_calls" t.helper_calls;
+  field "sys_insns" t.sys_insns;
+  field "guest_insns" t.guest_insns;
+  field "sync_ops" t.sync_ops;
+  field "mmu_accesses" t.mmu_accesses;
+  field "irq_polls" t.irq_polls;
+  field "tlb_misses" t.tlb_misses;
+  field "engine_returns" t.engine_returns;
+  field "chained_jumps" t.chained_jumps;
+  field "tb_translations" t.tb_translations;
+  field "irqs_delivered" t.irqs_delivered;
+  field "shadow_replays" t.shadow_replays;
+  field "shadow_divergences" t.shadow_divergences;
+  field "rules_quarantined" t.rules_quarantined;
+  field "quarantine_fallbacks" t.quarantine_fallbacks;
+  field "livelocks_recovered" t.livelocks_recovered;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"host_per_guest\":%.6f,\"sync_per_guest\":%.6f}"
+       (host_per_guest t) (sync_per_guest t));
+  Buffer.contents buf
+
 (* Snapshot support: every counter flattened in a fixed order (scalars
    first, then the by-tag array). Comparing two [to_array] dumps is
    the bit-identity check used by the restore tests. *)

@@ -51,6 +51,11 @@ val sync_per_guest : t -> float
 
 val pp : Format.formatter -> t -> unit
 
+val to_json : t -> string
+(** One flat JSON object: every counter (per-tag host instructions as
+    [host_<tag>]) plus derived [host_per_guest]/[sync_per_guest]
+    ratios.  The machine-readable sibling of {!pp}. *)
+
 val to_array : t -> int array
 (** Every counter flattened in a fixed, documented order (snapshot
     payload; also the equality witness in restore bit-identity tests). *)

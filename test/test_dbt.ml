@@ -460,6 +460,51 @@ let test_profile_hot_ranking () =
       (a.T.Profile.host_spent >= b.T.Profile.host_spent)
   | _ -> Alcotest.fail "expected 2 entries"
 
+let test_profile_across_flushes () =
+  (* A loop whose body spans two TBs under a one-TB cache: every
+     iteration evicts and retranslates both blocks. The profile keys
+     on (pc, privilege), so records must aggregate across those
+     retranslations rather than duplicate, and the attribution
+     invariants must survive the churn. *)
+  let words =
+    assemble (fun a ->
+        Asm.mov a 0 0;
+        Asm.mov a 1 50;
+        Asm.label a "top";
+        Asm.add_r a 0 0 1;
+        Asm.branch_to a "mid";
+        Asm.label a "mid";
+        Asm.sub a ~s:true 1 1 1;
+        Asm.branch_to a ~cond:Cond.NE "top";
+        Asm.mov a 11 0)
+  in
+  let sys = D.System.create ~tb_capacity:1 (D.System.Rules D.Opt.full) in
+  D.System.load_image sys 0 words;
+  let p = T.Profile.create () in
+  (match (D.System.run ~profile:p ~max_guest_insns:300_000 sys).T.Engine.reason with
+  | `Halted _ -> ()
+  | `Insn_limit | `Livelock _ -> Alcotest.fail "insn limit");
+  let s = D.System.stats sys in
+  Alcotest.(check bool)
+    (Printf.sprintf "workload forced retranslation (%d translations, %d entries)"
+       s.Stats.tb_translations
+       (List.length (T.Profile.entries p)))
+    true
+    (s.Stats.tb_translations > List.length (T.Profile.entries p));
+  Alcotest.(check int) "guest insns fully attributed despite flushes"
+    s.Stats.guest_insns (T.Profile.total_guest p);
+  Alcotest.(check bool) "host attribution still a lower bound" true
+    (T.Profile.total_host p > 0 && T.Profile.total_host p <= s.Stats.host_insns);
+  (* each distinct block appears exactly once *)
+  let keys =
+    List.map
+      (fun (e : T.Profile.entry) -> (e.T.Profile.guest_pc, e.T.Profile.privileged))
+      (T.Profile.entries p)
+  in
+  Alcotest.(check int) "no duplicate (pc, privilege) records"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
 (* --- scheduling pass unit tests --- *)
 
 let test_schedule_dbu () =
@@ -659,6 +704,8 @@ let suite =
         Alcotest.test_case "tiny code cache stays correct" `Quick test_tiny_code_cache;
         Alcotest.test_case "profile attribution" `Quick test_profile_attribution;
         Alcotest.test_case "profile hot ranking" `Quick test_profile_hot_ranking;
+        Alcotest.test_case "profile aggregates across flushes" `Quick
+          test_profile_across_flushes;
       ] );
     ( "dbt.scheduling",
       [
