@@ -1,0 +1,303 @@
+(* Offline analysis over the toolchain's JSON artifacts: phase
+   breakdowns and A/B diffs of --stats-json / --perf files, top-N hot
+   stacks of folded flamegraphs, trace/metrics JSONL summaries, and
+   the benchmark-regression gate over consolidated BENCH_<rev>.json
+   files (the CI gate).
+
+   Exit codes: 0 success, 2 usage / malformed input, 7 regression
+   (gate failure, or a diff above --fail-above). *)
+
+module Obs = Repro_observe
+module Jsonx = Obs.Jsonx
+module A = Repro_perfscope.Analysis
+open Cmdliner
+
+let exit_regression = 7
+
+let load_json path =
+  try A.load_json path with
+  | Sys_error e ->
+    Printf.eprintf "%s\n" e;
+    exit 2
+  | Jsonx.Parse_error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    exit 2
+
+let load_jsonl path =
+  try A.load_jsonl path with
+  | Sys_error e ->
+    Printf.eprintf "%s\n" e;
+    exit 2
+  | Jsonx.Parse_error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    exit 2
+
+let read_file path =
+  try A.read_file path
+  with Sys_error e ->
+    Printf.eprintf "%s\n" e;
+    exit 2
+
+let pct part total =
+  if total = 0 then 0. else 100. *. float_of_int part /. float_of_int total
+
+(* --- phases: per-phase breakdown of one run --- *)
+
+let phases file =
+  let j = load_json file in
+  (match (A.stat_int j "guest_insns", A.stat_int j "host_insns") with
+  | Some g, Some h ->
+    Printf.printf "guest insns  %d\nhost insns   %d\nhost/guest   %.3f\n\n" g h
+      (if g = 0 then 0. else float_of_int h /. float_of_int g)
+  | _ -> ());
+  let rows = A.phase_totals j in
+  if rows = [] then begin
+    Printf.eprintf "%s: no phase data (no \"perf\" or \"stats\" section)\n" file;
+    exit 2
+  end;
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 rows in
+  Printf.printf "%-12s %14s %8s\n" "phase" "host insns" "share";
+  List.iter
+    (fun (name, n) ->
+      Printf.printf "%-12s %14d %7.2f%%\n" name n (pct n total))
+    rows;
+  Printf.printf "%-12s %14d\n" "total" total;
+  0
+
+(* --- diff: A/B per-phase comparison --- *)
+
+let diff fail_above file_a file_b =
+  let ja = load_json file_a and jb = load_json file_b in
+  let rows = A.diff ja jb in
+  if rows = [] then begin
+    Printf.eprintf "no phase data to compare\n";
+    exit 2
+  end;
+  Printf.printf "%-12s %14s %14s %9s\n" "phase" "a" "b" "delta";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %14d %14d %+8.1f%%\n" r.A.d_phase r.A.d_a r.A.d_b
+        r.A.d_pct)
+    rows;
+  let m = A.max_abs_pct rows in
+  Printf.printf "max |delta|  %.1f%%\n" m;
+  match fail_above with
+  | Some t when m > t ->
+    Printf.eprintf "phase delta %.1f%% exceeds %.1f%%\n" m t;
+    exit_regression
+  | _ -> 0
+
+(* --- top: hottest stacks of a folded flamegraph --- *)
+
+let top n file =
+  let samples =
+    String.split_on_char '\n' (read_file file)
+    |> List.filter_map (fun line ->
+           match String.rindex_opt line ' ' with
+           | Some i -> (
+             let stack = String.sub line 0 i in
+             let w = String.sub line (i + 1) (String.length line - i - 1) in
+             match int_of_string_opt w with
+             | Some w when stack <> "" -> Some (stack, w)
+             | _ -> None)
+           | None -> None)
+  in
+  if samples = [] then begin
+    Printf.eprintf "%s: no folded samples\n" file;
+    exit 2
+  end;
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 samples in
+  let sorted =
+    List.sort (fun (sa, wa) (sb, wb) -> compare (wb, sa) (wa, sb)) samples
+  in
+  Printf.printf "%14s %8s  %s\n" "host insns" "share" "stack";
+  List.iteri
+    (fun i (stack, w) ->
+      if i < n then Printf.printf "%14d %7.2f%%  %s\n" w (pct w total) stack)
+    sorted;
+  Printf.printf "(%d stacks, %d host insns total)\n" (List.length samples) total;
+  0
+
+(* --- trace: event census of a trace JSONL --- *)
+
+let trace file =
+  let vs = load_jsonl file in
+  let tbl = Hashtbl.create 64 in
+  let first = ref max_int and last = ref min_int and n_events = ref 0 in
+  let dropped = ref 0 and total = ref 0 in
+  List.iter
+    (fun v ->
+      match Jsonx.member "meta" v with
+      | Some _ ->
+        (* ring trailer *)
+        (match Option.bind (Jsonx.member "dropped" v) Jsonx.to_int with
+        | Some d -> dropped := d
+        | None -> ());
+        (match Option.bind (Jsonx.member "total" v) Jsonx.to_int with
+        | Some t -> total := t
+        | None -> ())
+      | None -> (
+        match
+          ( Option.bind (Jsonx.member "cat" v) Jsonx.to_string,
+            Option.bind (Jsonx.member "name" v) Jsonx.to_string,
+            Option.bind (Jsonx.member "at" v) Jsonx.to_int )
+        with
+        | Some cat, Some name, Some at ->
+          incr n_events;
+          if at < !first then first := at;
+          if at > !last then last := at;
+          let key = (cat, name) in
+          Hashtbl.replace tbl key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+        | _ -> ()))
+    vs;
+  if !n_events = 0 then begin
+    Printf.eprintf "%s: no trace events\n" file;
+    exit 2
+  end;
+  Printf.printf "%d events spanning guest insns %d..%d" !n_events !first !last;
+  if !total > 0 then Printf.printf " (%d captured, %d dropped)" !total !dropped;
+  Printf.printf "\n\n%-12s %-24s %10s\n" "category" "event" "count";
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun ((ca, na), wa) ((cb, nb), wb) ->
+         compare (wb, ca, na) (wa, cb, nb))
+  |> List.iter (fun ((cat, name), n) ->
+         Printf.printf "%-12s %-24s %10d\n" cat name n);
+  0
+
+(* --- metrics: interval table of a metrics JSONL --- *)
+
+let metrics file =
+  let vs = load_jsonl file in
+  let rows =
+    List.filter_map
+      (fun v ->
+        let d = Jsonx.member "delta" v in
+        let field name =
+          Option.bind d (fun d -> Option.bind (Jsonx.member name d) Jsonx.to_int)
+        in
+        match
+          ( Option.bind (Jsonx.member "at" v) Jsonx.to_int,
+            field "guest_insns",
+            field "host_insns",
+            field "sync_ops" )
+        with
+        | Some at, Some g, Some h, Some s -> Some (at, g, h, s)
+        | _ -> None)
+      vs
+  in
+  if rows = [] then begin
+    Printf.eprintf "%s: no metrics intervals\n" file;
+    exit 2
+  end;
+  Printf.printf "%14s %12s %12s %10s %10s\n" "at" "d guest" "d host" "d sync"
+    "host/guest";
+  List.iter
+    (fun (at, g, h, s) ->
+      Printf.printf "%14d %12d %12d %10d %10.3f\n" at g h s
+        (if g = 0 then 0. else float_of_int h /. float_of_int g))
+    rows;
+  0
+
+(* --- gate: the benchmark-regression gate --- *)
+
+let status_string = function
+  | A.Gate_ok -> "ok"
+  | A.Gate_regressed p -> Printf.sprintf "REGRESSED (+%.1f%%)" p
+  | A.Gate_missing -> "MISSING"
+  | A.Gate_empty -> "EMPTY (zero guest insns)"
+
+let gate threshold baseline current =
+  let decode path =
+    match A.bench_of_json (load_json path) with
+    | Some b -> b
+    | None ->
+      Printf.eprintf "%s: not a consolidated BENCH file\n" path;
+      exit 2
+  in
+  let base = decode baseline and cur = decode current in
+  Printf.printf
+    "baseline rev %s (target %d)\ncurrent  rev %s (target %d)\nthreshold    \
+     %.1f%% on host-insn/guest-insn, rule-enabled slices\n\n"
+    base.A.bf_rev base.A.bf_target cur.A.bf_rev cur.A.bf_target threshold;
+  let ok, rows = A.gate ~threshold_pct:threshold ~baseline:base ~current:cur () in
+  Printf.printf "%-28s %10s %10s %9s  %s\n" "slice" "baseline" "current"
+    "delta" "status";
+  List.iter
+    (fun r ->
+      Printf.printf "%-28s %10.3f %10.3f %+8.1f%%  %s\n" r.A.g_name r.A.g_base
+        r.A.g_cur r.A.g_pct (status_string r.A.g_status))
+    rows;
+  if ok then begin
+    Printf.printf "\ngate: OK\n";
+    0
+  end
+  else begin
+    Printf.printf "\ngate: FAILED\n";
+    exit_regression
+  end
+
+(* --- command line --- *)
+
+let file_pos ~docv ~doc n = Arg.(required & pos n (some string) None & info [] ~docv ~doc)
+
+let phases_cmd =
+  let doc = "per-phase host-instruction breakdown of one run" in
+  Cmd.v (Cmd.info "phases" ~doc)
+    Term.(const phases $ file_pos ~docv:"STATS.json" ~doc:"A --stats-json or --perf file." 0)
+
+let diff_cmd =
+  let doc = "A/B per-phase comparison of two runs" in
+  let fail_above =
+    let doc = "Exit 7 when any phase's |delta| exceeds $(docv) percent." in
+    Arg.(value & opt (some float) None & info [ "fail-above" ] ~docv:"PCT" ~doc)
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const diff $ fail_above
+      $ file_pos ~docv:"A.json" ~doc:"Baseline run (--stats-json/--perf output)." 0
+      $ file_pos ~docv:"B.json" ~doc:"Candidate run." 1)
+
+let top_cmd =
+  let doc = "hottest stacks of a folded flamegraph" in
+  let n_arg =
+    let doc = "Show the $(docv) hottest stacks." in
+    Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(
+      const top $ n_arg
+      $ file_pos ~docv:"FOLDED" ~doc:"A --flamegraph collapsed-stack file." 0)
+
+let trace_cmd =
+  let doc = "event census of a --trace JSONL file" in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace $ file_pos ~docv:"TRACE.jsonl" ~doc:"A --trace jsonl file." 0)
+
+let metrics_cmd =
+  let doc = "interval table of a --metrics-out JSONL file" in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const metrics $ file_pos ~docv:"METRICS.jsonl" ~doc:"A --metrics-out file." 0)
+
+let gate_cmd =
+  let doc = "benchmark-regression gate: current BENCH file vs baseline" in
+  let threshold =
+    let doc =
+      "Allowed host-insn/guest-insn regression per rule-enabled slice, percent."
+    in
+    Arg.(value & opt float 5.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  Cmd.v (Cmd.info "gate" ~doc)
+    Term.(
+      const gate $ threshold
+      $ file_pos ~docv:"BASELINE.json" ~doc:"The committed BENCH_baseline.json." 0
+      $ file_pos ~docv:"CURRENT.json" ~doc:"A freshly generated BENCH_<rev>.json." 1)
+
+let cmd =
+  let doc = "analyze DBT performance artifacts" in
+  Cmd.group
+    (Cmd.info "repro-dbt-analyze" ~doc)
+    [ phases_cmd; diff_cmd; top_cmd; trace_cmd; metrics_cmd; gate_cmd ]
+
+let () = exit (Cmd.eval' cmd)

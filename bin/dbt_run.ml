@@ -2,7 +2,10 @@
    the dynamic statistics — the quick-look CLI around the system.
 
    Exit codes: 0 success, 2 usage error, 3 corrupt snapshot, 4 image
-   load error, 5 unrecovered livelock, 6 replay mismatch. *)
+   load error, 5 unrecovered livelock, 6 replay mismatch. Every
+   flag/name validation (benchmark, mode, trace format, log level)
+   happens up front, before rule learning or any other expensive
+   work, so a typo always fails immediately with exit 2. *)
 
 module D = Repro_dbt
 module T = Repro_tcg
@@ -12,6 +15,7 @@ module Stats = Repro_x86.Stats
 module Snapshot = Repro_snapshot.Snapshot
 module Journal = Repro_snapshot.Journal
 module Obs = Repro_observe
+module Perf = Repro_perfscope
 open Cmdliner
 
 let mode_of_string = function
@@ -87,7 +91,7 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
     profile_top inject_seed inject_rate surface_faults shadow_depth
     quarantine_threshold checkpoint_every save_file restore_file replay_file
     watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
-    ledger_on log_level stats_json =
+    ledger_on log_level stats_json perf_out flamegraph_out =
   (match Obs.Log.level_of_string log_level with
   | Some lv -> Obs.Log.set_level lv
   | None ->
@@ -103,22 +107,28 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
     prerr_endline e;
     exit 2
   | Ok mode -> (
+    (* Validate the benchmark name before [build_ruleset]: without
+       --builtin-rules the learning pipeline runs first and a typo in
+       the name used to burn all that work before failing. *)
+    let spec =
+      try W.find bench
+      with Not_found ->
+        Printf.eprintf "unknown benchmark %s (one of: %s)\n" bench
+          (String.concat ", " (List.map (fun (s : W.spec) -> s.W.name) W.cint2006));
+        exit 2
+    in
     let ruleset = build_ruleset builtin_only rules_file in
     let trace =
       match trace_file with Some _ -> Some (Obs.Trace.create ()) | None -> None
     in
     let ledger = if ledger_on then Some (Obs.Ledger.create ()) else None in
+    let scope =
+      match perf_out with Some _ -> Some (Perf.Scope.create ()) | None -> None
+    in
     match replay_file with
     | Some path -> exit (do_replay ruleset shadow_depth quarantine_threshold path)
     | None ->
-      let spec =
-        try W.find bench
-        with Not_found ->
-          Printf.eprintf "unknown benchmark %s (one of: %s)\n" bench
-            (String.concat ", " (List.map (fun (s : W.spec) -> s.W.name) W.cint2006));
-          exit 2
-      in
-      let sys =
+      let sys, image =
         match restore_file with
         | Some path ->
           (* The snapshot dictates machine shape; the CLI must supply
@@ -130,10 +140,10 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
             D.System.create
               ~ram_kib:(D.System.snapshot_ram_kib snap)
               ~ruleset ?inject ~shadow_depth ~quarantine_threshold ?trace
-              ?ledger mode
+              ?ledger ?scope mode
           in
           D.System.restore sys snap;
-          sys
+          (sys, None)
         | None ->
           let iters = max 1 (target / W.insns_per_iteration spec) in
           let user = W.generate spec ~iterations:iters in
@@ -151,12 +161,16 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
           in
           let sys =
             D.System.create ~ruleset ?inject ~shadow_depth ~quarantine_threshold
-              ?trace ?ledger mode
+              ?trace ?ledger ?scope mode
           in
           K.load image (fun base words -> D.System.load_image sys base words);
-          sys
+          (sys, Some image)
       in
-      let profile = if profile_top > 0 then Some (T.Profile.create ()) else None in
+      let profile =
+        if profile_top > 0 || flamegraph_out <> None then
+          Some (T.Profile.create ())
+        else None
+      in
       let postmortems = ref 0 in
       let on_postmortem =
         match postmortem_dir with
@@ -241,14 +255,14 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
             (Repro_rules.Ruleset.quarantined_count ruleset)
       | None -> ());
       (match profile with
-      | Some p ->
+      | Some p when profile_top > 0 ->
         Format.printf "@.--- hot translation blocks ---@.%a@."
           (T.Profile.pp_report ~top:profile_top) p;
         (match T.Profile.top 1 p with
         | [ hottest ] ->
           Format.printf "@.hottest block:@.%a@." T.Profile.pp_disasm hottest
         | _ -> ())
-      | None -> ());
+      | Some _ | None -> ());
       if dump_tbs > 0 then begin
         Format.printf "@.--- first %d translation blocks ---@." dump_tbs;
         List.iteri
@@ -280,12 +294,65 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
         Format.printf "@.trace: %d events captured (%d dropped), %s written to %s@."
           (Obs.Trace.total tr) (Obs.Trace.dropped tr) trace_format path
       | _ -> ());
+      (match (scope, perf_out) with
+      | Some sc, Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Obs.Jsonx.obj
+             [
+               ("perf", Perf.Scope.to_json sc);
+               ("costs", T.Costs.to_json ());
+               ("stats", Stats.to_json s);
+             ]);
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "@.perf report written to %s@." path
+      | _ -> ());
+      (match (profile, flamegraph_out) with
+      | Some p, Some path ->
+        let fl = Perf.Flame.create () in
+        let symbolize =
+          match image with
+          | Some img -> fun pc -> K.symbolize img pc
+          | None -> fun _ -> "?" (* restored runs carry no symbol table *)
+        in
+        List.iter
+          (fun (e : T.Profile.entry) ->
+            let base =
+              [
+                D.System.mode_name mode;
+                (if e.T.Profile.privileged then "kernel" else "user");
+                symbolize e.T.Profile.guest_pc;
+                Printf.sprintf "tb_0x%08x" e.T.Profile.guest_pc;
+              ]
+            in
+            let split = Array.fold_left ( + ) 0 e.T.Profile.phases in
+            if split > 0 then begin
+              List.iter
+                (fun ph ->
+                  let n = e.T.Profile.phases.(Perf.Phase.index ph) in
+                  if n > 0 then Perf.Flame.add fl (base @ [ Perf.Phase.name ph ]) n)
+                Perf.Phase.all;
+              if e.T.Profile.host_spent > split then
+                Perf.Flame.add fl base (e.T.Profile.host_spent - split)
+            end
+            else Perf.Flame.add fl base e.T.Profile.host_spent)
+          (T.Profile.entries p);
+        let oc = open_out path in
+        Perf.Flame.write_folded oc fl;
+        close_out oc;
+        Format.printf "@.flamegraph (collapsed stacks) written to %s@." path
+      | _ -> ());
       (match stats_json with
       | Some path ->
         let oc = open_out path in
         output_string oc
           (Obs.Jsonx.obj
              ([ ("stats", Stats.to_json s) ]
+             @ (match scope with
+               | Some sc ->
+                 [ ("perf", Perf.Scope.to_json sc); ("costs", T.Costs.to_json ()) ]
+               | None -> [])
              @ (match ledger with
                | Some l -> [ ("ledger", Obs.Ledger.to_json l) ]
                | None -> [])
@@ -316,13 +383,13 @@ let run_protected bench mode target budget timer builtin_only rules_file
     dump_tbs profile_top inject_seed inject_rate surface_faults shadow_depth
     quarantine_threshold checkpoint_every save_file restore_file replay_file
     watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
-    ledger_on log_level stats_json =
+    ledger_on log_level stats_json perf_out flamegraph_out =
   try
     run bench mode target budget timer builtin_only rules_file dump_tbs
       profile_top inject_seed inject_rate surface_faults shadow_depth
       quarantine_threshold checkpoint_every save_file restore_file replay_file
       watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
-      ledger_on log_level stats_json
+      ledger_on log_level stats_json perf_out flamegraph_out
   with
   | T.Runtime.Load_error addr ->
     Printf.eprintf "image load error: physical address %#x is outside guest RAM\n"
@@ -501,6 +568,25 @@ let stats_json_arg =
   in
   Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE" ~doc)
 
+let perf_arg =
+  let doc =
+    "Attach the performance scope — deterministic per-phase and per-region \
+     host-instruction attribution plus IRQ-latency, chain-latency and \
+     checkpoint-interval histograms, all on the retired-guest-insn clock — \
+     and write its JSON report (with the cost model and final statistics) \
+     to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "perf" ] ~docv:"FILE" ~doc)
+
+let flamegraph_arg =
+  let doc =
+    "Profile per-TB hotness and write a collapsed-stack (folded) flamegraph \
+     — mode;privilege;symbol;tb;phase frames weighted by attributed host \
+     instructions — to $(docv), ready for flamegraph.pl, inferno or \
+     speedscope."
+  in
+  Arg.(value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run one benchmark under one DBT engine" in
   Cmd.v
@@ -511,6 +597,7 @@ let cmd =
       $ inject_rate_arg $ surface_arg $ shadow_arg $ quarantine_arg
       $ checkpoint_arg $ save_arg $ restore_arg $ replay_arg $ watchdog_arg
       $ postmortem_arg $ trace_arg $ trace_format_arg $ metrics_out_arg
-      $ metrics_every_arg $ ledger_arg $ log_level_arg $ stats_json_arg)
+      $ metrics_every_arg $ ledger_arg $ log_level_arg $ stats_json_arg
+      $ perf_arg $ flamegraph_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -25,6 +25,12 @@ let lookup t name =
   | Some a -> a
   | None -> failwith ("Asm.lookup: undefined label " ^ name)
 
+(* Sorted so the listing is deterministic: Hashtbl iteration order
+   depends on insertion history and hashing. *)
+let labels t =
+  Hashtbl.fold (fun name addr acc -> (addr, name) :: acc) t.labels []
+  |> List.sort compare
+
 let push_slot t s =
   t.slots <- s :: t.slots;
   t.count <- t.count + 1

@@ -20,6 +20,10 @@ val lookup : t -> string -> Word32.t
 (** Address of a defined label (after assembly or for already-defined
     labels). *)
 
+val labels : t -> (Word32.t * string) list
+(** All defined labels sorted by (address, name) — the symbol table
+    for profiler symbolization; deterministic across runs. *)
+
 val emit : t -> Insn.t -> unit
 val word : t -> Word32.t -> unit
 (** Emit a raw data word. *)

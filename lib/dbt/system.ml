@@ -13,6 +13,7 @@ module Flagconv = Repro_rules.Flagconv
 module Snapshot = Repro_snapshot.Snapshot
 module Journal = Repro_snapshot.Journal
 module Trace = Repro_observe.Trace
+module Scope = Repro_perfscope.Scope
 
 type mode = Qemu | Rules of Opt.t
 
@@ -43,8 +44,8 @@ type t = {
 }
 
 let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
-    ?quarantine_threshold ?trace ?ledger mode =
-  let rt = Runtime.create ?ram_kib ?inject ?trace ?ledger () in
+    ?quarantine_threshold ?trace ?ledger ?scope mode =
+  let rt = Runtime.create ?ram_kib ?inject ?trace ?ledger ?scope () in
   Helpers.install rt;
   (* Observational wiring: devices and the injector share the
      runtime's event ring. *)
@@ -562,6 +563,9 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
        before the capture makes the serialized journal the
        post-checkpoint state, so a restored run and the uninterrupted
        one keep identical journals from here on. *)
+    (match t.rt.Runtime.scope with
+    | Some sc -> Scope.note_checkpoint sc ~at:stats.Stats.guest_insns
+    | None -> ());
     if resume.Engine.rneeds_enter then Journal.clear t.journal;
     let snap = capture ~resume t in
     t.stop_checkpoint <- Some snap;

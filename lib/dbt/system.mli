@@ -56,6 +56,7 @@ val create :
   ?quarantine_threshold:int ->
   ?trace:Repro_observe.Trace.t ->
   ?ledger:Repro_observe.Ledger.t ->
+  ?scope:Repro_perfscope.Scope.t ->
   mode ->
   t
 (** [ruleset] defaults to the builtin set; ignored in [Qemu] mode.
@@ -73,11 +74,18 @@ val create :
     the timer, the softMMU helpers, the injector, the watchdog and
     the snapshot layer; its clock is retired guest instructions.
     [ledger] enables the per-pass coordination-savings attribution
-    (see {!Repro_observe.Ledger}). Both are purely observational:
-    guest-visible behaviour and every modelled cost counter are
-    bit-identical with or without them, and neither rides in
-    snapshots — a restored machine continues accumulating into
-    whatever trace/ledger it was created with. *)
+    (see {!Repro_observe.Ledger}). [scope] attaches a performance
+    scope (see {!Repro_perfscope.Scope}): every retired host
+    instruction is attributed to a phase and guest-PC region on the
+    retired-guest-insn clock, and the engine feeds the IRQ-latency,
+    chain-latency and checkpoint-interval histograms. All three are
+    purely observational: guest-visible behaviour and every modelled
+    cost counter are bit-identical with or without them, and none
+    rides in snapshots — a restored machine continues accumulating
+    into whatever trace/ledger/scope it was created with. (Watchdog
+    rollbacks reload [Stats] from the checkpoint but the scope keeps
+    its accumulations, so under injection the scope's phase total can
+    exceed the final [host_insns].) *)
 
 val load_image : t -> Word32.t -> Word32.t array -> unit
 

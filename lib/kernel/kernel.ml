@@ -34,7 +34,10 @@ let sys_ticks = 2
 let sys_yield = 3
 let sys_flags = 4
 
-type image = { segments : (Word32.t * Word32.t array) list }
+type image = {
+  segments : (Word32.t * Word32.t array) list;
+  syms : (Word32.t * string) list;
+}
 
 let mode_bits_svc = 0xD3 (* supervisor, IRQ+FIQ masked *)
 let mode_bits_irq = 0xD2
@@ -331,9 +334,27 @@ let build ?(timer_period = 0) ?(preempt = false) ?user_program2 ~user_program ()
     [ (kernel_base, kernel_words); (user_code_base, user_program) ]
     @ match user_program2 with Some p -> [ (task1_code_base, p) ] | None -> []
   in
-  { segments }
+  (* Kernel labels plus one sentinel per user segment: user programs
+     are generated word streams with no labels of their own, so the
+     whole segment symbolizes to its region name. *)
+  let syms =
+    ((kernel_base, "vectors") :: Asm.labels a)
+    @ [ (user_code_base, "user") ]
+    @ (match user_program2 with Some _ -> [ (task1_code_base, "task1") ] | None -> [])
+  in
+  { segments; syms }
 
 let load image f = List.iter (fun (base, words) -> f base words) image.segments
+
+(* Greatest symbol at or below [pc]; symbols are sorted ascending, so
+   keep the last match. Addresses below every symbol (only possible
+   for pc < 0, i.e. never for real guest PCs) fall back to "?". *)
+let symbolize image pc =
+  let rec best acc = function
+    | (addr, name) :: rest when addr <= pc -> best (Some name) rest
+    | _ -> acc
+  in
+  match best None image.syms with Some name -> name | None -> "?"
 
 let user_epilogue_exit a ~exit_code_reg =
   if exit_code_reg <> 0 then Asm.mov_r a 0 exit_code_reg;

@@ -58,7 +58,13 @@ val sys_flags : int
 
 (** {2 Image construction} *)
 
-type image = { segments : (Word32.t * Word32.t array) list }
+type image = {
+  segments : (Word32.t * Word32.t array) list;
+  syms : (Word32.t * string) list;
+      (** symbol table: kernel assembler labels plus one sentinel per
+          user segment ([user], [task1]), sorted by address —
+          deterministic input for profiler symbolization *)
+}
 (** Load each [(base, words)] segment into guest memory. *)
 
 val build :
@@ -88,6 +94,11 @@ val build :
 
 val load : image -> (Word32.t -> Word32.t array -> unit) -> unit
 (** [load image f] calls [f base words] per segment. *)
+
+val symbolize : image -> Word32.t -> string
+(** Name of the greatest symbol at or below [pc] — the enclosing
+    kernel routine for kernel text, the region name ([user]/[task1])
+    for user code. Used to fold TB hotness into flamegraph stacks. *)
 
 (** {2 User-side helpers} *)
 

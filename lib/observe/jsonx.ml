@@ -59,3 +59,216 @@ let arr members =
     members;
   Buffer.add_char buf ']';
   Buffer.contents buf
+
+(* ---- parsing ----
+
+   The analysis CLI (repro-dbt-analyze) reads back what the writers
+   above produce: stats-json files, BENCH_*.json, trace/metrics JSONL.
+   A small recursive-descent parser over strings is plenty — inputs
+   are machine-written single values, a few MB at most. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string
+
+type cursor = { s : string; mutable pos : int }
+
+let error c msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg c.pos))
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some g when g = ch -> c.pos <- c.pos + 1
+  | _ -> error c (Printf.sprintf "expected '%c'" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.s && String.sub c.s c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+let hex4 c =
+  if c.pos + 4 > String.length c.s then error c "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let d =
+      match c.s.[c.pos + i] with
+      | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+      | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+      | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+      | _ -> error c "bad \\u escape"
+    in
+    v := (!v * 16) + d
+  done;
+  c.pos <- c.pos + 4;
+  !v
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+      c.pos <- c.pos + 1;
+      match peek c with
+      | None -> error c "truncated escape"
+      | Some ch ->
+        c.pos <- c.pos + 1;
+        (match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          (* the writer only emits \u for codepoints < 0x20; decode
+             the BMP generally (as UTF-8) so foreign JSON parses too *)
+          let cp = hex4 c in
+          if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+          else if cp < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+          end
+        | _ -> error c "bad escape");
+        loop ())
+    | Some ch ->
+      c.pos <- c.pos + 1;
+      Buffer.add_char buf ch;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.s && num_char c.s.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let text = String.sub c.s start (c.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> error c (Printf.sprintf "bad number %S" text)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (k, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members ()
+        | Some '}' -> c.pos <- c.pos + 1
+        | _ -> error c "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec members () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members ()
+        | Some ']' -> c.pos <- c.pos + 1
+        | _ -> error c "expected ',' or ']'"
+      in
+      members ();
+      Arr (List.rev !items)
+    end
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then error c "trailing bytes";
+  v
+
+(* ---- accessors ---- *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_float = function
+  | Num f -> Some f
+  | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_string = function
+  | Str s -> Some s
+  | _ -> None
+
+let to_bool = function
+  | Bool b -> Some b
+  | _ -> None
+
+let to_list = function
+  | Arr l -> Some l
+  | _ -> None

@@ -1,8 +1,11 @@
-(** Minimal JSON rendering helpers for the observability exports.
+(** Minimal JSON helpers for the observability exports.
 
-    Every function returns a complete JSON value as a string; [obj]
-    and [arr] compose already-rendered members.  No parsing — the
-    repo only ever writes JSON. *)
+    Rendering: every function returns a complete JSON value as a
+    string; [obj] and [arr] compose already-rendered members.
+
+    Parsing: {!parse} reads back what the writers produce (stats-json,
+    BENCH files, trace/metrics JSONL) for the analysis CLI and the
+    benchmark-regression gate. *)
 
 val str : string -> string
 (** Quoted, escaped JSON string. *)
@@ -23,3 +26,32 @@ val arr : string list -> string
 val add_escaped : Buffer.t -> string -> unit
 (** Append the escaped (unquoted) form of a string to a buffer —
     for callers streaming JSON through their own buffer. *)
+
+(** {2 Parsing} *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+exception Parse_error of string
+
+val parse : string -> value
+(** Parse one complete JSON value (trailing whitespace allowed).
+    Raises {!Parse_error} with a byte offset on malformed input.
+    [\u]-escaped codepoints decode to UTF-8 bytes, so {!str} followed
+    by {!parse} round-trips any byte string. *)
+
+val member : string -> value -> value option
+(** Field lookup on [Obj]; [None] on other values. *)
+
+val to_float : value -> float option
+val to_int : value -> int option
+(** [Some] only for numbers with integral value. *)
+
+val to_string : value -> string option
+val to_bool : value -> bool option
+val to_list : value -> value list option

@@ -1,0 +1,29 @@
+(* Brendan Gregg collapsed-stack accumulator.
+
+   Each sample is a frame stack (outermost first) with an integer
+   weight; [write_folded] emits the classic "frame;frame;frame N"
+   lines flamegraph.pl / speedscope / inferno all consume. Output is
+   sorted by stack so identical profiles fold to identical files. *)
+
+type t = { samples : (string, int) Hashtbl.t }
+
+let create () = { samples = Hashtbl.create 64 }
+
+(* ';' separates frames and a newline terminates the record in the
+   folded format; scrub both out of frame names. *)
+let clean frame =
+  String.map (fun c -> if c = ';' || c = '\n' || c = '\r' then '_' else c) frame
+
+let add t stack weight =
+  if weight > 0 && stack <> [] then begin
+    let key = String.concat ";" (List.map clean stack) in
+    let prev = match Hashtbl.find_opt t.samples key with Some n -> n | None -> 0 in
+    Hashtbl.replace t.samples key (prev + weight)
+  end
+
+let fold t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.samples []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let write_folded oc t =
+  List.iter (fun (stack, n) -> Printf.fprintf oc "%s %d\n" stack n) (fold t)

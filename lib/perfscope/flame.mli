@@ -1,0 +1,20 @@
+(** Brendan Gregg collapsed-stack ("folded") flamegraph accumulator.
+
+    Feed it frame stacks (outermost first) with host-instruction
+    weights; {!write_folded} emits ["frame;frame;frame N"] lines,
+    sorted by stack, ready for flamegraph.pl, inferno or speedscope.
+    Deterministic: identical samples produce identical files. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string list -> int -> unit
+(** [add t stack weight] accumulates one sample. Frames are scrubbed
+    of [';'] and newlines; empty stacks and non-positive weights are
+    ignored. *)
+
+val fold : t -> (string * int) list
+(** The folded lines as (stack, weight), sorted by stack. *)
+
+val write_folded : out_channel -> t -> unit

@@ -1,0 +1,103 @@
+(* HDR-style log-bucketed histogram over nonnegative integers.
+
+   Buckets have ~12.5% relative width (8 sub-buckets per octave), so
+   a latency distribution spanning microseconds to seconds fits in a
+   few hundred counters. Everything is integer arithmetic on exact
+   counts: recording the same values in the same order always produces
+   the same histogram, and percentiles are bucket lower bounds — no
+   interpolation, no floating-point accumulation order to worry
+   about. *)
+
+module Jsonx = Repro_observe.Jsonx
+
+(* Values 0..7 get exact buckets; from 8 up, each octave [2^o, 2^(o+1))
+   splits into 8 sub-buckets. Index 8*(o-2)+sub is contiguous from 8.
+   An OCaml int has at most 62 value bits, so 488 buckets cover it. *)
+let n_buckets = 488
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { buckets = Array.make n_buckets 0; count = 0; sum = 0; min_v = max_int; max_v = 0 }
+
+let bucket_index v =
+  if v < 8 then v
+  else begin
+    let rec msb n acc = if n <= 1 then acc else msb (n lsr 1) (acc + 1) in
+    let o = msb v 0 in
+    (8 * (o - 2)) + ((v lsr (o - 3)) land 7)
+  end
+
+let lower_bound i =
+  if i < 8 then i
+  else
+    let o = (i / 8) + 2 and sub = i mod 8 in
+    (8 + sub) lsl (o - 3)
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  t.buckets.(bucket_index v) <- t.buckets.(bucket_index v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+
+(* The smallest recorded value v such that at least p% of recordings
+   are <= v — reported as v's bucket lower bound. *)
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let rec walk i cum =
+      let cum = cum + t.buckets.(i) in
+      if cum >= rank then lower_bound i else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+let to_json t =
+  let buckets =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then
+        acc :=
+          Jsonx.obj
+            [ ("lo", Jsonx.int (lower_bound i)); ("n", Jsonx.int t.buckets.(i)) ]
+          :: !acc
+    done;
+    !acc
+  in
+  Jsonx.obj
+    [
+      ("count", Jsonx.int t.count);
+      ("sum", Jsonx.int t.sum);
+      ("min", Jsonx.int (min_value t));
+      ("max", Jsonx.int t.max_v);
+      ("mean", Jsonx.float (mean t));
+      ("p50", Jsonx.int (percentile t 50.));
+      ("p90", Jsonx.int (percentile t 90.));
+      ("p99", Jsonx.int (percentile t 99.));
+      ("buckets", Jsonx.arr buckets);
+    ]
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f min=%d p50=%d p90=%d p99=%d max=%d" t.count
+      (mean t) (min_value t) (percentile t 50.) (percentile t 90.)
+      (percentile t 99.) t.max_v

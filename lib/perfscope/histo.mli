@@ -1,0 +1,37 @@
+(** HDR-style log-bucketed histogram over nonnegative integers
+    (latencies and intervals on the retired-guest-insn clock).
+
+    Eight sub-buckets per octave (~12.5% relative resolution), exact
+    integer counts, deterministic: identical recordings produce
+    byte-identical {!to_json} output. Negative values clamp to 0. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+val count : t -> int
+val sum : t -> int
+
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] is the lower bound of the bucket holding the
+    rank-[ceil(p% * count)] recording — a value v such that at least
+    p% of recordings are <= the bucket containing v. 0 when empty. *)
+
+val to_json : t -> string
+(** [{"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,
+    "p90":..,"p99":..,"buckets":[{"lo":..,"n":..},...]}] with only
+    occupied buckets listed, in ascending order. *)
+
+val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val bucket_index : int -> int
+val lower_bound : int -> int

@@ -1,0 +1,34 @@
+(* The cost-attribution phases. Every retired host instruction the
+   engine charges lands in exactly one of these, so the per-phase
+   totals partition [Stats.host_insns] (the exactness invariant the
+   perfscope tests assert). *)
+
+type t = Translate | Execute | Coordinate | Softmmu | Helper | Deliver
+
+let all = [ Translate; Execute; Coordinate; Softmmu; Helper; Deliver ]
+let n = 6
+
+let index = function
+  | Translate -> 0
+  | Execute -> 1
+  | Coordinate -> 2
+  | Softmmu -> 3
+  | Helper -> 4
+  | Deliver -> 5
+
+let name = function
+  | Translate -> "translate"
+  | Execute -> "execute"
+  | Coordinate -> "coordinate"
+  | Softmmu -> "softmmu"
+  | Helper -> "helper"
+  | Deliver -> "deliver"
+
+let of_name = function
+  | "translate" -> Some Translate
+  | "execute" -> Some Execute
+  | "coordinate" -> Some Coordinate
+  | "softmmu" -> Some Softmmu
+  | "helper" -> Some Helper
+  | "deliver" -> Some Deliver
+  | _ -> None

@@ -1,0 +1,134 @@
+(* The per-run performance scope: deterministic phase attribution plus
+   the latency histograms. One of these hangs off the runtime (like
+   the trace ring and the ledger) and the engine drains host-insn
+   deltas into it at every phase transition.
+
+   Everything is keyed to the retired-guest-insn clock and to exact
+   host-instruction counts, so two same-seed runs produce
+   byte-identical [to_json] output — the property `dbt_analyze diff`
+   and the regression gate build on. Purely observational: attaching a
+   scope never perturbs guest-visible state or any cost counter. *)
+
+module Jsonx = Repro_observe.Jsonx
+
+type t = {
+  phase_total : int array;  (* Phase.n counters *)
+  regions : (int * bool, int array) Hashtbl.t;
+      (* (guest page, privileged) -> per-phase host insns *)
+  irq_latency : Histo.t;
+  chain_latency : Histo.t;
+  checkpoint_interval : Histo.t;
+  mutable irq_raised_at : int;  (* -1 = no raise outstanding *)
+  translated_at : (int, int) Hashtbl.t;  (* tb id -> clock at translation *)
+  mutable last_checkpoint_at : int;  (* -1 = none yet *)
+}
+
+let create () =
+  {
+    phase_total = Array.make Phase.n 0;
+    regions = Hashtbl.create 64;
+    irq_latency = Histo.create ();
+    chain_latency = Histo.create ();
+    checkpoint_interval = Histo.create ();
+    irq_raised_at = -1;
+    translated_at = Hashtbl.create 256;
+    last_checkpoint_at = -1;
+  }
+
+let charge t phase ~page ~privileged n =
+  if n > 0 then begin
+    let i = Phase.index phase in
+    t.phase_total.(i) <- t.phase_total.(i) + n;
+    let key = (page, privileged) in
+    let row =
+      match Hashtbl.find_opt t.regions key with
+      | Some row -> row
+      | None ->
+        let row = Array.make Phase.n 0 in
+        Hashtbl.add t.regions key row;
+        row
+    in
+    row.(i) <- row.(i) + n
+  end
+
+let phase_count t phase = t.phase_total.(Phase.index phase)
+let total t = Array.fold_left ( + ) 0 t.phase_total
+let irq_latency t = t.irq_latency
+let chain_latency t = t.chain_latency
+let checkpoint_interval t = t.checkpoint_interval
+
+(* A raise is the first moment the IRQ line is deliverable (asserted
+   and unmasked); re-notifications while it stays outstanding keep the
+   original timestamp so the histogram measures raise->deliver. *)
+let note_irq_raised t ~at = if t.irq_raised_at < 0 then t.irq_raised_at <- at
+
+let note_irq_delivered t ~at =
+  if t.irq_raised_at >= 0 then begin
+    Histo.record t.irq_latency (at - t.irq_raised_at);
+    t.irq_raised_at <- -1
+  end
+
+let note_translated t ~id ~at =
+  if not (Hashtbl.mem t.translated_at id) then Hashtbl.add t.translated_at id at
+
+(* First time [id] becomes the target of a chained link: the
+   lookup->chain latency of that translation. *)
+let note_chained t ~id ~at =
+  match Hashtbl.find_opt t.translated_at id with
+  | Some t0 ->
+    Histo.record t.chain_latency (at - t0);
+    Hashtbl.remove t.translated_at id
+  | None -> ()
+
+let note_checkpoint t ~at =
+  if t.last_checkpoint_at >= 0 then
+    Histo.record t.checkpoint_interval (at - t.last_checkpoint_at);
+  t.last_checkpoint_at <- at
+
+let phases_json totals =
+  Jsonx.obj
+    (List.map (fun p -> (Phase.name p, Jsonx.int totals.(Phase.index p))) Phase.all
+    @ [ ("total", Jsonx.int (Array.fold_left ( + ) 0 totals)) ])
+
+let regions_sorted t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.regions []
+  |> List.sort (fun ((pa, va), _) ((pb, vb), _) -> compare (pa, va) (pb, vb))
+
+let to_json t =
+  let regions =
+    List.map
+      (fun ((page, privileged), row) ->
+        Jsonx.obj
+          [
+            ("page", Jsonx.str (Printf.sprintf "0x%05x" page));
+            ("privileged", Jsonx.bool privileged);
+            ("phases", phases_json row);
+          ])
+      (regions_sorted t)
+  in
+  Jsonx.obj
+    [
+      ("phases", phases_json t.phase_total);
+      ("regions", Jsonx.arr regions);
+      ( "histograms",
+        Jsonx.obj
+          [
+            ("irq_latency", Histo.to_json t.irq_latency);
+            ("chain_latency", Histo.to_json t.chain_latency);
+            ("checkpoint_interval", Histo.to_json t.checkpoint_interval);
+          ] );
+    ]
+
+let pp ppf t =
+  let total = total t in
+  Format.fprintf ppf "@[<v>%-12s %12s %7s@ " "phase" "host insns" "share";
+  List.iter
+    (fun p ->
+      let n = phase_count t p in
+      Format.fprintf ppf "%-12s %12d %6.1f%%@ " (Phase.name p) n
+        (if total = 0 then 0. else 100. *. float_of_int n /. float_of_int total))
+    Phase.all;
+  Format.fprintf ppf "%-12s %12d@ @ " "total" total;
+  Format.fprintf ppf "irq raise->deliver    %a@ " Histo.pp t.irq_latency;
+  Format.fprintf ppf "tb lookup->chain      %a@ " Histo.pp t.chain_latency;
+  Format.fprintf ppf "checkpoint interval   %a@]" Histo.pp t.checkpoint_interval

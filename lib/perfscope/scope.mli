@@ -1,0 +1,48 @@
+(** The per-run performance scope: deterministic per-phase /
+    per-region cost attribution plus the three latency histograms
+    (IRQ raise->deliver, TB lookup->chain, checkpoint intervals), all
+    on the retired-guest-insn clock.
+
+    A scope attaches to the runtime like the trace ring and the
+    coordination ledger: purely observational (attached runs are
+    bit-identical to bare ones) and deliberately excluded from
+    snapshots. Over any engine run without watchdog rollbacks the
+    phase totals partition the run's
+    {!Repro_x86.Stats.t.host_insns} delta exactly. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> Phase.t -> page:int -> privileged:bool -> int -> unit
+(** Attribute host instructions to a phase and a guest-PC region
+    (4 KiB page, kernel/user). Non-positive charges are ignored. *)
+
+val phase_count : t -> Phase.t -> int
+val total : t -> int
+
+val irq_latency : t -> Histo.t
+val chain_latency : t -> Histo.t
+val checkpoint_interval : t -> Histo.t
+
+val note_irq_raised : t -> at:int -> unit
+(** First deliverable assertion of the IRQ line; re-notifications
+    while the raise is outstanding keep the original timestamp. *)
+
+val note_irq_delivered : t -> at:int -> unit
+(** Records raise->deliver latency (no-op without an outstanding
+    raise, e.g. an injected spurious interrupt). *)
+
+val note_translated : t -> id:int -> at:int -> unit
+val note_chained : t -> id:int -> at:int -> unit
+(** First time TB [id] becomes the target of a chained link; records
+    its translation->chain latency once. *)
+
+val note_checkpoint : t -> at:int -> unit
+
+val to_json : t -> string
+(** [{"phases":{...},"regions":[...],"histograms":{...}}] — the
+    ["perf"] section of [--stats-json]; byte-identical across
+    same-seed runs. *)
+
+val pp : Format.formatter -> t -> unit

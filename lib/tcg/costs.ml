@@ -21,3 +21,31 @@ let io_access () = apply 20
 let irq_deliver () = apply 46
 let exception_entry () = apply 40
 let translation_per_guest_insn () = apply 60
+
+(* Every modelled cost with the phase the engine attributes it to, for
+   embedding in machine-readable perf output: a profile is only
+   comparable to another taken under the same model and scale. *)
+let all =
+  [
+    ("engine_dispatch", engine_dispatch, "execute");
+    ("chain_jump", chain_jump, "execute");
+    ("helper_call_overhead", helper_call_overhead, "helper");
+    ("interp_one", interp_one, "helper");
+    ("mmu_slow_path", mmu_slow_path, "softmmu");
+    ("mmu_helper_hit", mmu_helper_hit, "softmmu");
+    ("io_access", io_access, "softmmu");
+    ("irq_deliver", irq_deliver, "deliver");
+    ("exception_entry", exception_entry, "translate");
+    ("translation_per_guest_insn", translation_per_guest_insn, "translate");
+  ]
+
+let to_json () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "{\"scale_pct\":%d" !scale_pct);
+  List.iter
+    (fun (name, cost, phase) ->
+      Buffer.add_string buf
+        (Printf.sprintf ",%S:{\"insns\":%d,\"phase\":%S}" name (cost ()) phase))
+    all;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -46,3 +46,12 @@ val exception_entry : unit -> int
 
 val translation_per_guest_insn : unit -> int
 (** Amortized translation cost charged per translated guest insn. *)
+
+val all : (string * (unit -> int) * string) list
+(** Every modelled cost as (name, scaled value, attributed phase name
+    per {!Repro_perfscope.Phase}) — the model's self-description. *)
+
+val to_json : unit -> string
+(** The current cost model (names, scaled values, attributed phases,
+    global scale) as one JSON object, embedded in perf exports so a
+    profile records the model it was measured under. *)

@@ -6,6 +6,8 @@ module Bus = Repro_machine.Bus
 module Cpu = Repro_arm.Cpu
 module Trace = Repro_observe.Trace
 module Ledger = Repro_observe.Ledger
+module Phase = Repro_perfscope.Phase
+module Scope = Repro_perfscope.Scope
 
 type translator = Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
 
@@ -59,6 +61,56 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
     | _ -> ()
   in
   let charge_glue n = Stats.charge_tag stats X.Tag_glue n in
+  (* Phase attribution: per-tag host-insn cursors, drained into the
+     scope at every phase transition. Every charge goes through
+     [Stats.charge_tag], so the drained deltas partition this run's
+     host_insns delta exactly (watchdog rollbacks excepted: stats are
+     rolled back, the observational scope keeps what it saw). The
+     cursors are run-local and resync at every drain, so restored runs
+     attribute their own window only. *)
+  let scope = rt.Runtime.scope in
+  let want_split = scope <> None || profile <> None in
+  let split_tags =
+    [| X.Tag_compute; X.Tag_sync; X.Tag_mmu; X.Tag_irq_check; X.Tag_glue |]
+  in
+  let cursor = Array.map (fun tag -> Stats.tag_count stats tag) split_tags in
+  let split () =
+    let d = Array.make 5 0 in
+    Array.iteri
+      (fun i tag ->
+        let now = Stats.tag_count stats tag in
+        d.(i) <- now - cursor.(i);
+        cursor.(i) <- now)
+      split_tags;
+    d
+  in
+  (* Engine-side glue site: everything since the last drain belongs to
+     one phase (dispatch, translation, delivery...). *)
+  let drain_to phase ~page ~privileged =
+    match scope with
+    | None -> ()
+    | Some sc ->
+      let d = split () in
+      Scope.charge sc phase ~page ~privileged (d.(0) + d.(1) + d.(2) + d.(3) + d.(4))
+  in
+  (* Mixed site (TB run windows and entry hooks): the tag names the
+     phase — Compute is emitted guest work, Sync and irq polls are
+     coordination, Mmu is the softMMU, glue is helper machinery.
+     Returns the Phase-indexed split for the per-TB profile. *)
+  let drain_mixed ~page ~privileged =
+    if not want_split then None
+    else begin
+      let d = split () in
+      (match scope with
+      | Some sc ->
+        Scope.charge sc Phase.Execute ~page ~privileged d.(0);
+        Scope.charge sc Phase.Coordinate ~page ~privileged (d.(1) + d.(3));
+        Scope.charge sc Phase.Softmmu ~page ~privileged d.(2);
+        Scope.charge sc Phase.Helper ~page ~privileged d.(4)
+      | None -> ());
+      Some [| 0; d.(0); d.(1) + d.(3); d.(2); d.(4); 0 |]
+    end
+  in
   (* Purely observational: emits nothing and costs nothing when the
      runtime carries no trace. *)
   let trace_emit ?a ?b cat name =
@@ -91,6 +143,12 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
         Repro_mmu.Mmu.Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb tb.Tb.guest_pc;
         Repro_mmu.Mmu.Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb
           (tb.Tb.guest_pc + (4 * tb.Tb.guest_len) - 4);
+        (match scope with
+        | Some sc ->
+          Scope.note_translated sc ~id:tb.Tb.id ~at:stats.Stats.guest_insns
+        | None -> ());
+        drain_to Phase.Translate ~page:(tb.Tb.guest_pc lsr 12)
+          ~privileged:tb.Tb.privileged;
         tb
       | Error fault ->
         (* Prefetch abort: enter the guest's handler and translate
@@ -99,6 +157,9 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
         charge_glue (Costs.exception_entry ());
         Runtime.take_guest_exception rt Cpu.Prefetch_abort
           ~pc_of_faulting_insn:fault.Repro_arm.Mem.vaddr;
+        drain_to Phase.Translate
+          ~page:(fault.Repro_arm.Mem.vaddr lsr 12)
+          ~privileged:true;
         lookup_or_translate env.(Envspec.pc))
   in
   let finish reason =
@@ -162,6 +223,11 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
         on_enter tb;
         needs_enter := false
       end;
+      (* Entry-hook charges (inter-TB flag restore -> coordinate,
+         shadow replay -> helper) drain before the run window opens so
+         the window split attributes only the TB's own execution. *)
+      ignore
+        (drain_mixed ~page:(tb.Tb.guest_pc lsr 12) ~privileged:tb.Tb.privileged);
       let guest0 = stats.Stats.guest_insns and host0 = stats.Stats.host_insns in
       rt.Runtime.fault_producers <- tb.Tb.fault_producers;
       match Exec.run rt.Runtime.ctx tb.Tb.prog ~fuel:tb_fuel with
@@ -174,11 +240,15 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
         trace_emit ~a:tb.Tb.guest_pc Trace.Watchdog "fuel_exhausted";
         result := Some (finish (`Livelock tb.Tb.guest_pc))
       | outcome ->
+        let phases =
+          drain_mixed ~page:(tb.Tb.guest_pc lsr 12) ~privileged:tb.Tb.privileged
+        in
         (match profile with
         | Some p ->
           Profile.record p tb
             ~guest:(stats.Stats.guest_insns - guest0)
             ~host:(stats.Stats.host_insns - host0)
+            ?phases ()
         | None -> ());
         (match rt.Runtime.ledger with
         | Some l -> Ledger.record_exec l tb.Tb.prov
@@ -203,6 +273,9 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
             Tb.Cache.flush cache;
             stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
             charge_glue (Costs.engine_dispatch ());
+            drain_to Phase.Execute
+              ~page:(env.(Envspec.pc) lsr 12)
+              ~privileged:(Runtime.privileged rt);
             current := lookup_or_translate env.(Envspec.pc);
             needs_enter := true
           | `Continue -> (
@@ -216,16 +289,26 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                   trace_emit ~a:tb.Tb.guest_pc ~b:next.Tb.guest_pc Trace.Chain
                     "jump";
                   charge_glue (Costs.chain_jump ());
+                  drain_to Phase.Execute
+                    ~page:(next.Tb.guest_pc lsr 12)
+                    ~privileged:next.Tb.privileged;
                   current := next
                 | None ->
                   Exec.poison_caller_saved rt.Runtime.ctx;
                   stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
                   charge_glue (Costs.engine_dispatch ());
+                  drain_to Phase.Execute ~page:(target lsr 12)
+                    ~privileged:tb.Tb.privileged;
                   let next = lookup_or_translate target in
                   if chaining then begin
                     tb.Tb.links.(slot) <- Some next;
                     trace_emit ~a:tb.Tb.guest_pc ~b:next.Tb.guest_pc Trace.Chain
                       "link";
+                    (match scope with
+                    | Some sc ->
+                      Scope.note_chained sc ~id:next.Tb.id
+                        ~at:stats.Stats.guest_insns
+                    | None -> ());
                     link_hook ~pred:tb ~slot ~succ:next
                   end;
                   current := next;
@@ -234,6 +317,9 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                 Exec.poison_caller_saved rt.Runtime.ctx;
                 stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
                 charge_glue (Costs.engine_dispatch ());
+                drain_to Phase.Execute
+                  ~page:(env.(Envspec.pc) lsr 12)
+                  ~privileged:(Runtime.privileged rt);
                 current := lookup_or_translate env.(Envspec.pc);
                 needs_enter := true
               | Tb.Irq_deliver ->
@@ -255,9 +341,16 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                       ~insns:(-parse_cost)
                   | None -> ()
                 end;
+                (match scope with
+                | Some sc ->
+                  Scope.note_irq_delivered sc ~at:stats.Stats.guest_insns
+                | None -> ());
                 on_irq env.(Envspec.pc);
                 Runtime.take_guest_exception rt Cpu.Irq
                   ~pc_of_faulting_insn:env.(Envspec.pc);
+                drain_to Phase.Deliver
+                  ~page:(env.(Envspec.pc) lsr 12)
+                  ~privileged:true;
                 current := lookup_or_translate env.(Envspec.pc);
                 needs_enter := true)
             | Exec.Stopped { code; _ } ->
@@ -272,6 +365,9 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                 Tb.Cache.flush cache;
                 trace_emit ~a:env.(Envspec.pc) Trace.Exec "smc_flush";
                 charge_glue (Costs.engine_dispatch () + Costs.exception_entry ());
+                drain_to Phase.Execute
+                  ~page:(env.(Envspec.pc) lsr 12)
+                  ~privileged:(Runtime.privileged rt);
                 rt.Runtime.tb_override <- Some 1;
                 rt.Runtime.suppress_code_write <- true;
                 let tb = lookup_or_translate env.(Envspec.pc) in
@@ -293,6 +389,9 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
                 Exec.poison_caller_saved rt.Runtime.ctx;
                 stats.Stats.engine_returns <- stats.Stats.engine_returns + 1;
                 charge_glue (Costs.engine_dispatch ());
+                drain_to Phase.Execute
+                  ~page:(env.(Envspec.pc) lsr 12)
+                  ~privileged:(Runtime.privileged rt);
                 current := lookup_or_translate env.(Envspec.pc);
                 needs_enter := true
               end)))

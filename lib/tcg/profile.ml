@@ -1,4 +1,5 @@
 open Repro_common
+module Phase = Repro_perfscope.Phase
 
 type entry = {
   guest_pc : Word32.t;
@@ -8,13 +9,14 @@ type entry = {
   mutable execs : int;
   mutable guest_retired : int;
   mutable host_spent : int;
+  phases : int array;
 }
 
 type t = { table : (Word32.t * bool, entry) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 256 }
 
-let record t (tb : Tb.t) ~guest ~host =
+let record t (tb : Tb.t) ~guest ~host ?phases () =
   let key = (tb.Tb.guest_pc, tb.Tb.privileged) in
   let e =
     match Hashtbl.find_opt t.table key with
@@ -29,6 +31,7 @@ let record t (tb : Tb.t) ~guest ~host =
           execs = 0;
           guest_retired = 0;
           host_spent = 0;
+          phases = Array.make Phase.n 0;
         }
       in
       Hashtbl.add t.table key e;
@@ -36,7 +39,10 @@ let record t (tb : Tb.t) ~guest ~host =
   in
   e.execs <- e.execs + 1;
   e.guest_retired <- e.guest_retired + guest;
-  e.host_spent <- e.host_spent + host
+  e.host_spent <- e.host_spent + host;
+  match phases with
+  | Some p -> Array.iteri (fun i n -> e.phases.(i) <- e.phases.(i) + n) p
+  | None -> ()
 
 let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
 
@@ -80,8 +86,21 @@ let pp_report ?(top = 10) ppf t =
         (if total = 0 then 0. else 100. *. float_of_int e.host_spent /. float_of_int total);
       ())
     hot;
-  Format.fprintf ppf "(%d TBs profiled, %d host insns attributed)@]"
-    (Hashtbl.length t.table) total
+  Format.fprintf ppf "(%d TBs profiled, %d host insns attributed)"
+    (Hashtbl.length t.table) total;
+  let phase_totals = Array.make Phase.n 0 in
+  List.iter
+    (fun e ->
+      Array.iteri (fun i n -> phase_totals.(i) <- phase_totals.(i) + n) e.phases)
+    (entries t);
+  if Array.exists (fun n -> n > 0) phase_totals then begin
+    Format.fprintf ppf "@ phase split:";
+    List.iter
+      (fun p ->
+        Format.fprintf ppf " %s=%d" (Phase.name p) phase_totals.(Phase.index p))
+      Phase.all
+  end;
+  Format.fprintf ppf "@]"
 
 let pp_disasm ppf e =
   Format.fprintf ppf "@[<v>";

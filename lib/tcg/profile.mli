@@ -24,15 +24,22 @@ type entry = {
   mutable execs : int;            (** completed executions *)
   mutable guest_retired : int;    (** dynamic guest instructions *)
   mutable host_spent : int;       (** dynamic host instructions *)
+  phases : int array;
+      (** {!Repro_perfscope.Phase}-indexed split of [host_spent]
+          (execute / coordinate / softmmu / helper within the TB's
+          run windows); all zero when the engine ran without a scope
+          or profile phase splitting *)
 }
 
 type t
 
 val create : unit -> t
 
-val record : t -> Tb.t -> guest:int -> host:int -> unit
+val record : t -> Tb.t -> guest:int -> host:int -> ?phases:int array -> unit -> unit
 (** Attribute one execution of [tb] that retired [guest] guest
-    instructions and spent [host] host instructions. Entries aggregate
+    instructions and spent [host] host instructions. [phases], when
+    given, is the {!Repro_perfscope.Phase}-indexed split of [host]
+    (summing to it) and accumulates elementwise. Entries aggregate
     over cache flushes: retranslations of the same (pc, privilege)
     accumulate into one entry. *)
 
@@ -54,7 +61,8 @@ val pp_entry : Format.formatter -> entry -> unit
 
 val pp_report : ?top:int -> Format.formatter -> t -> unit
 (** A hot-block table (default: 10 rows) with per-TB host/guest
-    expansion and each TB's share of total attributed host cost. *)
+    expansion and each TB's share of total attributed host cost,
+    plus a phase-split footer when phase attribution ran. *)
 
 val pp_disasm : Format.formatter -> entry -> unit
 (** The entry's guest code, one instruction per line with PCs. *)

@@ -6,6 +6,7 @@ module Mem = Repro_arm.Mem
 module Mmu = Repro_mmu.Mmu
 module Trace = Repro_observe.Trace
 module Ledger = Repro_observe.Ledger
+module Scope = Repro_perfscope.Scope
 
 type t = {
   ctx : Exec.t;
@@ -21,6 +22,7 @@ type t = {
   mutable corrupt_override : [ `None | `Rule_corrupt | `Livelock ] option;
   mutable trace : Trace.t option;
   mutable ledger : Ledger.t option;
+  mutable scope : Scope.t option;
 }
 
 exception Load_error of Word32.t
@@ -29,7 +31,7 @@ let stop_exception = 1
 let stop_halt = 2
 let stop_code_write = 3
 
-let create ?(ram_kib = 4096) ?inject ?trace ?ledger () =
+let create ?(ram_kib = 4096) ?inject ?trace ?ledger ?scope () =
   let ctx =
     Exec.create ~env_slots:Envspec.n_slots ~ram_size:(ram_kib * 1024)
       ~tlb_words:Mmu.Tlb.words ()
@@ -72,6 +74,7 @@ let create ?(ram_kib = 4096) ?inject ?trace ?ledger () =
       corrupt_override = None;
       trace;
       ledger;
+      scope;
     }
   in
   (* Interpreter-path stores (helpers emulating whole instructions)
@@ -103,8 +106,14 @@ let sync_env_to_cpu t = Envspec.env_to_cpu (env t) t.cpu
 let sync_cpu_to_env t = Envspec.cpu_to_env t.cpu (env t)
 
 let refresh_irq_pending t =
-  (env t).(Envspec.irq_pending) <-
-    (if Bus.irq_line t.bus && not (Cpu.irq_masked t.cpu) then 1 else 0)
+  let pending = Bus.irq_line t.bus && not (Cpu.irq_masked t.cpu) in
+  (env t).(Envspec.irq_pending) <- (if pending then 1 else 0);
+  (* Raise->deliver latency starts ticking the first time the line is
+     deliverable; purely observational (clock = retired guest insns). *)
+  match t.scope with
+  | Some sc when pending ->
+    Scope.note_irq_raised sc ~at:(stats t).Repro_x86.Stats.guest_insns
+  | _ -> ()
 
 let take_guest_exception t kind ~pc_of_faulting_insn =
   sync_env_to_cpu t;

@@ -46,6 +46,10 @@ type t = {
   mutable ledger : Repro_observe.Ledger.t option;
       (** coordination ledger the engine feeds per-TB provenance into
           at dispatch time; [None] disables dynamic attribution *)
+  mutable scope : Repro_perfscope.Scope.t option;
+      (** performance scope the engine drains per-phase host-insn
+          deltas and latency observations into; [None] disables
+          attribution (purely observational either way) *)
 }
 
 exception Load_error of Word32.t
@@ -71,6 +75,7 @@ val create :
   ?inject:Repro_faultinject.Faultinject.t ->
   ?trace:Repro_observe.Trace.t ->
   ?ledger:Repro_observe.Ledger.t ->
+  ?scope:Repro_perfscope.Scope.t ->
   unit ->
   t
 (** Fresh machine with RAM zeroed, CPU at reset, TLB invalid. The
@@ -79,8 +84,9 @@ val create :
     injection point is armed separately at run time (see
     {!Repro_machine.Bus.t}) so image loading is never perturbed.
     [trace] installs the event ring (its clock becomes retired guest
-    instructions); [ledger] enables dynamic coordination
-    attribution. *)
+    instructions); [ledger] enables dynamic coordination attribution;
+    [scope] enables per-phase cost attribution and the latency
+    histograms. *)
 
 val env : t -> int array
 val stats : t -> Repro_x86.Stats.t

@@ -18,6 +18,27 @@ module Cpu = Repro_arm.Cpu
 let test_jsonx () =
   Alcotest.(check string) "escaping" "\"a\\\"b\\\\c\\n\\u0007\""
     (O.Jsonx.str "a\"b\\c\n\007");
+  (* every control character below 0x20 must be escaped — bare control
+     bytes make the output invalid JSON *)
+  for c = 0 to 0x1F do
+    let rendered = O.Jsonx.str (String.make 1 (Char.chr c)) in
+    String.iter
+      (fun ch ->
+        if Char.code ch < 0x20 then
+          Alcotest.failf "control char %#x leaked into %S" c rendered)
+      rendered
+  done;
+  Alcotest.(check string) "NUL" "\"\\u0000\"" (O.Jsonx.str "\000");
+  Alcotest.(check string) "short and \\u escapes"
+    "\"\\u0008\\t\\n\\u000b\\u000c\\r\"" (O.Jsonx.str "\b\t\n\011\012\r");
+  (* non-ASCII bytes pass through untouched (the writer is
+     byte-transparent above 0x1F; UTF-8 stays UTF-8, and raw bytes
+     still round-trip through the parser) *)
+  Alcotest.(check string) "UTF-8 passes through" "\"caf\xc3\xa9\""
+    (O.Jsonx.str "caf\xc3\xa9");
+  Alcotest.(check string) "raw high bytes pass through" "\"\xff\x80\""
+    (O.Jsonx.str "\xff\x80");
+  Alcotest.(check string) "DEL passes through" "\"\x7f\"" (O.Jsonx.str "\x7f");
   Alcotest.(check string) "int" "-42" (O.Jsonx.int (-42));
   Alcotest.(check string) "bool" "true" (O.Jsonx.bool true);
   Alcotest.(check string) "integral float" "3" (O.Jsonx.float 3.0);

@@ -1,0 +1,405 @@
+module P = Repro_perfscope
+module Phase = P.Phase
+module Histo = P.Histo
+module Scope = P.Scope
+module Flame = P.Flame
+module A = P.Analysis
+module T = Repro_tcg
+module D = Repro_dbt
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module Stats = Repro_x86.Stats
+module Jsonx = Repro_observe.Jsonx
+
+(* Performance-observatory tests: the histogram and flamegraph
+   primitives, the Jsonx parser, the load-bearing scope invariants
+   (exact phase partition of host_insns, observational purity,
+   bit-reproducibility), and the analysis layer the regression gate
+   stands on. *)
+
+let kernel_image ?(target = 30_000) ?(timer = 5_000) () =
+  let spec = W.find "gcc" in
+  let iters = max 1 (target / W.insns_per_iteration spec) in
+  let user = W.generate spec ~iterations:iters in
+  K.build ~timer_period:timer ~user_program:user ()
+
+let make_sys ?scope mode image =
+  let sys = D.System.create ?scope mode in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  sys
+
+(* ---- histogram ------------------------------------------------------ *)
+
+let test_histo_buckets () =
+  for v = 0 to 7 do
+    Alcotest.(check int) "small values are exact buckets" v (Histo.bucket_index v);
+    Alcotest.(check int) "small lower bounds are identities" v (Histo.lower_bound v)
+  done;
+  (* every bucket's lower bound lands back in its own bucket, and the
+     bounds strictly increase (checked clear of the sign bit) *)
+  let prev = ref (-1) in
+  for i = 0 to 399 do
+    let lb = Histo.lower_bound i in
+    Alcotest.(check bool) "lower bounds strictly increase" true (lb > !prev);
+    prev := lb;
+    Alcotest.(check int) "lower bound maps to its own bucket" i
+      (Histo.bucket_index lb)
+  done;
+  (* arbitrary values are bracketed by their bucket's bounds *)
+  List.iter
+    (fun v ->
+      let i = Histo.bucket_index v in
+      Alcotest.(check bool) "lower bound <= value" true (Histo.lower_bound i <= v);
+      Alcotest.(check bool) "value < next lower bound" true
+        (v < Histo.lower_bound (i + 1)))
+    [ 8; 9; 15; 16; 17; 100; 1_000; 12_345; 1 lsl 20; (1 lsl 40) + 123 ]
+
+let test_histo_stats () =
+  let h = Histo.create () in
+  Alcotest.(check int) "empty percentile" 0 (Histo.percentile h 50.);
+  Alcotest.(check int) "empty min" 0 (Histo.min_value h);
+  for v = 0 to 7 do
+    Histo.record h v
+  done;
+  Histo.record h (-5) (* clamps to 0 *);
+  Alcotest.(check int) "count" 9 (Histo.count h);
+  Alcotest.(check int) "sum" 28 (Histo.sum h);
+  Alcotest.(check int) "min" 0 (Histo.min_value h);
+  Alcotest.(check int) "max" 7 (Histo.max_value h);
+  (* rank ceil(0.5 * 9) = 5, cumulative hits 5 in bucket 3 (two zeros) *)
+  Alcotest.(check int) "p50" 3 (Histo.percentile h 50.);
+  Alcotest.(check int) "p99" 7 (Histo.percentile h 99.);
+  (* determinism: same recordings, byte-identical export *)
+  let h2 = Histo.create () in
+  for v = 0 to 7 do
+    Histo.record h2 v
+  done;
+  Histo.record h2 (-5);
+  Alcotest.(check string) "identical recordings export identically"
+    (Histo.to_json h) (Histo.to_json h2)
+
+(* ---- the Jsonx parser ----------------------------------------------- *)
+
+let test_jsonx_parse () =
+  let src =
+    Jsonx.obj
+      [
+        ("i", Jsonx.int (-42));
+        ("f", Jsonx.float 2.5);
+        ("s", Jsonx.str "he\"llo\n");
+        ("b", Jsonx.bool false);
+        ("z", "null");
+        ("l", Jsonx.arr [ Jsonx.int 1; Jsonx.int 2 ]);
+      ]
+  in
+  let v = Jsonx.parse src in
+  let get k = Option.get (Jsonx.member k v) in
+  Alcotest.(check (option int)) "int field" (Some (-42)) (Jsonx.to_int (get "i"));
+  Alcotest.(check (option (float 1e-9))) "float field" (Some 2.5)
+    (Jsonx.to_float (get "f"));
+  Alcotest.(check (option string)) "string field" (Some "he\"llo\n")
+    (Jsonx.to_string (get "s"));
+  Alcotest.(check (option bool)) "bool field" (Some false)
+    (Jsonx.to_bool (get "b"));
+  Alcotest.(check bool) "null field" true (get "z" = Jsonx.Null);
+  Alcotest.(check bool) "array field" true
+    (Jsonx.to_list (get "l") = Some [ Jsonx.Num 1.; Jsonx.Num 2. ]);
+  Alcotest.(check (option int)) "to_int rejects non-integral" None
+    (Jsonx.to_int (get "f"));
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (Jsonx.member "nope" v) Jsonx.to_int);
+  (* unicode escapes decode to UTF-8 bytes *)
+  (match Jsonx.parse "\"\\u00e9\\u0041\"" with
+  | Jsonx.Str s -> Alcotest.(check string) "\\u decodes to UTF-8" "\xc3\xa9A" s
+  | _ -> Alcotest.fail "expected a string");
+  List.iter
+    (fun bad ->
+      match Jsonx.parse bad with
+      | exception Jsonx.Parse_error _ -> ()
+      | _ -> Alcotest.failf "parse should reject %S" bad)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "nan" ]
+
+let test_jsonx_roundtrip_bytes () =
+  (* every byte string survives str -> parse, including control chars
+     and non-UTF-8 bytes *)
+  let strings =
+    [
+      "plain";
+      "tab\tnl\ncr\rquote\"backslash\\";
+      "\000\001\031"; (* control chars *)
+      "caf\xc3\xa9"; (* UTF-8 *)
+      "\xff\xfe raw non-UTF-8 bytes \x80";
+      String.init 256 Char.chr;
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Jsonx.parse (Jsonx.str s) with
+      | Jsonx.Str s' -> Alcotest.(check string) "byte round-trip" s s'
+      | _ -> Alcotest.fail "expected a string")
+    strings
+
+(* ---- scope invariants ----------------------------------------------- *)
+
+let run_with_scope ?(timer = 5_000) mode =
+  let image = kernel_image ~timer () in
+  let scope = Scope.create () in
+  let sys = make_sys ~scope mode image in
+  ignore (D.System.run ~max_guest_insns:2_000_000 sys);
+  (scope, D.System.stats sys)
+
+(* Without watchdog rollbacks the six phase totals partition the
+   run's host instructions exactly — nothing uncounted, nothing
+   double-counted. *)
+let test_phase_partition () =
+  List.iter
+    (fun mode ->
+      let scope, st = run_with_scope mode in
+      Alcotest.(check int)
+        (D.System.mode_name mode ^ ": phases partition host_insns")
+        st.Stats.host_insns (Scope.total scope);
+      List.iter
+        (fun ph ->
+          Alcotest.(check bool)
+            (D.System.mode_name mode ^ ": " ^ Phase.name ph ^ " attributed")
+            true
+            (Scope.phase_count scope ph > 0))
+        Phase.all)
+    [ D.System.Qemu; D.System.Rules D.Opt.full ]
+
+let test_scope_histograms () =
+  let scope, st = run_with_scope (D.System.Rules D.Opt.full) in
+  Alcotest.(check int) "one latency sample per delivered IRQ"
+    st.Stats.irqs_delivered
+    (Histo.count (Scope.irq_latency scope));
+  Alcotest.(check bool) "IRQ latency is positive" true
+    (Histo.min_value (Scope.irq_latency scope) >= 0
+    && Histo.sum (Scope.irq_latency scope) > 0);
+  (* at most one chain-latency sample per translation, and chaining
+     did happen *)
+  let chains = Histo.count (Scope.chain_latency scope) in
+  Alcotest.(check bool) "chain latency sampled" true
+    (chains > 0 && chains <= st.Stats.tb_translations)
+
+let test_checkpoint_intervals () =
+  let image = kernel_image () in
+  let scope = Scope.create () in
+  let sys = make_sys ~scope (D.System.Rules D.Opt.full) image in
+  ignore (D.System.run ~max_guest_insns:2_000_000 ~checkpoint_every:4_000 sys);
+  let h = Scope.checkpoint_interval scope in
+  Alcotest.(check bool) "checkpoint intervals recorded" true (Histo.count h > 0);
+  (* periodic checkpoints fire at >= the configured cadence *)
+  Alcotest.(check bool) "intervals at least the cadence" true
+    (Histo.min_value h >= 4_000)
+
+(* Attaching a scope must not perturb the run: same guest behaviour,
+   same statistics, to the last counter. *)
+let test_scope_purity () =
+  let image = kernel_image () in
+  let bare = make_sys (D.System.Rules D.Opt.full) image in
+  ignore (D.System.run ~max_guest_insns:2_000_000 bare);
+  let scoped = make_sys ~scope:(Scope.create ()) (D.System.Rules D.Opt.full) image in
+  ignore (D.System.run ~max_guest_insns:2_000_000 scoped);
+  Alcotest.(check (array int)) "scope attachment is observationally pure"
+    (Stats.to_array (D.System.stats bare))
+    (Stats.to_array (D.System.stats scoped))
+
+(* Bit-reproducibility: two same-config runs export byte-identical
+   scope JSON, and the analysis diff over their stats-json documents
+   reports exactly 0%% in every phase. *)
+let test_scope_determinism () =
+  let once () =
+    let scope, st = run_with_scope (D.System.Rules D.Opt.full) in
+    ( Scope.to_json scope,
+      Jsonx.parse
+        (Jsonx.obj
+           [ ("perf", Scope.to_json scope); ("stats", Stats.to_json st) ]) )
+  in
+  let j1, v1 = once () in
+  let j2, v2 = once () in
+  Alcotest.(check string) "scope JSON is byte-identical" j1 j2;
+  let rows = A.diff v1 v2 in
+  Alcotest.(check int) "all six phases compared" (List.length Phase.all)
+    (List.length rows);
+  List.iter
+    (fun r ->
+      Alcotest.(check (float 0.)) ("phase " ^ r.A.d_phase ^ " delta") 0. r.A.d_pct)
+    rows;
+  Alcotest.(check (float 0.)) "max |delta|" 0. (A.max_abs_pct rows)
+
+(* ---- profile phase split -------------------------------------------- *)
+
+let test_profile_phases () =
+  let image = kernel_image () in
+  let sys = make_sys ~scope:(Scope.create ()) (D.System.Rules D.Opt.full) image in
+  let profile = T.Profile.create () in
+  ignore (D.System.run ~profile ~max_guest_insns:2_000_000 sys);
+  let entries = T.Profile.entries profile in
+  Alcotest.(check bool) "profiled some TBs" true (entries <> []);
+  List.iter
+    (fun (e : T.Profile.entry) ->
+      Alcotest.(check int)
+        (Printf.sprintf "entry %#x phase split sums to host_spent"
+           e.T.Profile.guest_pc)
+        e.T.Profile.host_spent
+        (Array.fold_left ( + ) 0 e.T.Profile.phases))
+    entries;
+  (* the in-window split never sees translate or deliver work *)
+  List.iter
+    (fun (e : T.Profile.entry) ->
+      Alcotest.(check int) "no translate inside a TB window" 0
+        e.T.Profile.phases.(Phase.index Phase.Translate);
+      Alcotest.(check int) "no deliver inside a TB window" 0
+        e.T.Profile.phases.(Phase.index Phase.Deliver))
+    entries;
+  (* the report renders the phase-split footer *)
+  let report = Format.asprintf "%a" (T.Profile.pp_report ~top:5) profile in
+  Alcotest.(check bool) "report carries the phase split" true
+    (let rec mem i =
+       i + 11 <= String.length report
+       && (String.sub report i 11 = "phase split" || mem (i + 1))
+     in
+     mem 0)
+
+(* ---- flamegraph folding --------------------------------------------- *)
+
+let test_flame_fold () =
+  let f = Flame.create () in
+  Flame.add f [ "a"; "b" ] 3;
+  Flame.add f [ "a"; "b" ] 2;
+  Flame.add f [ "a" ] 1;
+  Flame.add f [ "z;evil"; "x\ny" ] 4 (* separators scrubbed *);
+  Flame.add f [] 9 (* ignored *);
+  Flame.add f [ "neg" ] (-1) (* ignored *);
+  Alcotest.(check (list (pair string int)))
+    "folded, deduplicated, sorted"
+    [ ("a", 1); ("a;b", 5); ("z_evil;x_y", 4) ]
+    (Flame.fold f);
+  let buf_path = Filename.temp_file "repro_flame" ".folded" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove buf_path)
+    (fun () ->
+      let oc = open_out buf_path in
+      Flame.write_folded oc f;
+      close_out oc;
+      let ic = open_in buf_path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "folded file format" "a 1\na;b 5\nz_evil;x_y 4\n" s)
+
+(* ---- the regression gate -------------------------------------------- *)
+
+let bench_json ~rev slices =
+  Jsonx.parse
+    (Jsonx.obj
+       [
+         ("rev", Jsonx.str rev);
+         ("target", Jsonx.int 1000);
+         ( "slices",
+           Jsonx.arr
+             (List.map
+                (fun (name, rule_enabled, guest, host) ->
+                  Jsonx.obj
+                    [
+                      ("name", Jsonx.str name);
+                      ("figure", Jsonx.str "fig14");
+                      ("mode", Jsonx.str "rules:full");
+                      ("bench", Jsonx.str "gcc");
+                      ("rule_enabled", Jsonx.bool rule_enabled);
+                      ("guest_insns", Jsonx.int guest);
+                      ("host_insns", Jsonx.int host);
+                      ( "host_per_guest",
+                        Jsonx.float
+                          (if guest = 0 then 0.
+                           else float_of_int host /. float_of_int guest) );
+                      ("sync_insns", Jsonx.int 7);
+                      ("wall_ms", Jsonx.float 1.5);
+                    ])
+                slices) );
+       ])
+
+let decode v =
+  match A.bench_of_json v with
+  | Some b -> b
+  | None -> Alcotest.fail "bench file failed to decode"
+
+let test_gate () =
+  let baseline =
+    decode (bench_json ~rev:"base" [ ("full", true, 1000, 11_000); ("qemu", false, 1000, 40_000) ])
+  in
+  (* identical: ok *)
+  let ok, rows = A.gate ~baseline ~current:baseline () in
+  Alcotest.(check bool) "self-compare passes" true ok;
+  Alcotest.(check int) "one row per baseline slice" 2 (List.length rows);
+  (* +10% host/guest on the rule slice: regressed *)
+  let worse =
+    decode (bench_json ~rev:"cur" [ ("full", true, 1000, 12_100); ("qemu", false, 1000, 40_000) ])
+  in
+  let ok, rows = A.gate ~baseline ~current:worse () in
+  Alcotest.(check bool) "10%% regression fails the 5%% gate" false ok;
+  (match List.find (fun r -> r.A.g_name = "full") rows with
+  | { A.g_status = A.Gate_regressed pct; _ } ->
+    Alcotest.(check bool) "measured ~10%%" true (pct > 9. && pct < 11.)
+  | _ -> Alcotest.fail "expected Gate_regressed");
+  (* a looser threshold admits it *)
+  let ok, _ = A.gate ~threshold_pct:15. ~baseline ~current:worse () in
+  Alcotest.(check bool) "15%% threshold admits +10%%" true ok;
+  (* qemu (reference) slices never gate on regression *)
+  let qemu_worse =
+    decode (bench_json ~rev:"cur" [ ("full", true, 1000, 11_000); ("qemu", false, 1000, 80_000) ])
+  in
+  let ok, _ = A.gate ~baseline ~current:qemu_worse () in
+  Alcotest.(check bool) "reference slices are reported, not gated" true ok;
+  (* a missing rule-enabled slice fails *)
+  let missing = decode (bench_json ~rev:"cur" [ ("qemu", false, 1000, 40_000) ]) in
+  let ok, rows = A.gate ~baseline ~current:missing () in
+  Alcotest.(check bool) "missing slice fails" false ok;
+  (match List.find (fun r -> r.A.g_name = "full") rows with
+  | { A.g_status = A.Gate_missing; _ } -> ()
+  | _ -> Alcotest.fail "expected Gate_missing");
+  (* zero retired guest instructions fail, even at equal ratios *)
+  let empty =
+    decode (bench_json ~rev:"cur" [ ("full", true, 0, 0); ("qemu", false, 1000, 40_000) ])
+  in
+  let ok, rows = A.gate ~baseline ~current:empty () in
+  Alcotest.(check bool) "empty slice fails" false ok;
+  match List.find (fun r -> r.A.g_name = "full") rows with
+  | { A.g_status = A.Gate_empty; _ } -> ()
+  | _ -> Alcotest.fail "expected Gate_empty"
+
+let test_bench_decode_rejects_malformed () =
+  (* a slice missing a required field poisons the whole file *)
+  let v =
+    Jsonx.parse
+      (Jsonx.obj
+         [
+           ("rev", Jsonx.str "x");
+           ("target", Jsonx.int 1);
+           ("slices", Jsonx.arr [ Jsonx.obj [ ("name", Jsonx.str "half") ] ]);
+         ])
+  in
+  Alcotest.(check bool) "malformed slice rejected" true (A.bench_of_json v = None)
+
+let suite =
+  [
+    ( "perfscope",
+      [
+        Alcotest.test_case "histogram bucket geometry" `Quick test_histo_buckets;
+        Alcotest.test_case "histogram stats + determinism" `Quick test_histo_stats;
+        Alcotest.test_case "jsonx parser" `Quick test_jsonx_parse;
+        Alcotest.test_case "jsonx byte round-trip" `Quick test_jsonx_roundtrip_bytes;
+        Alcotest.test_case "phases partition host_insns" `Quick
+          test_phase_partition;
+        Alcotest.test_case "latency histograms" `Quick test_scope_histograms;
+        Alcotest.test_case "checkpoint intervals" `Quick test_checkpoint_intervals;
+        Alcotest.test_case "scope is observationally pure" `Quick
+          test_scope_purity;
+        Alcotest.test_case "scope determinism + zero diff" `Quick
+          test_scope_determinism;
+        Alcotest.test_case "profile phase split" `Quick test_profile_phases;
+        Alcotest.test_case "flamegraph folding" `Quick test_flame_fold;
+        Alcotest.test_case "regression gate" `Quick test_gate;
+        Alcotest.test_case "bench decode rejects malformed" `Quick
+          test_bench_decode_rejects_malformed;
+      ] );
+  ]

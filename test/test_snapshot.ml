@@ -272,6 +272,83 @@ let test_journal_roundtrip () =
   | _ -> Alcotest.fail "malformed journal line must raise"
   | exception Failure _ -> ()
 
+(* ---- post-mortem profile determinism across save/restore ----------- *)
+
+(* The hot-block profile section of watchdog post-mortem dumps must be
+   deterministic across a save -> restore boundary: re-running the
+   identical interrupt/save/thaw/resume sequence (the profile object,
+   like the trace and the ledger, is carried across in-process) must
+   render byte-identical post-mortem profiles, and the restored run
+   must still converge to the uninterrupted run's guest state. The
+   engine-side counters are NOT compared against the uninterrupted
+   run: stopping at the budget forces a clean dispatch point the
+   uninterrupted run may not have, so the watchdog's rollback target
+   after a livelock can differ, re-executing a different amount of
+   (guest-invisible) work. *)
+let test_postmortem_profile_determinism () =
+  let image = kernel_image () in
+  let inject () =
+    let i = Fi.create ~seed:11 ~rate:0.0 () in
+    Fi.set_rate i Fi.Host_livelock 0.05;
+    i
+  in
+  let guest_state sys =
+    let rt = sys.D.System.rt in
+    ( Cpu.save_words rt.T.Runtime.cpu,
+      Digest.to_hex (Digest.bytes rt.T.Runtime.ctx.Exec.ram),
+      D.System.uart_output sys )
+  in
+  (* uninterrupted reference run *)
+  let full = make_sys ~inject:(inject ()) (D.System.Rules D.Opt.full) image in
+  let full_res =
+    D.System.run ~profile:(T.Profile.create ()) ~max_guest_insns:2_000_000
+      ~checkpoint_every:4_000 full
+  in
+  (* one interrupt/save/thaw/resume sequence, post-mortems collected
+     across the boundary with the profile carried along *)
+  let interrupted () =
+    let dumps = ref [] in
+    let profile = T.Profile.create () in
+    let on_postmortem ~reason dump = dumps := (reason, dump) :: !dumps in
+    let part = make_sys ~inject:(inject ()) (D.System.Rules D.Opt.full) image in
+    let part_res =
+      D.System.run ~profile ~max_guest_insns:16_000 ~checkpoint_every:4_000
+        ~on_postmortem part
+    in
+    (match part_res.T.Engine.reason with
+    | `Insn_limit -> ()
+    | _ -> Alcotest.fail "interrupted run should hit its budget");
+    let snap = Snapshot.of_string (Snapshot.to_string (D.System.snapshot part)) in
+    let thawed =
+      D.System.create
+        ~ram_kib:(D.System.snapshot_ram_kib snap)
+        ?inject:(D.System.snapshot_injector snap)
+        (D.System.snapshot_mode snap)
+    in
+    D.System.restore thawed snap;
+    let res =
+      D.System.run ~profile ~max_guest_insns:1_984_000 ~checkpoint_every:4_000
+        ~on_postmortem thawed
+    in
+    let sections =
+      List.rev_map (fun (_, d) -> Snapshot.find d "profile") !dumps
+    in
+    (halt_code res, guest_state thawed, sections)
+  in
+  let c1, g1, s1 = interrupted () in
+  let c2, g2, s2 = interrupted () in
+  Alcotest.(check bool) "the watchdog dumped post-mortems" true (s1 <> []);
+  Alcotest.(check int) "restored run reaches the clean halt code"
+    (halt_code full_res) c1;
+  let fc, fm, fu = guest_state full and c, m, u = g1 in
+  Alcotest.(check (array int)) "cpu converges with uninterrupted run" fc c;
+  Alcotest.(check string) "ram converges with uninterrupted run" fm m;
+  Alcotest.(check string) "uart converges with uninterrupted run" fu u;
+  Alcotest.(check int) "repeat halt code" c1 c2;
+  Alcotest.(check bool) "repeat guest state" true (g1 = g2);
+  Alcotest.(check (list string))
+    "post-mortem profile sections byte-identical across repeats" s1 s2
+
 let suite =
   [
     ( "snapshot",
@@ -295,5 +372,7 @@ let suite =
           test_corruption_detected;
         Alcotest.test_case "journal text round-trip" `Quick
           test_journal_roundtrip;
+        Alcotest.test_case "post-mortem profiles deterministic across restore"
+          `Quick test_postmortem_profile_determinism;
       ] );
   ]
