@@ -131,7 +131,11 @@ let bench_slices =
       (D.System.Rules D.Opt.reduction_only) "gcc" true;
     slice "fig17-elimination-gcc" "fig17"
       (D.System.Rules D.Opt.with_elimination) "gcc" true;
+    slice "fig17-regions-gcc" "fig17"
+      (D.System.Rules D.Opt.with_regions) "gcc" true;
     slice "fig18-full-hmmer" "fig18" (D.System.Rules D.Opt.full) "hmmer" true;
+    slice "fig18-regions-mcf" "fig18"
+      (D.System.Rules D.Opt.with_regions) "mcf" true;
   ]
 
 (* The ablation keeps each slice's name (so the gate matches it

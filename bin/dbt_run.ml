@@ -24,7 +24,10 @@ let mode_of_string = function
   | "reduction" -> Ok (D.System.Rules D.Opt.reduction_only)
   | "elimination" -> Ok (D.System.Rules D.Opt.with_elimination)
   | "full" -> Ok (D.System.Rules D.Opt.full)
-  | s -> Error (Printf.sprintf "unknown mode %s (qemu|base|reduction|elimination|full)" s)
+  | "regions" -> Ok (D.System.Rules D.Opt.with_regions)
+  | s ->
+    Error
+      (Printf.sprintf "unknown mode %s (qemu|base|reduction|elimination|full|regions)" s)
 
 let exit_corrupt = 3
 let exit_load = 4
@@ -323,7 +326,11 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
                 D.System.mode_name mode;
                 (if e.T.Profile.privileged then "kernel" else "user");
                 symbolize e.T.Profile.guest_pc;
-                Printf.sprintf "tb_0x%08x" e.T.Profile.guest_pc;
+                (* superblocks get their own frame kind so region time is
+                   separable from the head TB's pre-fusion executions *)
+                Printf.sprintf
+                  (if e.T.Profile.region then "region_0x%08x" else "tb_0x%08x")
+                  e.T.Profile.guest_pc;
               ]
             in
             let split = Array.fold_left ( + ) 0 e.T.Profile.phases in

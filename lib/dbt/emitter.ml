@@ -58,9 +58,11 @@ type st = {
   opt : Opt.t;
   ruleset : Ruleset.t;
   privileged : bool;
-  tb_pc : Word32.t;
-  insns : A.t array;
-  origins : int array;  (* original (pre-scheduling) index of each insn *)
+  (* [tb_pc]/[insns]/[origins] are per-chunk during region emission:
+     [emit_region] rebinds them chunk by chunk over one shared builder. *)
+  mutable tb_pc : Word32.t;
+  mutable insns : A.t array;
+  mutable origins : int array;  (* original (pre-scheduling) index of each insn *)
   mutable loaded : int;  (* guest-reg bitmask valid in pinned host regs *)
   mutable dirty : int;   (* guest-reg bitmask where host is newer than env *)
   mutable fl : fl_state;
@@ -71,6 +73,7 @@ type st = {
   exit_seen : bool array;
   elide : bool array;
   entry_conv : Flagconv.t option;
+  max_slots : int;  (* [Tb.slot_irq] for plain TBs, [Tb.region_exit_slots] for regions *)
   (* irq check *)
   irq_label : int;
   mutable irq_resume_pc : Word32.t;   (* guest PC the irq stub publishes *)
@@ -384,8 +387,10 @@ let alloc_slot st kind =
   match find 0 with
   | Some s -> s
   | None ->
-    let s = st.slots_used in
-    if s >= Tb.slot_irq then raise Tb.Tb_too_complex;
+    (* [Tb.slot_irq] stays reserved for the head interrupt check; region
+       emission (whose slot budget extends past it) allocates around it. *)
+    let s = if st.slots_used = Tb.slot_irq then Tb.slot_irq + 1 else st.slots_used in
+    if s >= st.max_slots then raise Tb.Tb_too_complex;
     st.exits.(s) <- kind;
     st.slots_used <- s + 1;
     s
@@ -1357,6 +1362,7 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
         | Some a -> a
         | None -> Array.make Tb.exit_slots false);
       entry_conv;
+      max_slots = Tb.slot_irq;
       irq_label = -1 (* replaced below *);
       irq_resume_pc = tb_pc;
       irq_emitted = false;
@@ -1426,6 +1432,212 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
     exits = st.exits;
     exit_states = st.exit_states;
     first_flag_is_def = first_flag_is_def insns;
+    rule_covered = st.rule_covered;
+    fallback = st.fallback;
+    rules_used = List.rev st.rules_used;
+    prov = st.prov;
+  }
+
+(* [emit] now names the whole-TB entry point; [emitp] is the
+   instruction-append helper for the region section below. *)
+let emitp st ?tag i = Prog.emit st.b ?tag i
+
+(* ---------- hot-region superblocks ----------
+
+   A region fuses a hot chained trace of TBs into one emitted body.
+   The III-B/C/D pipeline then runs across the whole trace: the
+   abstract residency/flag state flows through chunk seams instead of
+   being torn down at every TB boundary, so the per-boundary Sync pair
+   (epilogue flag save + dirty-register spills + pc publish, successor
+   prologue restore) and the per-TB head interrupt check disappear
+   region-wide.  One interrupt check remains at the region head —
+   acceptable latency because region length is capped. *)
+
+(* Ledger credit for one removed chunk seam: what the boundary would
+   have cost in separate TBs given the abstract state flowing across
+   it — the epilogue flag save (if flags are dirty), the dirty-register
+   spills, the pc-publish/Exit glue pair, and the successor's own head
+   interrupt check (cmp + Jcc). *)
+let seam_credit st =
+  let save =
+    match st.fl with
+    | F_dirty conv -> save_cost ~reduction:st.opt.Opt.reduction conv
+    | F_both _ | F_env -> 0
+  in
+  credit st Ledger.Region
+    ~ops:(if save > 0 then 1 else 0)
+    ~insns:(save + popcount st.dirty + 2 + 2)
+
+(* Interior-chunk ender: the chunk ends in a (possibly conditional,
+   possibly linking) B whose hot direction is the next chunk.  The hot
+   direction falls through into the next chunk's body; the cold
+   direction keeps a normal epilogue exit.  Anything that cannot fall
+   through to [next_chunk_pc] raises — the caller treats the trace as
+   unfusable. *)
+let emit_seam_branch st idx ~next_chunk_pc =
+  let insn = st.insns.(idx) in
+  let pc = pc_at st idx in
+  let next_pc = Word32.add pc 4 in
+  emitp st (X.Count X.Cnt_guest_insn);
+  match insn.A.op with
+  | A.B { link; offset } ->
+    let target = Word32.add pc (Word32.of_signed ((offset * 4) + 8)) in
+    let follows_taken = next_chunk_pc = target in
+    if (not follows_taken) && next_chunk_pc <> next_pc then raise Tb.Tb_too_complex;
+    let emit_link () =
+      if link then begin
+        ensure_loaded st 14;
+        emitp st ~tag:X.Tag_compute
+          (X.Mov
+             { width = X.W32; dst = X.Reg (host_of 14); src = X.Imm (Word32.add pc 4) });
+        mark_def st 14
+      end
+    in
+    (match insn.A.cond with
+    | Cond.AL ->
+      if not follows_taken then raise Tb.Tb_too_complex;
+      emit_link ();
+      seam_credit st
+    | cond ->
+      (* Both directions must agree on the loaded set (one keeps an
+         epilogue exit): preload lr before the condition splits. *)
+      if link then ensure_loaded st 14;
+      let conv = ensure_flags st in
+      let rec resolve conv =
+        match Flagconv.eval conv cond with
+        | Flagconv.Always ->
+          if not follows_taken then raise Tb.Tb_too_complex;
+          emit_link ();
+          seam_credit st
+        | Flagconv.Never ->
+          if follows_taken then raise Tb.Tb_too_complex;
+          seam_credit st
+        | Flagconv.Needs_materialize ->
+          emitp st ~tag:X.Tag_sync (X.Savef X.rax);
+          emitp st ~tag:X.Tag_sync
+            (X.Alu { op = X.Xor; dst = X.Reg X.rax; src = X.Imm canonical_bit });
+          emitp st ~tag:X.Tag_sync (X.Loadf X.rax);
+          (match st.fl with
+          | F_dirty _ -> st.fl <- F_dirty Flagconv.Canonical
+          | F_both _ -> st.fl <- F_both Flagconv.Canonical
+          | F_env -> assert false);
+          resolve Flagconv.Canonical
+        | Flagconv.Cc cc ->
+          let cont = Prog.fresh_label st.b in
+          let snap = save_state st in
+          if follows_taken then begin
+            (* condition true -> fall into next chunk; false -> exit *)
+            emitp st ~tag:X.Tag_compute (X.Jcc { cc; target = cont });
+            epilogue_exit st (Tb.Direct next_pc);
+            restore_state st snap;
+            emitp st (X.Label cont);
+            emit_link ();
+            seam_credit st
+          end
+          else begin
+            (* condition false -> fall into next chunk; true -> exit *)
+            emitp st ~tag:X.Tag_compute (X.Jcc { cc = X.cc_negate cc; target = cont });
+            emit_link ();
+            epilogue_exit st (Tb.Direct target);
+            restore_state st snap;
+            emitp st (X.Label cont);
+            seam_credit st
+          end
+      in
+      resolve conv)
+  | _ -> raise Tb.Tb_too_complex
+
+let emit_region ~opt ~ruleset ~privileged ~chunks ?elide_flag_save ?entry_conv () =
+  let n_chunks = Array.length chunks in
+  assert (n_chunks >= 2);
+  let head_pc, head_insns, head_origins, _ = chunks.(0) in
+  let b = Prog.builder () in
+  let st =
+    {
+      b;
+      opt;
+      ruleset;
+      privileged;
+      tb_pc = head_pc;
+      insns = head_insns;
+      origins = head_origins;
+      loaded = 0;
+      dirty = 0;
+      fl = (match entry_conv with Some c -> F_dirty c | None -> F_env);
+      exits = Array.make Tb.region_exit_slots Tb.Indirect;
+      exit_states =
+        Array.make Tb.region_exit_slots
+          { conv_at_exit = None; flags_save_in_epilogue = false };
+      slots_used = 0;
+      exit_seen = Array.make Tb.region_exit_slots false;
+      elide =
+        (match elide_flag_save with
+        | Some a -> a
+        | None -> Array.make Tb.region_exit_slots false);
+      entry_conv;
+      max_slots = Tb.region_exit_slots;
+      irq_label = -1 (* replaced below *);
+      irq_resume_pc = head_pc;
+      irq_emitted = false;
+      irq_sched_index = -1;
+      (* one head check for the whole region: never scheduled mid-body *)
+      rule_covered = 0;
+      fallback = 0;
+      rules_used = [];
+      prov = Ledger.zero_prov ();
+    }
+  in
+  let st = { st with irq_label = Prog.fresh_label b } in
+  st.exits.(Tb.slot_irq) <- Tb.Irq_deliver;
+  if entry_conv <> None then credit st Ledger.Inter_tb ~ops:0 ~insns:(-2);
+  emit_irq_check st ~guard_flags:(entry_conv <> None);
+  Array.iteri
+    (fun ci (pc, insns, origins, hoists) ->
+      st.tb_pc <- pc;
+      st.insns <- insns;
+      st.origins <- origins;
+      if hoists > 0 then
+        credit st Ledger.Sched_dbu ~ops:(2 * hoists)
+          ~insns:
+            (hoists
+            * (save_cost ~reduction:opt.Opt.reduction Flagconv.Canonical
+              + restore_cost ~reduction:opt.Opt.reduction));
+      let last = ci = n_chunks - 1 in
+      let n = Array.length insns in
+      let idx = ref 0 in
+      let ended = ref false in
+      while !idx < n && not !ended do
+        if is_ender insns.(!idx) then begin
+          if last then emit_ender st !idx
+          else begin
+            let next_chunk_pc, _, _, _ = chunks.(ci + 1) in
+            emit_seam_branch st !idx ~next_chunk_pc
+          end;
+          ended := true
+        end
+        else begin
+          let len = run_length st !idx in
+          if len > 1 then idx := !idx + emit_run st !idx len
+          else idx := !idx + emit_insn st !idx
+        end
+      done;
+      if not !ended then begin
+        let fall = Word32.add pc (4 * n) in
+        if last then epilogue_exit st (Tb.Direct fall)
+        else begin
+          let next_chunk_pc, _, _, _ = chunks.(ci + 1) in
+          if next_chunk_pc <> fall then raise Tb.Tb_too_complex;
+          seam_credit st
+        end
+      end)
+    chunks;
+  assert st.irq_emitted;
+  emit_irq_stub st;
+  {
+    prog = Prog.finalize b;
+    exits = st.exits;
+    exit_states = st.exit_states;
+    first_flag_is_def = first_flag_is_def head_insns;
     rule_covered = st.rule_covered;
     fallback = st.fallback;
     rules_used = List.rev st.rules_used;

@@ -75,3 +75,26 @@ val emit :
     [sched_hoists] is the number of define-before-use hoists the
     scheduler applied to [insns] — credited to III-D.1 in the
     provenance (it does not affect emission). *)
+
+val emit_region :
+  opt:Opt.t ->
+  ruleset:Repro_rules.Ruleset.t ->
+  privileged:bool ->
+  chunks:(Word32.t * A.t array * int array * int) array ->
+  ?elide_flag_save:bool array ->
+  ?entry_conv:Repro_rules.Flagconv.t ->
+  unit ->
+  result
+(** Fuse a hot chained trace into one superblock body. [chunks] is the
+    trace in execution order — per constituent TB its head guest PC,
+    scheduled instructions, origin indices and hoist count (at least
+    two chunks). The abstract coordination state flows across chunk
+    seams: boundary Sync pairs and per-TB interrupt checks are
+    eliminated region-wide (credited to the [Region] ledger pass) and a
+    single interrupt check guards the region head. Exit arrays are
+    {!Repro_tcg.Tb.region_exit_slots} long, with
+    {!Repro_tcg.Tb.slot_irq} still the interrupt slot; the cold
+    direction of every interior branch keeps a normal epilogue exit.
+    Raises {!Repro_tcg.Tb.Tb_too_complex} when the trace cannot be
+    fused (non-contiguous seam, exotic interior ender, exit-slot
+    overflow) — callers fall back to the unfused TBs. *)

@@ -6,6 +6,7 @@ type t = {
   sched_dbu : bool;
   sched_irq : bool;
   inline_mmu : bool;
+  regions : bool;
 }
 
 let base =
@@ -17,6 +18,7 @@ let base =
     sched_dbu = false;
     sched_irq = false;
     inline_mmu = false;
+    regions = false;
   }
 
 let reduction_only = { base with reduction = true }
@@ -25,6 +27,7 @@ let with_elimination =
   { reduction_only with elim_restores = true; elim_mem = true; inter_tb = true }
 
 let full = { with_elimination with sched_dbu = true; sched_irq = true }
+let with_regions = { full with regions = true }
 let future = { full with inline_mmu = true }
 
 let name t =
@@ -32,10 +35,12 @@ let name t =
   else if t = reduction_only then "+reduction"
   else if t = with_elimination then "+elimination"
   else if t = full then "full"
+  else if t = with_regions then "+regions"
   else if t = future then "future"
   else
-    Printf.sprintf "custom(red=%b,elim=%b/%b/%b,sched=%b/%b,immu=%b)" t.reduction
-      t.elim_restores t.elim_mem t.inter_tb t.sched_dbu t.sched_irq t.inline_mmu
+    Printf.sprintf "custom(red=%b,elim=%b/%b/%b,sched=%b/%b,immu=%b,reg=%b)"
+      t.reduction t.elim_restores t.elim_mem t.inter_tb t.sched_dbu t.sched_irq
+      t.inline_mmu t.regions
 
 let levels =
   [

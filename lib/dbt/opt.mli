@@ -26,6 +26,12 @@ type t = {
           rule-based engine an inline TLB fast path instead of a
           per-access context switch into QEMU. Not part of any paper
           configuration. *)
+  regions : bool;
+      (** Extension: hot-region superblocks — fuse hot chained TB
+          traces into one body and re-run the III-B/C/D coordination
+          pipeline across the merged region, eliminating boundary
+          Sync pairs and per-block interrupt checks region-wide. Not
+          part of any paper configuration. *)
 }
 
 val base : t
@@ -40,6 +46,10 @@ val with_elimination : t
 
 val full : t
 (** Fig. 16 "+Scheduling" = all optimizations (the 1.36x point). *)
+
+val with_regions : t
+(** [full] plus {!field-regions} — hot-region superblock fusion on top
+    of every paper optimization. *)
 
 val future : t
 (** [full] plus {!field-inline_mmu} — the address-translation

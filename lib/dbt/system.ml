@@ -27,7 +27,10 @@ let mode_of_name s =
     let n = String.sub s 6 (String.length s - 6) in
     match List.find_opt (fun (_, o) -> Opt.name o = n) Opt.levels with
     | Some (_, o) -> Some (Rules o)
-    | None -> if Opt.name Opt.future = n then Some (Rules Opt.future) else None
+    | None ->
+      if Opt.name Opt.future = n then Some (Rules Opt.future)
+      else if Opt.name Opt.with_regions = n then Some (Rules Opt.with_regions)
+      else None
   end
   else None
 
@@ -113,23 +116,57 @@ let conv_of_int = function
   | 4 -> Some Flagconv.Canonical
   | n -> raise (Snapshot.Corrupt (Printf.sprintf "cache: bad flag convention %d" n))
 
-(* One record per live TB, in translation (id) order, followed by the
-   chain graph as record-index triples. The host code itself is not
+(* One record per live plain TB, in translation (id) order; then the
+   plain chain graph; then one recipe per installed superblock (its
+   constituents as record indices); then the region chain graph. Link
+   targets live in a combined index space: plain records are 0..n-1,
+   regions n, n+1, ... in recipe order. The host code itself is not
    serialized: every translator input it depends on — guest memory,
    the SMC length override, the injected corruption, the accumulated
-   link-time meta — is recorded, so restore re-translates to
-   bit-identical programs (live TBs always postdate the last
-   quarantine/blacklist change because every health change flushes the
-   cache). *)
+   link-time meta, the constituent traces — is recorded, so restore
+   re-translates (and re-fuses) to bit-identical programs (live TBs
+   always postdate the last quarantine/blacklist change because every
+   health change flushes the cache). *)
 let encode_cache t =
   let tbs =
     Tb.Cache.to_list t.cache
     |> List.sort (fun (a : Tb.t) (b : Tb.t) -> compare a.Tb.id b.Tb.id)
     |> Array.of_list
   in
+  let regions =
+    Tb.Cache.regions_list t.cache
+    |> List.sort (fun (a : Tb.t) (b : Tb.t) -> compare a.Tb.id b.Tb.id)
+    |> Array.of_list
+  in
   let index_of_id = Hashtbl.create 64 in
   Array.iteri (fun i (tb : Tb.t) -> Hashtbl.replace index_of_id tb.Tb.id i) tbs;
+  Array.iteri
+    (fun i (tb : Tb.t) ->
+      Hashtbl.replace index_of_id tb.Tb.id (Array.length tbs + i))
+    regions;
   let b = Snapshot.Enc.create () in
+  let enc_meta (tb : Tb.t) =
+    match t.rule_translator with
+    | None -> Snapshot.Enc.bool b false
+    | Some tr -> (
+      match Translator_rule.cache_meta tr tb with
+      | None -> Snapshot.Enc.bool b false
+      | Some (elide, conv) ->
+        Snapshot.Enc.bool b true;
+        Snapshot.Enc.int b (Array.length elide);
+        Array.iter (Snapshot.Enc.bool b) elide;
+        Snapshot.Enc.int b (int_of_conv conv))
+  in
+  let enc_links (tb : Tb.t) =
+    Snapshot.Enc.int b (Array.length tb.Tb.links);
+    Array.iter
+      (fun succ ->
+        Snapshot.Enc.int b
+          (match succ with
+          | None -> -1
+          | Some (s : Tb.t) -> Hashtbl.find index_of_id s.Tb.id))
+      tb.Tb.links
+  in
   Snapshot.Enc.int b (Array.length tbs);
   Array.iter
     (fun (tb : Tb.t) ->
@@ -140,28 +177,30 @@ let encode_cache t =
       Snapshot.Enc.int b
         (match tb.Tb.translated_override with None -> -1 | Some n -> n);
       Snapshot.Enc.int b (int_of_injected tb.Tb.injected);
-      (match t.rule_translator with
-      | None -> Snapshot.Enc.bool b false
-      | Some tr -> (
-        match Translator_rule.cache_meta tr tb with
-        | None -> Snapshot.Enc.bool b false
-        | Some (elide, conv) ->
-          Snapshot.Enc.bool b true;
-          Snapshot.Enc.int b (Array.length elide);
-          Array.iter (Snapshot.Enc.bool b) elide;
-          Snapshot.Enc.int b (int_of_conv conv))))
+      Snapshot.Enc.int b tb.Tb.hot;
+      enc_meta tb)
     tbs;
+  Array.iter enc_links tbs;
+  Snapshot.Enc.int b (Array.length regions);
   Array.iter
     (fun (tb : Tb.t) ->
-      Snapshot.Enc.int b (Array.length tb.Tb.links);
+      Snapshot.Enc.int b tb.Tb.id;
+      Snapshot.Enc.int b tb.Tb.hot;
+      Snapshot.Enc.int b (Array.length tb.Tb.region_ids);
       Array.iter
-        (fun succ ->
-          Snapshot.Enc.int b
-            (match succ with
-            | None -> -1
-            | Some (s : Tb.t) -> Hashtbl.find index_of_id s.Tb.id))
-        tb.Tb.links)
-    tbs;
+        (fun cid ->
+          match Hashtbl.find_opt index_of_id cid with
+          | Some i when i < Array.length tbs -> Snapshot.Enc.int b i
+          | _ ->
+            raise
+              (Snapshot.Corrupt
+                 (Printf.sprintf
+                    "cache: region %d references a dead constituent %d" tb.Tb.id
+                    cid)))
+        tb.Tb.region_ids;
+      enc_meta tb)
+    regions;
+  Array.iter enc_links regions;
   Snapshot.Enc.contents b
 
 type tb_record = {
@@ -171,11 +210,33 @@ type tb_record = {
   r_mmu : bool;
   r_override : int option;
   r_injected : [ `None | `Rule_corrupt | `Livelock ];
+  r_hot : int;
   r_meta : (bool array * Flagconv.t option) option;
+}
+
+type region_record = {
+  rg_id : int;
+  rg_hot : int;
+  rg_members : int array;  (* plain record indices, trace order *)
+  rg_meta : (bool array * Flagconv.t option) option;
 }
 
 let decode_cache payload =
   let d = Snapshot.Dec.of_string ~name:"cache" payload in
+  let dec_meta () =
+    if Snapshot.Dec.bool d then begin
+      let len = Snapshot.Dec.int d in
+      let elide = Array.init len (fun _ -> Snapshot.Dec.bool d) in
+      let conv = conv_of_int (Snapshot.Dec.int d) in
+      Some (elide, conv)
+    end
+    else None
+  in
+  let dec_links n =
+    Array.init n (fun _ ->
+        let slots = Snapshot.Dec.int d in
+        Array.init slots (fun _ -> Snapshot.Dec.int d))
+  in
   let n = Snapshot.Dec.int d in
   if n < 0 then raise (Snapshot.Corrupt "cache: negative record count");
   let records =
@@ -187,25 +248,34 @@ let decode_cache payload =
         let ov = Snapshot.Dec.int d in
         let r_override = if ov < 0 then None else Some ov in
         let r_injected = injected_of_int (Snapshot.Dec.int d) in
-        let r_meta =
-          if Snapshot.Dec.bool d then begin
-            let len = Snapshot.Dec.int d in
-            let elide = Array.init len (fun _ -> Snapshot.Dec.bool d) in
-            let conv = conv_of_int (Snapshot.Dec.int d) in
-            Some (elide, conv)
-          end
-          else None
+        let r_hot = Snapshot.Dec.int d in
+        let r_meta = dec_meta () in
+        { r_id; r_pc; r_priv; r_mmu; r_override; r_injected; r_hot; r_meta })
+  in
+  let links = dec_links n in
+  let m = Snapshot.Dec.int d in
+  if m < 0 then raise (Snapshot.Corrupt "cache: negative region count");
+  let regions =
+    Array.init m (fun _ ->
+        let rg_id = Snapshot.Dec.int d in
+        let rg_hot = Snapshot.Dec.int d in
+        let members = Snapshot.Dec.int d in
+        if members < 2 then
+          raise (Snapshot.Corrupt "cache: region with fewer than two chunks");
+        let rg_members =
+          Array.init members (fun _ ->
+              let i = Snapshot.Dec.int d in
+              if i < 0 || i >= n then
+                raise (Snapshot.Corrupt "cache: region member out of range");
+              i)
         in
-        { r_id; r_pc; r_priv; r_mmu; r_override; r_injected; r_meta })
+        let rg_meta = dec_meta () in
+        { rg_id; rg_hot; rg_members; rg_meta })
   in
-  let links =
-    Array.init n (fun _ ->
-        let slots = Snapshot.Dec.int d in
-        Array.init slots (fun _ -> Snapshot.Dec.int d))
-  in
+  let region_links = dec_links m in
   if not (Snapshot.Dec.finished d) then
     raise (Snapshot.Corrupt "cache: trailing bytes");
-  (records, links)
+  (records, links, regions, region_links)
 
 let encode_translator tr rs =
   let saved = Translator_rule.save_state tr in
@@ -314,10 +384,11 @@ let snapshot t =
 
 (* Re-translate the captured live set in id order under each record's
    recorded context (privilege, MMU, SMC length override, injected
-   corruption), then re-apply the captured link-time meta and chain
-   graph. The mirror CPU is temporarily forced to each record's
+   corruption), re-fuse the captured superblocks from their recorded
+   constituent traces, then re-apply the captured link-time meta and
+   chain graph. The mirror CPU is temporarily forced to each record's
    translation regime and put back afterwards. *)
-let rebuild_cache t records links =
+let rebuild_cache t records links regions region_links =
   let rt = t.rt in
   (* The rebuild re-runs every captured translation; letting those
      re-translations record static provenance again would double-count
@@ -353,6 +424,7 @@ let rebuild_cache t records links =
         Tb.Cache.set_ids t.cache (r.r_id - 1);
         match translate rt t.cache ~pc:r.r_pc with
         | Ok tb ->
+          tb.Tb.hot <- r.r_hot;
           Tb.Cache.add_exact t.cache tb;
           Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb tb.Tb.guest_pc;
           Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb
@@ -378,17 +450,51 @@ let rebuild_cache t records links =
         | None -> ())
       records
   | None -> ());
-  Array.iteri
-    (fun i slots ->
-      Array.iteri
-        (fun slot succ ->
-          if succ >= 0 then begin
-            if succ >= Array.length tbs then
-              raise (Snapshot.Corrupt "cache: link to a nonexistent record");
-            tbs.(i).Tb.links.(slot) <- Some tbs.(succ)
-          end)
-        slots)
-    links
+  (* Superblocks re-fuse from their recorded constituent traces after
+     the constituents carry their captured meta — the fused emission
+     reads only the constituents' scheduled bodies, so the rebuilt
+     region prog (after its own meta is re-applied) is bit-identical
+     to the captured one. *)
+  let region_tbs =
+    Array.map
+      (fun rg ->
+        match t.rule_translator with
+        | None ->
+          raise (Snapshot.Corrupt "cache: region records in a qemu-mode snapshot")
+        | Some tr -> (
+          Tb.Cache.set_ids t.cache (rg.rg_id - 1);
+          let trace = Array.to_list (Array.map (fun i -> tbs.(i)) rg.rg_members) in
+          match Translator_rule.fuse_trace tr rt t.cache ~trace with
+          | Some region ->
+            region.Tb.hot <- rg.rg_hot;
+            (match rg.rg_meta with
+            | Some (elide, entry_conv) ->
+              Translator_rule.restore_cache_meta tr region ~elide ~entry_conv
+            | None -> ());
+            region
+          | None ->
+            raise
+              (Snapshot.Corrupt
+                 (Printf.sprintf "cache rebuild: region %d is no longer fusable"
+                    rg.rg_id))))
+      regions
+  in
+  let all = Array.append tbs region_tbs in
+  let apply_links owner link_table =
+    Array.iteri
+      (fun i slots ->
+        Array.iteri
+          (fun slot succ ->
+            if succ >= 0 then begin
+              if succ >= Array.length all then
+                raise (Snapshot.Corrupt "cache: link to a nonexistent record");
+              owner.(i).Tb.links.(slot) <- Some all.(succ)
+            end)
+          slots)
+      link_table
+  in
+  apply_links tbs links;
+  apply_links region_tbs region_links
 
 let restore ?(rebuild = true) t snap =
   (match t.rt.Runtime.trace with
@@ -421,8 +527,10 @@ let restore ?(rebuild = true) t snap =
     | _ -> raise (Snapshot.Corrupt "translator section in a qemu-mode snapshot")
   in
   if rebuild then begin
-    let records, links = decode_cache (Snapshot.find snap "cache") in
-    rebuild_cache t records links
+    let records, links, regions, region_links =
+      decode_cache (Snapshot.find snap "cache")
+    in
+    rebuild_cache t records links regions region_links
   end
   else Tb.Cache.flush t.cache;
   (* Counters go in verbatim last: the rebuild itself translates (and
@@ -597,19 +705,29 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
   end;
   let engine rung resume =
     let remaining = max_guest_insns - (stats.Stats.guest_insns - start) in
-    let common translate ?link_hook ?on_enter ?on_executed () =
+    let common translate ?link_hook ?on_enter ?on_executed ?on_hot () =
       Engine.run t.rt t.cache ~translate ?link_hook ?on_enter ?on_executed
         ?chaining ?profile ~max_guest_insns:remaining ~checkpoint_every
         ?on_checkpoint:(if checkpointing then Some engine_cp else None)
-        ?resume ~on_irq ()
+        ?resume ~on_irq ?on_hot ()
     in
     match rung with
     | Rung_rules ->
       let tr =
         match t.rule_translator with Some tr -> tr | None -> assert false
       in
+      (* Superblock fusion only under the full rules engine with the
+         [regions] flag: degraded watchdog rungs replay conservatively,
+         and the formation guard in [form_region] re-checks the flag. *)
+      let on_hot =
+        match t.mode with
+        | Rules o when o.Opt.regions ->
+          Some (fun tb -> Translator_rule.form_region tr t.rt t.cache tb)
+        | _ -> None
+      in
       common
         (fun rt cache ~pc -> Translator_rule.translate tr rt cache ~pc)
+        ?on_hot
         ~link_hook:(fun ~pred ~slot ~succ ->
           Translator_rule.link_hook tr ~pred ~slot ~succ)
         ~on_enter:(fun tb -> Translator_rule.on_enter tr t.rt tb)

@@ -34,6 +34,11 @@ type meta = {
          register def-mask of its matched instructions *)
   shadowable : bool;  (* replayable on the reference interpreter *)
   hoists : int;  (* III-D.1 hoists the scheduler applied to [insns] *)
+  chunks : (Word32.t * A.t array * int array * int) array;
+      (* Non-empty iff this meta describes a fused superblock: per
+         constituent chunk, its head guest PC, scheduled instructions,
+         origin indices and hoist count — everything [Emitter.emit_region]
+         needs to re-emit the region in place. *)
 }
 
 (* The reference-replay result shadow verification compares against:
@@ -495,6 +500,8 @@ let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
       translated_override = rt.Runtime.tb_override;
       injected = `None;
       prov = r.Emitter.prov;
+      hot = 0;
+      region_ids = [||];
     }
   in
   (match t.ledger with
@@ -558,6 +565,7 @@ let translate t (rt : Runtime.t) cache ~pc =
               rules_used = [];
               shadowable = Array.for_all shadowable_insn (Array.map fst tagged);
               hoists = !hoists;
+              chunks = [||];
             }
           in
           try
@@ -572,12 +580,19 @@ let translate t (rt : Runtime.t) cache ~pc =
       attempt None
 
 (* Re-emit a TB in place after its meta changed (elision / entry
-   assumption). The engine holds the tb record; only [prog] changes. *)
+   assumption). The engine holds the tb record; only [prog] changes.
+   Regions re-emit through the region emitter from their recorded
+   chunk recipe — they are first-class citizens of the inter-TB
+   optimization, on both sides of a chained edge. *)
 let re_emit t (tb : Tb.t) m =
   let r =
-    Emitter.emit ~opt:t.opt ~ruleset:t.ruleset ~privileged:tb.Tb.privileged
-      ~tb_pc:tb.Tb.guest_pc ~insns:m.insns ~origins:m.origins ~elide_flag_save:m.elide
-      ?entry_conv:m.entry_conv ~sched_hoists:m.hoists ()
+    if m.chunks <> [||] then
+      Emitter.emit_region ~opt:t.opt ~ruleset:t.ruleset ~privileged:tb.Tb.privileged
+        ~chunks:m.chunks ~elide_flag_save:m.elide ?entry_conv:m.entry_conv ()
+    else
+      Emitter.emit ~opt:t.opt ~ruleset:t.ruleset ~privileged:tb.Tb.privileged
+        ~tb_pc:tb.Tb.guest_pc ~insns:m.insns ~origins:m.origins ~elide_flag_save:m.elide
+        ?entry_conv:m.entry_conv ~sched_hoists:m.hoists ()
   in
   m.exit_states <- r.Emitter.exit_states;
   m.rules_used <- r.Emitter.rules_used;
@@ -591,6 +606,205 @@ let re_emit t (tb : Tb.t) m =
   tb.Tb.prov <- r.Emitter.prov;
   (* a fresh emission discards any injected code corruption *)
   tb.Tb.injected <- `None
+
+(* ---------- hot-region superblocks ----------
+
+   When the engine reports a TB hot, walk its hottest chain of direct
+   successors (loop-closed or length-capped), fuse the trace through
+   {!Emitter.emit_region} and install the superblock over the head PC.
+   The constituents stay in the plain table: cold entries mid-trace
+   (the region's interior is not addressable) still dispatch them, and
+   an SMC flush simply drops both views. *)
+
+let max_region_chunks = 8
+
+(* Fuse an already-selected constituent trace and install the result.
+   Shared between live formation and snapshot rebuild (which replays a
+   recorded constituent list); returns [None] when the emitter rejects
+   the trace. *)
+let fuse_trace t (rt : Runtime.t) cache ~(trace : Tb.t list) =
+  let head = List.hd trace in
+  let chunk_of (tb : Tb.t) =
+    let m = Hashtbl.find t.metas tb.Tb.id in
+    (tb.Tb.guest_pc, m.insns, m.origins, m.hoists)
+  in
+  match
+    let chunks = Array.of_list (List.map chunk_of trace) in
+    let elide = Array.make Tb.region_exit_slots false in
+    let r =
+      Emitter.emit_region ~opt:t.opt ~ruleset:t.ruleset
+        ~privileged:head.Tb.privileged ~chunks ~elide_flag_save:elide ()
+    in
+    (chunks, elide, r)
+  with
+  | exception Tb.Tb_too_complex -> None
+  | exception Not_found -> None (* a constituent without meta: unfusable *)
+  | chunks, elide, r ->
+    let region =
+      {
+        Tb.id = Tb.Cache.next_id cache;
+        guest_pc = head.Tb.guest_pc;
+        privileged = head.Tb.privileged;
+        mmu_on = head.Tb.mmu_on;
+        prog = r.Emitter.prog;
+        exits = r.Emitter.exits;
+        links = Array.make Tb.region_exit_slots None;
+        guest_insns =
+          Array.concat (List.map (fun (tb : Tb.t) -> tb.Tb.guest_insns) trace);
+        guest_len = List.fold_left (fun a (tb : Tb.t) -> a + tb.Tb.guest_len) 0 trace;
+        fault_producers =
+          Array.concat (List.map (fun (tb : Tb.t) -> tb.Tb.fault_producers) trace);
+        translated_override = None;
+        injected = `None;
+        prov = r.Emitter.prov;
+        hot = 0;
+        region_ids = Array.of_list (List.map (fun (tb : Tb.t) -> tb.Tb.id) trace);
+      }
+    in
+    let m =
+      {
+        insns = [||];
+        origins = [||];
+        elide;
+        entry_conv = None;
+        exit_states = r.Emitter.exit_states;
+        first_flag_is_def = r.Emitter.first_flag_is_def;
+        rules_used = r.Emitter.rules_used;
+        (* shadow verification replays straight-line blocks on the
+           reference interpreter; a multi-path region is not one *)
+        shadowable = false;
+        hoists = 0;
+        chunks;
+      }
+    in
+    Hashtbl.replace t.metas region.Tb.id m;
+    let pages =
+      List.concat_map
+        (fun (tb : Tb.t) ->
+          let first = tb.Tb.guest_pc lsr 12 in
+          let last = (tb.Tb.guest_pc + (4 * tb.Tb.guest_len) - 1) lsr 12 in
+          if first = last then [ first ] else [ first; last ])
+        trace
+      |> List.sort_uniq compare
+    in
+    Tb.Cache.add_region cache region ~pages;
+    (* Stale chained jumps into the head would keep bypassing the
+       region; force the next transfer there through dispatch. *)
+    Tb.Cache.unlink_target cache head;
+    (match t.ledger with
+    | Some l -> Ledger.record_static l r.Emitter.prov
+    | None -> ());
+    let stats = Runtime.stats rt in
+    Stats.charge_tag stats X.Tag_glue
+      (Costs.region_form_per_guest_insn () * region.Tb.guest_len);
+    stats.Stats.regions_formed <- stats.Stats.regions_formed + 1;
+    Some region
+
+(* The engine's [on_hot] hook: select the trace, then fuse. *)
+let form_region t (rt : Runtime.t) cache (head : Tb.t) =
+  let fusable_head =
+    t.opt.Opt.regions
+    && (not (Tb.is_region head))
+    && head.Tb.injected = `None
+    && (not (Hashtbl.mem t.blacklist head.Tb.guest_pc))
+    && (not (Tb.Cache.near_capacity cache))
+    && Hashtbl.mem t.metas head.Tb.id
+  in
+  if not fusable_head then None
+  else begin
+    (* An interior chunk must end in a plain B (both directions
+       seamable) or fall through (no ender at all). *)
+    let can_interior (tb : Tb.t) =
+      match Hashtbl.find_opt t.metas tb.Tb.id with
+      | None -> false
+      | Some m ->
+        let n = Array.length m.insns in
+        n > 0
+        &&
+        (match m.insns.(n - 1).A.op with
+        | A.B _ -> true
+        | _ -> not (Array.exists is_ender m.insns))
+    in
+    (* Hottest linked direct successor; first slot wins ties so the
+       choice is deterministic under snapshot replay. *)
+    let pick_succ (tb : Tb.t) =
+      let best = ref None in
+      Array.iteri
+        (fun i l ->
+          match (tb.Tb.exits.(i), l) with
+          | Tb.Direct _, Some (s : Tb.t) -> (
+            match !best with
+            | Some (b : Tb.t) when b.Tb.hot >= s.Tb.hot -> ()
+            | _ -> best := Some s)
+          | _ -> ())
+        tb.Tb.links;
+      !best
+    in
+    let seen = Hashtbl.create 8 in
+    Hashtbl.replace seen head.Tb.id ();
+    let rev_trace = ref [ head ] in
+    let count = ref 1 in
+    let cur = ref head in
+    let stop = ref false in
+    while not !stop do
+      if !count >= max_region_chunks then stop := true
+      else if not (can_interior !cur) then stop := true
+      else
+        match pick_succ !cur with
+        | None -> stop := true
+        | Some s ->
+          if
+            s.Tb.guest_pc = head.Tb.guest_pc (* loop closed *)
+            || Tb.is_region s
+            || s.Tb.injected <> `None
+            || s.Tb.privileged <> head.Tb.privileged
+            || s.Tb.mmu_on <> head.Tb.mmu_on
+            || Hashtbl.mem seen s.Tb.id
+            || Hashtbl.mem t.blacklist s.Tb.guest_pc
+            || not (Hashtbl.mem t.metas s.Tb.id)
+          then stop := true
+          else begin
+            Hashtbl.replace seen s.Tb.id ();
+            rev_trace := s :: !rev_trace;
+            incr count;
+            cur := s
+          end
+    done;
+    if !count < 2 then None
+    else begin
+      (* An entry assumption binds the head to its eliding chained
+         predecessors, and the region is reached through dispatch —
+         where the assumption would read stale env flags. Dissolve the
+         contract first: every predecessor edge into the head saves its
+         flags again, and the head stops assuming. *)
+      (match Hashtbl.find_opt t.metas head.Tb.id with
+      | Some hm when hm.entry_conv <> None ->
+        List.iter
+          (fun (p : Tb.t) ->
+            match Hashtbl.find_opt t.metas p.Tb.id with
+            | None -> ()
+            | Some pm ->
+              let changed = ref false in
+              Array.iteri
+                (fun slot el ->
+                  if el && slot < Array.length p.Tb.exits then
+                    match p.Tb.exits.(slot) with
+                    | Tb.Direct pc
+                      when pc = head.Tb.guest_pc
+                           && p.Tb.privileged = head.Tb.privileged
+                           && p.Tb.mmu_on = head.Tb.mmu_on ->
+                      pm.elide.(slot) <- false;
+                      changed := true
+                    | _ -> ())
+                pm.elide;
+              if !changed then re_emit t p pm)
+          (Tb.Cache.to_list cache @ Tb.Cache.regions_list cache);
+        hm.entry_conv <- None;
+        re_emit t head hm
+      | _ -> ());
+      fuse_trace t rt cache ~trace:(List.rev !rev_trace)
+    end
+  end
 
 (* ---------- III-C-3: inter-TB elimination at chain time ---------- *)
 

@@ -47,6 +47,23 @@ val translate :
     baseline's single-instruction interpreter TB; blacklisted
     addresses translate through {!Repro_tcg.Translator_qemu}. *)
 
+val form_region :
+  t -> Repro_tcg.Runtime.t -> Repro_tcg.Tb.Cache.t -> Repro_tcg.Tb.t ->
+  Repro_tcg.Tb.t option
+(** The engine's [on_hot] hook: walk the hot TB's hottest chain of
+    direct successors (stopping at loop closure, a regime change, an
+    unfusable block or the length cap), fuse the trace into one
+    superblock via {!Emitter.emit_region}, install it over the head PC
+    and unlink stale chained jumps into the head. [None] when no
+    fusable trace of at least two chunks exists — the TB simply keeps
+    running unfused. *)
+
+val fuse_trace :
+  t -> Repro_tcg.Runtime.t -> Repro_tcg.Tb.Cache.t ->
+  trace:Repro_tcg.Tb.t list -> Repro_tcg.Tb.t option
+(** Fuse an already-selected constituent trace (snapshot rebuild
+    replays a recorded one through this). *)
+
 val link_hook :
   t -> pred:Repro_tcg.Tb.t -> slot:int -> succ:Repro_tcg.Tb.t -> unit
 

@@ -28,11 +28,12 @@ type pass =
   | Inter_tb        (* III-C.3 inter-TB save elision *)
   | Sched_dbu       (* III-D.1 flag-sync scheduling *)
   | Sched_irq       (* III-D.2 interrupt-check scheduling *)
+  | Region          (* hot-region superblock fusion *)
 
 let passes =
-  [ Reduction; Elim_restores; Elim_mem; Inter_tb; Sched_dbu; Sched_irq ]
+  [ Reduction; Elim_restores; Elim_mem; Inter_tb; Sched_dbu; Sched_irq; Region ]
 
-let n_passes = 6
+let n_passes = 7
 
 let pass_index = function
   | Reduction -> 0
@@ -41,6 +42,7 @@ let pass_index = function
   | Inter_tb -> 3
   | Sched_dbu -> 4
   | Sched_irq -> 5
+  | Region -> 6
 
 let pass_id = function
   | Reduction -> "III-B"
@@ -49,6 +51,7 @@ let pass_id = function
   | Inter_tb -> "III-C.3"
   | Sched_dbu -> "III-D.1"
   | Sched_irq -> "III-D.2"
+  | Region -> "region"
 
 let pass_name = function
   | Reduction -> "flag-use reduction"
@@ -57,6 +60,7 @@ let pass_name = function
   | Inter_tb -> "inter-TB save elision"
   | Sched_dbu -> "flag-sync scheduling"
   | Sched_irq -> "interrupt-check scheduling"
+  | Region -> "hot-region superblock fusion"
 
 (* ---------- provenance vectors ---------- *)
 

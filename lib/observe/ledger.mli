@@ -19,6 +19,9 @@ type pass =
   | Inter_tb        (** III-C.3: inter-TB save elision *)
   | Sched_dbu       (** III-D.1: flag-sync scheduling *)
   | Sched_irq       (** III-D.2: interrupt-check scheduling *)
+  | Region          (** hot-region superblock fusion: boundary Sync
+                        pairs and per-block interrupt checks removed
+                        by fusing a hot chained trace into one body *)
 
 val passes : pass list
 val n_passes : int

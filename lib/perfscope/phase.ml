@@ -3,10 +3,10 @@
    totals partition [Stats.host_insns] (the exactness invariant the
    perfscope tests assert). *)
 
-type t = Translate | Execute | Coordinate | Softmmu | Helper | Deliver
+type t = Translate | Execute | Coordinate | Softmmu | Helper | Deliver | Region
 
-let all = [ Translate; Execute; Coordinate; Softmmu; Helper; Deliver ]
-let n = 6
+let all = [ Translate; Execute; Coordinate; Softmmu; Helper; Deliver; Region ]
+let n = 7
 
 let index = function
   | Translate -> 0
@@ -15,6 +15,7 @@ let index = function
   | Softmmu -> 3
   | Helper -> 4
   | Deliver -> 5
+  | Region -> 6
 
 let name = function
   | Translate -> "translate"
@@ -23,6 +24,7 @@ let name = function
   | Softmmu -> "softmmu"
   | Helper -> "helper"
   | Deliver -> "deliver"
+  | Region -> "region"
 
 let of_name = function
   | "translate" -> Some Translate
@@ -31,4 +33,5 @@ let of_name = function
   | "softmmu" -> Some Softmmu
   | "helper" -> Some Helper
   | "deliver" -> Some Deliver
+  | "region" -> Some Region
   | _ -> None

@@ -14,12 +14,14 @@
       verification replays
     - [Deliver] — interrupt delivery (bank switch, vectoring, and
       III-B's lazy flag parse)
+    - [Region] — hot-region superblock formation (trace selection and
+      the fused re-emission of the constituent TBs)
 
     The per-phase totals therefore partition
     {!Repro_x86.Stats.t.host_insns} over any engine run without
     watchdog rollbacks. *)
 
-type t = Translate | Execute | Coordinate | Softmmu | Helper | Deliver
+type t = Translate | Execute | Coordinate | Softmmu | Helper | Deliver | Region
 
 val all : t list
 (** In canonical (index) order. *)

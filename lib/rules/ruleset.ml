@@ -26,7 +26,12 @@ let key_of_insn (i : A.t) =
 
 type t = {
   table : (key, Rule.t list ref) Hashtbl.t;
+  active : (key, Rule.t list) Hashtbl.t;
+      (* [table] minus quarantined rules, same longest-first order —
+         what [match_at] scans, so the hot lookup loop pays no
+         per-rule quarantine Hashtbl probe *)
   mutable all : Rule.t list;
+  mutable count : int;  (* O(1) [size]; [all] is kept for [rules] *)
   strikes : (int, int) Hashtbl.t;  (* rule id → divergence strikes *)
   quarantined : (int, unit) Hashtbl.t;
 }
@@ -34,13 +39,28 @@ type t = {
 let create () =
   {
     table = Hashtbl.create 64;
+    active = Hashtbl.create 64;
     all = [];
+    count = 0;
     strikes = Hashtbl.create 8;
     quarantined = Hashtbl.create 8;
   }
 
+let is_quarantined t (rule : Rule.t) = Hashtbl.mem t.quarantined rule.Rule.id
+let quarantined_count t = Hashtbl.length t.quarantined
+
+let refresh_active_bucket t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> Hashtbl.remove t.active k
+  | Some bucket ->
+    Hashtbl.replace t.active k
+      (List.filter (fun r -> not (is_quarantined t r)) !bucket)
+
+let refresh_active t = Hashtbl.iter (fun k _ -> refresh_active_bucket t k) t.table
+
 let add t rule =
   t.all <- t.all @ [ rule ];
+  t.count <- t.count + 1;
   List.iter
     (fun k ->
       let bucket =
@@ -56,7 +76,8 @@ let add t rule =
         List.stable_sort
           (fun a b ->
             compare (Rule.guest_pattern_length b) (Rule.guest_pattern_length a))
-          (!bucket @ [ rule ]))
+          (!bucket @ [ rule ]);
+      refresh_active_bucket t k)
     (keys_of_rule rule)
 
 let of_list rules =
@@ -64,11 +85,8 @@ let of_list rules =
   List.iter (add t) rules;
   t
 
-let size t = List.length t.all
+let size t = t.count
 let rules t = t.all
-
-let is_quarantined t (rule : Rule.t) = Hashtbl.mem t.quarantined rule.Rule.id
-let quarantined_count t = Hashtbl.length t.quarantined
 
 let strike t (rule : Rule.t) ~threshold =
   if is_quarantined t rule then false
@@ -77,6 +95,7 @@ let strike t (rule : Rule.t) ~threshold =
     Hashtbl.replace t.strikes rule.Rule.id n;
     if n >= threshold then begin
       Hashtbl.replace t.quarantined rule.Rule.id ();
+      List.iter (refresh_active_bucket t) (keys_of_rule rule);
       true
     end
     else false
@@ -101,7 +120,8 @@ let restore_health t ~strikes ~quarantined =
   Hashtbl.reset t.strikes;
   List.iter (fun (id, n) -> Hashtbl.replace t.strikes id n) strikes;
   Hashtbl.reset t.quarantined;
-  List.iter (fun id -> Hashtbl.replace t.quarantined id ()) quarantined
+  List.iter (fun id -> Hashtbl.replace t.quarantined id ()) quarantined;
+  refresh_active t
 
 let match_at t insns =
   match insns with
@@ -110,17 +130,15 @@ let match_at t insns =
     match key_of_insn first with
     | None -> None
     | Some k -> (
-      match Hashtbl.find_opt t.table k with
+      match Hashtbl.find_opt t.active k with
       | None -> None
       | Some bucket ->
         List.find_map
           (fun rule ->
-            if is_quarantined t rule then None
-            else
-              match Rule.match_sequence rule insns with
-              | Some b -> Some (rule, b)
-              | None -> None)
-          !bucket))
+            match Rule.match_sequence rule insns with
+            | Some b -> Some (rule, b)
+            | None -> None)
+          bucket))
 
 let coverage t insns =
   let arr = Array.of_list insns in

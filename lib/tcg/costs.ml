@@ -21,6 +21,7 @@ let io_access () = apply 20
 let irq_deliver () = apply 46
 let exception_entry () = apply 40
 let translation_per_guest_insn () = apply 60
+let region_form_per_guest_insn () = apply 8
 
 (* Every modelled cost with the phase the engine attributes it to, for
    embedding in machine-readable perf output: a profile is only
@@ -37,6 +38,7 @@ let all =
     ("irq_deliver", irq_deliver, "deliver");
     ("exception_entry", exception_entry, "translate");
     ("translation_per_guest_insn", translation_per_guest_insn, "translate");
+    ("region_form_per_guest_insn", region_form_per_guest_insn, "region");
   ]
 
 let to_json () =

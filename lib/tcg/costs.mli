@@ -47,6 +47,10 @@ val exception_entry : unit -> int
 val translation_per_guest_insn : unit -> int
 (** Amortized translation cost charged per translated guest insn. *)
 
+val region_form_per_guest_insn : unit -> int
+(** Amortized cost of fusing a hot chained trace into a superblock,
+    charged per constituent guest insn when the region is installed. *)
+
 val all : (string * (unit -> int) * string) list
 (** Every modelled cost as (name, scaled value, attributed phase name
     per {!Repro_perfscope.Phase}) — the model's self-description. *)

@@ -25,11 +25,17 @@ type resume = {
 
 let tb_fuel = 20_000
 
+(* Executions of a plain TB before the engine offers it to [on_hot]
+   for superblock fusion. Low enough that hot loop heads fuse early in
+   a benchmark window, high enough that one-shot code never does. *)
+let hot_threshold = 32
+
 let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~succ:_ -> ())
     ?(on_enter = fun _ -> ())
     ?(on_executed = fun _ ~outcome:_ ~guest:_ -> `Continue)
     ?(chaining = true) ?profile ?(max_guest_insns = max_int)
-    ?(checkpoint_every = 0) ?on_checkpoint ?resume ?(on_irq = fun _ -> ()) () =
+    ?(checkpoint_every = 0) ?on_checkpoint ?resume ?(on_irq = fun _ -> ())
+    ?on_hot () =
   let stats = Runtime.stats rt in
   let env = Runtime.env rt in
   let start_insns = stats.Stats.guest_insns in
@@ -108,7 +114,7 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
         Scope.charge sc Phase.Softmmu ~page ~privileged d.(2);
         Scope.charge sc Phase.Helper ~page ~privileged d.(4)
       | None -> ());
-      Some [| 0; d.(0); d.(1) + d.(3); d.(2); d.(4); 0 |]
+      Some [| 0; d.(0); d.(1) + d.(3); d.(2); d.(4); 0; 0 |]
     end
   in
   (* Purely observational: emits nothing and costs nothing when the
@@ -117,6 +123,23 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
     match rt.Runtime.trace with
     | Some tr -> Trace.emit tr ?a ?b cat name
     | None -> ()
+  in
+  (* Direct-mapped jump cache in front of the Hashtbl lookup (QEMU's
+     tb_jmp_cache): the dispatch fast path for the overwhelmingly
+     common case of re-dispatching a PC looked up before. Entries are
+     validated against the cache generation (every flush bumps it, so
+     flushed translations can never be returned) and the lookup
+     regime; run-local, so restored runs simply start cold. *)
+  let jc_bits = 10 in
+  let jc_size = 1 lsl jc_bits in
+  let jc_pc = Array.make jc_size (-1) in
+  let jc_tb : Tb.t option array = Array.make jc_size None in
+  let jc_gen = Array.make jc_size (-1) in
+  let jc_index pc = (pc lsr 2) land (jc_size - 1) in
+  let jc_invalidate pc =
+    let i = jc_index pc in
+    jc_pc.(i) <- -1;
+    jc_tb.(i) <- None
   in
   let rec lookup_or_translate pc =
     (* Fault point: a forced whole-cache flush before the lookup —
@@ -129,8 +152,27 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
     | _ -> ());
     let privileged = Runtime.privileged rt in
     let mmu_on = Cpu.mmu_enabled rt.Runtime.cpu in
-    match Tb.Cache.find cache ~pc ~privileged ~mmu_on with
+    let i = jc_index pc in
+    let jc_hit =
+      match jc_tb.(i) with
+      | Some tb
+        when jc_pc.(i) = pc
+             && jc_gen.(i) = Tb.Cache.generation cache
+             && tb.Tb.privileged = privileged && tb.Tb.mmu_on = mmu_on -> Some tb
+      | _ -> None
+    in
+    match jc_hit with
     | Some tb -> tb
+    | None -> lookup_slow pc ~privileged ~mmu_on ~i
+  and lookup_slow pc ~privileged ~mmu_on ~i =
+    let fill tb =
+      jc_pc.(i) <- pc;
+      jc_tb.(i) <- Some tb;
+      jc_gen.(i) <- Tb.Cache.generation cache;
+      tb
+    in
+    match Tb.Cache.find cache ~pc ~privileged ~mmu_on with
+    | Some tb -> fill tb
     | None -> (
       match translate rt cache ~pc with
       | Ok tb ->
@@ -149,7 +191,7 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
         | None -> ());
         drain_to Phase.Translate ~page:(tb.Tb.guest_pc lsr 12)
           ~privileged:tb.Tb.privileged;
-        tb
+        fill tb
       | Error fault ->
         (* Prefetch abort: enter the guest's handler and translate
            there instead. *)
@@ -218,6 +260,30 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
         checkpoint ();
         next_checkpoint := stats.Stats.guest_insns + checkpoint_every
       end;
+      (* Hot-region formation: count executions of plain TBs and, at
+         the threshold, offer the TB to the translator for superblock
+         fusion. On success the freshly-installed region replaces the
+         head for this very dispatch (guest state is at the head PC
+         either way), and the jump-cache entry for the head is dropped
+         so future dispatches can't bypass the region. One attempt per
+         TB: past the threshold the counter never equals it again. *)
+      (match on_hot with
+      | Some form when not (Tb.is_region !current) ->
+        let tb = !current in
+        tb.Tb.hot <- tb.Tb.hot + 1;
+        if tb.Tb.hot = hot_threshold then begin
+          match form tb with
+          | Some region ->
+            trace_emit ~a:tb.Tb.guest_pc ~b:region.Tb.guest_len Trace.Chain
+              "region_form";
+            jc_invalidate tb.Tb.guest_pc;
+            drain_to Phase.Region ~page:(tb.Tb.guest_pc lsr 12)
+              ~privileged:tb.Tb.privileged;
+            current := region;
+            needs_enter := true
+          | None -> ()
+        end
+      | _ -> ());
       let tb = !current in
       if !needs_enter then begin
         on_enter tb;

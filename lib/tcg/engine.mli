@@ -48,6 +48,7 @@ val run :
   ?on_checkpoint:(resume -> unit) ->
   ?resume:resume ->
   ?on_irq:(Word32.t -> unit) ->
+  ?on_hot:(Tb.t -> Tb.t option) ->
   unit ->
   result
 (** Run from the mirror CPU's current state until the guest powers off
@@ -92,3 +93,12 @@ val run :
 
     [on_irq pc] fires on each delivered interrupt with the guest PC
     it preempted (the event journal's IRQ record). *)
+
+val hot_threshold : int
+(** Executions of a plain TB before the engine offers it to [on_hot]
+    (32). [on_hot tb], when given, is called exactly once per TB at
+    that threshold; returning [Some region] dispatches the
+    freshly-installed superblock in the TB's place and drops the head's
+    jump-cache entry. Counters live in {!Tb.t.hot} and are serialized
+    in snapshots, so formation fires at the same retired-instruction
+    point after a restore. *)

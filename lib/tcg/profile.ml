@@ -4,6 +4,7 @@ module Phase = Repro_perfscope.Phase
 type entry = {
   guest_pc : Word32.t;
   privileged : bool;
+  region : bool;
   guest_len : int;
   insns : Repro_arm.Insn.t array;
   mutable execs : int;
@@ -12,12 +13,14 @@ type entry = {
   phases : int array;
 }
 
-type t = { table : (Word32.t * bool, entry) Hashtbl.t }
+type t = { table : (Word32.t * bool * bool, entry) Hashtbl.t }
 
 let create () = { table = Hashtbl.create 256 }
 
 let record t (tb : Tb.t) ~guest ~host ?phases () =
-  let key = (tb.Tb.guest_pc, tb.Tb.privileged) in
+  (* a region shares its head PC with the plain head TB: keep the
+     two profiles apart *)
+  let key = (tb.Tb.guest_pc, tb.Tb.privileged, Tb.is_region tb) in
   let e =
     match Hashtbl.find_opt t.table key with
     | Some e -> e
@@ -26,6 +29,7 @@ let record t (tb : Tb.t) ~guest ~host ?phases () =
         {
           guest_pc = tb.Tb.guest_pc;
           privileged = tb.Tb.privileged;
+          region = Tb.is_region tb;
           guest_len = tb.Tb.guest_len;
           insns = Array.sub tb.Tb.guest_insns 0 tb.Tb.guest_len;
           execs = 0;

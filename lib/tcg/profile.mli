@@ -19,6 +19,8 @@ open Repro_common
 type entry = {
   guest_pc : Word32.t;
   privileged : bool;  (** kernel- vs user-mode translation *)
+  region : bool;      (** a fused superblock (profiled apart from the
+                          plain TB sharing its head PC) *)
   guest_len : int;    (** static guest instructions in the TB *)
   insns : Repro_arm.Insn.t array;  (** the TB's guest code (for dumps) *)
   mutable execs : int;            (** completed executions *)
@@ -40,8 +42,8 @@ val record : t -> Tb.t -> guest:int -> host:int -> ?phases:int array -> unit -> 
     instructions and spent [host] host instructions. [phases], when
     given, is the {!Repro_perfscope.Phase}-indexed split of [host]
     (summing to it) and accumulates elementwise. Entries aggregate
-    over cache flushes: retranslations of the same (pc, privilege)
-    accumulate into one entry. *)
+    over cache flushes: retranslations of the same (pc, privilege,
+    region?) accumulate into one entry. *)
 
 val entries : t -> entry list
 (** All entries, unordered. *)

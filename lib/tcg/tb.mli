@@ -47,6 +47,13 @@ type t = {
           rule emitter; [[||]] for baseline translations. Purely
           observational: never serialized, never affects emitted code
           or modelled cost. *)
+  mutable hot : int;
+      (** Engine-side execution counter driving hot-region formation.
+          Serialized in snapshots so region formation fires at the
+          same retired-instruction point after a restore. *)
+  region_ids : int array;
+      (** Non-empty iff this TB is a fused superblock: the ids of its
+          constituent TBs, in trace order. *)
 }
 
 val exit_slots : int
@@ -54,6 +61,12 @@ val exit_slots : int
 
 val slot_irq : int
 (** The reserved TB-head interrupt-check exit slot (3). *)
+
+val region_exit_slots : int
+(** Maximum exit slots of a fused superblock (12); slot {!slot_irq}
+    stays reserved for the region-head interrupt check. *)
+
+val is_region : t -> bool
 
 module Cache : sig
   type tb := t
@@ -65,6 +78,12 @@ module Cache : sig
       [Invalid_argument] when non-positive. *)
 
   val find : t -> pc:Word32.t -> privileged:bool -> mmu_on:bool -> tb option
+  (** Fused superblocks are consulted first: once a region is
+      installed over a head PC, lookups there dispatch the region. *)
+
+  val find_plain : t -> pc:Word32.t -> privileged:bool -> mmu_on:bool -> tb option
+  (** Like {!find} but never returns a region — the constituent-TB
+      view (snapshot rebuild, region formation). *)
 
   val add : t -> tb -> unit
   (** Insert a TB. When the cache is at capacity this first drops every
@@ -75,8 +94,31 @@ module Cache : sig
   (** Insert without the capacity check — snapshot rebuild only, where
       the inserted set is known to have fit the captured cache. *)
 
+  val add_region : t -> tb -> pages:int list -> unit
+  (** Install a fused superblock (keyed by its head PC, preferred by
+      {!find}). Never capacity-flushes; registers [pages] — every
+      virtual page a constituent chunk touches — so self-modifying
+      stores anywhere in the trace invalidate. The caller clears
+      chain links targeting the head TB (see {!unlink_target}). *)
+
+  val unlink_target : t -> tb -> unit
+  (** Null every chain link (plain TBs and regions) that points at the
+      given TB, forcing the next transfer there through dispatch. *)
+
+  val near_capacity : t -> bool
+  (** Within a few insertions of the capacity flush — region
+      formation is skipped here so installing one never drops the
+      constituents it was formed from. *)
+
   val flush : t -> unit
   val size : t -> int
+
+  val region_count : t -> int
+
+  val generation : t -> int
+  (** Bumped on every flush. Direct-mapped dispatch caches in front of
+      {!find} key entries on it, so a flush invalidates them without a
+      scan. *)
 
   val full_flushes : t -> int
   (** Number of capacity-triggered whole-cache flushes so far. *)
@@ -90,7 +132,10 @@ module Cache : sig
   val set_ids : t -> int -> unit
 
   val to_list : t -> tb list
-  (** All cached TBs, ordered by guest PC (diagnostics). *)
+  (** All cached plain TBs, ordered by guest PC (diagnostics). *)
+
+  val regions_list : t -> tb list
+  (** All installed superblocks, ordered by head guest PC. *)
 
   val is_code_page : t -> int -> bool
   (** Does any cached TB overlap the given virtual page? Guest stores

@@ -78,6 +78,8 @@ let emulate_one_tb (rt : Runtime.t) cache ~pc =
     translated_override = rt.Runtime.tb_override;
     injected = `None;
     prov = [||];
+    hot = 0;
+    region_ids = [||];
   }
 
 let build (rt : Runtime.t) cache ~pc ~insns =
@@ -130,6 +132,8 @@ let build (rt : Runtime.t) cache ~pc ~insns =
     translated_override = rt.Runtime.tb_override;
     injected = `None;
     prov = [||];
+    hot = 0;
+    region_ids = [||];
   }
 
 let translate (rt : Runtime.t) cache ~pc =

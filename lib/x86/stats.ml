@@ -18,6 +18,7 @@ type t = {
   mutable rules_quarantined : int;
   mutable quarantine_fallbacks : int;
   mutable livelocks_recovered : int;
+  mutable regions_formed : int;
 }
 
 let n_tags = List.length Insn.all_tags
@@ -43,6 +44,7 @@ let create () =
     rules_quarantined = 0;
     quarantine_fallbacks = 0;
     livelocks_recovered = 0;
+    regions_formed = 0;
   }
 
 let reset t =
@@ -64,7 +66,8 @@ let reset t =
   t.shadow_divergences <- 0;
   t.rules_quarantined <- 0;
   t.quarantine_fallbacks <- 0;
-  t.livelocks_recovered <- 0
+  t.livelocks_recovered <- 0;
+  t.regions_formed <- 0
 
 let tag_index tag =
   let rec find i = function
@@ -139,6 +142,7 @@ let to_json t =
   field "rules_quarantined" t.rules_quarantined;
   field "quarantine_fallbacks" t.quarantine_fallbacks;
   field "livelocks_recovered" t.livelocks_recovered;
+  field "regions_formed" t.regions_formed;
   Buffer.add_string buf
     (Printf.sprintf ",\"host_per_guest\":%.6f,\"sync_per_guest\":%.6f}"
        (host_per_guest t) (sync_per_guest t));
@@ -154,11 +158,11 @@ let to_array t =
       t.sync_ops; t.mmu_accesses; t.irq_polls; t.tlb_misses; t.engine_returns;
       t.chained_jumps; t.tb_translations; t.irqs_delivered; t.shadow_replays;
       t.shadow_divergences; t.rules_quarantined; t.quarantine_fallbacks;
-      t.livelocks_recovered;
+      t.livelocks_recovered; t.regions_formed;
     |]
     (Array.copy t.by_tag)
 
-let n_scalars = 18
+let n_scalars = 19
 
 let load_array t a =
   if Array.length a <> n_scalars + n_tags then invalid_arg "Stats.load_array: bad length";
@@ -180,4 +184,5 @@ let load_array t a =
   t.rules_quarantined <- a.(15);
   t.quarantine_fallbacks <- a.(16);
   t.livelocks_recovered <- a.(17);
+  t.regions_formed <- a.(18);
   Array.blit a n_scalars t.by_tag 0 n_tags

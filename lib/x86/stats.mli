@@ -36,6 +36,8 @@ type t = {
   mutable livelocks_recovered : int;
       (** host-loop livelocks recovered by the watchdog (checkpoint
           rollback + degraded re-execution) *)
+  mutable regions_formed : int;
+      (** hot-region superblocks fused and installed in the code cache *)
 }
 
 val create : unit -> t

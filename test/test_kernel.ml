@@ -13,7 +13,8 @@ module Stats = Repro_x86.Stats
 let all_modes =
   ("qemu", D.System.Qemu)
   :: List.map (fun (n, o) -> (n, D.System.Rules o))
-       (D.Opt.levels @ [ ("future", D.Opt.future) ])
+       (D.Opt.levels
+       @ [ ("future", D.Opt.future); ("regions", D.Opt.with_regions) ])
 
 let run_image mode image =
   let sys = D.System.create mode in

@@ -148,9 +148,10 @@ let run_with_scope ?(timer = 5_000) mode =
   ignore (D.System.run ~max_guest_insns:2_000_000 sys);
   (scope, D.System.stats sys)
 
-(* Without watchdog rollbacks the six phase totals partition the
-   run's host instructions exactly — nothing uncounted, nothing
-   double-counted. *)
+(* Without watchdog rollbacks the phase totals partition the run's
+   host instructions exactly — nothing uncounted, nothing
+   double-counted. Region time exists exactly in the modes that can
+   fuse superblocks. *)
 let test_phase_partition () =
   List.iter
     (fun mode ->
@@ -158,14 +159,27 @@ let test_phase_partition () =
       Alcotest.(check int)
         (D.System.mode_name mode ^ ": phases partition host_insns")
         st.Stats.host_insns (Scope.total scope);
+      let fuses =
+        match mode with D.System.Rules o -> o.D.Opt.regions | _ -> false
+      in
       List.iter
         (fun ph ->
-          Alcotest.(check bool)
-            (D.System.mode_name mode ^ ": " ^ Phase.name ph ^ " attributed")
-            true
-            (Scope.phase_count scope ph > 0))
+          if ph = Phase.Region && not fuses then
+            Alcotest.(check int)
+              (D.System.mode_name mode ^ ": no region time without fusion")
+              0
+              (Scope.phase_count scope ph)
+          else
+            Alcotest.(check bool)
+              (D.System.mode_name mode ^ ": " ^ Phase.name ph ^ " attributed")
+              true
+              (Scope.phase_count scope ph > 0))
         Phase.all)
-    [ D.System.Qemu; D.System.Rules D.Opt.full ]
+    [
+      D.System.Qemu;
+      D.System.Rules D.Opt.full;
+      D.System.Rules D.Opt.with_regions;
+    ]
 
 let test_scope_histograms () =
   let scope, st = run_with_scope (D.System.Rules D.Opt.full) in

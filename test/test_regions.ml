@@ -1,0 +1,206 @@
+open Repro_arm
+module D = Repro_dbt
+module T = Repro_tcg
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module Stats = Repro_x86.Stats
+module Exec = Repro_x86.Exec
+module Cpu = Repro_arm.Cpu
+module Snapshot = Repro_snapshot.Snapshot
+
+(* Hot-region superblock tests: profile-guided TB fusion must be
+   invisible to the guest (same final state as the unfused engine),
+   must come apart correctly under self-modifying code, and must
+   rebuild bit-identically from a snapshot. *)
+
+let kernel_image ?(target = 30_000) ?(timer = 5_000) ?(bench = "gcc") () =
+  let spec = W.find bench in
+  let iters = max 1 (target / W.insns_per_iteration spec) in
+  let user = W.generate spec ~iterations:iters in
+  K.build ~timer_period:timer ~user_program:user ()
+
+let make_sys mode image =
+  let sys = D.System.create mode in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  sys
+
+let halt_code res =
+  match res.T.Engine.reason with
+  | `Halted c -> c
+  | `Insn_limit -> Alcotest.fail "run hit its instruction limit"
+  | `Livelock pc -> Alcotest.failf "unrecovered livelock at %#x" pc
+
+(* Guest-visible state only: fusion changes modelled host costs, so
+   stats are deliberately excluded here (the determinism test below
+   compares them between two identically-configured runs instead). *)
+let guest_fingerprint sys =
+  let rt = sys.D.System.rt in
+  ( Cpu.save_words rt.T.Runtime.cpu,
+    Digest.to_hex (Digest.bytes rt.T.Runtime.ctx.Exec.ram),
+    D.System.uart_output sys )
+
+(* ---- fusion is guest-invisible and actually pays ------------------- *)
+
+(* Like every cross-engine kernel differential, the contract is the
+   guest-visible result (exit code + UART): a region polls for
+   interrupts once at its head, so IRQ *timing* — preempted PCs,
+   banked IRQ registers, handler stack frames — legitimately differs
+   from the unfused engine, exactly as it does between qemu and rules
+   modes. *)
+let test_region_equivalence () =
+  List.iter
+    (fun bench ->
+      let image = kernel_image ~bench () in
+      let plain = make_sys (D.System.Rules D.Opt.full) image in
+      let plain_code = halt_code (D.System.run ~max_guest_insns:3_000_000 plain) in
+      let fused = make_sys (D.System.Rules D.Opt.with_regions) image in
+      let fused_code = halt_code (D.System.run ~max_guest_insns:3_000_000 fused) in
+      let sp = D.System.stats plain and sf = D.System.stats fused in
+      Alcotest.(check int) (bench ^ ": same exit code") plain_code fused_code;
+      Alcotest.(check string) (bench ^ ": same uart")
+        (D.System.uart_output plain)
+        (D.System.uart_output fused);
+      Alcotest.(check bool) (bench ^ ": superblocks formed") true
+        (sf.Stats.regions_formed > 0);
+      Alcotest.(check int) (bench ^ ": none without the flag") 0
+        sp.Stats.regions_formed;
+      (* the point of the optimization: fewer host instructions and
+         fewer Sync-tagged coordination instructions (the Fig. 17
+         metric) for the same guest work *)
+      Alcotest.(check bool) (bench ^ ": host insns improved") true
+        (sf.Stats.host_insns < sp.Stats.host_insns);
+      Alcotest.(check bool) (bench ^ ": sync insns improved") true
+        (Stats.tag_count sf Repro_x86.Insn.Tag_sync
+        < Stats.tag_count sp Repro_x86.Insn.Tag_sync))
+    [ "gcc"; "mcf" ]
+
+(* Two identically-configured fused runs must agree to the last
+   counter — formation is profile-driven but the profile itself is
+   deterministic. *)
+let test_region_determinism () =
+  let image = kernel_image () in
+  let once () =
+    let sys = make_sys (D.System.Rules D.Opt.with_regions) image in
+    let code = halt_code (D.System.run ~max_guest_insns:3_000_000 sys) in
+    (code, guest_fingerprint sys, Stats.to_array (D.System.stats sys))
+  in
+  let c1, (ra, ma, ua), s1 = once () in
+  let c2, (rb, mb, ub), s2 = once () in
+  Alcotest.(check int) "halt code" c1 c2;
+  Alcotest.(check (array int)) "cpu words" ra rb;
+  Alcotest.(check string) "ram digest" ma mb;
+  Alcotest.(check string) "uart" ua ub;
+  Alcotest.(check (array int)) "stats (incl. regions_formed)" s1 s2
+
+(* ---- self-modifying code splits a region --------------------------- *)
+
+(* A loop runs long past the hot threshold (a superblock forms over
+   it), then patches one of its own instructions and runs on: the
+   store must invalidate the fused code, and the re-translated loop
+   must execute the patched semantics. The reference interpreter
+   defines the correct answer: 100 iterations of +1, 100 of +2. *)
+let test_region_smc_split () =
+  let patched =
+    Repro_arm.Encode.encode
+      (Insn.make
+         (Insn.Dp
+            { op = Insn.ADD; s = false; rd = 4; rn = 4;
+              op2 = Insn.imm_operand_exn 2 }))
+  in
+  let user =
+    let a = Asm.create ~origin:K.user_code_base () in
+    Asm.mov32 a Insn.sp K.user_stack_top;
+    Asm.mov a 5 0;                          (* iteration counter *)
+    Asm.mov a 4 0;                          (* accumulator *)
+    Asm.label a "again";
+    Asm.label a "patch";
+    Asm.add a 4 4 1;                        (* will become add r4, r4, #2 *)
+    Asm.add a 5 5 1;
+    Asm.cmp a 5 100;
+    Asm.branch_to a ~cond:Cond.EQ "do_patch";
+    Asm.cmp a 5 200;
+    Asm.branch_to a ~cond:Cond.NE "again";
+    Asm.mov_r a 0 4;
+    Asm.mov a 7 K.sys_exit;
+    Asm.svc a 0;
+    Asm.label a "do_patch";
+    Asm.mov32_label a 1 "patch";
+    Asm.mov32 a 2 patched;
+    Asm.str a 2 1 0;
+    Asm.branch_to a "again";
+    snd (Asm.assemble a)
+  in
+  let image = K.build ~timer_period:5_000 ~user_program:user () in
+  (* reference answer *)
+  let m = T.Ref_machine.create () in
+  K.load image (fun base words -> T.Ref_machine.load_image m base words);
+  let ref_code =
+    match T.Ref_machine.run m ~max_steps:3_000_000 with
+    | T.Ref_machine.Halted c, _ -> c
+    | _ -> Alcotest.fail "reference did not halt"
+  in
+  Alcotest.(check int) "reference computes 100*1 + 100*2" 300 ref_code;
+  let sys = make_sys (D.System.Rules D.Opt.with_regions) image in
+  let code = halt_code (D.System.run ~max_guest_insns:3_000_000 sys) in
+  let st = D.System.stats sys in
+  Alcotest.(check int) "patched semantics executed under fusion" ref_code code;
+  Alcotest.(check bool) "a superblock had formed over the loop" true
+    (st.Stats.regions_formed > 0)
+
+(* ---- snapshot restore rebuilds regions ----------------------------- *)
+
+(* Interrupt a fused run after superblocks exist, freeze it through the
+   wire format, thaw into a new machine and finish: same final state
+   as the uninterrupted fused run, to the last counter — the rebuilt
+   regions behave identically (and the restored hot counters mean
+   later formations fire at the same points). *)
+let test_region_restore () =
+  let image = kernel_image () in
+  let full = make_sys (D.System.Rules D.Opt.with_regions) image in
+  let full_res = D.System.run ~max_guest_insns:3_000_000 full in
+  let part = make_sys (D.System.Rules D.Opt.with_regions) image in
+  (* past the point where the workload's hot loops have fused (the
+     first superblocks appear just before 20k retired insns) *)
+  let part_res =
+    D.System.run ~max_guest_insns:25_000 ~checkpoint_every:4_000 part
+  in
+  (match part_res.T.Engine.reason with
+  | `Insn_limit -> ()
+  | _ -> Alcotest.fail "interrupted run should hit its budget");
+  Alcotest.(check bool) "snapshot captures live superblocks" true
+    ((D.System.stats part).Stats.regions_formed > 0);
+  let frozen = Snapshot.to_string (D.System.snapshot part) in
+  let snap = Snapshot.of_string frozen in
+  let thawed =
+    D.System.create
+      ~ram_kib:(D.System.snapshot_ram_kib snap)
+      ?inject:(D.System.snapshot_injector snap)
+      (D.System.snapshot_mode snap)
+  in
+  D.System.restore thawed snap;
+  let rest_res = D.System.run ~max_guest_insns:2_975_000 thawed in
+  Alcotest.(check int) "same halt code" (halt_code full_res)
+    (halt_code rest_res);
+  let ra, ma, ua = guest_fingerprint full
+  and rb, mb, ub = guest_fingerprint thawed in
+  Alcotest.(check (array int)) "cpu words" ra rb;
+  Alcotest.(check string) "ram digest" ma mb;
+  Alcotest.(check string) "uart" ua ub;
+  Alcotest.(check (array int)) "stats (incl. regions_formed)"
+    (Stats.to_array (D.System.stats full))
+    (Stats.to_array (D.System.stats thawed))
+
+let suite =
+  [
+    ( "regions",
+      [
+        Alcotest.test_case "fusion is guest-invisible and pays" `Quick
+          test_region_equivalence;
+        Alcotest.test_case "fused runs are deterministic" `Quick
+          test_region_determinism;
+        Alcotest.test_case "self-modifying code splits a region" `Quick
+          test_region_smc_split;
+        Alcotest.test_case "snapshot rebuilds superblocks" `Quick
+          test_region_restore;
+      ] );
+  ]
