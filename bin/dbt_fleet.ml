@@ -1,0 +1,275 @@
+(* Chaos-drill driver: boot one workload to a warm point, snapshot it,
+   then serve requests from a supervised fleet restored from that
+   snapshot while a deterministic fault plan sabotages a chosen subset
+   of the machines.
+
+   Everything in the report except the "volatile" object is a function
+   of (--seed, workload, counts): two same-seed drills must produce
+   byte-identical JSON after `jq 'del(.volatile)'`.
+
+   Exit codes: 0 success, 2 usage error, 5 a surviving machine
+   diverged from the fault-free reference, 6 the whole fleet died. *)
+
+module D = Repro_dbt
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module Fi = Repro_faultinject.Faultinject
+module R = Repro_resilience
+module Obs = Repro_observe
+open Cmdliner
+
+let exit_diverged = 5
+let exit_fleet_dead = 6
+
+let mode_of_string = function
+  | "qemu" -> Ok D.System.Qemu
+  | "base" -> Ok (D.System.Rules D.Opt.base)
+  | "full" -> Ok (D.System.Rules D.Opt.full)
+  | "regions" -> Ok (D.System.Rules D.Opt.with_regions)
+  | s -> Error (Printf.sprintf "unknown mode %s (qemu|base|full|regions)" s)
+
+(* Boot the workload on a pristine machine (injector present but every
+   site at rate 0, so the warm phase is fault-free) and capture the
+   warm snapshot all fleet machines serve from. *)
+let warm_snapshot mode ~bench ~target ~timer ~warm ~shadow_depth
+    ~quarantine_threshold =
+  let spec = W.find bench in
+  let iters = max 1 (target / W.insns_per_iteration spec) in
+  let user = W.generate spec ~iterations:iters in
+  let image = K.build ~timer_period:timer ~user_program:user () in
+  let inject = Fi.create ~seed:1 ~rate:0.0 ~behavior:Fi.Surface () in
+  let sys =
+    D.System.create ~inject ~shadow_depth ~quarantine_threshold mode
+  in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  match
+    (D.System.run ~max_guest_insns:warm ~checkpoint_every:warm sys)
+      .Repro_tcg.Engine.reason
+  with
+  | `Insn_limit -> Ok (D.System.snapshot sys)
+  | `Halted _ ->
+    Error
+      (Printf.sprintf
+         "workload finished within the warm phase (%d insns) — lower --warm \
+          or raise --target"
+         warm)
+  | `Livelock _ | `Deadline -> Error "warm boot failed"
+
+let run_drill machines faulty seed requests bench mode_name target warm timer
+    deadline_opt retry_budget min_healthy checkpoint_every fault_rate
+    tb_flush_rate rule_corrupt_rate shadow_depth quarantine_threshold json_out
+    trace_file =
+  let t0 = Sys.time () in
+  let usage fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt in
+  if machines <= 0 then usage "--machines must be positive";
+  if faulty < 0 || faulty > machines then
+    usage "--faulty must be within [0, --machines]";
+  if min_healthy < 0 || min_healthy > machines then
+    usage "--min-healthy must be within [0, --machines]";
+  if requests < 0 then usage "--requests must be non-negative";
+  if fault_rate < 0. || tb_flush_rate < 0. || rule_corrupt_rate < 0. then
+    usage "fault rates must be non-negative";
+  match mode_of_string mode_name with
+  | Error e -> usage "%s" e
+  | Ok mode -> (
+    (match W.find bench with
+    | _ -> ()
+    | exception Not_found ->
+      usage "unknown benchmark %s (one of: %s)" bench
+        (String.concat ", " (List.map (fun (s : W.spec) -> s.W.name) W.cint2006)));
+    let deadline =
+      match deadline_opt with Some d -> d | None -> 10 * target
+    in
+    let policy =
+      {
+        R.Supervisor.default_policy with
+        R.Supervisor.deadline;
+        retry_budget;
+        checkpoint_every;
+        shadow_depth;
+        quarantine_threshold;
+      }
+    in
+    match
+      warm_snapshot mode ~bench ~target ~timer ~warm ~shadow_depth
+        ~quarantine_threshold
+    with
+    | Error e -> usage "%s" e
+    | Ok base ->
+      let plan =
+        Fi.Plan.make ~seed ~machines ~faulty
+          [
+            (Fi.Bus_read, fault_rate);
+            (Fi.Bus_write, fault_rate);
+            (* forced cache flushes make the engine re-translate hot
+               code mid-request with faults armed — without them the
+               warm snapshot's TB set already covers the workload and
+               rule corruption would never get a chance to fire *)
+            (Fi.Tb_flush, tb_flush_rate);
+            (Fi.Rule_corrupt, rule_corrupt_rate);
+          ]
+      in
+      let trace =
+        match trace_file with Some _ -> Some (Obs.Trace.create ()) | None -> None
+      in
+      let fleet =
+        R.Fleet.create ~plan ?trace
+          ~config:{ R.Fleet.machines; min_healthy; policy }
+          base
+      in
+      R.Fleet.run fleet ~requests;
+      let all_verified = R.Fleet.final_verify fleet in
+      (match (trace_file, trace) with
+      | Some path, Some tr ->
+        let oc = open_out path in
+        Obs.Trace.write_jsonl oc tr;
+        close_out oc
+      | _ -> ());
+      let report =
+        Obs.Jsonx.obj
+          [
+            ("seed", Obs.Jsonx.int seed);
+            ("bench", Obs.Jsonx.str bench);
+            ("mode", Obs.Jsonx.str mode_name);
+            ("requests", Obs.Jsonx.int requests);
+            ("deadline", Obs.Jsonx.int deadline);
+            ("retry_budget", Obs.Jsonx.int retry_budget);
+            ("fleet", R.Fleet.metrics_json fleet);
+            ( "volatile",
+              Obs.Jsonx.obj
+                [ ("wall_s", Obs.Jsonx.float (Sys.time () -. t0)) ] );
+          ]
+      in
+      (match json_out with
+      | None -> print_endline report
+      | Some path ->
+        let oc = open_out path in
+        output_string oc report;
+        output_char oc '\n';
+        close_out oc);
+      Format.printf
+        "fleet drill: %d/%d served, %d timed out, %d shed, %d dead machine(s), \
+         %d restart(s), %d breaker trip(s), availability %.3f@."
+        (R.Fleet.served_ok fleet) (R.Fleet.offered fleet)
+        (R.Fleet.timed_out fleet) (R.Fleet.shed fleet)
+        (machines - R.Fleet.alive_count fleet)
+        (R.Fleet.restarts fleet) (R.Fleet.breaker_trips fleet)
+        (R.Fleet.availability fleet);
+      if not all_verified then begin
+        Format.printf "FAIL: a surviving machine diverged from the reference@.";
+        exit_diverged
+      end
+      else if R.Fleet.alive_count fleet = 0 then begin
+        Format.printf "FAIL: every machine died@.";
+        exit_fleet_dead
+      end
+      else 0)
+
+let machines_arg =
+  let doc = "Fleet size: machines serving from the shared warm snapshot." in
+  Arg.(value & opt int 4 & info [ "machines" ] ~docv:"N" ~doc)
+
+let faulty_arg =
+  let doc =
+    "How many machines the chaos plan sabotages (chosen deterministically \
+     from --seed)."
+  in
+  Arg.(value & opt int 2 & info [ "faulty" ] ~docv:"K" ~doc)
+
+let seed_arg =
+  let doc =
+    "Fleet seed: fixes the faulty subset, every per-machine injector stream \
+     and every backoff jitter draw — the whole drill replays from it."
+  in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let requests_arg =
+  let doc = "Workload requests offered to the fleet." in
+  Arg.(value & opt int 24 & info [ "requests" ] ~docv:"N" ~doc)
+
+let bench_arg =
+  let doc = "Benchmark workload each request runs (see repro-dbt-run)." in
+  Arg.(value & pos 0 string "gcc" & info [] ~docv:"BENCH" ~doc)
+
+let mode_arg =
+  let doc = "Engine mode: qemu, base, full or regions." in
+  Arg.(value & opt string "full" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let target_arg =
+  let doc = "Guest instructions of workload per request (before warm)." in
+  Arg.(value & opt int 120_000 & info [ "n"; "target" ] ~docv:"INSNS" ~doc)
+
+let warm_arg =
+  let doc =
+    "Guest instructions executed fault-free before the warm snapshot is \
+     taken."
+  in
+  Arg.(value & opt int 20_000 & info [ "warm" ] ~docv:"INSNS" ~doc)
+
+let timer_arg =
+  let doc = "Platform timer period in guest instructions." in
+  Arg.(value & opt int 5_000 & info [ "timer" ] ~docv:"PERIOD" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-request deadline in retired guest instructions (default 10 x \
+     --target)."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline" ] ~docv:"INSNS" ~doc)
+
+let retry_arg =
+  let doc = "Restarts allowed per request before the machine is killed." in
+  Arg.(value & opt int 3 & info [ "retry-budget" ] ~docv:"N" ~doc)
+
+let min_healthy_arg =
+  let doc = "Shed requests when fewer machines are serving." in
+  Arg.(value & opt int 1 & info [ "min-healthy" ] ~docv:"N" ~doc)
+
+let checkpoint_arg =
+  let doc = "Periodic-checkpoint interval (restart granularity)." in
+  Arg.(value & opt int 4_000 & info [ "checkpoint-every" ] ~docv:"INSNS" ~doc)
+
+let fault_rate_arg =
+  let doc = "Bus read/write fault rate on the sabotaged machines." in
+  Arg.(value & opt float 0.0002 & info [ "fault-rate" ] ~docv:"RATE" ~doc)
+
+let tb_flush_rate_arg =
+  let doc =
+    "Forced translation-cache-flush rate on the sabotaged machines (flushes \
+     force retranslation under injection, exposing rule corruption)."
+  in
+  Arg.(value & opt float 0.00005 & info [ "tb-flush-rate" ] ~docv:"RATE" ~doc)
+
+let rule_rate_arg =
+  let doc = "Rule-corruption rate on the sabotaged machines." in
+  Arg.(
+    value & opt float 0.002 & info [ "rule-corrupt-rate" ] ~docv:"RATE" ~doc)
+
+let shadow_arg =
+  let doc = "Shadow-verification depth for rule-translated TBs." in
+  Arg.(value & opt int 4 & info [ "shadow" ] ~docv:"N" ~doc)
+
+let quarantine_arg =
+  let doc = "Per-rule strike limit before quarantine." in
+  Arg.(value & opt int 2 & info [ "quarantine-threshold" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc = "Write the drill report (JSON) to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc = "Write the fleet event trace (JSONL) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "serve a workload from a self-healing fleet under chaos" in
+  Cmd.v
+    (Cmd.info "repro-dbt-fleet" ~doc)
+    Term.(
+      const run_drill $ machines_arg $ faulty_arg $ seed_arg $ requests_arg
+      $ bench_arg $ mode_arg $ target_arg $ warm_arg $ timer_arg $ deadline_arg
+      $ retry_arg $ min_healthy_arg $ checkpoint_arg $ fault_rate_arg
+      $ tb_flush_rate_arg $ rule_rate_arg $ shadow_arg $ quarantine_arg
+      $ json_arg $ trace_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -78,6 +78,7 @@ let do_replay ruleset shadow_depth quarantine_threshold path =
     match report.D.System.rep_result.T.Engine.reason with
     | `Halted c -> Printf.sprintf "halted (exit code %#x)" c
     | `Insn_limit -> "instruction limit reached"
+    | `Deadline -> "deadline reached"
     | `Livelock pc -> Printf.sprintf "livelocked at guest pc %#x" pc
   in
   Format.printf "replay outcome: %s@." reason_name;
@@ -241,6 +242,7 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
         (match res.T.Engine.reason with
         | `Halted c -> Printf.sprintf "halted (exit code %#x)" c
         | `Insn_limit -> "instruction limit reached"
+        | `Deadline -> "deadline reached"
         | `Livelock pc -> Printf.sprintf "livelocked at guest pc %#x" pc)
         Stats.pp s;
       (match sys.D.System.rt.T.Runtime.inject with
@@ -384,7 +386,7 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
       | None -> ());
       (match res.T.Engine.reason with
       | `Livelock _ -> exit exit_livelock
-      | `Halted _ | `Insn_limit -> ()))
+      | `Halted _ | `Insn_limit | `Deadline -> ()))
 
 let run_protected bench mode target budget timer builtin_only rules_file
     dump_tbs profile_top inject_seed inject_rate surface_faults shadow_depth
@@ -404,6 +406,9 @@ let run_protected bench mode target budget timer builtin_only rules_file
     exit exit_load
   | Snapshot.Corrupt msg ->
     Printf.eprintf "corrupt snapshot: %s\n" msg;
+    exit exit_corrupt
+  | Snapshot.Load_error { section; reason } ->
+    Printf.eprintf "corrupt snapshot: section %s: %s\n" section reason;
     exit exit_corrupt
 
 let bench_arg =

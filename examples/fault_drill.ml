@@ -50,6 +50,7 @@ let run_sys ?ruleset ?inject ?shadow_depth ?quarantine_threshold mode image =
 let outcome_name = function
   | `Halted c -> Printf.sprintf "halted %#x" c
   | `Insn_limit -> "insn limit"
+  | `Deadline -> "deadline"
   | `Livelock pc -> Printf.sprintf "livelock at %#x" pc
 
 (* ---- 1. absorbable faults across every benchmark spec ---- *)

@@ -52,7 +52,7 @@ let () =
   D.System.load_image sys 0 words;
   (match (D.System.run ~max_guest_insns:500_000 sys).T.Engine.reason with
   | `Halted acc -> Format.printf "@.guest computed acc = %d under the learned rules@." acc
-  | `Insn_limit | `Livelock _ -> Format.printf "@.guest did not halt@.");
+  | `Insn_limit | `Livelock _ | `Deadline -> Format.printf "@.guest did not halt@.");
   let s = D.System.stats sys in
   Format.printf "host/guest expansion: %.2f@." (Stats.host_per_guest s);
   match sys.D.System.rule_translator with

@@ -55,7 +55,7 @@ let run mode =
   K.load image (fun base words -> D.System.load_image sys base words);
   (match (D.System.run ~max_guest_insns:1_000_000 sys).T.Engine.reason with
   | `Halted _ -> ()
-  | `Insn_limit | `Livelock _ -> failwith "did not halt");
+  | `Insn_limit | `Livelock _ | `Deadline -> failwith "did not halt");
   (D.System.uart_output sys, D.System.stats sys)
 
 (* Preemptive variant: neither task yields; the timer forces the
@@ -92,7 +92,7 @@ let run_preemptive mode =
   let code =
     match (D.System.run ~max_guest_insns:2_000_000 sys).T.Engine.reason with
     | `Halted code -> code
-    | `Insn_limit | `Livelock _ -> failwith "did not halt"
+    | `Insn_limit | `Livelock _ | `Deadline -> failwith "did not halt"
   in
   (code, (D.System.stats sys).Stats.irqs_delivered)
 

@@ -47,7 +47,7 @@ let scoped_run image =
         sys).T.Engine.reason
    with
   | `Halted _ -> ()
-  | `Insn_limit | `Livelock _ -> failwith "did not halt");
+  | `Insn_limit | `Livelock _ | `Deadline -> failwith "did not halt");
   let json =
     Obs.Jsonx.obj
       [

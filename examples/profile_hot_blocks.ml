@@ -23,7 +23,7 @@ let run_profiled mode =
   let profile = T.Profile.create () in
   (match (D.System.run ~profile ~max_guest_insns:3_000_000 sys).T.Engine.reason with
   | `Halted _ -> ()
-  | `Insn_limit | `Livelock _ -> failwith "did not halt");
+  | `Insn_limit | `Livelock _ | `Deadline -> failwith "did not halt");
   profile
 
 let () =

@@ -37,7 +37,7 @@ let run_mode name mode words =
   | `Halted code ->
     Printf.printf "%-12s exit=%-8d guest insns=%-6d host insns=%-8d (%.2f host/guest)\n"
       name code s.Stats.guest_insns s.Stats.host_insns (Stats.host_per_guest s)
-  | `Insn_limit -> Printf.printf "%-12s did not halt\n" name
+  | `Insn_limit | `Deadline -> Printf.printf "%-12s did not halt\n" name
   | `Livelock pc -> Printf.printf "%-12s livelocked at %#x\n" name pc);
   s.Stats.host_insns
 

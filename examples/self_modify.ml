@@ -50,7 +50,7 @@ let () =
       K.load image (fun base words -> D.System.load_image sys base words);
       (match (D.System.run ~max_guest_insns:1_000_000 sys).T.Engine.reason with
       | `Halted _ -> ()
-      | `Insn_limit | `Livelock _ -> print_endline "did not halt!");
+      | `Insn_limit | `Livelock _ | `Deadline -> print_endline "did not halt!");
       Printf.printf "%-12s guest printed: %s\n" name (D.System.uart_output sys))
     [
       ("qemu", D.System.Qemu);

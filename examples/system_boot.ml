@@ -47,7 +47,7 @@ let () =
   (match res.T.Engine.reason with
   | `Halted ticks ->
     Printf.printf "guest powered off; timer ticks observed by the guest: %d\n" ticks
-  | `Insn_limit | `Livelock _ -> print_endline "guest did not halt");
+  | `Insn_limit | `Livelock _ | `Deadline -> print_endline "guest did not halt");
   Printf.printf "UART output from the guest:\n%s\n" (D.System.uart_output sys);
   Printf.printf "guest insns %d, host insns %d, IRQs delivered %d, TLB misses %d\n"
     s.Stats.guest_insns s.Stats.host_insns s.Stats.irqs_delivered s.Stats.tlb_misses

@@ -34,7 +34,7 @@ let () =
   K.load image (fun base words -> D.System.load_image sys base words);
   (match (D.System.run ~max_guest_insns:3_000_000 sys).Repro_tcg.Engine.reason with
   | `Halted _ -> ()
-  | `Insn_limit | `Livelock _ -> failwith "did not halt");
+  | `Insn_limit | `Livelock _ | `Deadline -> failwith "did not halt");
 
   (* both export formats from the same ring *)
   let write path f =

@@ -34,6 +34,33 @@ let mode_of_name s =
   end
   else None
 
+(* The degradation ladder: which engine tier a run starts on. The
+   watchdog (or the external supervision layer) only ever moves a
+   machine down the ladder; the floor is sticky across runs and rides
+   in snapshots so a restored machine never silently re-trusts an
+   engine tier it already demoted. *)
+type rung = Rung_rules | Rung_baseline | Rung_interp
+
+let rung_name = function
+  | Rung_rules -> "rules"
+  | Rung_baseline -> "baseline"
+  | Rung_interp -> "interpreter"
+
+let rung_level = function Rung_rules -> 0 | Rung_baseline -> 1 | Rung_interp -> 2
+
+let rung_of_level = function
+  | 0 -> Rung_rules
+  | 1 -> Rung_baseline
+  | 2 -> Rung_interp
+  | n -> raise (Snapshot.Corrupt (Printf.sprintf "degrade: bad rung %d" n))
+
+let lowest_rung a b = if rung_level a >= rung_level b then a else b
+
+let degrade = function
+  | Rung_rules -> Some Rung_baseline
+  | Rung_baseline -> Some Rung_interp
+  | Rung_interp -> None
+
 type t = {
   mode : mode;
   rt : Runtime.t;
@@ -44,6 +71,7 @@ type t = {
   mutable pending_resume : Engine.resume option;
   mutable last_checkpoint : Snapshot.t option;
   mutable stop_checkpoint : Snapshot.t option;
+  mutable rung_floor : rung;
 }
 
 let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
@@ -78,7 +106,19 @@ let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
     pending_resume = None;
     last_checkpoint = None;
     stop_checkpoint = None;
+    rung_floor = (match mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules);
   }
+
+let rung_floor t = t.rung_floor
+
+let set_rung_floor t rung = t.rung_floor <- lowest_rung t.rung_floor rung
+
+let degrade_floor t =
+  match degrade t.rung_floor with
+  | Some next ->
+    t.rung_floor <- next;
+    true
+  | None -> false
 
 let load_image t origin words = Runtime.load_image t.rt origin words
 let stats t = Runtime.stats t.rt
@@ -374,6 +414,9 @@ let capture ?resume t =
   (match resume with
   | Some r -> Snapshot.add snap "resume" (encode_resume r)
   | None -> ());
+  let dg = Snapshot.Enc.create () in
+  Snapshot.Enc.int dg (rung_level t.rung_floor);
+  Snapshot.add snap "degrade" (Snapshot.Enc.contents dg);
   Snapshot.add snap "journal" (Journal.to_string t.journal);
   snap
 
@@ -514,19 +557,72 @@ let restore ?(rebuild = true) t snap =
      rebuild: translation consults the blacklist and the quarantine
      set, and every health change flushed the captured cache, so the
      restored final health state is the one every live TB was
-     translated under. *)
+     translated under.
+
+     Demotion state merges instead of replacing: a machine that
+     quarantined a rule, blacklisted a PC or degraded its engine rung
+     after the snapshot was taken must not re-trust it just because an
+     older capture was optimistic. Health only ever ratchets down —
+     blacklist and quarantine take the union, strikes the per-rule
+     maximum, the rung floor the lower rung. (Restoring into a fresh
+     machine merges with empty state, i.e. installs the snapshot's
+     health verbatim, so save/restore bit-identity is unaffected.)
+     Shadow-verification progress, by contrast, is taken from the
+     snapshot as-is: rolling it back only means re-verifying, which is
+     always sound. *)
   let tr_saved =
     match (t.rule_translator, t.ruleset, Snapshot.find_opt snap "translator") with
     | Some tr, Some rs, Some payload ->
       let saved, strikes, quarantined = decode_translator payload in
-      Translator_rule.restore_state tr saved;
-      Ruleset.restore_health rs ~strikes ~quarantined;
-      Some saved
+      let cur = Translator_rule.save_state tr in
+      let cur_strikes, cur_quarantined = Ruleset.export_health rs in
+      let union_int l1 l2 = List.sort_uniq compare (l1 @ l2) in
+      let max_strikes a b =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (id, n) ->
+            match Hashtbl.find_opt tbl id with
+            | Some m when m >= n -> ()
+            | _ -> Hashtbl.replace tbl id n)
+          (a @ b);
+        Hashtbl.fold (fun id n acc -> (id, n) :: acc) tbl [] |> List.sort compare
+      in
+      let merged =
+        {
+          saved with
+          Translator_rule.s_blacklist =
+            union_int saved.Translator_rule.s_blacklist
+              cur.Translator_rule.s_blacklist;
+        }
+      in
+      Translator_rule.restore_state tr merged;
+      Ruleset.restore_health rs
+        ~strikes:(max_strikes strikes cur_strikes)
+        ~quarantined:(union_int quarantined cur_quarantined);
+      Some merged
     | None, _, None -> None
     | Some _, _, None -> raise (Snapshot.Corrupt "missing section translator")
     | _ -> raise (Snapshot.Corrupt "translator section in a qemu-mode snapshot")
   in
-  if rebuild then begin
+  (match Snapshot.find_opt snap "degrade" with
+  | Some payload ->
+    let d = Snapshot.Dec.of_string ~name:"degrade" payload in
+    let floor = rung_of_level (Snapshot.Dec.int d) in
+    if not (Snapshot.Dec.finished d) then
+      raise (Snapshot.Corrupt "degrade: trailing bytes");
+    t.rung_floor <- lowest_rung t.rung_floor floor
+  | None -> ());
+  (* The rebuild re-translates the records with the mode's own
+     translator, which is only faithful while the machine still runs on
+     its natural rung. Once the floor has ratcheted below it (a sticky
+     watchdog demotion, here or recorded in the snapshot), the captured
+     TBs and the engine that will execute them disagree on host-state
+     conventions — so a demoted machine flushes instead and lets the
+     degraded engine retranslate on demand, which is guest-invariant. *)
+  let natural =
+    match t.mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules
+  in
+  if rebuild && t.rung_floor = natural then begin
     let records, links, regions, region_links =
       decode_cache (Snapshot.find snap "cache")
     in
@@ -582,6 +678,16 @@ let snapshot_injector snap =
 
 let snapshot_ram_kib snap = String.length (Snapshot.find snap "ram") / 1024
 
+let snapshot_clean snap =
+  (* Clean = usable as a watchdog/restart rollback target: either the
+     snapshot was taken outside a run (no resume section) or at an
+     engine-dispatch boundary where the pending [on_enter] rebuilds all
+     host-resident state ([rneeds_enter]). Mid-chain captures carry
+     inter-TB host state a restarted engine would not re-establish. *)
+  match Snapshot.find_opt snap "resume" with
+  | None -> true
+  | Some p -> (decode_resume p).Engine.rneeds_enter
+
 (* ---- the run loop: journal hooks, checkpoints, watchdog ---- *)
 
 let postmortem_dump ?profile t ~reason =
@@ -601,26 +707,14 @@ let postmortem_dump ?profile t ~reason =
     | None -> ());
     Some dump
 
-type rung = Rung_rules | Rung_baseline | Rung_interp
-
-let rung_name = function
-  | Rung_rules -> "rules"
-  | Rung_baseline -> "baseline"
-  | Rung_interp -> "interpreter"
-
-let degrade = function
-  | Rung_rules -> Some Rung_baseline
-  | Rung_baseline -> Some Rung_interp
-  | Rung_interp -> None
-
 let interp_translate rt cache ~pc =
   rt.Runtime.tb_override <- Some 1;
   let r = Repro_tcg.Translator_qemu.translate rt cache ~pc in
   rt.Runtime.tb_override <- None;
   r
 
-let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
-    ?on_checkpoint ?(watchdog = true) ?on_postmortem t =
+let run ?chaining ?profile ?(max_guest_insns = max_int) ?deadline
+    ?(checkpoint_every = 0) ?on_checkpoint ?(watchdog = true) ?on_postmortem t =
   (* Arm the bus injection point only now, so image loading and other
      pre-run setup are never perturbed. *)
   t.rt.Runtime.bus.Repro_machine.Bus.inject <- t.rt.Runtime.inject;
@@ -707,7 +801,7 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
     let remaining = max_guest_insns - (stats.Stats.guest_insns - start) in
     let common translate ?link_hook ?on_enter ?on_executed ?on_hot () =
       Engine.run t.rt t.cache ~translate ?link_hook ?on_enter ?on_executed
-        ?chaining ?profile ~max_guest_insns:remaining ~checkpoint_every
+        ?chaining ?profile ~max_guest_insns:remaining ?deadline ~checkpoint_every
         ?on_checkpoint:(if checkpointing then Some engine_cp else None)
         ?resume ~on_irq ?on_hot ()
     in
@@ -781,6 +875,11 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
            translator regenerates code on demand. *)
         restore ~rebuild:false t cp;
         t.last_checkpoint <- Some cp;
+        (* Sticky degradation: the floor ratchets down with the rung, so
+           captures taken from here on record the demotion and a restart
+           from a later snapshot never re-trusts the engine that just
+           livelocked. *)
+        t.rung_floor <- lowest_rung t.rung_floor next;
         stats.Stats.livelocks_recovered <- stats.Stats.livelocks_recovered + 1;
         (match t.rt.Runtime.trace with
         | Some tr ->
@@ -798,7 +897,9 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
     | _ -> res
   in
   let first_rung =
-    match t.mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules
+    lowest_rung
+      (match t.mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules)
+      t.rung_floor
   in
   let resume = t.pending_resume in
   t.pending_resume <- None;
@@ -809,6 +910,11 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?(checkpoint_every = 0)
       (Journal.Halt { at = stats.Stats.guest_insns; code });
     t.stop_checkpoint <- None
   | `Livelock _ -> t.stop_checkpoint <- None
+  | `Deadline ->
+    (* A timed-out request is discarded, not resumed: the stop point is
+       arbitrary relative to the workload, so no resumable stop
+       checkpoint is published. *)
+    t.stop_checkpoint <- None
   | `Insn_limit -> ());
   res
 

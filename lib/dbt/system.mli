@@ -26,6 +26,23 @@ val mode_of_name : string -> mode option
 (** Inverse of {!mode_name} over the named optimization levels
     (snapshots record the mode as a string). *)
 
+(** {2 Degradation ladder} *)
+
+type rung = Rung_rules | Rung_baseline | Rung_interp
+    (** The watchdog's engine ladder, best to worst. [Qemu]-mode
+        machines start at [Rung_baseline]; [Rules _] machines at
+        [Rung_rules]. *)
+
+val rung_name : rung -> string
+(** ["rules"], ["baseline"], ["interpreter"]. *)
+
+val rung_level : rung -> int
+(** 0, 1, 2 — ordering key ([Rung_interp] is lowest/worst). *)
+
+val rung_of_level : int -> rung
+(** Inverse of {!rung_level}; raises [Snapshot.Corrupt] on anything
+    else (the ["degrade"] snapshot section decodes through this). *)
+
 type t = {
   mode : mode;
   rt : Repro_tcg.Runtime.t;
@@ -45,6 +62,12 @@ type t = {
       (** checkpoint taken when the previous run hit its instruction
           limit — what {!snapshot} returns so a saved run resumes
           bit-identically *)
+  mutable rung_floor : rung;
+      (** sticky degradation floor: the best engine rung this machine
+          is still allowed to run. Ratchets down on watchdog
+          demotions, rides in snapshots (["degrade"] section), and
+          merges downward on {!restore} — prefer {!set_rung_floor} /
+          {!degrade_floor} over writing it directly *)
 }
 
 val create :
@@ -89,10 +112,25 @@ val create :
 
 val load_image : t -> Word32.t -> Word32.t array -> unit
 
+val rung_floor : t -> rung
+(** Current degradation floor (see {!type-rung}). *)
+
+val set_rung_floor : t -> rung -> unit
+(** Lower the floor to [rung] (monotone: a rung above the current
+    floor is a no-op — health only ratchets down). *)
+
+val degrade_floor : t -> bool
+(** Force the floor one rung down (the supervision layer's demotion
+    lever, mirroring what a watchdog livelock does internally).
+    Returns [false] when already on the last rung. Flushes nothing by
+    itself — the next {!run} starts on the new rung because
+    translation is per-run. *)
+
 val run :
   ?chaining:bool ->
   ?profile:Repro_tcg.Profile.t ->
   ?max_guest_insns:int ->
+  ?deadline:int ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(Snapshot.t -> unit) ->
   ?watchdog:bool ->
@@ -106,6 +144,12 @@ val run :
     substrate for the inter-TB experiments. [profile], when given,
     accumulates a per-TB hot-block profile (see {!Repro_tcg.Profile}).
 
+    [deadline] (default none) is an absolute retired-guest-insn clock
+    value: once [stats.guest_insns] reaches it the run stops with
+    [`Deadline] — the typed per-request timeout the supervision layer
+    builds on. No stop checkpoint is published (a timed-out request is
+    discarded, not resumed) and the watchdog does not intervene.
+
     [checkpoint_every] (default 0 = off) arms periodic snapshots at
     TB boundaries, handed to [on_checkpoint]; one also fires when the
     run stops at [max_guest_insns] (retrievable via {!snapshot}).
@@ -116,7 +160,9 @@ val run :
     [stats.livelocks_recovered], and re-execute under a degraded
     engine: rules -> baseline -> single-instruction interpreter TBs.
     A livelock on the last rung (or with the watchdog off) surfaces as
-    [`Livelock].
+    [`Livelock]. Demotions are sticky: each one lowers {!rung_floor},
+    so later runs (and snapshots taken from them) start on the
+    demoted rung instead of re-trusting the engine that livelocked.
 
     [on_postmortem ~reason dump] fires when shadow verification
     repairs a divergence or the watchdog catches a livelock: [dump] is
@@ -148,7 +194,17 @@ val restore : ?rebuild:bool -> t -> Snapshot.t -> unit
     (default true) re-translates the captured live TB set to
     bit-identical host code and restores the chain graph; [false]
     just flushes the cache (the watchdog's rollback path). Raises
-    [Snapshot.Corrupt] on any mismatch. *)
+    [Snapshot.Corrupt] on any mismatch.
+
+    Demotion state (PC blacklist, per-rule strikes and quarantine,
+    degradation floor) {e merges} instead of replacing: restore takes
+    the union of blacklists and quarantine sets, the per-rule maximum
+    of strike counts, and the lower of the two rung floors, so rolling
+    a machine back to an older snapshot never re-trusts a rule, PC or
+    engine it has demoted since. Restoring into a fresh machine
+    installs the snapshot's health verbatim (merge with empty state),
+    keeping save/restore bit-identity. Shadow-verification progress is
+    taken from the snapshot as-is (re-verifying is always sound). *)
 
 val snapshot_mode : Snapshot.t -> mode
 (** The mode a snapshot was taken under (to construct a matching
@@ -159,6 +215,14 @@ val snapshot_injector : Snapshot.t -> Repro_faultinject.Faultinject.t option
     or [None] if the capture ran without one. *)
 
 val snapshot_ram_kib : Snapshot.t -> int
+
+val snapshot_clean : Snapshot.t -> bool
+(** Whether the snapshot is a clean restart target: captured outside a
+    run, or at an engine-dispatch boundary (the resume cursor's
+    [rneeds_enter]). Mid-chain captures resume bit-identically under
+    the engine that took them but carry live inter-TB host state, so
+    supervision restarts (which may re-run under a degraded engine)
+    must come from clean snapshots only. *)
 
 (** {2 Deterministic replay} *)
 

@@ -133,6 +133,66 @@ let of_export words =
 let behavior t = t.behavior
 let rate t site = t.rates.(index site)
 
+let reseed t ~seed = Prng.set_state t.prng (Prng.state (Prng.create ~seed))
+
+(* Fleet chaos-drill orchestration: one deterministic plan decides
+   which k of N machines run faulty and with what per-machine injector
+   seed, so a drill replays bit-identically from the fleet seed alone. *)
+module Plan = struct
+  type assignment = { a_machine : int; a_faulty : bool; a_seed : int }
+
+  type t = {
+    p_seed : int;
+    p_faults : (site * float) list;
+    p_assign : assignment array;
+  }
+
+  let make ~seed ~machines ~faulty faults =
+    if machines <= 0 then invalid_arg "Faultinject.Plan.make: machines <= 0";
+    if faulty < 0 || faulty > machines then
+      invalid_arg "Faultinject.Plan.make: faulty out of range";
+    List.iter
+      (fun (_, r) ->
+        if r < 0. then invalid_arg "Faultinject.Plan.make: negative rate")
+      faults;
+    let prng = Prng.create ~seed in
+    let seeds = Array.init machines (fun _ -> 1 + Prng.int prng 0x3FFF_FFFF) in
+    (* Fisher–Yates over the machine indices; the first [faulty] are it *)
+    let order = Array.init machines (fun i -> i) in
+    for i = machines - 1 downto 1 do
+      let j = Prng.int prng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    let is_faulty = Array.make machines false in
+    for i = 0 to faulty - 1 do
+      is_faulty.(order.(i)) <- true
+    done;
+    {
+      p_seed = seed;
+      p_faults = faults;
+      p_assign =
+        Array.init machines (fun m ->
+            { a_machine = m; a_faulty = is_faulty.(m); a_seed = seeds.(m) });
+    }
+
+  let seed t = t.p_seed
+  let machines t = Array.length t.p_assign
+  let is_faulty t m = t.p_assign.(m).a_faulty
+  let machine_seed t m = t.p_assign.(m).a_seed
+
+  let faulty_machines t =
+    Array.to_list t.p_assign
+    |> List.filter_map (fun a -> if a.a_faulty then Some a.a_machine else None)
+
+  let arm t m inj =
+    reseed inj ~seed:t.p_assign.(m).a_seed;
+    List.iter (fun s -> set_rate inj s 0.) all_sites;
+    if t.p_assign.(m).a_faulty then
+      List.iter (fun (s, r) -> set_rate inj s r) t.p_faults
+end
+
 let surfaces t = t.behavior = Surface
 let events t site = t.events.(index site)
 let fired t site = t.fired.(index site)

@@ -85,3 +85,43 @@ val of_export : int64 array -> t
 
 val behavior : t -> behavior
 val rate : t -> site -> float
+
+val reseed : t -> seed:int -> unit
+(** Reset the PRNG cursor to the stream of a fresh [create ~seed] —
+    how a fleet gives each machine restored from one shared warm
+    snapshot its own deterministic entropy stream. Counters and rates
+    are untouched. *)
+
+(** {2 Fleet chaos-drill plans}
+
+    One deterministic plan, derived entirely from a fleet seed,
+    decides which k of N machines run faulty, with which fault sites
+    and rates, and which per-machine injector seed each machine gets —
+    so a drill replays bit-identically from the seed alone. *)
+
+module Plan : sig
+  type injector := t
+  type t
+
+  val make :
+    seed:int -> machines:int -> faulty:int -> (site * float) list -> t
+  (** [make ~seed ~machines ~faulty faults]: choose a uniform [faulty]
+      -sized subset of the [machines] and a derived injector seed per
+      machine. Raises [Invalid_argument] on [machines <= 0], [faulty]
+      outside [0, machines], or a negative rate. *)
+
+  val seed : t -> int
+  val machines : t -> int
+  val is_faulty : t -> int -> bool
+  val machine_seed : t -> int -> int
+
+  val faulty_machines : t -> int list
+  (** Ascending machine indices chosen to run faulty. *)
+
+  val arm : t -> int -> injector -> unit
+  (** [arm t m inj]: {!reseed} [inj] to machine [m]'s derived seed,
+      zero every site's rate, then arm the plan's fault sites iff [m]
+      is one of the faulty machines. Call after each snapshot restore
+      (the restore overwrote cursor and rates with the captured
+      ones). *)
+end

@@ -84,7 +84,7 @@ let execute ?(chaining = true) ?timer_period ?ruleset ?inject ?shadow_depth
     let exit_code =
       match res.T.Engine.reason with
       | `Halted c -> c
-      | `Insn_limit ->
+      | `Insn_limit | `Deadline ->
         raise
           (Did_not_halt
              (Printf.sprintf "Harness: %s under %s did not halt" bench mode_name))

@@ -21,9 +21,10 @@ type category =
   | Watchdog
   | Snapshot
   | Fault
+  | Fleet
 
 let categories =
-  [ Exec; Chain; Sync; Irq; Tlb; Shadow; Watchdog; Snapshot; Fault ]
+  [ Exec; Chain; Sync; Irq; Tlb; Shadow; Watchdog; Snapshot; Fault; Fleet ]
 
 let category_name = function
   | Exec -> "exec"
@@ -35,6 +36,7 @@ let category_name = function
   | Watchdog -> "watchdog"
   | Snapshot -> "snapshot"
   | Fault -> "fault"
+  | Fleet -> "fleet"
 
 (* stable small ids, used as Chrome trace tids *)
 let category_id = function
@@ -47,6 +49,7 @@ let category_id = function
   | Watchdog -> 7
   | Snapshot -> 8
   | Fault -> 9
+  | Fleet -> 10
 
 type event = { at : int; cat : category; name : string; a : int; b : int }
 

@@ -22,6 +22,7 @@ type category =
   | Watchdog  (** livelock detection and recovery *)
   | Snapshot  (** checkpoint capture and restore *)
   | Fault     (** fault-injector firings *)
+  | Fleet     (** supervision: restarts, health transitions, breaker trips *)
 
 type event = { at : int; cat : category; name : string; a : int; b : int }
 

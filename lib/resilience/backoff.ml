@@ -1,0 +1,34 @@
+open Repro_common
+
+type t = {
+  base : int;
+  cap : int;
+  prng : Prng.t;
+  mutable attempt : int;
+  mutable total : int;
+}
+
+let create ?(base = 10_000) ?(cap = 1_000_000) ~seed () =
+  if base <= 0 then invalid_arg "Backoff.create: base <= 0";
+  if cap < base then invalid_arg "Backoff.create: cap < base";
+  { base; cap; prng = Prng.create ~seed; attempt = 0; total = 0 }
+
+let attempt t = t.attempt
+let total t = t.total
+
+let next t =
+  (* Exponential growth capped at [cap], with full jitter over the
+     upper half of the window: the deterministic PRNG draw keeps two
+     machines that crashed at the same instant from retrying in
+     lockstep, while the same fleet seed replays the same delays. *)
+  let shift = min t.attempt 40 in
+  let raw =
+    if t.base > t.cap asr shift then t.cap else t.base lsl shift
+  in
+  let half = raw / 2 in
+  let delay = half + Prng.int t.prng (raw - half + 1) in
+  t.attempt <- t.attempt + 1;
+  t.total <- t.total + delay;
+  delay
+
+let reset t = t.attempt <- 0

@@ -1,0 +1,29 @@
+(** Deterministic exponential backoff on the retired-guest-insn clock.
+
+    Restart delays are {e modeled} time, measured in guest
+    instructions like every other latency in the repository, and every
+    jitter draw comes from a seeded {!Repro_common.Prng} — a chaos
+    drill replays its exact restart schedule from the fleet seed. *)
+
+type t
+
+val create : ?base:int -> ?cap:int -> seed:int -> unit -> t
+(** [base] (default 10_000 guest insns) is the first-attempt window,
+    doubling per attempt up to [cap] (default 1_000_000). Raises
+    [Invalid_argument] if [base <= 0] or [cap < base]. *)
+
+val next : t -> int
+(** The delay for the next restart attempt: uniformly jittered over
+    the upper half of the current window, then the window doubles.
+    Accumulates into {!total}. *)
+
+val attempt : t -> int
+(** Attempts drawn since creation or the last {!reset}. *)
+
+val total : t -> int
+(** Total modeled delay ever drawn (guest insns) — the fleet's
+    restart-latency metric. *)
+
+val reset : t -> unit
+(** Back to the first-attempt window (a successful restart ends the
+    escalation; the jitter stream continues, it does not rewind). *)

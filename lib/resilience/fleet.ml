@@ -1,0 +1,331 @@
+module D = Repro_dbt
+module T = Repro_tcg
+module Fi = Repro_faultinject.Faultinject
+module Snapshot = Repro_snapshot.Snapshot
+module Stats = Repro_x86.Stats
+module Trace = Repro_observe.Trace
+module Jsonx = Repro_observe.Jsonx
+module Ruleset = Repro_rules.Ruleset
+module Histo = Repro_perfscope.Histo
+
+type config = {
+  machines : int;
+  min_healthy : int;
+      (** shed new requests when fewer machines are serving *)
+  policy : Supervisor.policy;
+}
+
+type disposition =
+  | Shed  (** admission control refused the request *)
+  | Done of { machine : int; result : Supervisor.outcome }
+
+type t = {
+  config : config;
+  supervisors : Supervisor.t array;
+  plan : Fi.Plan.t option;
+  reference : Supervisor.reference;
+  trace : Trace.t option;
+  latency : Histo.t;
+  known_quarantined : (int, unit) Hashtbl.t;
+  mutable cursor : int;
+  mutable offered : int;
+  mutable served_ok : int;
+  mutable timed_out : int;
+  mutable shed : int;
+  mutable failed : int;
+  mutable breaker_trips : int;
+  mutable final_checks : bool option array option;
+}
+
+let emit t ?(a = -1) ?b name =
+  match t.trace with
+  | Some tr -> Trace.emit tr ?a:(if a >= 0 then Some a else None) ?b Trace.Fleet name
+  | None -> ()
+
+(* The fault-free ground truth every served result is verified
+   against: a pristine machine (same shape, faults never armed) run
+   once from the warm base to completion. *)
+let compute_reference ~policy base =
+  let m =
+    D.System.create
+      ~ram_kib:(D.System.snapshot_ram_kib base)
+      ?inject:(D.System.snapshot_injector base)
+      ~shadow_depth:policy.Supervisor.shadow_depth
+      ~quarantine_threshold:policy.Supervisor.quarantine_threshold
+      (D.System.snapshot_mode base)
+  in
+  D.System.restore m base;
+  (match m.D.System.rt.T.Runtime.inject with
+  | Some inj -> List.iter (fun s -> Fi.set_rate inj s 0.) Fi.all_sites
+  | None -> ());
+  let stats = D.System.stats m in
+  let insns0 = stats.Stats.guest_insns in
+  let res =
+    D.System.run ~deadline:(insns0 + policy.Supervisor.deadline) m
+  in
+  match res.T.Engine.reason with
+  | `Halted code ->
+    {
+      Supervisor.r_code = code;
+      r_uart_digest = Digest.to_hex (Digest.string (D.System.uart_output m));
+      r_insns = stats.Stats.guest_insns - insns0;
+    }
+  | `Deadline ->
+    invalid_arg
+      "Fleet.create: the fault-free reference run missed the deadline — \
+       raise policy.deadline above the workload's length"
+  | `Livelock _ | `Insn_limit ->
+    invalid_arg "Fleet.create: the fault-free reference run failed"
+
+let create ?plan ?trace ~config base =
+  if config.machines <= 0 then invalid_arg "Fleet.create: machines <= 0";
+  if config.min_healthy < 0 || config.min_healthy > config.machines then
+    invalid_arg "Fleet.create: min_healthy outside [0, machines]";
+  (match plan with
+  | Some p when Fi.Plan.machines p <> config.machines ->
+    invalid_arg "Fleet.create: plan sized for a different fleet"
+  | _ -> ());
+  let reference = compute_reference ~policy:config.policy base in
+  let supervisors =
+    Array.init config.machines (fun id ->
+        Supervisor.create ?plan ?trace ~id ~policy:config.policy base)
+  in
+  let t =
+    {
+    config;
+    supervisors;
+    plan;
+    reference;
+    trace;
+    latency = Histo.create ();
+    known_quarantined = Hashtbl.create 16;
+    cursor = 0;
+    offered = 0;
+    served_ok = 0;
+    timed_out = 0;
+    shed = 0;
+    failed = 0;
+      breaker_trips = 0;
+      final_checks = None;
+    }
+  in
+  (* the fleet's event clock is the request counter: a drill timeline
+     is indexed by offered requests, not by any one machine's insn
+     clock (the machines rewind theirs on every restore) *)
+  (match trace with
+  | Some tr -> Trace.set_clock tr (fun () -> t.offered)
+  | None -> ());
+  t
+
+let reference t = t.reference
+let supervisor t m = t.supervisors.(m)
+
+let serving_count t =
+  Array.fold_left
+    (fun n s -> if Health.serving (Supervisor.health s) then n + 1 else n)
+    0 t.supervisors
+
+let alive_count t =
+  Array.fold_left
+    (fun n s -> if Health.alive (Supervisor.health s) then n + 1 else n)
+    0 t.supervisors
+
+(* Round-robin over the machines currently willing to serve. *)
+let pick_serving t =
+  let n = Array.length t.supervisors in
+  let rec scan tried =
+    if tried >= n then None
+    else
+      let i = (t.cursor + tried) mod n in
+      if Health.serving (Supervisor.health t.supervisors.(i)) then begin
+        t.cursor <- (i + 1) mod n;
+        Some i
+      end
+      else scan (tried + 1)
+  in
+  scan 0
+
+(* Fleet-wide circuit breaker: a rule quarantined on any machine is
+   demoted on every other machine before it can misfire there too.
+   Quarantine state only changes inside a machine's own serve, so
+   diffing the machine that just served catches every new demotion. *)
+let breaker_sweep t served_by =
+  match (Supervisor.machine t.supervisors.(served_by)).D.System.ruleset with
+  | None -> ()
+  | Some rs ->
+    List.iter
+      (fun id ->
+        if not (Hashtbl.mem t.known_quarantined id) then begin
+          Hashtbl.add t.known_quarantined id ();
+          t.breaker_trips <- t.breaker_trips + 1;
+          emit t ~a:id ~b:served_by "breaker:quarantine";
+          Array.iteri
+            (fun i s ->
+              if i <> served_by && Health.alive (Supervisor.health s) then begin
+                let m = Supervisor.machine s in
+                match m.D.System.ruleset with
+                | Some rs' ->
+                  if Ruleset.quarantine_by_id rs' id then
+                    T.Tb.Cache.flush m.D.System.cache
+                | None -> ()
+              end)
+            t.supervisors
+        end)
+      (Ruleset.quarantined_ids rs)
+
+let serve_one t =
+  let request = t.offered in
+  t.offered <- t.offered + 1;
+  if serving_count t < t.config.min_healthy then begin
+    t.shed <- t.shed + 1;
+    emit t ~a:request "shed";
+    Shed
+  end
+  else
+    match pick_serving t with
+    | None ->
+      t.shed <- t.shed + 1;
+      emit t ~a:request "shed";
+      Shed
+    | Some i ->
+      let s = t.supervisors.(i) in
+      let result = Supervisor.serve ~reference:t.reference s ~request () in
+      (match result with
+      | Supervisor.Served { insns; _ } ->
+        t.served_ok <- t.served_ok + 1;
+        Histo.record t.latency insns
+      | Supervisor.Timed_out ->
+        t.timed_out <- t.timed_out + 1;
+        Histo.record t.latency t.config.policy.Supervisor.deadline
+      | Supervisor.Rejected ->
+        (* health changed between pick and serve — count as shed *)
+        t.shed <- t.shed + 1
+      | Supervisor.Gave_up _ ->
+        t.failed <- t.failed + 1;
+        emit t ~a:i "machine-dead");
+      breaker_sweep t i;
+      Done { machine = i; result }
+
+let run t ~requests =
+  for _ = 1 to requests do
+    ignore (serve_one t)
+  done
+
+(* The drill's exit criterion: every surviving machine, faults
+   disarmed, reproduces the fault-free reference bit-identically. *)
+let final_verify t =
+  let checks =
+    Array.map (fun s -> Supervisor.verify_clean s t.reference) t.supervisors
+  in
+  t.final_checks <- Some checks;
+  Array.for_all (function Some false -> false | _ -> true) checks
+
+let offered t = t.offered
+let served_ok t = t.served_ok
+let timed_out t = t.timed_out
+let shed t = t.shed
+let failed t = t.failed
+let breaker_trips t = t.breaker_trips
+
+let restarts t =
+  Array.fold_left
+    (fun n s -> n + Health.restarts (Supervisor.health s))
+    0 t.supervisors
+
+let backoff_insns t =
+  Array.fold_left (fun n s -> n + Supervisor.backoff_total s) 0 t.supervisors
+
+let availability t =
+  if t.offered = 0 then 1.0 else float_of_int t.served_ok /. float_of_int t.offered
+
+let quarantined_rules t =
+  List.sort_uniq compare
+    (Hashtbl.fold (fun id () acc -> id :: acc) t.known_quarantined [])
+
+(* Deterministic metrics document: everything here is a function of
+   the fleet seed, the base snapshot and the request count, so CI can
+   diff two same-seed drills byte-for-byte. Wall-clock and other
+   run-environment facts belong under the caller's "volatile" key. *)
+let metrics_json t =
+  let machine_json i s =
+    let h = Supervisor.health s in
+    let m = Supervisor.machine s in
+    let final =
+      match t.final_checks with
+      | None -> Jsonx.str "unchecked"
+      | Some checks -> (
+        match checks.(i) with
+        | None -> Jsonx.str "dead"
+        | Some true -> Jsonx.str "pass"
+        | Some false -> Jsonx.str "fail")
+    in
+    Jsonx.obj
+      [
+        ("id", Jsonx.int (Supervisor.id s));
+        ("faulty",
+         Jsonx.bool
+           (match t.plan with
+           | Some p -> Fi.Plan.is_faulty p i
+           | None -> false));
+        ("state", Jsonx.str (Health.state_name (Health.state h)));
+        ("strikes", Jsonx.int (Health.strikes h));
+        ("crashes", Jsonx.int (Health.crashes h));
+        ("restarts", Jsonx.int (Health.restarts h));
+        ("served", Jsonx.int (Supervisor.served s));
+        ("timeouts", Jsonx.int (Supervisor.timeouts s));
+        ("wrong_results", Jsonx.int (Supervisor.wrong_results s));
+        ("surfaced_crashes", Jsonx.int (Supervisor.surfaced_crashes s));
+        ("backoff_insns", Jsonx.int (Supervisor.backoff_total s));
+        ("rung", Jsonx.str (D.System.rung_name (D.System.rung_floor m)));
+        ("quarantined_rules",
+         Jsonx.arr
+           (match m.D.System.ruleset with
+           | Some rs -> List.map Jsonx.int (Ruleset.quarantined_ids rs)
+           | None -> []));
+        ("final_check", final);
+      ]
+  in
+  Jsonx.obj
+    [
+      ("machines", Jsonx.int t.config.machines);
+      ("min_healthy", Jsonx.int t.config.min_healthy);
+      ("plan",
+       match t.plan with
+       | None -> Jsonx.obj []
+       | Some p ->
+         Jsonx.obj
+           [
+             ("seed", Jsonx.int (Fi.Plan.seed p));
+             ("faulty",
+              Jsonx.arr (List.map Jsonx.int (Fi.Plan.faulty_machines p)));
+           ]);
+      ("reference",
+       Jsonx.obj
+         [
+           ("code", Jsonx.int t.reference.Supervisor.r_code);
+           ("insns", Jsonx.int t.reference.Supervisor.r_insns);
+           ("uart_md5", Jsonx.str t.reference.Supervisor.r_uart_digest);
+         ]);
+      ("offered", Jsonx.int t.offered);
+      ("served_ok", Jsonx.int t.served_ok);
+      ("timed_out", Jsonx.int t.timed_out);
+      ("shed", Jsonx.int t.shed);
+      ("failed", Jsonx.int t.failed);
+      ("availability", Jsonx.float (availability t));
+      ("restarts", Jsonx.int (restarts t));
+      ("backoff_insns", Jsonx.int (backoff_insns t));
+      ("breaker_trips", Jsonx.int t.breaker_trips);
+      ("quarantined_rules",
+       Jsonx.arr (List.map Jsonx.int (quarantined_rules t)));
+      ("serving", Jsonx.int (serving_count t));
+      ("alive", Jsonx.int (alive_count t));
+      ("all_verified",
+       match t.final_checks with
+       | None -> Jsonx.str "unchecked"
+       | Some checks ->
+         Jsonx.bool
+           (Array.for_all (function Some false -> false | _ -> true) checks));
+      ("latency", Histo.to_json t.latency);
+      ("per_machine",
+       Jsonx.arr (Array.to_list (Array.mapi machine_json t.supervisors)));
+    ]

@@ -1,0 +1,80 @@
+(** Self-healing fleet: N supervised machines serving one workload
+    from a shared warm snapshot, under deterministic chaos.
+
+    The fleet adds the cross-machine policy on top of
+    {!Supervisor}:
+
+    - {e admission control}: a request is shed when fewer than
+      [min_healthy] machines are willing to serve;
+    - {e round-robin dispatch} over the serving machines;
+    - {e fleet-wide circuit breaker}: a translation rule quarantined
+      on any machine (shadow verification caught it misfiring) is
+      demoted on every other machine before it can misfire there too;
+    - {e final verification}: after a drill, every surviving machine
+      re-runs the workload with faults disarmed and must reproduce the
+      fault-free reference bit-identically.
+
+    Every number the fleet reports is a deterministic function of
+    (fleet seed, base snapshot, request count) — {!metrics_json} from
+    two same-seed drills diffs byte-for-byte. *)
+
+type config = {
+  machines : int;
+  min_healthy : int;
+      (** shed new requests when fewer machines are serving *)
+  policy : Supervisor.policy;
+}
+
+type disposition =
+  | Shed  (** admission control refused the request *)
+  | Done of { machine : int; result : Supervisor.outcome }
+
+type t
+
+val create :
+  ?plan:Repro_faultinject.Faultinject.Plan.t ->
+  ?trace:Repro_observe.Trace.t ->
+  config:config ->
+  Repro_snapshot.Snapshot.t ->
+  t
+(** Build the fleet from a warm base snapshot: first the fault-free
+    reference run (a pristine machine, faults never armed), then one
+    supervised machine per fleet slot. Raises [Invalid_argument] on a
+    bad config, a plan sized for a different fleet, or a reference run
+    that cannot complete within the policy deadline; raises
+    [Snapshot.Corrupt] / [Snapshot.Load_error] on a damaged base. *)
+
+val serve_one : t -> disposition
+(** Admit (or shed) and serve the next request, then run the circuit-
+    breaker sweep over the machine that served. *)
+
+val run : t -> requests:int -> unit
+(** [requests] times {!serve_one}, discarding dispositions (the
+    counters and histogram keep the aggregate story). *)
+
+val final_verify : t -> bool
+(** Run {!Supervisor.verify_clean} on every machine; records the
+    verdicts for {!metrics_json} and returns whether no surviving
+    machine diverged. *)
+
+val metrics_json : t -> string
+(** The deterministic drill report (JSON object): aggregate counters,
+    availability, restart/backoff totals, breaker trips, the latency
+    histogram, and a per-machine breakdown (state, strikes, rung,
+    quarantined rules, final check). Volatile facts (wall-clock time)
+    are deliberately excluded — callers add them under their own key. *)
+
+val reference : t -> Supervisor.reference
+val supervisor : t -> int -> Supervisor.t
+val serving_count : t -> int
+val alive_count : t -> int
+val offered : t -> int
+val served_ok : t -> int
+val timed_out : t -> int
+val shed : t -> int
+val failed : t -> int
+val breaker_trips : t -> int
+val restarts : t -> int
+val backoff_insns : t -> int
+val availability : t -> float
+val quarantined_rules : t -> int list

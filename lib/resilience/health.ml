@@ -1,0 +1,90 @@
+type state = Healthy | Degraded | Quarantined | Dead
+
+let state_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Quarantined -> "quarantined"
+  | Dead -> "dead"
+
+type signal =
+  | Watchdog_recovered
+  | Shadow_divergence
+  | Deadline_timeout
+  | Crash
+
+let signal_name = function
+  | Watchdog_recovered -> "watchdog-recovered"
+  | Shadow_divergence -> "shadow-divergence"
+  | Deadline_timeout -> "deadline-timeout"
+  | Crash -> "crash"
+
+type t = {
+  degrade_after : int;
+  quarantine_after : int;
+  mutable state : state;
+  mutable strikes : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable signals : (signal * int) list;  (* per-signal counts *)
+}
+
+let create ?(degrade_after = 1) ?(quarantine_after = 4) () =
+  if degrade_after <= 0 then invalid_arg "Health.create: degrade_after <= 0";
+  if quarantine_after < degrade_after then
+    invalid_arg "Health.create: quarantine_after < degrade_after";
+  {
+    degrade_after;
+    quarantine_after;
+    state = Healthy;
+    strikes = 0;
+    crashes = 0;
+    restarts = 0;
+    signals = [];
+  }
+
+let state t = t.state
+let strikes t = t.strikes
+let crashes t = t.crashes
+let restarts t = t.restarts
+
+let count t signal =
+  match List.assoc_opt signal t.signals with Some n -> n | None -> 0
+
+let bump t signal =
+  t.signals <- (signal, count t signal + 1) :: List.remove_assoc signal t.signals
+
+let alive t = t.state <> Dead
+let serving t = match t.state with Healthy | Degraded -> true | Quarantined | Dead -> false
+
+(* The ladder only descends on signals; the single ascending edge is a
+   successful restart lifting Quarantined back to Degraded (never to
+   Healthy — a machine that earned quarantine stays suspect). *)
+let note t signal =
+  bump t signal;
+  if t.state <> Dead then begin
+    t.strikes <- t.strikes + 1;
+    (match signal with Crash -> t.crashes <- t.crashes + 1 | _ -> ());
+    if t.strikes >= t.quarantine_after then t.state <- Quarantined
+    else if t.strikes >= t.degrade_after then
+      match t.state with Healthy -> t.state <- Degraded | _ -> ()
+  end;
+  t.state
+
+let note_restart_ok t =
+  if t.state <> Dead then begin
+    t.restarts <- t.restarts + 1;
+    match t.state with
+    | Quarantined ->
+      t.state <- Degraded;
+      (* re-arm the quarantine threshold so the next strikes can
+         re-quarantine rather than trip instantly *)
+      t.strikes <- t.degrade_after
+    | Healthy | Degraded | Dead -> ()
+  end;
+  t.state
+
+let kill t = t.state <- Dead
+
+let pp ppf t =
+  Format.fprintf ppf "%s (strikes %d, crashes %d, restarts %d)"
+    (state_name t.state) t.strikes t.crashes t.restarts

@@ -1,0 +1,58 @@
+(** Per-machine health ladder: healthy -> degraded -> quarantined ->
+    dead.
+
+    Driven by the existing failure signals — watchdog livelock
+    recoveries, shadow-verification divergences, request deadline
+    timeouts, and outright crashes (surfaced livelocks, corrupt
+    snapshots, wrong results). The ladder only descends on signals;
+    the one ascending edge is a successful restart lifting a
+    quarantined machine back to degraded. [Dead] is absorbing and only
+    entered explicitly ({!kill}, when the supervisor's retry budget is
+    exhausted). *)
+
+type state = Healthy | Degraded | Quarantined | Dead
+
+val state_name : state -> string
+
+type signal =
+  | Watchdog_recovered  (** in-run livelock recovered by rung demotion *)
+  | Shadow_divergence   (** shadow verification repaired a divergence *)
+  | Deadline_timeout    (** a request ran past its deadline *)
+  | Crash
+      (** the request could not complete: surfaced livelock, corrupt
+          checkpoint, or a result that failed verification *)
+
+val signal_name : signal -> string
+
+type t
+
+val create : ?degrade_after:int -> ?quarantine_after:int -> unit -> t
+(** Strike thresholds: at [degrade_after] total strikes (default 1) a
+    healthy machine turns degraded; at [quarantine_after] (default 4)
+    it is quarantined — pulled from serving until a restart succeeds.
+    Raises [Invalid_argument] unless
+    [0 < degrade_after <= quarantine_after]. *)
+
+val state : t -> state
+val alive : t -> bool  (** not [Dead] *)
+
+val serving : t -> bool
+(** Eligible for new requests: [Healthy] or [Degraded]. *)
+
+val note : t -> signal -> state
+(** Record one signal and apply the threshold policy; returns the
+    (possibly new) state. No-op on a dead machine beyond counting. *)
+
+val note_restart_ok : t -> state
+(** A restart-from-snapshot completed: counts it, and lifts
+    [Quarantined] back to [Degraded] with the quarantine threshold
+    re-armed. Never reaches [Healthy] again. *)
+
+val kill : t -> unit
+(** Retry budget exhausted: the machine is dead. *)
+
+val strikes : t -> int
+val crashes : t -> int
+val restarts : t -> int
+val count : t -> signal -> int
+val pp : Format.formatter -> t -> unit

@@ -49,6 +49,9 @@ let create () =
 let is_quarantined t (rule : Rule.t) = Hashtbl.mem t.quarantined rule.Rule.id
 let quarantined_count t = Hashtbl.length t.quarantined
 
+let quarantined_ids t =
+  Hashtbl.fold (fun id () acc -> id :: acc) t.quarantined [] |> List.sort compare
+
 let refresh_active_bucket t k =
   match Hashtbl.find_opt t.table k with
   | None -> Hashtbl.remove t.active k
@@ -103,6 +106,18 @@ let strike t (rule : Rule.t) ~threshold =
 
 let strikes t (rule : Rule.t) =
   match Hashtbl.find_opt t.strikes rule.Rule.id with Some n -> n | None -> 0
+
+(* The fleet circuit breaker's demotion lever: quarantine by id without
+   a local strike history (the strikes happened on another machine). *)
+let quarantine_by_id t id =
+  if Hashtbl.mem t.quarantined id then false
+  else
+    match List.find_opt (fun (r : Rule.t) -> r.Rule.id = id) t.all with
+    | None -> false
+    | Some rule ->
+      Hashtbl.replace t.quarantined id ();
+      List.iter (refresh_active_bucket t) (keys_of_rule rule);
+      true
 
 (* Snapshot support: the ruleset's mutable health state (strikes and
    quarantined ids), sorted for stable encodings. The rules themselves

@@ -34,6 +34,17 @@ val is_quarantined : t -> Rule.t -> bool
 val strikes : t -> Rule.t -> int
 val quarantined_count : t -> int
 
+val quarantined_ids : t -> int list
+(** Sorted quarantined rule ids — what a fleet circuit breaker diffs
+    to learn of new local demotions. *)
+
+val quarantine_by_id : t -> int -> bool
+(** Quarantine a rule by id without a strike history — the fleet-wide
+    demotion broadcast (the strikes happened on another machine).
+    [true] iff the id names a known, not-yet-quarantined rule. The
+    caller must flush any code cache holding translations made under
+    the old quarantine set. *)
+
 val export_health : t -> (int * int) list * int list
 (** [(strikes, quarantined)] — per-rule strike counts and quarantined
     rule ids, sorted (snapshot payload). *)

@@ -13,11 +13,15 @@ module Tlb = Repro_mmu.Mmu.Tlb
 module Fi = Repro_faultinject.Faultinject
 
 let magic = "DBTSNAP\x01"
-let format_version = 1
+let format_version = 2
 
 exception Corrupt of string
+exception Load_error of { section : string; reason : string }
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let load_error section fmt =
+  Printf.ksprintf (fun reason -> raise (Load_error { section; reason })) fmt
 
 let fnv1a32 s =
   let h = ref 0x811c9dc5 in
@@ -111,7 +115,10 @@ let to_string t =
   List.iter
     (fun (name, payload) ->
       Enc.string body name;
-      Enc.string body payload)
+      Enc.string body payload;
+      (* per-section checksum (format v2): a flipped bit is attributed
+         to the section it corrupts, not just "somewhere in the body" *)
+      Enc.int body (fnv1a32 payload))
     ordered;
   let body = Enc.contents body in
   let out = Buffer.create (String.length body + 24) in
@@ -121,28 +128,55 @@ let to_string t =
   Buffer.add_string out body;
   Buffer.contents out
 
+(* Loading is total over arbitrary byte strings: every failure mode —
+   truncation, bit flips, bad lengths, version skew — surfaces as
+   [Load_error] naming the innermost section being decoded ("container"
+   for damage outside any section). The decoder primitives raise
+   [Corrupt]; the handlers below translate, so no exception other than
+   [Load_error] can escape. *)
 let of_string s =
-  if String.length s < 24 then corrupt "container shorter than its header";
-  if String.sub s 0 8 <> magic then corrupt "bad magic";
+  let guard section f =
+    try f () with
+    | Corrupt reason -> raise (Load_error { section; reason })
+    | Invalid_argument reason -> raise (Load_error { section; reason })
+  in
+  if String.length s < 24 then
+    load_error "container" "shorter than its header (%d bytes)"
+      (String.length s);
+  if String.sub s 0 8 <> magic then load_error "container" "bad magic";
   let hdr = Dec.of_string ~name:"header" (String.sub s 8 16) in
-  let version = Dec.int hdr in
+  let version = guard "container" (fun () -> Dec.int hdr) in
   if version <> format_version then
-    corrupt "format version %d, expected %d" version format_version;
-  let sum = Dec.int hdr in
+    load_error "container" "format version %d, expected %d" version
+      format_version;
+  let sum = guard "container" (fun () -> Dec.int hdr) in
   let body = String.sub s 24 (String.length s - 24) in
-  let actual = fnv1a32 body in
-  if sum <> actual then
-    corrupt "checksum mismatch (stored %#x, computed %#x)" sum actual;
   let d = Dec.of_string ~name:"body" body in
-  let n = Dec.int d in
-  if n < 0 then corrupt "negative section count";
+  let n = guard "container" (fun () -> Dec.int d) in
+  if n < 0 then load_error "container" "negative section count";
   let t = create () in
   for _ = 1 to n do
-    let name = Dec.string d in
-    let payload = Dec.string d in
-    add t name payload
+    let name = guard "container" (fun () -> Dec.string d) in
+    guard name (fun () ->
+        let payload = Dec.string d in
+        let stored = Dec.int d in
+        let computed = fnv1a32 payload in
+        if stored <> computed then
+          corrupt "section checksum mismatch (stored %#x, computed %#x)"
+            stored computed;
+        add t name payload)
   done;
-  if not (Dec.finished d) then corrupt "trailing bytes after last section";
+  if not (Dec.finished d) then
+    load_error "container" "trailing bytes after last section";
+  (* The whole-body checksum runs last so damage inside a section is
+     attributed to that section first; what reaches this check is
+     framing damage the per-section sums cannot see (a flipped name
+     byte that still parses, a rewritten length that re-frames
+     cleanly). *)
+  let actual = fnv1a32 body in
+  if sum <> actual then
+    load_error "container" "body checksum mismatch (stored %#x, computed %#x)"
+      sum actual;
   t
 
 let save_file path t =
@@ -159,7 +193,8 @@ let load_file path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | s -> of_string s
-  | exception Sys_error e -> corrupt "cannot read %s: %s" path e
+  | exception Sys_error e ->
+    raise (Load_error { section = "container"; reason = e })
 
 (* ---- machine-core capture ---- *)
 

@@ -5,10 +5,11 @@
 
     {v
       bytes 0..7    magic "DBTSNAP\x01"
-      bytes 8..15   u64 LE format version (currently 1)
+      bytes 8..15   u64 LE format version (currently 2)
       bytes 16..23  u64 LE FNV-1a-32 checksum of the body (low 32 bits)
       bytes 24..    body: u64 section count, then per section a
-                    length-prefixed name and length-prefixed payload
+                    length-prefixed name, a length-prefixed payload,
+                    and a u64 FNV-1a-32 checksum of the payload
     v}
 
     All integers are little-endian u64 ({!Enc}/{!Dec}); section order
@@ -19,8 +20,18 @@
     journal) are layered on by [Repro_dbt.System]. *)
 
 exception Corrupt of string
-(** Any structural problem: bad magic, version or checksum mismatch,
-    truncated payload, missing or malformed section. *)
+(** A semantic problem in an already-loaded snapshot: missing or
+    malformed section payload, shape mismatch against the machine
+    being restored into. *)
+
+exception Load_error of { section : string; reason : string }
+(** Container-integrity failure while {e loading} raw bytes
+    ({!of_string} / {!load_file}): truncation, bad magic, version
+    skew, a checksum mismatch. [section] names the innermost section
+    being decoded when the damage surfaced — ["container"] when it
+    lies outside any section (header, framing, the whole-body
+    checksum). Loading raises nothing else, whatever the input
+    bytes. *)
 
 val format_version : int
 
@@ -77,12 +88,14 @@ val to_string : t -> string
 (** Serialize to the checksummed container format. *)
 
 val of_string : string -> t
-(** Parse and validate magic, version and checksum. Raises
-    {!Corrupt}. *)
+(** Parse and validate magic, version, every per-section checksum and
+    the whole-body checksum. Raises {!Load_error} (and nothing else)
+    on any failure, naming the damaged section. *)
 
 val save_file : string -> t -> unit
 val load_file : string -> t
-(** Raises {!Corrupt} also when the file cannot be read. *)
+(** Raises {!Load_error} also when the file cannot be read
+    ([section = "container"]). *)
 
 (** {2 Machine-core capture}
 

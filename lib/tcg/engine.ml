@@ -12,7 +12,8 @@ module Scope = Repro_perfscope.Scope
 type translator = Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
 
 type result = {
-  reason : [ `Halted of Word32.t | `Insn_limit | `Livelock of Word32.t ];
+  reason :
+    [ `Halted of Word32.t | `Insn_limit | `Livelock of Word32.t | `Deadline ];
   executed_guest_insns : int;
 }
 
@@ -33,7 +34,7 @@ let hot_threshold = 32
 let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~succ:_ -> ())
     ?(on_enter = fun _ -> ())
     ?(on_executed = fun _ ~outcome:_ ~guest:_ -> `Continue)
-    ?(chaining = true) ?profile ?(max_guest_insns = max_int)
+    ?(chaining = true) ?profile ?(max_guest_insns = max_int) ?deadline
     ?(checkpoint_every = 0) ?on_checkpoint ?resume ?(on_irq = fun _ -> ())
     ?on_hot () =
   let stats = Runtime.stats rt in
@@ -244,9 +245,16 @@ let run (rt : Runtime.t) cache ~translate ?(link_hook = fun ~pred:_ ~slot:_ ~suc
       (if checkpoint_every > 0 then stats.Stats.guest_insns + checkpoint_every
        else max_int)
   in
+  (* Per-request deadline on the retired-guest-insn clock: an absolute
+     value of [stats.guest_insns] past which the run stops with the
+     typed [`Deadline] result. Unlike the instruction budget it takes
+     no checkpoint — a timed-out request is discarded, not resumed. *)
+  let deadline = match deadline with Some d -> d | None -> max_int in
   let result = ref None in
   while !result = None do
-    if stats.Stats.guest_insns - start_insns >= max_guest_insns then begin
+    if stats.Stats.guest_insns >= deadline then
+      result := Some (finish `Deadline)
+    else if stats.Stats.guest_insns - start_insns >= max_guest_insns then begin
       (* Capture the stopping point too, so a saved snapshot resumes
          exactly here (including mid-chain dispatch state). *)
       checkpoint ();

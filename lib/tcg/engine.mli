@@ -12,10 +12,17 @@ open Repro_common
 type translator = Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result
 
 type result = {
-  reason : [ `Halted of Word32.t | `Insn_limit | `Livelock of Word32.t ];
+  reason :
+    [ `Halted of Word32.t | `Insn_limit | `Livelock of Word32.t | `Deadline ];
       (** [`Livelock pc]: the TB at [pc] exhausted its host fuel (a
           runaway loop in corrupted emitted code). Guest state is
-          mid-block and unusable — roll back to a checkpoint. *)
+          mid-block and unusable — roll back to a checkpoint.
+
+          [`Deadline]: the per-request deadline (an absolute retired-
+          guest-insn clock value) passed — the typed timeout the
+          supervision layer turns into a request-level result. Guest
+          state is consistent (the stop happens at a TB boundary) but
+          no checkpoint is taken: a timed-out request is discarded. *)
   executed_guest_insns : int;
 }
 
@@ -44,6 +51,7 @@ val run :
   ?chaining:bool ->
   ?profile:Profile.t ->
   ?max_guest_insns:int ->
+  ?deadline:int ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(resume -> unit) ->
   ?resume:resume ->
@@ -58,6 +66,12 @@ val run :
     [chaining] (default true) enables TB→TB block chaining; disabling
     it forces an engine dispatch on every TB transition (the ablation
     of the common optimization the paper's §III-C-3 builds on).
+
+    [deadline] (default none) is an absolute retired-guest-insn clock
+    value ([stats.guest_insns]); once reached the run stops with
+    [`Deadline] at the next loop iteration. It is checked before the
+    instruction budget, takes no checkpoint, and composes with
+    [max_guest_insns] (whichever trips first wins).
 
     [profile], when given, receives one {!Profile.record} per TB
     execution with exact guest/host instruction attribution.

@@ -60,7 +60,7 @@ let differential_all_levels program =
       let sys, res = run_mode (D.System.Rules opt) words in
       (match res.T.Engine.reason with
       | `Halted _ -> ()
-      | `Insn_limit | `Livelock _ -> Alcotest.failf "[%s] hit insn limit" name);
+      | `Insn_limit | `Livelock _ | `Deadline -> Alcotest.failf "[%s] hit insn limit" name);
       match state_mismatch ref_snap (snapshot_of_sys sys) with
       | None -> ()
       | Some msg -> Alcotest.failf "[%s] state mismatch:@\n%s" name msg)
@@ -318,7 +318,7 @@ let test_full_opt_beats_base () =
     let sys, res = run_mode mode words in
     (match res.T.Engine.reason with
     | `Halted _ -> ()
-    | `Insn_limit | `Livelock _ -> Alcotest.fail "insn limit");
+    | `Insn_limit | `Livelock _ | `Deadline -> Alcotest.fail "insn limit");
     (D.System.stats sys).Stats.host_insns
   in
   let base = host_insns (D.System.Rules D.Opt.base) in
@@ -375,7 +375,7 @@ let test_sys_insn_classification () =
       let sys, res = run_mode mode words in
       (match res.T.Engine.reason with
       | `Halted _ -> ()
-      | `Insn_limit | `Livelock _ -> Alcotest.fail "insn limit");
+      | `Insn_limit | `Livelock _ | `Deadline -> Alcotest.fail "insn limit");
       let s = D.System.stats sys in
       Alcotest.(check int) "mrs counted as system-level" 2 s.Stats.sys_insns;
       Alcotest.(check bool) "umull went through helpers" true
@@ -399,7 +399,7 @@ let test_tiny_code_cache () =
       let res = D.System.run ~max_guest_insns:300_000 sys in
       (match res.T.Engine.reason with
       | `Halted _ -> ()
-      | `Insn_limit | `Livelock _ -> Alcotest.failf "[%s] insn limit" name);
+      | `Insn_limit | `Livelock _ | `Deadline -> Alcotest.failf "[%s] insn limit" name);
       Alcotest.(check bool)
         (Printf.sprintf "[%s] capacity flushes happened" name)
         true
@@ -426,7 +426,7 @@ let test_profile_attribution () =
   let res = D.System.run ~profile:p ~max_guest_insns:300_000 sys in
   (match res.T.Engine.reason with
   | `Halted _ -> ()
-  | `Insn_limit | `Livelock _ -> Alcotest.fail "insn limit");
+  | `Insn_limit | `Livelock _ | `Deadline -> Alcotest.fail "insn limit");
   let s = D.System.stats sys in
   Alcotest.(check int) "guest insns fully attributed" s.Stats.guest_insns
     (T.Profile.total_guest p);
@@ -483,7 +483,7 @@ let test_profile_across_flushes () =
   let p = T.Profile.create () in
   (match (D.System.run ~profile:p ~max_guest_insns:300_000 sys).T.Engine.reason with
   | `Halted _ -> ()
-  | `Insn_limit | `Livelock _ -> Alcotest.fail "insn limit");
+  | `Insn_limit | `Livelock _ | `Deadline -> Alcotest.fail "insn limit");
   let s = D.System.stats sys in
   Alcotest.(check bool)
     (Printf.sprintf "workload forced retranslation (%d translations, %d entries)"
@@ -615,7 +615,7 @@ let prop_random_blocks =
           let sys, res = run_mode (D.System.Rules opt) words in
           (match res.T.Engine.reason with
           | `Halted _ -> ()
-          | `Insn_limit | `Livelock _ -> QCheck.Test.fail_reportf "[%s] insn limit" name);
+          | `Insn_limit | `Livelock _ | `Deadline -> QCheck.Test.fail_reportf "[%s] insn limit" name);
           match state_mismatch ref_snap (snapshot_of_sys sys) with
           | None -> true
           | Some msg -> QCheck.Test.fail_reportf "[%s]:@\n%s" name msg)
@@ -649,7 +649,7 @@ let prop_random_mem_blocks =
           let sys, res = run_mode (D.System.Rules opt) words in
           (match res.T.Engine.reason with
           | `Halted _ -> ()
-          | `Insn_limit | `Livelock _ -> QCheck.Test.fail_reportf "[%s] insn limit" name);
+          | `Insn_limit | `Livelock _ | `Deadline -> QCheck.Test.fail_reportf "[%s] insn limit" name);
           (* memory must agree too, not just registers *)
           let got_snap = snapshot_of_sys sys in
           (match state_mismatch ref_snap got_snap with

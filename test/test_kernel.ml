@@ -23,7 +23,7 @@ let run_image mode image =
   let code =
     match res.T.Engine.reason with
     | `Halted c -> c
-    | `Insn_limit | `Livelock _ -> Alcotest.fail "engine hit insn limit"
+    | `Insn_limit | `Livelock _ | `Deadline -> Alcotest.fail "engine hit insn limit"
   in
   (code, D.System.uart_output sys, D.System.stats sys)
 

@@ -151,7 +151,8 @@ let test_corpus_differential () =
           D.System.load_image sys 0 words;
           (match (D.System.run ~max_guest_insns:500_000 sys).T.Engine.reason with
           | `Halted _ -> ()
-          | `Insn_limit | `Livelock _ -> Alcotest.failf "%s: did not halt" prog.Minic.Ast.name);
+          | `Insn_limit | `Livelock _ | `Deadline ->
+            Alcotest.failf "%s: did not halt" prog.Minic.Ast.name);
           let cpu = D.System.cpu sys in
           for reg = 4 to 8 do
             Alcotest.(check int)

@@ -173,7 +173,7 @@ let run_image ?trace ?ledger image mode =
   let res = D.System.run ~max_guest_insns:2_000_000 sys in
   (match res.T.Engine.reason with
   | `Halted _ -> ()
-  | `Insn_limit -> Alcotest.fail "run hit its instruction limit"
+  | `Insn_limit | `Deadline -> Alcotest.fail "run hit its instruction limit"
   | `Livelock pc -> Alcotest.failf "livelock at %#x" pc);
   sys
 

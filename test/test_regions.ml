@@ -7,6 +7,8 @@ module Stats = Repro_x86.Stats
 module Exec = Repro_x86.Exec
 module Cpu = Repro_arm.Cpu
 module Snapshot = Repro_snapshot.Snapshot
+module Fi = Repro_faultinject.Faultinject
+module Perf = Repro_perfscope
 
 (* Hot-region superblock tests: profile-guided TB fusion must be
    invisible to the guest (same final state as the unfused engine),
@@ -19,15 +21,15 @@ let kernel_image ?(target = 30_000) ?(timer = 5_000) ?(bench = "gcc") () =
   let user = W.generate spec ~iterations:iters in
   K.build ~timer_period:timer ~user_program:user ()
 
-let make_sys mode image =
-  let sys = D.System.create mode in
+let make_sys ?inject ?scope mode image =
+  let sys = D.System.create ?inject ?scope mode in
   K.load image (fun base words -> D.System.load_image sys base words);
   sys
 
 let halt_code res =
   match res.T.Engine.reason with
   | `Halted c -> c
-  | `Insn_limit -> Alcotest.fail "run hit its instruction limit"
+  | `Insn_limit | `Deadline -> Alcotest.fail "run hit its instruction limit"
   | `Livelock pc -> Alcotest.failf "unrecovered livelock at %#x" pc
 
 (* Guest-visible state only: fusion changes modelled host costs, so
@@ -190,6 +192,76 @@ let test_region_restore () =
     (Stats.to_array (D.System.stats full))
     (Stats.to_array (D.System.stats thawed))
 
+(* ---- watchdog rollback bends the perfscope partition ---------------
+
+   Over a rollback-free run the scope's phase totals partition the
+   final host_insns exactly. A watchdog rollback breaks that: Stats is
+   reloaded from the checkpoint (the livelocked span's host insns are
+   discarded) while the scope keeps its accumulations. The discrepancy
+   telescopes — every rollback's excess is already inside the scope
+   total the next post-mortem observes — so at the end of the run
+
+     scope_total - host_insns
+       = (scope total at the LAST post-mortem)
+       - (host_insns recorded in the LAST rollback's checkpoint)
+
+   i.e. the partition "bend" is exactly the last rolled-back span plus
+   all earlier ones folded in, never an arbitrary leak. *)
+
+let test_region_watchdog_bend () =
+  let image = kernel_image ~target:60_000 () in
+  let clean = make_sys (D.System.Rules D.Opt.with_regions) image in
+  let clean_code = halt_code (D.System.run ~max_guest_insns:3_000_000 clean) in
+  let sabotaged () =
+    let inject = Fi.create ~seed:11 ~rate:0.0 () in
+    Fi.set_rate inject Fi.Host_livelock 0.05;
+    let scope = Perf.Scope.create () in
+    let sys = make_sys ~inject ~scope (D.System.Rules D.Opt.with_regions) image in
+    let pms = ref [] in
+    let res =
+      D.System.run ~max_guest_insns:3_000_000 ~checkpoint_every:4_000
+        ~on_postmortem:(fun ~reason:_ dump ->
+          (* capture the scope clock at the rollback instant (the
+             callback fires before the checkpoint is restored) and the
+             checkpoint's own host-insn clock from the dump *)
+          let d = Snapshot.Dec.of_string ~name:"stats" (Snapshot.find dump "stats") in
+          let cp_stats = Stats.create () in
+          Stats.load_array cp_stats (Snapshot.Dec.int_array d);
+          pms := (Perf.Scope.total scope, cp_stats.Stats.host_insns) :: !pms)
+        sys
+    in
+    (res, sys, scope, !pms (* newest first *))
+  in
+  let res, sys, scope, pms = sabotaged () in
+  let stats = D.System.stats sys in
+  Alcotest.(check bool) "sabotage livelocked at least once" true
+    (stats.Stats.livelocks_recovered > 0);
+  Alcotest.(check int) "one post-mortem per recovery"
+    stats.Stats.livelocks_recovered (List.length pms);
+  Alcotest.(check int) "guest still finishes with the clean answer" clean_code
+    (halt_code res);
+  Alcotest.(check bool) "rollback demoted the floor below regions" true
+    (D.System.rung_floor sys <> D.System.Rung_rules);
+  let s_pm_last, h_cp_last = List.hd pms in
+  Alcotest.(check int) "partition bend = exactly the rolled-back span"
+    (s_pm_last - h_cp_last)
+    (Perf.Scope.total scope - stats.Stats.host_insns);
+  (* post-rollback determinism: the whole recovery story — faults,
+     rollbacks, demotions, the bend itself — replays bit-identically
+     from the injector seed *)
+  let res2, sys2, scope2, pms2 = sabotaged () in
+  Alcotest.(check int) "same halt code" (halt_code res) (halt_code res2);
+  let ra, ma, ua = guest_fingerprint sys and rb, mb, ub = guest_fingerprint sys2 in
+  Alcotest.(check (array int)) "same cpu words" ra rb;
+  Alcotest.(check string) "same ram digest" ma mb;
+  Alcotest.(check string) "same uart" ua ub;
+  Alcotest.(check (array int)) "same stats (incl. recoveries)"
+    (Stats.to_array (D.System.stats sys))
+    (Stats.to_array (D.System.stats sys2));
+  Alcotest.(check int) "same scope total" (Perf.Scope.total scope)
+    (Perf.Scope.total scope2);
+  Alcotest.(check (list (pair int int))) "same rollback instants" pms pms2
+
 let suite =
   [
     ( "regions",
@@ -202,5 +274,7 @@ let suite =
           test_region_smc_split;
         Alcotest.test_case "snapshot rebuilds superblocks" `Quick
           test_region_restore;
+        Alcotest.test_case "watchdog rollback bends the perf partition" `Quick
+          test_region_watchdog_bend;
       ] );
   ]

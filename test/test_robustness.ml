@@ -121,7 +121,7 @@ let prop_faulting_blocks_agree =
             if c <> expected then
               QCheck.Test.fail_reportf "%s halted %#x, reference %#x" name c expected
             else true
-          | `Insn_limit | `Livelock _ -> QCheck.Test.fail_reportf "%s hit the insn limit" name)
+          | `Insn_limit | `Livelock _ | `Deadline -> QCheck.Test.fail_reportf "%s hit the insn limit" name)
         all_modes)
 
 (* ---- 2. transient fault injection is absorbed ---- *)
@@ -248,7 +248,7 @@ let prop_rule_corruption_repaired =
             "halted %#x, reference %#x (replays %d, divergences %d)" c expected
             s.Stats.shadow_replays s.Stats.shadow_divergences
         else true
-      | `Insn_limit | `Livelock _ -> QCheck.Test.fail_reportf "hit the insn limit")
+      | `Insn_limit | `Livelock _ | `Deadline -> QCheck.Test.fail_reportf "hit the insn limit")
 
 let suite =
   [

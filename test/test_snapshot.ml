@@ -43,7 +43,7 @@ let check_fingerprint msg (ra, ma, sa, ua) (rb, mb, sb, ub) =
 let halt_code res =
   match res.T.Engine.reason with
   | `Halted c -> c
-  | `Insn_limit -> Alcotest.fail "run hit its instruction limit"
+  | `Insn_limit | `Deadline -> Alcotest.fail "run hit its instruction limit"
   | `Livelock pc -> Alcotest.failf "unrecovered livelock at %#x" pc
 
 (* ---- rule-set serialization round-trip ----------------------------- *)
@@ -237,7 +237,7 @@ let test_corruption_detected () =
   let expect_corrupt what s =
     match Snapshot.of_string s with
     | _ -> Alcotest.failf "%s: corruption not detected" what
-    | exception Snapshot.Corrupt _ -> ()
+    | exception Snapshot.Load_error _ -> ()
   in
   expect_corrupt "bad magic" (flip 0);
   expect_corrupt "bad body byte" (flip (String.length good - 10));
@@ -248,6 +248,122 @@ let test_corruption_detected () =
   match D.System.restore small snap with
   | () -> Alcotest.fail "RAM-size mismatch must raise"
   | exception Snapshot.Corrupt _ -> ()
+
+(* ---- demotion state survives restore ------------------------------- *)
+
+(* Health only ratchets down: restoring an older, more optimistic
+   snapshot must not un-quarantine a rule or raise the degradation
+   floor (merge semantics), and a snapshot taken after a demotion must
+   carry it into a fresh machine (persistence). *)
+let test_restore_keeps_quarantine () =
+  let image = kernel_image () in
+  let sys = make_sys (D.System.Rules D.Opt.full) image in
+  let rs = Option.get sys.D.System.ruleset in
+  ignore (D.System.run ~max_guest_insns:10_000 ~checkpoint_every:4_000 sys);
+  (* snapshot A: optimistic — nothing demoted yet *)
+  let optimistic = Snapshot.of_string (Snapshot.to_string (D.System.snapshot sys)) in
+  Alcotest.(check (list int)) "baseline: nothing quarantined" []
+    (R.Ruleset.quarantined_ids rs);
+  Alcotest.(check bool) "baseline: floor is rules" true
+    (D.System.rung_floor sys = D.System.Rung_rules);
+  (* demote: quarantine a real rule fleet-style, drop the engine floor *)
+  let victim = (List.hd (R.Ruleset.rules rs)).R.Rule.id in
+  Alcotest.(check bool) "quarantine_by_id hits" true
+    (R.Ruleset.quarantine_by_id rs victim);
+  Alcotest.(check bool) "quarantine_by_id is idempotent" false
+    (R.Ruleset.quarantine_by_id rs victim);
+  Alcotest.(check bool) "degrade_floor drops one rung" true
+    (D.System.degrade_floor sys);
+  (* snapshot B: taken after the demotions. {!D.System.snapshot} hands
+     back the checkpoint from the last insn-limit stop, so run past
+     another limit first — the fresh stop checkpoint records the
+     demoted health. *)
+  ignore (D.System.run ~max_guest_insns:4_000 ~checkpoint_every:4_000 sys);
+  let demoted = Snapshot.of_string (Snapshot.to_string (D.System.snapshot sys)) in
+  (* restoring optimistic state must NOT reset the demotions *)
+  D.System.restore sys optimistic;
+  Alcotest.(check (list int)) "old snapshot does not un-quarantine"
+    [ victim ] (R.Ruleset.quarantined_ids rs);
+  Alcotest.(check bool) "old snapshot does not raise the floor" true
+    (D.System.rung_floor sys = D.System.Rung_baseline);
+  (* a fresh machine restoring snapshot B inherits the demotions *)
+  let thawed = make_sys (D.System.Rules D.Opt.full) image in
+  let rs2 = Option.get thawed.D.System.ruleset in
+  D.System.restore thawed demoted;
+  Alcotest.(check (list int)) "persisted quarantine arrives" [ victim ]
+    (R.Ruleset.quarantined_ids rs2);
+  Alcotest.(check bool) "persisted floor arrives" true
+    (D.System.rung_floor thawed = D.System.Rung_baseline);
+  (* and the demoted machine still finishes the workload cleanly *)
+  let res = D.System.run ~max_guest_insns:2_000_000 thawed in
+  ignore (halt_code res)
+
+(* Corrupt every section of a full engine-level snapshot in turn (and
+   truncate the container at a sweep of lengths): loading must always
+   surface a typed [Load_error] naming the damaged section — never a
+   wrong parse, never any other exception. *)
+let test_corrupt_every_section () =
+  let image = kernel_image () in
+  let sys = make_sys (D.System.Rules D.Opt.full) image in
+  ignore (D.System.run ~max_guest_insns:20_000 ~checkpoint_every:4_000 sys);
+  let snap = D.System.snapshot sys in
+  let good = Snapshot.to_string snap in
+  let load what s =
+    match Snapshot.of_string s with
+    | _ -> Alcotest.failf "%s: corruption not detected" what
+    | exception Snapshot.Load_error { section; _ } -> section
+    | exception e ->
+      Alcotest.failf "%s: escaped exception %s" what (Printexc.to_string e)
+  in
+  (* locate each payload inside the container to aim the bit flips;
+     payloads are unique enough in a real snapshot for a byte search *)
+  let find_sub hay needle from =
+    let n = String.length needle and h = String.length hay in
+    let rec go i =
+      if i + n > h then None
+      else if String.sub hay i n = needle then Some i
+      else go (i + 1)
+    in
+    go from
+  in
+  List.iter
+    (fun name ->
+      let payload = Snapshot.find snap name in
+      if String.length payload > 0 then begin
+        let pos =
+          match find_sub good payload 24 with
+          | Some p -> p
+          | None -> Alcotest.failf "%s: payload not found in container" name
+        in
+        let b = Bytes.of_string good in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+        let blamed = load (Printf.sprintf "flip in %s" name) (Bytes.to_string b) in
+        (* a flipped payload byte can also appear inside an earlier
+           section that happens to share those bytes; the blame must
+           still be a real section name *)
+        Alcotest.(check bool)
+          (Printf.sprintf "flip in %s blames a section (got %s)" name blamed)
+          true
+          (List.mem blamed (Snapshot.names snap))
+      end)
+    (Snapshot.names snap);
+  (* truncation sweep: every prefix must fail typed *)
+  let len = String.length good in
+  let step = max 1 (len / 97) in
+  let k = ref 0 in
+  while !k < len do
+    ignore (load (Printf.sprintf "truncate at %d" !k) (String.sub good 0 !k));
+    k := !k + step
+  done;
+  (* random bit-flip sweep with a deterministic PRNG *)
+  let prng = Repro_common.Prng.create ~seed:77 in
+  for _ = 1 to 200 do
+    let pos = Repro_common.Prng.int prng len in
+    let bit = 1 lsl Repro_common.Prng.int prng 8 in
+    let b = Bytes.of_string good in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bit));
+    ignore (load (Printf.sprintf "random flip at %d" pos) (Bytes.to_string b))
+  done
 
 (* ---- journal text format ------------------------------------------- *)
 
@@ -370,6 +486,10 @@ let suite =
         Alcotest.test_case "typed load errors" `Quick test_load_error;
         Alcotest.test_case "container corruption detected" `Quick
           test_corruption_detected;
+        Alcotest.test_case "corrupt-every-section fuzz" `Quick
+          test_corrupt_every_section;
+        Alcotest.test_case "restore keeps quarantine + floor" `Quick
+          test_restore_keeps_quarantine;
         Alcotest.test_case "journal text round-trip" `Quick
           test_journal_roundtrip;
         Alcotest.test_case "post-mortem profiles deterministic across restore"

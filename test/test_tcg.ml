@@ -40,7 +40,7 @@ let run_ref ?(max_steps = 300_000) words =
 let check_halted_dbt (res : T.Engine.result) =
   match res.T.Engine.reason with
   | `Halted _ -> ()
-  | `Insn_limit | `Livelock _ -> Alcotest.fail "DBT engine hit the instruction limit"
+  | `Insn_limit | `Livelock _ | `Deadline -> Alcotest.fail "DBT engine hit the instruction limit"
 
 let compare_state (rt : T.Runtime.t) (m : T.Ref_machine.t) =
   let dbt = Cpu.to_snapshot rt.T.Runtime.cpu in
@@ -328,7 +328,7 @@ let prop_random_block_differential =
       let rt, res = run_dbt words in
       (match res.T.Engine.reason with
       | `Halted _ -> ()
-      | `Insn_limit | `Livelock _ -> QCheck.Test.fail_report "dbt insn limit");
+      | `Insn_limit | `Livelock _ | `Deadline -> QCheck.Test.fail_report "dbt insn limit");
       let m, outcome, _ = run_ref words in
       (match outcome with
       | T.Ref_machine.Halted _ -> ()
