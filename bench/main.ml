@@ -43,13 +43,15 @@ let rec mkdir_p dir =
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
 
-(* Open [path] for writing, creating parent directories; any refusal
-   (unwritable parent, path is a directory, ...) fails with a clear
-   message instead of an uncaught Sys_error. *)
-let open_out_clearly ~what path =
+(* Write [path] crash-atomically (temp + rename), creating parent
+   directories; any refusal (unwritable parent, path is a directory,
+   ...) fails with a clear message instead of an uncaught Sys_error.
+   A bench process killed mid-write must never leave a truncated JSON
+   for the dbt_analyze regression gate to misread as a regression. *)
+let write_clearly ~what path content =
   try
     mkdir_p (Filename.dirname path);
-    open_out path
+    Repro_common.Atomicio.write path content
   with Sys_error e ->
     Printf.eprintf "bench: cannot write %s %s: %s\n%!" what path e;
     exit 1
@@ -74,15 +76,14 @@ let write_metrics name sys ledger =
   | None -> ()
   | Some dir ->
     let name = String.map (fun c -> if c = ':' then '-' else c) name in
-    let oc = open_out_clearly ~what:"metrics file" (Filename.concat dir (name ^ ".json")) in
-    output_string oc
+    write_clearly ~what:"metrics file"
+      (Filename.concat dir (name ^ ".json"))
       (Jsonx.obj
          [
            ("stats", Stats.to_json (D.System.stats sys));
            ("ledger", Repro_observe.Ledger.to_json ledger);
-         ]);
-    output_char oc '\n';
-    close_out oc
+         ]
+      ^ "\n")
 
 let run_slice mode spec_name =
   let spec = W.find spec_name in
@@ -185,16 +186,14 @@ let bench_json () =
     target
     (if ablate then ", ABLATED" else "");
   let slices = List.map run_bench_slice bench_slices in
-  let oc = open_out_clearly ~what:"bench file" path in
-  output_string oc
+  write_clearly ~what:"bench file" path
     (Jsonx.obj
        [
          ("rev", Jsonx.str rev);
          ("target", Jsonx.int target);
          ("slices", Jsonx.arr slices);
-       ]);
-  output_char oc '\n';
-  close_out oc;
+       ]
+    ^ "\n");
   Printf.printf "consolidated bench file written to %s (%d slices)\n%!" path
     (List.length slices)
 

@@ -8,7 +8,8 @@
    byte-identical JSON after `jq 'del(.volatile)'`.
 
    Exit codes: 0 success, 2 usage error, 5 a surviving machine
-   diverged from the fault-free reference, 6 the whole fleet died. *)
+   diverged from the fault-free reference, 6 the whole fleet died,
+   7 --depot-save could not commit. *)
 
 module D = Repro_dbt
 module K = Repro_kernel.Kernel
@@ -16,10 +17,13 @@ module W = Repro_workloads.Workloads
 module Fi = Repro_faultinject.Faultinject
 module R = Repro_resilience
 module Obs = Repro_observe
+module Depot = Repro_aotcache.Depot
+module Atomicio = Repro_common.Atomicio
 open Cmdliner
 
 let exit_diverged = 5
 let exit_fleet_dead = 6
+let exit_depot = 7
 
 let mode_of_string = function
   | "qemu" -> Ok D.System.Qemu
@@ -30,23 +34,47 @@ let mode_of_string = function
 
 (* Boot the workload on a pristine machine (injector present but every
    site at rate 0, so the warm phase is fault-free) and capture the
-   warm snapshot all fleet machines serve from. *)
-let warm_snapshot mode ~bench ~target ~timer ~warm ~shadow_depth
-    ~quarantine_threshold =
+   warm snapshot all fleet machines serve from. With [depot], the boot
+   machine installs the depot's recipes first, so the whole fleet
+   inherits the persistent cache through the one shared snapshot; an
+   incompatible depot degrades to a cold warm-up. Returns the boot
+   machine too, so --depot-save can capture its cache after the warm
+   phase. *)
+let warm_snapshot mode ?depot ~bench ~target ~timer ~warm ~shadow_depth
+    ~quarantine_threshold () =
   let spec = W.find bench in
   let iters = max 1 (target / W.insns_per_iteration spec) in
   let user = W.generate spec ~iterations:iters in
   let image = K.build ~timer_period:timer ~user_program:user () in
   let inject = Fi.create ~seed:1 ~rate:0.0 ~behavior:Fi.Surface () in
+  let ruleset =
+    match (depot, mode) with
+    | Some d, D.System.Rules _ when Depot.rules d <> "" -> (
+      match Repro_rules.Serialize.load (Depot.rules d) with
+      | Ok rs -> Some rs
+      | Error _ -> None)
+    | _ -> None
+  in
   let sys =
-    D.System.create ~inject ~shadow_depth ~quarantine_threshold mode
+    D.System.create ?ruleset ~inject ~shadow_depth ~quarantine_threshold mode
   in
   K.load image (fun base words -> D.System.load_image sys base words);
+  (match depot with
+  | None -> ()
+  | Some d -> (
+    match D.System.depot_install sys d with
+    | n ->
+      Format.printf "depot: generation %d, %d recipes installed at boot@."
+        (Depot.generation d) n
+    | exception Depot.Depot_error { section; reason } ->
+      Printf.eprintf
+        "depot incompatible (section %s: %s); fleet boots cold\n" section
+        reason));
   match
     (D.System.run ~max_guest_insns:warm ~checkpoint_every:warm sys)
       .Repro_tcg.Engine.reason
   with
-  | `Insn_limit -> Ok (D.System.snapshot sys)
+  | `Insn_limit -> Ok (sys, D.System.snapshot sys)
   | `Halted _ ->
     Error
       (Printf.sprintf
@@ -58,7 +86,7 @@ let warm_snapshot mode ~bench ~target ~timer ~warm ~shadow_depth
 let run_drill machines faulty seed requests bench mode_name target warm timer
     deadline_opt retry_budget min_healthy checkpoint_every fault_rate
     tb_flush_rate rule_corrupt_rate shadow_depth quarantine_threshold json_out
-    trace_file =
+    trace_file depot_save depot_load =
   let t0 = Sys.time () in
   let usage fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt in
   if machines <= 0 then usage "--machines must be positive";
@@ -90,12 +118,24 @@ let run_drill machines faulty seed requests bench mode_name target warm timer
         quarantine_threshold;
       }
     in
+    let depot_loaded =
+      match depot_load with
+      | None -> None
+      | Some dir -> (
+        match Depot.load dir with
+        | d -> Some d
+        | exception Depot.Depot_error { section; reason } ->
+          Printf.eprintf
+            "depot %s unusable (section %s: %s); fleet boots cold\n" dir
+            section reason;
+          None)
+    in
     match
-      warm_snapshot mode ~bench ~target ~timer ~warm ~shadow_depth
-        ~quarantine_threshold
+      warm_snapshot mode ?depot:depot_loaded ~bench ~target ~timer ~warm
+        ~shadow_depth ~quarantine_threshold ()
     with
     | Error e -> usage "%s" e
-    | Ok base ->
+    | Ok (boot_sys, base) ->
       let plan =
         Fi.Plan.make ~seed ~machines ~faulty
           [
@@ -121,10 +161,47 @@ let run_drill machines faulty seed requests bench mode_name target warm timer
       let all_verified = R.Fleet.final_verify fleet in
       (match (trace_file, trace) with
       | Some path, Some tr ->
-        let oc = open_out path in
-        Obs.Trace.write_jsonl oc tr;
-        close_out oc
+        Atomicio.write_channel path (fun oc -> Obs.Trace.write_jsonl oc tr)
       | _ -> ());
+      (* Persist what the drill learned. --depot-save captures the boot
+         machine's warm cache as a fresh depot; with --depot-load (and
+         no save) the loaded depot is rewritten in place only when the
+         fleet breaker demoted rules it didn't already know about. In
+         both cases the breaker verdicts ride the health section. *)
+      (match depot_save with
+      | Some dir -> (
+        match
+          let d = D.System.depot_capture boot_sys in
+          ignore (R.Fleet.depot_writeback fleet d);
+          (match depot_loaded with
+          | Some prev ->
+            ignore (Depot.quarantine_pcs d (Depot.quarantined_pcs prev))
+          | None -> ());
+          Depot.save ~dir d
+        with
+        | g -> Format.printf "depot saved to %s (generation %d)@." dir g
+        | exception Depot.Depot_error { section; reason } ->
+          Printf.eprintf "cannot save depot to %s (section %s: %s)\n" dir
+            section reason;
+          exit exit_depot)
+      | None -> (
+        match (depot_load, depot_loaded) with
+        | Some dir, Some d -> (
+          match
+            if R.Fleet.depot_writeback fleet d then Some (Depot.save ~dir d)
+            else None
+          with
+          | Some g ->
+            Format.printf
+              "depot: %d breaker-quarantined rule(s) written back, generation \
+               %d@."
+              (List.length (R.Fleet.quarantined_rules fleet))
+              g
+          | None -> ()
+          | exception Depot.Depot_error { section; reason } ->
+            Printf.eprintf "depot quarantine write-back failed (%s: %s)\n"
+              section reason)
+        | _ -> ()));
       let report =
         Obs.Jsonx.obj
           [
@@ -142,11 +219,7 @@ let run_drill machines faulty seed requests bench mode_name target warm timer
       in
       (match json_out with
       | None -> print_endline report
-      | Some path ->
-        let oc = open_out path in
-        output_string oc report;
-        output_char oc '\n';
-        close_out oc);
+      | Some path -> Atomicio.write path (report ^ "\n"));
       Format.printf
         "fleet drill: %d/%d served, %d timed out, %d shed, %d dead machine(s), \
          %d restart(s), %d breaker trip(s), availability %.3f@."
@@ -261,6 +334,24 @@ let trace_arg =
   let doc = "Write the fleet event trace (JSONL) to $(docv)." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let depot_save_arg =
+  let doc =
+    "After the drill, save the boot machine's warm translation cache (plus \
+     the breaker's quarantine verdicts) as a persistent AOT depot in \
+     directory $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "depot-save" ] ~docv:"DIR" ~doc)
+
+let depot_load_arg =
+  let doc =
+    "Boot the whole fleet warm from the AOT depot in directory $(docv): the \
+     boot machine installs its recipes before the warm snapshot is taken, \
+     so every fleet machine inherits the persistent cache. Rules the fleet \
+     breaker quarantines during the drill are written back to the depot. \
+     An unusable depot degrades to a cold fleet boot."
+  in
+  Arg.(value & opt (some string) None & info [ "depot-load" ] ~docv:"DIR" ~doc)
+
 let cmd =
   let doc = "serve a workload from a self-healing fleet under chaos" in
   Cmd.v
@@ -270,6 +361,6 @@ let cmd =
       $ bench_arg $ mode_arg $ target_arg $ warm_arg $ timer_arg $ deadline_arg
       $ retry_arg $ min_healthy_arg $ checkpoint_arg $ fault_rate_arg
       $ tb_flush_rate_arg $ rule_rate_arg $ shadow_arg $ quarantine_arg
-      $ json_arg $ trace_arg)
+      $ json_arg $ trace_arg $ depot_save_arg $ depot_load_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,7 +2,9 @@
    the dynamic statistics — the quick-look CLI around the system.
 
    Exit codes: 0 success, 2 usage error, 3 corrupt snapshot, 4 image
-   load error, 5 unrecovered livelock, 6 replay mismatch. Every
+   load error, 5 unrecovered livelock, 6 replay mismatch, 7 depot
+   verification failure (--depot-verify only: a depot that fails to
+   load at run time degrades to a cold start and exits 0). Every
    flag/name validation (benchmark, mode, trace format, log level)
    happens up front, before rule learning or any other expensive
    work, so a typo always fails immediately with exit 2. *)
@@ -16,6 +18,8 @@ module Snapshot = Repro_snapshot.Snapshot
 module Journal = Repro_snapshot.Journal
 module Obs = Repro_observe
 module Perf = Repro_perfscope
+module Depot = Repro_aotcache.Depot
+module Atomicio = Repro_common.Atomicio
 open Cmdliner
 
 let mode_of_string = function
@@ -33,6 +37,7 @@ let exit_corrupt = 3
 let exit_load = 4
 let exit_livelock = 5
 let exit_replay_mismatch = 6
+let exit_depot = 7
 
 let build_ruleset builtin_only rules_file =
   match rules_file with
@@ -91,11 +96,37 @@ let do_replay ruleset shadow_depth quarantine_threshold path =
     exit_replay_mismatch
   end
 
+(* --depot-verify: machine-free integrity + structural check of a
+   persistent depot directory. Exit 0 with a summary, or 7 naming the
+   damaged section — the typed failure CI corruption drills assert
+   on. *)
+let do_depot_verify dir =
+  match
+    let d = Depot.load dir in
+    let plains, regions = D.System.depot_check d in
+    (d, plains, regions)
+  with
+  | d, plains, regions ->
+    let c = Depot.compat d in
+    Format.printf
+      "depot %s: generation %d, mode %s, ruleset digest %#x, hot threshold %d@."
+      dir (Depot.generation d) c.Depot.c_mode c.Depot.c_rules_digest
+      c.Depot.c_hot_threshold;
+    Format.printf "  %d recipes, %d superblocks, %d quarantined PCs@." plains
+      regions
+      (List.length (Depot.quarantined_pcs d));
+    0
+  | exception Depot.Depot_error { section; reason } ->
+    Printf.eprintf "depot %s FAILED verification: section %s: %s\n" dir section
+      reason;
+    exit_depot
+
 let run bench mode_name target budget timer builtin_only rules_file dump_tbs
     profile_top inject_seed inject_rate surface_faults shadow_depth
     quarantine_threshold checkpoint_every save_file restore_file replay_file
     watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
-    ledger_on log_level stats_json perf_out flamegraph_out =
+    ledger_on log_level stats_json perf_out flamegraph_out depot_save depot_load
+    depot_verify =
   (match Obs.Log.level_of_string log_level with
   | Some lv -> Obs.Log.set_level lv
   | None ->
@@ -104,6 +135,17 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
     exit 2);
   if trace_format <> "jsonl" && trace_format <> "chrome" then begin
     Printf.eprintf "unknown trace format %s (jsonl|chrome)\n" trace_format;
+    exit 2
+  end;
+  (match depot_verify with
+  | Some dir -> exit (do_depot_verify dir)
+  | None -> ());
+  if depot_load <> None && (restore_file <> None || replay_file <> None) then begin
+    Printf.eprintf "--depot-load cannot be combined with --restore or --replay\n";
+    exit 2
+  end;
+  if depot_save <> None && replay_file <> None then begin
+    Printf.eprintf "--depot-save cannot be combined with --replay\n";
     exit 2
   end;
   match mode_of_string mode_name with
@@ -121,7 +163,47 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
           (String.concat ", " (List.map (fun (s : W.spec) -> s.W.name) W.cint2006));
         exit 2
     in
-    let ruleset = build_ruleset builtin_only rules_file in
+    let inject =
+      match inject_seed with
+      | None -> None
+      | Some seed ->
+        Some
+          (Repro_faultinject.Faultinject.create ~seed ~rate:inject_rate
+             ~behavior:
+               (if surface_faults then Repro_faultinject.Faultinject.Surface
+                else Repro_faultinject.Faultinject.Transient)
+             ())
+    in
+    (* The depot loads before the ruleset is built: a readable depot
+       embeds the ruleset its recipes were learned under, and adopting
+       it both skips re-learning and makes the compatibility digest
+       match by construction (explicit --rules/--builtin-rules still
+       win; install then checks the digest). Any failure here degrades
+       to a cold start — the run proceeds, it just translates. *)
+    let depot_loaded =
+      match depot_load with
+      | None -> None
+      | Some dir -> (
+        match Depot.load ?inject dir with
+        | d -> Some d
+        | exception Depot.Depot_error { section; reason } ->
+          Printf.eprintf
+            "depot %s unusable (section %s: %s); falling back to cold start\n"
+            dir section reason;
+          None)
+    in
+    let ruleset =
+      match (depot_loaded, mode) with
+      | Some d, D.System.Rules _
+        when rules_file = None && (not builtin_only) && Depot.rules d <> "" -> (
+        match Repro_rules.Serialize.load (Depot.rules d) with
+        | Ok rs -> rs
+        | Error e ->
+          Printf.eprintf "depot ruleset unreadable (%s); building one instead\n"
+            e;
+          build_ruleset builtin_only rules_file)
+      | _ -> build_ruleset builtin_only rules_file
+    in
     let trace =
       match trace_file with Some _ -> Some (Obs.Trace.create ()) | None -> None
     in
@@ -152,17 +234,6 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
           let iters = max 1 (target / W.insns_per_iteration spec) in
           let user = W.generate spec ~iterations:iters in
           let image = K.build ~timer_period:timer ~user_program:user () in
-          let inject =
-            match inject_seed with
-            | None -> None
-            | Some seed ->
-              Some
-                (Repro_faultinject.Faultinject.create ~seed ~rate:inject_rate
-                   ~behavior:
-                     (if surface_faults then Repro_faultinject.Faultinject.Surface
-                      else Repro_faultinject.Faultinject.Transient)
-                   ())
-          in
           let sys =
             D.System.create ~ruleset ?inject ~shadow_depth ~quarantine_threshold
               ?trace ?ledger ?scope mode
@@ -170,6 +241,21 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
           K.load image (fun base words -> D.System.load_image sys base words);
           (sys, Some image)
       in
+      (* Warm boot: replay depot recipes into the live cache. Any
+         incompatibility (mode, ruleset digest, hot threshold, rung) or
+         undecodable payload is a typed error and a cold start — never
+         a crash. *)
+      (match depot_loaded with
+      | None -> ()
+      | Some d -> (
+        match D.System.depot_install sys d with
+        | n ->
+          Format.printf "depot: generation %d, %d recipes installed at boot@."
+            (Depot.generation d) n
+        | exception Depot.Depot_error { section; reason } ->
+          Printf.eprintf
+            "depot incompatible (section %s: %s); falling back to cold start\n"
+            section reason));
       let profile =
         if profile_top > 0 || flamegraph_out <> None then
           Some (T.Profile.create ())
@@ -195,14 +281,21 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
       (* Periodic metrics ride the checkpoint mechanism: when only
          --metrics-every is given it sets the checkpoint cadence; an
          explicit --checkpoint-every wins and metrics follow it. *)
+      (* The metrics stream is built in a temp file and renamed into
+         place only on clean completion, so a run killed mid-write can
+         never leave a half-line JSONL for dbt_analyze to choke on. *)
       let metrics_oc =
-        match metrics_out with Some p -> Some (open_out p) | None -> None
+        match metrics_out with
+        | Some p ->
+          let tmp = p ^ ".tmp" in
+          Some (open_out tmp, tmp, p)
+        | None -> None
       in
       let last_metrics = ref (0, 0, 0) in
       let write_metrics () =
         match metrics_oc with
         | None -> ()
-        | Some oc ->
+        | Some (oc, _, _) ->
           let s = D.System.stats sys in
           let pg, ph, ps = !last_metrics in
           last_metrics := (s.Stats.guest_insns, s.Stats.host_insns, s.Stats.sync_ops);
@@ -225,7 +318,7 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
         if checkpoint_every > 0 then checkpoint_every else metrics_every
       in
       let on_checkpoint =
-        if metrics_oc <> None && effective_checkpoint_every > 0 then
+        if Option.is_some metrics_oc && effective_checkpoint_every > 0 then
           Some (fun _snap -> write_metrics ())
         else None
       in
@@ -235,16 +328,27 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
           ?on_postmortem sys
       in
       write_metrics ();
-      (match metrics_oc with Some oc -> close_out oc | None -> ());
+      (match metrics_oc with
+      | Some (oc, tmp, p) ->
+        close_out oc;
+        Sys.rename tmp p
+      | None -> ());
       let s = D.System.stats sys in
-      Format.printf "benchmark  %s@.mode       %s@.outcome    %s@.@.%a@." bench
-        (D.System.mode_name mode)
-        (match res.T.Engine.reason with
+      let outcome =
+        match res.T.Engine.reason with
         | `Halted c -> Printf.sprintf "halted (exit code %#x)" c
         | `Insn_limit -> "instruction limit reached"
         | `Deadline -> "deadline reached"
-        | `Livelock pc -> Printf.sprintf "livelocked at guest pc %#x" pc)
-        Stats.pp s;
+        | `Livelock pc -> Printf.sprintf "livelocked at guest pc %#x" pc
+      in
+      Format.printf "benchmark  %s@.mode       %s@.outcome    %s@.@.%a@." bench
+        (D.System.mode_name mode) outcome Stats.pp s;
+      (match depot_loaded with
+      | Some _ when Option.is_some sys.D.System.depot ->
+        let installed, pending = D.System.depot_coverage sys in
+        Format.printf "depot coverage: %d recipes installed, %d pending@."
+          installed pending
+      | _ -> ());
       (match sys.D.System.rt.T.Runtime.inject with
       | Some inj -> Format.printf "@.%a@." Repro_faultinject.Faultinject.pp inj
       | None -> ());
@@ -291,26 +395,23 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
       | None -> ());
       (match (trace, trace_file) with
       | Some tr, Some path ->
-        let oc = open_out path in
-        (match trace_format with
-        | "chrome" -> Obs.Trace.write_chrome oc tr
-        | _ -> Obs.Trace.write_jsonl oc tr);
-        close_out oc;
+        Atomicio.write_channel path (fun oc ->
+            match trace_format with
+            | "chrome" -> Obs.Trace.write_chrome oc tr
+            | _ -> Obs.Trace.write_jsonl oc tr);
         Format.printf "@.trace: %d events captured (%d dropped), %s written to %s@."
           (Obs.Trace.total tr) (Obs.Trace.dropped tr) trace_format path
       | _ -> ());
       (match (scope, perf_out) with
       | Some sc, Some path ->
-        let oc = open_out path in
-        output_string oc
+        Atomicio.write path
           (Obs.Jsonx.obj
              [
                ("perf", Perf.Scope.to_json sc);
                ("costs", T.Costs.to_json ());
                ("stats", Stats.to_json s);
-             ]);
-        output_char oc '\n';
-        close_out oc;
+             ]
+          ^ "\n");
         Format.printf "@.perf report written to %s@." path
       | _ -> ());
       (match (profile, flamegraph_out) with
@@ -347,17 +448,20 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
             end
             else Perf.Flame.add fl base e.T.Profile.host_spent)
           (T.Profile.entries p);
-        let oc = open_out path in
-        Perf.Flame.write_folded oc fl;
-        close_out oc;
+        Atomicio.write_channel path (fun oc -> Perf.Flame.write_folded oc fl);
         Format.printf "@.flamegraph (collapsed stacks) written to %s@." path
       | _ -> ());
       (match stats_json with
       | Some path ->
-        let oc = open_out path in
-        output_string oc
+        Atomicio.write path
           (Obs.Jsonx.obj
-             ([ ("stats", Stats.to_json s) ]
+             ([
+                ("stats", Stats.to_json s);
+                ("outcome", Obs.Jsonx.str outcome);
+                ( "uart_digest",
+                  Obs.Jsonx.str
+                    (Digest.to_hex (Digest.string (D.System.uart_output sys))) );
+              ]
              @ (match scope with
                | Some sc ->
                  [ ("perf", Perf.Scope.to_json sc); ("costs", T.Costs.to_json ()) ]
@@ -365,6 +469,17 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
              @ (match ledger with
                | Some l -> [ ("ledger", Obs.Ledger.to_json l) ]
                | None -> [])
+             @ (match (depot_loaded, sys.D.System.depot) with
+               | Some _, Some _ ->
+                 let installed, pending = D.System.depot_coverage sys in
+                 [ ( "depot",
+                     Obs.Jsonx.obj
+                       [
+                         ("installed", Obs.Jsonx.int installed);
+                         ("pending", Obs.Jsonx.int pending);
+                       ] );
+                 ]
+               | _ -> [])
              @
              match trace with
              | Some tr ->
@@ -375,14 +490,53 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
                        ("dropped", Obs.Jsonx.int (Obs.Trace.dropped tr));
                      ] );
                ]
-             | None -> []));
-        output_char oc '\n';
-        close_out oc
+             | None -> [])
+          ^ "\n")
       | None -> ());
       (match save_file with
       | Some path ->
         Snapshot.save_file path (D.System.snapshot sys);
         Format.printf "@.machine snapshot saved to %s@." path
+      | None -> ());
+      (* Self-repair write-back: depot-served TBs that shadow
+         verification invalidated this run are quarantined in the depot
+         itself, so no later warm boot replays them. Only rewrite when
+         something actually grew. *)
+      (match (depot_load, depot_loaded, depot_save) with
+      | Some dir, Some d, None ->
+        let poisoned = D.System.depot_poisoned sys in
+        if poisoned <> [] && Depot.quarantine_pcs d poisoned then begin
+          match Depot.save ?inject ~dir d with
+          | g ->
+            Format.printf
+              "depot: quarantined %d poisoned PC(s), generation %d written@."
+              (List.length poisoned) g
+          | exception Depot.Depot_error { section; reason } ->
+            Printf.eprintf "depot quarantine write-back failed (%s: %s)\n"
+              section reason
+        end
+      | _ -> ());
+      (match depot_save with
+      | Some dir -> (
+        match
+          let d = D.System.depot_capture sys in
+          (* carry forward quarantines learned this run (and inherited
+             ones, when re-saving over a loaded depot) *)
+          let poisoned = D.System.depot_poisoned sys in
+          let inherited =
+            match depot_loaded with
+            | Some prev -> Depot.quarantined_pcs prev
+            | None -> []
+          in
+          ignore (Depot.quarantine_pcs d (poisoned @ inherited));
+          Depot.save ?inject ~dir d
+        with
+        | g ->
+          Format.printf "depot saved to %s (generation %d)@." dir g
+        | exception Depot.Depot_error { section; reason } ->
+          Printf.eprintf "cannot save depot to %s (section %s: %s)\n" dir
+            section reason;
+          exit exit_depot)
       | None -> ());
       (match res.T.Engine.reason with
       | `Livelock _ -> exit exit_livelock
@@ -392,13 +546,15 @@ let run_protected bench mode target budget timer builtin_only rules_file
     dump_tbs profile_top inject_seed inject_rate surface_faults shadow_depth
     quarantine_threshold checkpoint_every save_file restore_file replay_file
     watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
-    ledger_on log_level stats_json perf_out flamegraph_out =
+    ledger_on log_level stats_json perf_out flamegraph_out depot_save depot_load
+    depot_verify =
   try
     run bench mode target budget timer builtin_only rules_file dump_tbs
       profile_top inject_seed inject_rate surface_faults shadow_depth
       quarantine_threshold checkpoint_every save_file restore_file replay_file
       watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
-      ledger_on log_level stats_json perf_out flamegraph_out
+      ledger_on log_level stats_json perf_out flamegraph_out depot_save
+      depot_load depot_verify
   with
   | T.Runtime.Load_error addr ->
     Printf.eprintf "image load error: physical address %#x is outside guest RAM\n"
@@ -410,6 +566,12 @@ let run_protected bench mode target budget timer builtin_only rules_file
   | Snapshot.Load_error { section; reason } ->
     Printf.eprintf "corrupt snapshot: section %s: %s\n" section reason;
     exit exit_corrupt
+  | Depot.Depot_error { section; reason } ->
+    (* Backstop: every depot path above already degrades or exits with
+       its own message; anything that still escapes is a depot bug, not
+       a crash. *)
+    Printf.eprintf "depot error: section %s: %s\n" section reason;
+    exit exit_depot
 
 let bench_arg =
   let doc = "Benchmark name (a CINT2006 row of Table I)." in
@@ -599,6 +761,32 @@ let flamegraph_arg =
   in
   Arg.(value & opt (some string) None & info [ "flamegraph" ] ~docv:"FILE" ~doc)
 
+let depot_save_arg =
+  let doc =
+    "After the run, save a persistent AOT depot (learned rule set + \
+     translation recipes + health state) into directory $(docv) with a \
+     crash-atomic generation commit, so later runs of the same \
+     configuration can boot warm with --depot-load."
+  in
+  Arg.(value & opt (some string) None & info [ "depot-save" ] ~docv:"DIR" ~doc)
+
+let depot_load_arg =
+  let doc =
+    "Warm-boot from the AOT depot in directory $(docv): adopt its embedded \
+     rule set and pre-install its translation recipes so the run starts \
+     with a hot code cache. An unreadable or incompatible depot degrades \
+     to a normal cold start (exit code unaffected)."
+  in
+  Arg.(value & opt (some string) None & info [ "depot-load" ] ~docv:"DIR" ~doc)
+
+let depot_verify_arg =
+  let doc =
+    "Verify the integrity and structure of the AOT depot in directory \
+     $(docv) without running anything, then exit: 0 when sound, 7 naming \
+     the damaged section otherwise."
+  in
+  Arg.(value & opt (some string) None & info [ "depot-verify" ] ~docv:"DIR" ~doc)
+
 let cmd =
   let doc = "run one benchmark under one DBT engine" in
   Cmd.v
@@ -610,6 +798,7 @@ let cmd =
       $ checkpoint_arg $ save_arg $ restore_arg $ replay_arg $ watchdog_arg
       $ postmortem_arg $ trace_arg $ trace_format_arg $ metrics_out_arg
       $ metrics_every_arg $ ledger_arg $ log_level_arg $ stats_json_arg
-      $ perf_arg $ flamegraph_arg)
+      $ perf_arg $ flamegraph_arg $ depot_save_arg $ depot_load_arg
+      $ depot_verify_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,319 @@
+module Snapshot = Repro_snapshot.Snapshot
+module Fi = Repro_faultinject.Faultinject
+module Atomicio = Repro_common.Atomicio
+
+exception Depot_error of { section : string; reason : string }
+
+let err section fmt =
+  Printf.ksprintf (fun reason -> raise (Depot_error { section; reason })) fmt
+
+(* Any decoder slip (truncated payload, bad tag) inside [section]
+   becomes the typed error; nothing else escapes the load path. *)
+let guard section f =
+  try f () with
+  | Snapshot.Corrupt reason -> err section "%s" reason
+  | Invalid_argument reason -> err section "%s" reason
+
+let format_version = 1
+let magic = "DBTDEPOT"
+let manifest_name = "MANIFEST"
+let manifest_header = "DBTDEPOT-MANIFEST 1"
+
+type compat = { c_mode : string; c_rules_digest : int; c_hot_threshold : int }
+
+type t = {
+  mutable generation : int;
+  compat : compat;
+  rules : string;
+  cache : string;
+  srcsum : int array;
+  mutable health : string;
+  mutable quarantined : int list;  (* sorted ascending *)
+}
+
+let create ~compat ~rules ~cache ~srcsum ~health =
+  { generation = 0; compat; rules; cache; srcsum; health; quarantined = [] }
+
+let compat t = t.compat
+let generation t = t.generation
+let rules t = t.rules
+let cache_payload t = t.cache
+let srcsum t = t.srcsum
+let health t = t.health
+let set_health t h = t.health <- h
+let quarantined_pcs t = t.quarantined
+
+let quarantine_pcs t pcs =
+  let merged = List.sort_uniq compare (pcs @ t.quarantined) in
+  let grew = List.length merged > List.length t.quarantined in
+  t.quarantined <- merged;
+  grew
+
+let ruleset_digest rs = Snapshot.fnv1a32 (Repro_rules.Serialize.save rs)
+
+(* ---- blob container ---- *)
+
+let encode_compat c =
+  let b = Snapshot.Enc.create () in
+  Snapshot.Enc.string b c.c_mode;
+  Snapshot.Enc.int b c.c_rules_digest;
+  Snapshot.Enc.int b c.c_hot_threshold;
+  Snapshot.Enc.contents b
+
+let decode_compat payload =
+  guard "compat" @@ fun () ->
+  let d = Snapshot.Dec.of_string ~name:"compat" payload in
+  let c_mode = Snapshot.Dec.string d in
+  let c_rules_digest = Snapshot.Dec.int d in
+  let c_hot_threshold = Snapshot.Dec.int d in
+  if not (Snapshot.Dec.finished d) then err "compat" "trailing bytes";
+  { c_mode; c_rules_digest; c_hot_threshold }
+
+let encode_ints l =
+  let b = Snapshot.Enc.create () in
+  Snapshot.Enc.int_array b (Array.of_list l);
+  Snapshot.Enc.contents b
+
+let decode_ints section payload =
+  guard section @@ fun () ->
+  let d = Snapshot.Dec.of_string ~name:section payload in
+  let a = Snapshot.Dec.int_array d in
+  if not (Snapshot.Dec.finished d) then err section "trailing bytes";
+  Array.to_list a
+
+let to_string t =
+  let b = Snapshot.Enc.create () in
+  Snapshot.Enc.int b t.generation;
+  let srcsum_payload =
+    let e = Snapshot.Enc.create () in
+    Snapshot.Enc.int_array e t.srcsum;
+    Snapshot.Enc.contents e
+  in
+  let sections =
+    [
+      ("compat", encode_compat t.compat);
+      ("rules", t.rules);
+      ("cache", t.cache);
+      ("srcsum", srcsum_payload);
+      ("health", t.health);
+      ("quarantine", encode_ints t.quarantined);
+    ]
+  in
+  Snapshot.Enc.int b (List.length sections);
+  List.iter
+    (fun (name, payload) ->
+      Snapshot.Enc.string b name;
+      Snapshot.Enc.string b payload;
+      Snapshot.Enc.int b (Snapshot.fnv1a32 payload))
+    sections;
+  let body = Snapshot.Enc.contents b in
+  let hdr = Snapshot.Enc.create () in
+  Snapshot.Enc.int hdr format_version;
+  Snapshot.Enc.int hdr (Snapshot.fnv1a32 body);
+  magic ^ Snapshot.Enc.contents hdr ^ body
+
+let of_string s =
+  if String.length s < 24 then
+    err "container" "truncated header (%d bytes)" (String.length s);
+  if String.sub s 0 8 <> magic then err "container" "bad magic";
+  let hdr = Snapshot.Dec.of_string ~name:"container" (String.sub s 8 16) in
+  let version = guard "container" (fun () -> Snapshot.Dec.int hdr) in
+  if version <> format_version then
+    err "container" "format version %d, this build reads %d" version
+      format_version;
+  let sum = guard "container" (fun () -> Snapshot.Dec.int hdr) in
+  let body = String.sub s 24 (String.length s - 24) in
+  let actual = Snapshot.fnv1a32 body in
+  if sum <> actual then
+    err "container" "body checksum mismatch (stored %#x, computed %#x)" sum
+      actual;
+  let d = Snapshot.Dec.of_string ~name:"depot" body in
+  let generation = guard "container" (fun () -> Snapshot.Dec.int d) in
+  if generation < 0 then err "container" "negative generation";
+  let count = guard "container" (fun () -> Snapshot.Dec.int d) in
+  if count < 0 || count > 64 then err "container" "bad section count %d" count;
+  let sections =
+    List.init count (fun _ ->
+        guard "container" @@ fun () ->
+        let name = Snapshot.Dec.string d in
+        let payload = Snapshot.Dec.string d in
+        let sum = Snapshot.Dec.int d in
+        let actual = Snapshot.fnv1a32 payload in
+        if sum <> actual then
+          err name "section checksum mismatch (stored %#x, computed %#x)" sum
+            actual;
+        (name, payload))
+  in
+  if not (guard "container" (fun () -> Snapshot.Dec.finished d)) then
+    err "container" "trailing bytes";
+  let find name =
+    match List.assoc_opt name sections with
+    | Some p -> p
+    | None -> err name "missing section"
+  in
+  let compat = decode_compat (find "compat") in
+  let srcsum = Array.of_list (decode_ints "srcsum" (find "srcsum")) in
+  let quarantined = List.sort_uniq compare (decode_ints "quarantine" (find "quarantine")) in
+  {
+    generation;
+    compat;
+    rules = find "rules";
+    cache = find "cache";
+    srcsum;
+    health = find "health";
+    quarantined;
+  }
+
+(* ---- the directory: manifest-committed generations ---- *)
+
+type manifest = {
+  m_generation : int;
+  m_blob : string;
+  m_bytes : int;
+  m_checksum : int;
+}
+
+let blob_name t = Printf.sprintf "depot-%d.bin" t.generation
+let is_blob f = String.length f > 10 && String.sub f 0 6 = "depot-" && Filename.check_suffix f ".bin"
+
+let read_whole_file section path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error e -> err section "%s" e
+
+let parse_manifest s =
+  match String.split_on_char '\n' s with
+  | header :: rest when header = manifest_header ->
+    let kv =
+      List.filter_map
+        (fun line ->
+          match String.index_opt line ' ' with
+          | Some i ->
+            Some
+              ( String.sub line 0 i,
+                String.sub line (i + 1) (String.length line - i - 1) )
+          | None -> None)
+        rest
+    in
+    let get k =
+      match List.assoc_opt k kv with
+      | Some v -> v
+      | None -> err "manifest" "missing field %s" k
+    in
+    let num k =
+      match int_of_string_opt (get k) with
+      | Some n when n >= 0 -> n
+      | _ -> err "manifest" "bad field %s %S" k (get k)
+    in
+    let blob = get "blob" in
+    if Filename.basename blob <> blob || not (is_blob blob) then
+      err "manifest" "bad blob name %S" blob;
+    {
+      m_generation = num "generation";
+      m_blob = blob;
+      m_bytes = num "bytes";
+      m_checksum = num "checksum";
+    }
+  | _ -> err "manifest" "bad manifest header"
+
+let read_manifest dir =
+  let path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists path) then
+    err "manifest" "no depot manifest in %s" dir;
+  parse_manifest (read_whole_file "manifest" path)
+
+let render_manifest m =
+  Printf.sprintf "%s\ngeneration %d\nblob %s\nbytes %d\nchecksum 0x%08x\n"
+    manifest_header m.m_generation m.m_blob m.m_bytes m.m_checksum
+
+let save ?inject ~dir t =
+  (match Sys.is_directory dir with
+  | true -> ()
+  | false -> err "container" "%s exists and is not a directory" dir
+  | exception Sys_error _ -> (
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()));
+  let prev =
+    if Sys.file_exists (Filename.concat dir manifest_name) then
+      (* an unreadable previous manifest must not brick saving: the new
+         commit replaces it wholesale *)
+      try Some (read_manifest dir) with Depot_error _ -> None
+    else None
+  in
+  t.generation <-
+    (match prev with Some m -> m.m_generation + 1 | None -> 1);
+  let blob = to_string t in
+  let name = blob_name t in
+  (* Fault site: a torn write — a prefix of the blob reaches disk yet
+     the commit protocol proceeds. The manifest records the intended
+     bytes/checksum, which is exactly how the next load catches it. *)
+  let written =
+    match inject with
+    | Some inj when Fi.fire inj Fi.Depot_torn ->
+      String.sub blob 0 (String.length blob / 2)
+    | _ -> blob
+  in
+  Atomicio.write (Filename.concat dir name) written;
+  Atomicio.write
+    (Filename.concat dir manifest_name)
+    (render_manifest
+       {
+         m_generation = t.generation;
+         m_blob = name;
+         m_bytes = String.length blob;
+         m_checksum = Snapshot.fnv1a32 blob;
+       });
+  (* Older generations (and orphans from crashed saves) are garbage
+     once the manifest moved on. Removal is best-effort: a leftover
+     blob is unreachable, not harmful. *)
+  Array.iter
+    (fun f ->
+      if f <> name && is_blob f then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  t.generation
+
+let load ?inject dir =
+  (match Sys.is_directory dir with
+  | true -> ()
+  | false -> err "manifest" "%s is not a directory" dir
+  | exception Sys_error _ -> err "manifest" "no depot at %s" dir);
+  let m = read_manifest dir in
+  let raw = read_whole_file "blob" (Filename.concat dir m.m_blob) in
+  (* Read-path fault sites: lose the tail, or flip one bit. Both are
+     deterministic in *placement* (middle of the blob) — only the
+     firing decision draws from the injector PRNG. *)
+  let raw =
+    match inject with
+    | Some inj ->
+      let raw =
+        if Fi.fire inj Fi.Depot_trunc then
+          String.sub raw 0 (String.length raw / 2)
+        else raw
+      in
+      if Fi.fire inj Fi.Depot_flip && String.length raw > 0 then begin
+        let b = Bytes.of_string raw in
+        let pos = Bytes.length b / 2 in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+        Bytes.to_string b
+      end
+      else raw
+    | None -> raw
+  in
+  if String.length raw <> m.m_bytes then
+    err "blob" "manifest promises %d bytes, %s has %d" m.m_bytes m.m_blob
+      (String.length raw);
+  let actual = Snapshot.fnv1a32 raw in
+  if actual <> m.m_checksum then
+    err "blob" "blob checksum mismatch (manifest %#x, computed %#x)"
+      m.m_checksum actual;
+  let t = of_string raw in
+  if t.generation <> m.m_generation then
+    err "manifest" "generation skew (manifest %d, blob %d)" m.m_generation
+      t.generation;
+  t

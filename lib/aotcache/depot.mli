@@ -1,0 +1,125 @@
+(** The persistent AOT code depot: a durable on-disk artifact holding
+    a learned ruleset plus translation recipes (TBs and superblocks),
+    decoupled from full machine snapshots — so a machine, or a whole
+    fleet, boots {e warm} with (almost) zero translation cost.
+
+    The depot is a {e directory}:
+
+    {v
+      <dir>/MANIFEST        tiny text file, committed last
+      <dir>/depot-<g>.bin   one immutable generation-stamped blob
+    v}
+
+    and every update is crash-atomic: the new blob is written first
+    (temp + fsync + rename via {!Repro_common.Atomicio}), then the
+    manifest — which names the blob, its byte count and its whole-blob
+    FNV checksum — commits the new generation with a second atomic
+    rename. A crash between the two leaves an orphaned blob the loader
+    never looks at; the previous generation stays live.
+
+    Blob container format:
+
+    {v
+      bytes 0..7    magic "DBTDEPOT"
+      bytes 8..15   u64 LE format version (currently 1)
+      bytes 16..23  u64 LE FNV-1a-32 checksum of the body
+      bytes 24..    body: u64 generation, u64 section count, then per
+                    section a length-prefixed name, a length-prefixed
+                    payload and a u64 FNV-1a-32 payload checksum
+    v}
+
+    Sections: ["compat"] (the {!compat} key), ["rules"] (the
+    serialized ruleset), ["cache"] (translation recipes — the opaque
+    payload produced by [Repro_dbt.System]), ["srcsum"] (per-recipe
+    guest-code checksums, the install-time fidelity guard), ["health"]
+    (blacklist / rule strikes / quarantined rules) and ["quarantine"]
+    (guest PCs whose depot entries were poisoned — shadow verification
+    caught a depot-loaded TB diverging, and the write-back keeps the
+    poison from ever reloading).
+
+    Nothing translated is trusted untyped: every load failure — torn
+    write, truncation, bit flip, version or compatibility skew —
+    raises {!Depot_error} naming the damaged section, and callers
+    degrade to cold JIT translation instead of crashing. *)
+
+exception Depot_error of { section : string; reason : string }
+(** The only exception the load/verify paths raise, whatever the
+    bytes on disk. [section] is a blob section name, or ["manifest"] /
+    ["blob"] / ["container"] for damage outside any section. *)
+
+val format_version : int
+
+type compat = {
+  c_mode : string;  (** engine mode name, e.g. ["rules:full"] *)
+  c_rules_digest : int;
+      (** FNV-1a-32 of the serialized ruleset the recipes were
+          translated under (see {!ruleset_digest}); [0] in qemu mode *)
+  c_hot_threshold : int;
+      (** {!Repro_tcg.Engine.hot_threshold} at capture time — recipes
+          record superblocks fused at exactly this hotness *)
+}
+(** The compatibility key. Install refuses a depot whose key differs
+    from the machine's in any component: recipes are only replayable
+    under the translator configuration that produced them. *)
+
+type t
+
+val create :
+  compat:compat ->
+  rules:string ->
+  cache:string ->
+  srcsum:int array ->
+  health:string ->
+  t
+(** A fresh depot at generation 0 (stamped on first {!save}). *)
+
+val compat : t -> compat
+val generation : t -> int
+
+val rules : t -> string
+(** The serialized ruleset ({!Repro_rules.Serialize} format) — a warm
+    boot can adopt it instead of re-learning. *)
+
+val cache_payload : t -> string
+val srcsum : t -> int array
+val health : t -> string
+val set_health : t -> string -> unit
+
+val quarantined_pcs : t -> int list
+(** Sorted guest PCs whose depot recipes are poisoned. *)
+
+val quarantine_pcs : t -> int list -> bool
+(** Add PCs to the poison set (write-back after a shadow-verification
+    divergence on a depot-installed TB). Returns [true] when the set
+    grew — i.e. a {!save} is warranted. *)
+
+val ruleset_digest : Repro_rules.Ruleset.t -> int
+(** FNV-1a-32 over the byte-stable {!Repro_rules.Serialize.save}
+    encoding — the ruleset component of the {!compat} key. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Parse and validate magic, version, every per-section checksum and
+    the whole-body checksum. Raises {!Depot_error} (and nothing else)
+    on any failure. *)
+
+val save : ?inject:Repro_faultinject.Faultinject.t -> dir:string -> t -> int
+(** Commit the depot to [dir] as the next generation (creating the
+    directory if needed) and garbage-collect older blobs. Returns the
+    committed generation. With [inject], the {!Repro_faultinject}
+    [Depot_torn] site can tear the blob write (a prefix reaches disk
+    yet the manifest still commits — the worst case the checksums
+    exist to catch). *)
+
+val load : ?inject:Repro_faultinject.Faultinject.t -> string -> t
+(** Load the manifest-current generation from a depot directory.
+    With [inject], the [Depot_trunc] / [Depot_flip] sites damage the
+    bytes after the read, exercising the verification path. Raises
+    {!Depot_error} on any integrity failure. *)
+
+val manifest_name : string
+(** ["MANIFEST"] — exposed so tooling (CI corruption drills) can
+    locate the current blob. *)
+
+val blob_name : t -> string
+(** The blob filename this depot's generation lives in. *)

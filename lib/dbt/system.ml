@@ -12,6 +12,7 @@ module Ruleset = Repro_rules.Ruleset
 module Flagconv = Repro_rules.Flagconv
 module Snapshot = Repro_snapshot.Snapshot
 module Journal = Repro_snapshot.Journal
+module Depot = Repro_aotcache.Depot
 module Trace = Repro_observe.Trace
 module Scope = Repro_perfscope.Scope
 
@@ -61,6 +62,51 @@ let degrade = function
   | Rung_baseline -> Some Rung_interp
   | Rung_interp -> None
 
+type tb_record = {
+  r_id : int;
+  r_pc : int;
+  r_priv : bool;
+  r_mmu : bool;
+  r_override : int option;
+  r_injected : [ `None | `Rule_corrupt | `Livelock ];
+  r_hot : int;
+  r_meta : (bool array * Flagconv.t option) option;
+}
+
+type region_record = {
+  rg_id : int;
+  rg_hot : int;
+  rg_members : int array;  (* plain record indices, trace order *)
+  rg_meta : (bool array * Flagconv.t option) option;
+}
+
+(* Warm-boot bookkeeping for recipes loaded from a persistent depot.
+   Indices 0..n-1 are plain records, n.. the superblock recipes (the
+   same combined index space the chain graph uses). A recipe is
+   [installed] once it has been replayed into the live cache for the
+   current cache generation, [dead] once it can never install in this
+   generation (quarantined, or its guest bytes never matched), and
+   pending otherwise — pending recipes are retried in waves, each
+   triggered by the first cache miss on one of them. *)
+type depot_state = {
+  dp_records : tb_record array;
+  dp_links : int array array;
+  dp_regions : region_record array;
+  dp_region_links : int array array;
+  dp_srcsum : int array;  (* per plain record, install fidelity guard *)
+  dp_keys : (int * bool * bool, int) Hashtbl.t;
+      (* (pc, privileged, mmu_on) -> plain record index *)
+  dp_skip : bool array;  (* quarantined at install time; never replayed *)
+  dp_installed : Tb.t option array;
+  dp_dead : bool array;
+  mutable dp_generation : int;
+  mutable dp_installed_count : int;
+  dp_pcs : (int, unit) Hashtbl.t;
+      (* guest PCs served from the depot — poison attribution *)
+  mutable dp_poisoned : int list;
+      (* depot-served PCs whose TB shadow verification invalidated *)
+}
+
 type t = {
   mode : mode;
   rt : Runtime.t;
@@ -72,6 +118,7 @@ type t = {
   mutable last_checkpoint : Snapshot.t option;
   mutable stop_checkpoint : Snapshot.t option;
   mutable rung_floor : rung;
+  mutable depot : depot_state option;
 }
 
 let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
@@ -107,7 +154,11 @@ let create ?ram_kib ?ruleset ?tb_capacity ?inject ?shadow_depth
     last_checkpoint = None;
     stop_checkpoint = None;
     rung_floor = (match mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules);
+    depot = None;
   }
+
+let natural_rung t =
+  match t.mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules
 
 let rung_floor t = t.rung_floor
 
@@ -242,24 +293,6 @@ let encode_cache t =
     regions;
   Array.iter enc_links regions;
   Snapshot.Enc.contents b
-
-type tb_record = {
-  r_id : int;
-  r_pc : int;
-  r_priv : bool;
-  r_mmu : bool;
-  r_override : int option;
-  r_injected : [ `None | `Rule_corrupt | `Livelock ];
-  r_hot : int;
-  r_meta : (bool array * Flagconv.t option) option;
-}
-
-type region_record = {
-  rg_id : int;
-  rg_hot : int;
-  rg_members : int array;  (* plain record indices, trace order *)
-  rg_meta : (bool array * Flagconv.t option) option;
-}
 
 let decode_cache payload =
   let d = Snapshot.Dec.of_string ~name:"cache" payload in
@@ -425,6 +458,21 @@ let snapshot t =
 
 (* ---- restore ---- *)
 
+(* Demotion-state merge policy: health only ever ratchets down.
+   Blacklists and quarantine sets take the union, per-rule strikes the
+   maximum — shared by snapshot restore and depot install. *)
+let union_int l1 l2 = List.sort_uniq compare (l1 @ l2)
+
+let max_strikes a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (id, n) ->
+      match Hashtbl.find_opt tbl id with
+      | Some m when m >= n -> ()
+      | _ -> Hashtbl.replace tbl id n)
+    (a @ b);
+  Hashtbl.fold (fun id n acc -> (id, n) :: acc) tbl [] |> List.sort compare
+
 (* Re-translate the captured live set in id order under each record's
    recorded context (privilege, MMU, SMC length override, injected
    corruption), re-fuse the captured superblocks from their recorded
@@ -576,17 +624,6 @@ let restore ?(rebuild = true) t snap =
       let saved, strikes, quarantined = decode_translator payload in
       let cur = Translator_rule.save_state tr in
       let cur_strikes, cur_quarantined = Ruleset.export_health rs in
-      let union_int l1 l2 = List.sort_uniq compare (l1 @ l2) in
-      let max_strikes a b =
-        let tbl = Hashtbl.create 16 in
-        List.iter
-          (fun (id, n) ->
-            match Hashtbl.find_opt tbl id with
-            | Some m when m >= n -> ()
-            | _ -> Hashtbl.replace tbl id n)
-          (a @ b);
-        Hashtbl.fold (fun id n acc -> (id, n) :: acc) tbl [] |> List.sort compare
-      in
       let merged =
         {
           saved with
@@ -619,10 +656,7 @@ let restore ?(rebuild = true) t snap =
      TBs and the engine that will execute them disagree on host-state
      conventions — so a demoted machine flushes instead and lets the
      degraded engine retranslate on demand, which is guest-invariant. *)
-  let natural =
-    match t.mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules
-  in
-  if rebuild && t.rung_floor = natural then begin
+  if rebuild && t.rung_floor = natural_rung t then begin
     let records, links, regions, region_links =
       decode_cache (Snapshot.find snap "cache")
     in
@@ -687,6 +721,447 @@ let snapshot_clean snap =
   match Snapshot.find_opt snap "resume" with
   | None -> true
   | Some p -> (decode_resume p).Engine.rneeds_enter
+
+(* ---- the persistent AOT code depot ---- *)
+
+let depot_err section fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Depot.Depot_error { section; reason }))
+    fmt
+
+(* Install-time fidelity guard: a depot recipe is only replayed when
+   the guest code it came from is byte-for-byte what this machine's
+   memory holds at install time. The checksum runs over the decoded
+   instruction rendering, so it also covers the decoder's view. *)
+let guest_checksum (tb : Tb.t) =
+  let b = Buffer.create 128 in
+  Array.iter
+    (fun i -> Buffer.add_string b (Format.asprintf "%a;" Repro_arm.Insn.pp i))
+    tb.Tb.guest_insns;
+  Snapshot.fnv1a32 (Buffer.contents b)
+
+let cache_srcsums t =
+  Tb.Cache.to_list t.cache
+  |> List.sort (fun (a : Tb.t) (b : Tb.t) -> compare a.Tb.id b.Tb.id)
+  |> List.map guest_checksum
+  |> Array.of_list
+
+(* The depot's health section carries only the durable demotions —
+   PC blacklist, per-rule strikes, quarantined rules. Shadow
+   verification progress deliberately stays out: depot-installed TBs
+   re-verify on every warm boot, and that re-verification is the
+   sensor the depot's self-repair loop (poison write-back) runs on. *)
+let encode_depot_health ~blacklist ~strikes ~quarantined =
+  let b = Snapshot.Enc.create () in
+  Snapshot.Enc.int_array b (Array.of_list blacklist);
+  Snapshot.Enc.int b (List.length strikes);
+  List.iter
+    (fun (x, y) ->
+      Snapshot.Enc.int b x;
+      Snapshot.Enc.int b y)
+    strikes;
+  Snapshot.Enc.int_array b (Array.of_list quarantined);
+  Snapshot.Enc.contents b
+
+let decode_depot_health payload =
+  let d = Snapshot.Dec.of_string ~name:"health" payload in
+  let blacklist = Array.to_list (Snapshot.Dec.int_array d) in
+  let n = Snapshot.Dec.int d in
+  if n < 0 then raise (Snapshot.Corrupt "health: negative strike count");
+  let strikes =
+    List.init n (fun _ ->
+        let x = Snapshot.Dec.int d in
+        let y = Snapshot.Dec.int d in
+        (x, y))
+  in
+  let quarantined = Array.to_list (Snapshot.Dec.int_array d) in
+  if not (Snapshot.Dec.finished d) then
+    raise (Snapshot.Corrupt "health: trailing bytes");
+  (blacklist, strikes, quarantined)
+
+let depot_compat t =
+  {
+    Depot.c_mode = mode_name t.mode;
+    c_rules_digest =
+      (match t.ruleset with Some rs -> Depot.ruleset_digest rs | None -> 0);
+    c_hot_threshold = Engine.hot_threshold;
+  }
+
+let depot_capture t =
+  let natural = natural_rung t in
+  if t.rung_floor <> natural then
+    depot_err "compat"
+      "machine floor is the %s rung; a depot captures its natural %s engine's \
+       cache"
+      (rung_name t.rung_floor) (rung_name natural);
+  let rules =
+    match t.ruleset with
+    | Some rs -> Repro_rules.Serialize.save rs
+    | None -> ""
+  in
+  let health =
+    match (t.rule_translator, t.ruleset) with
+    | Some tr, Some rs ->
+      let saved = Translator_rule.save_state tr in
+      let strikes, quarantined = Ruleset.export_health rs in
+      encode_depot_health ~blacklist:saved.Translator_rule.s_blacklist ~strikes
+        ~quarantined
+    | _ -> encode_depot_health ~blacklist:[] ~strikes:[] ~quarantined:[]
+  in
+  Depot.create ~compat:(depot_compat t) ~rules ~cache:(encode_cache t)
+    ~srcsum:(cache_srcsums t) ~health
+
+(* One install wave: re-translate every still-pending recipe against
+   guest memory as it stands right now, keeping whatever matches its
+   recorded checksum. The pass is machine-neutral — CPU, env, RAM,
+   TLB, devices, injector PRNG and statistics round-trip through a
+   scratch capture, the engine-transient runtime fields are put back
+   by hand (restore_machine resets them to between-TB defaults, which
+   is wrong for a pass spliced into a live engine), the translator's
+   counters are pinned back and its ledger detached — so a warm run's
+   guest-visible behaviour is the cold run's. Recipes whose guest
+   bytes do not match stay pending: the guest has not built that world
+   yet (page tables before the MMU turns on, code it relocates later);
+   the first miss in the new regime triggers the next wave. *)
+let depot_pass t dp =
+  let rt = t.rt in
+  let gen = Tb.Cache.generation t.cache in
+  if dp.dp_generation <> gen then begin
+    (* every earlier install died with the cache flush *)
+    Array.fill dp.dp_installed 0 (Array.length dp.dp_installed) None;
+    Array.blit dp.dp_skip 0 dp.dp_dead 0 (Array.length dp.dp_skip);
+    dp.dp_installed_count <- 0;
+    dp.dp_generation <- gen
+  end;
+  let n = Array.length dp.dp_records in
+  let fresh = ref [] in
+  let saved_ledger =
+    match t.rule_translator with
+    | Some tr ->
+      let l = Translator_rule.ledger tr in
+      Translator_rule.set_ledger tr None;
+      l
+    | None -> None
+  in
+  let saved_tr = Option.map Translator_rule.save_state t.rule_translator in
+  let scratch = Snapshot.create () in
+  Snapshot.capture_machine rt scratch;
+  let pcw = rt.Runtime.pending_code_write
+  and scw = rt.Runtime.suppress_code_write
+  and tbov = rt.Runtime.tb_override
+  and cov = rt.Runtime.corrupt_override
+  and fps = rt.Runtime.fault_producers in
+  Fun.protect
+    ~finally:(fun () ->
+      Snapshot.restore_machine rt scratch;
+      rt.Runtime.pending_code_write <- pcw;
+      rt.Runtime.suppress_code_write <- scw;
+      rt.Runtime.tb_override <- tbov;
+      rt.Runtime.corrupt_override <- cov;
+      rt.Runtime.fault_producers <- fps;
+      (match (t.rule_translator, saved_tr) with
+      | Some tr, Some s ->
+        Translator_rule.restore_counters tr s;
+        Translator_rule.set_ledger tr saved_ledger
+      | _ -> ());
+      (* write-protect what stuck, exactly as cold translation would *)
+      List.iter
+        (fun (tb : Tb.t) ->
+          if not (Tb.is_region tb) then begin
+            Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb tb.Tb.guest_pc;
+            Tlb.clear_write_tag rt.Runtime.ctx.Runtime.Exec.tlb
+              (tb.Tb.guest_pc + (4 * tb.Tb.guest_len) - 4)
+          end)
+        !fresh)
+  @@ fun () ->
+  let translate =
+    match t.rule_translator with
+    | Some tr -> fun rt cache ~pc -> Translator_rule.translate tr rt cache ~pc
+    | None -> Repro_tcg.Translator_qemu.translate
+  in
+  Array.iteri
+    (fun i r ->
+      if Option.is_none dp.dp_installed.(i) && not dp.dp_dead.(i) then
+        match
+          Tb.Cache.find_plain t.cache ~pc:r.r_pc ~privileged:r.r_priv
+            ~mmu_on:r.r_mmu
+        with
+        | Some tb ->
+          (* the engine already translated this PC cold; adopt it so
+             regions and links over it can still install *)
+          dp.dp_installed.(i) <- Some tb;
+          dp.dp_installed_count <- dp.dp_installed_count + 1
+        | None -> (
+          Cpu.set_mode rt.Runtime.cpu
+            (if r.r_priv then Cpu.Supervisor else Cpu.User);
+          Cpu.set_mmu_enabled rt.Runtime.cpu r.r_mmu;
+          rt.Runtime.tb_override <- r.r_override;
+          rt.Runtime.corrupt_override <- Some r.r_injected;
+          match translate rt t.cache ~pc:r.r_pc with
+          | Ok tb when guest_checksum tb = dp.dp_srcsum.(i) ->
+            tb.Tb.hot <- r.r_hot;
+            Tb.Cache.add_exact t.cache tb;
+            dp.dp_installed.(i) <- Some tb;
+            dp.dp_installed_count <- dp.dp_installed_count + 1;
+            Hashtbl.replace dp.dp_pcs r.r_pc ();
+            fresh := tb :: !fresh
+          | Ok _ | Error _ -> ()))
+    dp.dp_records;
+  rt.Runtime.tb_override <- None;
+  rt.Runtime.corrupt_override <- None;
+  (* captured link-time meta, for freshly installed recipes only —
+     adopted TBs evolve their own meta through the live link hook *)
+  (match t.rule_translator with
+  | Some tr ->
+    Array.iteri
+      (fun i r ->
+        match (dp.dp_installed.(i), r.r_meta) with
+        | Some tb, Some (elide, entry_conv) when List.memq tb !fresh ->
+          Translator_rule.restore_cache_meta tr tb ~elide ~entry_conv
+        | _ -> ())
+      dp.dp_records
+  | None -> ());
+  (* superblocks whose constituents all made it *)
+  (match t.rule_translator with
+  | None -> ()
+  | Some tr ->
+    Array.iteri
+      (fun j rg ->
+        let k = n + j in
+        if Option.is_none dp.dp_installed.(k) && not dp.dp_dead.(k) then begin
+          let members = Array.map (fun i -> dp.dp_installed.(i)) rg.rg_members in
+          if Array.for_all Option.is_some members then begin
+            let head = dp.dp_records.(rg.rg_members.(0)) in
+            match
+              Tb.Cache.find t.cache ~pc:head.r_pc ~privileged:head.r_priv
+                ~mmu_on:head.r_mmu
+            with
+            | Some tb when Tb.is_region tb ->
+              (* the live engine fused its own superblock here first *)
+              dp.dp_dead.(k) <- true
+            | _ -> (
+              let trace = Array.to_list (Array.map Option.get members) in
+              match Translator_rule.fuse_trace tr rt t.cache ~trace with
+              | Some region ->
+                region.Tb.hot <- rg.rg_hot;
+                (match rg.rg_meta with
+                | Some (elide, entry_conv) ->
+                  Translator_rule.restore_cache_meta tr region ~elide
+                    ~entry_conv
+                | None -> ());
+                dp.dp_installed.(k) <- Some region;
+                dp.dp_installed_count <- dp.dp_installed_count + 1;
+                Hashtbl.replace dp.dp_pcs region.Tb.guest_pc ()
+              | None -> dp.dp_dead.(k) <- true)
+          end
+        end)
+      dp.dp_regions);
+  (* the captured chain graph, filling only empty slots between
+     depot-tracked TBs — links the live engine already made stand *)
+  let apply_links base table =
+    Array.iteri
+      (fun i slots ->
+        match dp.dp_installed.(base + i) with
+        | None -> ()
+        | Some tb ->
+          Array.iteri
+            (fun slot succ ->
+              if
+                succ >= 0
+                && succ < Array.length dp.dp_installed
+                && slot < Array.length tb.Tb.links
+              then
+                match (tb.Tb.links.(slot), dp.dp_installed.(succ)) with
+                | None, Some s -> tb.Tb.links.(slot) <- Some s
+                | _ -> ())
+            slots)
+      table
+  in
+  apply_links 0 dp.dp_links;
+  apply_links n dp.dp_region_links
+
+let depot_install t depot =
+  let c = Depot.compat depot in
+  let here = depot_compat t in
+  if c.Depot.c_mode <> here.Depot.c_mode then
+    depot_err "compat" "depot built under mode %s, this machine runs %s"
+      c.Depot.c_mode here.Depot.c_mode;
+  if c.Depot.c_rules_digest <> here.Depot.c_rules_digest then
+    depot_err "compat"
+      "ruleset digest mismatch (depot %#x, machine %#x): recipes are only \
+       replayable under the ruleset that learned them"
+      c.Depot.c_rules_digest here.Depot.c_rules_digest;
+  if c.Depot.c_hot_threshold <> here.Depot.c_hot_threshold then
+    depot_err "compat" "hot threshold mismatch (depot %d, engine %d)"
+      c.Depot.c_hot_threshold here.Depot.c_hot_threshold;
+  let natural = natural_rung t in
+  if t.rung_floor <> natural then
+    depot_err "compat"
+      "machine floor is the %s rung; depot recipes are translated for its \
+       natural %s engine"
+      (rung_name t.rung_floor) (rung_name natural);
+  let records, links, regions, region_links =
+    try decode_cache (Depot.cache_payload depot) with
+    | Snapshot.Corrupt reason -> depot_err "cache" "%s" reason
+    | Invalid_argument reason -> depot_err "cache" "%s" reason
+  in
+  let srcsum = Depot.srcsum depot in
+  if Array.length srcsum <> Array.length records then
+    depot_err "srcsum" "%d checksums for %d recipes" (Array.length srcsum)
+      (Array.length records);
+  if Array.length regions > 0 && t.rule_translator = None then
+    depot_err "cache" "superblock recipes in a qemu-mode depot";
+  let blacklist, strikes, quarantined =
+    try decode_depot_health (Depot.health depot) with
+    | Snapshot.Corrupt reason -> depot_err "health" "%s" reason
+    | Invalid_argument reason -> depot_err "health" "%s" reason
+  in
+  (* The depot's durable demotions ratchet in before any recipe is
+     replayed (union/max merge, the same policy snapshot restore
+     uses); the flush keeps no TB translated under the pre-merge
+     health alive. *)
+  Tb.Cache.flush t.cache;
+  (match (t.rule_translator, t.ruleset) with
+  | Some tr, Some rs ->
+    let cur = Translator_rule.save_state tr in
+    let cur_strikes, cur_quarantined = Ruleset.export_health rs in
+    Translator_rule.restore_state tr
+      {
+        cur with
+        Translator_rule.s_blacklist =
+          union_int cur.Translator_rule.s_blacklist blacklist;
+      };
+    Ruleset.restore_health rs
+      ~strikes:(max_strikes strikes cur_strikes)
+      ~quarantined:(union_int quarantined cur_quarantined)
+  | _ -> ());
+  let n = Array.length records and m = Array.length regions in
+  let qpcs = Hashtbl.create 8 in
+  List.iter
+    (fun pc -> Hashtbl.replace qpcs pc ())
+    (Depot.quarantined_pcs depot);
+  let skip = Array.make (n + m) false in
+  Array.iteri
+    (fun i r -> if Hashtbl.mem qpcs r.r_pc then skip.(i) <- true)
+    records;
+  Array.iteri
+    (fun j rg ->
+      if Array.exists (fun i -> skip.(i)) rg.rg_members then skip.(n + j) <- true)
+    regions;
+  let keys = Hashtbl.create (2 * (n + 1)) in
+  Array.iteri
+    (fun i r -> Hashtbl.replace keys (r.r_pc, r.r_priv, r.r_mmu) i)
+    records;
+  let dp =
+    {
+      dp_records = records;
+      dp_links = links;
+      dp_regions = regions;
+      dp_region_links = region_links;
+      dp_srcsum = srcsum;
+      dp_keys = keys;
+      dp_skip = skip;
+      dp_installed = Array.make (n + m) None;
+      dp_dead = Array.copy skip;
+      dp_generation = Tb.Cache.generation t.cache;
+      dp_installed_count = 0;
+      dp_pcs = Hashtbl.create 64;
+      dp_poisoned = [];
+    }
+  in
+  t.depot <- Some dp;
+  (* Wave 1 installs whatever current guest memory supports — at a
+     cold boot, the MMU-off recipes. The rest stays pending for
+     miss-triggered waves once the guest builds those worlds. *)
+  (try depot_pass t dp with
+  | Snapshot.Corrupt reason | Invalid_argument reason ->
+    t.depot <- None;
+    depot_err "cache" "recipe replay failed: %s" reason);
+  dp.dp_installed_count
+
+(* Miss-triggered wave: the engine missed on (pc, regime); if that key
+   is a still-pending depot recipe, run a wave and serve the result.
+   A recipe that cannot install even at its own miss is dead — the
+   guest memory it was recorded against no longer exists — so it never
+   triggers another wave. A recipe poisoned in a way the checksums
+   cannot see (it decodes, installs, then misbehaves semantically)
+   surfaces as an exception here; the depot is dropped wholesale and
+   the run continues cold. *)
+let depot_hit t ~pc =
+  match t.depot with
+  | None -> None
+  | Some dp -> (
+    let rt = t.rt in
+    let privileged = Runtime.privileged rt in
+    let mmu_on = Cpu.mmu_enabled rt.Runtime.cpu in
+    match Hashtbl.find_opt dp.dp_keys (pc, privileged, mmu_on) with
+    | None -> None
+    | Some i ->
+      let stale = dp.dp_generation <> Tb.Cache.generation t.cache in
+      if (not stale) && (Option.is_some dp.dp_installed.(i) || dp.dp_dead.(i))
+      then None
+      else begin
+        (match depot_pass t dp with
+        | () -> ()
+        | exception (Snapshot.Corrupt _ | Invalid_argument _ | Not_found) ->
+          t.depot <- None);
+        match t.depot with
+        | None -> None
+        | Some dp -> (
+          match dp.dp_installed.(i) with
+          | Some tb -> Some tb
+          | None ->
+            dp.dp_dead.(i) <- true;
+            None)
+      end)
+
+let depot_coverage t =
+  match t.depot with
+  | None -> (0, 0)
+  | Some dp ->
+    let dead =
+      Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dp.dp_dead
+    in
+    ( dp.dp_installed_count,
+      Array.length dp.dp_installed - dp.dp_installed_count - dead )
+
+let depot_poisoned t =
+  match t.depot with
+  | None -> []
+  | Some dp -> List.sort compare dp.dp_poisoned
+
+(* Structural verification without a machine: decode every engine-level
+   payload the way install would. Returns (plain recipes, superblocks). *)
+let depot_check depot =
+  let records, _, regions, _ =
+    try decode_cache (Depot.cache_payload depot) with
+    | Snapshot.Corrupt reason -> depot_err "cache" "%s" reason
+    | Invalid_argument reason -> depot_err "cache" "%s" reason
+  in
+  if Array.length (Depot.srcsum depot) <> Array.length records then
+    depot_err "srcsum" "%d checksums for %d recipes"
+      (Array.length (Depot.srcsum depot))
+      (Array.length records);
+  (try ignore (decode_depot_health (Depot.health depot)) with
+  | Snapshot.Corrupt reason -> depot_err "health" "%s" reason
+  | Invalid_argument reason -> depot_err "health" "%s" reason);
+  (Array.length records, Array.length regions)
+
+(* Fleet write-back: fold breaker-quarantined rule ids into the depot's
+   durable health. Returns true when the set grew (save warranted). *)
+let depot_quarantine_rules depot ids =
+  let blacklist, strikes, quarantined =
+    try decode_depot_health (Depot.health depot) with
+    | Snapshot.Corrupt reason -> depot_err "health" "%s" reason
+    | Invalid_argument reason -> depot_err "health" "%s" reason
+  in
+  let merged = union_int ids quarantined in
+  if List.length merged = List.length quarantined then false
+  else begin
+    Depot.set_health depot
+      (encode_depot_health ~blacklist ~strikes ~quarantined:merged);
+    true
+  end
 
 (* ---- the run loop: journal hooks, checkpoints, watchdog ---- *)
 
@@ -820,7 +1295,10 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?deadline
         | _ -> None
       in
       common
-        (fun rt cache ~pc -> Translator_rule.translate tr rt cache ~pc)
+        (fun rt cache ~pc ->
+          match depot_hit t ~pc with
+          | Some tb -> Ok tb
+          | None -> Translator_rule.translate tr rt cache ~pc)
         ?on_hot
         ~link_hook:(fun ~pred ~slot ~succ ->
           Translator_rule.link_hook tr ~pred ~slot ~succ)
@@ -829,6 +1307,14 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?deadline
           match Translator_rule.on_executed tr t.rt tb ~outcome ~guest with
           | `Continue -> `Continue
           | `Invalidate ->
+            (* a depot-served TB failing shadow verification poisons
+               its depot entry: recorded here, written back by the
+               front end so the entry never reloads *)
+            (match t.depot with
+            | Some dp when Hashtbl.mem dp.dp_pcs tb.Tb.guest_pc ->
+              if not (List.mem tb.Tb.guest_pc dp.dp_poisoned) then
+                dp.dp_poisoned <- tb.Tb.guest_pc :: dp.dp_poisoned
+            | _ -> ());
             Journal.record t.journal
               (Journal.Diverge
                  {
@@ -847,7 +1333,19 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?deadline
             | None -> ());
             `Invalidate)
         ()
-    | Rung_baseline -> common Repro_tcg.Translator_qemu.translate ()
+    | Rung_baseline ->
+      let translate =
+        match t.mode with
+        | Qemu ->
+          (* baseline is qemu-mode's natural rung: depot recipes serve
+             its misses too *)
+          fun rt cache ~pc -> (
+            match depot_hit t ~pc with
+            | Some tb -> Ok tb
+            | None -> Repro_tcg.Translator_qemu.translate rt cache ~pc)
+        | Rules _ -> Repro_tcg.Translator_qemu.translate
+      in
+      common translate ()
     | Rung_interp -> common interp_translate ()
   in
   let rec attempt rung resume =
@@ -896,11 +1394,7 @@ let run ?chaining ?profile ?(max_guest_insns = max_int) ?deadline
       | _ -> res)
     | _ -> res
   in
-  let first_rung =
-    lowest_rung
-      (match t.mode with Qemu -> Rung_baseline | Rules _ -> Rung_rules)
-      t.rung_floor
-  in
+  let first_rung = lowest_rung (natural_rung t) t.rung_floor in
   let resume = t.pending_resume in
   t.pending_resume <- None;
   let res = attempt first_rung resume in

@@ -43,6 +43,12 @@ val rung_of_level : int -> rung
 (** Inverse of {!rung_level}; raises [Snapshot.Corrupt] on anything
     else (the ["degrade"] snapshot section decodes through this). *)
 
+type depot_state
+(** Warm-boot bookkeeping for recipes loaded from a persistent depot:
+    which are installed in the live cache, which are still pending
+    (their guest-memory world does not exist yet) and which are dead
+    for the current cache generation. See {!depot_install}. *)
+
 type t = {
   mode : mode;
   rt : Repro_tcg.Runtime.t;
@@ -68,6 +74,9 @@ type t = {
           demotions, rides in snapshots (["degrade"] section), and
           merges downward on {!restore} — prefer {!set_rung_floor} /
           {!degrade_floor} over writing it directly *)
+  mutable depot : depot_state option;
+      (** set by {!depot_install}; [None] means cold (no depot, or the
+          depot was dropped after a semantically-poisoned recipe) *)
 }
 
 val create :
@@ -241,3 +250,65 @@ val replay : ?slack:int -> t -> Snapshot.t -> replay_report
 (** Restore a post-mortem dump and re-execute (watchdog off) until
     [slack] guest instructions past the last expected event,
     comparing the event journals. *)
+
+(** {2 The persistent AOT code depot}
+
+    A {!Repro_aotcache.Depot} holds a machine's learned ruleset plus
+    its translation recipes (TBs and superblocks) decoupled from any
+    machine snapshot, so a fresh boot — same image, same mode — starts
+    {e warm}: recipes replay into the live cache instead of being
+    translated on demand, and the perfscope translate phase stays near
+    zero. Unlike {!restore}, nothing architectural is touched; the
+    guest-visible run is bit-identical to a cold boot.
+
+    Because recipes re-translate from guest memory, installation is
+    {e wave}-based: {!depot_install} replays whatever current memory
+    supports (the MMU-off boot path), and recipes for worlds the guest
+    builds later (its page tables, relocated code) stay pending until
+    the first cache miss in that regime triggers another wave. Each
+    wave is machine-neutral — CPU, RAM, TLB, devices, injector PRNG
+    and statistics are captured and restored around it — and every
+    replayed recipe must match its recorded guest-code checksum or it
+    stays out of the cache.
+
+    Every function here raises {!Repro_aotcache.Depot.Depot_error}
+    (and nothing else) when the depot cannot be used; callers degrade
+    to a cold start. *)
+
+val depot_capture : t -> Repro_aotcache.Depot.t
+(** Package the machine's current ruleset, live translation cache,
+    per-recipe guest-code checksums and durable rule health into a
+    depot (generation stamped on save). Raises on a machine demoted
+    below its natural rung — degraded caches are not publishable. *)
+
+val depot_install : t -> Repro_aotcache.Depot.t -> int
+(** Verify the depot's compatibility key (mode, ruleset digest, hot
+    threshold, natural rung) against this machine, ratchet in its
+    durable health (union/max merge), skip quarantined (poisoned)
+    entries, and run the first install wave. Call after {!load_image},
+    before {!run}. Returns the number of recipes installed by the
+    first wave; the rest install from miss-triggered waves during
+    {!run}. Raises {!Repro_aotcache.Depot.Depot_error} on any
+    incompatibility or undecodable payload, leaving the machine cold
+    but unharmed. *)
+
+val depot_coverage : t -> int * int
+(** [(installed, pending)] recipe counts for the current cache
+    generation; [(0, 0)] when no depot is attached. *)
+
+val depot_poisoned : t -> int list
+(** Guest PCs of depot-served TBs that shadow verification invalidated
+    this process — write them back with
+    {!Repro_aotcache.Depot.quarantine_pcs} + save so they never
+    reload. Sorted ascending. *)
+
+val depot_check : Repro_aotcache.Depot.t -> int * int
+(** Machine-free structural verification: decode the cache recipes and
+    health payload exactly as {!depot_install} would. Returns
+    [(plain recipes, superblocks)]; raises
+    {!Repro_aotcache.Depot.Depot_error} on damage. *)
+
+val depot_quarantine_rules : Repro_aotcache.Depot.t -> int list -> bool
+(** Fold breaker-quarantined rule ids into the depot's durable health
+    section (fleet write-back). Returns [true] when the set grew and a
+    save is warranted. *)

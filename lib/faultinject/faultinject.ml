@@ -9,12 +9,15 @@ type site =
   | Tb_flush
   | Rule_corrupt
   | Host_livelock
+  | Depot_torn
+  | Depot_trunc
+  | Depot_flip
 
 type behavior = Transient | Surface
 
 let all_sites =
   [ Bus_read; Bus_write; Tlb_flush; Walk_corrupt; Spurious_irq; Tb_flush; Rule_corrupt;
-    Host_livelock ]
+    Host_livelock; Depot_torn; Depot_trunc; Depot_flip ]
 
 let n_sites = List.length all_sites
 
@@ -27,6 +30,9 @@ let index = function
   | Tb_flush -> 5
   | Rule_corrupt -> 6
   | Host_livelock -> 7
+  | Depot_torn -> 8
+  | Depot_trunc -> 9
+  | Depot_flip -> 10
 
 let site_name = function
   | Bus_read -> "bus-read"
@@ -37,6 +43,9 @@ let site_name = function
   | Tb_flush -> "tb-flush"
   | Rule_corrupt -> "rule-corrupt"
   | Host_livelock -> "host-livelock"
+  | Depot_torn -> "depot-torn"
+  | Depot_trunc -> "depot-trunc"
+  | Depot_flip -> "depot-flip"
 
 let site_of_name n = List.find_opt (fun s -> site_name s = n) all_sites
 

@@ -29,6 +29,15 @@ type site =
           loop — exercises the engine's fuel watchdog. Defaults to
           rate 0 (opt-in) even when [create ~rate] arms every other
           site, because it hangs the TB rather than perturbing it. *)
+  | Depot_torn
+      (** AOT depot blob torn mid-write: only a prefix of the bytes
+          reach disk, yet the manifest still commits — models fsync
+          lies and bit rot between write and crash. Caught at the next
+          load by the container checksums. *)
+  | Depot_trunc
+      (** AOT depot blob truncated on the read path (tail lost). *)
+  | Depot_flip
+      (** one bit of the AOT depot blob flipped on the read path. *)
 
 type behavior =
   | Transient  (** bus faults are counted but the access proceeds *)

@@ -242,6 +242,12 @@ let quarantined_rules t =
   List.sort_uniq compare
     (Hashtbl.fold (fun id () acc -> id :: acc) t.known_quarantined [])
 
+(* The drill's quarantine verdicts outlive the drill: fold them into a
+   persistent depot's health section so every later warm boot starts
+   with those rules already demoted. *)
+let depot_writeback t depot =
+  D.System.depot_quarantine_rules depot (quarantined_rules t)
+
 (* Deterministic metrics document: everything here is a function of
    the fleet seed, the base snapshot and the request count, so CI can
    diff two same-seed drills byte-for-byte. Wall-clock and other

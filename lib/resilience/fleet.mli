@@ -78,3 +78,12 @@ val restarts : t -> int
 val backoff_insns : t -> int
 val availability : t -> float
 val quarantined_rules : t -> int list
+(** Every rule id the fleet-wide circuit breaker demoted during the
+    drill, sorted ascending. *)
+
+val depot_writeback : t -> Repro_aotcache.Depot.t -> bool
+(** Merge {!quarantined_rules} into [depot]'s persistent health
+    section (see {!Repro_dbt.System.depot_quarantine_rules}). Returns
+    [true] when the depot changed and is worth re-saving; raises
+    {!Repro_aotcache.Depot.Depot_error} if its health section cannot
+    be decoded. *)

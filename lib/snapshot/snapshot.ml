@@ -179,11 +179,7 @@ let of_string s =
       sum actual;
   t
 
-let save_file path t =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string t))
+let save_file path t = Repro_common.Atomicio.write path (to_string t)
 
 let load_file path =
   match

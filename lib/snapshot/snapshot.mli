@@ -93,6 +93,10 @@ val of_string : string -> t
     on any failure, naming the damaged section. *)
 
 val save_file : string -> t -> unit
+(** Crash-atomic: write-to-temp + fsync + rename
+    ({!Repro_common.Atomicio}) — a crash leaves the previous file (or
+    none), never a torn snapshot. *)
+
 val load_file : string -> t
 (** Raises {!Load_error} also when the file cannot be read
     ([section = "container"]). *)

@@ -1,0 +1,383 @@
+module T = Repro_tcg
+module D = Repro_dbt
+module K = Repro_kernel.Kernel
+module W = Repro_workloads.Workloads
+module R = Repro_rules
+module Fi = Repro_faultinject.Faultinject
+module Snapshot = Repro_snapshot.Snapshot
+module Depot = Repro_aotcache.Depot
+module Scope = Repro_perfscope.Scope
+module Phase = Repro_perfscope.Phase
+
+(* The persistent AOT code depot: durability (crash-atomic generation
+   commits), integrity (every injected or hand-crafted corruption loads
+   as a typed [Depot_error], never anything else), compatibility (a
+   depot from a different translator configuration is refused, not
+   misapplied) and the payoff — a warm boot that is architecturally
+   identical to cold with (almost) zero translation work. *)
+
+let kernel_image ?(target = 30_000) ?(timer = 5_000) () =
+  let spec = W.find "gcc" in
+  let iters = max 1 (target / W.insns_per_iteration spec) in
+  let user = W.generate spec ~iterations:iters in
+  K.build ~timer_period:timer ~user_program:user ()
+
+let make_sys ?inject ?scope ?(shadow_depth = 0) mode image =
+  let sys = D.System.create ?inject ?scope ~shadow_depth mode in
+  K.load image (fun base words -> D.System.load_image sys base words);
+  sys
+
+let halt_code res =
+  match res.T.Engine.reason with
+  | `Halted c -> c
+  | `Insn_limit | `Deadline -> Alcotest.fail "run hit its instruction limit"
+  | `Livelock pc -> Alcotest.failf "unrecovered livelock at %#x" pc
+
+let guest_outcome sys res = (halt_code res, D.System.uart_output sys)
+
+let temp_dir () =
+  let path = Filename.temp_file "repro-depot" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let with_dir f =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* One cold full run, shared by the tests below: its outcome is the
+   architectural ground truth and its capture is the reference depot. *)
+let mode = D.System.Rules D.Opt.with_regions
+
+let cold_ctx =
+  lazy
+    (let image = kernel_image () in
+     let scope = Scope.create () in
+     let sys = make_sys ~scope mode image in
+     let res = D.System.run ~max_guest_insns:2_000_000 sys in
+     let outcome = guest_outcome sys res in
+     let depot = D.System.depot_capture sys in
+     (image, outcome, Scope.phase_count scope Phase.Translate, depot))
+
+let expect_depot_error what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: damage not detected" what
+  | exception Depot.Depot_error _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: escaped exception %s" what (Printexc.to_string e)
+
+(* ---- container integrity: fuzz the blob bytes ---------------------- *)
+
+let test_container_fuzz () =
+  let _, _, _, depot = Lazy.force cold_ctx in
+  let good = Depot.to_string depot in
+  ignore (Depot.of_string good);
+  let load what s = expect_depot_error what (fun () -> Depot.of_string s) in
+  load "empty string" "";
+  (* truncation sweep: every prefix must fail typed *)
+  let len = String.length good in
+  let step = max 1 (len / 97) in
+  let k = ref 0 in
+  while !k < len do
+    load (Printf.sprintf "truncate at %d" !k) (String.sub good 0 !k);
+    k := !k + step
+  done;
+  (* random single-bit flips: the whole-body checksum means any flip
+     anywhere must surface *)
+  let prng = Repro_common.Prng.create ~seed:4077 in
+  for _ = 1 to 200 do
+    let pos = Repro_common.Prng.int prng len in
+    let bit = 1 lsl Repro_common.Prng.int prng 8 in
+    let b = Bytes.of_string good in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bit));
+    load (Printf.sprintf "random flip at %d" pos) (Bytes.to_string b)
+  done
+
+(* ---- file-level damage: truncated and zero-length blobs ------------ *)
+
+let test_file_damage () =
+  let _, _, _, depot = Lazy.force cold_ctx in
+  with_dir @@ fun dir ->
+  ignore (Depot.save ~dir depot);
+  let blob = Filename.concat dir (Depot.blob_name depot) in
+  let good = In_channel.with_open_bin blob In_channel.input_all in
+  let clobber n =
+    Out_channel.with_open_bin blob (fun oc ->
+        Out_channel.output_string oc (String.sub good 0 n))
+  in
+  let len = String.length good in
+  List.iter
+    (fun n ->
+      clobber n;
+      expect_depot_error
+        (Printf.sprintf "blob file truncated to %d bytes" n)
+        (fun () -> Depot.load dir))
+    [ 0; 1; 23; 24; len / 2; len - 1 ];
+  (* restore the bytes: the depot is whole again *)
+  clobber len;
+  ignore (Depot.load dir);
+  (* a missing blob (manifest points into the void) is typed too *)
+  Sys.remove blob;
+  expect_depot_error "missing blob" (fun () -> Depot.load dir)
+
+(* ---- the crash-commit protocol ------------------------------------- *)
+
+let test_commit_protocol () =
+  let _, _, _, depot = Lazy.force cold_ctx in
+  with_dir @@ fun dir ->
+  let g1 = Depot.save ~dir depot in
+  Alcotest.(check int) "first commit is generation 1" 1 g1;
+  let blob1 = Depot.blob_name depot in
+  (* a crashed save leaves an orphan blob and no manifest update: the
+     loader must keep serving generation 1 and never read the orphan *)
+  Out_channel.with_open_bin
+    (Filename.concat dir "depot-99.bin")
+    (fun oc -> Out_channel.output_string oc "garbage from a crashed writer");
+  let d = Depot.load dir in
+  Alcotest.(check int) "orphan blob ignored" 1 (Depot.generation d);
+  (* the next successful commit bumps the generation and collects both
+     the old blob and the orphan *)
+  let g2 = Depot.save ~dir depot in
+  Alcotest.(check int) "second commit is generation 2" 2 g2;
+  let files = List.sort compare (Array.to_list (Sys.readdir dir)) in
+  Alcotest.(check (list string))
+    "exactly one blob + manifest after GC"
+    [ Depot.manifest_name; Depot.blob_name depot ]
+    files;
+  Alcotest.(check bool) "generation moved on" true (Depot.blob_name depot <> blob1);
+  (* a manifest whose byte count disagrees with the blob (the torn-
+     write signature) is typed *)
+  let manifest = Filename.concat dir Depot.manifest_name in
+  let text = In_channel.with_open_bin manifest In_channel.input_all in
+  let lied =
+    String.concat "\n"
+      (List.map
+         (fun line ->
+           if String.length line > 6 && String.sub line 0 6 = "bytes " then
+             "bytes 17"
+           else line)
+         (String.split_on_char '\n' text))
+  in
+  Out_channel.with_open_bin manifest (fun oc ->
+      Out_channel.output_string oc lied);
+  expect_depot_error "manifest byte-count lie" (fun () -> Depot.load dir);
+  (* garbage where the manifest should be is typed, not a parse crash *)
+  Out_channel.with_open_bin manifest (fun oc ->
+      Out_channel.output_string oc "not a manifest at all\n");
+  expect_depot_error "garbage manifest" (fun () -> Depot.load dir)
+
+(* ---- injected faults on the save/load paths ------------------------ *)
+
+let test_injected_faults () =
+  let _, _, _, depot = Lazy.force cold_ctx in
+  let armed site =
+    let inj = Fi.create ~seed:9 ~rate:0.0 () in
+    Fi.set_rate inj site 1.0;
+    inj
+  in
+  (* torn write: half the blob reaches disk, the manifest still commits
+     — the next load must catch it from the manifest's byte count *)
+  with_dir (fun dir ->
+      ignore (Depot.save ~inject:(armed Fi.Depot_torn) ~dir depot);
+      expect_depot_error "torn write" (fun () -> Depot.load dir));
+  (* read-side truncation and bit flip *)
+  with_dir (fun dir ->
+      ignore (Depot.save ~dir depot);
+      expect_depot_error "injected truncation" (fun () ->
+          Depot.load ~inject:(armed Fi.Depot_trunc) dir);
+      expect_depot_error "injected bit flip" (fun () ->
+          Depot.load ~inject:(armed Fi.Depot_flip) dir);
+      (* the same depot, injector disarmed, still loads: the faults
+         damaged the read, not the artifact *)
+      ignore (Depot.load dir))
+
+(* ---- the payoff: warm boot ≡ cold boot, translate ≈ 0 -------------- *)
+
+(* Also the fleet story: several machines boot from the one saved
+   depot, and each must be architecturally identical to the cold
+   reference while doing a small fraction of its translation work. *)
+let test_warm_boot_identity () =
+  let image, cold_outcome, cold_translate, depot = Lazy.force cold_ctx in
+  with_dir @@ fun dir ->
+  ignore (Depot.save ~dir depot);
+  for machine = 1 to 2 do
+    let d = Depot.load dir in
+    let scope = Scope.create () in
+    let sys = make_sys ~scope mode image in
+    let installed_boot = D.System.depot_install sys d in
+    Alcotest.(check bool)
+      (Printf.sprintf "machine %d: boot wave installs recipes" machine)
+      true (installed_boot > 0);
+    let res = D.System.run ~max_guest_insns:2_000_000 sys in
+    let warm_outcome = guest_outcome sys res in
+    Alcotest.(check (pair int string))
+      (Printf.sprintf "machine %d: warm outcome = cold outcome" machine)
+      cold_outcome warm_outcome;
+    let warm_translate = Scope.phase_count scope Phase.Translate in
+    Alcotest.(check bool)
+      (Printf.sprintf
+         "machine %d: warm translate (%d) under a tenth of cold (%d)" machine
+         warm_translate cold_translate)
+      true
+      (warm_translate * 10 < cold_translate);
+    let installed, pending = D.System.depot_coverage sys in
+    Alcotest.(check int)
+      (Printf.sprintf "machine %d: every recipe installed" machine)
+      0 pending;
+    Alcotest.(check bool)
+      (Printf.sprintf "machine %d: coverage at least the boot wave" machine)
+      true
+      (installed >= installed_boot)
+  done
+
+(* ---- compatibility: a foreign depot is refused, never misapplied --- *)
+
+let variant ?mode:m ?digest ?hot depot =
+  let c = Depot.compat depot in
+  let c =
+    {
+      Depot.c_mode = Option.value m ~default:c.Depot.c_mode;
+      c_rules_digest = Option.value digest ~default:c.Depot.c_rules_digest;
+      c_hot_threshold = Option.value hot ~default:c.Depot.c_hot_threshold;
+    }
+  in
+  Depot.create ~compat:c ~rules:(Depot.rules depot)
+    ~cache:(Depot.cache_payload depot) ~srcsum:(Depot.srcsum depot)
+    ~health:(Depot.health depot)
+
+let test_compat_rejection () =
+  let image, cold_outcome, _, depot = Lazy.force cold_ctx in
+  let reject what d =
+    let sys = make_sys mode image in
+    (match D.System.depot_install sys d with
+    | _ -> Alcotest.failf "%s: incompatible depot accepted" what
+    | exception Depot.Depot_error { section; _ } ->
+      Alcotest.(check string) (what ^ ": blames the compat key") "compat"
+        section
+    | exception e ->
+      Alcotest.failf "%s: escaped exception %s" what (Printexc.to_string e));
+    (* the refusal must leave the machine pristine: a cold run on the
+       very same instance still reaches the reference outcome *)
+    let res = D.System.run ~max_guest_insns:2_000_000 sys in
+    Alcotest.(check (pair int string))
+      (what ^ ": cold fallback reaches the reference outcome")
+      cold_outcome (guest_outcome sys res)
+  in
+  let c = Depot.compat depot in
+  reject "mutated ruleset digest"
+    (variant ~digest:(c.Depot.c_rules_digest lxor 0xBEEF) depot);
+  reject "different optimization mode" (variant ~mode:"rules:full" depot);
+  reject "different hot threshold"
+    (variant ~hot:(c.Depot.c_hot_threshold + 1) depot);
+  (* cross-mode for real: a depot captured under rules:full refuses to
+     install into a rules:+regions machine (and vice versa is the same
+     check), because region recipes only replay under the fusion
+     configuration that recorded them *)
+  let full_sys = make_sys (D.System.Rules D.Opt.full) image in
+  ignore (D.System.run ~max_guest_insns:2_000_000 full_sys);
+  let full_depot = D.System.depot_capture full_sys in
+  reject "depot captured under rules:full" full_depot
+
+(* ---- self-repair: poisoned recipes stay quarantined ---------------- *)
+
+let test_quarantine_honored () =
+  let image, cold_outcome, _, depot = Lazy.force cold_ctx in
+  with_dir @@ fun dir ->
+  (* baseline: full installation *)
+  let full_installed =
+    ignore (Depot.save ~dir depot);
+    let sys = make_sys mode image in
+    ignore (D.System.depot_install sys (Depot.load dir));
+    ignore (D.System.run ~max_guest_insns:2_000_000 sys);
+    fst (D.System.depot_coverage sys)
+  in
+  (* poison one recipe's guest PC (as the shadow-verification write-
+     back would) and recommit *)
+  let victim_pc =
+    let sys = make_sys mode image in
+    ignore (D.System.depot_install sys (Depot.load dir));
+    ignore (D.System.run ~max_guest_insns:2_000_000 sys);
+    match T.Tb.Cache.to_list sys.D.System.cache with
+    | tb :: _ -> tb.T.Tb.guest_pc
+    | [] -> Alcotest.fail "empty cache after a full run"
+  in
+  let d = Depot.load dir in
+  Alcotest.(check bool) "quarantining a new PC reports growth" true
+    (Depot.quarantine_pcs d [ victim_pc ]);
+  Alcotest.(check bool) "re-quarantining the same PC does not" false
+    (Depot.quarantine_pcs d [ victim_pc ]);
+  ignore (Depot.save ~dir d);
+  (* the poisoned entry never installs again; the machine cold-
+     translates that PC and stays architecturally correct *)
+  let d' = Depot.load dir in
+  Alcotest.(check (list int)) "poison survives the round-trip" [ victim_pc ]
+    (Depot.quarantined_pcs d');
+  let sys = make_sys mode image in
+  ignore (D.System.depot_install sys d');
+  let res = D.System.run ~max_guest_insns:2_000_000 sys in
+  Alcotest.(check (pair int string)) "poisoned warm boot still correct"
+    cold_outcome (guest_outcome sys res);
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer recipes served (%d with poison, %d without)"
+       (fst (D.System.depot_coverage sys))
+       full_installed)
+    true
+    (fst (D.System.depot_coverage sys) < full_installed)
+
+(* ---- fleet write-back: breaker verdicts persist in the depot ------- *)
+
+let test_rule_writeback () =
+  let image, cold_outcome, _, depot = Lazy.force cold_ctx in
+  with_dir @@ fun dir ->
+  ignore (Depot.save ~dir depot);
+  let d = Depot.load dir in
+  (* pick a real rule id out of the live machine's ruleset *)
+  let probe = make_sys mode image in
+  let rs = Option.get probe.D.System.ruleset in
+  let victim = (List.hd (R.Ruleset.rules rs)).R.Rule.id in
+  Alcotest.(check bool) "quarantining a rule id reports change" true
+    (D.System.depot_quarantine_rules d [ victim ]);
+  Alcotest.(check bool) "re-quarantining it does not" false
+    (D.System.depot_quarantine_rules d [ victim ]);
+  ignore (Depot.save ~dir d);
+  (* a warm boot from the written-back depot starts with the rule
+     already demoted — and still reproduces the reference outcome,
+     because quarantined rules fall back to baseline translation *)
+  let sys = make_sys mode image in
+  ignore (D.System.depot_install sys (Depot.load dir));
+  let rs' = Option.get sys.D.System.ruleset in
+  Alcotest.(check bool) "warm boot inherits the quarantine" true
+    (List.mem victim (R.Ruleset.quarantined_ids rs'));
+  let res = D.System.run ~max_guest_insns:2_000_000 sys in
+  Alcotest.(check (pair int string)) "demoted warm boot still correct"
+    cold_outcome (guest_outcome sys res)
+
+let suite =
+  [
+    ( "aotcache",
+      [
+        Alcotest.test_case "depot container fuzz (flip + truncate)" `Quick
+          test_container_fuzz;
+        Alcotest.test_case "truncated + zero-length blob files" `Quick
+          test_file_damage;
+        Alcotest.test_case "crash-commit protocol" `Quick test_commit_protocol;
+        Alcotest.test_case "injected depot faults are typed" `Quick
+          test_injected_faults;
+        Alcotest.test_case "warm boot identity, translate ~ 0" `Quick
+          test_warm_boot_identity;
+        Alcotest.test_case "cross-version/cross-ruleset rejection" `Quick
+          test_compat_rejection;
+        Alcotest.test_case "poisoned recipes stay quarantined" `Quick
+          test_quarantine_honored;
+        Alcotest.test_case "breaker rule write-back persists" `Quick
+          test_rule_writeback;
+      ] );
+  ]

@@ -365,6 +365,44 @@ let test_corrupt_every_section () =
     ignore (load (Printf.sprintf "random flip at %d" pos) (Bytes.to_string b))
   done
 
+(* File-level robustness: a snapshot file truncated at any point — all
+   the way down to zero bytes, the signature a crash during a
+   non-atomic write would leave — must load as a typed error, never a
+   crash or a wrong parse. And the atomic save path must not leave its
+   temp file behind. *)
+let test_truncated_files () =
+  let image = kernel_image () in
+  let sys = make_sys D.System.Qemu image in
+  ignore (D.System.run ~max_guest_insns:10_000 sys);
+  let good = Snapshot.to_string (D.System.snapshot sys) in
+  let path = Filename.temp_file "repro-snap" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let expect_typed what n =
+    let oc = open_out_bin path in
+    output_string oc (String.sub good 0 n);
+    close_out oc;
+    match Snapshot.load_file path with
+    | _ -> Alcotest.failf "%s: damage not detected" what
+    | exception (Snapshot.Load_error _ | Snapshot.Corrupt _) -> ()
+    | exception e ->
+      Alcotest.failf "%s: escaped exception %s" what (Printexc.to_string e)
+  in
+  expect_typed "zero-length file" 0;
+  let len = String.length good in
+  List.iter
+    (fun n -> expect_typed (Printf.sprintf "file truncated to %d bytes" n) n)
+    [ 1; 7; 8; 23; 24; len / 3; len / 2; len - 1 ];
+  Snapshot.save_file path (D.System.snapshot sys);
+  ignore (Snapshot.load_file path);
+  let droppings =
+    Array.to_list (Sys.readdir (Filename.dirname path))
+    |> List.filter (fun f ->
+           String.starts_with ~prefix:(Filename.basename path ^ ".tmp") f)
+  in
+  Alcotest.(check (list string)) "atomic save leaves no temp file" [] droppings
+
 (* ---- journal text format ------------------------------------------- *)
 
 let test_journal_roundtrip () =
@@ -488,6 +526,8 @@ let suite =
           test_corruption_detected;
         Alcotest.test_case "corrupt-every-section fuzz" `Quick
           test_corrupt_every_section;
+        Alcotest.test_case "truncated + zero-length files load typed" `Quick
+          test_truncated_files;
         Alcotest.test_case "restore keeps quarantine + floor" `Quick
           test_restore_keeps_quarantine;
         Alcotest.test_case "journal text round-trip" `Quick
