@@ -1,8 +1,9 @@
 (* Offline analysis over the toolchain's JSON artifacts: phase
    breakdowns and A/B diffs of --stats-json / --perf files, top-N hot
-   stacks of folded flamegraphs, trace/metrics JSONL summaries, and
-   the benchmark-regression gate over consolidated BENCH_<rev>.json
-   files (the CI gate).
+   stacks of folded flamegraphs, trace/metrics JSONL summaries,
+   fleet-telemetry digests (summary / per-machine / timeline views of
+   a dbt_fleet --telemetry series.json), and the benchmark-regression
+   gate over consolidated BENCH_<rev>.json files (the CI gate).
 
    Exit codes: 0 success, 2 usage / malformed input, 7 regression
    (gate failure, or a diff above --fail-above). *)
@@ -199,6 +200,108 @@ let metrics file =
     rows;
   0
 
+(* --- fleet: digest of a dbt_fleet --telemetry series.json --- *)
+
+let fleet_view view file =
+  let j = load_json file in
+  (match Option.bind (Jsonx.member "meta" j) Jsonx.to_string with
+  | Some "fleet-telemetry" -> ()
+  | _ ->
+    Printf.eprintf "%s: not a fleet telemetry series (meta != fleet-telemetry)\n"
+      file;
+    exit 2);
+  let geti name v = Option.bind (Jsonx.member name v) Jsonx.to_int in
+  let getf name v = Option.bind (Jsonx.member name v) Jsonx.to_float in
+  let gets name v = Option.bind (Jsonx.member name v) Jsonx.to_string in
+  let getl name v = Option.bind (Jsonx.member name v) Jsonx.to_list in
+  let int0 name v = Option.value ~default:0 (geti name v) in
+  let samples = Option.value ~default:[] (getl "samples" j) in
+  let final = Jsonx.member "final" j in
+  let machines = Option.value ~default:[] (Option.bind final (getl "machines")) in
+  let anomaly = Option.bind final (Jsonx.member "anomaly") in
+  let scores =
+    match Option.bind anomaly (getl "scores") with
+    | Some l -> List.filter_map Jsonx.to_float l
+    | None -> []
+  in
+  match view with
+  | `Summary ->
+    Printf.printf "fleet telemetry: %d machine(s), %d sample(s), every %d\n"
+      (int0 "machines" j) (List.length samples) (int0 "every" j);
+    (match List.rev samples with
+    | last :: _ ->
+      Printf.printf
+        "at request %d: %d serving, %d served ok, %d timed out, %d shed, %d \
+         breaker trip(s)\n"
+        (int0 "at" last) (int0 "serving" last) (int0 "served_ok" last)
+        (int0 "timed_out" last) (int0 "shed" last) (int0 "breaker_trips" last)
+    | [] -> ());
+    (match Option.bind final (Jsonx.member "latency") with
+    | Some lat ->
+      Printf.printf "serve latency: count %d, p50 %d, p99 %d (guest insns)\n"
+        (int0 "count" lat) (int0 "p50" lat) (int0 "p99" lat)
+    | None -> ());
+    (match anomaly with
+    | Some a ->
+      let flagged =
+        match getl "flagged" a with
+        | Some l -> List.filter_map Jsonx.to_int l
+        | None -> []
+      in
+      Printf.printf "anomaly threshold %.3f; flagged: %s\n"
+        (Option.value ~default:0. (getf "threshold" a))
+        (if flagged = [] then "none"
+         else String.concat ", " (List.map string_of_int flagged));
+      (match geti "top" a with
+      | Some i -> Printf.printf "most anomalous machine: %d\n" i
+      | None -> ())
+    | None -> ());
+    0
+  | `Machines ->
+    Printf.printf "%3s %-12s %14s %14s %8s %8s %9s\n" "id" "health"
+      "work insns" "phase insns" "served" "p99" "score";
+    List.iteri
+      (fun i m ->
+        let phase_total =
+          match Option.bind (Jsonx.member "phases" m) (fun p ->
+                    match p with
+                    | Jsonx.Obj fields ->
+                      Some
+                        (List.fold_left
+                           (fun acc (_, v) ->
+                             acc + Option.value ~default:0 (Jsonx.to_int v))
+                           0 fields)
+                    | _ -> None)
+          with
+          | Some n -> n
+          | None -> 0
+        in
+        let lat = Jsonx.member "latency" m in
+        Printf.printf "%3d %-12s %14d %14d %8d %8d %9.3f\n" (int0 "id" m)
+          (Option.value ~default:"?" (gets "health" m))
+          (int0 "work_insns" m) phase_total
+          (match lat with Some l -> int0 "count" l | None -> 0)
+          (match lat with Some l -> int0 "p99" l | None -> 0)
+          (match List.nth_opt scores i with Some s -> s | None -> 0.))
+      machines;
+    0
+  | `Timeline ->
+    Printf.printf "%10s %8s %10s %10s %6s %8s %14s\n" "at" "serving"
+      "served_ok" "timed_out" "shed" "breaker" "d work";
+    List.iter
+      (fun s ->
+        let work_delta =
+          match getl "machines" s with
+          | Some ms ->
+            List.fold_left (fun acc m -> acc + int0 "work_delta" m) 0 ms
+          | None -> 0
+        in
+        Printf.printf "%10d %8d %10d %10d %6d %8d %14d\n" (int0 "at" s)
+          (int0 "serving" s) (int0 "served_ok" s) (int0 "timed_out" s)
+          (int0 "shed" s) (int0 "breaker_trips" s) work_delta)
+      samples;
+    0
+
 (* --- gate: the benchmark-regression gate --- *)
 
 let status_string = function
@@ -280,6 +383,22 @@ let metrics_cmd =
     Term.(
       const metrics $ file_pos ~docv:"METRICS.jsonl" ~doc:"A --metrics-out file." 0)
 
+let fleet_cmd =
+  let doc = "digest of a repro-dbt-fleet --telemetry series.json" in
+  let view =
+    let doc = "What to print: summary, machines, or timeline." in
+    let view_conv =
+      Arg.enum
+        [ ("summary", `Summary); ("machines", `Machines); ("timeline", `Timeline) ]
+    in
+    Arg.(value & opt view_conv `Summary & info [ "view" ] ~docv:"VIEW" ~doc)
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const fleet_view $ view
+      $ file_pos ~docv:"SERIES.json"
+          ~doc:"A --telemetry series.json written by repro-dbt-fleet." 0)
+
 let gate_cmd =
   let doc = "benchmark-regression gate: current BENCH file vs baseline" in
   let threshold =
@@ -298,6 +417,6 @@ let cmd =
   let doc = "analyze DBT performance artifacts" in
   Cmd.group
     (Cmd.info "repro-dbt-analyze" ~doc)
-    [ phases_cmd; diff_cmd; top_cmd; trace_cmd; metrics_cmd; gate_cmd ]
+    [ phases_cmd; diff_cmd; top_cmd; trace_cmd; metrics_cmd; fleet_cmd; gate_cmd ]
 
 let () = exit (Cmd.eval' cmd)

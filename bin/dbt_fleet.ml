@@ -9,7 +9,7 @@
 
    Exit codes: 0 success, 2 usage error, 5 a surviving machine
    diverged from the fault-free reference, 6 the whole fleet died,
-   7 --depot-save could not commit. *)
+   7 --depot-save could not commit, 8 an --slo error budget burned. *)
 
 module D = Repro_dbt
 module K = Repro_kernel.Kernel
@@ -17,6 +17,7 @@ module W = Repro_workloads.Workloads
 module Fi = Repro_faultinject.Faultinject
 module R = Repro_resilience
 module Obs = Repro_observe
+module Tel = Repro_telemetry
 module Depot = Repro_aotcache.Depot
 module Atomicio = Repro_common.Atomicio
 open Cmdliner
@@ -24,6 +25,7 @@ open Cmdliner
 let exit_diverged = 5
 let exit_fleet_dead = 6
 let exit_depot = 7
+let exit_slo = 8
 
 let mode_of_string = function
   | "qemu" -> Ok D.System.Qemu
@@ -86,7 +88,8 @@ let warm_snapshot mode ?depot ~bench ~target ~timer ~warm ~shadow_depth
 let run_drill machines faulty seed requests bench mode_name target warm timer
     deadline_opt retry_budget min_healthy checkpoint_every fault_rate
     tb_flush_rate rule_corrupt_rate shadow_depth quarantine_threshold json_out
-    trace_file depot_save depot_load =
+    trace_file depot_save depot_load telemetry_dir telemetry_every slo_file
+    slo_report =
   let t0 = Sys.time () in
   let usage fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt in
   if machines <= 0 then usage "--machines must be positive";
@@ -149,20 +152,59 @@ let run_drill machines faulty seed requests bench mode_name target warm timer
             (Fi.Rule_corrupt, rule_corrupt_rate);
           ]
       in
-      let trace =
-        match trace_file with Some _ -> Some (Obs.Trace.create ()) | None -> None
+      let slo =
+        (* parse the SLO file before the (slow) drill so a typo fails
+           in seconds, not minutes *)
+        match slo_file with
+        | None -> None
+        | Some path -> (
+          match Tel.Slo.load path with
+          | s -> Some s
+          | exception Tel.Slo.Slo_error msg -> usage "--slo: %s" msg
+          | exception Sys_error msg -> usage "--slo: %s" msg)
       in
+      if telemetry_every <= 0 then usage "--telemetry-every must be positive";
       let fleet =
-        R.Fleet.create ~plan ?trace
+        R.Fleet.create ~plan
           ~config:{ R.Fleet.machines; min_healthy; policy }
           base
       in
-      R.Fleet.run fleet ~requests;
+      (let installed, pending = D.System.depot_coverage boot_sys in
+       R.Fleet.note_boot_depot fleet ~installed ~pending);
+      (* the collector is always attached — it only reads the fleet's
+         always-on observability surface, so the drill (and its report)
+         is bit-identical whether or not --telemetry exports it *)
+      let collector = Tel.Collector.create ~every:telemetry_every fleet in
+      R.Fleet.run fleet
+        ~after_each:(fun () -> Tel.Collector.tick collector)
+        ~requests;
+      Tel.Collector.finish collector;
+      (* serialize before final verification: the time-series and the
+         anomaly scores describe the drill, not the verify re-runs *)
+      let telemetry_json = Tel.Collector.to_json collector in
       let all_verified = R.Fleet.final_verify fleet in
-      (match (trace_file, trace) with
-      | Some path, Some tr ->
-        Atomicio.write_channel path (fun oc -> Obs.Trace.write_jsonl oc tr)
-      | _ -> ());
+      (match trace_file with
+      | Some path ->
+        Atomicio.write_channel path (fun oc ->
+            Obs.Trace.write_jsonl oc (R.Fleet.trace fleet))
+      | None -> ());
+      (match telemetry_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Atomicio.write (Filename.concat dir "series.json")
+          (telemetry_json ^ "\n");
+        (* one merged Perfetto timeline: the fleet's dispatch track
+           plus one track per machine, joined by the req:assign /
+           req:begin request ids *)
+        Atomicio.write_channel (Filename.concat dir "timeline.json")
+          (fun oc ->
+            Obs.Trace.write_chrome_streams oc
+              (("fleet", R.Fleet.trace fleet)
+              :: List.init machines (fun i ->
+                     ( Printf.sprintf "machine%d" i,
+                       R.Supervisor.trace_ring (R.Fleet.supervisor fleet i) ))));
+        Format.printf "telemetry: series.json and timeline.json in %s@." dir);
       (* Persist what the drill learned. --depot-save captures the boot
          machine's warm cache as a fresh depot; with --depot-load (and
          no save) the loaded depot is rewritten in place only when the
@@ -228,6 +270,27 @@ let run_drill machines faulty seed requests bench mode_name target warm timer
         (machines - R.Fleet.alive_count fleet)
         (R.Fleet.restarts fleet) (R.Fleet.breaker_trips fleet)
         (R.Fleet.availability fleet);
+      (* the SLO verdict is computed (and its report written) even when
+         a harder failure wins the exit code; the report is a separate
+         artifact so the drill report stays identical with and without
+         --slo *)
+      let slo_burned =
+        match slo with
+        | None -> false
+        | Some s ->
+          let objectives = Tel.Slo.evaluate s fleet in
+          List.iter
+            (fun o ->
+              Format.printf "slo %-18s target %-12g actual %-12g %s@."
+                o.Tel.Slo.name o.Tel.Slo.target o.Tel.Slo.actual
+                (if o.Tel.Slo.burned then "BURNED" else "ok"))
+            objectives;
+          (match slo_report with
+          | Some path ->
+            Atomicio.write path (Tel.Slo.report_json objectives ^ "\n")
+          | None -> ());
+          Tel.Slo.burned objectives
+      in
       if not all_verified then begin
         Format.printf "FAIL: a surviving machine diverged from the reference@.";
         exit_diverged
@@ -235,6 +298,10 @@ let run_drill machines faulty seed requests bench mode_name target warm timer
       else if R.Fleet.alive_count fleet = 0 then begin
         Format.printf "FAIL: every machine died@.";
         exit_fleet_dead
+      end
+      else if slo_burned then begin
+        Format.printf "FAIL: an SLO error budget burned@.";
+        exit_slo
       end
       else 0)
 
@@ -352,6 +419,36 @@ let depot_load_arg =
   in
   Arg.(value & opt (some string) None & info [ "depot-load" ] ~docv:"DIR" ~doc)
 
+let telemetry_arg =
+  let doc =
+    "Write the fleet telemetry bundle to directory $(docv): series.json (the \
+     merged per-machine time-series with anomaly scores, for repro-dbt-analyze \
+     fleet) and timeline.json (one merged Perfetto/Chrome trace, one track \
+     per machine plus the fleet dispatch track). Purely an export switch: the \
+     drill and its report are bit-identical with or without it."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"DIR" ~doc)
+
+let telemetry_every_arg =
+  let doc = "Telemetry sampling interval in offered requests." in
+  Arg.(value & opt int 4 & info [ "telemetry-every" ] ~docv:"N" ~doc)
+
+let slo_arg =
+  let doc =
+    "Evaluate the drill against the SLO file $(docv) (JSON object with any of \
+     p99_latency_max, availability_min, deadline_miss_rate_max, \
+     breaker_trips_max; unknown keys are an error). A burned budget exits 8 \
+     (divergence 5 and fleet death 6 take precedence)."
+  in
+  Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"FILE" ~doc)
+
+let slo_report_arg =
+  let doc =
+    "Write the SLO evaluation (JSON) to $(docv) — a separate artifact, never \
+     merged into the drill report."
+  in
+  Arg.(value & opt (some string) None & info [ "slo-report" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "serve a workload from a self-healing fleet under chaos" in
   Cmd.v
@@ -361,6 +458,7 @@ let cmd =
       $ bench_arg $ mode_arg $ target_arg $ warm_arg $ timer_arg $ deadline_arg
       $ retry_arg $ min_healthy_arg $ checkpoint_arg $ fault_rate_arg
       $ tb_flush_rate_arg $ rule_rate_arg $ shadow_arg $ quarantine_arg
-      $ json_arg $ trace_arg $ depot_save_arg $ depot_load_arg)
+      $ json_arg $ trace_arg $ depot_save_arg $ depot_load_arg $ telemetry_arg
+      $ telemetry_every_arg $ slo_arg $ slo_report_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -253,6 +253,20 @@ let member k = function
   | Obj fields -> List.assoc_opt k fields
   | _ -> None
 
+(* Canonical re-rendering of a parsed value, composing the writers
+   above — [parse (render v)] reconstructs [v] exactly (field order
+   preserved, integral numbers re-render as integers). The round-trip
+   witness for nested telemetry documents. *)
+let rec render = function
+  | Null -> "null"
+  | Bool b -> bool b
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then int (int_of_float f)
+    else float f
+  | Str s -> str s
+  | Arr l -> arr (List.map render l)
+  | Obj fields -> obj (List.map (fun (k, v) -> (k, render v)) fields)
+
 let to_float = function
   | Num f -> Some f
   | _ -> None

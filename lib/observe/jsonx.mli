@@ -48,6 +48,12 @@ val parse : string -> value
 val member : string -> value -> value option
 (** Field lookup on [Obj]; [None] on other values. *)
 
+val render : value -> string
+(** Canonical re-rendering through the writers above: field order is
+    preserved and integral numbers render as integers, so
+    [parse (render v) = v] for any parsed value (the round-trip
+    property the telemetry documents are tested against). *)
+
 val to_float : value -> float option
 val to_int : value -> int option
 (** [Some] only for numbers with integral value. *)

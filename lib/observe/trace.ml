@@ -22,9 +22,11 @@ type category =
   | Snapshot
   | Fault
   | Fleet
+  | Request
 
 let categories =
-  [ Exec; Chain; Sync; Irq; Tlb; Shadow; Watchdog; Snapshot; Fault; Fleet ]
+  [ Exec; Chain; Sync; Irq; Tlb; Shadow; Watchdog; Snapshot; Fault; Fleet;
+    Request ]
 
 let category_name = function
   | Exec -> "exec"
@@ -37,6 +39,7 @@ let category_name = function
   | Snapshot -> "snapshot"
   | Fault -> "fault"
   | Fleet -> "fleet"
+  | Request -> "request"
 
 (* stable small ids, used as Chrome trace tids *)
 let category_id = function
@@ -50,6 +53,7 @@ let category_id = function
   | Snapshot -> 8
   | Fault -> 9
   | Fleet -> 10
+  | Request -> 11
 
 type event = { at : int; cat : category; name : string; a : int; b : int }
 
@@ -169,3 +173,85 @@ let write_chrome oc t =
            ]));
   Printf.fprintf oc "],\"otherData\":{\"clock\":\"guest_insns\",\"dropped\":%d,\"total\":%d}}"
     (dropped t) t.total
+
+(* Merged multi-stream export: one Perfetto process per stream (a
+   fleet machine, the fleet dispatcher, ...), one thread per category
+   within it. Request-category begin/end pairs become duration slices
+   so a slow request renders as a visible span on its machine's track;
+   everything else stays an instant event. The streams' clocks need
+   not agree — each process carries its own timeline. *)
+let write_chrome_streams oc streams =
+  output_string oc "{\"traceEvents\":[";
+  let first = ref true in
+  let put s =
+    if !first then first := false else output_char oc ',';
+    output_string oc s
+  in
+  let grand_total = ref 0 and grand_dropped = ref 0 in
+  List.iteri
+    (fun i (sname, t) ->
+      let pid = i + 1 in
+      grand_total := !grand_total + t.total;
+      grand_dropped := !grand_dropped + dropped t;
+      put
+        (Jsonx.obj
+           [
+             ("name", Jsonx.str "process_name");
+             ("ph", Jsonx.str "M");
+             ("pid", Jsonx.int pid);
+             ("args", Jsonx.obj [ ("name", Jsonx.str sname) ]);
+           ]);
+      List.iter
+        (fun cat ->
+          put
+            (Jsonx.obj
+               [
+                 ("name", Jsonx.str "thread_name");
+                 ("ph", Jsonx.str "M");
+                 ("pid", Jsonx.int pid);
+                 ("tid", Jsonx.int (category_id cat));
+                 ("args", Jsonx.obj [ ("name", Jsonx.str (category_name cat)) ]);
+               ]))
+        categories;
+      iter t (fun e ->
+          let slice =
+            match (e.cat, e.name) with
+            | Request, "req:begin" -> Some "B"
+            | Request, "req:end" -> Some "E"
+            | _ -> None
+          in
+          match slice with
+          | Some ph ->
+            put
+              (Jsonx.obj
+                 [
+                   ( "name",
+                     Jsonx.str (Printf.sprintf "req%d#%d" e.a e.b) );
+                   ("cat", Jsonx.str (category_name e.cat));
+                   ("ph", Jsonx.str ph);
+                   ("ts", Jsonx.int e.at);
+                   ("pid", Jsonx.int pid);
+                   ("tid", Jsonx.int (category_id e.cat));
+                   ( "args",
+                     Jsonx.obj
+                       [ ("request", Jsonx.int e.a); ("attempt", Jsonx.int e.b) ]
+                   );
+                 ])
+          | None ->
+            put
+              (Jsonx.obj
+                 [
+                   ("name", Jsonx.str e.name);
+                   ("cat", Jsonx.str (category_name e.cat));
+                   ("ph", Jsonx.str "i");
+                   ("s", Jsonx.str "t");
+                   ("ts", Jsonx.int e.at);
+                   ("pid", Jsonx.int pid);
+                   ("tid", Jsonx.int (category_id e.cat));
+                   ( "args",
+                     Jsonx.obj [ ("a", Jsonx.int e.a); ("b", Jsonx.int e.b) ] );
+                 ])))
+    streams;
+  Printf.fprintf oc
+    "],\"otherData\":{\"clock\":\"guest_insns\",\"streams\":%d,\"dropped\":%d,\"total\":%d}}"
+    (List.length streams) !grand_dropped !grand_total

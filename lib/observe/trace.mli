@@ -23,6 +23,9 @@ type category =
   | Snapshot  (** checkpoint capture and restore *)
   | Fault     (** fault-injector firings *)
   | Fleet     (** supervision: restarts, health transitions, breaker trips *)
+  | Request
+      (** causal request lifecycle: assignment, per-attempt begin/end,
+          retries and verdicts, keyed by request id in [a] *)
 
 type event = { at : int; cat : category; name : string; a : int; b : int }
 
@@ -65,3 +68,13 @@ val write_jsonl : out_channel -> t -> unit
 val write_chrome : out_channel -> t -> unit
 (** Chrome trace-event JSON (Perfetto-loadable): instant events, one
     thread per category, [ts] in retired guest instructions. *)
+
+val write_chrome_streams : out_channel -> (string * t) list -> unit
+(** Merged Chrome/Perfetto export of several rings: one process per
+    [(name, ring)] stream (a fleet machine, the dispatcher), one
+    thread per category within it. [Request]-category
+    [req:begin]/[req:end] pairs are rendered as duration slices so a
+    slow or retried request shows up as a span on its machine's
+    track; all other events stay instants. Streams keep their own
+    clocks (a machine's monotone work clock need not agree with the
+    fleet's request counter). *)

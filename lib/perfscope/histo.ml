@@ -48,6 +48,22 @@ let record t v =
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v
 
+(* Bucket-wise accumulation of [src] into [dst]: because recording
+   only ever increments the value's bucket and the scalar summaries,
+   merging N histograms is exactly the histogram of the concatenated
+   recordings — the property fleet-level telemetry (per-machine
+   latency histograms folded into one fleet view) depends on. *)
+let merge ~into:dst src =
+  for i = 0 to n_buckets - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
 let count t = t.count
 let sum t = t.sum
 let min_value t = if t.count = 0 then 0 else t.min_v

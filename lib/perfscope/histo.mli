@@ -9,6 +9,14 @@ type t
 
 val create : unit -> t
 val record : t -> int -> unit
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds [src]'s recordings into [into] bucket-wise.
+    Merging N histograms equals the histogram of the concatenated
+    recordings (same buckets, count, sum, min, max — hence identical
+    {!to_json} and quantiles), regardless of merge order. [src] is
+    unchanged. *)
+
 val count : t -> int
 val sum : t -> int
 

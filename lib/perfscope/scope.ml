@@ -53,6 +53,7 @@ let charge t phase ~page ~privileged n =
 
 let phase_count t phase = t.phase_total.(Phase.index phase)
 let total t = Array.fold_left ( + ) 0 t.phase_total
+let phase_vector t = Array.copy t.phase_total
 let irq_latency t = t.irq_latency
 let chain_latency t = t.chain_latency
 let checkpoint_interval t = t.checkpoint_interval

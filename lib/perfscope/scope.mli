@@ -21,6 +21,13 @@ val charge : t -> Phase.t -> page:int -> privileged:bool -> int -> unit
 val phase_count : t -> Phase.t -> int
 val total : t -> int
 
+val phase_vector : t -> int array
+(** A fresh copy of the per-phase totals in {!Phase.index} layout —
+    the per-machine cost signature fleet telemetry aggregates and
+    scores for anomalies. Monotone across restores and watchdog
+    rollbacks (the scope never rewinds), unlike the snapshot-restored
+    {!Repro_x86.Stats} counters. *)
+
 val irq_latency : t -> Histo.t
 val chain_latency : t -> Histo.t
 val checkpoint_interval : t -> Histo.t

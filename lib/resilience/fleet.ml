@@ -24,9 +24,12 @@ type t = {
   supervisors : Supervisor.t array;
   plan : Fi.Plan.t option;
   reference : Supervisor.reference;
-  trace : Trace.t option;
+  trace : Trace.t;  (* the fleet's own ring (request-counter clock) *)
   latency : Histo.t;
   known_quarantined : (int, unit) Hashtbl.t;
+  mutable boot_depot : int * int;
+      (* (installed, pending) depot coverage of the boot machine the
+         warm base was captured from; (0, 0) on a cold boot *)
   mutable cursor : int;
   mutable offered : int;
   mutable served_ok : int;
@@ -38,9 +41,7 @@ type t = {
 }
 
 let emit t ?(a = -1) ?b name =
-  match t.trace with
-  | Some tr -> Trace.emit tr ?a:(if a >= 0 then Some a else None) ?b Trace.Fleet name
-  | None -> ()
+  Trace.emit t.trace ?a:(if a >= 0 then Some a else None) ?b Trace.Fleet name
 
 (* The fault-free ground truth every served result is verified
    against: a pristine machine (same shape, faults never armed) run
@@ -86,9 +87,13 @@ let create ?plan ?trace ~config base =
     invalid_arg "Fleet.create: plan sized for a different fleet"
   | _ -> ());
   let reference = compute_reference ~policy:config.policy base in
+  (* the fleet always keeps its own event ring (dispatch, breaker and
+     assignment events) so telemetry export never changes what was
+     recorded; [?trace] lets a caller supply the ring it will export *)
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   let supervisors =
     Array.init config.machines (fun id ->
-        Supervisor.create ?plan ?trace ~id ~policy:config.policy base)
+        Supervisor.create ?plan ~trace ~id ~policy:config.policy base)
   in
   let t =
     {
@@ -99,6 +104,7 @@ let create ?plan ?trace ~config base =
     trace;
     latency = Histo.create ();
     known_quarantined = Hashtbl.create 16;
+      boot_depot = (0, 0);
     cursor = 0;
     offered = 0;
     served_ok = 0;
@@ -112,13 +118,15 @@ let create ?plan ?trace ~config base =
   (* the fleet's event clock is the request counter: a drill timeline
      is indexed by offered requests, not by any one machine's insn
      clock (the machines rewind theirs on every restore) *)
-  (match trace with
-  | Some tr -> Trace.set_clock tr (fun () -> t.offered)
-  | None -> ());
+  Trace.set_clock trace (fun () -> t.offered);
   t
 
 let reference t = t.reference
+let machines t = t.config.machines
 let supervisor t m = t.supervisors.(m)
+let trace t = t.trace
+let latency t = t.latency
+let note_boot_depot t ~installed ~pending = t.boot_depot <- (installed, pending)
 
 let serving_count t =
   Array.fold_left
@@ -165,8 +173,11 @@ let breaker_sweep t served_by =
                 let m = Supervisor.machine s in
                 match m.D.System.ruleset with
                 | Some rs' ->
-                  if Ruleset.quarantine_by_id rs' id then
-                    T.Tb.Cache.flush m.D.System.cache
+                  if Ruleset.quarantine_by_id rs' id then begin
+                    T.Tb.Cache.flush m.D.System.cache;
+                    Trace.emit (Supervisor.trace_ring s) ~a:id ~b:served_by
+                      Trace.Fleet "breaker:quarantine"
+                  end
                 | None -> ()
               end)
             t.supervisors
@@ -178,17 +189,22 @@ let serve_one t =
   t.offered <- t.offered + 1;
   if serving_count t < t.config.min_healthy then begin
     t.shed <- t.shed + 1;
-    emit t ~a:request "shed";
+    Trace.emit t.trace ~a:request Trace.Request "req:shed";
     Shed
   end
   else
     match pick_serving t with
     | None ->
       t.shed <- t.shed + 1;
-      emit t ~a:request "shed";
+      Trace.emit t.trace ~a:request Trace.Request "req:shed";
       Shed
     | Some i ->
       let s = t.supervisors.(i) in
+      (* the causal anchor: request [a] was assigned to machine [b] —
+         recorded on the fleet clock and on the machine's own track *)
+      Trace.emit t.trace ~a:request ~b:i Trace.Request "req:assign";
+      Trace.emit (Supervisor.trace_ring s) ~a:request ~b:i Trace.Request
+        "req:assign";
       let result = Supervisor.serve ~reference:t.reference s ~request () in
       (match result with
       | Supervisor.Served { insns; _ } ->
@@ -206,9 +222,10 @@ let serve_one t =
       breaker_sweep t i;
       Done { machine = i; result }
 
-let run t ~requests =
+let run ?after_each t ~requests =
   for _ = 1 to requests do
-    ignore (serve_one t)
+    ignore (serve_one t);
+    match after_each with Some f -> f () | None -> ()
   done
 
 (* The drill's exit criterion: every surviving machine, faults
@@ -288,6 +305,20 @@ let metrics_json t =
            (match m.D.System.ruleset with
            | Some rs -> List.map Jsonx.int (Ruleset.quarantined_ids rs)
            | None -> []));
+        ("trace",
+         let ring = Supervisor.trace_ring s in
+         Jsonx.obj
+           [
+             ("total", Jsonx.int (Trace.total ring));
+             ("dropped", Jsonx.int (Trace.dropped ring));
+           ]);
+        ("depot",
+         let installed, pending = D.System.depot_coverage m in
+         Jsonx.obj
+           [
+             ("installed", Jsonx.int installed);
+             ("pending", Jsonx.int pending);
+           ]);
         ("final_check", final);
       ]
   in
@@ -323,6 +354,13 @@ let metrics_json t =
       ("breaker_trips", Jsonx.int t.breaker_trips);
       ("quarantined_rules",
        Jsonx.arr (List.map Jsonx.int (quarantined_rules t)));
+      ("depot",
+       let installed, pending = t.boot_depot in
+       Jsonx.obj
+         [
+           ("installed", Jsonx.int installed);
+           ("pending", Jsonx.int pending);
+         ]);
       ("serving", Jsonx.int (serving_count t));
       ("alive", Jsonx.int (alive_count t));
       ("all_verified",

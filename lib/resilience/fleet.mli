@@ -42,15 +42,27 @@ val create :
     supervised machine per fleet slot. Raises [Invalid_argument] on a
     bad config, a plan sized for a different fleet, or a reference run
     that cannot complete within the policy deadline; raises
-    [Snapshot.Corrupt] / [Snapshot.Load_error] on a damaged base. *)
+    [Snapshot.Corrupt] / [Snapshot.Load_error] on a damaged base.
+
+    The fleet always keeps its own event ring on the request-counter
+    clock — dispatch ([req:assign]/[req:shed] in the [Request]
+    category), breaker and machine-death events — whether or not
+    anyone exports it; [?trace] merely supplies the ring a caller
+    intends to export, so a drill's report is bit-identical with and
+    without telemetry. *)
 
 val serve_one : t -> disposition
 (** Admit (or shed) and serve the next request, then run the circuit-
-    breaker sweep over the machine that served. *)
+    breaker sweep over the machine that served. Emits [req:assign]
+    (request in [a], machine in [b]) on both the fleet ring and the
+    chosen machine's own ring — the causal join key between the fleet
+    timeline and the per-machine timelines. *)
 
-val run : t -> requests:int -> unit
+val run : ?after_each:(unit -> unit) -> t -> requests:int -> unit
 (** [requests] times {!serve_one}, discarding dispositions (the
-    counters and histogram keep the aggregate story). *)
+    counters and histogram keep the aggregate story). [after_each]
+    runs after every request — the telemetry collector's sampling
+    hook. *)
 
 val final_verify : t -> bool
 (** Run {!Supervisor.verify_clean} on every machine; records the
@@ -60,12 +72,31 @@ val final_verify : t -> bool
 val metrics_json : t -> string
 (** The deterministic drill report (JSON object): aggregate counters,
     availability, restart/backoff totals, breaker trips, the latency
-    histogram, and a per-machine breakdown (state, strikes, rung,
-    quarantined rules, final check). Volatile facts (wall-clock time)
-    are deliberately excluded — callers add them under their own key. *)
+    histogram, boot-depot coverage ({!note_boot_depot}), and a
+    per-machine breakdown (state, strikes, rung, quarantined rules,
+    trace-ring total/dropped counts, depot coverage, final check).
+    Volatile facts (wall-clock time) are deliberately excluded —
+    callers add them under their own key. *)
 
 val reference : t -> Supervisor.reference
+val machines : t -> int
 val supervisor : t -> int -> Supervisor.t
+
+val trace : t -> Repro_observe.Trace.t
+(** The fleet's own event ring (request-counter clock). Always on;
+    see {!create}. *)
+
+val latency : t -> Repro_perfscope.Histo.t
+(** Fleet-wide serve-latency histogram — exactly the bucket-wise merge
+    of every machine's {!Supervisor.latency} ([Served] records net
+    insns, [Timed_out] records the policy deadline, nothing else
+    records). *)
+
+val note_boot_depot : t -> installed:int -> pending:int -> unit
+(** Record the boot machine's AOT-depot coverage
+    ({!Repro_dbt.System.depot_coverage}) for {!metrics_json}'s
+    fleet-level ["depot"] object; defaults to [(0, 0)] (cold boot). *)
+
 val serving_count : t -> int
 val alive_count : t -> int
 val offered : t -> int

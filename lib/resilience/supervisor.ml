@@ -4,6 +4,8 @@ module Fi = Repro_faultinject.Faultinject
 module Snapshot = Repro_snapshot.Snapshot
 module Stats = Repro_x86.Stats
 module Trace = Repro_observe.Trace
+module Scope = Repro_perfscope.Scope
+module Histo = Repro_perfscope.Histo
 
 type policy = {
   deadline : int;
@@ -44,6 +46,13 @@ let outcome_name = function
   | Rejected -> "rejected"
   | Gave_up _ -> "gave-up"
 
+(* stable small codes for the req:verdict trace payload *)
+let outcome_code = function
+  | Served _ -> 0
+  | Timed_out -> 1
+  | Rejected -> 2
+  | Gave_up _ -> 3
+
 type t = {
   id : int;
   policy : policy;
@@ -53,7 +62,14 @@ type t = {
   plan : Fi.Plan.t option;
   health : Health.t;
   backoff : Backoff.t;
-  trace : Trace.t option;
+  trace : Trace.t option;  (* the fleet's shared ring (request clock) *)
+  mtrace : Trace.t;  (* this machine's own ring (work clock), always on *)
+  scope : Scope.t;  (* per-machine phase attribution, always on *)
+  latency : Histo.t;  (* serve latency of this machine's requests *)
+  work_skew : int ref;
+      (* monotone work clock: restores rewind [stats.guest_insns], so
+         telemetry time is [!work_skew + guest_insns] and the skew is
+         re-anchored across every supervision-level restore *)
   mutable served : int;
   mutable timeouts : int;
   mutable wrong_results : int;
@@ -73,18 +89,39 @@ let emit t ?(a = -1) name =
   | Some tr -> Trace.emit tr ~a:(if a >= 0 then a else t.id) Trace.Fleet name
   | None -> ()
 
+(* machine-ring events ride the monotone work clock *)
+let emit_m t ?a ?b cat name = Trace.emit t.mtrace ?a ?b cat name
+
+(* Restore without letting the telemetry clock travel backwards: the
+   snapshot rewinds [stats.guest_insns], the skew absorbs the rewind
+   so the machine's work clock is continuous (a restore takes zero
+   work time). *)
+let restore_monotone machine work_skew snap =
+  let stats = D.System.stats machine in
+  let before = !work_skew + stats.Stats.guest_insns in
+  D.System.restore machine snap;
+  work_skew := before - stats.Stats.guest_insns
+
 let create ?plan ?trace ~id ~policy base =
   let mode = D.System.snapshot_mode base in
+  let mtrace = Trace.create () in
+  let scope = Scope.create () in
   let machine =
     D.System.create
       ~ram_kib:(D.System.snapshot_ram_kib base)
       ?inject:(D.System.snapshot_injector base)
       ~shadow_depth:policy.shadow_depth
-      ~quarantine_threshold:policy.quarantine_threshold mode
+      ~quarantine_threshold:policy.quarantine_threshold ~trace:mtrace ~scope
+      mode
   in
+  let work_skew = ref 0 in
+  (* override the runtime's raw guest-insn clock with the monotone
+     work clock (same value until the first restore rewinds stats) *)
+  Trace.set_clock mtrace (fun () ->
+      !work_skew + (D.System.stats machine).Stats.guest_insns);
   (* one restore up front pins the base clock value (the retired-insn
      count captured in the warm snapshot) and proves the shape matches *)
-  D.System.restore machine base;
+  restore_monotone machine work_skew base;
   {
     id;
     policy;
@@ -100,6 +137,10 @@ let create ?plan ?trace ~id ~policy base =
         ~seed:(salt (id + 1) ~request:0 ~attempt:0)
         ();
     trace;
+    mtrace;
+    scope;
+    latency = Histo.create ();
+    work_skew;
     served = 0;
     timeouts = 0;
     wrong_results = 0;
@@ -109,6 +150,10 @@ let create ?plan ?trace ~id ~policy base =
 let id t = t.id
 let health t = t.health
 let machine t = t.machine
+let trace_ring t = t.mtrace
+let scope t = t.scope
+let latency t = t.latency
+let work_insns t = !(t.work_skew) + (D.System.stats t.machine).Stats.guest_insns
 let backoff_total t = Backoff.total t.backoff
 let served t = t.served
 let timeouts t = t.timeouts
@@ -143,6 +188,15 @@ let serve ?reference t ~request () =
     let deadline_abs = t.base_insns + t.policy.deadline in
     let restart_point = ref None in
     let stats = D.System.stats t.machine in
+    let finish attempt outcome =
+      emit_m t ~a:request ~b:attempt Trace.Request "req:end";
+      emit_m t ~a:request ~b:(outcome_code outcome) Trace.Request "req:verdict";
+      (match outcome with
+      | Served { insns; _ } -> Histo.record t.latency insns
+      | Timed_out -> Histo.record t.latency t.policy.deadline
+      | Rejected | Gave_up _ -> ());
+      outcome
+    in
     let rec attempt_run attempt =
       let crash signal kind =
         (match signal with
@@ -152,32 +206,43 @@ let serve ?reference t ~request () =
         | _ -> ());
         let state = Health.note t.health signal in
         emit t (Printf.sprintf "crash:%s" (Health.signal_name signal));
+        emit_m t ~a:request ~b:attempt Trace.Request "req:end";
+        emit_m t ~a:request Trace.Fleet
+          (Printf.sprintf "crash:%s" (Health.signal_name signal));
         (* quarantine-level health drops the engine floor one rung:
            restarts alone did not fix it, so re-serve on a simpler,
            safer engine *)
-        if state = Health.Quarantined && D.System.degrade_floor t.machine then
-          emit t
-            (Printf.sprintf "degrade:%s"
-               (D.System.rung_name (D.System.rung_floor t.machine)));
+        if state = Health.Quarantined && D.System.degrade_floor t.machine then begin
+          let rung = D.System.rung_name (D.System.rung_floor t.machine) in
+          emit t (Printf.sprintf "degrade:%s" rung);
+          emit_m t ~a:request Trace.Fleet (Printf.sprintf "degrade:%s" rung)
+        end;
         if attempt >= t.policy.retry_budget then begin
           Health.kill t.health;
           emit t "dead";
+          emit_m t ~a:request Trace.Fleet "dead";
+          emit_m t ~a:request ~b:(outcome_code (Gave_up { attempts = 0 }))
+            Trace.Request "req:verdict";
           Gave_up { attempts = attempt + 1 }
         end
         else begin
           let delay = Backoff.next t.backoff in
           emit t ~a:delay "backoff";
+          emit_m t ~a:request ~b:delay Trace.Fleet "backoff";
+          emit_m t ~a:request ~b:(attempt + 1) Trace.Request "req:retry";
           attempt_run (attempt + 1)
         end
       in
       match
-        D.System.restore t.machine
+        restore_monotone t.machine t.work_skew
           (match !restart_point with Some cp -> cp | None -> t.base);
         arm t ~request ~attempt;
         if attempt > 0 then begin
           ignore (Health.note_restart_ok t.health);
-          emit t "restart"
+          emit t "restart";
+          emit_m t ~a:request ~b:attempt Trace.Fleet "restart"
         end;
+        emit_m t ~a:request ~b:attempt Trace.Request "req:begin";
         D.System.run ~deadline:deadline_abs
           ~checkpoint_every:t.policy.checkpoint_every
           ~on_checkpoint:(fun snap ->
@@ -197,7 +262,7 @@ let serve ?reference t ~request () =
           | _ ->
             Backoff.reset t.backoff;
             t.served <- t.served + 1;
-            Served { code; insns; attempts = attempt + 1 })
+            finish attempt (Served { code; insns; attempts = attempt + 1 }))
         | `Deadline ->
           (* a typed request-level result, not a machine failure worth
              a restart: the guest state is consistent and the next
@@ -205,7 +270,7 @@ let serve ?reference t ~request () =
           t.timeouts <- t.timeouts + 1;
           ignore (Health.note t.health Health.Deadline_timeout);
           emit t "timeout";
-          Timed_out
+          finish attempt Timed_out
         | `Livelock _ -> crash Health.Crash `Surfaced
         | `Insn_limit -> assert false (* no [max_guest_insns] given *))
       | exception Snapshot.Corrupt _ ->
@@ -225,10 +290,14 @@ let serve ?reference t ~request () =
 let verify_clean t reference =
   if not (Health.alive t.health) then None
   else begin
-    D.System.restore t.machine t.base;
+    restore_monotone t.machine t.work_skew t.base;
     (match t.machine.D.System.rt.T.Runtime.inject with
     | Some inj -> List.iter (fun s -> Fi.set_rate inj s 0.) Fi.all_sites
     | None -> ());
+    let verdict ok =
+      emit_m t ~a:(if ok then 1 else 0) Trace.Fleet "verify:clean";
+      Some ok
+    in
     match
       D.System.run ~deadline:(t.base_insns + t.policy.deadline) t.machine
     with
@@ -240,10 +309,10 @@ let verify_clean t reference =
            are delivered at TB boundaries, and TB boundaries shift
            across rungs and under quarantine fallback, so the handler
            interleaves at marginally different points *)
-        Some
+        verdict
           (code = reference.r_code
           && uart_digest t.machine = reference.r_uart_digest)
-      | _ -> Some false)
-    | exception Snapshot.Corrupt _ -> Some false
-    | exception Snapshot.Load_error _ -> Some false
+      | _ -> verdict false)
+    | exception Snapshot.Corrupt _ -> verdict false
+    | exception Snapshot.Load_error _ -> verdict false
   end

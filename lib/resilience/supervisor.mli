@@ -72,7 +72,17 @@ val create :
     given, arms the fleet chaos plan's faults for this machine id on
     every restore. [trace] receives [Fleet]-category events (crashes,
     backoff delays, restarts, demotions, death). Raises
-    [Snapshot.Corrupt] / [Snapshot.Load_error] if [base] is damaged. *)
+    [Snapshot.Corrupt] / [Snapshot.Load_error] if [base] is damaged.
+
+    Every supervised machine additionally carries an always-on
+    observability surface, so telemetry export never changes what was
+    recorded: its own trace ring ({!trace_ring}, fed by the engine and
+    by [Request]-category request-lifecycle events on the monotone
+    {!work_insns} clock), a perfscope ({!scope}) attributing every
+    retired host instruction to a phase, and a serve-latency histogram
+    ({!latency}). All three are purely observational (see
+    {!Repro_dbt.System.create}); drill results are bit-identical
+    whether or not anything reads them. *)
 
 val serve : ?reference:reference -> t -> request:int -> unit -> outcome
 (** Serve one request under the policy. With [reference], a halt whose
@@ -93,6 +103,31 @@ val verify_clean : t -> reference -> bool option
 val id : t -> int
 val health : t -> Health.t
 val machine : t -> Repro_dbt.System.t
+
+val trace_ring : t -> Repro_observe.Trace.t
+(** This machine's own event ring: engine events plus the request
+    lifecycle ([req:begin]/[req:end]/[req:retry]/[req:verdict] in the
+    [Request] category, request id in [a]) and supervision events
+    ([Fleet] category), timestamped on the monotone {!work_insns}
+    clock. Always on; ring overflow advances its drop counter (the
+    fleet report exposes both). *)
+
+val scope : t -> Repro_perfscope.Scope.t
+(** This machine's performance scope (always attached): per-phase
+    host-insn totals, monotone across restores — the cost signature
+    the anomaly detector compares across the fleet. *)
+
+val latency : t -> Repro_perfscope.Histo.t
+(** Serve latencies recorded by this machine: net retired insns for
+    [Served], the policy deadline for [Timed_out]. The fleet-level
+    histogram is exactly the merge of the per-machine ones. *)
+
+val work_insns : t -> int
+(** The machine's monotone work clock: cumulative retired guest
+    instructions across every attempt, continuous across restores
+    (a restore takes zero work time, rather than rewinding). The
+    timestamp domain of {!trace_ring}. *)
+
 val backoff_total : t -> int
 (** Accumulated modeled restart delay, in guest insns. *)
 

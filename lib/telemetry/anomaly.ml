@@ -1,0 +1,86 @@
+(* Deterministic cost-signature outlier scoring.
+
+   The signal per machine is its perfscope phase vector — how many
+   retired host instructions went to Translate/Execute/Coordinate/
+   Softmmu/Helper/Deliver/Region — normalized by the machine's
+   *useful* work (the guest insns its latency histogram accounted to
+   served and timed-out requests). Healthy machines serving the same
+   workload converge to the same cost-per-useful-insn rates; a
+   sabotaged machine burns translation and execution work on attempts
+   that crash before producing anything, so its rates blow up even
+   though its raw phase *mix* looks normal (a crash reruns the same
+   kind of work, it does not change the blend).
+
+   Distance from the fleet median is Canberra (per-dimension
+   |a-b|/(a+b), bounded by 1 per dimension), so a machine whose rates
+   diverge wildly scores near the phase count and one matching the
+   median scores near 0 — scale-free, bounded, and closed-form.
+
+   Everything here is deterministic: no PRNG, no iteration-order
+   dependence, no wall clock. Same drill, same scores. *)
+
+let rates ~useful v =
+  let d = float_of_int (max 1 useful) in
+  Array.map (fun n -> float_of_int n /. d) v
+
+(* Component-wise lower median: robust against a minority of outliers
+   (the faulty machines must not drag the reference point toward
+   themselves), and deterministic — the lower median is an element of
+   the sorted column, never an average. *)
+let median rows =
+  match rows with
+  | [] -> invalid_arg "Anomaly.median: no rows"
+  | first :: _ ->
+    let dims = Array.length first in
+    List.iter
+      (fun r ->
+        if Array.length r <> dims then
+          invalid_arg "Anomaly.median: ragged rows")
+      rows;
+    let n = List.length rows in
+    Array.init dims (fun d ->
+        let col = List.map (fun r -> r.(d)) rows in
+        let sorted = List.sort compare col in
+        List.nth sorted ((n - 1) / 2))
+
+(* Canberra distance: each dimension contributes |a-b|/(a+b), bounded
+   by 1, so the total is bounded by the dimension count and a single
+   runaway phase cannot drown the rest. Both-zero dimensions
+   contribute 0. *)
+let distance a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Anomaly.distance: dimension mismatch";
+  let d = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let y = b.(i) in
+      let s = x +. y in
+      if s > 0. then d := !d +. (Float.abs (x -. y) /. s))
+    a;
+  !d
+
+let scores machines =
+  let rows = List.map (fun (v, useful) -> rates ~useful v) machines in
+  let m = median rows in
+  List.map (fun r -> distance r m) rows
+
+let flagged ~threshold scores =
+  let out = ref [] in
+  List.iteri (fun i s -> if s > threshold then out := i :: !out) scores;
+  List.rev !out
+
+(* Highest score wins; first index on an exact tie, so the answer is
+   stable under list order. *)
+let top scores =
+  match scores with
+  | [] -> None
+  | first :: _ ->
+    let best = ref 0 and best_s = ref first in
+    List.iteri
+      (fun i s ->
+        if s > !best_s then begin
+          best := i;
+          best_s := s
+        end)
+      scores;
+    Some !best

@@ -1,0 +1,47 @@
+(** Deterministic anomaly detection over per-machine cost signatures.
+
+    Input per machine: its perfscope phase vector
+    ({!Repro_perfscope.Scope.phase_vector} — monotone per-phase host
+    insn totals) and its {e useful work} (guest insns its latency
+    histogram accounted to served/timed-out requests,
+    {!Repro_perfscope.Histo.sum} of {!Repro_resilience.Supervisor.latency}).
+
+    Each vector is normalized to host-insns-per-useful-guest-insn
+    rates; the fleet's component-wise lower median forms the reference
+    signature; a machine's score is the Canberra distance of its rates
+    from that median (bounded by the phase count). Healthy machines
+    serving the same workload converge to the same rates and score
+    near 0; a sabotaged machine burns work on attempts that crash
+    before serving anything, so its rates — and score — blow up even
+    when its raw phase {e mix} looks normal.
+
+    Closed-form and deterministic: no randomness, no iteration-order
+    dependence — the same drill yields the same scores byte-for-byte,
+    which is what the CI cross-check against fault-injection ground
+    truth relies on. *)
+
+val rates : useful:int -> int array -> float array
+(** Per-component [v.(i) / max 1 useful]. *)
+
+val median : float array list -> float array
+(** Component-wise lower median (an element of each sorted column,
+    never an average — robust against a minority of outliers and
+    exactly reproducible). Raises [Invalid_argument] on an empty list
+    or ragged rows. *)
+
+val distance : float array -> float array -> float
+(** Canberra distance: sum over dimensions of [|a-b| / (a+b)]
+    (both-zero dimensions contribute 0) — each dimension bounded by 1,
+    so one runaway phase cannot drown the rest. Raises
+    [Invalid_argument] on dimension mismatch. *)
+
+val scores : (int array * int) list -> float list
+(** [(phase_vector, useful_work)] per machine, in fleet order; returns
+    each machine's distance from the fleet median rate signature. *)
+
+val flagged : threshold:float -> float list -> int list
+(** Indices whose score strictly exceeds [threshold], ascending. *)
+
+val top : float list -> int option
+(** Index of the highest score ([None] on an empty list; first index
+    wins an exact tie). *)

@@ -1,0 +1,57 @@
+(** Declarative SLOs ("error budgets") evaluated against a finished
+    fleet drill.
+
+    An SLO file is one JSON object; every key is optional, unknown
+    keys are a hard error (a typo must not silently gate nothing):
+
+    {v
+    { "p99_latency_max": 2000000,
+      "availability_min": 0.9,
+      "deadline_miss_rate_max": 0.05,
+      "breaker_trips_max": 4 }
+    v}
+
+    Every evaluated quantity is a deterministic function of (fleet
+    seed, base snapshot, request count), so a burned budget reproduces
+    from the drill seed — [dbt_fleet --slo] turns it into exit code 8. *)
+
+exception Slo_error of string
+
+type t = {
+  p99_latency_max : int option;
+      (** ceiling on the fleet's p99 serve latency
+          ({!Repro_perfscope.Histo.percentile} of
+          {!Repro_resilience.Fleet.latency}), retired guest insns *)
+  availability_min : float option;
+      (** floor on [served_ok / offered] *)
+  deadline_miss_rate_max : float option;
+      (** ceiling on [timed_out / offered] (0 when nothing offered) *)
+  breaker_trips_max : int option;
+      (** budget of fleet-wide circuit-breaker trips *)
+}
+
+type objective = {
+  name : string;  (** ["p99_latency"] etc. *)
+  target : float;
+  actual : float;
+  burned : bool;
+}
+
+val of_json : Repro_observe.Jsonx.value -> t
+(** Raises {!Slo_error} on a non-object, an unknown key, or a value of
+    the wrong shape. *)
+
+val load : string -> t
+(** Read and parse an SLO file; {!Slo_error} wraps parse errors with
+    the path. Raises [Sys_error] if the file cannot be opened. *)
+
+val evaluate : t -> Repro_resilience.Fleet.t -> objective list
+(** One objective per present key, in declaration order. *)
+
+val burned : objective list -> bool
+
+val report_json : objective list -> string
+(** [{"meta":"slo-report","burned":..,"objectives":[{name,target,
+    actual,burned},...]}] — deterministic, written as a separate
+    artifact (never merged into the drill report, which must stay
+    identical with and without [--slo]). *)
