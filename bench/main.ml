@@ -31,6 +31,7 @@ module K = Repro_kernel.Kernel
 module W = Repro_workloads.Workloads
 module Stats = Repro_x86.Stats
 module Jsonx = Repro_observe.Jsonx
+module Cov = Repro_covscope
 
 let target =
   match Sys.getenv_opt "REPRO_BENCH_TARGET" with
@@ -159,9 +160,14 @@ let run_bench_slice s =
   ignore (D.System.run ~max_guest_insns:(60 * target) sys);
   let wall_ms = (Sys.time () -. t0) *. 1000. in
   let st = D.System.stats sys in
-  Printf.printf "  %-24s %-18s guest %9d  host/guest %7.3f  %8.1f ms\n%!"
+  (* Building the coverage report re-asserts the tier partition
+     invariant (sum of tier retirements = retired guest insns) on
+     every slice — the bench run doubles as its runtime check. *)
+  let coverage = Cov.Report.coverage (Cov.Report.make (Cov.Report.of_stats st)) in
+  Printf.printf
+    "  %-24s %-18s guest %9d  host/guest %7.3f  cov %5.1f%%  %8.1f ms\n%!"
     s.bs_name (D.System.mode_name mode) st.Stats.guest_insns
-    (Stats.host_per_guest st) wall_ms;
+    (Stats.host_per_guest st) (100. *. coverage) wall_ms;
   Jsonx.obj
     [
       ("name", Jsonx.str s.bs_name);
@@ -173,6 +179,7 @@ let run_bench_slice s =
       ("host_insns", Jsonx.int st.Stats.host_insns);
       ("host_per_guest", Jsonx.float (Stats.host_per_guest st));
       ("sync_insns", Jsonx.int (Stats.tag_count st Repro_x86.Insn.Tag_sync));
+      ("coverage", Jsonx.float coverage);
       ("wall_ms", Jsonx.float wall_ms);
     ]
 
@@ -189,6 +196,7 @@ let bench_json () =
   write_clearly ~what:"bench file" path
     (Jsonx.obj
        [
+         ("meta", Jsonx.str "bench");
          ("rev", Jsonx.str rev);
          ("target", Jsonx.int target);
          ("slices", Jsonx.arr slices);

@@ -2,11 +2,15 @@
    breakdowns and A/B diffs of --stats-json / --perf files, top-N hot
    stacks of folded flamegraphs, trace/metrics JSONL summaries,
    fleet-telemetry digests (summary / per-machine / timeline views of
-   a dbt_fleet --telemetry series.json), and the benchmark-regression
-   gate over consolidated BENCH_<rev>.json files (the CI gate).
+   a dbt_fleet --telemetry series.json), coverage-report views
+   (matrix / rules / opportunities / gate over a --coverage-out
+   document), and the benchmark-regression gate over consolidated
+   BENCH_<rev>.json files (the CI gate).
 
-   Exit codes: 0 success, 2 usage / malformed input, 7 regression
-   (gate failure, or a diff above --fail-above). *)
+   Exit codes: 0 success, 2 usage / malformed input, 3 wrong document
+   kind (the file's "meta" tag names another subcommand's artifact),
+   7 regression (gate failure, a diff above --fail-above, or a
+   coverage gate violation). *)
 
 module Obs = Repro_observe
 module Jsonx = Obs.Jsonx
@@ -14,6 +18,20 @@ module A = Repro_perfscope.Analysis
 open Cmdliner
 
 let exit_regression = 7
+let exit_kind = 3
+
+(* Every subcommand validates the document kind of its input before
+   interpreting it — feeding a stats file to [fleet] (or vice versa)
+   diagnoses itself in one line instead of printing empty tables. *)
+let require_kind ?require ~expect path j =
+  match A.check_kind ?require ~expect j with
+  | Ok () -> ()
+  | Error reason ->
+    Printf.eprintf "%s: %s\n" path reason;
+    exit exit_kind
+
+let require_kind_lines ~expect path vs =
+  List.iter (fun v -> require_kind ~expect path v) vs
 
 let load_json path =
   try A.load_json path with
@@ -46,6 +64,7 @@ let pct part total =
 
 let phases file =
   let j = load_json file in
+  require_kind ~expect:"dbt-stats" file j;
   (match (A.stat_int j "guest_insns", A.stat_int j "host_insns") with
   | Some g, Some h ->
     Printf.printf "guest insns  %d\nhost insns   %d\nhost/guest   %.3f\n\n" g h
@@ -69,6 +88,8 @@ let phases file =
 
 let diff fail_above file_a file_b =
   let ja = load_json file_a and jb = load_json file_b in
+  require_kind ~expect:"dbt-stats" file_a ja;
+  require_kind ~expect:"dbt-stats" file_b jb;
   let rows = A.diff ja jb in
   if rows = [] then begin
     Printf.eprintf "no phase data to compare\n";
@@ -91,8 +112,15 @@ let diff fail_above file_a file_b =
 (* --- top: hottest stacks of a folded flamegraph --- *)
 
 let top n file =
+  let content = read_file file in
+  (* A folded flamegraph is plain text; a tagged JSON artifact here is
+     a document-kind mistake worth its own diagnosis. *)
+  (match try Some (Jsonx.parse content) with Jsonx.Parse_error _ -> None with
+  | Some j when Jsonx.member "meta" j <> None ->
+    require_kind ~require:true ~expect:"folded-flamegraph" file j
+  | _ -> ());
   let samples =
-    String.split_on_char '\n' (read_file file)
+    String.split_on_char '\n' content
     |> List.filter_map (fun line ->
            match String.rindex_opt line ' ' with
            | Some i -> (
@@ -123,6 +151,7 @@ let top n file =
 
 let trace file =
   let vs = load_jsonl file in
+  require_kind_lines ~expect:"trace" file vs;
   let tbl = Hashtbl.create 64 in
   let first = ref max_int and last = ref min_int and n_events = ref 0 in
   let dropped = ref 0 and total = ref 0 in
@@ -170,6 +199,7 @@ let trace file =
 
 let metrics file =
   let vs = load_jsonl file in
+  require_kind_lines ~expect:"metrics" file vs;
   let rows =
     List.filter_map
       (fun v ->
@@ -204,12 +234,7 @@ let metrics file =
 
 let fleet_view view file =
   let j = load_json file in
-  (match Option.bind (Jsonx.member "meta" j) Jsonx.to_string with
-  | Some "fleet-telemetry" -> ()
-  | _ ->
-    Printf.eprintf "%s: not a fleet telemetry series (meta != fleet-telemetry)\n"
-      file;
-    exit 2);
+  require_kind ~require:true ~expect:"fleet-telemetry" file j;
   let geti name v = Option.bind (Jsonx.member name v) Jsonx.to_int in
   let getf name v = Option.bind (Jsonx.member name v) Jsonx.to_float in
   let gets name v = Option.bind (Jsonx.member name v) Jsonx.to_string in
@@ -302,6 +327,88 @@ let fleet_view view file =
       samples;
     0
 
+(* --- coverage: views of a --coverage-out translation-quality report --- *)
+
+let coverage_view view min_coverage file =
+  let j = load_json file in
+  require_kind ~require:true ~expect:"dbt-coverage" file j;
+  let geti name v = Option.bind (Jsonx.member name v) Jsonx.to_int in
+  let getf name v = Option.bind (Jsonx.member name v) Jsonx.to_float in
+  let gets name v = Option.bind (Jsonx.member name v) Jsonx.to_string in
+  let getl name v = Option.bind (Jsonx.member name v) Jsonx.to_list in
+  let getb name v = Option.bind (Jsonx.member name v) Jsonx.to_bool in
+  let int0 name v = Option.value ~default:0 (geti name v) in
+  let flt0 name v = Option.value ~default:0. (getf name v) in
+  let guest = int0 "guest_insns" j in
+  let cov = 100. *. flt0 "coverage" j in
+  Printf.printf "coverage report: %d retired guest insns, %.1f%% rule/region tier\n"
+    guest cov;
+  match view with
+  | `Matrix ->
+    let rows = Option.value ~default:[] (getl "matrix" j) in
+    Printf.printf "\n%-12s %12s %12s %9s\n" "class" "insns" "host" "coverage";
+    List.iter
+      (fun r ->
+        Printf.printf "%-12s %12d %12d %8.1f%%\n"
+          (Option.value ~default:"?" (gets "class" r))
+          (int0 "insns" r) (int0 "cost" r)
+          (100. *. flt0 "coverage" r))
+      rows;
+    0
+  | `Rules ->
+    let rows = Option.value ~default:[] (getl "rules" j) in
+    Printf.printf "\n%-28s %10s %12s %10s  flags\n" "rule" "hits" "host" "payoff";
+    List.iter
+      (fun r ->
+        let flag name key =
+          if Option.value ~default:false (getb key r) then [ name ] else []
+        in
+        let flags = flag "dead" "dead" @ flag "negative-payoff" "negative_payoff" in
+        Printf.printf "%-28s %10d %12d %10.0f  %s\n"
+          (Option.value ~default:"?" (gets "name" r))
+          (int0 "hits" r) (int0 "dyn_cost" r) (flt0 "payoff" r)
+          (if flags = [] then "-" else String.concat "," flags))
+      rows;
+    0
+  | `Opportunities ->
+    let rows = Option.value ~default:[] (getl "opportunities" j) in
+    Printf.printf "\n%-12s %-16s %10s %10s %12s\n" "class" "idiom" "insns"
+      "mean host" "est savings";
+    List.iter
+      (fun r ->
+        Printf.printf "%-12s %-16s %10d %10.2f %12.0f\n"
+          (Option.value ~default:"?" (gets "class" r))
+          (Option.value ~default:"?" (gets "idiom" r))
+          (int0 "insns" r) (flt0 "mean_cost" r) (flt0 "est_savings" r))
+      rows;
+    0
+  | `Gate -> (
+    (* The partition invariant, re-asserted offline: every retired
+       guest instruction is charged to exactly one tier, so the tier
+       counts must sum to the retirement total. *)
+    let tiers =
+      match Jsonx.member "tiers" j with Some (Jsonx.Obj fields) -> fields | _ -> []
+    in
+    let tier_sum = List.fold_left (fun acc (_, v) -> acc + int0 "insns" v) 0 tiers in
+    if tier_sum <> guest then begin
+      Printf.eprintf
+        "%s: tier partition broken: tiers sum to %d, %d guest insns retired\n" file
+        tier_sum guest;
+      exit_regression
+    end
+    else begin
+      Printf.printf "tier partition: OK (%d insns across %d tier(s))\n" tier_sum
+        (List.length (List.filter (fun (_, v) -> int0 "insns" v > 0) tiers));
+      match min_coverage with
+      | Some t when cov < t ->
+        Printf.eprintf "%s: coverage %.1f%% below required %.1f%%\n" file cov t;
+        exit_regression
+      | Some t ->
+        Printf.printf "coverage %.1f%% >= required %.1f%%: OK\n" cov t;
+        0
+      | None -> 0
+    end)
+
 (* --- gate: the benchmark-regression gate --- *)
 
 let status_string = function
@@ -312,7 +419,9 @@ let status_string = function
 
 let gate threshold baseline current =
   let decode path =
-    match A.bench_of_json (load_json path) with
+    let j = load_json path in
+    require_kind ~expect:"bench" path j;
+    match A.bench_of_json j with
     | Some b -> b
     | None ->
       Printf.eprintf "%s: not a consolidated BENCH file\n" path;
@@ -399,6 +508,33 @@ let fleet_cmd =
       $ file_pos ~docv:"SERIES.json"
           ~doc:"A --telemetry series.json written by repro-dbt-fleet." 0)
 
+let coverage_cmd =
+  let doc = "views of a repro-dbt-run --coverage-out translation-quality report" in
+  let view =
+    let doc = "What to print: matrix, rules, opportunities, or gate." in
+    let view_conv =
+      Arg.enum
+        [
+          ("matrix", `Matrix);
+          ("rules", `Rules);
+          ("opportunities", `Opportunities);
+          ("gate", `Gate);
+        ]
+    in
+    Arg.(value & opt view_conv `Matrix & info [ "view" ] ~docv:"VIEW" ~doc)
+  in
+  let min_coverage =
+    let doc =
+      "With --view gate: exit 7 when the rule+region tier share is below $(docv) \
+       percent."
+    in
+    Arg.(value & opt (some float) None & info [ "min-coverage" ] ~docv:"PCT" ~doc)
+  in
+  Cmd.v (Cmd.info "coverage" ~doc)
+    Term.(
+      const coverage_view $ view $ min_coverage
+      $ file_pos ~docv:"COVERAGE.json" ~doc:"A --coverage-out report." 0)
+
 let gate_cmd =
   let doc = "benchmark-regression gate: current BENCH file vs baseline" in
   let threshold =
@@ -417,6 +553,15 @@ let cmd =
   let doc = "analyze DBT performance artifacts" in
   Cmd.group
     (Cmd.info "repro-dbt-analyze" ~doc)
-    [ phases_cmd; diff_cmd; top_cmd; trace_cmd; metrics_cmd; fleet_cmd; gate_cmd ]
+    [
+      phases_cmd;
+      diff_cmd;
+      top_cmd;
+      trace_cmd;
+      metrics_cmd;
+      fleet_cmd;
+      coverage_cmd;
+      gate_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

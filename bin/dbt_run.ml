@@ -20,6 +20,7 @@ module Obs = Repro_observe
 module Perf = Repro_perfscope
 module Depot = Repro_aotcache.Depot
 module Atomicio = Repro_common.Atomicio
+module Cov = Repro_covscope
 open Cmdliner
 
 let mode_of_string = function
@@ -126,7 +127,7 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
     quarantine_threshold checkpoint_every save_file restore_file replay_file
     watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
     ledger_on log_level stats_json perf_out flamegraph_out depot_save depot_load
-    depot_verify =
+    depot_verify coverage coverage_out =
   (match Obs.Log.level_of_string log_level with
   | Some lv -> Obs.Log.set_level lv
   | None ->
@@ -256,6 +257,11 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
           Printf.eprintf
             "depot incompatible (section %s: %s); falling back to cold start\n"
             section reason));
+      (* The dynamic attribution table in Stats is always on; the
+         static per-rule sink is only worth carrying when a coverage
+         view was requested. Attached before the first translation. *)
+      if coverage || coverage_out <> None then
+        D.System.set_cov_static sys (Some (Cov.Static.create ()));
       let profile =
         if profile_top > 0 || flamegraph_out <> None then
           Some (T.Profile.create ())
@@ -393,6 +399,16 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
         Format.printf "@.--- coordination ledger (paper Fig. 17) ---@.@[<v>%a@]@."
           Obs.Ledger.pp_report l
       | None -> ());
+      (* Coverage views assert the tier partition invariant as they
+         are built; both are read-only over the stats table. *)
+      if coverage then
+        Format.printf "@.--- translation-quality observatory ---@.@[<v>%a@]@."
+          Cov.Report.pp (D.System.coverage_report sys);
+      (match coverage_out with
+      | Some path ->
+        Atomicio.write path (Cov.Report.to_json (D.System.coverage_report sys) ^ "\n");
+        Format.printf "@.coverage report written to %s@." path
+      | None -> ());
       (match (trace, trace_file) with
       | Some tr, Some path ->
         Atomicio.write_channel path (fun oc ->
@@ -456,6 +472,7 @@ let run bench mode_name target budget timer builtin_only rules_file dump_tbs
         Atomicio.write path
           (Obs.Jsonx.obj
              ([
+                ("meta", Obs.Jsonx.str "dbt-stats");
                 ("stats", Stats.to_json s);
                 ("outcome", Obs.Jsonx.str outcome);
                 ( "uart_digest",
@@ -547,14 +564,14 @@ let run_protected bench mode target budget timer builtin_only rules_file
     quarantine_threshold checkpoint_every save_file restore_file replay_file
     watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
     ledger_on log_level stats_json perf_out flamegraph_out depot_save depot_load
-    depot_verify =
+    depot_verify coverage coverage_out =
   try
     run bench mode target budget timer builtin_only rules_file dump_tbs
       profile_top inject_seed inject_rate surface_faults shadow_depth
       quarantine_threshold checkpoint_every save_file restore_file replay_file
       watchdog postmortem_dir trace_file trace_format metrics_out metrics_every
       ledger_on log_level stats_json perf_out flamegraph_out depot_save
-      depot_load depot_verify
+      depot_load depot_verify coverage coverage_out
   with
   | T.Runtime.Load_error addr ->
     Printf.eprintf "image load error: physical address %#x is outside guest RAM\n"
@@ -787,6 +804,20 @@ let depot_verify_arg =
   in
   Arg.(value & opt (some string) None & info [ "depot-verify" ] ~docv:"DIR" ~doc)
 
+let coverage_arg =
+  let doc =
+    "Print the translation-quality observatory report: per-tier \
+     retirement partition, opcode-class coverage matrix, per-rule \
+     utilization/payoff ledger and the ranked rule-learning \
+     opportunity queue. Purely observational — the run is \
+     bit-identical with or without it."
+  in
+  Arg.(value & flag & info [ "coverage" ] ~doc)
+
+let coverage_out_arg =
+  let doc = "Write the coverage report as one JSON document to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "coverage-out" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "run one benchmark under one DBT engine" in
   Cmd.v
@@ -799,6 +830,6 @@ let cmd =
       $ postmortem_arg $ trace_arg $ trace_format_arg $ metrics_out_arg
       $ metrics_every_arg $ ledger_arg $ log_level_arg $ stats_json_arg
       $ perf_arg $ flamegraph_arg $ depot_save_arg $ depot_load_arg
-      $ depot_verify_arg)
+      $ depot_verify_arg $ coverage_arg $ coverage_out_arg)
 
 let () = exit (Cmd.eval cmd)

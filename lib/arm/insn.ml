@@ -277,6 +277,193 @@ let is_branch t =
   | B _ | Bx _ -> true
   | _ -> defs t land bitmask pc <> 0
 
+(* ---------- coverage classes ----------
+
+   The opcode-class enumeration of the translation-quality
+   observatory: every decoded instruction maps to exactly one class,
+   derived from the one [op] enumeration above. [classify] matches
+   every [op] constructor explicitly (no wildcard), so adding a new
+   decoder variant without deciding its coverage class is a compile
+   error under the dev profile's warning-8-as-error — the coverage
+   matrix can never silently drift from the decoder. *)
+
+type cls =
+  | C_dp of dp_op
+  | C_mul
+  | C_mull
+  | C_clz
+  | C_ldr
+  | C_ldrs
+  | C_str
+  | C_ldm
+  | C_stm
+  | C_b
+  | C_bx
+  | C_movw
+  | C_movt
+  | C_mrs
+  | C_msr
+  | C_svc
+  | C_cps
+  | C_mcr
+  | C_mrc
+  | C_vmsr
+  | C_vmrs
+  | C_nop
+  | C_udf
+
+let classify { op; _ } =
+  match op with
+  | Dp { op; _ } -> C_dp op
+  | Mul _ -> C_mul
+  | Mull _ -> C_mull
+  | Clz _ -> C_clz
+  | Ldr _ -> C_ldr
+  | Ldrs _ -> C_ldrs
+  | Str _ -> C_str
+  | Ldm _ -> C_ldm
+  | Stm _ -> C_stm
+  | B _ -> C_b
+  | Bx _ -> C_bx
+  | Movw _ -> C_movw
+  | Movt _ -> C_movt
+  | Mrs _ -> C_mrs
+  | Msr _ -> C_msr
+  | Svc _ -> C_svc
+  | Cps _ -> C_cps
+  | Mcr _ -> C_mcr
+  | Mrc _ -> C_mrc
+  | Vmsr _ -> C_vmsr
+  | Vmrs _ -> C_vmrs
+  | Nop -> C_nop
+  | Udf _ -> C_udf
+
+(* Non-dp classes in fixed index order after the 16 dp opcodes. *)
+let non_dp_classes =
+  [
+    C_mul; C_mull; C_clz; C_ldr; C_ldrs; C_str; C_ldm; C_stm; C_b; C_bx; C_movw;
+    C_movt; C_mrs; C_msr; C_svc; C_cps; C_mcr; C_mrc; C_vmsr; C_vmrs; C_nop;
+    C_udf;
+  ]
+
+let all_classes =
+  List.map (fun op -> C_dp op) (List.init 16 dp_op_of_code) @ non_dp_classes
+
+let n_classes = List.length all_classes
+
+let cls_index = function
+  | C_dp op -> dp_op_code op
+  | c ->
+    let rec find i = function
+      | [] -> assert false
+      | hd :: tl -> if hd = c then i else find (i + 1) tl
+    in
+    16 + find 0 non_dp_classes
+
+let cls_of_index i =
+  if i < 0 || i >= n_classes then invalid_arg (Printf.sprintf "cls_of_index: %d" i)
+  else if i < 16 then C_dp (dp_op_of_code i)
+  else List.nth non_dp_classes (i - 16)
+
+let cls_name = function
+  | C_dp op -> "dp." ^ dp_op_to_string op
+  | C_mul -> "mul"
+  | C_mull -> "mull"
+  | C_clz -> "clz"
+  | C_ldr -> "ldr"
+  | C_ldrs -> "ldrs"
+  | C_str -> "str"
+  | C_ldm -> "ldm"
+  | C_stm -> "stm"
+  | C_b -> "b"
+  | C_bx -> "bx"
+  | C_movw -> "movw"
+  | C_movt -> "movt"
+  | C_mrs -> "mrs"
+  | C_msr -> "msr"
+  | C_svc -> "svc"
+  | C_cps -> "cps"
+  | C_mcr -> "mcr"
+  | C_mrc -> "mrc"
+  | C_vmsr -> "vmsr"
+  | C_vmrs -> "vmrs"
+  | C_nop -> "nop"
+  | C_udf -> "udf"
+
+(* Idiom: a small within-class shape refinement (operand form, index
+   mode, S bit), so the opportunity report can name the concrete
+   pattern a new rule would have to cover. Bit 3 is "conditional" for
+   every class; bits 0-2 are the per-class shape. *)
+
+let idiom_conditional = 8
+
+let idiom_of { cond; op } =
+  let shape =
+    match op with
+    | Dp { s; op2; _ } ->
+      let form =
+        match op2 with
+        | Imm _ -> 0
+        | Reg_shift_imm { amount = 0; kind = LSL; _ } -> 1
+        | Reg_shift_imm _ -> 2
+        | Reg_shift_reg _ -> 3
+      in
+      form lor (if s then 4 else 0)
+    | Ldr { index; off; _ } | Ldrs { index; off; _ } | Str { index; off; _ } ->
+      (match index with Offset -> 0 | Pre_indexed -> 1 | Post_indexed -> 2)
+      lor (match off with Imm_off _ -> 0 | Reg_off _ -> 4)
+    | Ldm { writeback; regs; _ } ->
+      (if writeback then 1 else 0) lor if regs land (1 lsl pc) <> 0 then 2 else 0
+    | Stm { writeback; _ } -> if writeback then 1 else 0
+    | Mul { s; acc; _ } -> (if s then 1 else 0) lor if acc <> None then 2 else 0
+    | Mull { signed; s; _ } -> (if s then 1 else 0) lor if signed then 2 else 0
+    | B { link; _ } -> if link then 1 else 0
+    | Msr { write_control; _ } -> if write_control then 1 else 0
+    | Clz _ | Bx _ | Movw _ | Movt _ | Mrs _ | Svc _ | Cps _ | Mcr _ | Mrc _
+    | Vmsr _ | Vmrs _ | Nop | Udf _ -> 0
+  in
+  shape lor if cond <> Cond.AL then idiom_conditional else 0
+
+let n_idioms = 16
+
+let idiom_name cls idiom =
+  let shape = idiom land lnot idiom_conditional in
+  let base =
+    match cls with
+    | C_dp _ ->
+      let form =
+        match shape land 3 with
+        | 0 -> "imm"
+        | 1 -> "reg"
+        | 2 -> "shift"
+        | _ -> "regshift"
+      in
+      if shape land 4 <> 0 then form ^ ".s" else form
+    | C_ldr | C_ldrs | C_str ->
+      let index =
+        match shape land 3 with 0 -> "off" | 1 -> "pre" | _ -> "post"
+      in
+      index ^ if shape land 4 <> 0 then ".reg" else ".imm"
+    | C_ldm ->
+      String.concat "."
+        (("plain" :: (if shape land 1 <> 0 then [ "wb" ] else []))
+        @ if shape land 2 <> 0 then [ "pc" ] else [])
+    | C_stm -> if shape land 1 <> 0 then "wb" else "plain"
+    | C_mul ->
+      String.concat "."
+        (("plain" :: (if shape land 1 <> 0 then [ "s" ] else []))
+        @ if shape land 2 <> 0 then [ "acc" ] else [])
+    | C_mull ->
+      String.concat "."
+        (("plain" :: (if shape land 1 <> 0 then [ "s" ] else []))
+        @ if shape land 2 <> 0 then [ "signed" ] else [])
+    | C_b -> if shape land 1 <> 0 then "link" else "plain"
+    | C_msr -> if shape land 1 <> 0 then "control" else "flags"
+    | C_clz | C_bx | C_movw | C_movt | C_mrs | C_svc | C_cps | C_mcr | C_mrc
+    | C_vmsr | C_vmrs | C_nop | C_udf -> "plain"
+  and cond = idiom land idiom_conditional <> 0 in
+  if cond then base ^ ".cond" else base
+
 let pp_reg ppf r =
   if r = 13 then Format.pp_print_string ppf "sp"
   else if r = 14 then Format.pp_print_string ppf "lr"

@@ -131,6 +131,67 @@ val uses : t -> int
 val is_branch : t -> bool
 (** Direct/indirect branches and any PC write. *)
 
+(** {2 Coverage classes}
+
+    The opcode-class enumeration of the translation-quality
+    observatory (Repro_covscope). Classes are derived from the one
+    {!op} enumeration: {!classify} matches every constructor
+    explicitly, so a new decoder variant without a coverage class is a
+    compile error — the coverage matrix can never silently drift. *)
+
+type cls =
+  | C_dp of dp_op  (** one class per data-processing opcode *)
+  | C_mul
+  | C_mull
+  | C_clz
+  | C_ldr
+  | C_ldrs
+  | C_str
+  | C_ldm
+  | C_stm
+  | C_b
+  | C_bx
+  | C_movw
+  | C_movt
+  | C_mrs
+  | C_msr
+  | C_svc
+  | C_cps
+  | C_mcr
+  | C_mrc
+  | C_vmsr
+  | C_vmrs
+  | C_nop
+  | C_udf
+
+val classify : t -> cls
+val all_classes : cls list
+(** Every class once, in {!cls_index} order. *)
+
+val n_classes : int
+
+val cls_index : cls -> int
+(** Dense index in [0, n_classes): dp opcodes first (in
+    {!dp_op_code} order), then the other classes. *)
+
+val cls_of_index : int -> cls
+(** Inverse of {!cls_index}; raises [Invalid_argument] out of range. *)
+
+val cls_name : cls -> string
+(** Stable report key, e.g. ["dp.add"], ["ldr"]. *)
+
+val idiom_of : t -> int
+(** Within-class shape refinement in [0, n_idioms): operand form,
+    index mode, S bit — bit 3 ({!idiom_conditional}) marks
+    conditional execution for every class. *)
+
+val idiom_conditional : int
+val n_idioms : int
+
+val idiom_name : cls -> int -> string
+(** Render an idiom under its class, e.g. ["shift.s"], ["pre.reg"],
+    ["imm.cond"]. *)
+
 val pp : Format.formatter -> t -> unit
 (** Assembly-like rendering, e.g. [addeq r0, r1, #4]. *)
 

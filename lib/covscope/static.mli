@@ -1,0 +1,23 @@
+(** Translation-time per-rule emission sink.
+
+    Records, per rule id, how many TB sites the rule translated and
+    how many host instructions those sites emitted. The translator
+    reports into an attached sink; cache rebuilds and depot passes
+    detach it (the decision-ledger discipline) so re-translation never
+    double-counts. Not a snapshot section — it describes this
+    process's translation work, not guest state. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val record : t -> rule:int -> host_insns:int -> unit
+(** One translated site for [rule] that emitted [host_insns]
+    countable host instructions. *)
+
+val entries : t -> (int * int * int) list
+(** All [(rule_id, sites, emitted_host_insns)] rows, sorted by id. *)
+
+val find : t -> int -> int * int
+(** [(sites, emitted)] for one rule id; [(0, 0)] if never seen. *)

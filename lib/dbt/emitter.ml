@@ -11,6 +11,7 @@ module Ruleset = Repro_rules.Ruleset
 module Flagconv = Repro_rules.Flagconv
 module Pinmap = Repro_rules.Pinmap
 module Ledger = Repro_observe.Ledger
+module Attr = Repro_covscope.Attr
 
 (* Where the guest condition flags currently live. [F_env]: env is
    authoritative, EFLAGS holds nothing. [F_both conv]: both valid.
@@ -29,6 +30,7 @@ type result = {
   fallback : int;
   rules_used : (Rule.t * int) list;
   prov : int array;
+  cov_sites : (int * int) list;
 }
 
 let canonical_bit = 0x2000_0000
@@ -87,7 +89,13 @@ type st = {
          def-masks — shadow verification attributes divergences by
          destination register *)
   prov : int array;  (* Ledger provenance accumulated during emission *)
+  in_region : bool;  (* Region tier for coverage attribution *)
+  mutable cov_sites : (int * int) list;  (* (rule id, emitted host insns) per site *)
 }
+
+(* Coverage tier of code this emitter translates natively: the rule
+   tier in plain TBs, the region tier inside fused superblocks. *)
+let native_tier st = if st.in_region then Attr.Region else Attr.Rule
 
 let env_op slot = X.Mem (X.env_slot slot)
 let emit st ?tag i = Prog.emit st.b ?tag i
@@ -472,6 +480,11 @@ let set_env_pc st pc =
    coordinate, call the emulation helper, lazily restore after. *)
 let emit_fallback_body st ~pc ~index =
   st.fallback <- st.fallback + 1;
+  (* This guest insn retires through the emulation helper: re-stamp
+     its already-emitted retirement counter with the helper tier.
+     Patching the single retirement site is drift-proof where
+     mirroring the callers' dispatch logic would not be. *)
+  Prog.repatch_last_retire st.b (fun attr -> Attr.retier attr Attr.Helper);
   sync_for_qemu st;
   set_env_pc st pc;
   emit st ~tag:X.Tag_sync (X.Count X.Cnt_sync_op);
@@ -878,6 +891,7 @@ and emit_mem_helper st ~pc ~index (insn : A.t) =
 (* ---------- rule bodies ---------- *)
 
 let emit_rule_body st (rule : Rule.t) binding insns_matched =
+  let cov_before = Prog.length st.b in
   st.rule_covered <- st.rule_covered + List.length insns_matched;
   (let dmask = List.fold_left (fun m i -> m lor A.defs i) 0 insns_matched in
    st.rules_used <-
@@ -913,7 +927,8 @@ let emit_rule_body st (rule : Rule.t) binding insns_matched =
     match st.fl with
     | F_both _ | F_dirty _ -> st.fl <- F_env (* env was made valid above *)
     | F_env -> ()
-  end
+  end;
+  st.cov_sites <- (rule.Rule.id, Prog.length st.b - cov_before) :: st.cov_sites
 
 (* ---------- categories ---------- *)
 
@@ -1039,8 +1054,19 @@ let pinned_defs_uses insns_matched =
 let emit_insn st idx =
   let insn = st.insns.(idx) in
   let pc = pc_at st idx in
-  emit st (X.Count X.Cnt_guest_insn);
-  match categorize st idx with
+  (* [categorize] is pure, so the attribution can be computed before
+     the retirement counter is placed — the counter's position (before
+     the body, so faulting instructions still retire) must not move. *)
+  let cat = categorize st idx in
+  (match cat with
+  | C_ender -> ()
+  | C_rule (rule, _, _) ->
+    emit st (X.Count (X.Cnt_guest_insn (Attr.pack ~tier:(native_tier st) ~rule:rule.Rule.id insn)))
+  | C_memory ->
+    emit st (X.Count (X.Cnt_guest_insn (Attr.pack ~tier:(native_tier st) insn)))
+  | C_fallback ->
+    emit st (X.Count (X.Cnt_guest_insn (Attr.pack ~tier:Attr.Helper insn))));
+  match cat with
   | C_ender -> assert false
   | C_rule (rule, binding, matched) ->
     ensure_loaded_mask st (pinned_defs_uses matched);
@@ -1051,15 +1077,15 @@ let emit_insn st idx =
     if insn.A.cond <> Cond.AL && (writes || rule.Rule.flags.Rule.host_clobbers) then
       spill_flags_if_dirty st;
     let g = open_guard st insn.A.cond in
+    let count_member i (m : A.t) =
+      if i > 0 then
+        emit st
+          (X.Count (X.Cnt_guest_insn (Attr.pack ~tier:(native_tier st) ~rule:rule.Rule.id m)))
+    in
     (match g with
-    | G_never ->
-      List.iteri
-        (fun i _ -> if i > 0 then emit st (X.Count X.Cnt_guest_insn))
-        matched
+    | G_never -> List.iteri count_member matched
     | G_none | G_skip _ ->
-      List.iteri
-        (fun i _ -> if i > 0 then emit st (X.Count X.Cnt_guest_insn))
-        matched;
+      List.iteri count_member matched;
       emit_rule_body st rule binding matched;
       (match g with
       | G_skip _ when writes -> (
@@ -1109,7 +1135,15 @@ let emit_ender st idx =
   let insn = st.insns.(idx) in
   let pc = pc_at st idx in
   let next_pc = Word32.add pc 4 in
-  emit st (X.Count X.Cnt_guest_insn);
+  (* Native control transfers retire in the emitter's own tier; the
+     emulated enders are helper-assisted. Paths that bail out to the
+     interp helper mid-arm re-stamp via [emit_fallback_body]. *)
+  let ender_tier =
+    match insn.A.op with
+    | A.B _ | A.Bx _ | A.Ldr { rd = 15; _ } | A.Ldm _ -> native_tier st
+    | _ -> Attr.Helper
+  in
+  emit st (X.Count (X.Cnt_guest_insn (Attr.pack ~tier:ender_tier insn)));
   let dual_exit ~taken_branch ~emit_taken =
     (* cond branch shape: fallthrough exit, then the taken path. *)
     match insn.A.cond with
@@ -1271,7 +1305,10 @@ let emit_run st idx len =
   let consumed = ref 0 in
   (match g with
   | G_never ->
-    List.iter (fun _ -> emit st (X.Count X.Cnt_guest_insn)) members;
+    List.iter
+      (fun (m : A.t) ->
+        emit st (X.Count (X.Cnt_guest_insn (Attr.pack ~tier:(native_tier st) m))))
+      members;
     consumed := len
   | G_none | G_skip _ ->
     while !consumed < len do
@@ -1371,6 +1408,8 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
       fallback = 0;
       rules_used = [];
       prov = Ledger.zero_prov ();
+      in_region = false;
+      cov_sites = [];
     }
   in
   let st = { st with irq_label = Prog.fresh_label b } in
@@ -1436,6 +1475,7 @@ let emit ~opt ~ruleset ~privileged ~tb_pc ~insns ?origins ?elide_flag_save ?entr
     fallback = st.fallback;
     rules_used = List.rev st.rules_used;
     prov = st.prov;
+    cov_sites = List.rev st.cov_sites;
   }
 
 (* [emit] now names the whole-TB entry point; [emitp] is the
@@ -1478,7 +1518,7 @@ let emit_seam_branch st idx ~next_chunk_pc =
   let insn = st.insns.(idx) in
   let pc = pc_at st idx in
   let next_pc = Word32.add pc 4 in
-  emitp st (X.Count X.Cnt_guest_insn);
+  emitp st (X.Count (X.Cnt_guest_insn (Attr.pack ~tier:Attr.Region insn)));
   match insn.A.op with
   | A.B { link; offset } ->
     let target = Word32.add pc (Word32.of_signed ((offset * 4) + 8)) in
@@ -1585,6 +1625,8 @@ let emit_region ~opt ~ruleset ~privileged ~chunks ?elide_flag_save ?entry_conv (
       fallback = 0;
       rules_used = [];
       prov = Ledger.zero_prov ();
+      in_region = true;
+      cov_sites = [];
     }
   in
   let st = { st with irq_label = Prog.fresh_label b } in
@@ -1642,4 +1684,5 @@ let emit_region ~opt ~ruleset ~privileged ~chunks ?elide_flag_save ?entry_conv (
     fallback = st.fallback;
     rules_used = List.rev st.rules_used;
     prov = st.prov;
+    cov_sites = List.rev st.cov_sites;
   }

@@ -43,6 +43,10 @@ type result = {
           pass, the sync ops and host instructions this emission saves
           over the counterfactual with that pass disabled.  Observational
           only — accumulating it never changes the emitted program. *)
+  cov_sites : (int * int) list;
+      (** [(rule id, emitted host insns)] per rule-template site, in
+          emission order — the translation-time side of the coverage
+          per-rule ledger ({!Repro_covscope.Static}) *)
 }
 
 val save_cost : reduction:bool -> Repro_rules.Flagconv.t -> int

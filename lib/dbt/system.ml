@@ -173,6 +173,30 @@ let degrade_floor t =
 
 let load_image t origin words = Runtime.load_image t.rt origin words
 let stats t = Runtime.stats t.rt
+
+(* ---------- translation-quality observatory ---------- *)
+
+let set_cov_static t s =
+  match t.rule_translator with
+  | Some tr -> Translator_rule.set_cov_static tr s
+  | None -> ()
+
+let cov_static t =
+  match t.rule_translator with
+  | Some tr -> Translator_rule.cov_static tr
+  | None -> None
+
+let coverage_rules t =
+  match t.ruleset with
+  | Some rs ->
+    List.map
+      (fun (r : Repro_rules.Rule.t) -> (r.Repro_rules.Rule.id, r.Repro_rules.Rule.name))
+      (Ruleset.rules rs)
+  | None -> []
+
+let coverage_report t =
+  Repro_covscope.Report.make ?static:(cov_static t) ~rules:(coverage_rules t)
+    (Repro_covscope.Report.of_stats (Runtime.stats t.rt))
 let cpu t = t.rt.Runtime.cpu
 let journal t = t.journal
 let uart_output t = Devices.Uart.output t.rt.Runtime.bus.Repro_machine.Bus.uart
@@ -484,18 +508,22 @@ let rebuild_cache t records links regions region_links =
   (* The rebuild re-runs every captured translation; letting those
      re-translations record static provenance again would double-count
      in the coordination ledger, so it is detached for the duration. *)
-  let saved_ledger =
+  let saved_ledger, saved_cov_static =
     match t.rule_translator with
     | Some tr ->
       let l = Translator_rule.ledger tr in
+      let cs = Translator_rule.cov_static tr in
       Translator_rule.set_ledger tr None;
-      l
-    | None -> None
+      Translator_rule.set_cov_static tr None;
+      (l, cs)
+    | None -> (None, None)
   in
   Fun.protect
     ~finally:(fun () ->
       match t.rule_translator with
-      | Some tr -> Translator_rule.set_ledger tr saved_ledger
+      | Some tr ->
+        Translator_rule.set_ledger tr saved_ledger;
+        Translator_rule.set_cov_static tr saved_cov_static
       | None -> ())
   @@ fun () ->
   let saved_cpu = Cpu.save_words rt.Runtime.cpu in
@@ -835,13 +863,15 @@ let depot_pass t dp =
   end;
   let n = Array.length dp.dp_records in
   let fresh = ref [] in
-  let saved_ledger =
+  let saved_ledger, saved_cov_static =
     match t.rule_translator with
     | Some tr ->
       let l = Translator_rule.ledger tr in
+      let cs = Translator_rule.cov_static tr in
       Translator_rule.set_ledger tr None;
-      l
-    | None -> None
+      Translator_rule.set_cov_static tr None;
+      (l, cs)
+    | None -> (None, None)
   in
   let saved_tr = Option.map Translator_rule.save_state t.rule_translator in
   let scratch = Snapshot.create () in
@@ -862,7 +892,8 @@ let depot_pass t dp =
       (match (t.rule_translator, saved_tr) with
       | Some tr, Some s ->
         Translator_rule.restore_counters tr s;
-        Translator_rule.set_ledger tr saved_ledger
+        Translator_rule.set_ledger tr saved_ledger;
+        Translator_rule.set_cov_static tr saved_cov_static
       | _ -> ());
       (* write-protect what stuck, exactly as cold translation would *)
       List.iter

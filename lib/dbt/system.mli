@@ -181,6 +181,22 @@ val run :
     [Snapshot.save_file] and [repro-dbt-run --replay]). *)
 
 val stats : t -> Repro_x86.Stats.t
+
+val set_cov_static : t -> Repro_covscope.Static.t option -> unit
+(** Attach/detach the coverage per-rule translation sink on the rule
+    translator (no-op in [Qemu] mode). Detached automatically during
+    snapshot cache rebuilds and depot passes — those re-run
+    translations and must not re-record sites. *)
+
+val cov_static : t -> Repro_covscope.Static.t option
+
+val coverage_report : t -> Repro_covscope.Report.t
+(** Build the translation-quality report (tier partition, opcode-class
+    matrix, per-rule ledger, opportunity queue) over the machine's
+    always-on {!Repro_x86.Stats} attribution table. Read-only: never
+    perturbs execution. Raises [Failure] if the tier partition
+    invariant is broken. *)
+
 val cpu : t -> Repro_arm.Cpu.t
 val journal : t -> Journal.t
 val uart_output : t -> string

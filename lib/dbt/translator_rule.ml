@@ -20,6 +20,7 @@ module Ruleset = Repro_rules.Ruleset
 module Fi = Repro_faultinject.Faultinject
 module Trace = Repro_observe.Trace
 module Ledger = Repro_observe.Ledger
+module Covscope = Repro_covscope
 
 (* Per-TB metadata the emitter produces and the linker consumes. *)
 type meta = {
@@ -68,6 +69,9 @@ type t = {
   mutable ledger : Ledger.t option;
       (* coordination-savings sink; detachable (snapshot cache rebuild
          re-runs build_tb/re_emit and must not re-record statics) *)
+  mutable cov_static : Covscope.Static.t option;
+      (* translation-time side of the coverage per-rule ledger; same
+         detach discipline as [ledger] *)
 }
 
 let create ~opt ~ruleset ?(shadow_depth = 0) ?(quarantine_threshold = 2) ?ledger () =
@@ -85,10 +89,23 @@ let create ~opt ~ruleset ?(shadow_depth = 0) ?(quarantine_threshold = 2) ?ledger
     fallback = 0;
     inter_tb_elisions = 0;
     ledger;
+    cov_static = None;
   }
 
 let set_ledger t l = t.ledger <- l
 let ledger t = t.ledger
+let set_cov_static t s = t.cov_static <- s
+let cov_static t = t.cov_static
+
+(* First emissions record their rule-template sites; [re_emit] does
+   not (the sites were already counted when the TB was first built). *)
+let record_cov_sites t (r : Emitter.result) =
+  match t.cov_static with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun (id, n) -> Covscope.Static.record s ~rule:id ~host_insns:n)
+      r.Emitter.cov_sites
 
 (* ---------- III-D-1: define-before-use scheduling ----------
 
@@ -507,6 +524,7 @@ let build_tb t (rt : Runtime.t) cache ~pc ~insns ~m =
   (match t.ledger with
   | Some l -> Ledger.record_static l r.Emitter.prov
   | None -> ());
+  record_cov_sites t r;
   (match rt.Runtime.corrupt_override with
   | Some `Rule_corrupt ->
     (* Snapshot cache rebuild: re-apply the recorded corruption without
@@ -694,6 +712,7 @@ let fuse_trace t (rt : Runtime.t) cache ~(trace : Tb.t list) =
     (match t.ledger with
     | Some l -> Ledger.record_static l r.Emitter.prov
     | None -> ());
+    record_cov_sites t r;
     let stats = Runtime.stats rt in
     Stats.charge_tag stats X.Tag_glue
       (Costs.region_form_per_guest_insn () * region.Tb.guest_len);

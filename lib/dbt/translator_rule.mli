@@ -39,6 +39,15 @@ val set_ledger : t -> Repro_observe.Ledger.t option -> unit
 
 val ledger : t -> Repro_observe.Ledger.t option
 
+val set_cov_static : t -> Repro_covscope.Static.t option -> unit
+(** Attach/detach the coverage per-rule translation sink: each first
+    emission reports its rule-template sites and their emitted host
+    instructions. Same detach discipline as {!set_ledger} — snapshot
+    cache rebuilds and depot passes re-run translations and must not
+    re-record sites. *)
+
+val cov_static : t -> Repro_covscope.Static.t option
+
 val translate :
   t -> Repro_tcg.Runtime.t -> Repro_tcg.Tb.Cache.t -> pc:Word32.t ->
   (Repro_tcg.Tb.t, Repro_arm.Mem.fault) result

@@ -46,6 +46,26 @@ let stat_int json field =
   let* v = Jsonx.member field stats in
   Jsonx.to_int v
 
+(* ---- document-kind validation ---- *)
+
+(* Every JSON artifact the toolchain writes carries a ["meta"] kind
+   tag ("dbt-stats", "dbt-coverage", "fleet-telemetry", "bench",
+   "trace", ...). Feeding one artifact to another artifact's consumer
+   used to produce confusing empty tables; the kind check turns it
+   into a one-line diagnosis. Documents without the tag pass unless
+   [require] — older artifacts predate the tagging. *)
+let check_kind ?(require = false) ~expect json =
+  match Jsonx.member "meta" json with
+  | None ->
+    if require then
+      Error (Printf.sprintf "missing \"meta\" document-kind tag (expected %S)" expect)
+    else Ok ()
+  | Some m -> (
+    match Jsonx.to_string m with
+    | Some k when k = expect -> Ok ()
+    | Some k -> Error (Printf.sprintf "document kind %S, expected %S" k expect)
+    | None -> Error (Printf.sprintf "malformed \"meta\" tag (expected %S)" expect))
+
 (* ---- A/B diff ---- *)
 
 type diff_row = {

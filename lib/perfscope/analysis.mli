@@ -14,6 +14,13 @@ val phase_totals : Jsonx.value -> (string * int) list
 val stat_int : Jsonx.value -> string -> int option
 (** An integer field of the ["stats"] section. *)
 
+val check_kind : ?require:bool -> expect:string -> Jsonx.value -> (unit, string) result
+(** Validate the ["meta"] document-kind tag of a parsed artifact
+    against the kind a consumer expects: [Ok ()] when the tag equals
+    [expect], or when it is absent and [require] is false (legacy
+    artifacts predate the tagging; default). [Error reason] carries a
+    one-line diagnosis naming both kinds. *)
+
 type diff_row = {
   d_phase : string;
   d_a : int;

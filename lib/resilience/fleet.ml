@@ -25,7 +25,6 @@ type t = {
   plan : Fi.Plan.t option;
   reference : Supervisor.reference;
   trace : Trace.t;  (* the fleet's own ring (request-counter clock) *)
-  latency : Histo.t;
   known_quarantined : (int, unit) Hashtbl.t;
   mutable boot_depot : int * int;
       (* (installed, pending) depot coverage of the boot machine the
@@ -102,7 +101,6 @@ let create ?plan ?trace ~config base =
     plan;
     reference;
     trace;
-    latency = Histo.create ();
     known_quarantined = Hashtbl.create 16;
       boot_depot = (0, 0);
     cursor = 0;
@@ -125,7 +123,14 @@ let reference t = t.reference
 let machines t = t.config.machines
 let supervisor t m = t.supervisors.(m)
 let trace t = t.trace
-let latency t = t.latency
+(* The fleet-wide histogram is derived, not kept: Supervisor.serve
+   already records every Served/Timed_out latency in its machine's
+   histogram, and bucket-wise merge is associative and commutative —
+   one recording site, one merge path. *)
+let latency t =
+  let into = Histo.create () in
+  Array.iter (fun s -> Histo.merge ~into (Supervisor.latency s)) t.supervisors;
+  into
 let note_boot_depot t ~installed ~pending = t.boot_depot <- (installed, pending)
 
 let serving_count t =
@@ -207,12 +212,8 @@ let serve_one t =
         "req:assign";
       let result = Supervisor.serve ~reference:t.reference s ~request () in
       (match result with
-      | Supervisor.Served { insns; _ } ->
-        t.served_ok <- t.served_ok + 1;
-        Histo.record t.latency insns
-      | Supervisor.Timed_out ->
-        t.timed_out <- t.timed_out + 1;
-        Histo.record t.latency t.config.policy.Supervisor.deadline
+      | Supervisor.Served _ -> t.served_ok <- t.served_ok + 1
+      | Supervisor.Timed_out -> t.timed_out <- t.timed_out + 1
       | Supervisor.Rejected ->
         (* health changed between pick and serve — count as shed *)
         t.shed <- t.shed + 1
@@ -369,7 +370,7 @@ let metrics_json t =
        | Some checks ->
          Jsonx.bool
            (Array.for_all (function Some false -> false | _ -> true) checks));
-      ("latency", Histo.to_json t.latency);
+      ("latency", Histo.to_json (latency t));
       ("per_machine",
        Jsonx.arr (Array.to_list (Array.mapi machine_json t.supervisors)));
     ]

@@ -87,10 +87,11 @@ val trace : t -> Repro_observe.Trace.t
     see {!create}. *)
 
 val latency : t -> Repro_perfscope.Histo.t
-(** Fleet-wide serve-latency histogram — exactly the bucket-wise merge
-    of every machine's {!Supervisor.latency} ([Served] records net
-    insns, [Timed_out] records the policy deadline, nothing else
-    records). *)
+(** Fleet-wide serve-latency histogram, computed on demand as the
+    bucket-wise merge of every machine's {!Supervisor.latency}
+    ([Served] records net insns, [Timed_out] records the policy
+    deadline, nothing else records). The fleet keeps no histogram of
+    its own — one recording site, one merge path. *)
 
 val note_boot_depot : t -> installed:int -> pending:int -> unit
 (** Record the boot machine's AOT-depot coverage

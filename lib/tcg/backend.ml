@@ -158,7 +158,7 @@ let lower b ~privileged ~tb_pc ops =
 
   let lower_op op =
     match op with
-    | Ir.Insn_start -> Prog.emit b (X.Count X.Cnt_guest_insn)
+    | Ir.Insn_start attr -> Prog.emit b (X.Count (X.Cnt_guest_insn attr))
     | Ir.Movi (d, v) ->
       Prog.emit b (X.Mov { width = X.W32; dst = X.Reg (host_of_temp d); src = X.Imm v })
     | Ir.Mov (d, s) ->

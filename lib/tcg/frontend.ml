@@ -1,6 +1,7 @@
 open Repro_common
 module A = Repro_arm.Insn
 module Cond = Repro_arm.Cond
+module Covscope = Repro_covscope
 
 type ctx = {
   mutable rev_ops : Ir.t list;
@@ -550,7 +551,10 @@ let translate_unconditional ctx ~pc (insn : A.t) =
 
 let translate_insn ctx ~pc (insn : A.t) =
   reset_temps ctx;
-  emit ctx Ir.Insn_start;
+  (* Baseline-TCG tier: every instruction this frontend translates
+     retires under the baseline attribution; rule translators stamp
+     their own words at their own retirement points. *)
+  emit ctx (Ir.Insn_start (Covscope.Attr.pack ~tier:Covscope.Attr.Baseline insn));
   match insn.A.cond with
   | Cond.AL -> translate_unconditional ctx ~pc insn
   | cond ->

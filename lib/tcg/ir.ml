@@ -13,7 +13,7 @@ type binop = Add | Sub | And | Or | Xor | Mul | Shl | Shr | Sar | Ror
 type width = W8 | W16 | W32
 
 type t =
-  | Insn_start
+  | Insn_start of int
   | Movi of temp * int
   | Mov of temp * temp
   | Ld_env of temp * int
@@ -54,7 +54,7 @@ let cmp_name = function
   | Ges -> "ge"
 
 let pp ppf = function
-  | Insn_start -> Format.fprintf ppf "-- insn --"
+  | Insn_start attr -> Format.fprintf ppf "-- insn (attr %d) --" attr
   | Movi (d, v) -> Format.fprintf ppf "t%d = %#x" d v
   | Mov (d, s) -> Format.fprintf ppf "t%d = t%d" d s
   | Ld_env (d, slot) -> Format.fprintf ppf "t%d = env[%d]" d slot

@@ -17,8 +17,10 @@ type binop = Add | Sub | And | Or | Xor | Mul | Shl | Shr | Sar | Ror
 type width = W8 | W16 | W32
 
 type t =
-  | Insn_start
-      (** retired-guest-instruction marker (zero-cost Count) *)
+  | Insn_start of int
+      (** retired-guest-instruction marker (zero-cost Count); the
+          argument is the packed coverage-attribution word the marker
+          lowers to (see [Repro_covscope.Attr]) *)
   | Movi of temp * int
   | Mov of temp * temp
   | Ld_env of temp * int        (** temp := env slot *)

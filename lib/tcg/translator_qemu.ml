@@ -3,6 +3,7 @@ module A = Repro_arm.Insn
 module X = Repro_x86.Insn
 module Mem = Repro_arm.Mem
 module Prog = Repro_x86.Prog
+module Attr = Repro_covscope.Attr
 
 let max_tb_insns = 48
 
@@ -45,15 +46,23 @@ let fetch_block ?cap (rt : Runtime.t) ~pc =
    take their Undefined_insn exception inside the helper; over-complex
    instructions execute one at a time. Keeps the TB-head interrupt
    poll so delivery latency matches ordinary blocks. *)
-let emulate_one_tb (rt : Runtime.t) cache ~pc =
+let emulate_one_tb ?insn (rt : Runtime.t) cache ~pc =
   let privileged = Runtime.privileged rt in
+  (* Interpreter tier; the decoded instruction (when the word was
+     decodable) supplies the opcode class, otherwise the retirement is
+     charged to the undefined-instruction class. *)
+  let attr =
+    match insn with
+    | Some i -> Attr.pack ~tier:Attr.Interp i
+    | None -> Attr.pack_undecodable ~tier:Attr.Interp
+  in
   let b = Prog.builder () in
   let irq_label = Prog.fresh_label b in
   Prog.emit b ~tag:X.Tag_irq_check (X.Count X.Cnt_irq_poll);
   Prog.emit b ~tag:X.Tag_irq_check
     (X.Alu { op = X.Cmp; dst = X.Mem (X.env_slot Envspec.irq_pending); src = X.Imm 0 });
   Prog.emit b ~tag:X.Tag_irq_check (X.Jcc { cc = X.NE; target = irq_label });
-  Prog.emit b (X.Count X.Cnt_guest_insn);
+  Prog.emit b (X.Count (X.Cnt_guest_insn attr));
   Prog.emit b ~tag:X.Tag_glue
     (X.Mov { width = X.W32; dst = X.Mem (X.env_slot Envspec.pc); src = X.Imm pc });
   Prog.emit b ~tag:X.Tag_glue (X.Call_helper { id = Helpers.h_interp_one });
@@ -140,7 +149,10 @@ let translate (rt : Runtime.t) cache ~pc =
   let privileged = Runtime.privileged rt in
   match rt.Runtime.mem.Mem.fetch ~privileged pc with
   | Error f -> Error f
-  | Ok _first_word ->
+  | Ok first_word ->
+    let insn =
+      match Repro_arm.Encode.decode first_word with Ok i -> Some i | Error _ -> None
+    in
     let start_cap =
       match rt.Runtime.tb_override with Some n -> n | None -> max_tb_insns
     in
@@ -149,12 +161,12 @@ let translate (rt : Runtime.t) cache ~pc =
        falls back to the interpreter-helper TB. *)
     let rec attempt cap =
       match fetch_block rt ~cap ~pc with
-      | [] -> Ok (emulate_one_tb rt cache ~pc)
+      | [] -> Ok (emulate_one_tb ?insn rt cache ~pc)
       | insns -> (
         match build rt cache ~pc ~insns with
         | tb -> Ok tb
         | exception Tb.Tb_too_complex ->
-          if cap <= 1 then Ok (emulate_one_tb rt cache ~pc)
+          if cap <= 1 then Ok (emulate_one_tb ?insn rt cache ~pc)
           else attempt (max 1 (cap / 2)))
     in
     attempt start_cap

@@ -14,11 +14,14 @@ val fetch_block : ?cap:int -> Runtime.t -> pc:Word32.t -> Repro_arm.Insn.t list
     [tb_override] or {!max_tb_insns}. Shared with the rule-based
     translator. *)
 
-val emulate_one_tb : Runtime.t -> Tb.Cache.t -> pc:Word32.t -> Tb.t
+val emulate_one_tb : ?insn:Repro_arm.Insn.t -> Runtime.t -> Tb.Cache.t -> pc:Word32.t -> Tb.t
 (** A TB that executes the single guest instruction at [pc] through
     the interpreter helper — the last rung of the bailout ladder, also
     covering undecodable words (which take their Undefined_insn
-    exception inside the helper). *)
+    exception inside the helper). [insn], when the caller already
+    decoded the word, supplies the opcode class of the interpreter-tier
+    coverage attribution; omitted, the retirement is charged to the
+    undefined-instruction class. *)
 
 val translate :
   Runtime.t -> Tb.Cache.t -> pc:Word32.t -> (Tb.t, Repro_arm.Mem.fault) result

@@ -26,6 +26,8 @@ module Phase = Repro_perfscope.Phase
 module Fleet = Repro_resilience.Fleet
 module Supervisor = Repro_resilience.Supervisor
 module Health = Repro_resilience.Health
+module CovR = Repro_covscope.Report
+module CovA = Repro_covscope.Attr
 
 type prev = { mutable work : int; mutable phases : int array }
 
@@ -155,6 +157,35 @@ let anomaly_json ~threshold t =
        | None -> "null");
     ]
 
+(* Fleet-level translation quality: the pointwise merge of every
+   machine's attribution table. Building the report re-asserts the
+   tier partition invariant over the merged counts. *)
+let coverage_json t =
+  let src =
+    CovR.merge
+      (List.init (Fleet.machines t.fleet) (fun i ->
+           CovR.of_stats
+             (D.System.stats
+                (Supervisor.machine (Fleet.supervisor t.fleet i)))))
+  in
+  let r = CovR.make src in
+  Jsonx.obj
+    ([
+       ("guest_insns", Jsonx.int src.CovR.guest_insns);
+       ("coverage", Jsonx.float (CovR.coverage r));
+     ]
+    @ List.filter_map
+        (fun tr ->
+          let c = r.CovR.tiers.(CovA.tier_index tr) in
+          if c.CovR.n = 0 then None
+          else
+            Some
+              ( CovA.tier_name tr,
+                Jsonx.obj
+                  [ ("insns", Jsonx.int c.CovR.n); ("cost", Jsonx.int c.CovR.cost) ]
+              ))
+        CovA.all_tiers)
+
 let final_json ~threshold t =
   let machines =
     List.init (Fleet.machines t.fleet) (fun i ->
@@ -173,6 +204,7 @@ let final_json ~threshold t =
     [
       ("machines", Jsonx.arr machines);
       ("latency", Histo.to_json (Fleet.latency t.fleet));
+      ("coverage", coverage_json t);
       ("anomaly", anomaly_json ~threshold t);
     ]
 

@@ -43,7 +43,11 @@ val to_json : ?threshold:float -> t -> string
     "samples":[{at,serving,served_ok,timed_out,shed,breaker_trips,
     machines:[...]},...],
     "final":{machines:[{id,health,work_insns,phases,latency}],
-    latency,anomaly:{threshold,scores,flagged,top}}}].
+    latency,coverage,anomaly:{threshold,scores,flagged,top}}}].
+    The coverage section is the fleet-level merge of every machine's
+    translation-quality attribution table
+    ({!Repro_covscope.Report.merge}): merged rule+region coverage and
+    per-tier retirement/cost totals.
     The anomaly section scores every machine's cost-rate signature
     (phase vector per useful guest insn) against the fleet median
     (see {!Anomaly}); [flagged] lists those above [threshold], [top]

@@ -250,7 +250,7 @@ type outcome = Exited of int | Stopped of { code : int; arg : int }
 
 let bump_counter t (c : Insn.counter) =
   match c with
-  | Insn.Cnt_guest_insn -> t.stats.Stats.guest_insns <- t.stats.Stats.guest_insns + 1
+  | Insn.Cnt_guest_insn attr -> Stats.retire t.stats attr
   | Insn.Cnt_sync_op -> t.stats.Stats.sync_ops <- t.stats.Stats.sync_ops + 1
   | Insn.Cnt_mmu_access -> t.stats.Stats.mmu_accesses <- t.stats.Stats.mmu_accesses + 1
   | Insn.Cnt_irq_poll -> t.stats.Stats.irq_polls <- t.stats.Stats.irq_polls + 1

@@ -101,7 +101,15 @@ type t =
 
 and shift_amount = Sh_imm of int | Sh_cl
 
-and counter = Cnt_guest_insn | Cnt_sync_op | Cnt_mmu_access | Cnt_irq_poll
+and counter =
+  | Cnt_guest_insn of int
+      (** retire one guest instruction; the argument is the packed
+          coverage-attribution word (see {!Repro_covscope.Attr}):
+          translation tier in the low bits, opcode class / idiom /
+          rule id above. [Stats.retire] decodes it. *)
+  | Cnt_sync_op
+  | Cnt_mmu_access
+  | Cnt_irq_poll
 
 let alu_name = function
   | Add -> "add"
@@ -168,7 +176,7 @@ let pp ppf = function
   | Count c ->
     Format.fprintf ppf "#count %s"
       (match c with
-      | Cnt_guest_insn -> "guest_insn"
+      | Cnt_guest_insn attr -> Printf.sprintf "guest_insn %d" attr
       | Cnt_sync_op -> "sync_op"
       | Cnt_mmu_access -> "mmu_access"
       | Cnt_irq_poll -> "irq_poll")

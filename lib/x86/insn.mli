@@ -101,7 +101,15 @@ type t =
 
 and shift_amount = Sh_imm of int | Sh_cl  (** count in CL (rcx & 31) *)
 
-and counter = Cnt_guest_insn | Cnt_sync_op | Cnt_mmu_access | Cnt_irq_poll
+and counter =
+  | Cnt_guest_insn of int
+      (** retire one guest instruction; the argument is the packed
+          coverage-attribution word (see {!Repro_covscope.Attr}):
+          translation tier in the low bits, opcode class / idiom /
+          rule id above. [Stats.retire] decodes it. *)
+  | Cnt_sync_op
+  | Cnt_mmu_access
+  | Cnt_irq_poll
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

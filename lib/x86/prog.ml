@@ -20,6 +20,22 @@ let emit b ?(tag = Insn.Tag_compute) insn =
 
 let emit_all b ?tag insns = List.iter (fun i -> emit b ?tag i) insns
 
+(* Rewrite the payload of the most recently emitted retirement
+   counter. Used by the emitter's fallback path to re-attribute the
+   current guest instruction (e.g. to the helper-assisted tier) after
+   its [Count] has already been placed — patching the one emission
+   site is drift-proof where mirroring the dispatch logic would not
+   be. *)
+let repatch_last_retire b f =
+  let rec go acc = function
+    | [] -> ()  (* no retirement emitted yet: nothing to re-attribute *)
+    | (Insn.Count (Insn.Cnt_guest_insn attr), tag) :: tl ->
+      b.rev_code <-
+        List.rev_append acc ((Insn.Count (Insn.Cnt_guest_insn (f attr)), tag) :: tl)
+    | hd :: tl -> go (hd :: acc) tl
+  in
+  go [] b.rev_code
+
 let fresh_label b =
   let l = b.next_label in
   b.next_label <- l + 1;

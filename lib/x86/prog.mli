@@ -13,6 +13,12 @@ val emit : builder -> ?tag:Insn.tag -> Insn.t -> unit
 
 val emit_all : builder -> ?tag:Insn.tag -> Insn.t list -> unit
 
+val repatch_last_retire : builder -> (int -> int) -> unit
+(** Rewrite the attribution payload of the most recently emitted
+    [Count (Cnt_guest_insn _)] in place (a no-op if none was emitted).
+    Lets a fallback path re-attribute the current guest instruction
+    after its retirement counter has already been placed. *)
+
 val fresh_label : builder -> int
 (** Allocate a label id (place it with [emit (Label id)]). *)
 

@@ -1,3 +1,8 @@
+(* One row of the coverage-attribution table: dynamic retirements and
+   attributed host-instruction cost of one packed attribution word
+   (tier | class | idiom | rule — see Repro_covscope.Attr). *)
+type cov_entry = { mutable cn : int; mutable ccost : int }
+
 type t = {
   mutable host_insns : int;
   by_tag : int array;
@@ -19,6 +24,19 @@ type t = {
   mutable quarantine_fallbacks : int;
   mutable livelocks_recovered : int;
   mutable regions_formed : int;
+  (* translation-quality observatory: always-on exact attribution of
+     every retired guest instruction (tier/class/idiom/rule packed in
+     the [Cnt_guest_insn] payload) plus its dynamic host-insn cost.
+     Cost accrual is a delta chain on [host_insns]: a retirement
+     closes the previous instruction's accrual window ([cov_pending]
+     since [cov_mark]) and opens its own, so the attributed costs
+     partition [host_insns] exactly (up to the open tail,
+     [cov_residual]). *)
+  cov : (int, cov_entry) Hashtbl.t;
+  mutable cov_pending : int;  (* attr accruing cost; -1 = none yet *)
+  mutable cov_mark : int;     (* host_insns at the last retirement *)
+  mutable cov_last_attr : int;
+  mutable cov_last : cov_entry option;  (* one-entry lookup cache *)
 }
 
 let n_tags = List.length Insn.all_tags
@@ -45,6 +63,11 @@ let create () =
     quarantine_fallbacks = 0;
     livelocks_recovered = 0;
     regions_formed = 0;
+    cov = Hashtbl.create 64;
+    cov_pending = -1;
+    cov_mark = 0;
+    cov_last_attr = -1;
+    cov_last = None;
   }
 
 let reset t =
@@ -67,7 +90,12 @@ let reset t =
   t.rules_quarantined <- 0;
   t.quarantine_fallbacks <- 0;
   t.livelocks_recovered <- 0;
-  t.regions_formed <- 0
+  t.regions_formed <- 0;
+  Hashtbl.reset t.cov;
+  t.cov_pending <- -1;
+  t.cov_mark <- 0;
+  t.cov_last_attr <- -1;
+  t.cov_last <- None
 
 let tag_index tag =
   let rec find i = function
@@ -81,6 +109,46 @@ let charge_tag t tag n =
   t.by_tag.(tag_index tag) <- t.by_tag.(tag_index tag) + n
 
 let tag_count t tag = t.by_tag.(tag_index tag)
+
+(* ---- coverage attribution ---- *)
+
+let cov_entry t attr =
+  match t.cov_last with
+  | Some e when t.cov_last_attr = attr -> e
+  | _ ->
+    let e =
+      match Hashtbl.find_opt t.cov attr with
+      | Some e -> e
+      | None ->
+        let e = { cn = 0; ccost = 0 } in
+        Hashtbl.add t.cov attr e;
+        e
+    in
+    t.cov_last_attr <- attr;
+    t.cov_last <- Some e;
+    e
+
+let retire t attr =
+  if t.cov_pending >= 0 then begin
+    let d = t.host_insns - t.cov_mark in
+    if d > 0 then begin
+      let e = cov_entry t t.cov_pending in
+      e.ccost <- e.ccost + d
+    end
+  end;
+  t.guest_insns <- t.guest_insns + 1;
+  let e = cov_entry t attr in
+  e.cn <- e.cn + 1;
+  t.cov_mark <- t.host_insns;
+  t.cov_pending <- attr
+
+let cov_entries t =
+  Hashtbl.fold (fun attr e acc -> (attr, e.cn, e.ccost) :: acc) t.cov []
+  |> List.sort compare
+
+let cov_retired t = Hashtbl.fold (fun _ e acc -> acc + e.cn) t.cov 0
+let cov_attributed t = Hashtbl.fold (fun _ e acc -> acc + e.ccost) t.cov 0
+let cov_residual t = t.host_insns - t.cov_mark
 
 let host_per_guest t =
   if t.guest_insns = 0 then 0. else float_of_int t.host_insns /. float_of_int t.guest_insns
@@ -152,20 +220,46 @@ let to_json t =
    first, then the by-tag array). Comparing two [to_array] dumps is
    the bit-identity check used by the restore tests. *)
 let to_array t =
-  Array.append
-    [|
-      t.host_insns; t.helper_insns; t.helper_calls; t.sys_insns; t.guest_insns;
-      t.sync_ops; t.mmu_accesses; t.irq_polls; t.tlb_misses; t.engine_returns;
-      t.chained_jumps; t.tb_translations; t.irqs_delivered; t.shadow_replays;
-      t.shadow_divergences; t.rules_quarantined; t.quarantine_fallbacks;
-      t.livelocks_recovered; t.regions_formed;
-    |]
-    (Array.copy t.by_tag)
+  let entries = cov_entries t in
+  (* coverage tail: mark, pending+1 (kept nonnegative for the varint
+     encoder), entry count, then (attr, retirements, cost) triples in
+     ascending attr order — deterministic regardless of Hashtbl order. *)
+  let cov =
+    Array.of_list
+      (t.cov_mark :: (t.cov_pending + 1)
+      :: List.length entries
+      :: List.concat_map (fun (a, n, c) -> [ a; n; c ]) entries)
+  in
+  Array.concat
+    [
+      [|
+        t.host_insns; t.helper_insns; t.helper_calls; t.sys_insns; t.guest_insns;
+        t.sync_ops; t.mmu_accesses; t.irq_polls; t.tlb_misses; t.engine_returns;
+        t.chained_jumps; t.tb_translations; t.irqs_delivered; t.shadow_replays;
+        t.shadow_divergences; t.rules_quarantined; t.quarantine_fallbacks;
+        t.livelocks_recovered; t.regions_formed;
+      |];
+      Array.copy t.by_tag;
+      cov;
+    ]
 
 let n_scalars = 19
 
 let load_array t a =
-  if Array.length a <> n_scalars + n_tags then invalid_arg "Stats.load_array: bad length";
+  let base = n_scalars + n_tags in
+  (if Array.length a < base + 3 then invalid_arg "Stats.load_array: bad length");
+  let n_entries = a.(base + 2) in
+  if Array.length a <> base + 3 + (3 * n_entries) then
+    invalid_arg "Stats.load_array: bad length";
+  Hashtbl.reset t.cov;
+  t.cov_last_attr <- -1;
+  t.cov_last <- None;
+  t.cov_mark <- a.(base);
+  t.cov_pending <- a.(base + 1) - 1;
+  for i = 0 to n_entries - 1 do
+    let o = base + 3 + (3 * i) in
+    Hashtbl.replace t.cov a.(o) { cn = a.(o + 1); ccost = a.(o + 2) }
+  done;
   t.host_insns <- a.(0);
   t.helper_insns <- a.(1);
   t.helper_calls <- a.(2);

@@ -1,6 +1,11 @@
 (** Dynamic execution counters — the measurement substrate for every
     figure in the paper's evaluation. *)
 
+type cov_entry = { mutable cn : int; mutable ccost : int }
+(** One row of the coverage-attribution table: dynamic retirements
+    ([cn]) and attributed host-instruction cost ([ccost]) of one
+    packed attribution word (see [Repro_covscope.Attr]). *)
+
 type t = {
   mutable host_insns : int;
       (** Dynamically executed host instructions, including modelled
@@ -38,6 +43,16 @@ type t = {
           rollback + degraded re-execution) *)
   mutable regions_formed : int;
       (** hot-region superblocks fused and installed in the code cache *)
+  cov : (int, cov_entry) Hashtbl.t;
+      (** translation-quality observatory: always-on per-attribution
+          retirement counts and host-insn costs, keyed by the packed
+          [Cnt_guest_insn] payload *)
+  mutable cov_pending : int;
+      (** attribution currently accruing host-insn cost; [-1] before
+          the first retirement *)
+  mutable cov_mark : int;  (** [host_insns] at the last retirement *)
+  mutable cov_last_attr : int;  (** internal lookup-cache key *)
+  mutable cov_last : cov_entry option;  (** internal lookup cache *)
 }
 
 val create : unit -> t
@@ -46,6 +61,28 @@ val charge_tag : t -> Insn.tag -> int -> unit
 (** Add [n] host instructions under a tag (and to the total). *)
 
 val tag_count : t -> Insn.tag -> int
+
+val retire : t -> int -> unit
+(** Retire one guest instruction under a packed attribution word: the
+    host-insn cost accrued since the previous retirement is charged to
+    the previous attribution, then the retirement is counted under the
+    new one. Increments [guest_insns] — this is its only increment
+    site, so the per-attribution counts partition it structurally. *)
+
+val cov_entries : t -> (int * int * int) list
+(** All [(attr, retirements, cost)] rows, sorted by attribution word. *)
+
+val cov_retired : t -> int
+(** Sum of per-attribution retirements (equals [guest_insns]). *)
+
+val cov_attributed : t -> int
+(** Sum of per-attribution costs; [host_insns - cov_attributed] is the
+    untracked prologue/epilogue overhead plus the open tail. *)
+
+val cov_residual : t -> int
+(** Host insns since the last retirement — the open accrual window,
+    reported without being charged (keeps reading side-effect-free). *)
+
 val host_per_guest : t -> float
 val sync_per_guest : t -> float
 (** Sync-tagged host instructions per retired guest instruction —

@@ -166,7 +166,7 @@ let test_sched_irq_moves_check () =
   let without = emit ~opt:D.Opt.with_elimination block in
   let with_sched = emit ~opt:D.Opt.full block in
   let poll p = find p (function X.Count X.Cnt_irq_poll -> true | _ -> false) in
-  let first_insn p = find p (function X.Count X.Cnt_guest_insn -> true | _ -> false) in
+  let first_insn p = find p (function X.Count (X.Cnt_guest_insn _) -> true | _ -> false) in
   Alcotest.(check bool) "check at head without scheduling" true
     (poll without.D.Emitter.prog < first_insn without.D.Emitter.prog);
   Alcotest.(check bool) "check moved into the block with scheduling" true

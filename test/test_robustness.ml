@@ -221,7 +221,34 @@ let test_corrupt_rule_quarantined () =
   Alcotest.(check int) "exactly the corrupt rule is quarantined" 1 (R.Ruleset.quarantined_count ruleset);
   Alcotest.(check bool) "divergences were detected" true (s.Stats.shadow_divergences > 0);
   Alcotest.(check bool) "affected blocks fell back to the baseline" true
-    (s.Stats.quarantine_fallbacks > 0)
+    (s.Stats.quarantine_fallbacks > 0);
+  (* coverage x robustness: the quarantine re-routes the affected
+     blocks through the baseline translator, so the corrupted run
+     shows baseline-tier retirements a clean run of the same workload
+     does not — and the tier partition stays exact through the
+     divergence-repair / blacklist path. *)
+  let module Cov = Repro_covscope in
+  let src = Cov.Report.of_stats s in
+  Alcotest.(check (option string)) "tier partition holds after quarantine" None
+    (Cov.Report.partition_error src);
+  let tier_count report tr =
+    report.Cov.Report.tiers.(Cov.Attr.tier_index tr).Cov.Report.n
+  in
+  let report = Cov.Report.make src in
+  Alcotest.(check bool) "the rule tier served before the divergence" true
+    (tier_count report Cov.Attr.Rule > 0);
+  let clean =
+    let sys2 =
+      D.System.create ~ruleset:(R.Ruleset.of_list (R.Builtin.all ()))
+        (D.System.Rules D.Opt.full)
+    in
+    K.load image (fun base words -> D.System.load_image sys2 base words);
+    ignore (D.System.run ~max_guest_insns:1_000_000 sys2);
+    Cov.Report.make (Cov.Report.of_stats (D.System.stats sys2))
+  in
+  Alcotest.(check bool)
+    "quarantine moved subsequent retirements to the baseline tier" true
+    (tier_count report Cov.Attr.Baseline > tier_count clean Cov.Attr.Baseline)
 
 (* ---- 4. constant rule-output corruption: shadow repairs to the
    reference result ---- *)

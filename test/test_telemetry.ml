@@ -121,6 +121,35 @@ let test_histo_merge_concat () =
      List.iter (Histo.record h) (List.hd streams);
      Histo.to_json h)
 
+(* Associativity: the grouping of merges never matters. The fleet
+   derives its histogram by folding machine histograms left-to-right;
+   the telemetry layer merges per-machine then fleet-wide — both
+   groupings must agree bucket-for-bucket. *)
+let test_histo_merge_assoc () =
+  let mk s =
+    let h = Histo.create () in
+    List.iter (Histo.record h) s;
+    h
+  in
+  let sa = samples 5 321 and sb = samples 6 87 and sc = samples 7 144 in
+  (* left fold: (a + b) + c *)
+  let left = mk sa in
+  Histo.merge ~into:left (mk sb);
+  Histo.merge ~into:left (mk sc);
+  (* right fold: a + (b + c) *)
+  let bc = mk sb in
+  Histo.merge ~into:bc (mk sc);
+  let right = mk sa in
+  Histo.merge ~into:right bc;
+  Alcotest.(check string)
+    "merge is associative" (Histo.to_json left) (Histo.to_json right);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%g agrees across groupings" p)
+        (Histo.percentile left p) (Histo.percentile right p))
+    [ 50.; 90.; 99.; 100. ]
+
 (* ---- Jsonx round-trip ---- *)
 
 let test_jsonx_roundtrip_telemetry () =
@@ -354,6 +383,8 @@ let suite =
       [
         Alcotest.test_case "histo: merge == concat" `Quick
           test_histo_merge_concat;
+        Alcotest.test_case "histo: merge is associative" `Quick
+          test_histo_merge_assoc;
         Alcotest.test_case "jsonx: telemetry documents round-trip" `Quick
           test_jsonx_roundtrip_telemetry;
         Alcotest.test_case "collector is purely observational" `Slow

@@ -133,8 +133,8 @@ let test_counters () =
   let ctx =
     run
       [
-        X.Count X.Cnt_guest_insn;
-        X.Count X.Cnt_guest_insn;
+        X.Count (X.Cnt_guest_insn 0);
+        X.Count (X.Cnt_guest_insn 0);
         X.Count X.Cnt_sync_op;
         mov X.rax 1;
       ]
