@@ -16,6 +16,7 @@ module K = Repro_kernel.Kernel
 module W = Repro_workloads.Workloads
 module Fi = Repro_faultinject.Faultinject
 module R = Repro_resilience
+module Par = Repro_parallel
 module Obs = Repro_observe
 module Tel = Repro_telemetry
 module Depot = Repro_aotcache.Depot
@@ -87,12 +88,27 @@ let warm_snapshot mode ?depot ~bench ~target ~timer ~warm ~shadow_depth
 
 let run_drill machines faulty seed requests bench mode_name target warm timer
     deadline_opt retry_budget min_healthy checkpoint_every fault_rate
-    tb_flush_rate rule_corrupt_rate shadow_depth quarantine_threshold json_out
-    trace_file depot_save depot_load telemetry_dir telemetry_every slo_file
-    slo_report =
+    tb_flush_rate rule_corrupt_rate shadow_depth quarantine_threshold domains
+    json_out trace_file depot_save depot_load telemetry_dir telemetry_every
+    slo_file slo_report =
   let t0 = Sys.time () in
   let usage fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt in
   if machines <= 0 then usage "--machines must be positive";
+  if domains < 1 then usage "--domains must be at least 1";
+  let recommended = Domain.recommended_domain_count () in
+  let eff_domains =
+    (* clamp, don't fail: the report is domain-count-invariant, so
+       running 4 requested domains on a 2-core box changes nothing but
+       scheduling pressure — still, don't oversubscribe silently *)
+    if domains > recommended then begin
+      Printf.eprintf
+        "warning: --domains %d exceeds the %d recommended domain(s) on this \
+         host; clamping\n"
+        domains recommended;
+      recommended
+    end
+    else domains
+  in
   if faulty < 0 || faulty > machines then
     usage "--faulty must be within [0, --machines]";
   if min_healthy < 0 || min_healthy > machines then
@@ -175,7 +191,10 @@ let run_drill machines faulty seed requests bench mode_name target warm timer
          always-on observability surface, so the drill (and its report)
          is bit-identical whether or not --telemetry exports it *)
       let collector = Tel.Collector.create ~every:telemetry_every fleet in
-      R.Fleet.run fleet
+      (* one dispatcher for every --domains value (1 included): the
+         epoch-barrier parallel dispatcher, whose report is invariant
+         in the domain count — that invariance is CI's identity gate *)
+      Par.Parfleet.run fleet ~domains:eff_domains
         ~after_each:(fun () -> Tel.Collector.tick collector)
         ~requests;
       Tel.Collector.finish collector;
@@ -255,8 +274,20 @@ let run_drill machines faulty seed requests bench mode_name target warm timer
             ("retry_budget", Obs.Jsonx.int retry_budget);
             ("fleet", R.Fleet.metrics_json fleet);
             ( "volatile",
+              (* domain facts are host-environment facts (the clamp
+                 depends on the runner's core count), so they live
+                 beside wall-clock under the identity diff's del key *)
               Obs.Jsonx.obj
-                [ ("wall_s", Obs.Jsonx.float (Sys.time () -. t0)) ] );
+                [
+                  ("wall_s", Obs.Jsonx.float (Sys.time () -. t0));
+                  ( "domains",
+                    Obs.Jsonx.obj
+                      [
+                        ("requested", Obs.Jsonx.int domains);
+                        ("effective", Obs.Jsonx.int eff_domains);
+                        ("recommended", Obs.Jsonx.int recommended);
+                      ] );
+                ] );
           ]
       in
       (match json_out with
@@ -393,6 +424,16 @@ let quarantine_arg =
   let doc = "Per-rule strike limit before quarantine." in
   Arg.(value & opt int 2 & info [ "quarantine-threshold" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Serve across $(docv) OCaml domains (machines sharded by id, requests \
+     dispatched in deterministic epochs). The drill report is byte-identical \
+     for every domain count after `jq 'del(.volatile)'`. Values above the \
+     host's recommended domain count are clamped with a warning; values \
+     below 1 are a usage error."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let json_arg =
   let doc = "Write the drill report (JSON) to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
@@ -458,7 +499,7 @@ let cmd =
       $ bench_arg $ mode_arg $ target_arg $ warm_arg $ timer_arg $ deadline_arg
       $ retry_arg $ min_healthy_arg $ checkpoint_arg $ fault_rate_arg
       $ tb_flush_rate_arg $ rule_rate_arg $ shadow_arg $ quarantine_arg
-      $ json_arg $ trace_arg $ depot_save_arg $ depot_load_arg $ telemetry_arg
-      $ telemetry_every_arg $ slo_arg $ slo_report_arg)
+      $ domains_arg $ json_arg $ trace_arg $ depot_save_arg $ depot_load_arg
+      $ telemetry_arg $ telemetry_every_arg $ slo_arg $ slo_report_arg)
 
 let () = exit (Cmd.eval' cmd)

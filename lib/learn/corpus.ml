@@ -1,19 +1,20 @@
 open Repro_minic.Ast
 
 (* Globally unique line numbers (nested blocks must not collide with
-   outer ones, or the extractor would pair unrelated fragments). *)
-let counter = ref 0
-
-let stmts body =
-  List.map
-    (fun b ->
-      incr counter;
-      { line = !counter; body = b })
-    body
-
-let p name locals body = { name; locals; body = stmts body }
-
+   outer ones, or the extractor would pair unrelated fragments). The
+   numbering state lives inside this one module-initialisation
+   expression: it runs exactly once, before any domain is spawned, and
+   no mutable state escapes into the built corpus. *)
 let programs =
+  let counter = ref 0 in
+  let stmts body =
+    List.map
+      (fun b ->
+        incr counter;
+        { line = !counter; body = b })
+      body
+  in
+  let p name locals body = { name; locals; body = stmts body } in
   [
     p "arith_basic" [ "a"; "b"; "c" ]
       [

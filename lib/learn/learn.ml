@@ -148,7 +148,15 @@ let learn ?(corpus = Corpus.programs) () =
         end)
       (List.rev !rules)
   in
-  let final = lump unique in
+  (* Renumber positionally from 1001: the ids handed out during
+     generalization depend on how many candidates parameterized before
+     each survivor, so two learners running concurrently (or a corpus
+     tweak) would drift. After lumping, position in the final list is
+     the only input — learned ids are a pure function of the builder,
+     disjoint from the builtin range (which ends well below 1000). *)
+  let final =
+    List.mapi (fun i r -> { r with Rule.id = 1001 + i }) (lump unique)
+  in
   {
     programs = List.length corpus;
     candidates = List.length candidates;

@@ -31,10 +31,13 @@ let level_of_string s =
   | "trace" -> Some Trace
   | _ -> None
 
-let current = ref Warn
-let set_level l = current := l
-let level () = !current
-let enabled l = severity l <= severity !current
+(* Atomic rather than [ref]: the level is read by every domain's call
+   sites and written once by the CLI — a plain ref would be a data
+   race under [Domain.spawn]. *)
+let current = Atomic.make Warn
+let set_level l = Atomic.set current l
+let level () = Atomic.get current
+let enabled l = severity l <= severity (Atomic.get current)
 
 let logf l fmt =
   if enabled l then

@@ -229,6 +229,56 @@ let run ?after_each t ~requests =
     match after_each with Some f -> f () | None -> ()
   done
 
+(* ---- parallel-dispatch primitives ----
+
+   The domain-parallel dispatcher (Repro_parallel.Parfleet) computes
+   outcomes off the coordinator, then replays them into the fleet's
+   books here, in request order — reproducing exactly what [serve_one]
+   records per request: the offered counter (the fleet ring's clock),
+   the ring events and the outcome counters. Breaker sweeps move to
+   the epoch barrier, where no machine is serving. *)
+
+let min_healthy t = t.config.min_healthy
+
+(* Machine ids currently willing to serve, ascending — the epoch's
+   serving set, fixed at the barrier. *)
+let serving_ids t =
+  let ids = ref [] in
+  for i = Array.length t.supervisors - 1 downto 0 do
+    if Health.serving (Supervisor.health t.supervisors.(i)) then
+      ids := i :: !ids
+  done;
+  !ids
+
+let account_shed t =
+  let request = t.offered in
+  t.offered <- t.offered + 1;
+  t.shed <- t.shed + 1;
+  Trace.emit t.trace ~a:request Trace.Request "req:shed"
+
+let account_assigned t ~machine result =
+  let request = t.offered in
+  t.offered <- t.offered + 1;
+  Trace.emit t.trace ~a:request ~b:machine Trace.Request "req:assign";
+  match result with
+  | Supervisor.Served _ -> t.served_ok <- t.served_ok + 1
+  | Supervisor.Timed_out -> t.timed_out <- t.timed_out + 1
+  | Supervisor.Rejected ->
+    (* the machine left the serving set mid-epoch — count as shed,
+       like [serve_one]'s pick/serve race *)
+    t.shed <- t.shed + 1
+  | Supervisor.Gave_up _ ->
+    t.failed <- t.failed + 1;
+    emit t ~a:machine "machine-dead"
+
+(* Barrier-time circuit breaker: sweep every machine in id order, so
+   the broadcast sequence is a function of quarantine state alone —
+   not of which domain finished first. *)
+let breaker_sweep_all t =
+  for i = 0 to Array.length t.supervisors - 1 do
+    breaker_sweep t i
+  done
+
 (* The drill's exit criterion: every surviving machine, faults
    disarmed, reproduces the fault-free reference bit-identically. *)
 let final_verify t =

@@ -64,6 +64,39 @@ val run : ?after_each:(unit -> unit) -> t -> requests:int -> unit
     runs after every request — the telemetry collector's sampling
     hook. *)
 
+(** {2 Parallel-dispatch primitives}
+
+    Used by the domain-parallel dispatcher
+    ([Repro_parallel.Parfleet]), which computes outcomes on worker
+    domains and then replays them into the fleet's books on the
+    coordinator, in request order. Each replay call reproduces exactly
+    what {!serve_one} records for that request — the offered counter
+    (the fleet ring's clock), the ring events, the outcome counters —
+    so the report stays a pure function of (seed, base, requests). *)
+
+val min_healthy : t -> int
+
+val serving_ids : t -> int list
+(** Machine ids currently willing to serve, ascending — the epoch's
+    serving set, fixed at the barrier. *)
+
+val account_shed : t -> unit
+(** Book one shed request: bump the offered/shed counters and emit
+    [req:shed] on the fleet ring. *)
+
+val account_assigned : t -> machine:int -> Supervisor.outcome -> unit
+(** Book one request served by [machine]: bump the offered counter,
+    emit [req:assign] on the fleet ring, count the outcome
+    ([Rejected] counts as shed, [Gave_up] as failed plus a
+    [machine-dead] event) — the replay twin of {!serve_one}'s
+    accounting. *)
+
+val breaker_sweep_all : t -> unit
+(** Run the fleet-wide circuit-breaker sweep over every machine in id
+    order — the epoch-barrier form of the per-serve sweep, run when no
+    machine is serving so the broadcast order is a function of
+    quarantine state alone. *)
+
 val final_verify : t -> bool
 (** Run {!Supervisor.verify_clean} on every machine; records the
     verdicts for {!metrics_json} and returns whether no surviving

@@ -62,7 +62,9 @@ type t = {
   plan : Fi.Plan.t option;
   health : Health.t;
   backoff : Backoff.t;
-  trace : Trace.t option;  (* the fleet's shared ring (request clock) *)
+  mutable trace : Trace.t option;
+      (* the fleet's shared ring (request clock); detached before
+         domain-parallel serving — see [detach_shared_ring] *)
   mtrace : Trace.t;  (* this machine's own ring (work clock), always on *)
   scope : Scope.t;  (* per-machine phase attribution, always on *)
   latency : Histo.t;  (* serve latency of this machine's requests *)
@@ -146,6 +148,13 @@ let create ?plan ?trace ~id ~policy base =
     wrong_results = 0;
     surfaced_crashes = 0;
   }
+
+(* A trace ring is not safe for concurrent writers, and under the
+   domain-parallel dispatcher several machines serve at once. Dropping
+   the shared fleet ring makes a serve touch only machine-owned state;
+   every supervision event also rides the machine's own ring, so
+   nothing is lost from the per-machine timelines. *)
+let detach_shared_ring t = t.trace <- None
 
 let id t = t.id
 let health t = t.health

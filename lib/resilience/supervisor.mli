@@ -84,6 +84,14 @@ val create :
     {!Repro_dbt.System.create}); drill results are bit-identical
     whether or not anything reads them. *)
 
+val detach_shared_ring : t -> unit
+(** Stop emitting supervision events on the shared fleet ring passed
+    to {!create}. The domain-parallel dispatcher detaches every
+    machine before serving: a ring is not safe for concurrent writers,
+    and after the detach a serve touches only machine-owned state.
+    Supervision events keep riding the machine's own {!trace_ring}
+    unchanged. *)
+
 val serve : ?reference:reference -> t -> request:int -> unit -> outcome
 (** Serve one request under the policy. With [reference], a halt whose
     code or UART digest mismatches counts as a crash (wrong result) and

@@ -2,13 +2,14 @@ module A = Repro_arm.Insn
 module X = Repro_x86.Insn
 open Rule
 
-let next_id = ref 0
-
+(* [mk] leaves the id at 0; [all] numbers the finished list by
+   position. Ids are a pure function of the builder, so two domains
+   building rulesets concurrently get identical, collide-free ids —
+   there is no shared counter to race on or leave mid-sequence. *)
 let mk ?(imms = 0) ?(flags = { guest_writes = false; host_clobbers = false; convention = None })
     ?carry_in ?(distinct = []) name ~regs guest host =
-  incr next_id;
   {
-    id = !next_id;
+    id = 0;
     name;
     guest;
     host;
@@ -37,8 +38,9 @@ let i0 = P_imm 0
 let alu_class = [ A.ADD; A.SUB; A.AND; A.ORR; A.EOR ]
 
 let all () =
-  next_id := 0;
-  [
+  List.mapi
+    (fun i r -> { r with id = i + 1 })
+    [
     (* --- moves --- *)
     mk "mov_imm" ~regs:1 ~imms:1
       [ G_dp { ops = [ A.MOV ]; s = false; rd = 0; rn = 0; op2 = G_imm i0 } ]

@@ -102,8 +102,12 @@ let match_op2 pattern (op2 : A.operand2) b =
   | G_reg p, A.Reg_shift_imm { rm; kind = A.LSL; amount = 0 } -> bind_reg b p rm
   | G_shift { rm = prm; kind; amount }, A.Reg_shift_imm { rm; kind = k'; amount = a' }
     ->
-    (* Plain registers are matched by G_reg, not as a 0-shift. *)
-    (not (k' = A.LSL && a' = 0)) && kind = k' && bind_reg b prm rm && bind_imm b amount a'
+    (* Plain registers are matched by G_reg, not as a 0-shift — and a
+       zero-amount shift of any kind is left to the generic TCG path:
+       a host shift by 0 does not update host flags, so an S-variant
+       shift rule would extract whatever flags the previous host
+       instruction left behind. *)
+    a' <> 0 && kind = k' && bind_reg b prm rm && bind_imm b amount a'
   | G_shift_reg { rm = prm; kind; rs = prs }, A.Reg_shift_reg { rm; kind = k'; rs } ->
     kind = k' && bind_reg b prm rm && bind_reg b prs rs
   | ( (G_imm _ | G_reg _ | G_shift _ | G_shift_reg _),

@@ -4,13 +4,17 @@
    counted operationally and never scaled, so the scale perturbs
    exactly the modelled (non-operational) half of the cost model. *)
 
-let scale_pct = ref 100
+(* Atomic rather than [ref]: the scale is read on hot engine paths
+   from every serving domain, and the ablation harness writes it from
+   the coordinator. A plain ref would be a data race under
+   [Domain.spawn]; an atomic read costs the same on amd64. *)
+let scale_pct = Atomic.make 100
 
 let set_scale_pct p =
-  if p <= 0 then invalid_arg "Costs.set_scale_pct" else scale_pct := p
+  if p <= 0 then invalid_arg "Costs.set_scale_pct" else Atomic.set scale_pct p
 
-let get_scale_pct () = !scale_pct
-let apply base = base * !scale_pct / 100
+let get_scale_pct () = Atomic.get scale_pct
+let apply base = base * Atomic.get scale_pct / 100
 let engine_dispatch () = apply 22
 let chain_jump () = apply 2
 let helper_call_overhead () = apply 4
@@ -43,7 +47,8 @@ let all =
 
 let to_json () =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf (Printf.sprintf "{\"scale_pct\":%d" !scale_pct);
+  Buffer.add_string buf
+    (Printf.sprintf "{\"scale_pct\":%d" (Atomic.get scale_pct));
   List.iter
     (fun (name, cost, phase) ->
       Buffer.add_string buf

@@ -243,6 +243,32 @@ let test_rsb_bic_shift () =
                 op2 = Insn.Reg_shift_imm { rm = 2; kind = Insn.LSL; amount = 3 } }));
       Asm.mov a 11 0)
 
+(* Zero-amount shifts are identity moves, but a shift rule compiled to
+   a host shift-by-0 leaves host flags untouched — the S variants must
+   still produce N/Z from the result (regression: rules engine
+   extracted stale flags for movs rd, rm, lsr #0). *)
+let test_zero_amount_shift_flags () =
+  differential_all_levels (fun a ->
+      Asm.mov32 a 1 0x80000000;
+      Asm.mov a 2 0;
+      List.iter
+        (fun (kind, s, rd, rm) ->
+          Asm.emit a
+            (Insn.make
+               (Insn.Dp
+                  { op = Insn.MOV; s; rd; rn = 0;
+                    op2 = Insn.Reg_shift_imm { rm; kind; amount = 0 } })))
+        [
+          (Insn.ROR, true, 5, 1);
+          (Insn.LSR, false, 6, 1);  (* non-S: value only *)
+          (Insn.ASR, false, 7, 1);
+          (Insn.ASR, true, 4, 2);   (* zero result: Z=1 N=0 ... *)
+          (* ... then the last flag writer must flip to N=1 Z=0 — a
+             stale extraction keeps the previous flags instead *)
+          (Insn.LSR, true, 3, 1);
+        ];
+      Asm.mov a 11 0)
+
 (* --- performance-shape sanity --- *)
 
 let mixed_workload a =
@@ -691,6 +717,8 @@ let suite =
         Alcotest.test_case "svc keeps flags across context switch" `Quick
           test_svc_roundtrip;
         Alcotest.test_case "rsb/bic/shifted operands" `Quick test_rsb_bic_shift;
+        Alcotest.test_case "zero-amount shifts set flags" `Quick
+          test_zero_amount_shift_flags;
       ] );
     ("dbt.property.mem", [ q prop_random_mem_blocks ]);
     ( "dbt.shape",
